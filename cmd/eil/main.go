@@ -1,0 +1,143 @@
+// Command eil is the command-line search front-end: the Figure 8 search
+// editor as flags. It loads a system persisted by eilingest and runs either
+// a business-activity driven search or the keyword baseline.
+//
+// Usage:
+//
+//	eil -sys ./eilsys -tower "Storage Management Services" -exact "data replication"
+//	eil -sys ./eilsys -person "Sam White" -org ABC
+//	eil -sys ./eilsys -kw '"cross tower TSA"'          # OmniFind-style baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+	"repro/internal/access"
+	"repro/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("eil: ")
+	var (
+		sysDir     = flag.String("sys", "eilsys", "system directory written by eilingest")
+		tower      = flag.String("tower", "", "tower / sub-tower concept (name, acronym, or alias)")
+		industry   = flag.String("industry", "", "sector / industry")
+		consultant = flag.String("consultant", "", "outsourcing consultant")
+		geography  = flag.String("geography", "", "geography")
+		country    = flag.String("country", "", "country")
+		all        = flag.String("all", "", "all of these words")
+		exact      = flag.String("exact", "", "the exact phrase")
+		anyW       = flag.String("any", "", "any of these words")
+		none       = flag.String("none", "", "none of these words")
+		target     = flag.String("target", "anywhere", "text target: anywhere | techsolution | title")
+		person     = flag.String("person", "", "person name")
+		org        = flag.String("org", "", "person organization")
+		limit      = flag.Int("limit", 10, "maximum activities")
+		kw         = flag.String("kw", "", "run the keyword-search baseline instead")
+		explore    = flag.String("explore", "", "drill into one deal's documents (use with text flags)")
+		similar    = flag.String("similar", "", "list deals similar to this deal")
+		asUser     = flag.String("user", "cli", "user id")
+		roles      = flag.String("roles", "admin", "comma-separated roles: sales,delivery,admin")
+	)
+	flag.Parse()
+
+	sys, err := eil.LoadSystem(*sysDir, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *kw != "" {
+		hits := sys.KeywordSearch(*kw, *limit)
+		fmt.Printf("%d documents (showing %d)\n", sys.KeywordCount(*kw), len(hits))
+		for _, h := range hits {
+			fmt.Printf("%6.2f  %-28s %s\n        %s\n", h.Score, h.DealID, h.Path, h.Snippet)
+		}
+		return
+	}
+
+	user := access.User{ID: *asUser, Name: *asUser}
+	for _, r := range strings.Split(*roles, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			user.Roles = append(user.Roles, access.Role(r))
+		}
+	}
+	if *similar != "" {
+		hits, err := sys.SimilarDeals(user, *similar, *limit)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d deals similar to %s\n", len(hits), *similar)
+		for _, h := range hits {
+			fmt.Printf("  %-14s %.2f shared: %s\n", h.DealID, h.Score, strings.Join(h.SharedTowers, ", "))
+		}
+		return
+	}
+	q := core.FormQuery{
+		Tower:       *tower,
+		Industry:    *industry,
+		Consultant:  *consultant,
+		Geography:   *geography,
+		Country:     *country,
+		AllWords:    strings.Fields(*all),
+		ExactPhrase: *exact,
+		AnyWords:    strings.Fields(*anyW),
+		NoneWords:   strings.Fields(*none),
+		Target:      core.TextTarget(*target),
+		PersonName:  *person,
+		PersonOrg:   *org,
+		Limit:       *limit,
+	}
+	if *explore != "" {
+		hits, err := sys.Explore(user, *explore, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d documents in %s\n", len(hits), *explore)
+		for _, h := range hits {
+			fmt.Printf("  %6.2f %s\n         %s\n", h.Score, h.Path, h.Snippet)
+		}
+		return
+	}
+	if !q.HasConcepts() && !q.HasText() {
+		log.Fatal("no criteria; set -tower / -exact / -person / ... or use -kw for the baseline")
+	}
+	res, err := sys.Search(user, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range res.Explain {
+		fmt.Printf("# %s\n", line)
+	}
+	if len(res.Suggestions) > 0 {
+		fmt.Printf("# did you mean: %s\n", strings.Join(res.Suggestions, ", "))
+	}
+	fmt.Printf("%d relevant business activities\n", len(res.Activities))
+	for _, a := range res.Activities {
+		fmt.Printf("\n%s  score %.2f  (access: %s)\n", a.DealID, a.Score, a.Level)
+		if a.Synopsis != nil {
+			var towers []string
+			for _, tw := range a.Synopsis.Towers {
+				if tw.SubTower == "" {
+					towers = append(towers, tw.Tower)
+				}
+			}
+			o := a.Synopsis.Overview
+			fmt.Printf("  towers: %s\n", strings.Join(towers, ", "))
+			fmt.Printf("  %s; %s; %s; %s\n", o.Industry, o.Consultant, o.TCVBand, o.Country)
+			if *person != "" || *org != "" {
+				fmt.Printf("  people:\n")
+				for _, p := range a.Synopsis.People {
+					fmt.Printf("    %-24s %-22s %-24s %s\n", p.Name, p.Role, p.Email, p.Category)
+				}
+			}
+		}
+		for _, d := range a.Docs {
+			fmt.Printf("  %6.2f %s\n         %s\n", d.Score, d.Path, d.Snippet)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Command eileval regenerates the paper's evaluation: every table and
+// figure of §4 plus the §2 study and the design-choice ablations, printed
+// as paper-vs-measured reports.
+//
+// Usage:
+//
+//	eileval                  # everything, paper-scale corpus
+//	eileval -exp table2      # one experiment
+//	eileval -scale small     # fast corpus for smoke runs
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/eval"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("eileval: ")
+	var (
+		exp   = flag.String("exp", "all", "experiment: all|study|table2|fig4|fig5|fig6|mq2|mq3|mq4|rollout|ablations")
+		scale = flag.String("scale", "eval", "corpus scale: eval (23 deals, ~15k docs) or small")
+		seed  = flag.Int64("seed", 0, "override the corpus seed")
+	)
+	flag.Parse()
+
+	cfg := synth.EvalConfig()
+	if *scale == "small" {
+		cfg = synth.SmallConfig()
+	} else if *scale != "eval" {
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	log.Printf("generating and ingesting the %s corpus...", *scale)
+	start := time.Now()
+	f, err := eval.NewFixture(cfg, eil.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("corpus: %d deals, %d documents; ingested in %v\n",
+		len(f.Corpus.DealIDs), f.Sys.Index.DocCount(), time.Since(start).Round(time.Millisecond))
+
+	if err := eval.Report(os.Stdout, f, *exp); err != nil {
+		log.Fatal(err)
+	}
+}

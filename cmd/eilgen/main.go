@@ -1,0 +1,71 @@
+// Command eilgen generates a synthetic engagement-workbook corpus on disk:
+// one directory per deal, a JSON personnel directory, and a ground-truth
+// summary — the stand-in for the paper's proprietary repositories.
+//
+// Usage:
+//
+//	eilgen -out ./workbooks [-seed 2008] [-deals 23] [-noise 610] [-profile eval|small]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/crawler"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("eilgen: ")
+	var (
+		out     = flag.String("out", "workbooks", "output directory")
+		profile = flag.String("profile", "eval", "corpus profile: eval (23 deals, ~15k docs) or small")
+		seed    = flag.Int64("seed", 0, "override the profile seed")
+		deals   = flag.Int("deals", 0, "override the number of deals")
+		noise   = flag.Int("noise", 0, "override noise documents per deal")
+	)
+	flag.Parse()
+
+	cfg := synth.EvalConfig()
+	if *profile == "small" {
+		cfg = synth.SmallConfig()
+	} else if *profile != "eval" {
+		log.Fatalf("unknown profile %q", *profile)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *deals != 0 {
+		cfg.Deals = *deals
+	}
+	if *noise != 0 {
+		cfg.NoiseDocsPerDeal = *noise
+	}
+
+	corpus, err := synth.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := crawler.WriteTree(*out, corpus.Docs, corpus.Raw); err != nil {
+		log.Fatal(err)
+	}
+	if err := corpus.Directory.SaveFile(filepath.Join(*out, "personnel.jsonl")); err != nil {
+		log.Fatal(err)
+	}
+	truth, err := os.Create(filepath.Join(*out, "TRUTH.meta"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer truth.Close()
+	for _, id := range corpus.DealIDs {
+		t := corpus.Truth[id]
+		fmt.Fprintf(truth, "%s | customer=%s industry=%s towers=%v team=%d\n",
+			id, t.Customer, t.Industry, t.Towers, len(t.Team))
+	}
+	s := corpus.Stats()
+	log.Printf("wrote %d documents across %d deals (%d people) to %s", s.Docs, s.Deals, s.People, *out)
+}

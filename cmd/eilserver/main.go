@@ -1,0 +1,75 @@
+// Command eilserver serves EIL over HTTP: an HTML search editor (the Lotus
+// Notes GUI substitute) and a JSON API. It loads a persisted system or, with
+// -demo, generates and ingests a synthetic corpus on startup.
+//
+// Usage:
+//
+//	eilserver -sys ./eilsys -addr :8080
+//	eilserver -demo -addr :8080
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"repro"
+	"repro/internal/access"
+	"repro/internal/qlog"
+	"repro/internal/synth"
+	"repro/internal/web"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("eilserver: ")
+	var (
+		sysDir = flag.String("sys", "eilsys", "system directory written by eilingest")
+		addr   = flag.String("addr", ":8080", "listen address")
+		demo   = flag.Bool("demo", false, "ignore -sys; generate and ingest a demo corpus")
+		secure = flag.Bool("access-control", false, "enforce role-based access (default: everyone sees everything)")
+		logCap = flag.Int("querylog", 1024, "query-log capacity (0 disables; summary at /api/qlog)")
+	)
+	flag.Parse()
+
+	var ctl *access.Controller
+	if *secure {
+		ctl = access.NewController()
+	}
+
+	var sys *eil.System
+	var err error
+	if *demo {
+		log.Printf("generating demo corpus...")
+		corpus, gerr := synth.Generate(synth.SmallConfig())
+		if gerr != nil {
+			log.Fatal(gerr)
+		}
+		start := time.Now()
+		sys, err = eil.Ingest(corpus.Docs, eil.Options{Directory: corpus.Directory, Access: ctl})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("ingested %d documents in %v", sys.Index.DocCount(), time.Since(start).Round(time.Millisecond))
+	} else {
+		sys, err = eil.LoadSystem(*sysDir, ctl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys.Access = ctl
+		log.Printf("loaded %d documents from %s", sys.Index.DocCount(), *sysDir)
+	}
+
+	if *logCap > 0 {
+		sys.QueryLog = qlog.New(*logCap)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           web.Handler(sys),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,363 @@
+// Package eil is the public API of the EIL (Enterprise Information
+// Leverage) reproduction: business-activity driven enterprise search, after
+// "Improving Information Access for a Community of Practice Using Business
+// Process as Context" (IBM Research, ICDE 2008).
+//
+// The typical flow is: obtain documents (crawl a repository tree or generate
+// the synthetic corpus), Ingest them — which runs the offline half of the
+// architecture (annotators, collection processing, index and synopsis
+// population) — and then Search the resulting System with form-based
+// queries, or run KeywordSearch for the search-box baseline the paper
+// compares against.
+//
+//	corpus, _ := synth.Generate(synth.EvalConfig())   // or crawler.NewFSReader
+//	sys, _ := eil.Ingest(corpus.Docs, eil.Options{Directory: corpus.Directory})
+//	res, _ := sys.Search(user, core.FormQuery{Tower: "End User Services"})
+package eil
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/access"
+	"repro/internal/analysis"
+	"repro/internal/annotators"
+	"repro/internal/core"
+	"repro/internal/crawler"
+	"repro/internal/dedupe"
+	"repro/internal/directory"
+	"repro/internal/docmodel"
+	"repro/internal/index"
+	"repro/internal/qlog"
+	"repro/internal/relstore"
+	"repro/internal/siapi"
+	"repro/internal/synopsis"
+	"repro/internal/taxonomy"
+	"repro/internal/textproc"
+)
+
+// Options configures ingestion. The zero value is the standard system; the
+// ablation switches degrade specific design choices so their contribution
+// can be measured.
+type Options struct {
+	// Workers bounds annotator parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Directory is the personnel service used to validate and enrich
+	// contacts; nil disables enrichment (the step-13 ablation).
+	Directory *directory.Directory
+	// Taxonomy overrides the default services taxonomy.
+	Taxonomy *taxonomy.Taxonomy
+	// MinScopeWeight overrides the scope CPE threshold (0 = default 2.0).
+	MinScopeWeight float64
+	// BlobParsing strips document structure before analysis — "blindly
+	// applying patterns interpreting the entire data as a blob of text"
+	// (the §3.3 custom-parsing ablation).
+	BlobParsing bool
+	// DisableScoping makes online searches run their SIAPI query unscoped
+	// (the Figure 1 step-8 ablation).
+	DisableScoping bool
+	// Dedup drops near-duplicate documents (within each activity) before
+	// analysis — the §3.4 "removal ... of duplicate/redundant data" CPE,
+	// run as a pre-pass because duplicate detection is purely textual.
+	Dedup bool
+	// DedupThreshold overrides the Jaccard similarity cut (0 = 0.85).
+	DedupThreshold float64
+	// EntityContacts swaps the convention-driven social networking
+	// annotator for the flat-text entity-and-co-occurrence extractor the
+	// paper describes as the alternative in §3.2.1 (and predicts is
+	// worse); the entity ablation measures the difference.
+	EntityContacts bool
+	// Access supplies the access controller; nil grants everyone full
+	// access (offline evaluation mode).
+	Access *access.Controller
+}
+
+// System is an ingested EIL instance ready to answer queries.
+type System struct {
+	Index     *index.Index
+	SIAPI     *siapi.Engine
+	Synopses  *synopsis.Store
+	Taxonomy  *taxonomy.Taxonomy
+	Access    *access.Controller
+	Engine    *core.Engine
+	Directory *directory.Directory
+	// Stats summarizes the offline run.
+	Stats analysis.Stats
+	// QueryLog, when set, records every search and its outcome (the
+	// telemetry behind the paper's "additional evaluation" improvement
+	// loop).
+	QueryLog *qlog.Log
+	// Duplicates lists the redundant documents the dedup pre-pass dropped
+	// (empty unless Options.Dedup was set).
+	Duplicates []string
+
+	// Retained offline-pipeline state for incremental updates; nil on
+	// systems restored from disk (re-ingest to update those).
+	flow    analysis.Annotator
+	builder *annotators.Builder
+	writer  *crawler.IndexWriter
+}
+
+// Ingest runs the offline pipeline (Data Acquisition already done by the
+// caller: docs are parsed) over the documents: document-level annotators in
+// parallel, then the collection processing engines, populating the semantic
+// index and the synopsis store.
+func Ingest(docs []*docmodel.Document, opts Options) (*System, error) {
+	return IngestFrom(&analysis.SliceReader{Docs: docs}, opts)
+}
+
+// IngestFrom is Ingest reading from any CollectionReader (for example
+// crawler.NewFSReader over a repository tree).
+func IngestFrom(reader analysis.CollectionReader, opts Options) (*System, error) {
+	tax := opts.Taxonomy
+	if tax == nil {
+		tax = taxonomy.Default()
+	}
+	store, err := synopsis.NewStore(relstore.NewDB())
+	if err != nil {
+		return nil, fmt.Errorf("eil: %w", err)
+	}
+	ix := index.New(textproc.DefaultAnalyzer)
+
+	builder := annotators.NewBuilder(store, opts.Directory)
+	if opts.MinScopeWeight > 0 {
+		builder.MinScopeWeight = opts.MinScopeWeight
+	}
+	writer := &crawler.IndexWriter{Ix: ix}
+
+	if opts.BlobParsing {
+		reader = &blobReader{inner: reader}
+	}
+	var duplicates []string
+	if opts.Dedup {
+		var err error
+		reader, duplicates, err = dedupReader(reader, opts.DedupThreshold)
+		if err != nil {
+			return nil, fmt.Errorf("eil: dedup: %w", err)
+		}
+	}
+
+	pipe := &analysis.Pipeline{
+		Reader:    reader,
+		Annotator: annotators.NewEILFlow(tax),
+		Consumers: []analysis.Consumer{writer, builder},
+		Workers:   opts.Workers,
+	}
+	if opts.BlobParsing {
+		// The blob flow also degrades the social annotator.
+		pipe.Annotator = blobFlow(tax)
+	}
+	if opts.EntityContacts {
+		pipe.Annotator = entityFlow(tax)
+	}
+	stats, err := pipe.Run()
+	if err != nil {
+		return nil, fmt.Errorf("eil: ingest: %w", err)
+	}
+
+	sys := &System{
+		Index:      ix,
+		SIAPI:      siapi.NewEngine(ix),
+		Synopses:   store,
+		Taxonomy:   tax,
+		Access:     opts.Access,
+		Directory:  opts.Directory,
+		Stats:      stats,
+		Duplicates: duplicates,
+		flow:       pipe.Annotator,
+		builder:    builder,
+		writer:     writer,
+	}
+	sys.Engine = &core.Engine{
+		Synopses:       store,
+		Docs:           sys.SIAPI,
+		Access:         opts.Access,
+		Tax:            tax,
+		DisableScoping: opts.DisableScoping,
+	}
+	return sys, nil
+}
+
+// dedupReader materializes the document stream, drops near-duplicates
+// within each activity, and returns a reader over the survivors plus the
+// dropped paths.
+func dedupReader(reader analysis.CollectionReader, threshold float64) (analysis.CollectionReader, []string, error) {
+	var docs []*docmodel.Document
+	for {
+		d, err := reader.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		docs = append(docs, d)
+	}
+	det := dedupe.New()
+	if threshold > 0 {
+		det.Threshold = threshold
+	}
+	for _, d := range docs {
+		det.Add(d.Path, d.DealID, d.Body)
+	}
+	drop := map[string]bool{}
+	dropped := det.DuplicateIDs()
+	for _, id := range dropped {
+		drop[id] = true
+	}
+	kept := docs[:0]
+	for _, d := range docs {
+		if !drop[d.Path] {
+			kept = append(kept, d)
+		}
+	}
+	return &analysis.SliceReader{Docs: kept}, dropped, nil
+}
+
+// blobReader strips structure from every document, simulating a parser that
+// treats files as undifferentiated text.
+type blobReader struct {
+	inner analysis.CollectionReader
+}
+
+func (r *blobReader) Next() (*docmodel.Document, error) {
+	doc, err := r.inner.Next()
+	if err != nil {
+		return nil, err
+	}
+	flat := *doc
+	flat.Structure = nil
+	return &flat, nil
+}
+
+// blobFlow is the EIL flow with the structure-blind social annotator.
+func blobFlow(tax *taxonomy.Taxonomy) analysis.Annotator {
+	return annotators.Composite("eil-flow-blob",
+		annotators.NewScopeAnnotator(tax),
+		&annotators.SocialNetworking{Blob: true},
+		annotators.NewOverviewFacts(),
+		annotators.NewWinStrategy(),
+		annotators.NewTechSolution(tax),
+		annotators.NewClientRefs(),
+	)
+}
+
+// entityFlow is the EIL flow with the entity-and-co-occurrence contact
+// extractor in place of the convention-driven one.
+func entityFlow(tax *taxonomy.Taxonomy) analysis.Annotator {
+	return annotators.Composite("eil-flow-entity",
+		annotators.NewScopeAnnotator(tax),
+		annotators.NewEntityCooccurrence(),
+		annotators.NewOverviewFacts(),
+		annotators.NewWinStrategy(),
+		annotators.NewTechSolution(tax),
+		annotators.NewClientRefs(),
+	)
+}
+
+// Search runs a business-activity driven search for the user (Figure 1).
+func (s *System) Search(user access.User, q core.FormQuery) (core.Result, error) {
+	res, err := s.Engine.Search(user, q)
+	if err == nil && s.QueryLog != nil {
+		s.QueryLog.Record(qlog.Entry{
+			User:       user.ID,
+			Kind:       qlog.KindForm,
+			Summary:    formSummary(q),
+			Concepts:   formConcepts(q),
+			Activities: len(res.Activities),
+			Fallback:   res.UnscopedFallback,
+		})
+	}
+	return res, err
+}
+
+// formSummary renders a form query for the log.
+func formSummary(q core.FormQuery) string {
+	var parts []string
+	add := func(label, v string) {
+		if v != "" {
+			parts = append(parts, label+"="+v)
+		}
+	}
+	add("tower", q.Tower)
+	add("industry", q.Industry)
+	add("consultant", q.Consultant)
+	add("person", q.PersonName)
+	add("org", q.PersonOrg)
+	add("exact", q.ExactPhrase)
+	if len(q.AllWords) > 0 {
+		parts = append(parts, "all="+strings.Join(q.AllWords, " "))
+	}
+	return strings.Join(parts, " ")
+}
+
+func formConcepts(q core.FormQuery) []string {
+	var out []string
+	for _, c := range []string{q.Tower, q.SubTower, q.Industry, q.Consultant, q.Geography, q.Country} {
+		if c != "" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// KeywordSearch is the OmniFind-style search-box baseline the paper
+// evaluates against: a free-text query over all documents, returning
+// documents, not activities, with no business context. Quoted phrases and
+// -exclusions are honored.
+func (s *System) KeywordSearch(query string, limit int) []siapi.DocHit {
+	hits := s.SIAPI.Search(siapi.ParseKeywords(query), limit)
+	if s.QueryLog != nil {
+		s.QueryLog.Record(qlog.Entry{
+			Kind:       qlog.KindKeyword,
+			Summary:    query,
+			Activities: len(hits),
+		})
+	}
+	return hits
+}
+
+// KeywordCount reports how many documents a search-box query returns — the
+// "N documents returned" numbers quoted throughout the paper's §4.
+func (s *System) KeywordCount(query string) int {
+	return s.SIAPI.Count(siapi.ParseKeywords(query))
+}
+
+// Explore searches within one business activity's documents (the synopsis
+// drill-down). Requires document-level access to the activity.
+func (s *System) Explore(user access.User, dealID string, q core.FormQuery) ([]siapi.DocHit, error) {
+	return s.Engine.Explore(user, dealID, q)
+}
+
+// SimilarDeals finds activities similar to dealID (services mix, industry,
+// advisor), filtered to those the user may at least see synopses of.
+func (s *System) SimilarDeals(user access.User, dealID string, k int) ([]synopsis.SimilarHit, error) {
+	if s.Access != nil && !s.Access.CanSeeSynopsis(user, dealID) {
+		return nil, fmt.Errorf("%w: %s", synopsis.ErrNotFound, dealID)
+	}
+	hits, err := s.Synopses.Similar(dealID, k)
+	if err != nil {
+		return nil, err
+	}
+	if s.Access == nil {
+		return hits, nil
+	}
+	visible := hits[:0]
+	for _, h := range hits {
+		if s.Access.CanSeeSynopsis(user, h.DealID) {
+			visible = append(visible, h)
+		}
+	}
+	return visible, nil
+}
+
+// Deal fetches one deal synopsis, subject to the user's access level: a
+// user with no access gets synopsis.ErrNotFound rather than existence
+// disclosure.
+func (s *System) Deal(user access.User, dealID string) (synopsis.Deal, error) {
+	if s.Access != nil && !s.Access.CanSeeSynopsis(user, dealID) {
+		return synopsis.Deal{}, fmt.Errorf("%w: %s", synopsis.ErrNotFound, dealID)
+	}
+	return s.Synopses.Get(dealID)
+}

@@ -1,0 +1,241 @@
+package eil
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/crawler"
+	"repro/internal/qlog"
+	"repro/internal/synth"
+)
+
+func testSystem(t *testing.T, opts Options) (*synth.Corpus, *System) {
+	t.Helper()
+	corpus, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Directory == nil {
+		opts.Directory = corpus.Directory
+	}
+	sys, err := Ingest(corpus.Docs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return corpus, sys
+}
+
+func admin() access.User {
+	return access.User{ID: "a", Name: "Admin", Roles: []access.Role{access.RoleAdmin}}
+}
+
+func TestIngestPopulatesEverything(t *testing.T) {
+	corpus, sys := testSystem(t, Options{})
+	if sys.Index.DocCount() != len(corpus.Docs) {
+		t.Fatalf("indexed %d of %d docs", sys.Index.DocCount(), len(corpus.Docs))
+	}
+	if sys.Stats.Failed != 0 {
+		t.Fatalf("failed docs: %+v", sys.Stats.Errors)
+	}
+	ids, err := sys.Synopses.DealIDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(corpus.DealIDs) {
+		t.Fatalf("synopses for %d of %d deals", len(ids), len(corpus.DealIDs))
+	}
+}
+
+func TestSearchEndToEnd(t *testing.T) {
+	corpus, sys := testSystem(t, Options{})
+	res, err := sys.Search(admin(), core.FormQuery{Tower: "Storage Management Services"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Activities) == 0 {
+		t.Fatal("no activities")
+	}
+	// Every hit truly has the tower (concept precision on clean evidence).
+	for _, a := range res.Activities {
+		truth := corpus.Truth[a.DealID]
+		if truth == nil || !truth.HasTower("Storage Management Services") {
+			t.Fatalf("false activity %s", a.DealID)
+		}
+	}
+}
+
+func TestKeywordBaseline(t *testing.T) {
+	_, sys := testSystem(t, Options{})
+	hits := sys.KeywordSearch(`"cross tower TSA"`, 10)
+	if len(hits) == 0 {
+		t.Fatal("keyword baseline found nothing")
+	}
+	if n := sys.KeywordCount(`"cross tower TSA"`); n < len(hits) {
+		t.Fatalf("count %d < hits %d", n, len(hits))
+	}
+	if sys.KeywordCount("zzzznonexistent") != 0 {
+		t.Fatal("ghost keyword matched")
+	}
+}
+
+func TestDealAccessControl(t *testing.T) {
+	ctl := access.NewController()
+	corpus, sys := testSystem(t, Options{Access: ctl})
+	dealID := corpus.DealIDs[0]
+	sales := access.User{ID: "s", Roles: []access.Role{access.RoleSales}}
+	if _, err := sys.Deal(sales, dealID); err != nil {
+		t.Fatalf("sales denied synopsis: %v", err)
+	}
+	nobody := access.User{ID: "n"}
+	if _, err := sys.Deal(nobody, dealID); err == nil {
+		t.Fatal("roleless user saw a synopsis")
+	}
+}
+
+func TestIngestFromFS(t *testing.T) {
+	corpus, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	if err := crawler.WriteTree(root, corpus.Docs, corpus.Raw); err != nil {
+		t.Fatal(err)
+	}
+	reader, err := crawler.NewFSReader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := IngestFrom(reader, Options{Directory: corpus.Directory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Index.DocCount() != len(corpus.Docs) {
+		t.Fatalf("fs ingest: %d of %d docs", sys.Index.DocCount(), len(corpus.Docs))
+	}
+	res, err := sys.Search(admin(), core.FormQuery{PersonName: synth.PlantedPerson})
+	if err != nil || len(res.Activities) == 0 {
+		t.Fatalf("planted person lost through fs round trip: %v, %v", res.Activities, err)
+	}
+}
+
+func TestBlobOptionDegrades(t *testing.T) {
+	corpus, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Ingest(corpus.Docs, Options{Directory: corpus.Directory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := Ingest(corpus.Docs, Options{Directory: corpus.Directory, BlobParsing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(s *System) int {
+		total := 0
+		ids, _ := s.Synopses.DealIDs()
+		for _, id := range ids {
+			d, err := s.Synopses.Get(id)
+			if err == nil {
+				total += len(d.People)
+			}
+		}
+		return total
+	}
+	if count(blob) >= count(full) {
+		t.Fatalf("blob parsing did not lose contacts: %d vs %d", count(blob), count(full))
+	}
+}
+
+func TestWorkersOption(t *testing.T) {
+	corpus, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := Ingest(corpus.Docs, Options{Directory: corpus.Directory, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Ingest(corpus.Docs, Options{Directory: corpus.Directory, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parallelism must not change results: compare synopses.
+	idsA, _ := one.Synopses.DealIDs()
+	idsB, _ := many.Synopses.DealIDs()
+	if len(idsA) != len(idsB) {
+		t.Fatalf("deal counts differ: %d vs %d", len(idsA), len(idsB))
+	}
+	for i := range idsA {
+		a, _ := one.Synopses.Get(idsA[i])
+		b, _ := many.Synopses.Get(idsA[i])
+		if len(a.People) != len(b.People) || len(a.Towers) != len(b.Towers) {
+			t.Fatalf("deal %s differs under parallelism: %d/%d people, %d/%d towers",
+				idsA[i], len(a.People), len(b.People), len(a.Towers), len(b.Towers))
+		}
+	}
+}
+
+func TestQueryLogRecords(t *testing.T) {
+	_, sys := testSystem(t, Options{})
+	sys.QueryLog = qlog.New(32)
+	if _, err := sys.Search(admin(), core.FormQuery{Tower: "End User Services"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Search(admin(), core.FormQuery{AllWords: []string{"replication"}}); err != nil {
+		t.Fatal(err)
+	}
+	sys.KeywordSearch("cross tower", 5)
+	s := sys.QueryLog.Summarize(5)
+	if s.Total != 3 || s.Keyword != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Fallbacks != 1 {
+		t.Fatalf("fallback count = %d", s.Fallbacks)
+	}
+	if len(s.TopConcepts) == 0 || s.TopConcepts[0].Concept != "End User Services" {
+		t.Fatalf("top concepts = %+v", s.TopConcepts)
+	}
+	entries := sys.QueryLog.Entries()
+	if entries[0].Summary != "tower=End User Services" {
+		t.Fatalf("summary rendering = %q", entries[0].Summary)
+	}
+}
+
+func TestDedupOption(t *testing.T) {
+	corpus, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corpus.PlantedDuplicates == 0 {
+		t.Skip("no duplicates planted at this seed/size")
+	}
+	plain, err := Ingest(corpus.Docs, Options{Directory: corpus.Directory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deduped, err := Ingest(corpus.Docs, Options{Directory: corpus.Directory, Dedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deduped.Duplicates) < corpus.PlantedDuplicates {
+		t.Fatalf("dedup dropped %d, generator planted %d", len(deduped.Duplicates), corpus.PlantedDuplicates)
+	}
+	if deduped.Index.DocCount() != plain.Index.DocCount()-len(deduped.Duplicates) {
+		t.Fatalf("doc counts: %d plain, %d deduped, %d dropped",
+			plain.Index.DocCount(), deduped.Index.DocCount(), len(deduped.Duplicates))
+	}
+	// Every dropped path is a planted copy or a legitimate near-duplicate;
+	// all planted copies must be among them.
+	dropped := map[string]bool{}
+	for _, p := range deduped.Duplicates {
+		dropped[p] = true
+	}
+	for path := range corpus.Raw {
+		if strings.Contains(path, "copy-of-") && !dropped[path] {
+			t.Fatalf("planted copy survived: %s", path)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Accesscontrol demonstrates EIL's synopsis-only fallback (§3.1 of the
+// paper): "if a user is not authorized to access a data repository, the
+// system presents to the user only a synopsis of the desired information
+// including a list of contact persons with whom the user could
+// communicate." Three principals run the same query and see three different
+// slices of the same result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	corpus, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctl := access.NewController()
+	sys, err := eil.Ingest(corpus.Docs, eil.Options{Directory: corpus.Directory, Access: ctl})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A confidential deal: even document grants are capped for base roles.
+	confidential := corpus.DealIDs[1]
+	ctl.Restrict(confidential)
+
+	sales := access.User{ID: "sue", Name: "Sales Sue", Roles: []access.Role{access.RoleSales}}
+	delivery := access.User{ID: "dan", Name: "Delivery Dan", Roles: []access.Role{access.RoleDelivery}}
+	admin := access.User{ID: "ada", Name: "Admin Ada", Roles: []access.Role{access.RoleAdmin}}
+
+	// Sue earns a document-level grant on one engagement she works.
+	ctl.Grant("sue", corpus.DealIDs[0], access.LevelFull)
+
+	q := core.FormQuery{ExactPhrase: "data replication"}
+	for _, user := range []access.User{admin, sales, delivery} {
+		res, err := sys.Search(user, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s (%v): %d activities ==\n", user.Name, user.Roles, len(res.Activities))
+		for _, a := range res.Activities {
+			fmt.Printf("  %-12s level=%-8s", a.DealID, a.Level)
+			switch {
+			case len(a.Docs) > 0:
+				fmt.Printf(" %d documents visible\n", len(a.Docs))
+			case a.Synopsis != nil:
+				// The synopsis-only fallback: business context and the
+				// people to call, but no documents.
+				fmt.Printf(" synopsis only; %d contacts to reach out to\n", len(a.Synopsis.People))
+			default:
+				fmt.Printf(" nothing\n")
+			}
+		}
+		fmt.Println()
+	}
+
+	// The same deal, fetched directly, under each principal.
+	target := corpus.DealIDs[0]
+	fmt.Printf("direct synopsis fetch of %s:\n", target)
+	for _, user := range []access.User{admin, sales, delivery} {
+		_, err := sys.Deal(user, target)
+		fmt.Printf("  %-12s -> %v\n", user.Name, errOrOK(err))
+	}
+}
+
+func errOrOK(err error) string {
+	if err != nil {
+		return "denied (" + err.Error() + ")"
+	}
+	return "ok"
+}

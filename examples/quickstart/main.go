@@ -1,0 +1,59 @@
+// Quickstart: generate a small engagement-workbook corpus, ingest it, and
+// run one concept search and one keyword-baseline search — the minimal EIL
+// round trip.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Data acquisition: the synthetic corpus stands in for crawled
+	//    engagement workbooks (use crawler.NewFSReader for a real tree).
+	corpus, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus: %d documents across %d deals\n", len(corpus.Docs), len(corpus.DealIDs))
+
+	// 2. Offline pipeline: annotate, collection-process, index.
+	sys, err := eil.Ingest(corpus.Docs, eil.Options{Directory: corpus.Directory})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ingested: %d documents, %d annotations\n\n", sys.Index.DocCount(), sys.Stats.Annotations)
+
+	// 3. Business-activity driven search: a concept query returns
+	//    activities with their business context, not bare documents.
+	user := access.User{ID: "demo", Roles: []access.Role{access.RoleAdmin}}
+	res, err := sys.Search(user, core.FormQuery{Tower: "End User Services"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("EIL concept search for End User Services: %d activities\n", len(res.Activities))
+	for _, a := range res.Activities {
+		var towers []string
+		for _, tw := range a.Synopsis.Towers {
+			if tw.SubTower == "" {
+				towers = append(towers, tw.Tower)
+			}
+		}
+		fmt.Printf("  %-12s score %.2f  %s\n", a.DealID, a.Score, strings.Join(towers, ", "))
+	}
+
+	// 4. The search-box baseline, for contrast: documents, no context.
+	fmt.Printf("\nkeyword baseline for \"End User Services\": %d documents\n",
+		sys.KeywordCount("End User Services"))
+	for _, h := range sys.KeywordSearch("End User Services", 3) {
+		fmt.Printf("  %5.2f %-12s %s\n", h.Score, h.DealID, h.Path)
+	}
+}

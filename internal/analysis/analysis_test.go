@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/docmodel"
+)
+
+func doc(path, body string) *docmodel.Document {
+	return &docmodel.Document{Path: path, Body: body, DealID: "DEAL X"}
+}
+
+func TestCASAddSelect(t *testing.T) {
+	c := NewCAS(doc("a", "hello world"))
+	c.Add(Annotation{Type: "person", Begin: 0, End: 5, Features: map[string]string{"name": "hello"}})
+	c.Add(Annotation{Type: "scope", Begin: -1, End: -1})
+	c.Add(Annotation{Type: "person", Begin: 6, End: 11})
+	if got := len(c.Select("person")); got != 2 {
+		t.Fatalf("persons = %d", got)
+	}
+	if got := len(c.Select("scope")); got != 1 {
+		t.Fatalf("scopes = %d", got)
+	}
+	if got := len(c.All()); got != 3 {
+		t.Fatalf("all = %d", got)
+	}
+	if types := c.Types(); len(types) != 2 || types[0] != "person" || types[1] != "scope" {
+		t.Fatalf("types = %v", types)
+	}
+}
+
+func TestCASConfidenceDefault(t *testing.T) {
+	c := NewCAS(doc("a", "x"))
+	c.Add(Annotation{Type: "t"})
+	if c.All()[0].Confidence != 1 {
+		t.Fatalf("confidence = %v", c.All()[0].Confidence)
+	}
+	c.Add(Annotation{Type: "t", Confidence: 0.5})
+	if c.All()[1].Confidence != 0.5 {
+		t.Fatalf("explicit confidence overwritten")
+	}
+}
+
+func TestCASCovered(t *testing.T) {
+	c := NewCAS(doc("a", "hello world"))
+	span := Annotation{Type: "t", Begin: 6, End: 11}
+	if got := c.Covered(span); got != "world" {
+		t.Fatalf("covered = %q", got)
+	}
+	if got := c.Covered(Annotation{Begin: -1, End: -1}); got != "" {
+		t.Fatalf("doc-level covered = %q", got)
+	}
+	if got := c.Covered(Annotation{Begin: 0, End: 999}); got != "" {
+		t.Fatalf("out-of-range covered = %q", got)
+	}
+}
+
+func TestAnnotationHelpers(t *testing.T) {
+	a := Annotation{Begin: -1, Features: map[string]string{"k": "v"}}
+	if !a.DocLevel() || a.Feature("k") != "v" || a.Feature("missing") != "" {
+		t.Fatal("annotation helpers broken")
+	}
+	var empty Annotation
+	if empty.Feature("k") != "" {
+		t.Fatal("nil features")
+	}
+}
+
+func TestAggregateRunsInOrder(t *testing.T) {
+	var order []string
+	step := func(name string) Annotator {
+		return AnnotatorFunc{ID: name, Fn: func(cas *CAS) error {
+			order = append(order, name)
+			cas.Add(Annotation{Type: name, Begin: -1, End: -1, Source: name})
+			return nil
+		}}
+	}
+	agg := &Aggregate{ID: "flow", Steps: []Annotator{step("a"), step("b"), step("c")}}
+	cas := NewCAS(doc("d", "x"))
+	if err := agg.Process(cas); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, "") != "abc" {
+		t.Fatalf("order = %v", order)
+	}
+	if len(cas.All()) != 3 {
+		t.Fatalf("annotations = %d", len(cas.All()))
+	}
+}
+
+func TestAggregateStopsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	ran := false
+	agg := &Aggregate{ID: "flow", Steps: []Annotator{
+		AnnotatorFunc{ID: "fail", Fn: func(*CAS) error { return boom }},
+		AnnotatorFunc{ID: "after", Fn: func(*CAS) error { ran = true; return nil }},
+	}}
+	err := agg.Process(NewCAS(doc("d", "x")))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran {
+		t.Fatal("step after failure ran")
+	}
+}
+
+type collectingConsumer struct {
+	name  string
+	paths []string
+	ended bool
+}
+
+func (c *collectingConsumer) Name() string { return c.name }
+func (c *collectingConsumer) Consume(cas *CAS) error {
+	c.paths = append(c.paths, cas.Doc.Path)
+	return nil
+}
+func (c *collectingConsumer) End() error {
+	c.ended = true
+	return nil
+}
+
+func TestPipelineOrderAndStats(t *testing.T) {
+	var docs []*docmodel.Document
+	for i := 0; i < 20; i++ {
+		docs = append(docs, doc(fmt.Sprintf("doc%02d", i), "body"))
+	}
+	var processed int32
+	ann := AnnotatorFunc{ID: "mark", Fn: func(cas *CAS) error {
+		atomic.AddInt32(&processed, 1)
+		cas.Add(Annotation{Type: "mark", Begin: -1, End: -1})
+		return nil
+	}}
+	cons := &collectingConsumer{name: "collect"}
+	p := &Pipeline{Reader: &SliceReader{Docs: docs}, Annotator: ann, Consumers: []Consumer{cons}, Workers: 4}
+	stats, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Docs != 20 || stats.Failed != 0 || stats.Annotations != 20 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if int(processed) != 20 {
+		t.Fatalf("processed = %d", processed)
+	}
+	if !cons.ended {
+		t.Fatal("consumer End not called")
+	}
+	// Consumers must observe reader order despite parallel annotation.
+	for i, p := range cons.paths {
+		if p != fmt.Sprintf("doc%02d", i) {
+			t.Fatalf("consumer order broken: %v", cons.paths)
+		}
+	}
+}
+
+func TestPipelineDocFailureTolerated(t *testing.T) {
+	docs := []*docmodel.Document{doc("good1", "x"), doc("bad", "x"), doc("good2", "x")}
+	ann := AnnotatorFunc{ID: "a", Fn: func(cas *CAS) error {
+		if cas.Doc.Path == "bad" {
+			return errors.New("parse explosion")
+		}
+		return nil
+	}}
+	cons := &collectingConsumer{name: "c"}
+	p := &Pipeline{Reader: &SliceReader{Docs: docs}, Annotator: ann, Consumers: []Consumer{cons}}
+	stats, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Failed != 1 || len(stats.Errors) != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if len(cons.paths) != 2 {
+		t.Fatalf("consumer saw %v", cons.paths)
+	}
+}
+
+func TestPipelineMaxErrors(t *testing.T) {
+	var docs []*docmodel.Document
+	for i := 0; i < 5; i++ {
+		docs = append(docs, doc(fmt.Sprintf("d%d", i), "x"))
+	}
+	ann := AnnotatorFunc{ID: "a", Fn: func(*CAS) error { return errors.New("nope") }}
+	p := &Pipeline{Reader: &SliceReader{Docs: docs}, Annotator: ann, MaxErrors: 2}
+	if _, err := p.Run(); err == nil {
+		t.Fatal("expected failure-threshold abort")
+	}
+}
+
+func TestPipelineNoReader(t *testing.T) {
+	p := &Pipeline{}
+	if _, err := p.Run(); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestPipelineNilAnnotator(t *testing.T) {
+	cons := &collectingConsumer{name: "c"}
+	p := &Pipeline{Reader: &SliceReader{Docs: []*docmodel.Document{doc("a", "x")}}, Consumers: []Consumer{cons}}
+	stats, err := p.Run()
+	if err != nil || stats.Docs != 1 || len(cons.paths) != 1 {
+		t.Fatalf("stats=%+v err=%v", stats, err)
+	}
+}
+
+type failingEndConsumer struct{ collectingConsumer }
+
+func (f *failingEndConsumer) End() error { return errors.New("end failed") }
+
+func TestPipelineConsumerEndError(t *testing.T) {
+	p := &Pipeline{
+		Reader:    &SliceReader{Docs: []*docmodel.Document{doc("a", "x")}},
+		Consumers: []Consumer{&failingEndConsumer{collectingConsumer{name: "f"}}},
+	}
+	if _, err := p.Run(); err == nil {
+		t.Fatal("expected End error to surface")
+	}
+}
+
+func TestSliceReaderEOF(t *testing.T) {
+	r := &SliceReader{}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("expected EOF")
+	}
+}

@@ -1,0 +1,99 @@
+// Package analysis is EIL's text-analysis framework — the UIMA substitute.
+// It provides the CAS (Common Analysis Structure) holding a document and its
+// annotations, the Annotator interface with an aggregate composition, and
+// the Pipeline that drives a CollectionReader through document-level
+// annotators (in parallel) and then through Collection Processing Engines
+// (Consumers) in stable document order.
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/docmodel"
+)
+
+// Annotation is one analysis result attached to a document. Span annotations
+// carry [Begin, End) byte offsets into the document body; document-level
+// annotations use Begin = End = -1.
+type Annotation struct {
+	// Type names the annotation kind: "scope", "person", "winstrategy",
+	// "techsolution", "contract", ...
+	Type string
+	// Begin and End are byte offsets into the CAS document's Body, or -1
+	// for document-level annotations.
+	Begin, End int
+	// Features carries the extracted fields (name, email, role, tower...).
+	Features map[string]string
+	// Confidence in [0, 1]; annotators default to 1 when they have no
+	// calibrated signal.
+	Confidence float64
+	// Source records which annotator produced the annotation; collection
+	// processing uses it to arbitrate between conflicting extractors.
+	Source string
+}
+
+// Feature returns a feature value or "".
+func (a Annotation) Feature(key string) string {
+	if a.Features == nil {
+		return ""
+	}
+	return a.Features[key]
+}
+
+// DocLevel reports whether the annotation is document-level (no span).
+func (a Annotation) DocLevel() bool { return a.Begin < 0 }
+
+// CAS is the per-document analysis container.
+type CAS struct {
+	Doc  *docmodel.Document
+	anns []Annotation
+}
+
+// NewCAS wraps a document for analysis.
+func NewCAS(doc *docmodel.Document) *CAS { return &CAS{Doc: doc} }
+
+// Add appends an annotation. A zero Confidence is promoted to 1.
+func (c *CAS) Add(a Annotation) {
+	if a.Confidence == 0 {
+		a.Confidence = 1
+	}
+	c.anns = append(c.anns, a)
+}
+
+// All returns all annotations in insertion order. The slice is shared; do
+// not mutate.
+func (c *CAS) All() []Annotation { return c.anns }
+
+// Select returns annotations of one type, in insertion order.
+func (c *CAS) Select(typ string) []Annotation {
+	var out []Annotation
+	for _, a := range c.anns {
+		if a.Type == typ {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Types returns the distinct annotation types present, sorted.
+func (c *CAS) Types() []string {
+	set := map[string]bool{}
+	for _, a := range c.anns {
+		set[a.Type] = true
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Covered returns the body text covered by a span annotation, or "" for
+// document-level annotations and out-of-range spans.
+func (c *CAS) Covered(a Annotation) string {
+	if a.Begin < 0 || a.End > len(c.Doc.Body) || a.Begin >= a.End {
+		return ""
+	}
+	return c.Doc.Body[a.Begin:a.End]
+}

@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/docmodel"
+)
+
+// Annotator processes one document's CAS, adding annotations. Annotators
+// must be safe for concurrent Process calls on distinct CASes.
+type Annotator interface {
+	// Name identifies the annotator in annotation Source fields and stats.
+	Name() string
+	// Process analyzes the CAS and adds annotations. Errors abort only
+	// this document; the pipeline records and continues.
+	Process(cas *CAS) error
+}
+
+// AnnotatorFunc adapts a function to the Annotator interface.
+type AnnotatorFunc struct {
+	ID string
+	Fn func(cas *CAS) error
+}
+
+// Name implements Annotator.
+func (a AnnotatorFunc) Name() string { return a.ID }
+
+// Process implements Annotator.
+func (a AnnotatorFunc) Process(cas *CAS) error { return a.Fn(cas) }
+
+// Aggregate composes annotators into a fixed flow, the "composite annotator"
+// of the paper's Table 1: primitives run in order, each seeing the
+// annotations of its predecessors (capturing control and data flow).
+type Aggregate struct {
+	ID    string
+	Steps []Annotator
+}
+
+// Name implements Annotator.
+func (g *Aggregate) Name() string { return g.ID }
+
+// Process implements Annotator by running each step in order. A step error
+// stops the flow for this document.
+func (g *Aggregate) Process(cas *CAS) error {
+	for _, s := range g.Steps {
+		if err := s.Process(cas); err != nil {
+			return fmt.Errorf("%s: %w", s.Name(), err)
+		}
+	}
+	return nil
+}
+
+// CollectionReader produces the document stream (the Data Acquisition box of
+// the EIL architecture). Next returns io.EOF when exhausted.
+type CollectionReader interface {
+	Next() (*docmodel.Document, error)
+}
+
+// SliceReader reads documents from a slice.
+type SliceReader struct {
+	Docs []*docmodel.Document
+	i    int
+}
+
+// Next implements CollectionReader.
+func (r *SliceReader) Next() (*docmodel.Document, error) {
+	if r.i >= len(r.Docs) {
+		return nil, io.EOF
+	}
+	d := r.Docs[r.i]
+	r.i++
+	return d, nil
+}
+
+// Consumer is a Collection Processing Engine: it sees every analyzed CAS in
+// reader order (Consume) and then finalizes collection-level results (End).
+// The paper's §3.4 CPEs — scope aggregation with occurrence counting,
+// de-duplication, normalization — implement this interface.
+type Consumer interface {
+	Name() string
+	Consume(cas *CAS) error
+	End() error
+}
+
+// Stats summarizes a pipeline run.
+type Stats struct {
+	Docs        int // documents read
+	Failed      int // documents whose annotator flow errored
+	Annotations int // total annotations produced on successful documents
+	Errors      []error
+}
+
+// Pipeline wires a reader through an annotator to consumers.
+type Pipeline struct {
+	Reader    CollectionReader
+	Annotator Annotator
+	Consumers []Consumer
+	// Workers bounds annotator parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// MaxErrors aborts the run when more than this many documents fail;
+	// 0 means unlimited tolerance.
+	MaxErrors int
+}
+
+// errTooManyFailures aborts a run that exceeds MaxErrors.
+var errTooManyFailures = errors.New("analysis: too many document failures")
+
+// Run drives the pipeline to completion. Document-level analysis runs on
+// Workers goroutines; consumers then see the analyzed CASes serially, in
+// reader order, so collection-level processing is deterministic.
+func (p *Pipeline) Run() (Stats, error) {
+	var stats Stats
+	if p.Reader == nil {
+		return stats, errors.New("analysis: pipeline has no reader")
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Read everything first: the corpus is in-memory by design, and a
+	// materialized list gives a stable order for the consumer phase.
+	var docs []*docmodel.Document
+	for {
+		d, err := p.Reader.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return stats, fmt.Errorf("analysis: reader: %w", err)
+		}
+		docs = append(docs, d)
+	}
+	stats.Docs = len(docs)
+
+	cases := make([]*CAS, len(docs))
+	errs := make([]error, len(docs))
+	if p.Annotator != nil {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i, d := range docs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, d *docmodel.Document) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				cas := NewCAS(d)
+				if err := p.Annotator.Process(cas); err != nil {
+					errs[i] = fmt.Errorf("doc %s: %w", d.Path, err)
+					return
+				}
+				cases[i] = cas
+			}(i, d)
+		}
+		wg.Wait()
+	} else {
+		for i, d := range docs {
+			cases[i] = NewCAS(d)
+		}
+	}
+
+	for i := range docs {
+		if errs[i] != nil {
+			stats.Failed++
+			stats.Errors = append(stats.Errors, errs[i])
+			if p.MaxErrors > 0 && stats.Failed > p.MaxErrors {
+				return stats, fmt.Errorf("%w: %d", errTooManyFailures, stats.Failed)
+			}
+			continue
+		}
+		stats.Annotations += len(cases[i].All())
+		for _, c := range p.Consumers {
+			if err := c.Consume(cases[i]); err != nil {
+				return stats, fmt.Errorf("analysis: consumer %s: %w", c.Name(), err)
+			}
+		}
+	}
+	for _, c := range p.Consumers {
+		if err := c.End(); err != nil {
+			return stats, fmt.Errorf("analysis: consumer %s end: %w", c.Name(), err)
+		}
+	}
+	return stats, nil
+}

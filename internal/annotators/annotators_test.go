@@ -1,0 +1,452 @@
+package annotators
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/classify"
+	"repro/internal/docmodel"
+	"repro/internal/docparse"
+	"repro/internal/taxonomy"
+	"repro/internal/textproc"
+)
+
+func casFor(t *testing.T, path, content string) *analysis.CAS {
+	t.Helper()
+	doc, err := docparse.Parse(path, content)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	doc.DealID = "DEAL T"
+	return analysis.NewCAS(doc)
+}
+
+func TestRegexAnnotator(t *testing.T) {
+	r := &Regex{
+		ID: "dates", Type: "date",
+		Pattern: DatePattern,
+	}
+	cas := analysis.NewCAS(&docmodel.Document{Body: "start 2006-01-05 end 2011-01-04"})
+	if err := r.Process(cas); err != nil {
+		t.Fatal(err)
+	}
+	got := cas.Select("date")
+	if len(got) != 2 {
+		t.Fatalf("dates = %+v", got)
+	}
+	if got[0].Feature("value") != "2006-01-05" {
+		t.Fatalf("value = %q", got[0].Feature("value"))
+	}
+	if cas.Covered(got[1]) != "2011-01-04" {
+		t.Fatalf("covered = %q", cas.Covered(got[1]))
+	}
+}
+
+func TestRegexNamedGroupsAndExtra(t *testing.T) {
+	r := &Regex{
+		ID: "emails", Type: TypePerson,
+		Pattern: EmailPattern,
+		Extra:   map[string]string{"channel": "body"},
+	}
+	cas := analysis.NewCAS(&docmodel.Document{Body: "contact sam.white@abc.com today"})
+	if err := r.Process(cas); err != nil {
+		t.Fatal(err)
+	}
+	a := cas.Select(TypePerson)[0]
+	if a.Feature("local") != "sam.white" || a.Feature("orgdomain") != "abc" {
+		t.Fatalf("features = %v", a.Features)
+	}
+	if a.Feature("channel") != "body" {
+		t.Fatalf("extra feature missing: %v", a.Features)
+	}
+}
+
+func TestRegexNoPattern(t *testing.T) {
+	r := &Regex{ID: "broken", Type: "x"}
+	if err := r.Process(analysis.NewCAS(&docmodel.Document{Body: "x"})); err == nil {
+		t.Fatal("nil pattern accepted")
+	}
+}
+
+func TestDocClassifier(t *testing.T) {
+	model := classify.New(textproc.DefaultAnalyzer)
+	model.Learn("roster", "name role email phone team members")
+	model.Learn("solution", "technical solution replication architecture design")
+	d := &DocClassifier{ID: "kind", Model: model}
+	cas := analysis.NewCAS(&docmodel.Document{Title: "Solution", Body: "replication architecture"})
+	if err := d.Process(cas); err != nil {
+		t.Fatal(err)
+	}
+	got := cas.Select(TypeDocClass)
+	if len(got) != 1 || got[0].Feature("label") != "solution" {
+		t.Fatalf("class = %+v", got)
+	}
+	// MinPosterior suppression.
+	d2 := &DocClassifier{ID: "kind", Model: model, MinPosterior: 1.1}
+	cas2 := analysis.NewCAS(&docmodel.Document{Body: "replication"})
+	if err := d2.Process(cas2); err != nil {
+		t.Fatal(err)
+	}
+	if len(cas2.Select(TypeDocClass)) != 0 {
+		t.Fatal("suppression threshold ignored")
+	}
+}
+
+func TestScopeAnnotator(t *testing.T) {
+	tax := taxonomy.Default()
+	s := NewScopeAnnotator(tax)
+	cas := casFor(t, "scope.deck", `# Services Scope Baseline
+- End User Services including CSC coverage
+- Storage Management Services for both sites
+`)
+	if err := s.Process(cas); err != nil {
+		t.Fatal(err)
+	}
+	scopes := cas.Select(TypeScope)
+	towers := map[string]int{}
+	subs := map[string]int{}
+	for _, a := range scopes {
+		towers[a.Feature("tower")]++
+		if st := a.Feature("subtower"); st != "" {
+			subs[st]++
+		}
+	}
+	if towers["End User Services"] < 2 { // canonical mention + CSC alias
+		t.Fatalf("EUS mentions = %v", towers)
+	}
+	if towers["Storage Management Services"] != 1 {
+		t.Fatalf("SMS mentions = %v", towers)
+	}
+	if subs["Customer Service Center"] != 1 {
+		t.Fatalf("CSC sub = %v", subs)
+	}
+	// Scope-bearing doc ("Scope" in title) boosts confidence.
+	for _, a := range scopes {
+		if a.Confidence < 0.8 {
+			t.Fatalf("boost missing: %+v", a)
+		}
+	}
+}
+
+func TestScopeAnnotatorWordBoundaries(t *testing.T) {
+	tax := taxonomy.Default()
+	s := NewScopeAnnotator(tax)
+	// "EUSXYZ" and "preEUS" must not match the EUS acronym.
+	cas := analysis.NewCAS(&docmodel.Document{Body: "EUSXYZ preEUS nothing here"})
+	if err := s.Process(cas); err != nil {
+		t.Fatal(err)
+	}
+	if got := cas.Select(TypeScope); len(got) != 0 {
+		t.Fatalf("boundary leak: %+v", got)
+	}
+}
+
+func TestSocialFromRosterGrid(t *testing.T) {
+	sn := NewSocialNetworking()
+	cas := casFor(t, "team.grid", `GRID Deal Team Roster
+Name | Role | Email | Phone | Organization
+Sam White | CIO | sam.white@abc.com | 555-0100 | ABC Corp
+Jo Park | CSE | jo.park@ibm.com | |
+ | TSA | lee.chan@ibm.com | |
+`)
+	if err := sn.Process(cas); err != nil {
+		t.Fatal(err)
+	}
+	people := cas.Select(TypePerson)
+	// The body-email pass re-sketches the same people at low confidence;
+	// keep the strongest annotation per name (the CPE does the same merge).
+	byName := map[string]analysis.Annotation{}
+	for _, p := range people {
+		name := p.Feature("name")
+		if prev, ok := byName[name]; !ok || p.Confidence > prev.Confidence {
+			byName[name] = p
+		}
+	}
+	if p, ok := byName["Sam White"]; !ok || p.Feature("role") != "CIO" || p.Feature("org") != "ABC Corp" {
+		t.Fatalf("Sam White = %+v", byName)
+	}
+	// Step 6 inference: the row with a blank name gets one from the email.
+	if p, ok := byName["Lee Chan"]; !ok || p.Feature("role") != "TSA" {
+		t.Fatalf("inferred person missing: %+v", people)
+	}
+	// Org inferred from domain when blank.
+	if byName["Jo Park"].Feature("org") != "Ibm" {
+		t.Fatalf("Jo Park org = %q", byName["Jo Park"].Feature("org"))
+	}
+}
+
+func TestSocialFromTSAGrid(t *testing.T) {
+	sn := NewSocialNetworking()
+	cas := casFor(t, "tsa.grid", `GRID TSA Service Details
+Service | cross tower TSA | Notes
+Mainframe | | pending
+Storage | Jo Park | confirmed
+Network | | pending
+`)
+	if err := sn.Process(cas); err != nil {
+		t.Fatal(err)
+	}
+	people := cas.Select(TypePerson)
+	if len(people) != 1 {
+		t.Fatalf("people = %+v (empty TSA cells must not become people)", people)
+	}
+	if people[0].Feature("name") != "Jo Park" || people[0].Feature("role") != "cross tower TSA" {
+		t.Fatalf("tsa person = %+v", people[0])
+	}
+}
+
+func TestSocialFromSlides(t *testing.T) {
+	sn := NewSocialNetworking()
+	cas := casFor(t, "kickoff.deck", `# Core Deal Team
+- Sam White, CSE
+- Jo Park - cross tower TSA
+- Agenda review
+---
+# Unrelated Slide
+- Ana Ruiz, PE
+`)
+	if err := sn.Process(cas); err != nil {
+		t.Fatal(err)
+	}
+	people := cas.Select(TypePerson)
+	names := map[string]string{}
+	for _, p := range people {
+		names[p.Feature("name")] = p.Feature("role")
+	}
+	if names["Sam White"] != "CSE" || names["Jo Park"] != "cross tower TSA" {
+		t.Fatalf("slide people = %v", names)
+	}
+	if _, leaked := names["Ana Ruiz"]; leaked {
+		t.Fatal("non-team slide leaked a person")
+	}
+}
+
+func TestSocialFromEmailHeaders(t *testing.T) {
+	sn := NewSocialNetworking()
+	cas := casFor(t, "mail.eml", `From: sam.white@abc.com
+To: jo.park@ibm.com, lee.chan@ibm.com
+Subject: scope
+
+Discussing the scope.
+`)
+	if err := sn.Process(cas); err != nil {
+		t.Fatal(err)
+	}
+	people := cas.Select(TypePerson)
+	emails := map[string]bool{}
+	for _, p := range people {
+		emails[p.Feature("email")] = true
+	}
+	for _, want := range []string{"sam.white@abc.com", "jo.park@ibm.com", "lee.chan@ibm.com"} {
+		if !emails[want] {
+			t.Fatalf("missing %s in %v", want, emails)
+		}
+	}
+}
+
+func TestSocialExclusion(t *testing.T) {
+	sn := NewSocialNetworking()
+	doc := &docmodel.Document{Title: "Security Documents", Body: "admin.contact@ibm.com"}
+	cas := analysis.NewCAS(doc)
+	if err := sn.Process(cas); err != nil {
+		t.Fatal(err)
+	}
+	if got := cas.Select(TypePerson); len(got) != 0 {
+		t.Fatalf("excluded doc annotated: %+v", got)
+	}
+}
+
+func TestSocialBlobModeLosesStructure(t *testing.T) {
+	content := `GRID Deal Team Roster
+Name | Role | Email | Phone
+Sam White | CSE | | 555-0100
+`
+	structured := casFor(t, "team.grid", content)
+	sn := NewSocialNetworking()
+	if err := sn.Process(structured); err != nil {
+		t.Fatal(err)
+	}
+	blobDoc := docparse.ParseBlob("team.grid", content)
+	blobCas := analysis.NewCAS(blobDoc)
+	blob := &SocialNetworking{Blob: true}
+	if err := blob.Process(blobCas); err != nil {
+		t.Fatal(err)
+	}
+	// Structure-aware extraction finds Sam White (no email in row); blob
+	// mode cannot (no address to pattern-match).
+	if len(structured.Select(TypePerson)) == 0 {
+		t.Fatal("structured mode found nobody")
+	}
+	if len(blobCas.Select(TypePerson)) != 0 {
+		t.Fatalf("blob mode magically found people: %+v", blobCas.Select(TypePerson))
+	}
+}
+
+func TestOverviewFacts(t *testing.T) {
+	ann := NewOverviewFacts()
+	cas := casFor(t, "overview.txt", `Deal Overview
+Customer: Cygnus Insurance
+Industry: Insurance
+Out Sourcing Consultant: TPI
+Geography: Americas
+Country: United States
+Contract Term Start: 2006-01-05
+Term Duration Months: 60
+Total Contract Value: 50 to 100M
+Is International: Y
+Unrelated: ignored
+`)
+	if err := ann.Process(cas); err != nil {
+		t.Fatal(err)
+	}
+	facts := map[string]string{}
+	for _, a := range cas.Select(TypeFact) {
+		facts[a.Feature("key")] = a.Feature("value")
+	}
+	want := map[string]string{
+		"customer": "Cygnus Insurance", "industry": "Insurance",
+		"consultant": "TPI", "geography": "Americas", "country": "United States",
+		"term_start": "2006-01-05", "term_months": "60",
+		"tcv_band": "50 to 100M", "international": "Y",
+	}
+	for k, v := range want {
+		if facts[k] != v {
+			t.Errorf("fact %s = %q, want %q", k, facts[k], v)
+		}
+	}
+	if _, ok := facts["unrelated"]; ok {
+		t.Error("unknown key extracted")
+	}
+}
+
+func TestWinStrategy(t *testing.T) {
+	ann := NewWinStrategy()
+	cas := casFor(t, "win.deck", `# Win Strategy
+- Price to win
+- Incumbent displacement
+---
+# Other
+- Not a strategy
+`)
+	if err := ann.Process(cas); err != nil {
+		t.Fatal(err)
+	}
+	got := cas.Select(TypeWinStrategy)
+	if len(got) != 2 {
+		t.Fatalf("strategies = %+v", got)
+	}
+}
+
+func TestWinStrategyFromNotes(t *testing.T) {
+	ann := NewWinStrategy()
+	cas := casFor(t, "notes.txt", "Meeting\nWin strategy: leverage client references\n")
+	if err := ann.Process(cas); err != nil {
+		t.Fatal(err)
+	}
+	got := cas.Select(TypeWinStrategy)
+	if len(got) != 1 || got[0].Feature("text") != "leverage client references" {
+		t.Fatalf("strategies = %+v", got)
+	}
+}
+
+func TestTechSolution(t *testing.T) {
+	ann := NewTechSolution(taxonomy.Default())
+	cas := casFor(t, "sol.deck", `# Technical Solution Overview
+## Storage Management Services
+- data replication RTO lower than 48 hours
+---
+# Technical Solution Overview
+## Not A Tower
+- ignored content
+`)
+	if err := ann.Process(cas); err != nil {
+		t.Fatal(err)
+	}
+	got := cas.Select(TypeTechSolution)
+	if len(got) != 1 {
+		t.Fatalf("solutions = %+v", got)
+	}
+	if got[0].Feature("tower") != "Storage Management Services" || !strings.Contains(got[0].Feature("text"), "replication") {
+		t.Fatalf("solution = %+v", got[0])
+	}
+}
+
+func TestClientRefs(t *testing.T) {
+	ann := NewClientRefs()
+	cas := casFor(t, "refs.deck", `# Client References
+- Borealis rollout 2005
+`)
+	if err := ann.Process(cas); err != nil {
+		t.Fatal(err)
+	}
+	if got := cas.Select(TypeClientRef); len(got) != 1 {
+		t.Fatalf("refs = %+v", got)
+	}
+	cas2 := casFor(t, "notes.txt", "Reference: Acme migration success\n")
+	if err := ann.Process(cas2); err != nil {
+		t.Fatal(err)
+	}
+	if got := cas2.Select(TypeClientRef); len(got) != 1 {
+		t.Fatalf("line refs = %+v", got)
+	}
+}
+
+func TestNormalizeRole(t *testing.T) {
+	cases := []struct {
+		raw, org, category string
+	}{
+		{"CSE", "", CategoryCoreTeam},
+		{"Sr. Client Solution Executive", "", CategoryCoreTeam},
+		{"cross tower TSA", "", CategoryTechTeam},
+		{"TSA", "", CategoryTechTeam},
+		{"PE", "", CategoryDelivery},
+		{"Project Executive", "", CategoryDelivery},
+		{"CIO", "ABC Corp", CategoryClient},
+		{"Advisor", "TPI", CategoryThirdParty},
+		{"Analyst", "TPI", CategoryThirdParty}, // org overrides
+		{"Mystery Role", "", CategoryOther},
+		{"", "", CategoryOther},
+		{"prospect lead", "", CategoryOther}, // "pe" must not match inside a word
+	}
+	for _, c := range cases {
+		_, cat := NormalizeRole(c.raw, c.org)
+		if cat != c.category {
+			t.Errorf("NormalizeRole(%q, %q) category = %q, want %q", c.raw, c.org, cat, c.category)
+		}
+	}
+	role, _ := NormalizeRole("  Project   Executive ", "")
+	if role != "Project Executive" {
+		t.Errorf("role fold = %q", role)
+	}
+}
+
+func TestCategoryRankOrdering(t *testing.T) {
+	order := []string{CategoryCoreTeam, CategoryTechTeam, CategoryDelivery, CategoryClient, CategoryThirdParty, CategoryOther}
+	for i := 1; i < len(order); i++ {
+		if CategoryRank(order[i-1]) >= CategoryRank(order[i]) {
+			t.Fatalf("rank order broken at %s", order[i])
+		}
+	}
+}
+
+func TestCompositeFlow(t *testing.T) {
+	flow := Composite("test-flow",
+		&Regex{ID: "r", Type: "date", Pattern: regexp.MustCompile(`\d{4}`)},
+		&Heuristic{ID: "h", Fn: func(cas *analysis.CAS) error {
+			if len(cas.Select("date")) > 0 {
+				cas.Add(analysis.Annotation{Type: "has-date", Begin: -1, End: -1})
+			}
+			return nil
+		}},
+	)
+	cas := analysis.NewCAS(&docmodel.Document{Body: "year 2006"})
+	if err := flow.Process(cas); err != nil {
+		t.Fatal(err)
+	}
+	// The composite captures data flow: the heuristic saw the regex output.
+	if len(cas.Select("has-date")) != 1 {
+		t.Fatal("data flow between primitives broken")
+	}
+}

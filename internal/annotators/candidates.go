@@ -1,0 +1,92 @@
+package annotators
+
+import (
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/classify"
+	"repro/internal/docmodel"
+	"repro/internal/textproc"
+)
+
+// CandidateSelector is the machine-learning-assisted candidate
+// identification the paper lists as an improvement for the social
+// networking annotator ("we could further leverage machine learning
+// techniques to help us identify the candidates for the annotator in order
+// to improve the quality", §3.2.1): a binary classifier predicts whether a
+// document is likely to carry contact information, letting the pipeline
+// skip the extraction work on documents that are not.
+type CandidateSelector struct {
+	model *classify.Binary
+	// MinPosterior is the confidence below which the document is treated
+	// as a candidate anyway (fail open: missing contacts is worse than
+	// wasted work).
+	MinPosterior float64
+}
+
+// NewCandidateSelector trains the selector on a labeled sample: documents
+// whose analysis produced contact annotations are positives. In the EIL
+// deployment the sample is the previous ingest's output; here the caller
+// passes any labeled set.
+func NewCandidateSelector(positive, negative []*docmodel.Document) *CandidateSelector {
+	b := classify.NewBinary(textproc.DefaultAnalyzer)
+	for _, d := range positive {
+		b.Learn(true, candidateFeatures(d))
+	}
+	for _, d := range negative {
+		b.Learn(false, candidateFeatures(d))
+	}
+	return &CandidateSelector{model: b, MinPosterior: 0.65}
+}
+
+// candidateFeatures renders the classification text for a document: title,
+// type, and structural cues; the body would drown the signal.
+func candidateFeatures(d *docmodel.Document) string {
+	var sb strings.Builder
+	sb.WriteString(d.Title)
+	sb.WriteByte(' ')
+	sb.WriteString(string(d.Type))
+	if st := d.Structure; st != nil {
+		if st.Grid != nil {
+			sb.WriteString(" grid ")
+			sb.WriteString(strings.Join(st.Grid.Header(), " "))
+		}
+		for _, s := range st.Slides {
+			sb.WriteByte(' ')
+			sb.WriteString(s.Title)
+		}
+		if st.Headers != nil {
+			sb.WriteString(" email")
+		}
+	}
+	return sb.String()
+}
+
+// Candidate predicts whether the document should go through contact
+// extraction.
+func (c *CandidateSelector) Candidate(d *docmodel.Document) bool {
+	positive, p, err := c.model.Predict(candidateFeatures(d))
+	if err != nil {
+		return true // untrained model: everything is a candidate
+	}
+	if !positive && p >= c.MinPosterior {
+		return false
+	}
+	return true
+}
+
+// Wrap returns an annotator that consults the selector before delegating to
+// the social networking annotator; non-candidates pass through untouched.
+func (c *CandidateSelector) Wrap(inner analysis.Annotator) analysis.Annotator {
+	return AnnotatorFuncNamed(inner.Name()+"+candidates", func(cas *analysis.CAS) error {
+		if !c.Candidate(cas.Doc) {
+			return nil
+		}
+		return inner.Process(cas)
+	})
+}
+
+// AnnotatorFuncNamed adapts a closure into a named annotator.
+func AnnotatorFuncNamed(name string, fn func(*analysis.CAS) error) analysis.Annotator {
+	return analysis.AnnotatorFunc{ID: name, Fn: fn}
+}

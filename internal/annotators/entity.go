@@ -1,0 +1,139 @@
+package annotators
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/textproc"
+)
+
+// EntityCooccurrence is the alternative contact extractor the paper
+// describes and argues against in §3.2.1: "use advanced entity analytics to
+// identify names and use patterns to annotate phone numbers, emails etc.,
+// and then use co-occurrence techniques to connect them up" — treating the
+// whole document as flat text instead of leveraging process conventions.
+// It is implemented faithfully so the comparison can be measured (see the
+// entity-vs-convention ablation): capitalized-name recognition, pattern
+// annotation for emails and phones, and sentence-level co-occurrence
+// linking.
+//
+// Emitted annotations use the same TypePerson schema as SocialNetworking,
+// so the downstream CPE accepts either extractor.
+type EntityCooccurrence struct {
+	// MinNameTokens is the minimum tokens for a name candidate (default 2).
+	MinNameTokens int
+}
+
+// NewEntityCooccurrence returns the annotator with defaults.
+func NewEntityCooccurrence() *EntityCooccurrence {
+	return &EntityCooccurrence{MinNameTokens: 2}
+}
+
+// Name implements analysis.Annotator.
+func (e *EntityCooccurrence) Name() string { return "entity-cooccurrence" }
+
+// nameStopwords are capitalized words that start sentences or name
+// organizations, not people; the flat-text recognizer has to guess.
+var nameStopwords = map[string]bool{
+	"the": true, "a": true, "an": true, "this": true, "that": true,
+	"deal": true, "meeting": true, "client": true, "action": true,
+	"services": true, "service": true, "management": true, "center": true,
+	"progress": true, "subject": true, "from": true, "to": true,
+	"regards": true, "thanks": true, "fyi": true, "need": true,
+	// Sentence-leading verbs that otherwise glue onto names.
+	"met": true, "reach": true, "contact": true, "call": true, "ask": true,
+	"please": true, "see": true, "confirming": true, "discussed": true,
+}
+
+// Process implements analysis.Annotator.
+func (e *EntityCooccurrence) Process(cas *analysis.CAS) error {
+	minTokens := e.MinNameTokens
+	if minTokens <= 0 {
+		minTokens = 2
+	}
+	for _, sentence := range textproc.SplitSentences(cas.Doc.Body) {
+		names := findCapitalizedRuns(sentence, minTokens)
+		emails := EmailPattern.FindAllString(sentence, -1)
+		phones := PhonePattern.FindAllString(sentence, -1)
+		// Co-occurrence linking: within a sentence, pair the i-th name
+		// with the i-th email/phone; leftovers stay unpaired. This is the
+		// blunt instrument the paper predicts underperforms conventions.
+		for i, name := range names {
+			fields := map[string]string{"name": name}
+			if i < len(emails) {
+				fields["email"] = emails[i]
+			}
+			if i < len(phones) {
+				fields["phone"] = phones[i]
+			}
+			inferFromEmail(fields)
+			addPerson(cas, -1, -1, 0.5, e.Name(), fields)
+		}
+		// Unclaimed emails become sketches of their own.
+		for i := len(names); i < len(emails); i++ {
+			fields := map[string]string{"email": emails[i]}
+			inferFromEmail(fields)
+			addPerson(cas, -1, -1, 0.45, e.Name(), fields)
+		}
+	}
+	return nil
+}
+
+// findCapitalizedRuns extracts runs of >= minTokens capitalized words —
+// the naive named-entity recognizer.
+func findCapitalizedRuns(sentence string, minTokens int) []string {
+	words := strings.Fields(sentence)
+	var out []string
+	var run []string
+	flush := func() {
+		if len(run) >= minTokens {
+			out = append(out, strings.Join(run, " "))
+		}
+		run = nil
+	}
+	for _, w := range words {
+		trimmed := strings.Trim(w, ".,;:()[]\"'")
+		if isCapitalizedWord(trimmed) && !nameStopwords[strings.ToLower(trimmed)] {
+			run = append(run, trimmed)
+			// Trailing punctuation ends the run: "Blake Hale, Quinn
+			// Mercer" is two names, not one.
+			if strings.TrimRight(w, ".,;:()[]\"'") != w {
+				flush()
+			}
+			continue
+		}
+		flush()
+	}
+	flush()
+	return dedupeStrings(out)
+}
+
+func isCapitalizedWord(w string) bool {
+	if len(w) < 2 {
+		return false
+	}
+	if w[0] < 'A' || w[0] > 'Z' {
+		return false
+	}
+	for i := 1; i < len(w); i++ {
+		c := w[i]
+		if !(c >= 'a' && c <= 'z') {
+			return false // all-caps acronyms and mixed tokens are not names
+		}
+	}
+	return true
+}
+
+func dedupeStrings(in []string) []string {
+	seen := map[string]bool{}
+	out := in[:0]
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

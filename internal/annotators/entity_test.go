@@ -1,0 +1,95 @@
+package annotators
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/docmodel"
+)
+
+func TestEntityCooccurrenceBasic(t *testing.T) {
+	e := NewEntityCooccurrence()
+	cas := analysis.NewCAS(&docmodel.Document{
+		Body: "Met Jordan Keller at the site. Reach Jordan Keller at jordan.keller@ibm.com or 555-0199.",
+	})
+	if err := e.Process(cas); err != nil {
+		t.Fatal(err)
+	}
+	people := cas.Select(TypePerson)
+	if len(people) == 0 {
+		t.Fatal("no entities found")
+	}
+	var best *analysis.Annotation
+	for i := range people {
+		if people[i].Feature("name") == "Jordan Keller" && people[i].Feature("email") != "" {
+			best = &people[i]
+		}
+	}
+	if best == nil {
+		t.Fatalf("name+email not linked: %+v", people)
+	}
+	if best.Feature("phone") == "" {
+		t.Fatalf("phone not co-occurred: %+v", best.Features)
+	}
+}
+
+func TestEntityCooccurrenceUnclaimedEmail(t *testing.T) {
+	e := NewEntityCooccurrence()
+	cas := analysis.NewCAS(&docmodel.Document{
+		Body: "contact point is pat.lowell@ibm.com for logistics",
+	})
+	if err := e.Process(cas); err != nil {
+		t.Fatal(err)
+	}
+	people := cas.Select(TypePerson)
+	if len(people) != 1 || people[0].Feature("name") != "Pat Lowell" {
+		t.Fatalf("email-only sketch = %+v", people)
+	}
+}
+
+func TestEntityCooccurrenceFalsePositives(t *testing.T) {
+	// Flat-text NER hallucinates people from capitalized non-names — the
+	// failure mode the paper predicts. The annotator must (realistically)
+	// produce them; the CPE/ablation layers measure the damage.
+	e := NewEntityCooccurrence()
+	cas := analysis.NewCAS(&docmodel.Document{
+		Body: "Storage Workshop Review happened. Quarterly Billing Summary attached.",
+	})
+	if err := e.Process(cas); err != nil {
+		t.Fatal(err)
+	}
+	if len(cas.Select(TypePerson)) == 0 {
+		t.Skip("no false positives on this text — acceptable but unexpected")
+	}
+}
+
+func TestEntityCooccurrenceSkipsAcronymsAndSingles(t *testing.T) {
+	e := NewEntityCooccurrence()
+	cas := analysis.NewCAS(&docmodel.Document{
+		Body: "TSA and CSE met with Kai. IBM confirmed.",
+	})
+	if err := e.Process(cas); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range cas.Select(TypePerson) {
+		name := p.Feature("name")
+		if name == "TSA" || name == "CSE" || name == "Kai" || name == "IBM" {
+			t.Fatalf("bad entity %q", name)
+		}
+	}
+}
+
+func TestFindCapitalizedRuns(t *testing.T) {
+	runs := findCapitalizedRuns("Alex Mercer and Dana Pruitt joined the call", 2)
+	if len(runs) != 2 {
+		t.Fatalf("runs = %v", runs)
+	}
+	if runs := findCapitalizedRuns("the quick brown fox", 2); len(runs) != 0 {
+		t.Fatalf("lowercase produced runs: %v", runs)
+	}
+	// Punctuation boundaries.
+	runs = findCapitalizedRuns("met Blake Hale, Quinn Mercer", 2)
+	if len(runs) != 2 {
+		t.Fatalf("punctuated runs = %v", runs)
+	}
+}

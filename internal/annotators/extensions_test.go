@@ -1,0 +1,138 @@
+package annotators
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/docmodel"
+	"repro/internal/docparse"
+	"repro/internal/taxonomy"
+)
+
+func gridDoc(t *testing.T, name string) *docmodel.Document {
+	t.Helper()
+	doc, err := docparse.Parse("d/"+name, `GRID Deal Team Roster
+Name | Role | Email | Phone
+Jo Park | CSE | jo.park@ibm.com |
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func noteDoc(title, body string) *docmodel.Document {
+	return &docmodel.Document{Path: "d/" + title, Type: docmodel.TypeText, Title: title, Body: body}
+}
+
+func TestCandidateSelector(t *testing.T) {
+	positive := []*docmodel.Document{
+		gridDoc(t, "team1.grid"),
+		gridDoc(t, "team2.grid"),
+		noteDoc("Deal Team kickoff", "names and roles"),
+	}
+	negative := []*docmodel.Document{
+		noteDoc("Quarterly forecast", "budget variance schedule"),
+		noteDoc("Pricing workshop", "margin costing estimate"),
+		noteDoc("Status update", "milestone timeline"),
+	}
+	sel := NewCandidateSelector(positive, negative)
+	if !sel.Candidate(gridDoc(t, "team3.grid")) {
+		t.Fatal("roster grid rejected")
+	}
+	if sel.Candidate(noteDoc("Quarterly forecast review", "budget schedule variance")) {
+		t.Fatal("forecast note accepted as contact candidate")
+	}
+}
+
+func TestCandidateSelectorWrapSkips(t *testing.T) {
+	sel := NewCandidateSelector(
+		[]*docmodel.Document{gridDoc(t, "a.grid")},
+		[]*docmodel.Document{noteDoc("Forecast", "budget"), noteDoc("Forecast two", "budget variance")},
+	)
+	ran := 0
+	wrapped := sel.Wrap(AnnotatorFuncNamed("probe", func(cas *analysis.CAS) error {
+		ran++
+		return nil
+	}))
+	if wrapped.Name() != "probe+candidates" {
+		t.Fatalf("name = %q", wrapped.Name())
+	}
+	if err := wrapped.Process(analysis.NewCAS(gridDoc(t, "b.grid"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := wrapped.Process(analysis.NewCAS(noteDoc("Forecast three", "budget"))); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("inner ran %d times, want 1 (non-candidate must be skipped)", ran)
+	}
+}
+
+func TestCandidateSelectorFailOpen(t *testing.T) {
+	sel := &CandidateSelector{} // no model at all
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("panicked: %v", r)
+		}
+	}()
+	// Zero-value selector has a nil model; Wrap path must not be used
+	// without NewCandidateSelector, but Candidate on a trained-empty model
+	// must fail open.
+	sel2 := NewCandidateSelector(nil, nil)
+	if !sel2.Candidate(noteDoc("anything", "at all")) {
+		t.Fatal("untrained selector must fail open")
+	}
+	_ = sel
+}
+
+func TestOntologyRefiner(t *testing.T) {
+	tax := taxonomy.Default()
+	ref := NewOntologyRefiner(tax)
+	ref.MinCount = 2
+	docs := []*docmodel.Document{
+		noteDoc("n1", "Progress on Cloud Brokerage Services workstream.\nWe reviewed Cloud Brokerage Services sizing."),
+		noteDoc("n2", "Cloud Brokerage Services again, and Storage Management Services (known)."),
+		noteDoc("n3", "One-off mention of Quantum Telepathy Services."),
+	}
+	for _, d := range docs {
+		if err := ref.Consume(analysis.NewCAS(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ref.End(); err != nil {
+		t.Fatal(err)
+	}
+	cands := ref.Candidates()
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	if cands[0].Phrase != "Cloud Brokerage Services" || cands[0].Count < 3 {
+		t.Fatalf("top candidate = %+v", cands[0])
+	}
+	for _, c := range cands {
+		if c.Phrase == "Storage Management Services" {
+			t.Fatal("known vocabulary suggested as new")
+		}
+		if c.Phrase == "Quantum Telepathy Services" {
+			t.Fatal("below-floor phrase suggested")
+		}
+	}
+}
+
+func TestOntologyRefinerNearestHint(t *testing.T) {
+	tax := taxonomy.Default()
+	ref := NewOntologyRefiner(tax)
+	ref.MinCount = 1
+	doc := noteDoc("n", "Storage Managment Services misspelled here.")
+	if err := ref.Consume(analysis.NewCAS(doc)); err != nil {
+		t.Fatal(err)
+	}
+	cands := ref.Candidates()
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %+v", cands)
+	}
+	if cands[0].Nearest != "storage management services" {
+		t.Fatalf("nearest hint = %q", cands[0].Nearest)
+	}
+}

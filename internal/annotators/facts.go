@@ -1,0 +1,183 @@
+package annotators
+
+import (
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/taxonomy"
+)
+
+// factKeys maps the overview-document field labels (the pre-defined template
+// each repository has for deal facts) to synopsis fact keys.
+var factKeys = map[string]string{
+	"customer":                "customer",
+	"customer name":           "customer",
+	"industry":                "industry",
+	"sector":                  "industry",
+	"outsourcing consultant":  "consultant",
+	"out sourcing consultant": "consultant",
+	"geography":               "geography",
+	"country":                 "country",
+	"contract term start":     "term_start",
+	"term start":              "term_start",
+	"term duration months":    "term_months",
+	"term duration":           "term_months",
+	"total contract value":    "tcv_band",
+	"tcv":                     "tcv_band",
+	"international":           "international",
+	"is international":        "international",
+}
+
+// NewOverviewFacts returns the heuristics-based annotator that extracts
+// structured deal facts from overview documents: "Key: Value" lines whose
+// keys match the repository's overview template. Each hit emits a TypeFact
+// annotation with features "key" and "value".
+func NewOverviewFacts() *Heuristic {
+	return &Heuristic{ID: "overview-facts", Fn: func(cas *analysis.CAS) error {
+		offset := 0
+		for _, line := range strings.Split(cas.Doc.Body, "\n") {
+			lineLen := len(line)
+			colon := strings.Index(line, ":")
+			if colon > 0 {
+				rawKey := strings.ToLower(foldSpaces(line[:colon]))
+				if key, ok := factKeys[rawKey]; ok {
+					value := foldSpaces(line[colon+1:])
+					if value != "" {
+						cas.Add(analysis.Annotation{
+							Type:  TypeFact,
+							Begin: offset, End: offset + lineLen,
+							Features:   map[string]string{"key": key, "value": value},
+							Confidence: 0.9,
+							Source:     "overview-facts",
+						})
+					}
+				}
+			}
+			offset += lineLen + 1
+		}
+		return nil
+	}}
+}
+
+// NewWinStrategy returns the heuristics-based win-strategy extractor: deck
+// slides titled "Win Strategy" contribute each bullet as a strategy; notes
+// lines prefixed "Win strategy:" contribute the remainder.
+func NewWinStrategy() *Heuristic {
+	return &Heuristic{ID: "win-strategy", Fn: func(cas *analysis.CAS) error {
+		if st := cas.Doc.Structure; st != nil {
+			for _, slide := range st.Slides {
+				if !strings.Contains(strings.ToLower(slide.Title), "win strateg") {
+					continue
+				}
+				for _, b := range slide.Bullets {
+					if b = foldSpaces(b); b != "" {
+						cas.Add(analysis.Annotation{
+							Type: TypeWinStrategy, Begin: -1, End: -1,
+							Features:   map[string]string{"text": b},
+							Confidence: 0.9,
+							Source:     "win-strategy",
+						})
+					}
+				}
+			}
+		}
+		for _, line := range strings.Split(cas.Doc.Body, "\n") {
+			lower := strings.ToLower(line)
+			if idx := strings.Index(lower, "win strategy:"); idx >= 0 {
+				text := foldSpaces(line[idx+len("win strategy:"):])
+				if text != "" {
+					cas.Add(analysis.Annotation{
+						Type: TypeWinStrategy, Begin: -1, End: -1,
+						Features:   map[string]string{"text": text},
+						Confidence: 0.7,
+						Source:     "win-strategy",
+					})
+				}
+			}
+		}
+		return nil
+	}}
+}
+
+// NewTechSolution returns the extractor for technology-solution overviews:
+// slides whose title names a technical solution and whose subtitle resolves
+// to a service tower contribute their bullets as that tower's solution
+// overview (the Technology Solutions tab of Figure 6, searched directly in
+// Meta-query 4).
+func NewTechSolution(tax *taxonomy.Taxonomy) *Heuristic {
+	return &Heuristic{ID: "tech-solution", Fn: func(cas *analysis.CAS) error {
+		st := cas.Doc.Structure
+		if st == nil {
+			return nil
+		}
+		for _, slide := range st.Slides {
+			title := strings.ToLower(slide.Title)
+			if !strings.Contains(title, "solution") {
+				continue
+			}
+			tower, _, ok := tax.Resolve(slide.Subtitle)
+			if !ok {
+				continue
+			}
+			text := foldSpaces(strings.Join(slide.Bullets, " "))
+			if text == "" {
+				continue
+			}
+			cas.Add(analysis.Annotation{
+				Type: TypeTechSolution, Begin: -1, End: -1,
+				Features:   map[string]string{"tower": tower, "text": text},
+				Confidence: 0.9,
+				Source:     "tech-solution",
+			})
+		}
+		return nil
+	}}
+}
+
+// NewClientRefs returns the extractor for client references: lines prefixed
+// "Reference:" and bullets of slides titled "Client References".
+func NewClientRefs() *Heuristic {
+	return &Heuristic{ID: "client-refs", Fn: func(cas *analysis.CAS) error {
+		emit := func(text string, conf float64) {
+			if text = foldSpaces(text); text != "" {
+				cas.Add(analysis.Annotation{
+					Type: TypeClientRef, Begin: -1, End: -1,
+					Features:   map[string]string{"text": text},
+					Confidence: conf,
+					Source:     "client-refs",
+				})
+			}
+		}
+		if st := cas.Doc.Structure; st != nil {
+			for _, slide := range st.Slides {
+				if strings.Contains(strings.ToLower(slide.Title), "client reference") {
+					for _, b := range slide.Bullets {
+						emit(b, 0.9)
+					}
+				}
+			}
+		}
+		for _, line := range strings.Split(cas.Doc.Body, "\n") {
+			lower := strings.ToLower(line)
+			if strings.HasPrefix(lower, "reference:") {
+				emit(line[len("reference:"):], 0.7)
+			}
+		}
+		return nil
+	}}
+}
+
+// NewEILFlow assembles the standard EIL document-analysis composite: scope,
+// social networking, overview facts, win strategies, technology solutions,
+// and client references — the Information Analysis box of the architecture
+// diagram.
+func NewEILFlow(tax *taxonomy.Taxonomy) analysis.Annotator {
+	return Composite("eil-flow",
+		NewScopeAnnotator(tax),
+		NewSocialNetworking(),
+		NewOverviewFacts(),
+		NewWinStrategy(),
+		NewTechSolution(tax),
+		NewClientRefs(),
+	)
+}

@@ -1,0 +1,129 @@
+package annotators
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/taxonomy"
+)
+
+// OntologyRefiner implements Table 1's suggestion for ontology-based
+// annotators: "iteratively refining the ontology with the output of the
+// annotator". It is a Collection Processing Engine that watches the corpus
+// for capitalized service-like phrases that do NOT resolve in the taxonomy
+// and, at End, ranks them as alias candidates for a curator (or a
+// subsequent automated ingest) to fold back into the vocabulary.
+type OntologyRefiner struct {
+	Tax *taxonomy.Taxonomy
+	// MinCount drops candidates seen fewer times (noise floor).
+	MinCount int
+
+	counts map[string]int
+}
+
+// serviceSuffixes mark phrases that look like service-line names.
+var serviceSuffixes = []string{"services", "service", "management", "center", "recovery", "operations"}
+
+// NewOntologyRefiner returns the CPE with a noise floor of 3.
+func NewOntologyRefiner(tax *taxonomy.Taxonomy) *OntologyRefiner {
+	return &OntologyRefiner{Tax: tax, MinCount: 3, counts: map[string]int{}}
+}
+
+// Name implements analysis.Consumer.
+func (o *OntologyRefiner) Name() string { return "ontology-refiner" }
+
+// Consume implements analysis.Consumer: collect unresolved service-like
+// phrases.
+func (o *OntologyRefiner) Consume(cas *analysis.CAS) error {
+	for _, sentence := range splitLines(cas.Doc.Body) {
+		for _, run := range capitalizedPhrases(sentence) {
+			if !looksLikeService(run) {
+				continue
+			}
+			if _, _, ok := o.Tax.Resolve(run); ok {
+				continue // already in the ontology
+			}
+			o.counts[run]++
+		}
+	}
+	return nil
+}
+
+// capitalizedPhrases finds runs of two or more capitalized words. Unlike
+// the person-name finder it keeps domain words ("Services", "Management") —
+// those are exactly what service-line phrases end with.
+func capitalizedPhrases(sentence string) []string {
+	words := strings.Fields(sentence)
+	var out []string
+	var run []string
+	flush := func() {
+		if len(run) >= 2 {
+			out = append(out, strings.Join(run, " "))
+		}
+		run = nil
+	}
+	for _, w := range words {
+		trimmed := strings.Trim(w, ".,;:()[]\"'")
+		if isCapitalizedWord(trimmed) {
+			run = append(run, trimmed)
+			if strings.TrimRight(w, ".,;:()[]\"'") != w {
+				flush()
+			}
+			continue
+		}
+		flush()
+	}
+	flush()
+	return out
+}
+
+// End implements analysis.Consumer; candidates are read with Candidates.
+func (o *OntologyRefiner) End() error { return nil }
+
+// AliasCandidate is one suggested vocabulary addition.
+type AliasCandidate struct {
+	Phrase string
+	Count  int
+	// Nearest is the closest existing surface form, the curator's hint
+	// for where the alias belongs.
+	Nearest string
+}
+
+// Candidates returns the ranked suggestions.
+func (o *OntologyRefiner) Candidates() []AliasCandidate {
+	var out []AliasCandidate
+	for phrase, n := range o.counts {
+		if n < o.MinCount {
+			continue
+		}
+		c := AliasCandidate{Phrase: phrase, Count: n}
+		if sugg := o.Tax.Suggest(phrase, 1); len(sugg) > 0 {
+			c.Nearest = sugg[0].Surface
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Phrase < out[j].Phrase
+	})
+	return out
+}
+
+func looksLikeService(phrase string) bool {
+	lower := strings.ToLower(phrase)
+	for _, suf := range serviceSuffixes {
+		if strings.HasSuffix(lower, suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// splitLines is a cheap sentence-ish splitter for refinement scanning;
+// newline granularity is enough because service names do not span lines.
+func splitLines(s string) []string {
+	return strings.Split(s, "\n")
+}

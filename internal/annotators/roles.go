@@ -1,0 +1,112 @@
+package annotators
+
+import (
+	"strings"
+)
+
+// Contact categories of the deal synopsis People tab. The paper: "these
+// categories include core deal team, technical support team, delivery team,
+// client team, third party consultant, etc."
+const (
+	CategoryCoreTeam   = "core deal team"
+	CategoryTechTeam   = "technical support team"
+	CategoryDelivery   = "delivery team"
+	CategoryClient     = "client team"
+	CategoryThirdParty = "third party consultant"
+	CategoryOther      = "other"
+)
+
+// roleCategories maps normalized role tokens to their category. Raw role
+// strings from documents are folded and matched by containment so "Sr. CSE"
+// and "Client Solution Executive (lead)" both normalize.
+var roleCategories = []struct {
+	needle   string
+	category string
+}{
+	{"cse", CategoryCoreTeam},
+	{"client solution executive", CategoryCoreTeam},
+	{"engagement manager", CategoryCoreTeam},
+	{"deal maker", CategoryCoreTeam},
+	{"sales leader", CategoryCoreTeam},
+	{"pricer", CategoryCoreTeam},
+	{"cross tower tsa", CategoryTechTeam},
+	{"tsa", CategoryTechTeam},
+	{"technical solution architect", CategoryTechTeam},
+	{"solution architect", CategoryTechTeam},
+	{"architect", CategoryTechTeam},
+	{"pe", CategoryDelivery},
+	{"project executive", CategoryDelivery},
+	{"delivery project manager", CategoryDelivery},
+	{"transition manager", CategoryDelivery},
+	{"cio", CategoryClient},
+	{"cto", CategoryClient},
+	{"cfo", CategoryClient},
+	{"procurement lead", CategoryClient},
+	{"sourcing consultant", CategoryThirdParty},
+	{"outsourcing consultant", CategoryThirdParty},
+	{"advisor", CategoryThirdParty},
+}
+
+// NormalizeRole folds a raw role string and maps it to a category. The
+// normalized role (trimmed, single-spaced, original case preserved) and the
+// category are returned; unknown roles map to CategoryOther. An org that is
+// a known sourcing advisor forces CategoryThirdParty regardless of title.
+func NormalizeRole(rawRole, org string) (role, category string) {
+	role = foldSpaces(rawRole)
+	lower := strings.ToLower(role)
+	category = CategoryOther
+	for _, rc := range roleCategories {
+		if containsToken(lower, rc.needle) {
+			category = rc.category
+			break
+		}
+	}
+	if isThirdPartyOrg(org) {
+		category = CategoryThirdParty
+	}
+	return role, category
+}
+
+// isThirdPartyOrg reports whether the organization is a known sourcing
+// advisor.
+func isThirdPartyOrg(org string) bool {
+	o := strings.ToLower(foldSpaces(org))
+	switch o {
+	case "tpi", "gartner", "equaterra", "everest group", "alsbridge":
+		return true
+	}
+	return false
+}
+
+// containsToken reports whether needle occurs in s on word boundaries, so
+// "pe" does not match "prospect".
+func containsToken(s, needle string) bool {
+	for _, span := range findWordSpans(s, needle) {
+		_ = span
+		return true
+	}
+	return false
+}
+
+func foldSpaces(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// CategoryRank orders categories for the People tab display: the core team
+// leads, clients and third parties follow, unknown roles last.
+func CategoryRank(category string) int {
+	switch category {
+	case CategoryCoreTeam:
+		return 0
+	case CategoryTechTeam:
+		return 1
+	case CategoryDelivery:
+		return 2
+	case CategoryClient:
+		return 3
+	case CategoryThirdParty:
+		return 4
+	default:
+		return 5
+	}
+}

@@ -1,0 +1,112 @@
+package annotators
+
+import (
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/taxonomy"
+)
+
+// ScopeAnnotator is the ontology-based primitive instantiated with the
+// IT-services taxonomy: it finds every taxonomy surface form (tower and
+// sub-tower names, acronyms, aliases) mentioned in a document and emits a
+// TypeScope annotation per mention with the canonical tower and sub-tower
+// as features. "It leverages a simple taxonomy for performing the
+// annotation" (§4.1, Meta-query 1 discussion).
+//
+// Document-level mentions are deliberately noisy — "just a mention of CSC in
+// any document would not mean that it is a part of the engagement scope" —
+// which is exactly why the collection-level ScopeCPE aggregates and
+// thresholds them.
+type ScopeAnnotator struct {
+	Tax *taxonomy.Taxonomy
+	// TitleBoost raises confidence for mentions in scope-bearing documents
+	// (scope decks and overview docs), reflecting §3.3's use of structure.
+	TitleBoost float64
+}
+
+// NewScopeAnnotator builds the annotator over the taxonomy.
+func NewScopeAnnotator(tax *taxonomy.Taxonomy) *ScopeAnnotator {
+	return &ScopeAnnotator{Tax: tax, TitleBoost: 0.25}
+}
+
+// Name implements analysis.Annotator.
+func (s *ScopeAnnotator) Name() string { return "scope-ontology" }
+
+// Process implements analysis.Annotator.
+func (s *ScopeAnnotator) Process(cas *analysis.CAS) error {
+	body := cas.Doc.Body
+	lower := strings.ToLower(body)
+	inScopeDoc := isScopeBearing(cas)
+	for _, form := range s.Tax.AllSurfaceForms() {
+		tower, sub, ok := s.Tax.Resolve(form)
+		if !ok {
+			continue
+		}
+		for _, span := range findWordSpans(lower, form) {
+			conf := 0.6
+			if inScopeDoc {
+				conf += s.TitleBoost
+			}
+			features := map[string]string{
+				"tower":   tower,
+				"surface": body[span[0]:span[1]],
+			}
+			if sub != "" {
+				features["subtower"] = sub
+			}
+			cas.Add(analysis.Annotation{
+				Type: TypeScope, Begin: span[0], End: span[1],
+				Features: features, Confidence: conf, Source: s.Name(),
+			})
+		}
+	}
+	return nil
+}
+
+// isScopeBearing reports whether the document's title marks it as a scope
+// or overview artifact, where service mentions are authoritative.
+func isScopeBearing(cas *analysis.CAS) bool {
+	title := strings.ToLower(cas.Doc.Title)
+	return strings.Contains(title, "scope") ||
+		strings.Contains(title, "overview") ||
+		strings.Contains(title, "solution")
+}
+
+// findWordSpans returns the [begin, end) spans of word-bounded,
+// case-insensitive occurrences of form in lower (which must already be
+// lowercased).
+func findWordSpans(lower, form string) [][2]int {
+	needle := strings.ToLower(form)
+	if needle == "" {
+		return nil
+	}
+	var out [][2]int
+	for i := 0; ; {
+		j := strings.Index(lower[i:], needle)
+		if j < 0 {
+			break
+		}
+		begin := i + j
+		end := begin + len(needle)
+		if wordBoundary(lower, begin, end) {
+			out = append(out, [2]int{begin, end})
+		}
+		i = begin + 1
+	}
+	return out
+}
+
+func wordBoundary(s string, begin, end int) bool {
+	if begin > 0 && isWordByte(s[begin-1]) {
+		return false
+	}
+	if end < len(s) && isWordByte(s[end]) {
+		return false
+	}
+	return true
+}
+
+func isWordByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}

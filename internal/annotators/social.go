@@ -1,0 +1,224 @@
+package annotators
+
+import (
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/docmodel"
+)
+
+// SocialNetworking is the document-level half of the paper's Figure 3
+// algorithm: it selects candidate documents (step 1), skips excluded ones
+// (step 2), identifies the business activity from metadata (step 4),
+// processes text and structure (step 5), and infers missing fields from
+// existing ones (step 6) — emitting one TypePerson annotation per contact
+// sketch. The collection-level steps (8–14: rollup, de-duplication,
+// normalization, directory enrichment, database population) are the
+// ContactCPE's job.
+//
+// Candidate selection leverages process conventions (§3.2.1): roster
+// spreadsheets ("leveraging the process conventions on the title/headers and
+// semi-structured format (rows and cells) ... would perform better than just
+// blindly applying patterns interpreting the entire data as a blob of
+// text"), TSA forms, team slides, and email headers. A free-text email
+// regex pass catches the rest at low confidence.
+type SocialNetworking struct {
+	// ExcludeTitle drops documents whose lowercase title contains any of
+	// these substrings (step 2's exclusion set E).
+	ExcludeTitle []string
+	// Blob disables structure-aware extraction, treating every document as
+	// flat text — the degraded mode measured by the §3.3 ablation.
+	Blob bool
+}
+
+// NewSocialNetworking returns the annotator with the standard exclusion set:
+// boilerplate security and template documents yield junk contacts.
+func NewSocialNetworking() *SocialNetworking {
+	return &SocialNetworking{ExcludeTitle: []string{"security documents", "template", "boilerplate"}}
+}
+
+// Name implements analysis.Annotator.
+func (s *SocialNetworking) Name() string { return "social-networking" }
+
+// Process implements analysis.Annotator.
+func (s *SocialNetworking) Process(cas *analysis.CAS) error {
+	title := strings.ToLower(cas.Doc.Title)
+	for _, ex := range s.ExcludeTitle {
+		if strings.Contains(title, ex) {
+			return nil // step 2: excluded irrespective of candidacy
+		}
+	}
+	if !s.Blob && cas.Doc.Structure != nil {
+		if g := cas.Doc.Structure.Grid; g != nil {
+			s.fromGrid(cas, g)
+		}
+		if len(cas.Doc.Structure.Slides) > 0 {
+			s.fromSlides(cas, cas.Doc.Structure.Slides)
+		}
+		if h := cas.Doc.Structure.Headers; h != nil {
+			s.fromEmailHeaders(cas, h)
+		}
+	}
+	// Pattern pass over the body: raw email addresses become low-confidence
+	// sketches with name/org inferred from the address (step 6).
+	s.fromBodyEmails(cas)
+	return nil
+}
+
+// addPerson emits a contact sketch annotation if it carries at least a name
+// or an email.
+func addPerson(cas *analysis.CAS, begin, end int, conf float64, source string, fields map[string]string) {
+	if fields["name"] == "" && fields["email"] == "" {
+		return
+	}
+	clean := map[string]string{}
+	for k, v := range fields {
+		if v = foldSpaces(v); v != "" {
+			clean[k] = v
+		}
+	}
+	cas.Add(analysis.Annotation{
+		Type: TypePerson, Begin: begin, End: end,
+		Features: clean, Confidence: conf, Source: source,
+	})
+}
+
+// fromGrid extracts contacts from roster and TSA spreadsheets using header
+// conventions.
+func (s *SocialNetworking) fromGrid(cas *analysis.CAS, g *docmodel.Grid) {
+	nameCol := g.ColumnIndex("name")
+	roleCol := g.ColumnIndex("role")
+	emailCol := g.ColumnIndex("email")
+	phoneCol := g.ColumnIndex("phone")
+	orgCol := g.ColumnIndex("organization")
+	if orgCol < 0 {
+		orgCol = g.ColumnIndex("org")
+	}
+	if nameCol >= 0 {
+		// Roster sheet: one contact per data row.
+		for r := 1; r < len(g.Rows); r++ {
+			fields := map[string]string{
+				"name":  g.Cell(r, nameCol),
+				"role":  g.Cell(r, roleCol),
+				"email": g.Cell(r, emailCol),
+				"phone": g.Cell(r, phoneCol),
+				"org":   g.Cell(r, orgCol),
+			}
+			inferFromEmail(fields)
+			addPerson(cas, -1, -1, 0.95, s.Name()+"/roster", fields)
+		}
+		return
+	}
+	// TSA form: a "cross tower TSA" column whose cells are usually empty.
+	// Only populated cells denote a person (the keyword baseline cannot
+	// tell the difference — the paper's Meta-query 3 noise source).
+	tsaCol := g.ColumnIndex("cross tower tsa")
+	if tsaCol < 0 {
+		return
+	}
+	for r := 1; r < len(g.Rows); r++ {
+		name := g.Cell(r, tsaCol)
+		if name == "" {
+			continue
+		}
+		fields := map[string]string{"name": name, "role": "cross tower TSA"}
+		addPerson(cas, -1, -1, 0.85, s.Name()+"/tsa", fields)
+	}
+}
+
+// fromSlides extracts contacts from deal-team slides: bullets shaped
+// "Name, Role" or "Name - Role" under a team-titled slide.
+func (s *SocialNetworking) fromSlides(cas *analysis.CAS, slides []docmodel.Slide) {
+	for _, slide := range slides {
+		t := strings.ToLower(slide.Title)
+		if !strings.Contains(t, "team") && !strings.Contains(t, "contacts") {
+			continue
+		}
+		for _, b := range slide.Bullets {
+			name, role := splitNameRole(b)
+			if name == "" {
+				continue
+			}
+			fields := map[string]string{"name": name, "role": role}
+			addPerson(cas, -1, -1, 0.8, s.Name()+"/slides", fields)
+		}
+	}
+}
+
+// splitNameRole splits "Sam White, CSE" / "Sam White - CSE" / "Sam White
+// (CSE)" into name and role.
+func splitNameRole(b string) (name, role string) {
+	b = foldSpaces(b)
+	for _, sep := range []string{",", " - ", "–", "("} {
+		if i := strings.Index(b, sep); i > 0 {
+			name = strings.TrimSpace(b[:i])
+			role = strings.TrimSpace(strings.Trim(b[i+len(sep):], " ()"))
+			return name, role
+		}
+	}
+	// A bare two-or-three-word bullet is a name with no role.
+	words := strings.Fields(b)
+	if len(words) >= 2 && len(words) <= 3 {
+		return b, ""
+	}
+	return "", ""
+}
+
+// fromEmailHeaders turns From/To header addresses into sketches.
+func (s *SocialNetworking) fromEmailHeaders(cas *analysis.CAS, headers map[string]string) {
+	for _, key := range []string{"From", "To", "Cc"} {
+		for _, addr := range strings.Split(headers[key], ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" || !strings.Contains(addr, "@") {
+				continue
+			}
+			fields := map[string]string{"email": addr}
+			inferFromEmail(fields)
+			conf := 0.75
+			if key != "From" {
+				conf = 0.65
+			}
+			addPerson(cas, -1, -1, conf, s.Name()+"/email-header", fields)
+		}
+	}
+}
+
+// fromBodyEmails scans the body for raw addresses.
+func (s *SocialNetworking) fromBodyEmails(cas *analysis.CAS) {
+	body := cas.Doc.Body
+	for _, m := range EmailPattern.FindAllStringIndex(body, -1) {
+		fields := map[string]string{"email": body[m[0]:m[1]]}
+		inferFromEmail(fields)
+		addPerson(cas, m[0], m[1], 0.6, s.Name()+"/email-body", fields)
+	}
+}
+
+// inferFromEmail fills blank name and org fields from the address pattern
+// firstname.lastname@organization.com — the exact inference the paper gives
+// as its step 6 example. It only fills blanks; extracted fields win.
+func inferFromEmail(fields map[string]string) {
+	m := EmailPattern.FindStringSubmatch(fields["email"])
+	if m == nil {
+		return
+	}
+	local, orgdomain := m[1], m[2]
+	if fields["name"] == "" {
+		parts := strings.Split(local, ".")
+		if len(parts) >= 2 {
+			for i, p := range parts {
+				parts[i] = titleCase(p)
+			}
+			fields["name"] = strings.Join(parts, " ")
+		}
+	}
+	if fields["org"] == "" {
+		fields["org"] = titleCase(orgdomain)
+	}
+}
+
+func titleCase(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + strings.ToLower(s[1:])
+}

@@ -1,0 +1,150 @@
+// Package classify implements a multinomial naive Bayes text classifier
+// with Laplace smoothing. It backs EIL's classifier-based annotators
+// (Table 1 of the paper: "capturing complex & abstract concepts") and the
+// §2 email-study meta-query categorizer. Multi-label use is supported by
+// training one binary classifier per label.
+package classify
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/textproc"
+)
+
+// Classifier is a multinomial naive Bayes model. Train it with Learn calls
+// followed by queries through Classify / Scores. The zero value is not
+// usable; construct with New.
+type Classifier struct {
+	analyzer textproc.Analyzer
+	classes  map[string]*classStats
+	vocab    map[string]struct{}
+	docs     int
+}
+
+type classStats struct {
+	docs   int
+	tokens int
+	counts map[string]int
+}
+
+// New returns an empty classifier using the given analyzer (use
+// textproc.DefaultAnalyzer to match the rest of EIL).
+func New(a textproc.Analyzer) *Classifier {
+	return &Classifier{
+		analyzer: a,
+		classes:  map[string]*classStats{},
+		vocab:    map[string]struct{}{},
+	}
+}
+
+// ErrUntrained is returned when classifying before any Learn call.
+var ErrUntrained = errors.New("classify: no training data")
+
+// Learn adds one labeled example.
+func (c *Classifier) Learn(label, text string) {
+	cs := c.classes[label]
+	if cs == nil {
+		cs = &classStats{counts: map[string]int{}}
+		c.classes[label] = cs
+	}
+	cs.docs++
+	c.docs++
+	for _, term := range c.analyzer.Terms(text) {
+		cs.counts[term]++
+		cs.tokens++
+		c.vocab[term] = struct{}{}
+	}
+}
+
+// Classes returns the known labels, sorted.
+func (c *Classifier) Classes() []string {
+	out := make([]string, 0, len(c.classes))
+	for l := range c.classes {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Score is one label's posterior log-probability (unnormalized).
+type Score struct {
+	Label     string
+	LogProb   float64
+	Posterior float64 // normalized across labels, in (0, 1)
+}
+
+// Scores returns per-label scores for text, sorted by descending posterior
+// (ties broken by label for determinism).
+func (c *Classifier) Scores(text string) ([]Score, error) {
+	if c.docs == 0 {
+		return nil, ErrUntrained
+	}
+	terms := c.analyzer.Terms(text)
+	v := float64(len(c.vocab))
+	scores := make([]Score, 0, len(c.classes))
+	for label, cs := range c.classes {
+		lp := math.Log(float64(cs.docs) / float64(c.docs))
+		denom := float64(cs.tokens) + v
+		for _, term := range terms {
+			lp += math.Log((float64(cs.counts[term]) + 1) / denom)
+		}
+		scores = append(scores, Score{Label: label, LogProb: lp})
+	}
+	// Normalize with the log-sum-exp trick.
+	maxLp := math.Inf(-1)
+	for _, s := range scores {
+		if s.LogProb > maxLp {
+			maxLp = s.LogProb
+		}
+	}
+	var z float64
+	for _, s := range scores {
+		z += math.Exp(s.LogProb - maxLp)
+	}
+	for i := range scores {
+		scores[i].Posterior = math.Exp(scores[i].LogProb-maxLp) / z
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].Posterior != scores[j].Posterior {
+			return scores[i].Posterior > scores[j].Posterior
+		}
+		return scores[i].Label < scores[j].Label
+	})
+	return scores, nil
+}
+
+// Classify returns the most probable label and its posterior.
+func (c *Classifier) Classify(text string) (string, float64, error) {
+	scores, err := c.Scores(text)
+	if err != nil {
+		return "", 0, err
+	}
+	return scores[0].Label, scores[0].Posterior, nil
+}
+
+// Binary wraps a two-class classifier with labels "yes"/"no" for multi-label
+// tagging: one Binary per tag.
+type Binary struct{ c *Classifier }
+
+// NewBinary returns an untrained binary classifier.
+func NewBinary(a textproc.Analyzer) *Binary { return &Binary{c: New(a)} }
+
+// Learn adds an example with a boolean label.
+func (b *Binary) Learn(positive bool, text string) {
+	if positive {
+		b.c.Learn("yes", text)
+	} else {
+		b.c.Learn("no", text)
+	}
+}
+
+// Predict reports whether text is positive and with what posterior.
+func (b *Binary) Predict(text string) (bool, float64, error) {
+	label, p, err := b.c.Classify(text)
+	if err != nil {
+		return false, 0, err
+	}
+	return label == "yes", p, nil
+}

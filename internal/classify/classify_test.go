@@ -1,0 +1,166 @@
+package classify
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/textproc"
+)
+
+func trained() *Classifier {
+	c := New(textproc.DefaultAnalyzer)
+	// Miniature corpus over the email meta-query domain.
+	c.Learn("scope", "which engagements have a scope that involves storage management")
+	c.Learn("scope", "deals with end user services in scope")
+	c.Learn("scope", "looking for engagements whose scope includes network services")
+	c.Learn("people", "who has worked with Sam White from company ABC")
+	c.Learn("people", "need the CSE who worked on this client relationship")
+	c.Learn("people", "who in this role has worked with this person")
+	c.Learn("expert", "who has worked in the capacity of cross tower TSA")
+	c.Learn("expert", "looking for a subject matter expert on mainframe")
+	return c
+}
+
+func TestClassifyBasic(t *testing.T) {
+	c := trained()
+	label, p, err := c.Classify("which engagements have end user services in their scope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != "scope" {
+		t.Fatalf("label = %q (p=%v)", label, p)
+	}
+	if p <= 0 || p > 1 {
+		t.Fatalf("posterior out of range: %v", p)
+	}
+	label, _, err = c.Classify("who has worked with Sam White at ABC")
+	if err != nil || label != "people" {
+		t.Fatalf("label = %q, %v", label, err)
+	}
+}
+
+func TestScoresNormalized(t *testing.T) {
+	c := trained()
+	scores, err := c.Scores("scope of the engagement")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 3 {
+		t.Fatalf("scores = %v", scores)
+	}
+	sum := 0.0
+	for _, s := range scores {
+		sum += s.Posterior
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("posteriors sum to %v", sum)
+	}
+	for i := 1; i < len(scores); i++ {
+		if scores[i-1].Posterior < scores[i].Posterior {
+			t.Fatalf("scores not sorted: %v", scores)
+		}
+	}
+}
+
+func TestUntrained(t *testing.T) {
+	c := New(textproc.DefaultAnalyzer)
+	if _, _, err := c.Classify("anything"); !errors.Is(err, ErrUntrained) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClasses(t *testing.T) {
+	c := trained()
+	got := c.Classes()
+	want := []string{"expert", "people", "scope"}
+	if len(got) != len(want) {
+		t.Fatalf("classes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("classes = %v", got)
+		}
+	}
+}
+
+func TestEmptyTextFallsBackToPrior(t *testing.T) {
+	c := trained()
+	label, _, err := c.Classify("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "scope" and "people" tie on 3 docs each; deterministic tie-break by
+	// label ordering guarantees a stable result.
+	if label != "people" && label != "scope" {
+		t.Fatalf("prior-only label = %q", label)
+	}
+	// And repeated calls agree.
+	for i := 0; i < 5; i++ {
+		l2, _, _ := c.Classify("")
+		if l2 != label {
+			t.Fatal("tie-break not deterministic")
+		}
+	}
+}
+
+func TestBinary(t *testing.T) {
+	b := NewBinary(textproc.DefaultAnalyzer)
+	b.Learn(true, "please share contact details of the CSE")
+	b.Learn(true, "who should I talk to about this deal")
+	b.Learn(false, "what is the contract value of the engagement")
+	b.Learn(false, "when does the term start")
+	pos, p, err := b.Predict("who is the right contact for storage")
+	if err != nil || !pos {
+		t.Fatalf("predict = %v %v %v", pos, p, err)
+	}
+	neg, _, err := b.Predict("contract term and value")
+	if err != nil || neg {
+		t.Fatalf("predict = %v, want negative", neg)
+	}
+}
+
+// Property: posteriors are always a valid distribution.
+func TestPosteriorDistributionProperty(t *testing.T) {
+	c := trained()
+	err := quick.Check(func(text string) bool {
+		scores, err := c.Scores(text)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, s := range scores {
+			if s.Posterior < 0 || s.Posterior > 1+1e-9 || math.IsNaN(s.Posterior) {
+				return false
+			}
+			sum += s.Posterior
+		}
+		return math.Abs(sum-1) < 1e-6
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: learning more examples of a label raises (or keeps) its rank for
+// exactly that text.
+func TestLearningStrengthensLabel(t *testing.T) {
+	c := New(textproc.DefaultAnalyzer)
+	c.Learn("a", "alpha beta")
+	c.Learn("b", "gamma delta")
+	text := "epsilon zeta eta"
+	c.Learn("b", text)
+	label, _, err := c.Classify(text)
+	if err != nil || label != "b" {
+		t.Fatalf("label = %q, %v", label, err)
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	c := trained()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Classify("who has worked on storage management services with data replication")
+	}
+}

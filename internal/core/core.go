@@ -1,0 +1,384 @@
+// Package core implements EIL's primary contribution: business-activity
+// driven search (Figure 1 of the paper). A form-based query is decomposed
+// into a synopsis query (directed SQL against the extracted business
+// context) and a SIAPI query (against the semantic document index); the
+// synopsis result set scopes the document search to relevant business
+// activities; the two rankings are combined; and access control decides,
+// per activity, whether the user sees documents, only the synopsis with its
+// contact list, or nothing.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/access"
+	"repro/internal/siapi"
+	"repro/internal/synopsis"
+	"repro/internal/taxonomy"
+)
+
+// TextTarget selects where the form's text predicates search — "anywhere in
+// EWB" or a specific synopsis section (Figure 8's drop-down).
+type TextTarget string
+
+// Text targets supported by the form.
+const (
+	TargetAnywhere     TextTarget = "anywhere"     // body + title of all documents
+	TargetTechSolution TextTarget = "techsolution" // technology solution overviews
+	TargetWinStrategy  TextTarget = "winstrategy"  // win strategy statements
+	TargetTitle        TextTarget = "title"        // document titles only
+)
+
+// FormQuery mirrors the EIL search editor (Figure 8): concept criteria,
+// text predicates, and people criteria, all optional and conjunctive.
+type FormQuery struct {
+	// Tower accepts any taxonomy surface form (canonical name, acronym, or
+	// alias); sub-tower forms set the sub-tower criterion automatically.
+	Tower    string
+	SubTower string
+
+	Industry   string
+	Consultant string
+	Geography  string
+	Country    string
+
+	AllWords    []string
+	ExactPhrase string
+	AnyWords    []string
+	NoneWords   []string
+	Target      TextTarget
+
+	PersonName string
+	PersonOrg  string
+
+	// Limit bounds the number of returned activities (0 = all);
+	// DocsPerDeal bounds documents listed per activity (0 = 5).
+	Limit       int
+	DocsPerDeal int
+}
+
+// HasConcepts reports whether any synopsis criterion is set.
+func (q FormQuery) HasConcepts() bool {
+	return q.Tower != "" || q.SubTower != "" || q.Industry != "" || q.Consultant != "" ||
+		q.Geography != "" || q.Country != "" || q.PersonName != "" || q.PersonOrg != ""
+}
+
+// HasText reports whether any text predicate is set.
+func (q FormQuery) HasText() bool {
+	return len(q.AllWords) > 0 || q.ExactPhrase != "" || len(q.AnyWords) > 0 || len(q.NoneWords) > 0
+}
+
+// Activity is one business activity in the result set — the unit of
+// presentation in EIL ("a search query returns a set of the most relevant
+// business activities first rather than documents or links").
+type Activity struct {
+	DealID string
+	// Score combines the synopsis ranking and the normalized document
+	// ranking (Figure 1 step 18).
+	Score float64
+	// SynopsisScore and DocScore are the per-side normalized components.
+	SynopsisScore float64
+	DocScore      float64
+	// MatchedTowers lists scope towers that satisfied the tower criterion,
+	// significance order (Figure 5's bolded towers).
+	MatchedTowers []string
+	// Level is the caller's access level for this activity.
+	Level access.Level
+	// Synopsis is populated when Level >= LevelSynopsis.
+	Synopsis *synopsis.Deal
+	// Docs is populated when Level == LevelFull and the query had text
+	// predicates.
+	Docs []siapi.DocHit
+}
+
+// Result is a complete search response.
+type Result struct {
+	Activities []Activity
+	// UnscopedFallback is true when the synopsis query was empty or
+	// matched nothing and the SIAPI query ran unscoped (Figure 1 step 14).
+	UnscopedFallback bool
+	// Explain carries one line per executed stage, for the UI's query
+	// summary ("Find deals with ... tower; contain ... anywhere in EWB").
+	Explain []string
+	// Suggestions carries "did you mean" vocabulary matches when a tower
+	// criterion failed to resolve in the taxonomy.
+	Suggestions []string
+}
+
+// Engine wires the stores together. All fields are required except Access
+// (nil means no access control: everyone sees everything — used by offline
+// evaluation) and Tax (nil disables concept-form resolution).
+type Engine struct {
+	Synopses *synopsis.Store
+	Docs     *siapi.Engine
+	Access   *access.Controller
+	Tax      *taxonomy.Taxonomy
+
+	// SynopsisWeight and DocWeight set the rank-combination mix; zero
+	// values default to 1.0 and 1.0.
+	SynopsisWeight float64
+	DocWeight      float64
+	// DisableScoping makes the SIAPI query run unscoped even when the
+	// synopsis query matched (the scoping ablation). Results are then
+	// intersected with S anyway to preserve semantics, so the ablation
+	// measures the cost, not a semantic change.
+	DisableScoping bool
+}
+
+func (e *Engine) weights() (float64, float64) {
+	sw, dw := e.SynopsisWeight, e.DocWeight
+	if sw == 0 {
+		sw = 1
+	}
+	if dw == 0 {
+		dw = 1
+	}
+	return sw, dw
+}
+
+// Search runs the business-activity driven search algorithm for the user.
+func (e *Engine) Search(user access.User, q FormQuery) (Result, error) {
+	var res Result
+	// Step 1-2: compose the synopsis query from form input.
+	sq, explain := e.composeSynopsisQuery(q)
+	res.Explain = append(res.Explain, explain...)
+	if q.Tower != "" && e.Tax != nil {
+		if _, _, ok := e.Tax.Resolve(q.Tower); !ok {
+			for _, s := range e.Tax.Suggest(q.Tower, 3) {
+				res.Suggestions = append(res.Suggestions, s.Surface)
+			}
+		}
+	}
+	// Step 3: compose the SIAPI query.
+	dq := e.composeSIAPIQuery(q)
+	if !dq.Empty() {
+		res.Explain = append(res.Explain, fmt.Sprintf("SIAPI query on fields %v", dq.Fields))
+	}
+
+	// Step 4: execute the synopsis query.
+	var synHits []synopsis.Hit
+	var err error
+	if !sq.Empty() {
+		synHits, err = e.Synopses.Search(sq)
+		if err != nil {
+			return res, fmt.Errorf("core: synopsis query: %w", err)
+		}
+		res.Explain = append(res.Explain, fmt.Sprintf("synopsis query matched %d activities", len(synHits)))
+	}
+
+	synByDeal := map[string]synopsis.Hit{}
+	maxSyn := 0.0
+	for _, h := range synHits {
+		synByDeal[h.DealID] = h
+		if h.Score > maxSyn {
+			maxSyn = h.Score
+		}
+	}
+
+	type combined struct {
+		syn float64
+		doc float64
+		tws []string
+		dcs []siapi.DocHit
+	}
+	acts := map[string]*combined{}
+
+	addSyn := func(h synopsis.Hit) {
+		c := acts[h.DealID]
+		if c == nil {
+			c = &combined{}
+			acts[h.DealID] = c
+		}
+		if maxSyn > 0 {
+			c.syn = h.Score / maxSyn
+		}
+		c.tws = h.MatchedTowers
+	}
+
+	switch {
+	case len(synHits) > 0: // steps 5-11
+		if !dq.Empty() {
+			// Step 8: scope the document search to the activities in S.
+			if !e.DisableScoping {
+				for _, h := range synHits {
+					dq.Deals = append(dq.Deals, h.DealID)
+				}
+			}
+			perDeal := q.DocsPerDeal
+			if perDeal <= 0 {
+				perDeal = 5
+			}
+			docActs := e.Docs.SearchActivities(dq, perDeal)
+			for _, da := range docActs {
+				sh, inS := synByDeal[da.DealID]
+				if !inS {
+					continue // unscoped ablation: intersect to keep semantics
+				}
+				addSyn(sh)
+				acts[da.DealID].doc = da.Score
+				acts[da.DealID].dcs = da.Docs
+			}
+			res.Explain = append(res.Explain, fmt.Sprintf("scoped SIAPI query over %d activities", len(synHits)))
+		} else {
+			// Step 11: R <- S.
+			for _, h := range synHits {
+				addSyn(h)
+			}
+		}
+	case !dq.Empty(): // steps 13-15: unscoped SIAPI fallback
+		if !sq.Empty() {
+			// The synopsis query ran and matched nothing: the concept
+			// criteria are hard filters, so the conjunction is empty.
+			res.Explain = append(res.Explain, "concept criteria matched no activities")
+			break
+		}
+		perDeal := q.DocsPerDeal
+		if perDeal <= 0 {
+			perDeal = 5
+		}
+		for _, da := range e.Docs.SearchActivities(dq, perDeal) {
+			acts[da.DealID] = &combined{doc: da.Score, dcs: da.Docs}
+		}
+		res.UnscopedFallback = true
+		res.Explain = append(res.Explain, "unscoped SIAPI query (no concept criteria)")
+	default: // step 17: R <- empty set
+		return res, nil
+	}
+
+	// Step 18: rank by the combined score.
+	sw, dw := e.weights()
+	for dealID, c := range acts {
+		a := Activity{
+			DealID:        dealID,
+			SynopsisScore: c.syn,
+			DocScore:      c.doc,
+			Score:         sw*c.syn + dw*c.doc,
+			MatchedTowers: c.tws,
+			Docs:          c.dcs,
+		}
+		res.Activities = append(res.Activities, a)
+	}
+	sort.Slice(res.Activities, func(i, j int) bool {
+		if res.Activities[i].Score != res.Activities[j].Score {
+			return res.Activities[i].Score > res.Activities[j].Score
+		}
+		return res.Activities[i].DealID < res.Activities[j].DealID
+	})
+	if q.Limit > 0 && len(res.Activities) > q.Limit {
+		res.Activities = res.Activities[:q.Limit]
+	}
+
+	// Step 19: present with proper access control.
+	out := res.Activities[:0]
+	for _, a := range res.Activities {
+		level := access.LevelFull
+		if e.Access != nil {
+			level = e.Access.LevelFor(user, a.DealID)
+		}
+		a.Level = level
+		switch {
+		case level == access.LevelNone:
+			continue // invisible
+		case level == access.LevelSynopsis:
+			a.Docs = nil // synopsis-plus-contacts fallback
+		}
+		deal, err := e.Synopses.Get(a.DealID)
+		if err == nil {
+			a.Synopsis = &deal
+		}
+		out = append(out, a)
+	}
+	res.Activities = out
+	return res, nil
+}
+
+// composeSynopsisQuery resolves concept criteria through the taxonomy and
+// builds the structured query (Figure 1 step 2).
+func (e *Engine) composeSynopsisQuery(q FormQuery) (synopsis.Query, []string) {
+	var sq synopsis.Query
+	var explain []string
+	if q.Tower != "" && e.Tax != nil {
+		tower, sub, ok := e.Tax.Resolve(q.Tower)
+		if ok {
+			sq.Tower = tower
+			if sub != "" {
+				sq.SubTower = sub
+			}
+			explain = append(explain, fmt.Sprintf("find deals with %s tower", tower))
+		} else {
+			// Unknown concept: fall back to the literal string so the
+			// query simply matches nothing rather than erroring.
+			sq.Tower = q.Tower
+			explain = append(explain, fmt.Sprintf("find deals with unrecognized tower %q", q.Tower))
+		}
+	} else if q.Tower != "" {
+		sq.Tower = q.Tower
+	}
+	if q.SubTower != "" {
+		if e.Tax != nil {
+			if tower, sub, ok := e.Tax.Resolve(q.SubTower); ok && sub != "" {
+				sq.SubTower = sub
+				if sq.Tower == "" {
+					sq.Tower = tower
+				}
+			} else {
+				sq.SubTower = q.SubTower
+			}
+		} else {
+			sq.SubTower = q.SubTower
+		}
+	}
+	sq.Industry = q.Industry
+	sq.Consultant = q.Consultant
+	sq.Geography = q.Geography
+	sq.Country = q.Country
+	sq.PersonName = q.PersonName
+	sq.PersonOrg = q.PersonOrg
+	if q.PersonName != "" || q.PersonOrg != "" {
+		explain = append(explain, fmt.Sprintf("with people matching name=%q org=%q", q.PersonName, q.PersonOrg))
+	}
+	return sq, explain
+}
+
+// composeSIAPIQuery maps the text predicates onto index fields (Figure 1
+// step 3).
+func (e *Engine) composeSIAPIQuery(q FormQuery) siapi.Query {
+	dq := siapi.Query{
+		All:   q.AllWords,
+		Exact: q.ExactPhrase,
+		Any:   q.AnyWords,
+		None:  q.NoneWords,
+	}
+	switch q.Target {
+	case TargetTechSolution:
+		dq.Fields = []string{"techsolution"}
+	case TargetWinStrategy:
+		dq.Fields = []string{"winstrategy"}
+	case TargetTitle:
+		dq.Fields = []string{siapi.FieldTitle}
+	default:
+		dq.Fields = nil // body + title
+	}
+	return dq
+}
+
+// Explore searches the documents of one business activity — the drill-down
+// the methodology describes ("the user may further explore most relevant
+// documents within a business activity based on its synopsis"). The user
+// needs document-level access to the activity.
+func (e *Engine) Explore(user access.User, dealID string, q FormQuery) ([]siapi.DocHit, error) {
+	if e.Access != nil && !e.Access.CanSeeDocuments(user, dealID) {
+		return nil, fmt.Errorf("core: %w for documents of %s", access.ErrDenied, dealID)
+	}
+	dq := e.composeSIAPIQuery(q)
+	if dq.Empty() {
+		return nil, fmt.Errorf("core: explore requires text criteria")
+	}
+	dq.Deals = []string{dealID}
+	limit := q.Limit
+	if limit <= 0 {
+		limit = 20
+	}
+	return e.Docs.Search(dq, limit), nil
+}

@@ -1,0 +1,178 @@
+// Package crawler is EIL's Data Acquisition layer: it walks engagement-
+// workbook repositories on disk into parsed documents (a CollectionReader
+// for the analysis pipeline) and provides the IndexWriter consumer that
+// populates the semantic full-text index — including the concept fields
+// derived from annotations, which is what makes the index "semantic" rather
+// than purely lexical.
+package crawler
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/annotators"
+	"repro/internal/docmodel"
+	"repro/internal/docparse"
+	"repro/internal/index"
+	"repro/internal/siapi"
+)
+
+// FSReader reads a repository tree: every regular file under Root whose
+// extension a parser understands becomes a document; the first path element
+// under Root names the business activity (one directory per engagement
+// workbook). Files that fail to parse are skipped and counted.
+type FSReader struct {
+	Root string
+
+	paths   []string
+	i       int
+	skipped int
+}
+
+// NewFSReader lists the tree eagerly (stable, sorted order) and returns a
+// reader over it.
+func NewFSReader(root string) (*FSReader, error) {
+	r := &FSReader{Root: root}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.Type().IsRegular() {
+			r.paths = append(r.paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("crawler: walk %s: %w", root, err)
+	}
+	sort.Strings(r.paths)
+	return r, nil
+}
+
+// Skipped reports how many files failed to parse.
+func (r *FSReader) Skipped() int { return r.skipped }
+
+// Next implements analysis.CollectionReader.
+func (r *FSReader) Next() (*docmodel.Document, error) {
+	for r.i < len(r.paths) {
+		path := r.paths[r.i]
+		r.i++
+		content, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("crawler: read %s: %w", path, err)
+		}
+		rel, err := filepath.Rel(r.Root, path)
+		if err != nil {
+			return nil, fmt.Errorf("crawler: rel %s: %w", path, err)
+		}
+		rel = filepath.ToSlash(rel)
+		doc, err := docparse.Parse(rel, string(content))
+		if err != nil {
+			r.skipped++
+			continue
+		}
+		if i := strings.IndexByte(rel, '/'); i > 0 {
+			doc.DealID = rel[:i]
+		}
+		return doc, nil
+	}
+	return nil, io.EOF
+}
+
+// WriteTree writes documents to disk under root, one directory per deal —
+// the inverse of FSReader, used by the corpus generator CLI.
+func WriteTree(root string, docs []*docmodel.Document, contents map[string]string) error {
+	for _, d := range docs {
+		path := filepath.Join(root, filepath.FromSlash(d.Path))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return fmt.Errorf("crawler: mkdir: %w", err)
+		}
+		content, ok := contents[d.Path]
+		if !ok {
+			content = d.Body
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return fmt.Errorf("crawler: write %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// IndexWriter is the pipeline consumer that populates the semantic index:
+// the document's lexical fields plus concept fields distilled from its
+// annotations (towers, people, roles, technology solutions), so SIAPI
+// queries can target concepts directly.
+type IndexWriter struct {
+	Ix *index.Index
+	// docs counts documents written.
+	docs int
+}
+
+// Name implements analysis.Consumer.
+func (w *IndexWriter) Name() string { return "index-writer" }
+
+// Docs reports how many documents were indexed.
+func (w *IndexWriter) Docs() int { return w.docs }
+
+// Consume implements analysis.Consumer.
+func (w *IndexWriter) Consume(cas *analysis.CAS) error {
+	doc := cas.Doc
+	body := doc.Body
+	// Email headers are part of what an enterprise crawler indexes; fold
+	// them into the body field so keyword search sees addresses.
+	if doc.Structure != nil && doc.Structure.Headers != nil {
+		var keys []string
+		for k := range doc.Structure.Headers {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var hb strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&hb, "%s: %s\n", k, doc.Structure.Headers[k])
+		}
+		body = hb.String() + "\n" + body
+	}
+	fields := []index.Field{
+		{Name: siapi.FieldTitle, Text: doc.Title, Weight: 2},
+		{Name: siapi.FieldBody, Text: body},
+	}
+	if doc.DealID != "" {
+		fields = append(fields, index.Field{Name: siapi.FieldDeal, Text: doc.DealID, Keyword: true})
+	}
+	// Concept fields from annotations.
+	addConcept := func(name, value string) {
+		if value != "" {
+			fields = append(fields, index.Field{Name: name, Text: value, Keyword: true})
+		}
+	}
+	for _, a := range cas.All() {
+		switch a.Type {
+		case annotators.TypeScope:
+			addConcept("tower", a.Feature("tower"))
+			addConcept("subtower", a.Feature("subtower"))
+		case annotators.TypePerson:
+			addConcept("person", a.Feature("name"))
+			addConcept("role", a.Feature("role"))
+			addConcept("org", a.Feature("org"))
+		case annotators.TypeTechSolution:
+			fields = append(fields, index.Field{Name: "techsolution", Text: a.Feature("text")})
+		case annotators.TypeWinStrategy:
+			fields = append(fields, index.Field{Name: "winstrategy", Text: a.Feature("text")})
+		}
+	}
+	meta := map[string]string{"deal": doc.DealID, "type": string(doc.Type)}
+	if _, err := w.Ix.Add(index.Document{ExtID: doc.Path, Fields: fields, Meta: meta}); err != nil {
+		return fmt.Errorf("crawler: index %s: %w", doc.Path, err)
+	}
+	w.docs++
+	return nil
+}
+
+// End implements analysis.Consumer.
+func (w *IndexWriter) End() error { return nil }

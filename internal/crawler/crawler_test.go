@@ -1,0 +1,156 @@
+package crawler
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/annotators"
+	"repro/internal/index"
+	"repro/internal/siapi"
+	"repro/internal/synth"
+	"repro/internal/taxonomy"
+	"repro/internal/textproc"
+)
+
+func writeTestTree(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"DEAL A/overview.txt": "Deal Overview\nCustomer: Acme\n",
+		"DEAL A/team.grid":    "GRID Roster\nName | Role | Email | Phone\nJo Park | CSE | jo.park@ibm.com |\n",
+		"DEAL A/mail.eml":     "From: jo.park@ibm.com\nTo: x@ibm.com\nSubject: hello\n\nStorage Management Services progress.\n",
+		"DEAL B/notes.txt":    "Notes\nEnd User Services rollout discussion.\n",
+		"DEAL B/bad.xyz":      "unparseable format",
+	}
+	for rel, content := range files {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestFSReader(t *testing.T) {
+	root := writeTestTree(t)
+	r, err := NewFSReader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docs []string
+	deals := map[string]bool{}
+	for {
+		d, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, d.Path)
+		deals[d.DealID] = true
+	}
+	if len(docs) != 4 {
+		t.Fatalf("docs = %v", docs)
+	}
+	if r.Skipped() != 1 {
+		t.Fatalf("skipped = %d", r.Skipped())
+	}
+	if !deals["DEAL A"] || !deals["DEAL B"] {
+		t.Fatalf("deals = %v", deals)
+	}
+	// Stable order: paths sorted.
+	for i := 1; i < len(docs); i++ {
+		if docs[i-1] >= docs[i] {
+			t.Fatalf("order not sorted: %v", docs)
+		}
+	}
+}
+
+func TestFSReaderMissingRoot(t *testing.T) {
+	if _, err := NewFSReader("/nonexistent/path/xyz"); err == nil {
+		t.Fatal("missing root accepted")
+	}
+}
+
+func TestIndexWriterConceptFields(t *testing.T) {
+	root := writeTestTree(t)
+	reader, err := NewFSReader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := index.New(textproc.DefaultAnalyzer)
+	w := &IndexWriter{Ix: ix}
+	p := &analysis.Pipeline{
+		Reader:    reader,
+		Annotator: annotators.NewEILFlow(taxonomy.Default()),
+		Consumers: []analysis.Consumer{w},
+	}
+	stats, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Docs != 4 || w.Docs() != 4 {
+		t.Fatalf("stats = %+v, indexed %d", stats, w.Docs())
+	}
+	e := siapi.NewEngine(ix)
+	// Keyword search sees email headers.
+	if n := e.Count(siapi.Query{All: []string{"jo.park"}}); n == 0 {
+		t.Fatal("email headers not indexed")
+	}
+	// Concept field: tower annotation became a keyword field.
+	q := index.TermQuery{Field: "tower", Term: index.KeywordTerm("Storage Management Services")}
+	if n := ix.Count(q); n != 1 {
+		t.Fatalf("tower concept hits = %d", n)
+	}
+	// Concept field: person from the roster.
+	q = index.TermQuery{Field: "person", Term: index.KeywordTerm("Jo Park")}
+	if n := ix.Count(q); n == 0 {
+		t.Fatal("person concept missing")
+	}
+	// Deal scoping works through the crawler-supplied deal field.
+	if n := e.Count(siapi.Query{All: []string{"services"}, Deals: []string{"DEAL B"}}); n != 1 {
+		t.Fatalf("scoped count = %d", n)
+	}
+}
+
+func TestWriteTreeRoundTrip(t *testing.T) {
+	corpus, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	if err := WriteTree(root, corpus.Docs, corpus.Raw); err != nil {
+		t.Fatal(err)
+	}
+	reader, err := NewFSReader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		d, err := reader.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.DealID == "" {
+			t.Fatalf("doc %s lost its deal", d.Path)
+		}
+		n++
+	}
+	if n != len(corpus.Docs) {
+		t.Fatalf("round trip: %d of %d docs", n, len(corpus.Docs))
+	}
+	if reader.Skipped() != 0 {
+		t.Fatalf("skipped = %d", reader.Skipped())
+	}
+}

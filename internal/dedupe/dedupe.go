@@ -1,0 +1,203 @@
+// Package dedupe implements near-duplicate document detection for the
+// collection-processing layer. The paper's §3.4 assigns CPEs "multiple
+// post-analysis tasks ... such as removal or normalization of
+// duplicate/redundant data" — engagement workbooks are full of re-uploaded
+// decks and forwarded emails, and every copy inflates keyword result counts
+// without adding information.
+//
+// Detection uses token k-shingles and exact Jaccard similarity, computed
+// per business activity (duplicates across deals are legitimate:
+// boilerplate travels). Within a deal the document counts are small enough
+// that exact pairwise Jaccard is cheaper and more predictable than MinHash.
+package dedupe
+
+import (
+	"sort"
+
+	"repro/internal/textproc"
+)
+
+// Signature is a document's shingle set.
+type Signature struct {
+	ID       string // document path
+	GroupKey string // business activity
+	shingles map[uint64]struct{}
+}
+
+// Detector accumulates signatures and finds near-duplicate clusters.
+type Detector struct {
+	// K is the shingle width in tokens (default 4).
+	K int
+	// Threshold is the Jaccard similarity at or above which two documents
+	// are duplicates (default 0.85).
+	Threshold float64
+
+	sigs []Signature
+}
+
+// New returns a detector with the standard configuration.
+func New() *Detector { return &Detector{K: 4, Threshold: 0.85} }
+
+func (d *Detector) k() int {
+	if d.K <= 0 {
+		return 4
+	}
+	return d.K
+}
+
+func (d *Detector) threshold() float64 {
+	if d.Threshold <= 0 {
+		return 0.85
+	}
+	return d.Threshold
+}
+
+// Add registers a document's text under its group (deal).
+func (d *Detector) Add(id, groupKey, text string) {
+	d.sigs = append(d.sigs, Signature{
+		ID:       id,
+		GroupKey: groupKey,
+		shingles: shingleSet(text, d.k()),
+	})
+}
+
+// shingleSet hashes every k-token window of the analyzed text.
+func shingleSet(text string, k int) map[uint64]struct{} {
+	terms := textproc.DefaultAnalyzer.Terms(text)
+	out := make(map[uint64]struct{}, len(terms))
+	if len(terms) < k {
+		// Short documents: the whole term sequence is one shingle.
+		if len(terms) > 0 {
+			out[hashTerms(terms)] = struct{}{}
+		}
+		return out
+	}
+	for i := 0; i+k <= len(terms); i++ {
+		out[hashTerms(terms[i:i+k])] = struct{}{}
+	}
+	return out
+}
+
+// hashTerms is FNV-1a over the joined terms.
+func hashTerms(terms []string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, t := range terms {
+		for i := 0; i < len(t); i++ {
+			h ^= uint64(t[i])
+			h *= prime
+		}
+		h ^= 0x1f // separator
+		h *= prime
+	}
+	return h
+}
+
+// jaccard computes |a∩b| / |a∪b|.
+func jaccard(a, b map[uint64]struct{}) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	small, large := a, b
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	inter := 0
+	for s := range small {
+		if _, ok := large[s]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// Cluster is one group of near-duplicate documents. Keep is the canonical
+// document (first added); Duplicates are the redundant copies.
+type Cluster struct {
+	GroupKey   string
+	Keep       string
+	Duplicates []string
+}
+
+// Clusters finds near-duplicate clusters within each group, via
+// union-find over above-threshold pairs. Results are deterministic:
+// clusters sorted by Keep, duplicates sorted.
+func (d *Detector) Clusters() []Cluster {
+	byGroup := map[string][]int{}
+	for i, s := range d.sigs {
+		byGroup[s.GroupKey] = append(byGroup[s.GroupKey], i)
+	}
+	groups := make([]string, 0, len(byGroup))
+	for g := range byGroup {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+
+	var out []Cluster
+	for _, g := range groups {
+		idxs := byGroup[g]
+		parent := make(map[int]int, len(idxs))
+		var find func(int) int
+		find = func(x int) int {
+			if parent[x] != x {
+				parent[x] = find(parent[x])
+			}
+			return parent[x]
+		}
+		for _, i := range idxs {
+			parent[i] = i
+		}
+		th := d.threshold()
+		for a := 0; a < len(idxs); a++ {
+			for b := a + 1; b < len(idxs); b++ {
+				i, j := idxs[a], idxs[b]
+				if jaccard(d.sigs[i].shingles, d.sigs[j].shingles) >= th {
+					parent[find(j)] = find(i)
+				}
+			}
+		}
+		members := map[int][]int{}
+		for _, i := range idxs {
+			r := find(i)
+			members[r] = append(members[r], i)
+		}
+		var roots []int
+		for r, m := range members {
+			if len(m) > 1 {
+				roots = append(roots, r)
+			}
+		}
+		sort.Ints(roots)
+		for _, r := range roots {
+			m := members[r]
+			sort.Ints(m) // insertion order: first added is canonical
+			c := Cluster{GroupKey: g, Keep: d.sigs[m[0]].ID}
+			for _, i := range m[1:] {
+				c.Duplicates = append(c.Duplicates, d.sigs[i].ID)
+			}
+			sort.Strings(c.Duplicates)
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].GroupKey != out[j].GroupKey {
+			return out[i].GroupKey < out[j].GroupKey
+		}
+		return out[i].Keep < out[j].Keep
+	})
+	return out
+}
+
+// DuplicateIDs returns just the redundant document IDs across all clusters.
+func (d *Detector) DuplicateIDs() []string {
+	var out []string
+	for _, c := range d.Clusters() {
+		out = append(out, c.Duplicates...)
+	}
+	sort.Strings(out)
+	return out
+}

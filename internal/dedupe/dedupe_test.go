@@ -1,0 +1,127 @@
+package dedupe
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const baseText = "The engagement scope includes Storage Management Services with data replication between the primary and recovery sites, validated in the quarterly workshop with the client stakeholders."
+
+func TestExactDuplicateDetected(t *testing.T) {
+	d := New()
+	d.Add("a.txt", "DEAL A", baseText)
+	d.Add("copy-of-a.txt", "DEAL A", baseText)
+	d.Add("other.txt", "DEAL A", "Completely different content about payroll processing and workforce administration shared services across regions and countries worldwide.")
+	clusters := d.Clusters()
+	if len(clusters) != 1 {
+		t.Fatalf("clusters = %+v", clusters)
+	}
+	c := clusters[0]
+	if c.Keep != "a.txt" || len(c.Duplicates) != 1 || c.Duplicates[0] != "copy-of-a.txt" {
+		t.Fatalf("cluster = %+v", c)
+	}
+	if ids := d.DuplicateIDs(); len(ids) != 1 || ids[0] != "copy-of-a.txt" {
+		t.Fatalf("DuplicateIDs = %v", ids)
+	}
+}
+
+func TestNearDuplicateDetected(t *testing.T) {
+	d := New()
+	d.Add("v1.txt", "DEAL A", baseText)
+	d.Add("v2.txt", "DEAL A", baseText+" Appendix attached.")
+	if len(d.Clusters()) != 1 {
+		t.Fatalf("near-duplicate missed: %+v", d.Clusters())
+	}
+}
+
+func TestCrossDealNotDeduped(t *testing.T) {
+	d := New()
+	d.Add("a.txt", "DEAL A", baseText)
+	d.Add("b.txt", "DEAL B", baseText)
+	if got := d.Clusters(); len(got) != 0 {
+		t.Fatalf("boilerplate across deals deduped: %+v", got)
+	}
+}
+
+func TestDistinctDocsNotClustered(t *testing.T) {
+	d := New()
+	for i := 0; i < 10; i++ {
+		d.Add(fmt.Sprintf("n%d.txt", i), "DEAL A",
+			fmt.Sprintf("Meeting notes %d covering milestone %d and the budget variance for stream %d with unique follow-ups item%d item%d.", i, i*3, i*7, i*11, i*13))
+	}
+	if got := d.Clusters(); len(got) != 0 {
+		t.Fatalf("distinct docs clustered: %+v", got)
+	}
+}
+
+func TestTransitiveCluster(t *testing.T) {
+	// a~b and b~c cluster together even if a~c is weaker (union-find).
+	d := New()
+	d.Threshold = 0.6
+	d.Add("a.txt", "DEAL A", baseText)
+	d.Add("b.txt", "DEAL A", baseText+" appended sentence one here.")
+	d.Add("c.txt", "DEAL A", baseText+" appended sentence one here. And sentence two as well.")
+	clusters := d.Clusters()
+	if len(clusters) != 1 || len(clusters[0].Duplicates) != 2 {
+		t.Fatalf("clusters = %+v", clusters)
+	}
+}
+
+func TestShortDocuments(t *testing.T) {
+	d := New()
+	d.Add("s1.txt", "DEAL A", "ok")
+	d.Add("s2.txt", "DEAL A", "ok")
+	d.Add("s3.txt", "DEAL A", "different words")
+	clusters := d.Clusters()
+	if len(clusters) != 1 || clusters[0].Duplicates[0] != "s2.txt" {
+		t.Fatalf("short-doc clusters = %+v", clusters)
+	}
+	// Empty text never clusters.
+	d2 := New()
+	d2.Add("e1.txt", "D", "")
+	d2.Add("e2.txt", "D", "")
+	if got := d2.Clusters(); len(got) != 0 {
+		t.Fatalf("empty docs clustered: %+v", got)
+	}
+}
+
+// Property: a document plus its verbatim copy always cluster; jaccard is 1.
+func TestSelfSimilarityProperty(t *testing.T) {
+	err := quick.Check(func(words []string) bool {
+		text := strings.Join(words, " ")
+		if len(strings.Fields(text)) < 1 {
+			return true
+		}
+		d := New()
+		d.Add("x", "G", text)
+		d.Add("y", "G", text)
+		sigs := d.sigs
+		if len(sigs[0].shingles) == 0 {
+			return true // nothing analyzable (e.g. all stopwords)
+		}
+		return jaccard(sigs[0].shingles, sigs[1].shingles) == 1
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	build := func() []Cluster {
+		d := New()
+		d.Add("a", "G1", baseText)
+		d.Add("b", "G1", baseText)
+		d.Add("c", "G2", baseText)
+		d.Add("d", "G2", baseText)
+		return d.Clusters()
+	}
+	a, b := build(), build()
+	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+	if len(a) != 2 || a[0].GroupKey != "G1" {
+		t.Fatalf("clusters = %+v", a)
+	}
+}

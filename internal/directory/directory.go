@@ -1,0 +1,177 @@
+// Package directory simulates the corporate intranet personnel service
+// ("the internal personnel website has a hidden database containing each
+// employee's information", §3.3 of the paper). The social networking
+// annotator's step 13 validates and enriches extracted contacts against it:
+// confirming employment status, filling missing phone numbers and
+// organizations, and normalizing names.
+package directory
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Person is one directory entry.
+type Person struct {
+	Serial string // employee serial number, unique
+	Name   string // canonical "First Last"
+	Email  string // primary intranet email, unique when non-empty
+	Phone  string
+	Org    string // organizational unit
+	Title  string // job title, e.g. "Client Solution Executive"
+	Active bool   // false for departed employees
+}
+
+// ErrNotFound is returned by lookups that miss.
+var ErrNotFound = errors.New("directory: person not found")
+
+// Directory is an in-memory personnel database, safe for concurrent use.
+type Directory struct {
+	mu       sync.RWMutex
+	bySerial map[string]Person
+	byEmail  map[string]string // lowercase email -> serial
+	byName   map[string][]string
+}
+
+// New returns an empty directory.
+func New() *Directory {
+	return &Directory{
+		bySerial: map[string]Person{},
+		byEmail:  map[string]string{},
+		byName:   map[string][]string{},
+	}
+}
+
+// Add registers a person. Adding an existing serial replaces the entry.
+func (d *Directory) Add(p Person) error {
+	if p.Serial == "" {
+		return errors.New("directory: empty serial")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if old, ok := d.bySerial[p.Serial]; ok {
+		d.unlinkLocked(old)
+	}
+	if p.Email != "" {
+		if other, ok := d.byEmail[strings.ToLower(p.Email)]; ok && other != p.Serial {
+			return fmt.Errorf("directory: email %s already registered to %s", p.Email, other)
+		}
+	}
+	d.bySerial[p.Serial] = p
+	if p.Email != "" {
+		d.byEmail[strings.ToLower(p.Email)] = p.Serial
+	}
+	key := nameKey(p.Name)
+	d.byName[key] = appendUnique(d.byName[key], p.Serial)
+	return nil
+}
+
+func (d *Directory) unlinkLocked(p Person) {
+	if p.Email != "" {
+		delete(d.byEmail, strings.ToLower(p.Email))
+	}
+	key := nameKey(p.Name)
+	serials := d.byName[key]
+	for i, s := range serials {
+		if s == p.Serial {
+			d.byName[key] = append(serials[:i], serials[i+1:]...)
+			break
+		}
+	}
+}
+
+func appendUnique(list []string, s string) []string {
+	for _, x := range list {
+		if x == s {
+			return list
+		}
+	}
+	return append(list, s)
+}
+
+// nameKey folds a display name for lookup: lowercase, single spaces.
+func nameKey(name string) string {
+	fields := strings.Fields(strings.ToLower(name))
+	return strings.Join(fields, " ")
+}
+
+// BySerial looks a person up by serial number.
+func (d *Directory) BySerial(serial string) (Person, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	p, ok := d.bySerial[serial]
+	if !ok {
+		return Person{}, fmt.Errorf("%w: serial %s", ErrNotFound, serial)
+	}
+	return p, nil
+}
+
+// ByEmail looks a person up by email, case-insensitively.
+func (d *Directory) ByEmail(email string) (Person, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	serial, ok := d.byEmail[strings.ToLower(strings.TrimSpace(email))]
+	if !ok {
+		return Person{}, fmt.Errorf("%w: email %s", ErrNotFound, email)
+	}
+	return d.bySerial[serial], nil
+}
+
+// ByName returns all people whose canonical name matches (case- and
+// spacing-insensitive). Multiple matches are possible; callers disambiguate
+// with org or email evidence.
+func (d *Directory) ByName(name string) []Person {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	serials := d.byName[nameKey(name)]
+	out := make([]Person, 0, len(serials))
+	for _, s := range serials {
+		out = append(out, d.bySerial[s])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Serial < out[j].Serial })
+	return out
+}
+
+// Len reports the number of entries.
+func (d *Directory) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.bySerial)
+}
+
+// Enrich fills the blank fields of a contact sketch from the directory,
+// matching by email first, then by unambiguous name. It reports whether a
+// directory record was found. This is the annotator's validation step: a
+// match also confirms the person's Active status, which is returned so the
+// caller can down-rank departed employees.
+func (d *Directory) Enrich(name, email string, phone, org, title *string) (found, active bool) {
+	var p Person
+	var err error
+	if email != "" {
+		p, err = d.ByEmail(email)
+	} else {
+		err = ErrNotFound
+	}
+	if err != nil && name != "" {
+		matches := d.ByName(name)
+		if len(matches) == 1 {
+			p, err = matches[0], nil
+		}
+	}
+	if err != nil {
+		return false, false
+	}
+	if phone != nil && *phone == "" {
+		*phone = p.Phone
+	}
+	if org != nil && *org == "" {
+		*org = p.Org
+	}
+	if title != nil && *title == "" {
+		*title = p.Title
+	}
+	return true, p.Active
+}

@@ -1,0 +1,214 @@
+package directory
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Directory {
+	d := New()
+	d.Add(Person{Serial: "001", Name: "Sam White", Email: "sam.white@abc.com", Phone: "555-0100", Org: "ABC Corp", Title: "CIO", Active: true})
+	d.Add(Person{Serial: "002", Name: "Jo Park", Email: "jo.park@ibm.com", Phone: "555-0101", Org: "ITD Sales", Title: "Client Solution Executive", Active: true})
+	d.Add(Person{Serial: "003", Name: "Lee Chan", Email: "lee.chan@ibm.com", Org: "ITD Delivery", Title: "TSA", Active: false})
+	d.Add(Person{Serial: "004", Name: "Jo Park", Email: "jo.park2@ibm.com", Org: "Finance", Title: "Analyst", Active: true})
+	return d
+}
+
+func TestLookups(t *testing.T) {
+	d := sample()
+	p, err := d.BySerial("002")
+	if err != nil || p.Name != "Jo Park" {
+		t.Fatalf("BySerial: %+v, %v", p, err)
+	}
+	p, err = d.ByEmail("SAM.WHITE@ABC.COM")
+	if err != nil || p.Serial != "001" {
+		t.Fatalf("ByEmail case-insensitive: %+v, %v", p, err)
+	}
+	if _, err := d.BySerial("999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := d.ByEmail("ghost@ibm.com"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestByNameMultiple(t *testing.T) {
+	d := sample()
+	matches := d.ByName("jo  PARK")
+	if len(matches) != 2 {
+		t.Fatalf("matches = %+v", matches)
+	}
+	if matches[0].Serial != "002" || matches[1].Serial != "004" {
+		t.Fatalf("order = %+v", matches)
+	}
+	if got := d.ByName("Nobody Here"); len(got) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	d := sample()
+	if err := d.Add(Person{}); err == nil {
+		t.Fatal("empty serial accepted")
+	}
+	err := d.Add(Person{Serial: "005", Name: "X", Email: "sam.white@abc.com"})
+	if err == nil {
+		t.Fatal("duplicate email accepted")
+	}
+}
+
+func TestAddReplace(t *testing.T) {
+	d := sample()
+	if err := d.Add(Person{Serial: "001", Name: "Sam A White", Email: "sam.a.white@abc.com", Active: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ByEmail("sam.white@abc.com"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("old email still resolves after replace")
+	}
+	if got := d.ByName("Sam White"); len(got) != 0 {
+		t.Fatalf("old name still resolves: %+v", got)
+	}
+	p, err := d.ByEmail("sam.a.white@abc.com")
+	if err != nil || p.Serial != "001" {
+		t.Fatalf("new email: %+v, %v", p, err)
+	}
+	if d.Len() != 4 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestEnrichByEmail(t *testing.T) {
+	d := sample()
+	var phone, org, title string
+	found, active := d.Enrich("", "jo.park@ibm.com", &phone, &org, &title)
+	if !found || !active {
+		t.Fatalf("found=%v active=%v", found, active)
+	}
+	if phone != "555-0101" || org != "ITD Sales" || title != "Client Solution Executive" {
+		t.Fatalf("enriched = %q %q %q", phone, org, title)
+	}
+}
+
+func TestEnrichDoesNotOverwrite(t *testing.T) {
+	d := sample()
+	phone := "999-EXISTING"
+	org := ""
+	found, _ := d.Enrich("", "jo.park@ibm.com", &phone, &org, nil)
+	if !found {
+		t.Fatal("not found")
+	}
+	if phone != "999-EXISTING" {
+		t.Fatalf("existing phone overwritten: %q", phone)
+	}
+	if org != "ITD Sales" {
+		t.Fatalf("blank org not filled: %q", org)
+	}
+}
+
+func TestEnrichByUnambiguousName(t *testing.T) {
+	d := sample()
+	var org string
+	found, active := d.Enrich("Lee Chan", "", nil, &org, nil)
+	if !found || active {
+		t.Fatalf("found=%v active=%v (Lee Chan is inactive)", found, active)
+	}
+	if org != "ITD Delivery" {
+		t.Fatalf("org = %q", org)
+	}
+}
+
+func TestEnrichAmbiguousNameFails(t *testing.T) {
+	d := sample()
+	found, _ := d.Enrich("Jo Park", "", nil, nil, nil)
+	if found {
+		t.Fatal("ambiguous name enriched")
+	}
+}
+
+func TestEnrichMiss(t *testing.T) {
+	d := sample()
+	if found, _ := d.Enrich("Ghost", "ghost@x.com", nil, nil, nil); found {
+		t.Fatal("missing person enriched")
+	}
+	if found, _ := d.Enrich("", "", nil, nil, nil); found {
+		t.Fatal("empty sketch enriched")
+	}
+}
+
+// Property: Add then ByEmail round-trips for unique emails.
+func TestAddLookupProperty(t *testing.T) {
+	d := New()
+	i := 0
+	err := quick.Check(func(name string) bool {
+		serial := fmt.Sprintf("S%05d", i)
+		email := fmt.Sprintf("user%d@corp.example", i)
+		i++
+		if err := d.Add(Person{Serial: serial, Name: name, Email: email, Active: true}); err != nil {
+			return false
+		}
+		p, err := d.ByEmail(email)
+		return err == nil && p.Serial == serial
+	}, &quick.Config{MaxCount: 150})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	d := sample()
+	path := t.TempDir() + "/people.jsonl"
+	if err := d.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != d.Len() {
+		t.Fatalf("Len %d vs %d", loaded.Len(), d.Len())
+	}
+	p, err := loaded.ByEmail("jo.park@ibm.com")
+	if err != nil || p.Title != "Client Solution Executive" || !p.Active {
+		t.Fatalf("loaded person = %+v, %v", p, err)
+	}
+	// Inactive flag survives.
+	p, err = loaded.BySerial("003")
+	if err != nil || p.Active {
+		t.Fatalf("inactive person = %+v, %v", p, err)
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	d := sample()
+	all := d.All()
+	if len(all) != 4 {
+		t.Fatalf("All = %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Serial >= all[i].Serial {
+			t.Fatalf("All not sorted: %+v", all)
+		}
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+	// Duplicate emails in the file must surface the Add error.
+	two := `{"Serial":"1","Name":"A","Email":"x@y.com"}
+{"Serial":"2","Name":"B","Email":"x@y.com"}
+`
+	if _, err := Load(strings.NewReader(two)); err == nil {
+		t.Fatal("conflicting directory file loaded")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile("/nonexistent/people.jsonl"); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}

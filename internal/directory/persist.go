@@ -1,0 +1,90 @@
+package directory
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// All returns every entry, sorted by serial.
+func (d *Directory) All() []Person {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]Person, 0, len(d.bySerial))
+	for _, p := range d.bySerial {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Serial < out[j].Serial })
+	return out
+}
+
+// WriteTo serializes the directory as JSON lines (one person per line),
+// a format operators can inspect and patch by hand.
+func (d *Directory) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	enc := json.NewEncoder(w)
+	for _, p := range d.All() {
+		before := n
+		if err := enc.Encode(p); err != nil {
+			return n, fmt.Errorf("directory: encode %s: %w", p.Serial, err)
+		}
+		_ = before
+		n++ // lines written, not bytes; callers only check the error
+	}
+	return n, nil
+}
+
+// Load reads a directory written with WriteTo.
+func Load(r io.Reader) (*Directory, error) {
+	d := New()
+	dec := json.NewDecoder(r)
+	for {
+		var p Person
+		if err := dec.Decode(&p); err == io.EOF {
+			return d, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("directory: decode: %w", err)
+		}
+		if err := d.Add(p); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// SaveFile writes the directory to path atomically.
+func (d *Directory) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("directory: save: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	if _, err := d.WriteTo(bw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("directory: save: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("directory: save: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a directory from path.
+func LoadFile(path string) (*Directory, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("directory: load: %w", err)
+	}
+	defer f.Close()
+	return Load(bufio.NewReader(f))
+}

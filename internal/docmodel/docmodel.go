@@ -1,0 +1,133 @@
+// Package docmodel defines the document representation shared by the
+// crawler, the parsers, the analysis pipeline, and the indexer. The paper's
+// §3.3 ("Custom Parsing") stresses that structure — a presentation's titles
+// and subtitles, a spreadsheet's rows and cells — must survive parsing so
+// annotators can exploit it; Structure carries exactly that.
+package docmodel
+
+import (
+	"strings"
+)
+
+// DocType classifies a repository document by its source format.
+type DocType string
+
+// Document types found in engagement workbooks. Deck and Grid stand in for
+// the PowerPoint and Excel artifacts of the paper's deployment; their text
+// formats preserve the same structural cues (titles, rows, cells).
+const (
+	TypeText  DocType = "text"  // free-form notes, meeting minutes
+	TypeDeck  DocType = "deck"  // slide presentation
+	TypeGrid  DocType = "grid"  // spreadsheet
+	TypeEmail DocType = "email" // email message
+)
+
+// Document is one parsed repository document.
+type Document struct {
+	// Path is the repository-relative path; it doubles as the stable
+	// external ID in the full-text index.
+	Path string
+	// DealID identifies the business activity (engagement) the document
+	// belongs to — the central piece of context in EIL.
+	DealID string
+	Type   DocType
+	Title  string
+	// Body is the flat text of the document (structure flattened in
+	// reading order). All indexing and annotation run over Body plus
+	// Structure.
+	Body string
+	// Structure preserves format-specific structure; nil for plain text.
+	Structure *Structure
+	// Meta carries parser- and crawler-supplied metadata (dates, authors).
+	Meta map[string]string
+}
+
+// Structure is the union of per-format structural views.
+type Structure struct {
+	Slides  []Slide           // decks
+	Grid    *Grid             // spreadsheets
+	Headers map[string]string // emails: From, To, Subject, Date...
+}
+
+// Slide is one presentation slide with its title hierarchy preserved.
+// The paper: "a PowerPoint presenter uses title and subtitle to convey the
+// key point" — annotators weight these higher than bullet text.
+type Slide struct {
+	Title    string
+	Subtitle string
+	Bullets  []string
+}
+
+// Grid is a spreadsheet sheet: a rectangular cell matrix. Row 0 is the
+// header row by convention; TSA forms and roster sheets follow it.
+type Grid struct {
+	Name string
+	Rows [][]string
+}
+
+// Header returns the header row, or nil for an empty grid.
+func (g *Grid) Header() []string {
+	if g == nil || len(g.Rows) == 0 {
+		return nil
+	}
+	return g.Rows[0]
+}
+
+// ColumnIndex finds a header cell matching name case-insensitively
+// (substring match, tolerating decorated headers like "Role / Title"),
+// or -1.
+func (g *Grid) ColumnIndex(name string) int {
+	h := g.Header()
+	needle := strings.ToLower(name)
+	for i, cell := range h {
+		if strings.Contains(strings.ToLower(cell), needle) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Cell returns the trimmed cell at (row, col) or "" when out of range.
+func (g *Grid) Cell(row, col int) string {
+	if g == nil || row < 0 || row >= len(g.Rows) {
+		return ""
+	}
+	r := g.Rows[row]
+	if col < 0 || col >= len(r) {
+		return ""
+	}
+	return strings.TrimSpace(r[col])
+}
+
+// FlatText renders the document's structure into indexable text. For decks
+// the slide titles lead each section; for grids the cells join with spaces
+// row by row (this is also what a structure-blind "blob" parser would see,
+// which the §3.3 ablation compares against).
+func (d *Document) FlatText() string {
+	if d.Body != "" {
+		return d.Body
+	}
+	if d.Structure == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, s := range d.Structure.Slides {
+		b.WriteString(s.Title)
+		b.WriteByte('\n')
+		if s.Subtitle != "" {
+			b.WriteString(s.Subtitle)
+			b.WriteByte('\n')
+		}
+		for _, bl := range s.Bullets {
+			b.WriteString(bl)
+			b.WriteByte('\n')
+		}
+	}
+	if g := d.Structure.Grid; g != nil {
+		for _, row := range g.Rows {
+			b.WriteString(strings.Join(row, " "))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,72 @@
+package docmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGridColumnIndex(t *testing.T) {
+	g := &Grid{Rows: [][]string{
+		{"Name", "Role / Title", "Email Address", "Phone"},
+		{"Jo", "CSE", "jo@x.com", ""},
+	}}
+	cases := map[string]int{
+		"name":  0,
+		"role":  1,
+		"title": 1, // substring of the decorated header
+		"email": 2,
+		"phone": 3,
+		"fax":   -1,
+	}
+	for name, want := range cases {
+		if got := g.ColumnIndex(name); got != want {
+			t.Errorf("ColumnIndex(%q) = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestGridCellTrims(t *testing.T) {
+	g := &Grid{Rows: [][]string{{"h"}, {"  padded  "}}}
+	if got := g.Cell(1, 0); got != "padded" {
+		t.Fatalf("Cell = %q", got)
+	}
+}
+
+func TestFlatTextPrefersBody(t *testing.T) {
+	d := &Document{Body: "the body", Structure: &Structure{Slides: []Slide{{Title: "ignored"}}}}
+	if got := d.FlatText(); got != "the body" {
+		t.Fatalf("FlatText = %q", got)
+	}
+}
+
+func TestFlatTextEmptyDocument(t *testing.T) {
+	d := &Document{}
+	if got := d.FlatText(); got != "" {
+		t.Fatalf("FlatText = %q", got)
+	}
+}
+
+func TestFlatTextSlideOrder(t *testing.T) {
+	d := &Document{Structure: &Structure{Slides: []Slide{
+		{Title: "First", Subtitle: "Sub", Bullets: []string{"a", "b"}},
+		{Title: "Second"},
+	}}}
+	flat := d.FlatText()
+	iFirst := strings.Index(flat, "First")
+	iSub := strings.Index(flat, "Sub")
+	iA := strings.Index(flat, "a")
+	iSecond := strings.Index(flat, "Second")
+	if !(iFirst < iSub && iSub < iA && iA < iSecond) {
+		t.Fatalf("reading order broken: %q", flat)
+	}
+}
+
+func TestHeaderEmptyGrid(t *testing.T) {
+	g := &Grid{}
+	if g.Header() != nil {
+		t.Fatal("empty grid has a header")
+	}
+	if g.ColumnIndex("x") != -1 {
+		t.Fatal("empty grid resolved a column")
+	}
+}

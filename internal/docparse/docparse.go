@@ -1,0 +1,203 @@
+// Package docparse implements the custom, structure-preserving parsers of
+// EIL's data-acquisition layer (§3.3 of the paper). Each engagement-workbook
+// format parses into a docmodel.Document whose Structure keeps the cues the
+// annotators exploit:
+//
+//	.deck  — slide presentations: '#' title, '##' subtitle, '-' bullets,
+//	         '---' slide separator (the PowerPoint substitute)
+//	.grid  — spreadsheets: 'GRID <name>' header, '|'-separated cells per
+//	         row, first row is the header row (the Excel substitute)
+//	.eml   — email messages: RFC-822-style headers, blank line, body
+//	.txt   — plain notes: first line is the title
+//
+// Parse dispatches on file extension. ParseBlob ignores structure entirely,
+// "interpreting the entire data as a blob of text" — the degraded mode the
+// paper warns against and the §3.3 ablation measures.
+package docparse
+
+import (
+	"fmt"
+	"path"
+	"strings"
+
+	"repro/internal/docmodel"
+)
+
+// Parse parses content according to the file extension of p. The returned
+// document has Path set to p; DealID is left for the crawler to assign.
+func Parse(p string, content string) (*docmodel.Document, error) {
+	switch strings.ToLower(path.Ext(p)) {
+	case ".deck":
+		return ParseDeck(p, content)
+	case ".grid":
+		return ParseGrid(p, content)
+	case ".eml":
+		return ParseEmail(p, content)
+	case ".txt", ".note", "":
+		return ParseText(p, content), nil
+	default:
+		return nil, fmt.Errorf("docparse: unsupported format %q", path.Ext(p))
+	}
+}
+
+// ParseBlob parses content as undifferentiated text regardless of format —
+// the structure-blind baseline. Cell and header boundaries degrade to
+// whitespace.
+func ParseBlob(p string, content string) *docmodel.Document {
+	flat := strings.NewReplacer("|", " ", "#", " ", "---", " ").Replace(content)
+	title := firstLine(flat)
+	return &docmodel.Document{
+		Path:  p,
+		Type:  docmodel.TypeText,
+		Title: title,
+		Body:  flat,
+	}
+}
+
+// ParseText parses a plain note; the first non-empty line is the title.
+func ParseText(p, content string) *docmodel.Document {
+	return &docmodel.Document{
+		Path:  p,
+		Type:  docmodel.TypeText,
+		Title: firstLine(content),
+		Body:  content,
+	}
+}
+
+func firstLine(s string) string {
+	for _, line := range strings.Split(s, "\n") {
+		if t := strings.TrimSpace(line); t != "" {
+			return t
+		}
+	}
+	return ""
+}
+
+// ParseDeck parses a slide presentation.
+func ParseDeck(p, content string) (*docmodel.Document, error) {
+	doc := &docmodel.Document{Path: p, Type: docmodel.TypeDeck, Structure: &docmodel.Structure{}}
+	var cur *docmodel.Slide
+	flush := func() {
+		if cur != nil {
+			doc.Structure.Slides = append(doc.Structure.Slides, *cur)
+			cur = nil
+		}
+	}
+	ensure := func() *docmodel.Slide {
+		if cur == nil {
+			cur = &docmodel.Slide{}
+		}
+		return cur
+	}
+	for _, raw := range strings.Split(content, "\n") {
+		line := strings.TrimSpace(raw)
+		switch {
+		case line == "":
+			continue
+		case line == "---":
+			flush()
+		case strings.HasPrefix(line, "## "):
+			ensure().Subtitle = strings.TrimSpace(line[3:])
+		case strings.HasPrefix(line, "# "):
+			// A new title inside a slide starts the next slide.
+			if cur != nil && cur.Title != "" {
+				flush()
+			}
+			ensure().Title = strings.TrimSpace(line[2:])
+		case strings.HasPrefix(line, "- "):
+			s := ensure()
+			s.Bullets = append(s.Bullets, strings.TrimSpace(line[2:]))
+		default:
+			s := ensure()
+			s.Bullets = append(s.Bullets, line)
+		}
+	}
+	flush()
+	if len(doc.Structure.Slides) == 0 {
+		return nil, fmt.Errorf("docparse: %s: deck has no slides", p)
+	}
+	doc.Title = doc.Structure.Slides[0].Title
+	doc.Body = doc.FlatText()
+	return doc, nil
+}
+
+// ParseGrid parses a spreadsheet sheet.
+func ParseGrid(p, content string) (*docmodel.Document, error) {
+	lines := strings.Split(content, "\n")
+	grid := &docmodel.Grid{}
+	started := false
+	for _, raw := range lines {
+		line := strings.TrimRight(raw, "\r")
+		if !started {
+			t := strings.TrimSpace(line)
+			if t == "" {
+				continue
+			}
+			if !strings.HasPrefix(t, "GRID") {
+				return nil, fmt.Errorf("docparse: %s: grid must start with 'GRID <name>'", p)
+			}
+			grid.Name = strings.TrimSpace(strings.TrimPrefix(t, "GRID"))
+			started = true
+			continue
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		cells := strings.Split(line, "|")
+		for i := range cells {
+			cells[i] = strings.TrimSpace(cells[i])
+		}
+		grid.Rows = append(grid.Rows, cells)
+	}
+	if !started {
+		return nil, fmt.Errorf("docparse: %s: empty grid file", p)
+	}
+	doc := &docmodel.Document{
+		Path:      p,
+		Type:      docmodel.TypeGrid,
+		Title:     grid.Name,
+		Structure: &docmodel.Structure{Grid: grid},
+	}
+	doc.Body = doc.FlatText()
+	return doc, nil
+}
+
+// ParseEmail parses an email message with RFC-822-style headers.
+func ParseEmail(p, content string) (*docmodel.Document, error) {
+	headers := map[string]string{}
+	lines := strings.Split(content, "\n")
+	bodyStart := len(lines)
+	for i, raw := range lines {
+		line := strings.TrimRight(raw, "\r")
+		if strings.TrimSpace(line) == "" {
+			bodyStart = i + 1
+			break
+		}
+		colon := strings.Index(line, ":")
+		if colon <= 0 {
+			return nil, fmt.Errorf("docparse: %s: malformed header line %d", p, i+1)
+		}
+		key := canonicalHeader(line[:colon])
+		headers[key] = strings.TrimSpace(line[colon+1:])
+	}
+	body := strings.Join(lines[bodyStart:], "\n")
+	return &docmodel.Document{
+		Path:      p,
+		Type:      docmodel.TypeEmail,
+		Title:     headers["Subject"],
+		Body:      body,
+		Structure: &docmodel.Structure{Headers: headers},
+	}, nil
+}
+
+// canonicalHeader normalizes header names to Canonical-Case.
+func canonicalHeader(s string) string {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	for i, p := range parts {
+		if p == "" {
+			continue
+		}
+		parts[i] = strings.ToUpper(p[:1]) + strings.ToLower(p[1:])
+	}
+	return strings.Join(parts, "-")
+}

@@ -1,0 +1,213 @@
+package docparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/docmodel"
+)
+
+const sampleDeck = `# Technical Solution Overview
+## Storage Management Services
+- Data replication across two sites
+- RTO lower than 48 hours
+---
+# Team
+- Sam White, CSE
+`
+
+const sampleGrid = `GRID Deal Team Roster
+Name | Role | Email | Phone
+Sam White | CSE | sam.white@abc.com | 555-0100
+Jo Park | cross tower TSA | jo.park@ibm.com |
+`
+
+const sampleEmail = `From: sam.white@abc.com
+To: sales-list@ibm.com
+Subject: EUS scope question
+Date: 2006-01-05
+
+Which engagements have a scope that includes End User Services?
+`
+
+func TestParseDeck(t *testing.T) {
+	doc, err := ParseDeck("sol.deck", sampleDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Type != docmodel.TypeDeck {
+		t.Fatalf("type = %v", doc.Type)
+	}
+	slides := doc.Structure.Slides
+	if len(slides) != 2 {
+		t.Fatalf("slides = %+v", slides)
+	}
+	if slides[0].Title != "Technical Solution Overview" || slides[0].Subtitle != "Storage Management Services" {
+		t.Fatalf("slide0 = %+v", slides[0])
+	}
+	if len(slides[0].Bullets) != 2 || !strings.Contains(slides[0].Bullets[0], "replication") {
+		t.Fatalf("bullets = %v", slides[0].Bullets)
+	}
+	if doc.Title != "Technical Solution Overview" {
+		t.Fatalf("title = %q", doc.Title)
+	}
+	if !strings.Contains(doc.Body, "Data replication") {
+		t.Fatalf("body = %q", doc.Body)
+	}
+}
+
+func TestParseDeckImplicitSlideBreak(t *testing.T) {
+	doc, err := ParseDeck("x.deck", "# One\n- a\n# Two\n- b\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Structure.Slides) != 2 {
+		t.Fatalf("slides = %+v", doc.Structure.Slides)
+	}
+}
+
+func TestParseDeckEmpty(t *testing.T) {
+	if _, err := ParseDeck("x.deck", "\n\n"); err == nil {
+		t.Fatal("empty deck accepted")
+	}
+}
+
+func TestParseGrid(t *testing.T) {
+	doc, err := ParseGrid("team.grid", sampleGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := doc.Structure.Grid
+	if g.Name != "Deal Team Roster" {
+		t.Fatalf("name = %q", g.Name)
+	}
+	if len(g.Rows) != 3 {
+		t.Fatalf("rows = %v", g.Rows)
+	}
+	if ci := g.ColumnIndex("role"); ci != 1 {
+		t.Fatalf("ColumnIndex(role) = %d", ci)
+	}
+	if g.Cell(1, 0) != "Sam White" || g.Cell(2, 1) != "cross tower TSA" {
+		t.Fatalf("cells wrong: %v", g.Rows)
+	}
+	if g.Cell(2, 3) != "" { // empty phone cell
+		t.Fatalf("empty cell = %q", g.Cell(2, 3))
+	}
+	if g.Cell(99, 0) != "" || g.Cell(0, 99) != "" {
+		t.Fatal("out-of-range cells must be empty")
+	}
+}
+
+func TestParseGridRejectsHeaderless(t *testing.T) {
+	if _, err := ParseGrid("x.grid", "Name | Role\n"); err == nil {
+		t.Fatal("grid without GRID line accepted")
+	}
+	if _, err := ParseGrid("x.grid", ""); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+}
+
+func TestParseEmail(t *testing.T) {
+	doc, err := ParseEmail("q.eml", sampleEmail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := doc.Structure.Headers
+	if h["From"] != "sam.white@abc.com" || h["Subject"] != "EUS scope question" {
+		t.Fatalf("headers = %v", h)
+	}
+	if doc.Title != "EUS scope question" {
+		t.Fatalf("title = %q", doc.Title)
+	}
+	if !strings.Contains(doc.Body, "End User Services") {
+		t.Fatalf("body = %q", doc.Body)
+	}
+}
+
+func TestParseEmailMalformedHeader(t *testing.T) {
+	if _, err := ParseEmail("x.eml", "not a header\n\nbody"); err == nil {
+		t.Fatal("malformed header accepted")
+	}
+}
+
+func TestCanonicalHeader(t *testing.T) {
+	if canonicalHeader("cOnTeNt-tYpE") != "Content-Type" {
+		t.Fatal("header canonicalization broken")
+	}
+}
+
+func TestParseDispatch(t *testing.T) {
+	cases := map[string]docmodel.DocType{
+		"a.deck": docmodel.TypeDeck,
+		"a.grid": docmodel.TypeGrid,
+		"a.eml":  docmodel.TypeEmail,
+		"a.txt":  docmodel.TypeText,
+	}
+	contents := map[string]string{
+		"a.deck": sampleDeck,
+		"a.grid": sampleGrid,
+		"a.eml":  sampleEmail,
+		"a.txt":  "Meeting notes\nDiscussed scope.",
+	}
+	for p, want := range cases {
+		doc, err := Parse(p, contents[p])
+		if err != nil {
+			t.Fatalf("Parse(%s): %v", p, err)
+		}
+		if doc.Type != want {
+			t.Errorf("Parse(%s).Type = %v, want %v", p, doc.Type, want)
+		}
+		if doc.Path != p {
+			t.Errorf("Path = %q", doc.Path)
+		}
+	}
+	if _, err := Parse("a.xyz", "x"); err == nil {
+		t.Error("unknown extension accepted")
+	}
+}
+
+func TestParseBlobDegradesStructure(t *testing.T) {
+	doc := ParseBlob("team.grid", sampleGrid)
+	if doc.Structure != nil {
+		t.Fatal("blob parse must not carry structure")
+	}
+	if strings.Contains(doc.Body, "|") {
+		t.Fatalf("blob body keeps cell separators: %q", doc.Body)
+	}
+	// Content survives, structure doesn't: the name is still present...
+	if !strings.Contains(doc.Body, "Sam White") {
+		t.Fatal("blob lost content")
+	}
+}
+
+func TestParseTextTitle(t *testing.T) {
+	doc := ParseText("n.txt", "\n\n  Kickoff notes  \nbody line")
+	if doc.Title != "Kickoff notes" {
+		t.Fatalf("title = %q", doc.Title)
+	}
+}
+
+func TestGridHeaderNil(t *testing.T) {
+	var g *docmodel.Grid
+	if g.Header() != nil {
+		t.Fatal("nil grid header")
+	}
+	if g.Cell(0, 0) != "" {
+		t.Fatal("nil grid cell")
+	}
+}
+
+func TestFlatTextFromStructureOnly(t *testing.T) {
+	doc := &docmodel.Document{
+		Structure: &docmodel.Structure{
+			Slides: []docmodel.Slide{{Title: "T", Subtitle: "S", Bullets: []string{"b1"}}},
+			Grid:   &docmodel.Grid{Rows: [][]string{{"h1", "h2"}, {"c1", "c2"}}},
+		},
+	}
+	flat := doc.FlatText()
+	for _, want := range []string{"T", "S", "b1", "h1 h2", "c1 c2"} {
+		if !strings.Contains(flat, want) {
+			t.Errorf("FlatText missing %q: %q", want, flat)
+		}
+	}
+}

@@ -1,0 +1,375 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/siapi"
+	"repro/internal/synopsis"
+	"repro/internal/synth"
+)
+
+// --- Ablation: directory enrichment (Figure 3 step 13) ---
+
+// DirectoryAblation compares contact quality with and without intranet
+// enrichment.
+type DirectoryAblation struct {
+	WithPhoneRate    float64 // fraction of contacts with a phone number, enriched
+	WithoutPhoneRate float64 // same, unenriched
+	ValidatedRate    float64 // fraction of contacts validated when enriched
+	Contacts         int
+}
+
+// AblationDirectory ingests the corpus twice (with and without the
+// personnel directory) and measures contact-field completeness.
+func AblationDirectory(cfg synth.Config) (DirectoryAblation, error) {
+	var r DirectoryAblation
+	corpus, err := synth.Generate(cfg)
+	if err != nil {
+		return r, err
+	}
+	withSys, err := eil.Ingest(corpus.Docs, eil.Options{Directory: corpus.Directory})
+	if err != nil {
+		return r, err
+	}
+	// NewFixture substitutes the corpus directory when Options.Directory
+	// is nil, so the unenriched run ingests directly with an empty one.
+	withoutSys, err := eil.Ingest(corpus.Docs, eil.Options{Directory: directory.New()})
+	if err != nil {
+		return r, err
+	}
+	withPhones, withValidated, withTotal, err := contactStats(&Fixture{Corpus: corpus, Sys: withSys})
+	if err != nil {
+		return r, err
+	}
+	withoutPhones, _, withoutTotal, err := contactStats(&Fixture{Corpus: corpus, Sys: withoutSys})
+	if err != nil {
+		return r, err
+	}
+	if withTotal > 0 {
+		r.WithPhoneRate = float64(withPhones) / float64(withTotal)
+		r.ValidatedRate = float64(withValidated) / float64(withTotal)
+	}
+	if withoutTotal > 0 {
+		r.WithoutPhoneRate = float64(withoutPhones) / float64(withoutTotal)
+	}
+	r.Contacts = withTotal
+	return r, nil
+}
+
+func contactStats(f *Fixture) (phones, validated, total int, err error) {
+	ids, err := f.Sys.Synopses.DealIDs()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	for _, id := range ids {
+		deal, err := f.Sys.Synopses.Get(id)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		for _, p := range deal.People {
+			total++
+			if p.Phone != "" {
+				phones++
+			}
+			if p.Validated {
+				validated++
+			}
+		}
+	}
+	return phones, validated, total, nil
+}
+
+// --- Ablation: structure-aware parsing (§3.3) ---
+
+// StructureAblation compares roster-extraction recall between the
+// structure-aware pipeline and the blob pipeline.
+type StructureAblation struct {
+	StructuredRecall float64 // ground-truth team members found, structured
+	BlobRecall       float64 // same, blob parsing
+}
+
+// AblationStructure ingests twice and measures team recall against the
+// generator's rosters.
+func AblationStructure(cfg synth.Config) (StructureAblation, error) {
+	var r StructureAblation
+	structured, err := NewFixture(cfg, eil.Options{})
+	if err != nil {
+		return r, err
+	}
+	// The blob fixture must share the corpus for a fair comparison.
+	blobSys, err := eil.Ingest(structured.Corpus.Docs, eil.Options{
+		Directory:   structured.Corpus.Directory,
+		BlobParsing: true,
+	})
+	if err != nil {
+		return r, err
+	}
+	blob := &Fixture{Corpus: structured.Corpus, Sys: blobSys}
+	r.StructuredRecall, err = teamRecall(structured)
+	if err != nil {
+		return r, err
+	}
+	r.BlobRecall, err = teamRecall(blob)
+	return r, err
+}
+
+// teamRecall measures the fraction of ground-truth team members present in
+// the extracted contact lists.
+func teamRecall(f *Fixture) (float64, error) {
+	found, want := 0, 0
+	for _, id := range f.Corpus.DealIDs {
+		truth := f.Corpus.Truth[id]
+		deal, err := f.Sys.Synopses.Get(id)
+		if err != nil {
+			continue // deal may have produced no synopsis in degraded mode
+		}
+		names := map[string]bool{}
+		for _, p := range deal.People {
+			names[p.Name] = true
+		}
+		for _, p := range truth.Team {
+			want++
+			if names[p.Name] {
+				found++
+			}
+		}
+	}
+	if want == 0 {
+		return 0, fmt.Errorf("eval: no ground-truth team members")
+	}
+	return float64(found) / float64(want), nil
+}
+
+// --- Ablation: entity analytics vs process conventions (§3.2.1) ---
+
+// EntityAblation compares the convention-driven social networking annotator
+// against the paper's described alternative — entity analytics plus
+// co-occurrence over flat text. The paper predicts conventions "would
+// perform better than just blindly applying patterns"; this measures it.
+type EntityAblation struct {
+	ConventionRecall    float64
+	ConventionPrecision float64
+	EntityRecall        float64
+	EntityPrecision     float64
+}
+
+// AblationEntity ingests the same corpus under both extractors and scores
+// contacts against the ground-truth rosters.
+func AblationEntity(cfg synth.Config) (EntityAblation, error) {
+	var r EntityAblation
+	corpus, err := synth.Generate(cfg)
+	if err != nil {
+		return r, err
+	}
+	conv, err := eil.Ingest(corpus.Docs, eil.Options{Directory: corpus.Directory})
+	if err != nil {
+		return r, err
+	}
+	ent, err := eil.Ingest(corpus.Docs, eil.Options{Directory: corpus.Directory, EntityContacts: true})
+	if err != nil {
+		return r, err
+	}
+	r.ConventionRecall, r.ConventionPrecision, err = contactPR(&Fixture{Corpus: corpus, Sys: conv})
+	if err != nil {
+		return r, err
+	}
+	r.EntityRecall, r.EntityPrecision, err = contactPR(&Fixture{Corpus: corpus, Sys: ent})
+	return r, err
+}
+
+// contactPR scores extracted contact names against ground-truth rosters:
+// recall = team members found; precision = extracted names that are real
+// team members (phantom "contacts" from sentence noise count against it).
+func contactPR(f *Fixture) (recall, precision float64, err error) {
+	found, want, extracted, correct := 0, 0, 0, 0
+	for _, id := range f.Corpus.DealIDs {
+		truth := f.Corpus.Truth[id]
+		deal, err := f.Sys.Synopses.Get(id)
+		if err != nil {
+			continue
+		}
+		real := map[string]bool{}
+		for _, p := range truth.Team {
+			real[strings.ToLower(p.Name)] = true
+		}
+		got := map[string]bool{}
+		for _, p := range deal.People {
+			got[strings.ToLower(p.Name)] = true
+		}
+		for name := range got {
+			extracted++
+			if real[name] {
+				correct++
+			}
+		}
+		for name := range real {
+			want++
+			if got[name] {
+				found++
+			}
+		}
+	}
+	if want == 0 || extracted == 0 {
+		return 0, 0, fmt.Errorf("eval: no contacts to score (want=%d extracted=%d)", want, extracted)
+	}
+	return float64(found) / float64(want), float64(correct) / float64(extracted), nil
+}
+
+// --- Ablation: CPE significance threshold (§3.4) ---
+
+// ThresholdPoint is one sweep point: the scope CPE threshold and the mean
+// F-measure over the Table 2 queries at that threshold.
+type ThresholdPoint struct {
+	MinScopeWeight float64
+	MeanF          float64
+	MeanPrecision  float64
+	MeanRecall     float64
+}
+
+// AblationCPEThreshold sweeps the scope threshold and reports scope-query
+// quality at each point: too low admits incidental mentions (precision
+// drops), too high drops true scopes (recall drops).
+func AblationCPEThreshold(cfg synth.Config, thresholds []float64) ([]ThresholdPoint, error) {
+	var out []ThresholdPoint
+	for _, th := range thresholds {
+		f, err := NewFixture(cfg, eil.Options{MinScopeWeight: th})
+		if err != nil {
+			return nil, err
+		}
+		t2, err := Table2(f)
+		if err != nil {
+			return nil, err
+		}
+		var p ThresholdPoint
+		p.MinScopeWeight = th
+		n := float64(len(t2.Rows))
+		for _, row := range t2.Rows {
+			p.MeanF += row.EIL.F / n
+			p.MeanPrecision += row.EIL.Precision / n
+			p.MeanRecall += row.EIL.Recall / n
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// --- Ablation: rank combination (Figure 1 step 18) ---
+
+// RankingAblation reports, for a combined concept+text query, the rank of
+// the best (planted) deal under synopsis-only, document-only, and combined
+// scoring.
+type RankingAblation struct {
+	CombinedRank int
+	SynopsisRank int
+	DocRank      int
+	Activities   int
+}
+
+// AblationRanking runs MQ4 under the three scoring mixes on an existing
+// fixture.
+func AblationRanking(f *Fixture) (RankingAblation, error) {
+	run := func(sw, dw float64) (int, int, error) {
+		eng := *f.Sys.Engine
+		eng.SynopsisWeight = sw
+		eng.DocWeight = dw
+		res, err := eng.Search(f.User(), core.FormQuery{
+			Tower:       "Storage Management Services",
+			ExactPhrase: "data replication",
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		for i, a := range res.Activities {
+			if a.DealID == synth.PlantedDealID {
+				return i + 1, len(res.Activities), nil
+			}
+		}
+		return 0, len(res.Activities), nil
+	}
+	var r RankingAblation
+	var err error
+	// Engine treats zero weights as 1.0; use epsilon to express "off".
+	const off = 1e-9
+	if r.CombinedRank, r.Activities, err = run(1, 1); err != nil {
+		return r, err
+	}
+	if r.SynopsisRank, _, err = run(1, off); err != nil {
+		return r, err
+	}
+	if r.DocRank, _, err = run(off, 1); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// --- Ablation: SIAPI scoping (Figure 1 steps 5-8) ---
+
+// ScopingAblation compares the scoped and unscoped document searches for a
+// combined query: activity-set equality (the semantics are preserved by
+// intersection; only score normalization — and hence ranking — may differ)
+// and the number of raw document hits each side had to consider.
+type ScopingAblation struct {
+	ScopedDocsConsidered   int
+	UnscopedDocsConsidered int
+	SameActivitySet        bool
+}
+
+// AblationScoping runs a combined query both ways on one fixture. The word
+// "replication" occurs corpus-wide (solution decks, sub-tower mentions), so
+// the End User Services concept scope prunes a substantial share of the
+// document hits.
+func AblationScoping(f *Fixture) (ScopingAblation, error) {
+	var r ScopingAblation
+	q := core.FormQuery{Tower: "End User Services", AllWords: []string{"replication"}}
+
+	scopedEng := *f.Sys.Engine
+	scopedEng.DisableScoping = false
+	scoped, err := scopedEng.Search(f.User(), q)
+	if err != nil {
+		return r, err
+	}
+	unscopedEng := *f.Sys.Engine
+	unscopedEng.DisableScoping = true
+	unscoped, err := unscopedEng.Search(f.User(), q)
+	if err != nil {
+		return r, err
+	}
+	// Raw hit counts: the unscoped query touches every matching document
+	// corpus-wide; the scoped one only those inside candidate activities.
+	var deals []string
+	hits, err := f.Sys.Synopses.Search(synopsis.Query{Tower: q.Tower})
+	if err != nil {
+		return r, err
+	}
+	for _, h := range hits {
+		deals = append(deals, h.DealID)
+	}
+	r.ScopedDocsConsidered = f.Sys.SIAPI.Count(siapi.Query{All: q.AllWords, Deals: deals})
+	r.UnscopedDocsConsidered = f.Sys.SIAPI.Count(siapi.Query{All: q.AllWords})
+	r.SameActivitySet = sameDealSet(scoped, unscoped)
+	return r, nil
+}
+
+// sameDealSet compares the activity sets ignoring order: disabling scoping
+// changes score normalization (the unscoped document search normalizes
+// against the corpus-wide best activity), so ranks may shift while the set
+// must not.
+func sameDealSet(a, b core.Result) bool {
+	if len(a.Activities) != len(b.Activities) {
+		return false
+	}
+	set := make(map[string]bool, len(a.Activities))
+	for _, act := range a.Activities {
+		set[act.DealID] = true
+	}
+	for _, act := range b.Activities {
+		if !set[act.DealID] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,101 @@
+package eval
+
+import (
+	"testing"
+)
+
+// TestEvalScaleShapes runs the paper-scale corpus (23 deals, ~15k docs) and
+// asserts every headline shape of §4 at once. It is skipped in -short mode
+// because ingestion takes seconds.
+func TestEvalScaleShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale ingest in -short mode")
+	}
+	f, err := EvalFixture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := f.Sys.Index.DocCount(); n < 13000 {
+		t.Fatalf("indexed docs = %d, want ~15000", n)
+	}
+
+	// Table 2 shape: KW recall is 1.0 on most queries; EIL wins on F for
+	// a clear majority (paper: 8 of 10).
+	t2, err := Table2(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullRecall := 0
+	for _, row := range t2.Rows {
+		if row.KW.Recall >= 0.999 {
+			fullRecall++
+		}
+	}
+	if fullRecall < 7 {
+		t.Errorf("KW full-recall rows = %d/10, paper shape wants most at 1.0", fullRecall)
+	}
+	eilWins, kwWins, _ := t2.WinsLosses()
+	if eilWins < 6 {
+		t.Errorf("EIL wins only %d/10 (KW wins %d): %+v", eilWins, kwWins, t2.Rows)
+	}
+	var eilP, kwP float64
+	for _, row := range t2.Rows {
+		eilP += row.EIL.Precision / float64(len(t2.Rows))
+		kwP += row.KW.Precision / float64(len(t2.Rows))
+	}
+	if eilP <= kwP {
+		t.Errorf("EIL mean precision %.3f not above KW %.3f", eilP, kwP)
+	}
+
+	// Figure 4 shape: subtype expansion inflates hits roughly 4x
+	// (paper: 261 -> 1132, factor 4.3).
+	f4 := Fig4(f)
+	if f4.Expansion < 2.5 || f4.Expansion > 7 {
+		t.Errorf("expansion factor %.2f outside the paper's shape (~4.3)", f4.Expansion)
+	}
+	if f4.CanonicalDocs < 100 || f4.CanonicalDocs > 600 {
+		t.Errorf("canonical docs = %d, paper reports 261", f4.CanonicalDocs)
+	}
+
+	// Meta-query 2 funnel shape: 0, then ~4, then ~100.
+	mq2, err := MQ2(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mq2.KWStep1Docs != 0 {
+		t.Errorf("MQ2 step1 = %d, paper reports 0", mq2.KWStep1Docs)
+	}
+	if mq2.KWStep2Docs < 2 || mq2.KWStep2Docs > 10 {
+		t.Errorf("MQ2 step2 = %d, paper reports 4", mq2.KWStep2Docs)
+	}
+	if mq2.KWStep3Docs < 40 || mq2.KWStep3Docs < 5*mq2.KWStep2Docs {
+		t.Errorf("MQ2 step3 = %d, paper reports 97 (a flood)", mq2.KWStep3Docs)
+	}
+	if len(mq2.EILDeals) == 0 || len(mq2.CSEs) == 0 {
+		t.Errorf("MQ2 EIL side broken: deals=%v CSEs=%v", mq2.EILDeals, mq2.CSEs)
+	}
+
+	// Meta-query 3 shape: ~150 keyword hits, the useful few buried.
+	mq3, err := MQ3(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mq3.KWDocs < 80 || mq3.KWDocs > 350 {
+		t.Errorf("MQ3 keyword docs = %d, paper reports 149", mq3.KWDocs)
+	}
+	if mq3.ValueDocs*4 > mq3.KWDocs {
+		t.Errorf("MQ3 value docs %d not rare among %d", mq3.ValueDocs, mq3.KWDocs)
+	}
+	if len(mq3.EILContacts) == 0 {
+		t.Error("MQ3 EIL found nobody")
+	}
+
+	// Meta-query 4: activities-first results including the planted deal.
+	mq4, err := MQ4(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mq4.PlantedFound || len(mq4.Activities) == 0 {
+		t.Errorf("MQ4 shape broken: planted=%v activities=%d", mq4.PlantedFound, len(mq4.Activities))
+	}
+}

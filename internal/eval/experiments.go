@@ -1,0 +1,346 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/siapi"
+	"repro/internal/synopsis"
+)
+
+// --- Table 2: EIL vs keyword search on scope queries ---
+
+// Table2Row is one scope query's comparison.
+type Table2Row struct {
+	Query string // the tower asked about
+	EIL   PRF
+	KW    PRF
+}
+
+// Table2Result is the full table plus the deal subset used.
+type Table2Result struct {
+	Rows  []Table2Row
+	Deals []string
+}
+
+// Table2Queries is the fixed query set: ten service towers, mirroring the
+// paper's "10 similar queries on a set of 12 deals".
+var Table2Queries = []string{
+	"End User Services",
+	"Storage Management Services",
+	"Server Systems Management",
+	"Network Services",
+	"Disaster Recovery Services",
+	"Data Center Services",
+	"Application Management Services",
+	"Security Services",
+	"eBusiness Services",
+	"Asset Management",
+}
+
+// Table2 runs the ten scope queries over the first twelve deals, comparing
+// EIL's concept search against informed keyword search (the user spells out
+// the tower's sub-types, so keyword recall is maximal — as in the paper,
+// where KW recall is 1.0 on 8 of 10 queries and its precision suffers).
+// Ground truth is the generator's scope assignment.
+func Table2(f *Fixture) (Table2Result, error) {
+	subset := f.Corpus.DealIDs
+	if len(subset) > 12 {
+		subset = subset[:12]
+	}
+	inSubset := map[string]bool{}
+	for _, id := range subset {
+		inSubset[id] = true
+	}
+	var res Table2Result
+	res.Deals = subset
+	for _, tower := range Table2Queries {
+		relevant := []string{}
+		for _, id := range subset {
+			if f.Corpus.Truth[id].HasTower(tower) {
+				relevant = append(relevant, id)
+			}
+		}
+		// Keyword baseline: any document mentioning any surface form of
+		// the tower marks its deal retrieved.
+		kwDeals := keywordDeals(f, tower, inSubset)
+		// EIL: concept search over synopses.
+		eilRes, err := f.Sys.Search(f.User(), core.FormQuery{Tower: tower})
+		if err != nil {
+			return res, fmt.Errorf("eval: table2 %s: %w", tower, err)
+		}
+		var eilDeals []string
+		for _, a := range eilRes.Activities {
+			if inSubset[a.DealID] {
+				eilDeals = append(eilDeals, a.DealID)
+			}
+		}
+		res.Rows = append(res.Rows, Table2Row{
+			Query: tower,
+			EIL:   Compute(eilDeals, relevant),
+			KW:    Compute(kwDeals, relevant),
+		})
+	}
+	return res, nil
+}
+
+// keywordDeals returns subset deals having at least one document that
+// mentions any surface form of the tower.
+func keywordDeals(f *Fixture, tower string, inSubset map[string]bool) []string {
+	forms := f.Sys.Taxonomy.Expand(tower)
+	dealSet := map[string]bool{}
+	for _, form := range forms {
+		q := siapi.Query{All: []string{form}}
+		for _, hit := range f.Sys.SIAPI.Search(q, 0) {
+			if inSubset[hit.DealID] {
+				dealSet[hit.DealID] = true
+			}
+		}
+	}
+	return sortedKeys(dealSet)
+}
+
+// WinsLosses counts how many rows each side wins on F-measure.
+func (r Table2Result) WinsLosses() (eilWins, kwWins, ties int) {
+	for _, row := range r.Rows {
+		switch {
+		case row.EIL.F > row.KW.F:
+			eilWins++
+		case row.KW.F > row.EIL.F:
+			kwWins++
+		default:
+			ties++
+		}
+	}
+	return
+}
+
+// --- Figure 4 / 5 / 6: Meta-query 1 walkthrough ---
+
+// Fig4Result reports the keyword-search document counts for End User
+// Services: the naive query and the subtype-expanded query (paper: 261 then
+// 1132 documents).
+type Fig4Result struct {
+	CanonicalDocs int // "End User Services" / "EUS" only
+	ExpandedDocs  int // subtypes spelled out
+	Expansion     float64
+}
+
+// Fig4 runs the Meta-query 1 keyword baseline.
+func Fig4(f *Fixture) Fig4Result {
+	canonical := f.Sys.SIAPI.Count(siapi.Query{Any: []string{"End User Services", "EUS"}})
+	var all []string
+	all = append(all, f.Sys.Taxonomy.Expand("End User Services")...)
+	expanded := f.Sys.SIAPI.Count(siapi.Query{Any: all})
+	r := Fig4Result{CanonicalDocs: canonical, ExpandedDocs: expanded}
+	if canonical > 0 {
+		r.Expansion = float64(expanded) / float64(canonical)
+	}
+	return r
+}
+
+// Fig5Deal is one row of the EIL deal list: the deal with its towers in
+// significance order (matched towers lead, as Figure 5 bolds them).
+type Fig5Deal struct {
+	DealID  string
+	Towers  []string
+	Matched []string
+	Score   float64
+	Correct bool // deal truly has EUS in scope
+}
+
+// Fig5 runs the Meta-query 1 EIL concept search.
+func Fig5(f *Fixture) ([]Fig5Deal, error) {
+	res, err := f.Sys.Search(f.User(), core.FormQuery{Tower: "End User Services"})
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig5Deal
+	for _, a := range res.Activities {
+		d := Fig5Deal{DealID: a.DealID, Matched: a.MatchedTowers, Score: a.Score}
+		if a.Synopsis != nil {
+			for _, tw := range a.Synopsis.Towers {
+				if tw.SubTower == "" {
+					d.Towers = append(d.Towers, tw.Tower)
+				}
+			}
+		}
+		if truth := f.Corpus.Truth[a.DealID]; truth != nil {
+			d.Correct = truth.HasTower("End User Services")
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// Fig6 fetches the synopsis of the top Figure 5 deal — the business context
+// panel of the paper's Figure 6.
+func Fig6(f *Fixture) (synopsis.Deal, error) {
+	deals, err := Fig5(f)
+	if err != nil {
+		return synopsis.Deal{}, err
+	}
+	if len(deals) == 0 {
+		return synopsis.Deal{}, fmt.Errorf("eval: fig6: no EUS deals")
+	}
+	return f.Sys.Synopses.Get(deals[0].DealID)
+}
+
+// --- Meta-query 2: the people funnel ---
+
+// MQ2Result contrasts the three-step keyword funnel with EIL's single
+// people search (paper: 0 docs, then 4 docs, then 97 docs; EIL finds the
+// deal and its categorized contact list in one query).
+type MQ2Result struct {
+	KWStep1Docs int // "Sam White ABC CSE"
+	KWStep2Docs int // "Sam White ABC"
+	KWStep3Docs int // "ABC ONLINE CSE"
+	EILDeals    []string
+	// People is the categorized contact list of the found deal.
+	People []synopsis.Contact
+	// CSEs are the names EIL reports in the CSE role on the found deal.
+	CSEs []string
+}
+
+// MQ2 runs the funnel.
+func MQ2(f *Fixture) (MQ2Result, error) {
+	var r MQ2Result
+	r.KWStep1Docs = f.Sys.KeywordCount(`Sam White ABC CSE`)
+	r.KWStep2Docs = f.Sys.KeywordCount(`Sam White ABC`)
+	r.KWStep3Docs = f.Sys.KeywordCount(`ABC ONLINE CSE`)
+
+	res, err := f.Sys.Search(f.User(), core.FormQuery{PersonName: "Sam White", PersonOrg: "ABC"})
+	if err != nil {
+		return r, err
+	}
+	for _, a := range res.Activities {
+		r.EILDeals = append(r.EILDeals, a.DealID)
+	}
+	if len(res.Activities) > 0 && res.Activities[0].Synopsis != nil {
+		r.People = res.Activities[0].Synopsis.People
+		for _, p := range r.People {
+			if strings.Contains(strings.ToLower(p.Role), "cse") ||
+				strings.Contains(strings.ToLower(p.Role), "client solution executive") {
+				r.CSEs = append(r.CSEs, p.Name)
+			}
+		}
+	}
+	return r, nil
+}
+
+// --- Meta-query 3: schema-field noise ---
+
+// MQ3Result contrasts keyword search for "cross tower TSA" (mostly hits on
+// empty schema fields; paper: 149 documents) with EIL's directed contact
+// query.
+type MQ3Result struct {
+	KWDocs int
+	// ValueDocs counts documents where the field actually carries a value
+	// — the only useful hits, buried in the keyword result list.
+	ValueDocs int
+	// EILContacts are the (deal, person) pairs EIL returns directly.
+	EILContacts []MQ3Contact
+}
+
+// MQ3Contact is one person found in the cross-tower-TSA capacity.
+type MQ3Contact struct {
+	DealID string
+	Name   string
+}
+
+// MQ3 runs the comparison. The directed query goes straight at the contacts
+// table — the "search on ... only the contact list created from social
+// networking annotator" of the paper.
+func MQ3(f *Fixture) (MQ3Result, error) {
+	var r MQ3Result
+	r.KWDocs = f.Sys.KeywordCount(`"cross tower TSA"`)
+	// Ground truth from indexed grids: hits whose TSA column has a value.
+	for _, doc := range f.Corpus.Docs {
+		if doc.Structure == nil || doc.Structure.Grid == nil {
+			continue
+		}
+		g := doc.Structure.Grid
+		col := g.ColumnIndex("cross tower tsa")
+		if col < 0 {
+			continue
+		}
+		for row := 1; row < len(g.Rows); row++ {
+			if g.Cell(row, col) != "" {
+				r.ValueDocs++
+				break
+			}
+		}
+	}
+	rows, err := f.Sys.Synopses.Conn().Query(
+		`SELECT deal_id, name FROM contacts WHERE LOWER(role) LIKE '%cross tower tsa%' ORDER BY deal_id, name`)
+	if err != nil {
+		return r, err
+	}
+	for _, row := range rows.Data {
+		r.EILContacts = append(r.EILContacts, MQ3Contact{
+			DealID: row[0].(string), Name: row[1].(string),
+		})
+	}
+	return r, nil
+}
+
+// --- Meta-query 4: combined concept + keyword query ---
+
+// MQ4Result is the Figure 9 output: activities first, then each activity's
+// matching documents.
+type MQ4Result struct {
+	Activities []MQ4Activity
+	// PlantedFound reports whether the walkthrough deal (Storage
+	// Management Services scope with a data-replication solution) ranks in
+	// the results.
+	PlantedFound bool
+}
+
+// MQ4Activity is one returned activity with its documents.
+type MQ4Activity struct {
+	DealID string
+	Score  float64
+	Towers []string
+	Docs   []siapi.DocHit
+}
+
+// MQ4 runs the Figure 8 form query: tower = Storage Management Services,
+// exact phrase "data replication" anywhere in the engagement workbooks.
+func MQ4(f *Fixture) (MQ4Result, error) {
+	res, err := f.Sys.Search(f.User(), core.FormQuery{
+		Tower:       "Storage Management Services",
+		ExactPhrase: "data replication",
+		DocsPerDeal: 3,
+	})
+	if err != nil {
+		return MQ4Result{}, err
+	}
+	var r MQ4Result
+	for _, a := range res.Activities {
+		act := MQ4Activity{DealID: a.DealID, Score: a.Score, Docs: a.Docs}
+		if a.Synopsis != nil {
+			for _, tw := range a.Synopsis.Towers {
+				if tw.SubTower == "" {
+					act.Towers = append(act.Towers, tw.Tower)
+				}
+			}
+		}
+		r.Activities = append(r.Activities, act)
+		if a.DealID == "ABC ONLINE" {
+			r.PlantedFound = true
+		}
+	}
+	return r, nil
+}
+
+// --- Production rollout scale (§4 closing) ---
+
+// RolloutResult summarizes an ingest at a larger scale (the paper reports
+// >500k documents from ~1000 engagements in production; the default here is
+// a reduced profile, scaled by the caller).
+type RolloutResult struct {
+	Deals int
+	Docs  int
+	Terms int
+}

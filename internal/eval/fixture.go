@@ -1,0 +1,70 @@
+package eval
+
+import (
+	"fmt"
+	"sync"
+
+	"repro"
+	"repro/internal/access"
+	"repro/internal/synth"
+)
+
+// Fixture bundles a generated corpus with an ingested system; experiments
+// share it because ingestion of the eval-scale corpus is the expensive step.
+type Fixture struct {
+	Corpus *synth.Corpus
+	Sys    *eil.System
+}
+
+// User is the evaluation principal: the experiments of §4 "assume that
+// there are no access controls on the documents", so the fixture runs with
+// no controller and an admin user.
+func (f *Fixture) User() access.User {
+	return access.User{ID: "eval", Name: "Evaluator", Roles: []access.Role{access.RoleAdmin}}
+}
+
+// NewFixture generates the corpus under cfg and ingests it with opts
+// (Directory defaults to the corpus directory).
+func NewFixture(cfg synth.Config, opts eil.Options) (*Fixture, error) {
+	corpus, err := synth.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("eval: generate: %w", err)
+	}
+	if opts.Directory == nil {
+		opts.Directory = corpus.Directory
+	}
+	sys, err := eil.Ingest(corpus.Docs, opts)
+	if err != nil {
+		return nil, fmt.Errorf("eval: ingest: %w", err)
+	}
+	return &Fixture{Corpus: corpus, Sys: sys}, nil
+}
+
+var (
+	evalOnce    sync.Once
+	evalFixture *Fixture
+	evalErr     error
+)
+
+// EvalFixture returns the shared paper-scale fixture (23 deals, ~15k docs),
+// built once per process.
+func EvalFixture() (*Fixture, error) {
+	evalOnce.Do(func() {
+		evalFixture, evalErr = NewFixture(synth.EvalConfig(), eil.Options{})
+	})
+	return evalFixture, evalErr
+}
+
+var (
+	smallOnce    sync.Once
+	smallFixture *Fixture
+	smallErr     error
+)
+
+// SmallFixture returns the shared unit-test-scale fixture.
+func SmallFixture() (*Fixture, error) {
+	smallOnce.Do(func() {
+		smallFixture, smallErr = NewFixture(synth.SmallConfig(), eil.Options{})
+	})
+	return smallFixture, smallErr
+}

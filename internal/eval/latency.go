@@ -1,0 +1,83 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+)
+
+// LatencyProfile reports online-query latency percentiles over a mixed
+// workload — the operational side of the §4 rollout claim (the production
+// system serves an interactive UI, so search must stay interactive as the
+// corpus grows).
+type LatencyProfile struct {
+	Queries int
+	P50     time.Duration
+	P95     time.Duration
+	Max     time.Duration
+}
+
+func (p LatencyProfile) String() string {
+	return fmt.Sprintf("%d queries: p50=%s p95=%s max=%s",
+		p.Queries, p.P50.Round(time.Microsecond), p.P95.Round(time.Microsecond), p.Max.Round(time.Microsecond))
+}
+
+// latencyWorkload is the mixed query set: concept-only, concept+text,
+// people, and keyword-baseline shapes, cycled.
+func latencyWorkload(f *Fixture) []func() error {
+	user := f.User()
+	return []func() error{
+		func() error {
+			_, err := f.Sys.Search(user, core.FormQuery{Tower: "End User Services"})
+			return err
+		},
+		func() error {
+			_, err := f.Sys.Search(user, core.FormQuery{
+				Tower: "Storage Management Services", ExactPhrase: "data replication"})
+			return err
+		},
+		func() error {
+			_, err := f.Sys.Search(user, core.FormQuery{PersonName: "Sam White"})
+			return err
+		},
+		func() error {
+			f.Sys.KeywordSearch(`"cross tower TSA"`, 10)
+			return nil
+		},
+		func() error {
+			_, err := f.Sys.Search(user, core.FormQuery{Industry: "Insurance", AnyWords: []string{"recovery", "failover"}})
+			return err
+		},
+	}
+}
+
+// MeasureLatency runs rounds of the mixed workload and computes the profile.
+func MeasureLatency(f *Fixture, rounds int) (LatencyProfile, error) {
+	if rounds <= 0 {
+		rounds = 20
+	}
+	workload := latencyWorkload(f)
+	var samples []time.Duration
+	for r := 0; r < rounds; r++ {
+		for _, run := range workload {
+			start := time.Now()
+			if err := run(); err != nil {
+				return LatencyProfile{}, err
+			}
+			samples = append(samples, time.Since(start))
+		}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	pick := func(q float64) time.Duration {
+		i := int(q * float64(len(samples)-1))
+		return samples[i]
+	}
+	return LatencyProfile{
+		Queries: len(samples),
+		P50:     pick(0.50),
+		P95:     pick(0.95),
+		Max:     samples[len(samples)-1],
+	}, nil
+}

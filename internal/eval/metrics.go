@@ -1,0 +1,89 @@
+// Package eval implements the paper's evaluation (§4): precision/recall/
+// F-measure metrics, the Table 2 scope-query comparison of EIL against
+// OmniFind-style keyword search, the Figure 4/5/6 Meta-query 1 walkthrough,
+// the Meta-query 2 funnel, the Meta-query 3 schema-noise analysis, the
+// Meta-query 4 combined query, the §2 email study, and the design-choice
+// ablations. Every experiment returns a typed result that the eileval CLI
+// and the bench harness render.
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PRF is precision, recall, and F-measure, defined exactly as in the paper:
+// precision = correct returned / returned, recall = correct returned /
+// should-have-returned, F = 2PR/(P+R).
+type PRF struct {
+	Precision float64
+	Recall    float64
+	F         float64
+}
+
+// Compute derives PRF from a retrieved set and a relevant (ground truth)
+// set. Empty retrieved with empty relevant scores a perfect 1/1/1; empty
+// retrieved against non-empty relevant scores 0.
+func Compute(retrieved, relevant []string) PRF {
+	rel := map[string]bool{}
+	for _, r := range relevant {
+		rel[r] = true
+	}
+	got := map[string]bool{}
+	correct := 0
+	for _, r := range retrieved {
+		if got[r] {
+			continue
+		}
+		got[r] = true
+		if rel[r] {
+			correct++
+		}
+	}
+	var p, rc float64
+	switch {
+	case len(got) == 0 && len(rel) == 0:
+		return PRF{Precision: 1, Recall: 1, F: 1}
+	case len(got) == 0:
+		return PRF{}
+	}
+	p = float64(correct) / float64(len(got))
+	if len(rel) == 0 {
+		rc = 1
+	} else {
+		rc = float64(correct) / float64(len(rel))
+	}
+	f := 0.0
+	if p+rc > 0 {
+		f = 2 * p * rc / (p + rc)
+	}
+	return PRF{Precision: p, Recall: rc, F: f}
+}
+
+// String renders "P=0.82 R=1.00 F=0.90".
+func (m PRF) String() string {
+	return fmt.Sprintf("P=%.2f R=%.2f F=%.2f", m.Precision, m.Recall, m.F)
+}
+
+// MeanF averages F-measures.
+func MeanF(rows []PRF) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range rows {
+		sum += r.F
+	}
+	return sum / float64(len(rows))
+}
+
+// sortedKeys returns map keys sorted, for deterministic iteration in
+// experiment code.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,247 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/studies"
+	"repro/internal/synth"
+)
+
+// Report runs the named experiment(s) against the fixture and writes a
+// paper-vs-measured report. exp is one of: study, table2, fig4, fig5, fig6,
+// mq2, mq3, mq4, rollout, ablations, or all.
+func Report(w io.Writer, f *Fixture, exp string) error {
+	run := func(name string, fn func() error) error {
+		if exp != "all" && exp != name {
+			return nil
+		}
+		fmt.Fprintf(w, "=== %s ===\n", name)
+		if err := fn(); err != nil {
+			return fmt.Errorf("eval: %s: %w", name, err)
+		}
+		fmt.Fprintln(w)
+		return nil
+	}
+	steps := []struct {
+		name string
+		fn   func() error
+	}{
+		{"study", func() error { return reportStudy(w) }},
+		{"table2", func() error { return reportTable2(w, f) }},
+		{"fig4", func() error { reportFig4(w, f); return nil }},
+		{"fig5", func() error { return reportFig5(w, f) }},
+		{"fig6", func() error { return reportFig6(w, f) }},
+		{"mq2", func() error { return reportMQ2(w, f) }},
+		{"mq3", func() error { return reportMQ3(w, f) }},
+		{"mq4", func() error { return reportMQ4(w, f) }},
+		{"rollout", func() error { return reportRollout(w, f) }},
+		{"ablations", func() error { return reportAblations(w, f) }},
+	}
+	known := false
+	for _, s := range steps {
+		if exp == "all" || exp == s.name {
+			known = true
+		}
+		if err := run(s.name, s.fn); err != nil {
+			return err
+		}
+	}
+	if !known {
+		return fmt.Errorf("eval: unknown experiment %q", exp)
+	}
+	return nil
+}
+
+func reportStudy(w io.Writer) error {
+	r, err := studies.Run(2008)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "§2 information-needs study over %d email threads\n", r.Threads)
+	fmt.Fprintf(w, "%-28s %8s %8s\n", "category", "paper", "measured")
+	rows := []struct {
+		label string
+		paper string
+	}{
+		{studies.MQ1, "38%"}, {studies.MQ2, "17%"},
+		{studies.MQ3, "36%"}, {studies.MQ4, "29%"},
+	}
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-28s %8s %7.0f%%\n", "meta-query "+strings.TrimPrefix(row.label, "mq"), row.paper, r.Percent(row.label))
+	}
+	fmt.Fprintf(w, "%-28s %8s %5d/120\n", "social networking", "63/120", r.Measured[studies.Social])
+	fmt.Fprintf(w, "rule categorizer accuracy %.2f; naive Bayes accuracy %.2f\n", r.Accuracy, r.NBAccuracy)
+	return nil
+}
+
+func reportTable2(w io.Writer, f *Fixture) error {
+	res, err := Table2(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Table 2: EIL vs keyword search, %d scope queries over %d deals\n", len(res.Rows), len(res.Deals))
+	fmt.Fprintf(w, "%-4s %-34s %-26s %-26s\n", "Q", "tower", "EIL", "KW")
+	for i, row := range res.Rows {
+		fmt.Fprintf(w, "%-4d %-34s %-26s %-26s\n", i+1, row.Query, row.EIL, row.KW)
+	}
+	eilWins, kwWins, ties := res.WinsLosses()
+	fmt.Fprintf(w, "EIL wins %d, KW wins %d, ties %d (paper: EIL wins 8/10)\n", eilWins, kwWins, ties)
+	return nil
+}
+
+func reportFig4(w io.Writer, f *Fixture) {
+	r := Fig4(f)
+	fmt.Fprintf(w, "Figure 4: keyword search for End User Services\n")
+	fmt.Fprintf(w, "%-40s %8s %9s\n", "query", "paper", "measured")
+	fmt.Fprintf(w, "%-40s %8d %9d\n", "EUS / End User Services only", 261, r.CanonicalDocs)
+	fmt.Fprintf(w, "%-40s %8d %9d\n", "with subtypes spelled out", 1132, r.ExpandedDocs)
+	fmt.Fprintf(w, "expansion factor: paper 4.3x, measured %.1fx\n", r.Expansion)
+}
+
+func reportFig5(w io.Writer, f *Fixture) error {
+	deals, err := Fig5(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Figure 5: EIL concept search for End User Services (%d deals)\n", len(deals))
+	for _, d := range deals {
+		mark := " "
+		if d.Correct {
+			mark = "+"
+		}
+		fmt.Fprintf(w, "%s %-12s score %.2f towers: %s\n", mark, d.DealID, d.Score, strings.Join(d.Towers, ", "))
+	}
+	return nil
+}
+
+func reportFig6(w io.Writer, f *Fixture) error {
+	deal, err := Fig6(f)
+	if err != nil {
+		return err
+	}
+	o := deal.Overview
+	var towers []string
+	for _, tw := range deal.Towers {
+		if tw.SubTower == "" {
+			towers = append(towers, tw.Tower)
+		}
+	}
+	fmt.Fprintf(w, "Figure 6: synopsis for %s\n", o.DealID)
+	fmt.Fprintf(w, "  Towers:                  %s\n", strings.Join(towers, ", "))
+	fmt.Fprintf(w, "  Customer name:           %s\n", o.Customer)
+	fmt.Fprintf(w, "  Industry:                %s\n", o.Industry)
+	fmt.Fprintf(w, "  Out Sourcing Consultant: %s\n", o.Consultant)
+	fmt.Fprintf(w, "  Contract Term Start:     %s\n", o.TermStart)
+	fmt.Fprintf(w, "  Term Duration (months):  %d\n", o.TermMonths)
+	fmt.Fprintf(w, "  Total Contract Value:    %s\n", o.TCVBand)
+	fmt.Fprintf(w, "  Is International?        %v\n", o.International)
+	fmt.Fprintf(w, "  People: %d contacts, Win Strategies: %d, Client References: %d, Technology Solutions: %d\n",
+		len(deal.People), len(deal.WinStrategies), len(deal.ClientRefs), len(deal.TechSolutions))
+	return nil
+}
+
+func reportMQ2(w io.Writer, f *Fixture) error {
+	r, err := MQ2(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Meta-query 2: which CSE has worked with Sam White from company ABC?\n")
+	fmt.Fprintf(w, "%-44s %8s %9s\n", "keyword step", "paper", "measured")
+	fmt.Fprintf(w, "%-44s %8d %9d\n", `1. "Sam White ABC CSE"`, 0, r.KWStep1Docs)
+	fmt.Fprintf(w, "%-44s %8d %9d\n", `2. "Sam White ABC"`, 4, r.KWStep2Docs)
+	fmt.Fprintf(w, "%-44s %8d %9d\n", `3. "ABC Online CSE"`, 97, r.KWStep3Docs)
+	fmt.Fprintf(w, "EIL people search: deal %v, %d contacts on the People tab, CSEs: %s\n",
+		r.EILDeals, len(r.People), strings.Join(r.CSEs, ", "))
+	return nil
+}
+
+func reportMQ3(w io.Writer, f *Fixture) error {
+	r, err := MQ3(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Meta-query 3: who has worked in the capacity of cross tower TSA?\n")
+	fmt.Fprintf(w, "keyword docs: paper 149, measured %d (only %d carry a value)\n", r.KWDocs, r.ValueDocs)
+	fmt.Fprintf(w, "EIL directed contact query returns %d people:\n", len(r.EILContacts))
+	for _, c := range r.EILContacts {
+		fmt.Fprintf(w, "  %-14s %s\n", c.DealID, c.Name)
+	}
+	return nil
+}
+
+func reportMQ4(w io.Writer, f *Fixture) error {
+	r, err := MQ4(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Meta-query 4: Storage Management Services tower + \"data replication\" (Figures 8-9)\n")
+	fmt.Fprintf(w, "%d activities (planted deal found: %v)\n", len(r.Activities), r.PlantedFound)
+	for _, a := range r.Activities {
+		fmt.Fprintf(w, "  %-12s score %.2f towers: %s\n", a.DealID, a.Score, strings.Join(a.Towers, ", "))
+		for _, d := range a.Docs {
+			fmt.Fprintf(w, "    %.2f %s\n", d.Score, d.Path)
+		}
+	}
+	return nil
+}
+
+func reportRollout(w io.Writer, f *Fixture) error {
+	fmt.Fprintf(w, "§4 rollout: %d documents across %d activities indexed (%d distinct terms)\n",
+		f.Sys.Index.DocCount(), len(f.Corpus.DealIDs), f.Sys.Index.TermCount())
+	fmt.Fprintf(w, "(paper production scale: >500k documents, ~1000 engagements — same pipeline, linear generator)\n")
+	p, err := MeasureLatency(f, 20)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "online query latency over a mixed workload: %s\n", p)
+	return nil
+}
+
+func reportAblations(w io.Writer, f *Fixture) error {
+	sc, err := AblationScoping(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "scoping: scoped %d docs vs unscoped %d (results identical: %v)\n",
+		sc.ScopedDocsConsidered, sc.UnscopedDocsConsidered, sc.SameActivitySet)
+
+	rk, err := AblationRanking(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "ranking: planted deal rank — combined #%d, synopsis-only #%d, doc-only #%d of %d\n",
+		rk.CombinedRank, rk.SynopsisRank, rk.DocRank, rk.Activities)
+
+	cfg := synth.SmallConfig()
+	dir, err := AblationDirectory(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "directory: phones %.2f with vs %.2f without enrichment, %.2f validated (%d contacts)\n",
+		dir.WithPhoneRate, dir.WithoutPhoneRate, dir.ValidatedRate, dir.Contacts)
+
+	st, err := AblationStructure(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "structure: roster recall %.2f structured vs %.2f blob\n", st.StructuredRecall, st.BlobRecall)
+
+	en, err := AblationEntity(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "entity vs conventions (§3.2.1): conventions P=%.2f R=%.2f, entity+cooccurrence P=%.2f R=%.2f\n",
+		en.ConventionPrecision, en.ConventionRecall, en.EntityPrecision, en.EntityRecall)
+
+	pts, err := AblationCPEThreshold(cfg, []float64{0.5, 1, 2, 4, 8})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "CPE threshold sweep:\n")
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %.1f: P=%.2f R=%.2f F=%.2f\n", p.MinScopeWeight, p.MeanPrecision, p.MeanRecall, p.MeanF)
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReportAllSections(t *testing.T) {
+	f, err := SmallFixture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Report(&buf, f, "all"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, section := range []string{
+		"=== study ===", "=== table2 ===", "=== fig4 ===", "=== fig5 ===",
+		"=== fig6 ===", "=== mq2 ===", "=== mq3 ===", "=== mq4 ===",
+		"=== rollout ===", "=== ablations ===",
+	} {
+		if !strings.Contains(out, section) {
+			t.Errorf("report missing %s", section)
+		}
+	}
+	for _, content := range []string{
+		"38%", "EIL wins", "expansion factor", "Sam White", "cross tower TSA",
+		"data replication", "query latency", "entity", "CPE threshold sweep",
+	} {
+		if !strings.Contains(out, content) {
+			t.Errorf("report missing content %q", content)
+		}
+	}
+}
+
+func TestReportSingleSection(t *testing.T) {
+	f, err := SmallFixture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Report(&buf, f, "fig4"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "=== fig4 ===") || strings.Contains(out, "=== table2 ===") {
+		t.Fatalf("section filter broken:\n%s", out)
+	}
+}
+
+func TestReportUnknownExperiment(t *testing.T) {
+	f, err := SmallFixture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Report(&buf, f, "nope"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

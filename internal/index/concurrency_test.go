@@ -1,0 +1,102 @@
+package index
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/textproc"
+)
+
+// TestConcurrentAddSearch exercises the index under simultaneous writers
+// and readers; run with -race to verify the locking discipline.
+func TestConcurrentAddSearch(t *testing.T) {
+	ix := New(textproc.DefaultAnalyzer)
+	const writers, readers, docsPer = 4, 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < docsPer; i++ {
+				_, err := ix.Add(Document{
+					ExtID: fmt.Sprintf("w%d-d%d", w, i),
+					Fields: []Field{
+						{Name: "body", Text: "storage replication network recovery services"},
+						{Name: "deal", Text: fmt.Sprintf("DEAL %d", w), Keyword: true},
+					},
+					Meta: map[string]string{"deal": fmt.Sprintf("DEAL %d", w)},
+				})
+				if err != nil {
+					t.Errorf("add: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	q := TermQuery{Field: "body", Term: textproc.DefaultAnalyzer.NormalizeTerm("replication")}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				hits := ix.Search(q, 10)
+				for _, h := range hits {
+					if h.Score <= 0 {
+						t.Error("non-positive score under concurrency")
+						return
+					}
+				}
+				ix.Count(q)
+				ix.DocCount()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ix.DocCount(); got != writers*docsPer {
+		t.Fatalf("DocCount = %d, want %d", got, writers*docsPer)
+	}
+	if n := ix.Count(q); n != writers*docsPer {
+		t.Fatalf("final count = %d", n)
+	}
+}
+
+// TestConcurrentDeleteSearch mixes tombstoning with searching.
+func TestConcurrentDeleteSearch(t *testing.T) {
+	ix := New(textproc.DefaultAnalyzer)
+	const n = 200
+	for i := 0; i < n; i++ {
+		if _, err := ix.Add(Document{
+			ExtID:  fmt.Sprintf("d%d", i),
+			Fields: []Field{{Name: "body", Text: "shared term content"}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i += 2 {
+			if err := ix.Delete(fmt.Sprintf("d%d", i)); err != nil {
+				t.Errorf("delete: %v", err)
+				return
+			}
+		}
+	}()
+	q := TermQuery{Field: "body", Term: "share"} // stemmed "shared"
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			hits := ix.Search(q, 0)
+			if len(hits) > n {
+				t.Errorf("impossible hit count %d", len(hits))
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if got := ix.DocCount(); got != n/2 {
+		t.Fatalf("DocCount = %d, want %d", got, n/2)
+	}
+}

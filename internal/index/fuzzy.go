@@ -1,0 +1,178 @@
+package index
+
+// Fuzzy term matching: a FuzzyQuery expands against the field's term
+// dictionary to all terms within a bounded edit distance, then evaluates as
+// a disjunction. EIL uses it for the search box's tolerance to typos in
+// client and person names, which autocorrect-free enterprise mail is full
+// of.
+
+// FuzzyQuery matches documents containing any term within MaxDist edits of
+// Term in Field. Term must already be analyzer-normalized. MaxDist <= 0
+// defaults to 1; the expansion is capped to keep worst-case cost bounded.
+type FuzzyQuery struct {
+	Field   string
+	Term    string
+	MaxDist int
+}
+
+func (FuzzyQuery) isQuery() {}
+
+// maxFuzzyExpansions bounds how many dictionary terms one fuzzy leaf may
+// expand to; the closest terms win.
+const maxFuzzyExpansions = 32
+
+// PrefixQuery matches documents containing any term starting with Prefix in
+// Field (the search box's trailing-wildcard form, `storag*`). Prefix must
+// be analyzer-normalized without stemming applied by the caller — prefixes
+// are matched against the stemmed dictionary as-is.
+type PrefixQuery struct {
+	Field  string
+	Prefix string
+}
+
+func (PrefixQuery) isQuery() {}
+
+// maxPrefixExpansions bounds dictionary expansion for prefix leaves.
+const maxPrefixExpansions = 64
+
+// evalPrefix expands the prefix against the dictionary and evaluates the
+// union at full term scores.
+func (ix *Index) evalPrefix(q PrefixQuery) map[DocID]float64 {
+	if q.Prefix == "" {
+		return map[DocID]float64{}
+	}
+	var terms []string
+	for key := range ix.postings {
+		if key.field != q.Field {
+			continue
+		}
+		if len(key.term) > 0 && key.term[0] == '\x00' {
+			continue
+		}
+		if len(key.term) >= len(q.Prefix) && key.term[:len(q.Prefix)] == q.Prefix {
+			terms = append(terms, key.term)
+		}
+	}
+	// Shorter terms first on the cap (they carry the most postings mass).
+	for i := 1; i < len(terms); i++ {
+		for j := i; j > 0 && (len(terms[j]) < len(terms[j-1]) ||
+			(len(terms[j]) == len(terms[j-1]) && terms[j] < terms[j-1])); j-- {
+			terms[j], terms[j-1] = terms[j-1], terms[j]
+		}
+	}
+	if len(terms) > maxPrefixExpansions {
+		terms = terms[:maxPrefixExpansions]
+	}
+	out := map[DocID]float64{}
+	for _, term := range terms {
+		for id, s := range ix.evalTerm(q.Field, term) {
+			if s > out[id] {
+				out[id] = s
+			}
+		}
+	}
+	return out
+}
+
+// evalFuzzy expands the query term against the dictionary and evaluates the
+// union. Scores are the underlying term scores scaled down by edit distance
+// (exact-distance-1 matches count 60%, distance-2 matches 35%).
+func (ix *Index) evalFuzzy(q FuzzyQuery) map[DocID]float64 {
+	maxDist := q.MaxDist
+	if maxDist <= 0 {
+		maxDist = 1
+	}
+	type cand struct {
+		term string
+		dist int
+	}
+	var cands []cand
+	for key := range ix.postings {
+		if key.field != q.Field {
+			continue
+		}
+		// Keyword terms (whole-value concepts) are not fuzzy-matchable.
+		if len(key.term) > 0 && key.term[0] == '\x00' {
+			continue
+		}
+		d, ok := editDistanceAtMost(q.Term, key.term, maxDist)
+		if !ok {
+			continue
+		}
+		cands = append(cands, cand{term: key.term, dist: d})
+	}
+	// Prefer closer terms when capping.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && (cands[j].dist < cands[j-1].dist ||
+			(cands[j].dist == cands[j-1].dist && cands[j].term < cands[j-1].term)); j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	if len(cands) > maxFuzzyExpansions {
+		cands = cands[:maxFuzzyExpansions]
+	}
+	out := map[DocID]float64{}
+	for _, c := range cands {
+		scale := 1.0
+		switch c.dist {
+		case 1:
+			scale = 0.6
+		case 2:
+			scale = 0.35
+		}
+		for id, s := range ix.evalTerm(q.Field, c.term) {
+			if v := s * scale; v > out[id] {
+				out[id] = v
+			}
+		}
+	}
+	return out
+}
+
+// editDistanceAtMost computes the Levenshtein distance between a and b if
+// it is <= limit, using the banded dynamic program; ok is false when the
+// distance exceeds the limit.
+func editDistanceAtMost(a, b string, limit int) (int, bool) {
+	la, lb := len(a), len(b)
+	if la-lb > limit || lb-la > limit {
+		return 0, false
+	}
+	if a == b {
+		return 0, true
+	}
+	// Classic two-row DP; rows are short (terms), so the band is implicit.
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		rowMin := cur[0]
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1
+			if v := cur[j-1] + 1; v < m {
+				m = v
+			}
+			if v := prev[j-1] + cost; v < m {
+				m = v
+			}
+			cur[j] = m
+			if m < rowMin {
+				rowMin = m
+			}
+		}
+		if rowMin > limit {
+			return 0, false
+		}
+		prev, cur = cur, prev
+	}
+	if prev[lb] > limit {
+		return 0, false
+	}
+	return prev[lb], true
+}

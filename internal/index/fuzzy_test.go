@@ -1,0 +1,138 @@
+package index
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/textproc"
+)
+
+func TestFuzzySearchOneEdit(t *testing.T) {
+	ix := newTestIndex(t)
+	// "replication" indexed (stemmed to "replic"); query a typo'd form.
+	typo := textproc.DefaultAnalyzer.NormalizeTerm("replocation") // stems to "replocation"
+	hits := ix.Search(FuzzyQuery{Field: "body", Term: typo, MaxDist: 2}, 0)
+	if len(hits) == 0 {
+		t.Fatal("fuzzy query matched nothing")
+	}
+}
+
+func TestFuzzyExactTermStillMatches(t *testing.T) {
+	ix := newTestIndex(t)
+	term := textproc.DefaultAnalyzer.NormalizeTerm("replication")
+	fuzzy := ix.Search(FuzzyQuery{Field: "body", Term: term}, 0)
+	exact := ix.Search(TermQuery{Field: "body", Term: term}, 0)
+	if len(fuzzy) < len(exact) {
+		t.Fatalf("fuzzy (%d) lost exact matches (%d)", len(fuzzy), len(exact))
+	}
+	// Exact matches score at full weight: for every exact hit the fuzzy
+	// score must be >= its exact score scaled by no penalty.
+	exactScores := map[DocID]float64{}
+	for _, h := range exact {
+		exactScores[h.Doc] = h.Score
+	}
+	for _, h := range fuzzy {
+		if s, ok := exactScores[h.Doc]; ok && h.Score < s-1e-9 {
+			t.Fatalf("fuzzy penalized an exact match: %v < %v", h.Score, s)
+		}
+	}
+}
+
+func TestFuzzyNoMatchBeyondDistance(t *testing.T) {
+	ix := newTestIndex(t)
+	hits := ix.Search(FuzzyQuery{Field: "body", Term: "zzzzzzzz", MaxDist: 1}, 0)
+	if len(hits) != 0 {
+		t.Fatalf("nonsense term matched %d docs", len(hits))
+	}
+}
+
+func TestFuzzySkipsKeywordTerms(t *testing.T) {
+	ix := newTestIndex(t)
+	// The "deal" field carries keyword terms ("\x00deal a") one edit away
+	// from the plain string "deal a"; fuzzy expansion must skip them (the
+	// field's ordinary tokens "deal"/"a"/"b" are all >1 edit away).
+	hits := ix.Search(FuzzyQuery{Field: "deal", Term: "deal a", MaxDist: 1}, 0)
+	for _, h := range hits {
+		ext, _ := ix.ExtID(h.Doc)
+		t.Fatalf("fuzzy matched keyword term via %s", ext)
+	}
+}
+
+func TestFuzzyInBoolQuery(t *testing.T) {
+	ix := newTestIndex(t)
+	q := BoolQuery{Must: []Query{
+		FuzzyQuery{Field: "body", Term: "storag"}, // stem of "storage"
+		TermQuery{Field: "body", Term: textproc.DefaultAnalyzer.NormalizeTerm("replication")},
+	}}
+	hits := ix.Search(q, 0)
+	if len(hits) != 1 {
+		t.Fatalf("hits = %d", len(hits))
+	}
+}
+
+func TestEditDistanceAtMost(t *testing.T) {
+	cases := []struct {
+		a, b  string
+		limit int
+		d     int
+		ok    bool
+	}{
+		{"abc", "abc", 1, 0, true},
+		{"abc", "abd", 1, 1, true},
+		{"abc", "ab", 1, 1, true},
+		{"abc", "xyz", 1, 0, false},
+		{"abc", "abcd", 0, 0, false},
+		{"kitten", "sitting", 3, 3, true},
+		{"kitten", "sitting", 2, 0, false},
+		{"", "ab", 2, 2, true},
+	}
+	for _, c := range cases {
+		d, ok := editDistanceAtMost(c.a, c.b, c.limit)
+		if ok != c.ok || (ok && d != c.d) {
+			t.Errorf("editDistanceAtMost(%q,%q,%d) = %d,%v want %d,%v", c.a, c.b, c.limit, d, ok, c.d, c.ok)
+		}
+	}
+}
+
+// Property: editDistanceAtMost is symmetric and zero iff equal.
+func TestEditDistanceProperty(t *testing.T) {
+	err := quick.Check(func(a, b string) bool {
+		if len(a) > 30 {
+			a = a[:30]
+		}
+		if len(b) > 30 {
+			b = b[:30]
+		}
+		d1, ok1 := editDistanceAtMost(a, b, 5)
+		d2, ok2 := editDistanceAtMost(b, a, 5)
+		if ok1 != ok2 || (ok1 && d1 != d2) {
+			return false
+		}
+		if a == b {
+			return ok1 && d1 == 0
+		}
+		return !ok1 || d1 > 0
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixQuery(t *testing.T) {
+	ix := newTestIndex(t)
+	// Terms "storag" (stem of Storage), "staf" etc. Prefix "stor" hits.
+	hits := ix.Search(PrefixQuery{Field: "body", Prefix: "stor"}, 0)
+	if len(hits) != 1 {
+		t.Fatalf("prefix hits = %d", len(hits))
+	}
+	if hits := ix.Search(PrefixQuery{Field: "body", Prefix: "zzz"}, 0); len(hits) != 0 {
+		t.Fatalf("nonsense prefix matched %d", len(hits))
+	}
+	if hits := ix.Search(PrefixQuery{Field: "body", Prefix: ""}, 0); len(hits) != 0 {
+		t.Fatal("empty prefix matched")
+	}
+	// Keyword terms excluded: "deal" field keyword values start \x00.
+	if hits := ix.Search(PrefixQuery{Field: "deal", Prefix: "\x00deal"}, 0); len(hits) != 0 {
+		t.Fatal("keyword terms matched by prefix")
+	}
+}

@@ -1,0 +1,364 @@
+// Package index implements the EIL full-text engine: an in-memory inverted
+// index with positional postings, per-field statistics, BM25 relevance
+// scoring, phrase matching, and snippet extraction. It is the substitute for
+// the OmniFind enterprise search platform the paper builds on; the SIAPI
+// query layer (package siapi) compiles its query AST down to the primitives
+// exposed here.
+//
+// The index is safe for concurrent use: writes take an exclusive lock,
+// searches take a shared lock.
+package index
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/textproc"
+)
+
+// DocID identifies a document inside one Index. IDs are dense and assigned
+// in insertion order; deleted documents leave a tombstone.
+type DocID uint32
+
+// Field is one named region of a document. Body text, titles, and extracted
+// concept values are all fields; queries may target any subset.
+type Field struct {
+	Name string
+	Text string
+	// Keyword marks the field as an exact-value concept field: the whole
+	// (whitespace-folded, lowercased) value is indexed as a single term, in
+	// addition to its individual tokens. EIL uses keyword fields for
+	// annotation-derived concepts such as towers and roles.
+	Keyword bool
+	// Weight scales this field's BM25 contribution. Zero means 1.0.
+	Weight float64
+}
+
+// Document is the unit of indexing. ExtID is the caller's stable identifier
+// (for EIL, the repository path); Meta carries stored metadata returned with
+// hits, most importantly the business-activity ID.
+type Document struct {
+	ExtID  string
+	Fields []Field
+	Meta   map[string]string
+}
+
+// ErrNotFound is returned when a document lookup misses.
+var ErrNotFound = errors.New("index: document not found")
+
+// ErrDuplicate is returned when adding a document whose ExtID is already
+// present and live.
+var ErrDuplicate = errors.New("index: duplicate external id")
+
+// posting records one document's occurrences of a term within one field.
+type posting struct {
+	doc       DocID
+	positions []uint32 // token positions, ascending
+}
+
+// postingList is the per-(field,term) list, kept in ascending DocID order.
+type postingList struct {
+	entries []posting
+}
+
+type fieldTerm struct {
+	field string
+	term  string
+}
+
+type docEntry struct {
+	extID   string
+	meta    map[string]string
+	fields  []storedField
+	deleted bool
+}
+
+type storedField struct {
+	name   string
+	text   string
+	length int // token count, for BM25 normalization
+	weight float64
+}
+
+// Index is the inverted index. Create one with New.
+type Index struct {
+	mu       sync.RWMutex
+	analyzer textproc.Analyzer
+	docs     []docEntry
+	byExt    map[string]DocID
+	postings map[fieldTerm]*postingList
+	// fieldTotals tracks the sum of token lengths per field for average
+	// length in BM25; fieldDocs counts docs that have the field.
+	fieldTotals map[string]int
+	fieldDocs   map[string]int
+	liveDocs    int
+}
+
+// New returns an empty index using the given analyzer. Pass
+// textproc.DefaultAnalyzer for the standard EIL configuration.
+func New(a textproc.Analyzer) *Index {
+	return &Index{
+		analyzer:    a,
+		byExt:       make(map[string]DocID),
+		postings:    make(map[fieldTerm]*postingList),
+		fieldTotals: make(map[string]int),
+		fieldDocs:   make(map[string]int),
+	}
+}
+
+// Analyzer returns the analyzer the index was built with. Query layers must
+// use it so query terms normalize identically to indexed terms.
+func (ix *Index) Analyzer() textproc.Analyzer { return ix.analyzer }
+
+// Add indexes one document and returns its DocID. Adding an ExtID that is
+// already live returns ErrDuplicate.
+func (ix *Index) Add(doc Document) (DocID, error) {
+	if doc.ExtID == "" {
+		return 0, fmt.Errorf("index: empty external id")
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, ok := ix.byExt[doc.ExtID]; ok {
+		return 0, fmt.Errorf("%w: %s", ErrDuplicate, doc.ExtID)
+	}
+	id := DocID(len(ix.docs))
+	entry := docEntry{extID: doc.ExtID, meta: doc.Meta}
+	for _, f := range doc.Fields {
+		w := f.Weight
+		if w == 0 {
+			w = 1
+		}
+		toks := ix.analyzer.Tokenize(f.Text)
+		for _, tok := range toks {
+			ix.addPosting(f.Name, tok.Term, id, uint32(tok.Pos))
+		}
+		if f.Keyword {
+			kw := keywordTerm(f.Text)
+			if kw != "" {
+				ix.addPosting(f.Name, kw, id, keywordPos)
+			}
+		}
+		entry.fields = append(entry.fields, storedField{name: f.Name, text: f.Text, length: len(toks), weight: w})
+		ix.fieldTotals[f.Name] += len(toks)
+		ix.fieldDocs[f.Name]++
+	}
+	ix.docs = append(ix.docs, entry)
+	ix.byExt[doc.ExtID] = id
+	ix.liveDocs++
+	return id, nil
+}
+
+// keywordPos is the sentinel position used for whole-value keyword terms so
+// they never participate in phrase adjacency.
+const keywordPos = ^uint32(0)
+
+// keywordTerm normalizes a whole field value into a single exact-match term.
+func keywordTerm(value string) string {
+	v := textproc.FoldWhitespace(value)
+	if v == "" {
+		return ""
+	}
+	return "\x00" + lowerASCII(v)
+}
+
+// KeywordTerm exposes the keyword-term normalization for query compilers.
+func KeywordTerm(value string) string { return keywordTerm(value) }
+
+func lowerASCII(s string) string {
+	b := []byte(s)
+	changed := false
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 32
+			changed = true
+		}
+	}
+	if !changed {
+		return s
+	}
+	return string(b)
+}
+
+func (ix *Index) addPosting(field, term string, id DocID, pos uint32) {
+	key := fieldTerm{field, term}
+	pl := ix.postings[key]
+	if pl == nil {
+		pl = &postingList{}
+		ix.postings[key] = pl
+	}
+	n := len(pl.entries)
+	if n > 0 && pl.entries[n-1].doc == id {
+		pl.entries[n-1].positions = append(pl.entries[n-1].positions, pos)
+		return
+	}
+	pl.entries = append(pl.entries, posting{doc: id, positions: []uint32{pos}})
+}
+
+// Delete tombstones the document with the given external ID. Postings are
+// retained but filtered at read time; EIL re-ingests rather than compacting.
+func (ix *Index) Delete(extID string) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	id, ok := ix.byExt[extID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, extID)
+	}
+	e := &ix.docs[id]
+	if e.deleted {
+		return fmt.Errorf("%w: %s", ErrNotFound, extID)
+	}
+	e.deleted = true
+	delete(ix.byExt, extID)
+	for _, f := range e.fields {
+		ix.fieldTotals[f.name] -= f.length
+		ix.fieldDocs[f.name]--
+	}
+	ix.liveDocs--
+	return nil
+}
+
+// DocCount reports the number of live documents.
+func (ix *Index) DocCount() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.liveDocs
+}
+
+// TermCount reports the number of distinct (field, term) postings lists;
+// useful for diagnostics and tests.
+func (ix *Index) TermCount() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.postings)
+}
+
+// ExtID resolves a DocID back to the caller's identifier.
+func (ix *Index) ExtID(id DocID) (string, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if int(id) >= len(ix.docs) || ix.docs[id].deleted {
+		return "", ErrNotFound
+	}
+	return ix.docs[id].extID, nil
+}
+
+// Lookup resolves an external ID to its DocID.
+func (ix *Index) Lookup(extID string) (DocID, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	id, ok := ix.byExt[extID]
+	return id, ok
+}
+
+// Meta returns the stored metadata value for a document, or "" if absent.
+func (ix *Index) Meta(id DocID, key string) string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if int(id) >= len(ix.docs) || ix.docs[id].deleted {
+		return ""
+	}
+	return ix.docs[id].meta[key]
+}
+
+// FieldText returns the stored text of a field, for snippet generation and
+// result display. The empty string is returned when the field is absent.
+func (ix *Index) FieldText(id DocID, field string) string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if int(id) >= len(ix.docs) || ix.docs[id].deleted {
+		return ""
+	}
+	for _, f := range ix.docs[id].fields {
+		if f.name == field {
+			return f.text
+		}
+	}
+	return ""
+}
+
+// FieldNames returns the sorted set of field names present in the index.
+func (ix *Index) FieldNames() []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	names := make([]string, 0, len(ix.fieldDocs))
+	for n, c := range ix.fieldDocs {
+		if c > 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Compact rebuilds the index without tombstoned documents, reclaiming the
+// postings and stored fields deletions left behind. Document IDs are
+// reassigned; external IDs are stable. The caller swaps the returned index
+// in; the original is untouched.
+func (ix *Index) Compact() *Index {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	fresh := New(ix.analyzer)
+	for i := range ix.docs {
+		d := &ix.docs[i]
+		if d.deleted {
+			continue
+		}
+		doc := Document{ExtID: d.extID, Meta: d.meta}
+		for _, f := range d.fields {
+			doc.Fields = append(doc.Fields, Field{Name: f.name, Text: f.text, Weight: f.weight})
+		}
+		// Keyword fields are re-derived from the stored text: a field was
+		// keyword-indexed iff its whole-value term exists in the postings.
+		for fi := range doc.Fields {
+			kw := keywordTerm(doc.Fields[fi].Text)
+			if kw == "" {
+				continue
+			}
+			if pl := ix.postings[fieldTerm{doc.Fields[fi].Name, kw}]; pl != nil {
+				if findPosting(pl, DocID(i)) != nil {
+					doc.Fields[fi].Keyword = true
+				}
+			}
+		}
+		// Add cannot fail here: ExtIDs were unique among live docs.
+		if _, err := fresh.Add(doc); err != nil {
+			panic("index: compact invariant violated: " + err.Error())
+		}
+	}
+	return fresh
+}
+
+// ExtIDsByMeta returns the external IDs of live documents whose stored
+// metadata key equals value, in insertion order. EIL uses it to enumerate a
+// business activity's documents for withdrawal.
+func (ix *Index) ExtIDsByMeta(key, value string) []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var out []string
+	for i := range ix.docs {
+		d := &ix.docs[i]
+		if !d.deleted && d.meta[key] == value {
+			out = append(out, d.extID)
+		}
+	}
+	return out
+}
+
+// DocFreq reports how many live documents contain term in field.
+func (ix *Index) DocFreq(field, term string) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	pl := ix.postings[fieldTerm{field, term}]
+	if pl == nil {
+		return 0
+	}
+	n := 0
+	for _, p := range pl.entries {
+		if !ix.docs[p.doc].deleted {
+			n++
+		}
+	}
+	return n
+}

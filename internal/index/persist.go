@@ -1,0 +1,169 @@
+package index
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/textproc"
+)
+
+// persistFormat is bumped whenever the on-disk layout changes; Load rejects
+// mismatched versions rather than misreading them.
+const persistFormat = 1
+
+// snapshot is the gob-serializable image of an Index.
+type snapshot struct {
+	Format      int
+	Analyzer    textproc.Analyzer
+	Docs        []snapDoc
+	Postings    []snapPosting
+	FieldTotals map[string]int
+	FieldDocs   map[string]int
+	LiveDocs    int
+}
+
+type snapDoc struct {
+	ExtID   string
+	Meta    map[string]string
+	Fields  []snapField
+	Deleted bool
+}
+
+type snapField struct {
+	Name   string
+	Text   string
+	Length int
+	Weight float64
+}
+
+type snapPosting struct {
+	Field   string
+	Term    string
+	Entries []snapEntry
+}
+
+type snapEntry struct {
+	Doc       DocID
+	Positions []uint32
+}
+
+// WriteTo serializes the index. It holds a read lock for the duration, so
+// concurrent searches proceed but writes block.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	snap := snapshot{
+		Format:      persistFormat,
+		Analyzer:    ix.analyzer,
+		FieldTotals: ix.fieldTotals,
+		FieldDocs:   ix.fieldDocs,
+		LiveDocs:    ix.liveDocs,
+	}
+	for _, d := range ix.docs {
+		sd := snapDoc{ExtID: d.extID, Meta: d.meta, Deleted: d.deleted}
+		for _, f := range d.fields {
+			sd.Fields = append(sd.Fields, snapField{Name: f.name, Text: f.text, Length: f.length, Weight: f.weight})
+		}
+		snap.Docs = append(snap.Docs, sd)
+	}
+	for key, pl := range ix.postings {
+		sp := snapPosting{Field: key.field, Term: key.term}
+		for _, p := range pl.entries {
+			sp.Entries = append(sp.Entries, snapEntry{Doc: p.doc, Positions: p.positions})
+		}
+		snap.Postings = append(snap.Postings, sp)
+	}
+	cw := &countWriter{w: w}
+	if err := gob.NewEncoder(cw).Encode(snap); err != nil {
+		return cw.n, fmt.Errorf("index: encode: %w", err)
+	}
+	return cw.n, nil
+}
+
+// Load reads an index previously written with WriteTo.
+func Load(r io.Reader) (*Index, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("index: decode: %w", err)
+	}
+	if snap.Format != persistFormat {
+		return nil, fmt.Errorf("index: unsupported snapshot format %d", snap.Format)
+	}
+	ix := New(snap.Analyzer)
+	ix.fieldTotals = snap.FieldTotals
+	ix.fieldDocs = snap.FieldDocs
+	if ix.fieldTotals == nil {
+		ix.fieldTotals = map[string]int{}
+	}
+	if ix.fieldDocs == nil {
+		ix.fieldDocs = map[string]int{}
+	}
+	ix.liveDocs = snap.LiveDocs
+	for i, sd := range snap.Docs {
+		d := docEntry{extID: sd.ExtID, meta: sd.Meta, deleted: sd.Deleted}
+		for _, f := range sd.Fields {
+			d.fields = append(d.fields, storedField{name: f.Name, text: f.Text, length: f.Length, weight: f.Weight})
+		}
+		ix.docs = append(ix.docs, d)
+		if !sd.Deleted {
+			ix.byExt[sd.ExtID] = DocID(i)
+		}
+	}
+	for _, sp := range snap.Postings {
+		pl := &postingList{}
+		for _, e := range sp.Entries {
+			pl.entries = append(pl.entries, posting{doc: e.Doc, positions: e.Positions})
+		}
+		ix.postings[fieldTerm{sp.Field, sp.Term}] = pl
+	}
+	return ix, nil
+}
+
+// SaveFile writes the index to path atomically (write temp, rename).
+func (ix *Index) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	if _, err := ix.WriteTo(bw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("index: save: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("index: save: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads an index snapshot from path.
+func LoadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: load: %w", err)
+	}
+	defer f.Close()
+	return Load(bufio.NewReader(f))
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

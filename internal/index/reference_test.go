@@ -1,0 +1,197 @@
+package index
+
+// Reference-model property test: the inverted index must agree, query for
+// query, with a brute-force matcher over the same documents. This is the
+// strongest correctness evidence the package has — any disagreement in
+// matching or ranking-set semantics fails here.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/textproc"
+)
+
+// refModel stores documents as token slices and evaluates queries naively.
+type refModel struct {
+	docs map[string][]string // extID -> body terms (in order)
+}
+
+func (m *refModel) matchTerm(terms []string, want string) bool {
+	for _, t := range terms {
+		if t == want {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *refModel) matchPhrase(terms []string, phrase []string) bool {
+	if len(phrase) == 0 {
+		return false
+	}
+outer:
+	for i := 0; i+len(phrase) <= len(terms); i++ {
+		for j, p := range phrase {
+			if terms[i+j] != p {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// eval returns the set of matching extIDs for the restricted query algebra
+// used in this test (terms, phrases, bool combinations over field "body").
+func (m *refModel) eval(q Query) map[string]bool {
+	out := map[string]bool{}
+	switch t := q.(type) {
+	case TermQuery:
+		for id, terms := range m.docs {
+			if m.matchTerm(terms, t.Term) {
+				out[id] = true
+			}
+		}
+	case PhraseQuery:
+		for id, terms := range m.docs {
+			if m.matchPhrase(terms, t.Terms) {
+				out[id] = true
+			}
+		}
+	case AllQuery:
+		for id := range m.docs {
+			out[id] = true
+		}
+	case BoolQuery:
+		var acc map[string]bool
+		for _, sub := range t.Must {
+			s := m.eval(sub)
+			if acc == nil {
+				acc = s
+				continue
+			}
+			for id := range acc {
+				if !s[id] {
+					delete(acc, id)
+				}
+			}
+		}
+		if len(t.Should) > 0 {
+			union := map[string]bool{}
+			for _, sub := range t.Should {
+				for id := range m.eval(sub) {
+					union[id] = true
+				}
+			}
+			if acc == nil {
+				acc = union
+			}
+			// With Must present, Should only boosts scores: no filtering.
+		}
+		if acc == nil {
+			acc = m.eval(AllQuery{})
+		}
+		for _, sub := range t.MustNot {
+			for id := range m.eval(sub) {
+				delete(acc, id)
+			}
+		}
+		out = acc
+	}
+	return out
+}
+
+func TestIndexAgainstReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	// Analyzer without stemming/stopwords keeps the model trivially exact:
+	// the model stores the same normalized terms the index sees.
+	analyzer := textproc.Analyzer{}
+	ix := New(analyzer)
+	model := &refModel{docs: map[string][]string{}}
+	vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta", "iota", "kappa"}
+
+	for i := 0; i < 150; i++ {
+		n := 3 + rng.Intn(25)
+		words := make([]string, n)
+		for j := range words {
+			words[j] = vocab[rng.Intn(len(vocab))]
+		}
+		id := fmt.Sprintf("doc%03d", i)
+		body := strings.Join(words, " ")
+		if _, err := ix.Add(Document{ExtID: id, Fields: []Field{{Name: "body", Text: body}}}); err != nil {
+			t.Fatal(err)
+		}
+		model.docs[id] = words
+	}
+	// Tombstone a random subset in both.
+	for i := 0; i < 25; i++ {
+		id := fmt.Sprintf("doc%03d", rng.Intn(150))
+		if _, ok := model.docs[id]; !ok {
+			continue
+		}
+		if err := ix.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+		delete(model.docs, id)
+	}
+
+	randTerm := func() string { return vocab[rng.Intn(len(vocab))] }
+	randQuery := func() Query {
+		switch rng.Intn(5) {
+		case 0:
+			return TermQuery{Field: "body", Term: randTerm()}
+		case 1:
+			n := 2 + rng.Intn(2)
+			terms := make([]string, n)
+			for i := range terms {
+				terms[i] = randTerm()
+			}
+			return PhraseQuery{Field: "body", Terms: terms}
+		case 2:
+			return BoolQuery{
+				Must: []Query{
+					TermQuery{Field: "body", Term: randTerm()},
+					TermQuery{Field: "body", Term: randTerm()},
+				},
+			}
+		case 3:
+			return BoolQuery{
+				Should: []Query{
+					TermQuery{Field: "body", Term: randTerm()},
+					PhraseQuery{Field: "body", Terms: []string{randTerm(), randTerm()}},
+				},
+				MustNot: []Query{TermQuery{Field: "body", Term: randTerm()}},
+			}
+		default:
+			return BoolQuery{
+				Must:    []Query{TermQuery{Field: "body", Term: randTerm()}},
+				Should:  []Query{TermQuery{Field: "body", Term: randTerm()}},
+				MustNot: []Query{PhraseQuery{Field: "body", Terms: []string{randTerm(), randTerm(), randTerm()}}},
+			}
+		}
+	}
+
+	for trial := 0; trial < 500; trial++ {
+		q := randQuery()
+		want := model.eval(q)
+		got := map[string]bool{}
+		for _, h := range ix.Search(q, 0) {
+			id, err := ix.ExtID(h.Doc)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			got[id] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d query %+v: %d hits vs model %d", trial, q, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("trial %d query %+v: model matched %s, index did not", trial, q, id)
+			}
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package index
+
+import (
+	"math"
+	"sort"
+)
+
+// Query is the low-level query tree evaluated directly against the index.
+// The SIAPI layer compiles its richer surface syntax into this algebra.
+type Query interface{ isQuery() }
+
+// TermQuery matches documents containing Term in Field. Term must already be
+// normalized with the index analyzer (or with KeywordTerm for keyword
+// fields).
+type TermQuery struct {
+	Field string
+	Term  string
+}
+
+// PhraseQuery matches documents where Terms occur at consecutive token
+// positions within Field.
+type PhraseQuery struct {
+	Field string
+	Terms []string
+}
+
+// BoolQuery combines sub-queries: all Must and at least one Should (when
+// Should is non-empty) must match, and no MustNot may match. Scores sum over
+// matching Must and Should clauses.
+type BoolQuery struct {
+	Must    []Query
+	Should  []Query
+	MustNot []Query
+}
+
+// AllQuery matches every live document with a constant score of 1.
+type AllQuery struct{}
+
+func (TermQuery) isQuery()   {}
+func (PhraseQuery) isQuery() {}
+func (BoolQuery) isQuery()   {}
+func (AllQuery) isQuery()    {}
+
+// Hit is a scored search result.
+type Hit struct {
+	Doc   DocID
+	Score float64
+}
+
+// BM25 constants — conventional values.
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+// phraseBoost multiplies the score of phrase matches; adjacency is stronger
+// evidence of relevance than bag-of-words co-occurrence.
+const phraseBoost = 1.2
+
+// Search evaluates q and returns hits sorted by descending score (ties broken
+// by ascending DocID for determinism). limit <= 0 returns all hits.
+func (ix *Index) Search(q Query, limit int) []Hit {
+	ix.mu.RLock()
+	scores := ix.eval(q)
+	ix.mu.RUnlock()
+
+	hits := make([]Hit, 0, len(scores))
+	for id, s := range scores {
+		hits = append(hits, Hit{Doc: id, Score: s})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Doc < hits[j].Doc
+	})
+	if limit > 0 && len(hits) > limit {
+		hits = hits[:limit]
+	}
+	return hits
+}
+
+// Count evaluates q and returns only the number of matching documents.
+func (ix *Index) Count(q Query) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.eval(q))
+}
+
+// eval computes the score map for q. Callers must hold at least a read lock.
+func (ix *Index) eval(q Query) map[DocID]float64 {
+	switch t := q.(type) {
+	case TermQuery:
+		return ix.evalTerm(t.Field, t.Term)
+	case PhraseQuery:
+		return ix.evalPhrase(t.Field, t.Terms)
+	case BoolQuery:
+		return ix.evalBool(t)
+	case FuzzyQuery:
+		return ix.evalFuzzy(t)
+	case PrefixQuery:
+		return ix.evalPrefix(t)
+	case AllQuery:
+		out := make(map[DocID]float64, ix.liveDocs)
+		for id := range ix.docs {
+			if !ix.docs[id].deleted {
+				out[DocID(id)] = 1
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// bm25 computes the BM25 contribution of a term occurring tf times in a
+// field of length fieldLen, given the field's average length and the term's
+// document frequency df over n live documents.
+func bm25(tf, df, n, fieldLen int, avgLen float64) float64 {
+	if tf == 0 || df == 0 || n == 0 {
+		return 0
+	}
+	idf := math.Log(1 + (float64(n)-float64(df)+0.5)/(float64(df)+0.5))
+	norm := float64(fieldLen)
+	if avgLen > 0 {
+		norm = float64(fieldLen) / avgLen
+	}
+	tfc := float64(tf) * (bm25K1 + 1) / (float64(tf) + bm25K1*(1-bm25B+bm25B*norm))
+	return idf * tfc
+}
+
+func (ix *Index) fieldStats(field string) (avgLen float64, docs int) {
+	docs = ix.fieldDocs[field]
+	if docs > 0 {
+		avgLen = float64(ix.fieldTotals[field]) / float64(docs)
+	}
+	return avgLen, docs
+}
+
+func (ix *Index) fieldLen(id DocID, field string) (length int, weight float64) {
+	for _, f := range ix.docs[id].fields {
+		if f.name == field {
+			return f.length, f.weight
+		}
+	}
+	return 0, 1
+}
+
+func (ix *Index) evalTerm(field, term string) map[DocID]float64 {
+	pl := ix.postings[fieldTerm{field, term}]
+	if pl == nil {
+		return map[DocID]float64{}
+	}
+	avgLen, _ := ix.fieldStats(field)
+	df := 0
+	for _, p := range pl.entries {
+		if !ix.docs[p.doc].deleted {
+			df++
+		}
+	}
+	out := make(map[DocID]float64, df)
+	for _, p := range pl.entries {
+		if ix.docs[p.doc].deleted {
+			continue
+		}
+		fl, w := ix.fieldLen(p.doc, field)
+		out[p.doc] = w * bm25(len(p.positions), df, ix.liveDocs, fl, avgLen)
+	}
+	return out
+}
+
+func (ix *Index) evalPhrase(field string, terms []string) map[DocID]float64 {
+	switch len(terms) {
+	case 0:
+		return map[DocID]float64{}
+	case 1:
+		return ix.evalTerm(field, terms[0])
+	}
+	lists := make([]*postingList, len(terms))
+	for i, term := range terms {
+		lists[i] = ix.postings[fieldTerm{field, term}]
+		if lists[i] == nil {
+			return map[DocID]float64{}
+		}
+	}
+	// Document-at-a-time intersection driven by the first term's postings.
+	avgLen, _ := ix.fieldStats(field)
+	matches := make(map[DocID]int) // doc -> phrase occurrence count
+	for _, p0 := range lists[0].entries {
+		if ix.docs[p0.doc].deleted {
+			continue
+		}
+		rest := make([][]uint32, len(terms)-1)
+		ok := true
+		for i := 1; i < len(terms); i++ {
+			p := findPosting(lists[i], p0.doc)
+			if p == nil {
+				ok = false
+				break
+			}
+			rest[i-1] = p.positions
+		}
+		if !ok {
+			continue
+		}
+		count := countPhrase(p0.positions, rest)
+		if count > 0 {
+			matches[p0.doc] = count
+		}
+	}
+	if len(matches) == 0 {
+		return map[DocID]float64{}
+	}
+	df := len(matches)
+	out := make(map[DocID]float64, df)
+	for id, tf := range matches {
+		fl, w := ix.fieldLen(id, field)
+		out[id] = phraseBoost * w * bm25(tf, df, ix.liveDocs, fl, avgLen)
+	}
+	return out
+}
+
+// findPosting binary-searches a posting list for a document.
+func findPosting(pl *postingList, id DocID) *posting {
+	e := pl.entries
+	i := sort.Search(len(e), func(i int) bool { return e[i].doc >= id })
+	if i < len(e) && e[i].doc == id {
+		return &e[i]
+	}
+	return nil
+}
+
+// countPhrase counts starting positions p in first such that for every
+// following term i, p+i+1 is present in rest[i]. Positions are ascending.
+func countPhrase(first []uint32, rest [][]uint32) int {
+	count := 0
+	for _, p := range first {
+		if p == keywordPos {
+			continue
+		}
+		ok := true
+		for i, positions := range rest {
+			want := p + uint32(i) + 1
+			if !containsPos(positions, want) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			count++
+		}
+	}
+	return count
+}
+
+func containsPos(positions []uint32, want uint32) bool {
+	i := sort.Search(len(positions), func(i int) bool { return positions[i] >= want })
+	return i < len(positions) && positions[i] == want
+}
+
+func (ix *Index) evalBool(q BoolQuery) map[DocID]float64 {
+	var acc map[DocID]float64
+	// Must clauses: intersection with score accumulation.
+	for _, sub := range q.Must {
+		m := ix.eval(sub)
+		if acc == nil {
+			acc = m
+			continue
+		}
+		for id := range acc {
+			if s, ok := m[id]; ok {
+				acc[id] += s
+			} else {
+				delete(acc, id)
+			}
+		}
+		if len(acc) == 0 {
+			return acc
+		}
+	}
+	// Should clauses: union among themselves; if Must is present they only
+	// contribute score plus act as a filter when there are no Must clauses.
+	if len(q.Should) > 0 {
+		union := make(map[DocID]float64)
+		for _, sub := range q.Should {
+			for id, s := range ix.eval(sub) {
+				union[id] += s
+			}
+		}
+		if acc == nil {
+			acc = union
+		} else {
+			for id := range acc {
+				if s, ok := union[id]; ok {
+					acc[id] += s
+				}
+			}
+		}
+	}
+	if acc == nil {
+		// Only MustNot clauses: interpret as AllQuery minus exclusions.
+		acc = ix.eval(AllQuery{})
+	}
+	for _, sub := range q.MustNot {
+		for id := range ix.eval(sub) {
+			delete(acc, id)
+		}
+	}
+	return acc
+}

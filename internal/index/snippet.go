@@ -1,0 +1,99 @@
+package index
+
+import (
+	"strings"
+)
+
+// Snippet extracts a highlight window from a stored field of a document. It
+// scans the field text with the index analyzer, scores fixed-size token
+// windows by the number of distinct query terms they contain, and returns
+// the best window's surface text with matched surfaces wrapped in
+// "<em>...</em>". terms must be analyzer-normalized. maxTokens bounds the
+// window size (<= 0 means 30).
+func (ix *Index) Snippet(id DocID, field string, terms []string, maxTokens int) string {
+	if maxTokens <= 0 {
+		maxTokens = 30
+	}
+	text := ix.FieldText(id, field)
+	if text == "" {
+		return ""
+	}
+	want := make(map[string]bool, len(terms))
+	for _, t := range terms {
+		if t != "" {
+			want[t] = true
+		}
+	}
+	toks := ix.analyzer.Tokenize(text)
+	if len(toks) == 0 {
+		return ""
+	}
+	if len(want) == 0 {
+		// No terms to highlight: lead of the field.
+		end := len(toks)
+		if end > maxTokens {
+			end = maxTokens
+		}
+		return strings.TrimSpace(text[toks[0].Start:toks[end-1].End])
+	}
+
+	// Find the window [i, i+maxTokens) with the most distinct query terms,
+	// preferring earlier windows on ties.
+	bestStart, bestScore := 0, -1
+	for i := 0; i < len(toks); i += maxTokens / 2 {
+		end := i + maxTokens
+		if end > len(toks) {
+			end = len(toks)
+		}
+		distinct := map[string]bool{}
+		for _, tok := range toks[i:end] {
+			if want[tok.Term] {
+				distinct[tok.Term] = true
+			}
+		}
+		if len(distinct) > bestScore {
+			bestScore = len(distinct)
+			bestStart = i
+		}
+		if end == len(toks) {
+			break
+		}
+	}
+	end := bestStart + maxTokens
+	if end > len(toks) {
+		end = len(toks)
+	}
+	window := toks[bestStart:end]
+
+	var b strings.Builder
+	if bestStart > 0 {
+		b.WriteString("... ")
+	}
+	cursor := window[0].Start
+	for _, tok := range window {
+		b.WriteString(text[cursor:tok.Start])
+		if want[tok.Term] {
+			b.WriteString("<em>")
+			b.WriteString(tok.Surface)
+			b.WriteString("</em>")
+		} else {
+			b.WriteString(tok.Surface)
+		}
+		cursor = tok.End
+	}
+	if end < len(toks) {
+		b.WriteString(" ...")
+	}
+	return textCompact(b.String())
+}
+
+// textCompact trims the snippet and collapses newlines into spaces so the
+// result renders on one line.
+func textCompact(s string) string {
+	s = strings.ReplaceAll(s, "\n", " ")
+	s = strings.ReplaceAll(s, "\r", " ")
+	for strings.Contains(s, "  ") {
+		s = strings.ReplaceAll(s, "  ", " ")
+	}
+	return strings.TrimSpace(s)
+}

@@ -1,0 +1,521 @@
+package relstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Errors returned by the engine. Wrap-test with errors.Is.
+var (
+	ErrNoTable      = errors.New("relstore: no such table")
+	ErrTableExists  = errors.New("relstore: table already exists")
+	ErrNoColumn     = errors.New("relstore: no such column")
+	ErrNotNull      = errors.New("relstore: NOT NULL constraint violated")
+	ErrDuplicateKey = errors.New("relstore: duplicate key")
+	ErrNoIndex      = errors.New("relstore: no such index")
+	ErrIndexExists  = errors.New("relstore: index already exists")
+	ErrArity        = errors.New("relstore: wrong number of values")
+)
+
+// Column describes one table column.
+type Column struct {
+	Name    string
+	Type    Type
+	NotNull bool
+}
+
+// Schema describes a table: its columns and optional primary key (a subset
+// of column names; rows must be unique on it and its columns become NOT
+// NULL).
+type Schema struct {
+	Table      string
+	Columns    []Column
+	PrimaryKey []string
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (s *Schema) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Row is one tuple, in schema column order.
+type Row []Value
+
+// clone copies a row so callers cannot alias stored rows.
+func (r Row) clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// table is the storage for one relation.
+type table struct {
+	schema  Schema
+	rows    []Row // nil entries are deleted slots
+	live    int
+	pkIdx   *hashIndex              // over PrimaryKey columns, unique
+	indexes map[string]*hashIndex   // secondary hash indexes, by name
+	sorted  map[string]*sortedIndex // ordered indexes for range scans
+}
+
+// hashIndex maps a composite key rendering to the row slots holding it.
+type hashIndex struct {
+	name    string
+	columns []int // column positions
+	unique  bool
+	buckets map[string][]int
+}
+
+func (ix *hashIndex) keyFor(r Row) string {
+	var b strings.Builder
+	for _, c := range ix.columns {
+		b.WriteString(hashKey(r[c]))
+		b.WriteByte('\x1f')
+	}
+	return b.String()
+}
+
+func (ix *hashIndex) insert(key string, slot int) {
+	ix.buckets[key] = append(ix.buckets[key], slot)
+}
+
+func (ix *hashIndex) remove(key string, slot int) {
+	bucket := ix.buckets[key]
+	for i, s := range bucket {
+		if s == slot {
+			bucket[i] = bucket[len(bucket)-1]
+			ix.buckets[key] = bucket[:len(bucket)-1]
+			return
+		}
+	}
+}
+
+// DB is a collection of tables. The zero value is not usable; call NewDB.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*table
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*table)}
+}
+
+// CreateTable registers a new table. Primary-key columns become NOT NULL.
+func (db *DB) CreateTable(s Schema) error {
+	if s.Table == "" || len(s.Columns) == 0 {
+		return fmt.Errorf("relstore: invalid schema for %q", s.Table)
+	}
+	seen := map[string]bool{}
+	for _, c := range s.Columns {
+		lc := strings.ToLower(c.Name)
+		if seen[lc] {
+			return fmt.Errorf("relstore: duplicate column %q in %s", c.Name, s.Table)
+		}
+		seen[lc] = true
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(s.Table)
+	if _, ok := db.tables[key]; ok {
+		return fmt.Errorf("%w: %s", ErrTableExists, s.Table)
+	}
+	t := &table{schema: s, indexes: map[string]*hashIndex{}}
+	if len(s.PrimaryKey) > 0 {
+		cols := make([]int, len(s.PrimaryKey))
+		for i, name := range s.PrimaryKey {
+			ci := s.ColumnIndex(name)
+			if ci < 0 {
+				return fmt.Errorf("%w: primary key column %q of %s", ErrNoColumn, name, s.Table)
+			}
+			cols[i] = ci
+			t.schema.Columns[ci].NotNull = true
+		}
+		t.pkIdx = &hashIndex{name: "__pk", columns: cols, unique: true, buckets: map[string][]int{}}
+	}
+	db.tables[key] = t
+	return nil
+}
+
+// DropTable removes a table and its indexes.
+func (db *DB) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := db.tables[key]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	delete(db.tables, key)
+	return nil
+}
+
+// Schema returns a copy of the named table's schema.
+func (db *DB) Schema(name string) (Schema, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return Schema{}, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	s := t.schema
+	s.Columns = append([]Column(nil), t.schema.Columns...)
+	s.PrimaryKey = append([]string(nil), t.schema.PrimaryKey...)
+	return s, nil
+}
+
+// TableNames lists tables in sorted order.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		names = append(names, t.schema.Table)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CreateIndex builds a secondary hash index over the given columns.
+func (db *DB) CreateIndex(indexName, tableName string, columns []string, unique bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[strings.ToLower(tableName)]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	key := strings.ToLower(indexName)
+	if _, ok := t.indexes[key]; ok {
+		return fmt.Errorf("%w: %s", ErrIndexExists, indexName)
+	}
+	cols := make([]int, len(columns))
+	for i, name := range columns {
+		ci := t.schema.ColumnIndex(name)
+		if ci < 0 {
+			return fmt.Errorf("%w: %s.%s", ErrNoColumn, tableName, name)
+		}
+		cols[i] = ci
+	}
+	ix := &hashIndex{name: indexName, columns: cols, unique: unique, buckets: map[string][]int{}}
+	for slot, r := range t.rows {
+		if r == nil {
+			continue
+		}
+		k := ix.keyFor(r)
+		if unique && len(ix.buckets[k]) > 0 {
+			return fmt.Errorf("%w: building unique index %s", ErrDuplicateKey, indexName)
+		}
+		ix.insert(k, slot)
+	}
+	t.indexes[key] = ix
+	return nil
+}
+
+// prepareRow validates and coerces values against the schema.
+func (t *table) prepareRow(r Row) (Row, error) {
+	if len(r) != len(t.schema.Columns) {
+		return nil, fmt.Errorf("%w: table %s has %d columns, got %d",
+			ErrArity, t.schema.Table, len(t.schema.Columns), len(r))
+	}
+	out := make(Row, len(r))
+	for i, v := range r {
+		col := t.schema.Columns[i]
+		cv, err := Coerce(v, col.Type)
+		if err != nil {
+			return nil, fmt.Errorf("%s.%s: %w", t.schema.Table, col.Name, err)
+		}
+		if cv == nil && col.NotNull {
+			return nil, fmt.Errorf("%w: %s.%s", ErrNotNull, t.schema.Table, col.Name)
+		}
+		out[i] = cv
+	}
+	return out, nil
+}
+
+// Insert appends one row (in schema column order).
+func (db *DB) Insert(tableName string, r Row) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[strings.ToLower(tableName)]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	row, err := t.prepareRow(r)
+	if err != nil {
+		return err
+	}
+	return t.insertLocked(row)
+}
+
+func (t *table) insertLocked(row Row) error {
+	if t.pkIdx != nil {
+		k := t.pkIdx.keyFor(row)
+		if len(t.pkIdx.buckets[k]) > 0 {
+			return fmt.Errorf("%w: %s primary key %s", ErrDuplicateKey, t.schema.Table, k)
+		}
+	}
+	for _, ix := range t.indexes {
+		if ix.unique {
+			k := ix.keyFor(row)
+			if len(ix.buckets[k]) > 0 {
+				return fmt.Errorf("%w: %s index %s", ErrDuplicateKey, t.schema.Table, ix.name)
+			}
+		}
+	}
+	slot := len(t.rows)
+	t.rows = append(t.rows, row)
+	t.live++
+	if t.pkIdx != nil {
+		t.pkIdx.insert(t.pkIdx.keyFor(row), slot)
+	}
+	for _, ix := range t.indexes {
+		ix.insert(ix.keyFor(row), slot)
+	}
+	t.sortedInsert(slot, row)
+	return nil
+}
+
+// Pred filters rows during scans; return true to keep the row.
+type Pred func(Row) bool
+
+// Scan calls fn for every live row matching pred (nil pred = all rows). fn
+// receives a copy; returning false stops the scan early.
+func (db *DB) Scan(tableName string, pred Pred, fn func(Row) bool) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(tableName)]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	for _, r := range t.rows {
+		if r == nil || (pred != nil && !pred(r)) {
+			continue
+		}
+		if !fn(r.clone()) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// LookupEqual finds rows where the named columns equal the given values,
+// using an index when one covers exactly those columns, otherwise scanning.
+// Results are copies.
+func (db *DB) LookupEqual(tableName string, columns []string, values []Value) ([]Row, error) {
+	if len(columns) != len(values) {
+		return nil, fmt.Errorf("%w: %d columns, %d values", ErrArity, len(columns), len(values))
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(tableName)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	cols := make([]int, len(columns))
+	for i, name := range columns {
+		ci := t.schema.ColumnIndex(name)
+		if ci < 0 {
+			return nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, tableName, name)
+		}
+		cols[i] = ci
+	}
+	if ix := t.findIndex(cols); ix != nil {
+		// Build a probe row carrying the lookup values in their column
+		// positions; the index key function reads only its own columns.
+		probe := make(Row, len(t.schema.Columns))
+		for j, cc := range cols {
+			probe[cc] = values[j]
+		}
+		var out []Row
+		for _, slot := range ix.buckets[ix.keyFor(probe)] {
+			r := t.rows[slot]
+			if r == nil {
+				continue
+			}
+			if rowMatches(r, cols, values) {
+				out = append(out, r.clone())
+			}
+		}
+		return out, nil
+	}
+	var out []Row
+	for _, r := range t.rows {
+		if r == nil {
+			continue
+		}
+		if rowMatches(r, cols, values) {
+			out = append(out, r.clone())
+		}
+	}
+	return out, nil
+}
+
+func rowMatches(r Row, cols []int, values []Value) bool {
+	for i, c := range cols {
+		if !Equal(r[c], values[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// findIndex returns an index whose column set equals cols (any order),
+// preferring the primary key.
+func (t *table) findIndex(cols []int) *hashIndex {
+	match := func(ix *hashIndex) bool {
+		if len(ix.columns) != len(cols) {
+			return false
+		}
+		for _, c := range cols {
+			found := false
+			for _, ic := range ix.columns {
+				if ic == c {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if t.pkIdx != nil && match(t.pkIdx) {
+		return t.pkIdx
+	}
+	// Deterministic choice among secondaries.
+	var names []string
+	for n := range t.indexes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if ix := t.indexes[n]; match(ix) {
+			return ix
+		}
+	}
+	return nil
+}
+
+// Update applies set (column name -> new value) to all rows matching pred
+// and returns the number updated.
+func (db *DB) Update(tableName string, pred Pred, set map[string]Value) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[strings.ToLower(tableName)]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	setCols := make(map[int]Value, len(set))
+	for name, v := range set {
+		ci := t.schema.ColumnIndex(name)
+		if ci < 0 {
+			return 0, fmt.Errorf("%w: %s.%s", ErrNoColumn, tableName, name)
+		}
+		cv, err := Coerce(v, t.schema.Columns[ci].Type)
+		if err != nil {
+			return 0, fmt.Errorf("%s.%s: %w", tableName, name, err)
+		}
+		if cv == nil && t.schema.Columns[ci].NotNull {
+			return 0, fmt.Errorf("%w: %s.%s", ErrNotNull, tableName, name)
+		}
+		setCols[ci] = cv
+	}
+	n := 0
+	for slot, r := range t.rows {
+		if r == nil || (pred != nil && !pred(r)) {
+			continue
+		}
+		updated := r.clone()
+		for ci, v := range setCols {
+			updated[ci] = v
+		}
+		// Re-check uniqueness excluding this slot.
+		if t.pkIdx != nil {
+			k := t.pkIdx.keyFor(updated)
+			for _, s := range t.pkIdx.buckets[k] {
+				if s != slot {
+					return n, fmt.Errorf("%w: %s primary key", ErrDuplicateKey, tableName)
+				}
+			}
+		}
+		for _, ix := range t.indexes {
+			if !ix.unique {
+				continue
+			}
+			k := ix.keyFor(updated)
+			for _, s := range ix.buckets[k] {
+				if s != slot {
+					return n, fmt.Errorf("%w: %s index %s", ErrDuplicateKey, tableName, ix.name)
+				}
+			}
+		}
+		t.reindex(slot, r, updated)
+		t.sortedUpdate(slot, r, updated)
+		t.rows[slot] = updated
+		n++
+	}
+	return n, nil
+}
+
+func (t *table) reindex(slot int, old, new Row) {
+	if t.pkIdx != nil {
+		ok, nk := t.pkIdx.keyFor(old), t.pkIdx.keyFor(new)
+		if ok != nk {
+			t.pkIdx.remove(ok, slot)
+			t.pkIdx.insert(nk, slot)
+		}
+	}
+	for _, ix := range t.indexes {
+		ok, nk := ix.keyFor(old), ix.keyFor(new)
+		if ok != nk {
+			ix.remove(ok, slot)
+			ix.insert(nk, slot)
+		}
+	}
+}
+
+// Delete removes all rows matching pred and returns the count.
+func (db *DB) Delete(tableName string, pred Pred) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[strings.ToLower(tableName)]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	n := 0
+	for slot, r := range t.rows {
+		if r == nil || (pred != nil && !pred(r)) {
+			continue
+		}
+		if t.pkIdx != nil {
+			t.pkIdx.remove(t.pkIdx.keyFor(r), slot)
+		}
+		for _, ix := range t.indexes {
+			ix.remove(ix.keyFor(r), slot)
+		}
+		t.sortedRemove(slot, r)
+		t.rows[slot] = nil
+		t.live--
+		n++
+	}
+	return n, nil
+}
+
+// RowCount reports the number of live rows in a table.
+func (db *DB) RowCount(tableName string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(tableName)]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	return t.live, nil
+}

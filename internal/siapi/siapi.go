@@ -1,0 +1,310 @@
+// Package siapi implements EIL's Search and Index API layer — the query
+// interface the paper's system uses against the OmniFind semantic index.
+// It exposes the text section of the Figure 8 search form ("all of these
+// words", "the exact phrase", "any of these words", "none of these words",
+// each targeted at a document section), compiles it to the low-level index
+// query algebra, and supports scoping a search to a set of business
+// activities (step 8 of the Figure 1 algorithm).
+package siapi
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/index"
+	"repro/internal/textproc"
+)
+
+// Default field targets. "anywhere in EWB" searches body and title;
+// annotators add concept fields (tower, person, role, techsolution) that
+// queries may target directly.
+const (
+	FieldBody  = "body"
+	FieldTitle = "title"
+	FieldDeal  = "deal" // keyword field carrying the activity ID
+)
+
+// Query is a SIAPI search request.
+type Query struct {
+	// All of these words must occur (in any target field).
+	All []string
+	// Exact is a phrase that must occur contiguously in one field.
+	Exact string
+	// Any requires at least one of these words when non-empty.
+	Any []string
+	// None excludes documents containing any of these words.
+	None []string
+	// Fuzzy words must occur up to one edit away (typo tolerance for names
+	// and client terms); each behaves like an All word with slack.
+	Fuzzy []string
+	// Prefix terms must occur as the start of some indexed term (the
+	// search box's trailing wildcard, `stor*`). Note the dictionary holds
+	// stemmed terms, so prefixes longer than a word's stem will not match.
+	Prefix []string
+	// Fields are the index fields to search; empty means body + title
+	// ("anywhere in EWB").
+	Fields []string
+	// Deals restricts matches to these business activities; empty means
+	// unscoped (steps 13–15 of Figure 1).
+	Deals []string
+}
+
+// Empty reports whether the query has no text criteria (deal scoping alone
+// does not make a query).
+func (q Query) Empty() bool {
+	return len(q.All) == 0 && q.Exact == "" && len(q.Any) == 0 && len(q.None) == 0 &&
+		len(q.Fuzzy) == 0 && len(q.Prefix) == 0
+}
+
+// ParseKeywords builds a query from a free-text search-box string, the way
+// the OmniFind keyword baseline is driven in the paper's evaluation.
+// Double-quoted runs become the exact phrase; '-' prefixed words become
+// exclusions; everything else is an All word.
+func ParseKeywords(s string) Query {
+	var q Query
+	rest := s
+	for {
+		open := strings.IndexByte(rest, '"')
+		if open < 0 {
+			break
+		}
+		close := strings.IndexByte(rest[open+1:], '"')
+		if close < 0 {
+			break
+		}
+		phrase := rest[open+1 : open+1+close]
+		if q.Exact == "" {
+			q.Exact = strings.TrimSpace(phrase)
+		} else {
+			q.All = append(q.All, strings.Fields(phrase)...)
+		}
+		rest = rest[:open] + " " + rest[open+1+close+1:]
+	}
+	for _, w := range strings.Fields(rest) {
+		switch {
+		case strings.HasPrefix(w, "-") && len(w) > 1:
+			q.None = append(q.None, w[1:])
+		case strings.HasSuffix(w, "*") && len(w) > 1:
+			q.Prefix = append(q.Prefix, strings.TrimSuffix(w, "*"))
+		default:
+			q.All = append(q.All, w)
+		}
+	}
+	return q
+}
+
+// DocHit is one scored document.
+type DocHit struct {
+	Path    string // repository path (index external ID)
+	DealID  string
+	Title   string
+	Score   float64
+	Snippet string
+}
+
+// ActivityHit groups a search's documents by business activity, the
+// presentation unit of EIL results (Figure 9: activities first, then each
+// activity's documents).
+type ActivityHit struct {
+	DealID string
+	// Score is the normalized average of the activity's document scores —
+	// the paper's "normalize the document relevance scores from OmniFind
+	// (e.g., compute an average score)".
+	Score float64
+	Docs  []DocHit
+}
+
+// Engine executes SIAPI queries against a document index.
+type Engine struct {
+	ix *index.Index
+}
+
+// NewEngine wraps an index.
+func NewEngine(ix *index.Index) *Engine { return &Engine{ix: ix} }
+
+// Index exposes the wrapped index (the ingest pipeline writes through it).
+func (e *Engine) Index() *index.Index { return e.ix }
+
+// Compile lowers a SIAPI query to the index algebra. Exposed for tests and
+// for the core layer's explain output.
+func (e *Engine) Compile(q Query) index.Query {
+	analyzer := e.ix.Analyzer()
+	fields := q.Fields
+	if len(fields) == 0 {
+		fields = []string{FieldBody, FieldTitle}
+	}
+	// A query word matches if it appears in any target field. Words that
+	// tokenize into several terms (email addresses, hyphenations) become
+	// per-field phrases.
+	termAcross := func(word string) index.Query {
+		terms := analyzer.Terms(word)
+		if len(terms) == 0 {
+			terms = []string{analyzer.NormalizeTerm(word)}
+		}
+		should := make([]index.Query, 0, len(fields))
+		for _, f := range fields {
+			if len(terms) == 1 {
+				should = append(should, index.TermQuery{Field: f, Term: terms[0]})
+			} else {
+				should = append(should, index.PhraseQuery{Field: f, Terms: terms})
+			}
+		}
+		if len(should) == 1 {
+			return should[0]
+		}
+		return index.BoolQuery{Should: should}
+	}
+	var root index.BoolQuery
+	for _, w := range q.All {
+		root.Must = append(root.Must, termAcross(w))
+	}
+	for _, w := range q.Fuzzy {
+		term := analyzer.NormalizeTerm(w)
+		should := make([]index.Query, 0, len(fields))
+		for _, f := range fields {
+			should = append(should, index.FuzzyQuery{Field: f, Term: term, MaxDist: 1})
+		}
+		if len(should) == 1 {
+			root.Must = append(root.Must, should[0])
+		} else {
+			root.Must = append(root.Must, index.BoolQuery{Should: should})
+		}
+	}
+	for _, w := range q.Prefix {
+		prefix := strings.ToLower(strings.TrimSpace(w))
+		should := make([]index.Query, 0, len(fields))
+		for _, f := range fields {
+			should = append(should, index.PrefixQuery{Field: f, Prefix: prefix})
+		}
+		if len(should) == 1 {
+			root.Must = append(root.Must, should[0])
+		} else {
+			root.Must = append(root.Must, index.BoolQuery{Should: should})
+		}
+	}
+	if q.Exact != "" {
+		terms := analyzer.Terms(q.Exact)
+		phrases := make([]index.Query, 0, len(fields))
+		for _, f := range fields {
+			phrases = append(phrases, index.PhraseQuery{Field: f, Terms: terms})
+		}
+		if len(phrases) == 1 {
+			root.Must = append(root.Must, phrases[0])
+		} else {
+			root.Must = append(root.Must, index.BoolQuery{Should: phrases})
+		}
+	}
+	for _, w := range q.Any {
+		root.Should = append(root.Should, termAcross(w))
+	}
+	for _, w := range q.None {
+		root.MustNot = append(root.MustNot, termAcross(w))
+	}
+	if len(q.Deals) > 0 {
+		scope := make([]index.Query, 0, len(q.Deals))
+		for _, d := range q.Deals {
+			scope = append(scope, index.TermQuery{Field: FieldDeal, Term: index.KeywordTerm(d)})
+		}
+		root.Must = append(root.Must, index.BoolQuery{Should: scope})
+	}
+	return root
+}
+
+// queryTerms returns the normalized positive terms, for snippet
+// highlighting.
+func (e *Engine) queryTerms(q Query) []string {
+	analyzer := e.ix.Analyzer()
+	var terms []string
+	for _, w := range q.All {
+		terms = append(terms, analyzer.NormalizeTerm(w))
+	}
+	terms = append(terms, analyzer.Terms(q.Exact)...)
+	for _, w := range q.Any {
+		terms = append(terms, analyzer.NormalizeTerm(w))
+	}
+	for _, w := range q.Fuzzy {
+		terms = append(terms, analyzer.NormalizeTerm(w))
+	}
+	return terms
+}
+
+// Search runs the query and returns up to limit document hits with
+// snippets. limit <= 0 returns all.
+func (e *Engine) Search(q Query, limit int) []DocHit {
+	if q.Empty() {
+		return nil
+	}
+	hits := e.ix.Search(e.Compile(q), limit)
+	terms := e.queryTerms(q)
+	out := make([]DocHit, 0, len(hits))
+	for _, h := range hits {
+		path, err := e.ix.ExtID(h.Doc)
+		if err != nil {
+			continue
+		}
+		out = append(out, DocHit{
+			Path:    path,
+			DealID:  e.ix.Meta(h.Doc, "deal"),
+			Title:   e.ix.FieldText(h.Doc, FieldTitle),
+			Score:   h.Score,
+			Snippet: e.ix.Snippet(h.Doc, FieldBody, terms, 30),
+		})
+	}
+	return out
+}
+
+// Count returns the number of matching documents — the "N documents
+// returned" figure quoted throughout the paper's keyword-baseline analysis.
+func (e *Engine) Count(q Query) int {
+	if q.Empty() {
+		return 0
+	}
+	return e.ix.Count(e.Compile(q))
+}
+
+// SearchActivities groups document hits by business activity and ranks
+// activities by their normalized average document score. perDeal bounds the
+// documents listed per activity (<= 0 keeps all).
+func (e *Engine) SearchActivities(q Query, perDeal int) []ActivityHit {
+	docs := e.Search(q, 0)
+	byDeal := map[string][]DocHit{}
+	for _, d := range docs {
+		if d.DealID == "" {
+			continue
+		}
+		byDeal[d.DealID] = append(byDeal[d.DealID], d)
+	}
+	hits := make([]ActivityHit, 0, len(byDeal))
+	maxAvg := 0.0
+	for deal, ds := range byDeal {
+		sum := 0.0
+		for _, d := range ds {
+			sum += d.Score
+		}
+		avg := sum / float64(len(ds))
+		if avg > maxAvg {
+			maxAvg = avg
+		}
+		if perDeal > 0 && len(ds) > perDeal {
+			ds = ds[:perDeal]
+		}
+		hits = append(hits, ActivityHit{DealID: deal, Score: avg, Docs: ds})
+	}
+	// Normalize activity scores into [0, 1] relative to the best activity.
+	if maxAvg > 0 {
+		for i := range hits {
+			hits[i].Score /= maxAvg
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].DealID < hits[j].DealID
+	})
+	return hits
+}
+
+// Analyzer returns the analyzer shared with the index; the core layer uses
+// it to pre-normalize concept values.
+func (e *Engine) Analyzer() textproc.Analyzer { return e.ix.Analyzer() }

@@ -1,0 +1,288 @@
+package siapi
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/textproc"
+)
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	ix := index.New(textproc.DefaultAnalyzer)
+	docs := []index.Document{
+		{ExtID: "a/sol.deck", Fields: []index.Field{
+			{Name: FieldTitle, Text: "Technical Solution", Weight: 2},
+			{Name: FieldBody, Text: "Storage Management Services with data replication between sites. RTO under 48 hours."},
+			{Name: FieldDeal, Text: "DEAL A", Keyword: true},
+		}, Meta: map[string]string{"deal": "DEAL A"}},
+		{ExtID: "a/notes.txt", Fields: []index.Field{
+			{Name: FieldTitle, Text: "Meeting notes"},
+			{Name: FieldBody, Text: "Discussed replication licensing and network failover."},
+			{Name: FieldDeal, Text: "DEAL A", Keyword: true},
+		}, Meta: map[string]string{"deal": "DEAL A"}},
+		{ExtID: "b/scope.deck", Fields: []index.Field{
+			{Name: FieldTitle, Text: "Scope baseline"},
+			{Name: FieldBody, Text: "End User Services and Customer Service Center staffing. No replication required."},
+			{Name: FieldDeal, Text: "DEAL B", Keyword: true},
+		}, Meta: map[string]string{"deal": "DEAL B"}},
+		{ExtID: "b/tsa.grid", Fields: []index.Field{
+			{Name: FieldTitle, Text: "TSA form"},
+			{Name: FieldBody, Text: "cross tower TSA field with no value"},
+			{Name: FieldDeal, Text: "DEAL B", Keyword: true},
+		}, Meta: map[string]string{"deal": "DEAL B"}},
+	}
+	for _, d := range docs {
+		if _, err := ix.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewEngine(ix)
+}
+
+func paths(hits []DocHit) []string {
+	out := make([]string, len(hits))
+	for i, h := range hits {
+		out[i] = h.Path
+	}
+	return out
+}
+
+func TestSearchAllWords(t *testing.T) {
+	e := newEngine(t)
+	hits := e.Search(Query{All: []string{"replication", "storage"}}, 0)
+	if len(hits) != 1 || hits[0].Path != "a/sol.deck" {
+		t.Fatalf("hits = %v", paths(hits))
+	}
+	if hits[0].DealID != "DEAL A" {
+		t.Fatalf("deal = %q", hits[0].DealID)
+	}
+	if !strings.Contains(hits[0].Snippet, "<em>") {
+		t.Fatalf("snippet = %q", hits[0].Snippet)
+	}
+}
+
+func TestSearchExactPhrase(t *testing.T) {
+	e := newEngine(t)
+	hits := e.Search(Query{Exact: "data replication"}, 0)
+	if len(hits) != 1 || hits[0].Path != "a/sol.deck" {
+		t.Fatalf("hits = %v", paths(hits))
+	}
+	// Words in the wrong order must not match as a phrase.
+	if hits := e.Search(Query{Exact: "replication data"}, 0); len(hits) != 0 {
+		t.Fatalf("reversed phrase matched: %v", paths(hits))
+	}
+}
+
+func TestSearchAnyNone(t *testing.T) {
+	e := newEngine(t)
+	hits := e.Search(Query{Any: []string{"replication", "staffing"}}, 0)
+	if len(hits) != 3 {
+		t.Fatalf("any hits = %v", paths(hits))
+	}
+	hits = e.Search(Query{Any: []string{"replication", "staffing"}, None: []string{"network"}}, 0)
+	if len(hits) != 2 {
+		t.Fatalf("none hits = %v", paths(hits))
+	}
+}
+
+func TestSearchTitleField(t *testing.T) {
+	e := newEngine(t)
+	hits := e.Search(Query{All: []string{"TSA"}}, 0)
+	if len(hits) != 1 || hits[0].Path != "b/tsa.grid" {
+		t.Fatalf("hits = %v", paths(hits))
+	}
+	// Restricting fields to title only must still find it (it is in both).
+	hits = e.Search(Query{All: []string{"TSA"}, Fields: []string{FieldTitle}}, 0)
+	if len(hits) != 1 {
+		t.Fatalf("title-only hits = %v", paths(hits))
+	}
+	// But a body-only word must not match in title-only mode.
+	hits = e.Search(Query{All: []string{"failover"}, Fields: []string{FieldTitle}}, 0)
+	if len(hits) != 0 {
+		t.Fatalf("title-only found body word: %v", paths(hits))
+	}
+}
+
+func TestSearchDealScoping(t *testing.T) {
+	e := newEngine(t)
+	// "replication" appears in three docs across both deals; scoping to
+	// DEAL B keeps only its one.
+	hits := e.Search(Query{All: []string{"replication"}}, 0)
+	if len(hits) != 3 {
+		t.Fatalf("unscoped hits = %v", paths(hits))
+	}
+	hits = e.Search(Query{All: []string{"replication"}, Deals: []string{"DEAL B"}}, 0)
+	if len(hits) != 1 || hits[0].Path != "b/scope.deck" {
+		t.Fatalf("scoped hits = %v", paths(hits))
+	}
+	hits = e.Search(Query{All: []string{"replication"}, Deals: []string{"DEAL A", "DEAL B"}}, 0)
+	if len(hits) != 3 {
+		t.Fatalf("two-deal scope hits = %v", paths(hits))
+	}
+}
+
+func TestEmptyQuery(t *testing.T) {
+	e := newEngine(t)
+	if hits := e.Search(Query{}, 0); hits != nil {
+		t.Fatalf("empty query returned %v", paths(hits))
+	}
+	if n := e.Count(Query{Deals: []string{"DEAL A"}}); n != 0 {
+		t.Fatalf("deal-only query counted %d", n)
+	}
+	if !(Query{}).Empty() || (Query{Exact: "x"}).Empty() {
+		t.Fatal("Empty() broken")
+	}
+}
+
+func TestCount(t *testing.T) {
+	e := newEngine(t)
+	if n := e.Count(Query{All: []string{"replication"}}); n != 3 {
+		t.Fatalf("count = %d", n)
+	}
+}
+
+func TestSearchActivities(t *testing.T) {
+	e := newEngine(t)
+	acts := e.SearchActivities(Query{All: []string{"replication"}}, 10)
+	if len(acts) != 2 {
+		t.Fatalf("activities = %+v", acts)
+	}
+	// Scores normalized: best activity == 1.0.
+	if acts[0].Score != 1.0 {
+		t.Fatalf("top activity score = %v", acts[0].Score)
+	}
+	if acts[1].Score <= 0 || acts[1].Score > 1 {
+		t.Fatalf("second activity score = %v", acts[1].Score)
+	}
+	total := 0
+	for _, a := range acts {
+		total += len(a.Docs)
+	}
+	if total != 3 {
+		t.Fatalf("docs across activities = %d", total)
+	}
+}
+
+func TestSearchActivitiesPerDealCap(t *testing.T) {
+	e := newEngine(t)
+	acts := e.SearchActivities(Query{Any: []string{"replication", "staffing", "tsa", "notes"}}, 1)
+	for _, a := range acts {
+		if len(a.Docs) > 1 {
+			t.Fatalf("perDeal cap ignored: %+v", a)
+		}
+	}
+}
+
+func TestParseKeywords(t *testing.T) {
+	q := ParseKeywords(`storage "data replication" -confidential management`)
+	if q.Exact != "data replication" {
+		t.Fatalf("exact = %q", q.Exact)
+	}
+	if len(q.All) != 2 || q.All[0] != "storage" || q.All[1] != "management" {
+		t.Fatalf("all = %v", q.All)
+	}
+	if len(q.None) != 1 || q.None[0] != "confidential" {
+		t.Fatalf("none = %v", q.None)
+	}
+}
+
+func TestParseKeywordsEdge(t *testing.T) {
+	if q := ParseKeywords(""); !q.Empty() {
+		t.Fatalf("empty parse = %+v", q)
+	}
+	q := ParseKeywords(`"one phrase" "two phrase"`)
+	if q.Exact != "one phrase" || len(q.All) != 2 {
+		t.Fatalf("double phrase = %+v", q)
+	}
+	q = ParseKeywords(`dangling "quote`)
+	if q.Exact != "" || len(q.All) < 1 {
+		t.Fatalf("dangling quote = %+v", q)
+	}
+	q = ParseKeywords("-")
+	if len(q.None) != 0 {
+		t.Fatalf("bare dash = %+v", q)
+	}
+}
+
+func TestSearchLimit(t *testing.T) {
+	e := newEngine(t)
+	hits := e.Search(Query{Any: []string{"replication", "tsa", "staffing"}}, 2)
+	if len(hits) != 2 {
+		t.Fatalf("limit ignored: %v", paths(hits))
+	}
+}
+
+func TestQueryCaseInsensitive(t *testing.T) {
+	e := newEngine(t)
+	a := e.Count(Query{All: []string{"REPLICATION"}})
+	b := e.Count(Query{All: []string{"replication"}})
+	if a != b || a == 0 {
+		t.Fatalf("case sensitivity: %d vs %d", a, b)
+	}
+}
+
+func TestStemmedQueryMatches(t *testing.T) {
+	e := newEngine(t)
+	// "replicating" stems to the same root as "replication".
+	if n := e.Count(Query{All: []string{"replicating"}}); n == 0 {
+		t.Fatal("stemming not applied to query terms")
+	}
+}
+
+func BenchmarkSearchActivities(b *testing.B) {
+	ix := index.New(textproc.DefaultAnalyzer)
+	for i := 0; i < 2000; i++ {
+		deal := fmt.Sprintf("DEAL %d", i%20)
+		ix.Add(index.Document{
+			ExtID: fmt.Sprintf("d%d", i),
+			Fields: []index.Field{
+				{Name: FieldBody, Text: "storage management replication services scope network recovery"},
+				{Name: FieldDeal, Text: deal, Keyword: true},
+			},
+			Meta: map[string]string{"deal": deal},
+		})
+	}
+	e := NewEngine(ix)
+	q := Query{All: []string{"replication"}}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.SearchActivities(q, 5)
+	}
+}
+
+func TestFuzzyQueryTolerance(t *testing.T) {
+	e := newEngine(t)
+	// "replocation" (typo) must still find the replication documents.
+	hits := e.Search(Query{Fuzzy: []string{"replocation"}}, 0)
+	if len(hits) == 0 {
+		t.Fatal("fuzzy query found nothing")
+	}
+	// And conjunction with exact terms narrows as usual.
+	hits = e.Search(Query{Fuzzy: []string{"replocation"}, All: []string{"storage"}}, 0)
+	if len(hits) != 1 || hits[0].Path != "a/sol.deck" {
+		t.Fatalf("fuzzy+all hits = %v", paths(hits))
+	}
+	if (Query{Fuzzy: []string{"x"}}).Empty() {
+		t.Fatal("fuzzy-only query reported empty")
+	}
+}
+
+func TestPrefixKeywordParse(t *testing.T) {
+	q := ParseKeywords("stor* replication")
+	if len(q.Prefix) != 1 || q.Prefix[0] != "stor" || len(q.All) != 1 {
+		t.Fatalf("parse = %+v", q)
+	}
+	e := newEngine(t)
+	hits := e.Search(q, 0)
+	if len(hits) != 1 || hits[0].Path != "a/sol.deck" {
+		t.Fatalf("prefix search hits = %v", paths(hits))
+	}
+	// A bare '*' is not a prefix.
+	if q := ParseKeywords("*"); len(q.Prefix) != 0 {
+		t.Fatalf("bare star parsed: %+v", q)
+	}
+}

@@ -1,0 +1,224 @@
+// Package sqlx implements the SQL text interface over the relstore engine —
+// the piece of the DB2 substitute that lets EIL's query analyzer issue
+// directed synopsis queries as SQL strings. It supports the subset EIL
+// needs, which is also a useful embedded-SQL core:
+//
+//	CREATE TABLE t (col TYPE [NOT NULL] [PRIMARY KEY], ..., PRIMARY KEY (a, b))
+//	CREATE [UNIQUE] INDEX name ON t (col, ...)
+//	DROP TABLE t
+//	INSERT INTO t [(cols)] VALUES (...), (...)
+//	SELECT exprs FROM t [[LEFT] JOIN u ON expr]... [WHERE expr]
+//	    [GROUP BY exprs [HAVING expr]] [ORDER BY expr [ASC|DESC], ...]
+//	    [LIMIT n [OFFSET m]]
+//	UPDATE t SET col = expr, ... [WHERE expr]
+//	DELETE FROM t [WHERE expr]
+//
+// Expressions cover comparison operators, AND/OR/NOT, LIKE, IN, IS [NOT]
+// NULL, arithmetic, string concatenation (||), scalar functions (UPPER,
+// LOWER, LENGTH, COALESCE), aggregates (COUNT/SUM/AVG/MIN/MAX), and `?`
+// parameter placeholders.
+package sqlx
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind int
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkKeyword
+	tkString
+	tkNumber
+	tkParam  // ?
+	tkSymbol // operators and punctuation
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords are uppercased; idents keep original case
+	pos  int
+}
+
+var keywords = map[string]bool{}
+
+func init() {
+	for _, k := range []string{
+		"SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "ASC",
+		"DESC", "LIMIT", "OFFSET", "INSERT", "INTO", "VALUES", "UPDATE",
+		"SET", "DELETE", "CREATE", "TABLE", "INDEX", "UNIQUE", "DROP",
+		"PRIMARY", "KEY", "NOT", "NULL", "AND", "OR", "LIKE", "IN", "IS", "SORTED", "BETWEEN",
+		"JOIN", "LEFT", "INNER", "ON", "AS", "TRUE", "FALSE", "TEXT", "INT",
+		"INTEGER", "FLOAT", "REAL", "BOOL", "BOOLEAN", "DISTINCT",
+	} {
+		keywords[k] = true
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole statement up front; parse errors then carry
+// byte offsets into the original text.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tkEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == '\'':
+			s, err := l.lexString()
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tkString, text: s, pos: start})
+		case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+			l.toks = append(l.toks, token{kind: tkNumber, text: l.lexNumber(), pos: start})
+		case isIdentStart(c):
+			word := l.lexIdent()
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				l.toks = append(l.toks, token{kind: tkKeyword, text: up, pos: start})
+			} else {
+				l.toks = append(l.toks, token{kind: tkIdent, text: word, pos: start})
+			}
+		case c == '"':
+			// Quoted identifier.
+			word, err := l.lexQuotedIdent()
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tkIdent, text: word, pos: start})
+		case c == '?':
+			l.pos++
+			l.toks = append(l.toks, token{kind: tkParam, text: "?", pos: start})
+		default:
+			sym, err := l.lexSymbol()
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tkSymbol, text: sym, pos: start})
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentByte(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func (l *lexer) lexString() (string, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'') // escaped quote
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return b.String(), nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return "", fmt.Errorf("sqlx: unterminated string literal at offset %d", start)
+}
+
+func (l *lexer) lexQuotedIdent() (string, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '"' {
+			l.pos++
+			return b.String(), nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return "", fmt.Errorf("sqlx: unterminated quoted identifier at offset %d", start)
+}
+
+func (l *lexer) lexNumber() string {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if isDigit(c) {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) lexIdent() string {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentByte(l.src[l.pos]) {
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+var twoByteSymbols = map[string]bool{
+	"<=": true, ">=": true, "<>": true, "!=": true, "||": true,
+}
+
+func (l *lexer) lexSymbol() (string, error) {
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		if twoByteSymbols[two] {
+			l.pos += 2
+			return two, nil
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '=', '<', '>', '+', '-', '*', '/', '%', '.', ';':
+		l.pos++
+		return string(c), nil
+	}
+	return "", fmt.Errorf("sqlx: unexpected character %q at offset %d", c, l.pos)
+}

@@ -1,0 +1,825 @@
+package sqlx
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/relstore"
+)
+
+// Parse parses a single SQL statement. A trailing semicolon is permitted.
+func Parse(src string) (Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	stmt, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tkSymbol, ";")
+	if !p.at(tkEOF, "") {
+		return nil, p.errf("trailing input %q", p.peek().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	src    string
+	toks   []token
+	i      int
+	params int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tkEOF {
+		p.i++
+	}
+	return t
+}
+
+// at reports whether the current token has the given kind and (when text is
+// non-empty) text.
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+// accept consumes the current token if it matches.
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		got := p.peek()
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", kind)
+		}
+		return token{}, p.errf("expected %s, found %q", want, got.text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sqlx: parse error at offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.at(tkKeyword, "SELECT"):
+		return p.parseSelect()
+	case p.at(tkKeyword, "INSERT"):
+		return p.parseInsert()
+	case p.at(tkKeyword, "UPDATE"):
+		return p.parseUpdate()
+	case p.at(tkKeyword, "DELETE"):
+		return p.parseDelete()
+	case p.at(tkKeyword, "CREATE"):
+		return p.parseCreate()
+	case p.at(tkKeyword, "DROP"):
+		return p.parseDrop()
+	default:
+		return nil, p.errf("expected a statement, found %q", p.peek().text)
+	}
+}
+
+func (p *parser) parseIdent() (string, error) {
+	if p.at(tkIdent, "") {
+		return p.next().text, nil
+	}
+	return "", p.errf("expected identifier, found %q", p.peek().text)
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if _, err := p.expect(tkKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	s := &SelectStmt{Limit: -1}
+	s.Distinct = p.accept(tkKeyword, "DISTINCT")
+	if p.accept(tkSymbol, "*") {
+		s.Items = nil // plain star
+	} else {
+		for {
+			item := SelectItem{}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item.Expr = e
+			if p.accept(tkKeyword, "AS") {
+				alias, err := p.parseIdent()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = alias
+			} else if p.at(tkIdent, "") {
+				item.Alias = p.next().text
+			}
+			s.Items = append(s.Items, item)
+			if !p.accept(tkSymbol, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tkKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	ref, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	s.From = ref
+	for {
+		left := false
+		if p.at(tkKeyword, "LEFT") {
+			p.next()
+			left = true
+		} else if p.at(tkKeyword, "INNER") {
+			p.next()
+		} else if !p.at(tkKeyword, "JOIN") {
+			break
+		}
+		if _, err := p.expect(tkKeyword, "JOIN"); err != nil {
+			return nil, err
+		}
+		jref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Joins = append(s.Joins, JoinClause{Left: left, Table: jref, On: on})
+	}
+	if p.accept(tkKeyword, "WHERE") {
+		if s.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(tkKeyword, "GROUP") {
+		if _, err := p.expect(tkKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if !p.accept(tkSymbol, ",") {
+				break
+			}
+		}
+		if p.accept(tkKeyword, "HAVING") {
+			if s.Having, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.accept(tkKeyword, "ORDER") {
+		if _, err := p.expect(tkKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(tkKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(tkKeyword, "ASC")
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if !p.accept(tkSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tkKeyword, "LIMIT") {
+		n, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		s.Limit = n
+		if p.accept(tkKeyword, "OFFSET") {
+			m, err := p.parseInt()
+			if err != nil {
+				return nil, err
+			}
+			s.Offset = m
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseInt() (int, error) {
+	t, err := p.expect(tkNumber, "")
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, p.errf("invalid integer %q", t.text)
+	}
+	return n, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	name, err := p.parseIdent()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Table: name}
+	if p.accept(tkKeyword, "AS") {
+		if ref.Alias, err = p.parseIdent(); err != nil {
+			return TableRef{}, err
+		}
+	} else if p.at(tkIdent, "") {
+		ref.Alias = p.next().text
+	}
+	return ref, nil
+}
+
+func (p *parser) parseInsert() (*InsertStmt, error) {
+	if _, err := p.expect(tkKeyword, "INSERT"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	s := &InsertStmt{Table: table}
+	if p.accept(tkSymbol, "(") {
+		for {
+			col, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			s.Columns = append(s.Columns, col)
+			if !p.accept(tkSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tkSymbol, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tkKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(tkSymbol, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.accept(tkSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tkSymbol, ")"); err != nil {
+			return nil, err
+		}
+		s.Rows = append(s.Rows, row)
+		if !p.accept(tkSymbol, ",") {
+			break
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseUpdate() (*UpdateStmt, error) {
+	if _, err := p.expect(tkKeyword, "UPDATE"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	s := &UpdateStmt{Table: table}
+	for {
+		col, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkSymbol, "="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Set = append(s.Set, SetClause{Column: col, Value: val})
+		if !p.accept(tkSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(tkKeyword, "WHERE") {
+		if s.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseDelete() (*DeleteStmt, error) {
+	if _, err := p.expect(tkKeyword, "DELETE"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	s := &DeleteStmt{Table: table}
+	if p.accept(tkKeyword, "WHERE") {
+		if s.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseCreate() (Stmt, error) {
+	if _, err := p.expect(tkKeyword, "CREATE"); err != nil {
+		return nil, err
+	}
+	unique := p.accept(tkKeyword, "UNIQUE")
+	sorted := p.accept(tkKeyword, "SORTED")
+	if unique && sorted {
+		return nil, p.errf("an index cannot be both UNIQUE and SORTED")
+	}
+	switch {
+	case p.accept(tkKeyword, "TABLE"):
+		if unique || sorted {
+			return nil, p.errf("UNIQUE/SORTED are not valid on CREATE TABLE")
+		}
+		return p.parseCreateTable()
+	case p.accept(tkKeyword, "INDEX"):
+		return p.parseCreateIndex(unique, sorted)
+	default:
+		return nil, p.errf("expected TABLE or INDEX after CREATE")
+	}
+}
+
+func (p *parser) parseCreateTable() (*CreateTableStmt, error) {
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkSymbol, "("); err != nil {
+		return nil, err
+	}
+	schema := relstore.Schema{Table: name}
+	for {
+		if p.accept(tkKeyword, "PRIMARY") {
+			if _, err := p.expect(tkKeyword, "KEY"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tkSymbol, "("); err != nil {
+				return nil, err
+			}
+			for {
+				col, err := p.parseIdent()
+				if err != nil {
+					return nil, err
+				}
+				schema.PrimaryKey = append(schema.PrimaryKey, col)
+				if !p.accept(tkSymbol, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(tkSymbol, ")"); err != nil {
+				return nil, err
+			}
+		} else {
+			col, err := p.parseColumnDef(&schema)
+			if err != nil {
+				return nil, err
+			}
+			schema.Columns = append(schema.Columns, col)
+		}
+		if !p.accept(tkSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tkSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return &CreateTableStmt{Schema: schema}, nil
+}
+
+func (p *parser) parseColumnDef(schema *relstore.Schema) (relstore.Column, error) {
+	name, err := p.parseIdent()
+	if err != nil {
+		return relstore.Column{}, err
+	}
+	t := p.next()
+	if t.kind != tkKeyword {
+		return relstore.Column{}, p.errf("expected column type, found %q", t.text)
+	}
+	var typ relstore.Type
+	switch t.text {
+	case "TEXT":
+		typ = relstore.TText
+	case "INT", "INTEGER":
+		typ = relstore.TInt
+	case "FLOAT", "REAL":
+		typ = relstore.TFloat
+	case "BOOL", "BOOLEAN":
+		typ = relstore.TBool
+	default:
+		return relstore.Column{}, p.errf("unknown column type %q", t.text)
+	}
+	col := relstore.Column{Name: name, Type: typ}
+	for {
+		switch {
+		case p.accept(tkKeyword, "NOT"):
+			if _, err := p.expect(tkKeyword, "NULL"); err != nil {
+				return relstore.Column{}, err
+			}
+			col.NotNull = true
+		case p.accept(tkKeyword, "PRIMARY"):
+			if _, err := p.expect(tkKeyword, "KEY"); err != nil {
+				return relstore.Column{}, err
+			}
+			schema.PrimaryKey = append(schema.PrimaryKey, name)
+		default:
+			return col, nil
+		}
+	}
+}
+
+func (p *parser) parseCreateIndex(unique, sorted bool) (*CreateIndexStmt, error) {
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkKeyword, "ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkSymbol, "("); err != nil {
+		return nil, err
+	}
+	s := &CreateIndexStmt{Name: name, Table: table, Unique: unique, Sorted: sorted}
+	for {
+		col, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		s.Columns = append(s.Columns, col)
+		if !p.accept(tkSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tkSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *parser) parseDrop() (*DropTableStmt, error) {
+	if _, err := p.expect(tkKeyword, "DROP"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTableStmt{Table: name}, nil
+}
+
+// --- expressions, precedence climbing ---
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tkKeyword, "OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tkKeyword, "AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(tkKeyword, "NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", Expr: e}, nil
+	}
+	return p.parseComparison()
+}
+
+var comparisonOps = map[string]bool{"=": true, "<>": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.accept(tkKeyword, "IS") {
+		negate := p.accept(tkKeyword, "NOT")
+		if _, err := p.expect(tkKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{Expr: left, Negate: negate}, nil
+	}
+	// [NOT] LIKE / IN / BETWEEN
+	negate := false
+	if p.at(tkKeyword, "NOT") && (p.toks[p.i+1].text == "LIKE" || p.toks[p.i+1].text == "IN" || p.toks[p.i+1].text == "BETWEEN") {
+		p.next()
+		negate = true
+	}
+	if p.accept(tkKeyword, "BETWEEN") {
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		// Desugar: left BETWEEN lo AND hi == left >= lo AND left <= hi.
+		var e Expr = &Binary{Op: "AND",
+			Left:  &Binary{Op: ">=", Left: left, Right: lo},
+			Right: &Binary{Op: "<=", Left: left, Right: hi},
+		}
+		if negate {
+			// Under SQL's three-valued logic NULL is neither inside nor
+			// outside a range; the evaluator is two-valued, so guard the
+			// negation with an explicit NULL check.
+			e = &Binary{Op: "AND",
+				Left:  &IsNull{Expr: left, Negate: true},
+				Right: &Unary{Op: "NOT", Expr: e},
+			}
+		}
+		return e, nil
+	}
+	if p.accept(tkKeyword, "LIKE") {
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		var e Expr = &Binary{Op: "LIKE", Left: left, Right: right}
+		if negate {
+			e = &Unary{Op: "NOT", Expr: e}
+		}
+		return e, nil
+	}
+	if p.accept(tkKeyword, "IN") {
+		if _, err := p.expect(tkSymbol, "("); err != nil {
+			return nil, err
+		}
+		in := &InList{Expr: left, Negate: negate}
+		for {
+			item, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			in.Items = append(in.Items, item)
+			if !p.accept(tkSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tkSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+	}
+	if negate {
+		return nil, p.errf("dangling NOT")
+	}
+	if p.at(tkSymbol, "") && comparisonOps[p.peek().text] {
+		op := p.next().text
+		if op == "!=" {
+			op = "<>"
+		}
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: op, Left: left, Right: right}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tkSymbol, "+") || p.at(tkSymbol, "-") || p.at(tkSymbol, "||") {
+		op := p.next().text
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tkSymbol, "*") || p.at(tkSymbol, "/") || p.at(tkSymbol, "%") {
+		op := p.next().text
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(tkSymbol, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", Expr: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tkNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("invalid number %q", t.text)
+			}
+			return &Literal{Value: f}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("invalid integer %q", t.text)
+		}
+		return &Literal{Value: n}, nil
+	case tkString:
+		p.next()
+		return &Literal{Value: t.text}, nil
+	case tkParam:
+		p.next()
+		e := &Param{Index: p.params}
+		p.params++
+		return e, nil
+	case tkKeyword:
+		switch t.text {
+		case "NULL":
+			p.next()
+			return &Literal{Value: nil}, nil
+		case "TRUE":
+			p.next()
+			return &Literal{Value: true}, nil
+		case "FALSE":
+			p.next()
+			return &Literal{Value: false}, nil
+		case "NOT":
+			return p.parseNot()
+		}
+		return nil, p.errf("unexpected keyword %q in expression", t.text)
+	case tkIdent:
+		p.next()
+		// Function call?
+		if p.at(tkSymbol, "(") {
+			return p.parseFuncCall(t.text)
+		}
+		// Qualified column?
+		if p.accept(tkSymbol, ".") {
+			col, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: t.text, Column: col}, nil
+		}
+		return &ColumnRef{Column: t.text}, nil
+	case tkSymbol:
+		if t.text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tkSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("unexpected token %q in expression", t.text)
+}
+
+var scalarFuncs = map[string]bool{
+	"UPPER": true, "LOWER": true, "LENGTH": true, "COALESCE": true,
+}
+
+func (p *parser) parseFuncCall(name string) (Expr, error) {
+	up := strings.ToUpper(name)
+	if !aggregateFuncs[up] && !scalarFuncs[up] {
+		return nil, p.errf("unknown function %q", name)
+	}
+	if _, err := p.expect(tkSymbol, "("); err != nil {
+		return nil, err
+	}
+	fc := &FuncCall{Name: up}
+	if p.accept(tkSymbol, "*") {
+		if up != "COUNT" {
+			return nil, p.errf("* argument is only valid in COUNT")
+		}
+		fc.Star = true
+		if _, err := p.expect(tkSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	}
+	if p.accept(tkSymbol, ")") {
+		return nil, p.errf("%s requires arguments", up)
+	}
+	for {
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fc.Args = append(fc.Args, a)
+		if !p.accept(tkSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tkSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return fc, nil
+}

@@ -1,0 +1,714 @@
+package sqlx
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relstore"
+)
+
+func openTestDB(t *testing.T) *Conn {
+	t.Helper()
+	c := Open(relstore.NewDB())
+	mustExec(t, c, `CREATE TABLE deals (
+		id TEXT PRIMARY KEY,
+		customer TEXT NOT NULL,
+		industry TEXT,
+		tcv FLOAT,
+		months INT,
+		international BOOL
+	)`)
+	mustExec(t, c, `CREATE TABLE people (
+		deal_id TEXT NOT NULL,
+		name TEXT NOT NULL,
+		role TEXT,
+		email TEXT
+	)`)
+	stmts := []string{
+		`INSERT INTO deals VALUES ('DEAL A', 'Acme Bank', 'Banking', 120.5, 60, TRUE)`,
+		`INSERT INTO deals VALUES ('DEAL B', 'Borealis', 'Insurance', 75.0, 36, FALSE)`,
+		`INSERT INTO deals VALUES ('DEAL C', 'Cygnus', 'Insurance', 55.0, 60, TRUE)`,
+		`INSERT INTO deals (id, customer) VALUES ('DEAL D', 'Delta')`,
+		`INSERT INTO people VALUES
+			('DEAL A', 'Sam White', 'CSE', 'sam.white@abc.com'),
+			('DEAL A', 'Jo Park', 'TSA', 'jo.park@ibm.com'),
+			('DEAL B', 'Lee Chan', 'CSE', 'lee.chan@ibm.com'),
+			('DEAL C', 'Ana Ruiz', 'PE', NULL)`,
+	}
+	for _, s := range stmts {
+		mustExec(t, c, s)
+	}
+	return c
+}
+
+func mustExec(t *testing.T, c *Conn, sql string, args ...relstore.Value) int {
+	t.Helper()
+	n, err := c.Exec(sql, args...)
+	if err != nil {
+		t.Fatalf("Exec(%s): %v", sql, err)
+	}
+	return n
+}
+
+func mustQuery(t *testing.T, c *Conn, sql string, args ...relstore.Value) *Rows {
+	t.Helper()
+	rows, err := c.Query(sql, args...)
+	if err != nil {
+		t.Fatalf("Query(%s): %v", sql, err)
+	}
+	return rows
+}
+
+func TestSelectStar(t *testing.T) {
+	c := openTestDB(t)
+	rows := mustQuery(t, c, `SELECT * FROM deals`)
+	if rows.Len() != 4 {
+		t.Fatalf("rows = %d", rows.Len())
+	}
+	if len(rows.Columns) != 6 || rows.Columns[0] != "id" {
+		t.Fatalf("columns = %v", rows.Columns)
+	}
+}
+
+func TestSelectWhereEquality(t *testing.T) {
+	c := openTestDB(t)
+	rows := mustQuery(t, c, `SELECT id FROM deals WHERE industry = 'Insurance'`)
+	if rows.Len() != 2 {
+		t.Fatalf("rows = %v", rows.Data)
+	}
+}
+
+func TestSelectWhereParams(t *testing.T) {
+	c := openTestDB(t)
+	rows := mustQuery(t, c, `SELECT id FROM deals WHERE industry = ? AND months = ?`, "Insurance", 60)
+	if rows.Len() != 1 || rows.Data[0][0] != "DEAL C" {
+		t.Fatalf("rows = %v", rows.Data)
+	}
+}
+
+func TestSelectMissingParam(t *testing.T) {
+	c := openTestDB(t)
+	if _, err := c.Query(`SELECT id FROM deals WHERE industry = ?`); !errors.Is(err, ErrBadParam) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSelectComparisons(t *testing.T) {
+	c := openTestDB(t)
+	cases := map[string]int{
+		`SELECT id FROM deals WHERE tcv > 60`:                          2,
+		`SELECT id FROM deals WHERE tcv >= 75`:                         2,
+		`SELECT id FROM deals WHERE tcv < 60`:                          1,
+		`SELECT id FROM deals WHERE tcv <= 55`:                         1,
+		`SELECT id FROM deals WHERE tcv <> 55`:                         2, // NULL row excluded
+		`SELECT id FROM deals WHERE months = 60`:                       2,
+		`SELECT id FROM deals WHERE international = TRUE`:              2,
+		`SELECT id FROM deals WHERE NOT international`:                 1,
+		`SELECT id FROM deals WHERE tcv IS NULL`:                       1,
+		`SELECT id FROM deals WHERE tcv IS NOT NULL`:                   3,
+		`SELECT id FROM deals WHERE industry IN ('Banking', 'Retail')`: 1,
+		`SELECT id FROM deals WHERE industry NOT IN ('Banking')`:       2, // NULL industry excluded
+	}
+	for sql, want := range cases {
+		if got := mustQuery(t, c, sql).Len(); got != want {
+			t.Errorf("%s: got %d rows, want %d", sql, got, want)
+		}
+	}
+}
+
+func TestSelectLike(t *testing.T) {
+	c := openTestDB(t)
+	cases := map[string]int{
+		`SELECT id FROM deals WHERE customer LIKE 'A%'`:     1,
+		`SELECT id FROM deals WHERE customer LIKE '%a%'`:    3, // Acme Bank, Borealis, Delta (case-insensitive)
+		`SELECT id FROM deals WHERE customer LIKE '_cme%'`:  1,
+		`SELECT id FROM deals WHERE customer NOT LIKE '%s'`: 2, // Acme Bank, Delta
+		`SELECT id FROM deals WHERE customer LIKE 'acme %'`: 1, // case-insensitive
+	}
+	for sql, want := range cases {
+		if got := mustQuery(t, c, sql).Len(); got != want {
+			t.Errorf("%s: got %d, want %d", sql, got, want)
+		}
+	}
+}
+
+func TestMatchLike(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%o", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h__lo", true},
+		{"hello", "", false},
+		{"", "", true},
+		{"", "%", true},
+		{"abc", "%%%", true},
+		{"abc", "a%c%", true},
+		{"abc", "a_c_", false},
+		{"Storage Management", "%manage%", true},
+	}
+	for _, tc := range cases {
+		if got := MatchLike(tc.s, tc.p); got != tc.want {
+			t.Errorf("MatchLike(%q, %q) = %v", tc.s, tc.p, got)
+		}
+	}
+}
+
+func TestOrderBy(t *testing.T) {
+	c := openTestDB(t)
+	rows := mustQuery(t, c, `SELECT id, tcv FROM deals WHERE tcv IS NOT NULL ORDER BY tcv DESC`)
+	want := []string{"DEAL A", "DEAL B", "DEAL C"}
+	for i, w := range want {
+		if rows.Data[i][0] != w {
+			t.Fatalf("order wrong: %v", rows.Data)
+		}
+	}
+	rows = mustQuery(t, c, `SELECT id FROM deals ORDER BY id ASC`)
+	if rows.Data[0][0] != "DEAL A" || rows.Data[3][0] != "DEAL D" {
+		t.Fatalf("asc order wrong: %v", rows.Data)
+	}
+}
+
+func TestOrderByMultipleKeys(t *testing.T) {
+	c := openTestDB(t)
+	rows := mustQuery(t, c, `SELECT id FROM deals WHERE months IS NOT NULL ORDER BY months DESC, id DESC`)
+	want := []string{"DEAL C", "DEAL A", "DEAL B"}
+	for i, w := range want {
+		if rows.Data[i][0] != w {
+			t.Fatalf("order = %v", rows.Data)
+		}
+	}
+}
+
+func TestLimitOffset(t *testing.T) {
+	c := openTestDB(t)
+	rows := mustQuery(t, c, `SELECT id FROM deals ORDER BY id LIMIT 2`)
+	if rows.Len() != 2 || rows.Data[0][0] != "DEAL A" {
+		t.Fatalf("rows = %v", rows.Data)
+	}
+	rows = mustQuery(t, c, `SELECT id FROM deals ORDER BY id LIMIT 2 OFFSET 3`)
+	if rows.Len() != 1 || rows.Data[0][0] != "DEAL D" {
+		t.Fatalf("rows = %v", rows.Data)
+	}
+	rows = mustQuery(t, c, `SELECT id FROM deals ORDER BY id LIMIT 10 OFFSET 99`)
+	if rows.Len() != 0 {
+		t.Fatalf("rows = %v", rows.Data)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	c := openTestDB(t)
+	row, err := c.QueryOne(`SELECT COUNT(*), COUNT(tcv), SUM(months), MIN(tcv), MAX(tcv), AVG(tcv) FROM deals`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0] != int64(4) || row[1] != int64(3) {
+		t.Fatalf("counts = %v", row)
+	}
+	if row[2] != int64(156) {
+		t.Fatalf("sum = %v", row[2])
+	}
+	if row[3] != 55.0 || row[4] != 120.5 {
+		t.Fatalf("min/max = %v %v", row[3], row[4])
+	}
+	avg := row[5].(float64)
+	if avg < 83.4 || avg > 83.6 {
+		t.Fatalf("avg = %v", avg)
+	}
+}
+
+func TestAggregateEmptyTable(t *testing.T) {
+	c := openTestDB(t)
+	mustExec(t, c, `DELETE FROM people`)
+	row, err := c.QueryOne(`SELECT COUNT(*), SUM(1), MIN(name) FROM people`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0] != int64(0) || row[1] != nil || row[2] != nil {
+		t.Fatalf("row = %v", row)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	c := openTestDB(t)
+	rows := mustQuery(t, c, `SELECT industry, COUNT(*) AS cnt FROM deals WHERE industry IS NOT NULL GROUP BY industry ORDER BY cnt DESC, industry`)
+	if rows.Len() != 2 {
+		t.Fatalf("rows = %v", rows.Data)
+	}
+	if rows.Data[0][0] != "Insurance" || rows.Data[0][1] != int64(2) {
+		t.Fatalf("rows = %v", rows.Data)
+	}
+	if rows.Data[1][0] != "Banking" || rows.Data[1][1] != int64(1) {
+		t.Fatalf("rows = %v", rows.Data)
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	c := openTestDB(t)
+	rows := mustQuery(t, c, `SELECT industry, COUNT(*) AS cnt FROM deals GROUP BY industry HAVING COUNT(*) > 1`)
+	if rows.Len() != 1 || rows.Data[0][0] != "Insurance" {
+		t.Fatalf("rows = %v", rows.Data)
+	}
+}
+
+func TestJoinInner(t *testing.T) {
+	c := openTestDB(t)
+	rows := mustQuery(t, c, `
+		SELECT d.id, p.name FROM deals d
+		JOIN people p ON d.id = p.deal_id
+		WHERE p.role = 'CSE'
+		ORDER BY d.id`)
+	if rows.Len() != 2 {
+		t.Fatalf("rows = %v", rows.Data)
+	}
+	if rows.Data[0][1] != "Sam White" || rows.Data[1][1] != "Lee Chan" {
+		t.Fatalf("rows = %v", rows.Data)
+	}
+}
+
+func TestJoinLeft(t *testing.T) {
+	c := openTestDB(t)
+	rows := mustQuery(t, c, `
+		SELECT d.id, p.name FROM deals d
+		LEFT JOIN people p ON d.id = p.deal_id
+		ORDER BY d.id`)
+	// DEAL A has 2 people, B 1, C 1, D none (padded) -> 5 rows.
+	if rows.Len() != 5 {
+		t.Fatalf("rows = %v", rows.Data)
+	}
+	last := rows.Data[4]
+	if last[0] != "DEAL D" || last[1] != nil {
+		t.Fatalf("left pad wrong: %v", last)
+	}
+}
+
+func TestJoinAmbiguousColumn(t *testing.T) {
+	c := openTestDB(t)
+	mustExec(t, c, `CREATE TABLE other (id TEXT, note TEXT)`)
+	mustExec(t, c, `INSERT INTO other VALUES ('DEAL A', 'x')`)
+	_, err := c.Query(`SELECT id FROM deals d JOIN other o ON d.id = o.id`)
+	if !errors.Is(err, ErrAmbiguousColumn) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnknownColumn(t *testing.T) {
+	c := openTestDB(t)
+	if _, err := c.Query(`SELECT nothere FROM deals`); !errors.Is(err, ErrUnknownColumn) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	c := openTestDB(t)
+	rows := mustQuery(t, c, `SELECT DISTINCT role FROM people WHERE role IS NOT NULL ORDER BY role`)
+	if rows.Len() != 3 { // CSE, PE, TSA
+		t.Fatalf("rows = %v", rows.Data)
+	}
+}
+
+func TestScalarFuncs(t *testing.T) {
+	c := openTestDB(t)
+	row, err := c.QueryOne(`SELECT UPPER(customer), LOWER(customer), LENGTH(customer), COALESCE(industry, 'n/a') FROM deals WHERE id = 'DEAL D'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0] != "DELTA" || row[1] != "delta" || row[2] != int64(5) || row[3] != "n/a" {
+		t.Fatalf("row = %v", row)
+	}
+}
+
+func TestArithmeticAndConcat(t *testing.T) {
+	c := openTestDB(t)
+	row, err := c.QueryOne(`SELECT months / 12, months % 12, tcv * 2, id || '-' || customer FROM deals WHERE id = 'DEAL A'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0] != int64(5) || row[1] != int64(0) || row[2] != 241.0 || row[3] != "DEAL A-Acme Bank" {
+		t.Fatalf("row = %v", row)
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	c := openTestDB(t)
+	if _, err := c.Query(`SELECT months / 0 FROM deals`); err == nil {
+		t.Fatal("expected division-by-zero error")
+	}
+}
+
+func TestUpdateConstant(t *testing.T) {
+	c := openTestDB(t)
+	n := mustExec(t, c, `UPDATE deals SET industry = 'Finance' WHERE industry = 'Banking'`)
+	if n != 1 {
+		t.Fatalf("updated %d", n)
+	}
+	rows := mustQuery(t, c, `SELECT id FROM deals WHERE industry = 'Finance'`)
+	if rows.Len() != 1 || rows.Data[0][0] != "DEAL A" {
+		t.Fatalf("rows = %v", rows.Data)
+	}
+}
+
+func TestUpdateRowDependent(t *testing.T) {
+	c := openTestDB(t)
+	n := mustExec(t, c, `UPDATE deals SET months = months + 12 WHERE months IS NOT NULL`)
+	if n != 3 {
+		t.Fatalf("updated %d", n)
+	}
+	row, err := c.QueryOne(`SELECT months FROM deals WHERE id = 'DEAL A'`)
+	if err != nil || row[0] != int64(72) {
+		t.Fatalf("months = %v, %v", row, err)
+	}
+}
+
+func TestUpdateWithParams(t *testing.T) {
+	c := openTestDB(t)
+	n := mustExec(t, c, `UPDATE deals SET customer = ? WHERE id = ?`, "Acme Global", "DEAL A")
+	if n != 1 {
+		t.Fatalf("updated %d", n)
+	}
+}
+
+func TestDeleteWhere(t *testing.T) {
+	c := openTestDB(t)
+	n := mustExec(t, c, `DELETE FROM people WHERE role = 'CSE'`)
+	if n != 2 {
+		t.Fatalf("deleted %d", n)
+	}
+	rows := mustQuery(t, c, `SELECT COUNT(*) FROM people`)
+	if rows.Data[0][0] != int64(2) {
+		t.Fatalf("remaining = %v", rows.Data)
+	}
+}
+
+func TestInsertWithColumnsAndMulti(t *testing.T) {
+	c := openTestDB(t)
+	n := mustExec(t, c, `INSERT INTO people (deal_id, name) VALUES ('DEAL D', 'New One'), ('DEAL D', 'New Two')`)
+	if n != 2 {
+		t.Fatalf("inserted %d", n)
+	}
+	rows := mustQuery(t, c, `SELECT name, role FROM people WHERE deal_id = 'DEAL D' ORDER BY name`)
+	if rows.Len() != 2 || rows.Data[0][1] != nil {
+		t.Fatalf("rows = %v", rows.Data)
+	}
+}
+
+func TestInsertArityMismatch(t *testing.T) {
+	c := openTestDB(t)
+	if _, err := c.Exec(`INSERT INTO people (deal_id) VALUES ('x', 'y')`); err == nil {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestInsertDuplicatePK(t *testing.T) {
+	c := openTestDB(t)
+	_, err := c.Exec(`INSERT INTO deals (id, customer) VALUES ('DEAL A', 'dup')`)
+	if !errors.Is(err, relstore.ErrDuplicateKey) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCreateIndexAndIndexedSelect(t *testing.T) {
+	c := openTestDB(t)
+	mustExec(t, c, `CREATE INDEX by_role ON people (role)`)
+	rows := mustQuery(t, c, `SELECT name FROM people WHERE role = 'TSA'`)
+	if rows.Len() != 1 || rows.Data[0][0] != "Jo Park" {
+		t.Fatalf("rows = %v", rows.Data)
+	}
+	// Residual predicates on top of the indexed equality must still apply.
+	rows = mustQuery(t, c, `SELECT name FROM people WHERE role = 'CSE' AND name LIKE 'Sam%'`)
+	if rows.Len() != 1 || rows.Data[0][0] != "Sam White" {
+		t.Fatalf("rows = %v", rows.Data)
+	}
+}
+
+func TestCreateUniqueIndexViolation(t *testing.T) {
+	c := openTestDB(t)
+	mustExec(t, c, `CREATE UNIQUE INDEX by_email ON people (email)`)
+	_, err := c.Exec(`INSERT INTO people VALUES ('DEAL B', 'Other', 'PE', 'sam.white@abc.com')`)
+	if !errors.Is(err, relstore.ErrDuplicateKey) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	c := openTestDB(t)
+	mustExec(t, c, `DROP TABLE people`)
+	if _, err := c.Query(`SELECT * FROM people`); !errors.Is(err, relstore.ErrNoTable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	c := openTestDB(t)
+	bad := []string{
+		``,
+		`SELEC id FROM deals`,
+		`SELECT FROM deals`,
+		`SELECT id deals`,
+		`SELECT id FROM deals WHERE`,
+		`SELECT id FROM deals ORDER`,
+		`INSERT deals VALUES (1)`,
+		`CREATE TABLE t`,
+		`CREATE TABLE t (a NOPE)`,
+		`SELECT id FROM deals LIMIT x`,
+		`SELECT UNKNOWNFUNC(id) FROM deals`,
+		`SELECT id FROM deals; SELECT id FROM deals`,
+		`SELECT 'unterminated FROM deals`,
+		`SELECT id FROM deals WHERE id NOT 5`,
+		`SELECT COUNT() FROM deals`,
+		`SELECT SUM(*) FROM deals`,
+		`CREATE UNIQUE TABLE t (a INT)`,
+	}
+	for _, sql := range bad {
+		if _, err := c.Query(sql); err == nil {
+			if _, err2 := c.Exec(sql); err2 == nil {
+				t.Errorf("no error for %q", sql)
+			}
+		}
+	}
+}
+
+func TestExecRejectsSelect(t *testing.T) {
+	c := openTestDB(t)
+	if _, err := c.Exec(`SELECT * FROM deals`); err == nil {
+		t.Fatal("Exec accepted SELECT")
+	}
+	if _, err := c.Query(`DELETE FROM deals`); err == nil {
+		t.Fatal("Query accepted DELETE")
+	}
+}
+
+func TestQueryOne(t *testing.T) {
+	c := openTestDB(t)
+	row, err := c.QueryOne(`SELECT customer FROM deals WHERE id = 'DEAL B'`)
+	if err != nil || row[0] != "Borealis" {
+		t.Fatalf("row = %v, %v", row, err)
+	}
+	row, err = c.QueryOne(`SELECT customer FROM deals WHERE id = 'NOPE'`)
+	if err != nil || row != nil {
+		t.Fatalf("row = %v, %v", row, err)
+	}
+	if _, err = c.QueryOne(`SELECT customer FROM deals`); err == nil {
+		t.Fatal("QueryOne accepted multiple rows")
+	}
+}
+
+func TestCommentsAndSemicolon(t *testing.T) {
+	c := openTestDB(t)
+	rows := mustQuery(t, c, "SELECT id -- the deal id\nFROM deals; ")
+	if rows.Len() != 4 {
+		t.Fatalf("rows = %d", rows.Len())
+	}
+}
+
+func TestQuotedIdentifier(t *testing.T) {
+	c := openTestDB(t)
+	rows := mustQuery(t, c, `SELECT "id" FROM deals WHERE "industry" = 'Banking'`)
+	if rows.Len() != 1 {
+		t.Fatalf("rows = %v", rows.Data)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	c := openTestDB(t)
+	mustExec(t, c, `INSERT INTO deals (id, customer) VALUES ('DEAL Q', 'O''Neil & Co')`)
+	row, err := c.QueryOne(`SELECT customer FROM deals WHERE id = 'DEAL Q'`)
+	if err != nil || row[0] != "O'Neil & Co" {
+		t.Fatalf("row = %v, %v", row, err)
+	}
+}
+
+// Property: MatchLike with a pattern equal to the string (no wildcards)
+// matches exactly when strings are equal case-insensitively.
+func TestMatchLikeExactProperty(t *testing.T) {
+	err := quick.Check(func(s string) bool {
+		if strings.ContainsAny(s, "%_") {
+			return true
+		}
+		return MatchLike(s, s)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: '%'+s+'%' always matches any string containing s.
+func TestMatchLikeContainsProperty(t *testing.T) {
+	err := quick.Check(func(pre, s, post string) bool {
+		if strings.ContainsAny(s, "%_") {
+			return true
+		}
+		return MatchLike(pre+s+post, "%"+s+"%")
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a round-trip through INSERT with params preserves values.
+func TestInsertParamRoundTripProperty(t *testing.T) {
+	c := Open(relstore.NewDB())
+	mustExec(t, c, `CREATE TABLE kv (k TEXT PRIMARY KEY, n INT, f FLOAT, b BOOL)`)
+	i := 0
+	err := quick.Check(func(n int64, f float64, b bool) bool {
+		k := fmt.Sprintf("k%d", i)
+		i++
+		if _, err := c.Exec(`INSERT INTO kv VALUES (?, ?, ?, ?)`, k, n, f, b); err != nil {
+			return false
+		}
+		row, err := c.QueryOne(`SELECT n, f, b FROM kv WHERE k = ?`, k)
+		if err != nil || row == nil {
+			return false
+		}
+		return row[0] == n && row[1] == f && row[2] == b
+	}, &quick.Config{MaxCount: 150})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: COUNT(*) equals the number of inserted live rows.
+func TestCountMatchesInsertsProperty(t *testing.T) {
+	c := Open(relstore.NewDB())
+	mustExec(t, c, `CREATE TABLE t (n INT)`)
+	total := 0
+	err := quick.Check(func(k uint8) bool {
+		add := int(k % 7)
+		for j := 0; j < add; j++ {
+			if _, err := c.Exec(`INSERT INTO t VALUES (?)`, j); err != nil {
+				return false
+			}
+		}
+		total += add
+		row, err := c.QueryOne(`SELECT COUNT(*) FROM t`)
+		return err == nil && row[0] == int64(total)
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSelectIndexed(b *testing.B) {
+	c := Open(relstore.NewDB())
+	c.Exec(`CREATE TABLE deals (id TEXT PRIMARY KEY, industry TEXT)`)
+	for i := 0; i < 10000; i++ {
+		c.Exec(`INSERT INTO deals VALUES (?, ?)`, fmt.Sprintf("D%d", i), "Ind")
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Query(`SELECT industry FROM deals WHERE id = ?`, fmt.Sprintf("D%d", i%10000))
+	}
+}
+
+func BenchmarkSelectScan(b *testing.B) {
+	c := Open(relstore.NewDB())
+	c.Exec(`CREATE TABLE deals (id TEXT PRIMARY KEY, tcv FLOAT)`)
+	for i := 0; i < 5000; i++ {
+		c.Exec(`INSERT INTO deals VALUES (?, ?)`, fmt.Sprintf("D%d", i), float64(i))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Query(`SELECT id FROM deals WHERE tcv > 2500 LIMIT 10`)
+	}
+}
+
+func TestSortedIndexSQL(t *testing.T) {
+	c := openTestDB(t)
+	mustExec(t, c, `CREATE SORTED INDEX deals_by_tcv ON deals (tcv)`)
+	rows := mustQuery(t, c, `SELECT id FROM deals WHERE tcv >= 60 AND tcv < 121`)
+	if rows.Len() != 2 { // DEAL A (120.5), DEAL B (75.0)
+		t.Fatalf("rows = %v", rows.Data)
+	}
+	// Range + residual predicate.
+	rows = mustQuery(t, c, `SELECT id FROM deals WHERE tcv > 50 AND industry = 'Insurance' AND months = 36`)
+	if rows.Len() != 1 || rows.Data[0][0] != "DEAL B" {
+		t.Fatalf("rows = %v", rows.Data)
+	}
+	// Flipped operand order must work too.
+	rows = mustQuery(t, c, `SELECT id FROM deals WHERE 100 < tcv`)
+	if rows.Len() != 1 || rows.Data[0][0] != "DEAL A" {
+		t.Fatalf("rows = %v", rows.Data)
+	}
+}
+
+func TestSortedIndexSQLValidation(t *testing.T) {
+	c := openTestDB(t)
+	if _, err := c.Exec(`CREATE UNIQUE SORTED INDEX x ON deals (tcv)`); err == nil {
+		t.Fatal("UNIQUE SORTED accepted")
+	}
+	if _, err := c.Exec(`CREATE SORTED INDEX x ON deals (tcv, months)`); err == nil {
+		t.Fatal("multi-column sorted index accepted")
+	}
+	if _, err := c.Exec(`CREATE SORTED TABLE t (a INT)`); err == nil {
+		t.Fatal("SORTED TABLE accepted")
+	}
+}
+
+func TestRangePlannerEquivalence(t *testing.T) {
+	// The same range query with and without a sorted index returns the
+	// same rows (planner correctness).
+	build := func(withIndex bool) *Conn {
+		c := Open(relstore.NewDB())
+		mustExec(t, c, `CREATE TABLE nums (id INT PRIMARY KEY, v FLOAT)`)
+		if withIndex {
+			mustExec(t, c, `CREATE SORTED INDEX nums_by_v ON nums (v)`)
+		}
+		for i := 0; i < 100; i++ {
+			mustExec(t, c, `INSERT INTO nums VALUES (?, ?)`, i, float64((i*37)%100))
+		}
+		return c
+	}
+	a := build(false)
+	b := build(true)
+	q := `SELECT id FROM nums WHERE v >= 20 AND v < 60 ORDER BY id`
+	ra := mustQuery(t, a, q)
+	rb := mustQuery(t, b, q)
+	if ra.Len() != rb.Len() || ra.Len() == 0 {
+		t.Fatalf("row counts differ: %d vs %d", ra.Len(), rb.Len())
+	}
+	for i := range ra.Data {
+		if ra.Data[i][0] != rb.Data[i][0] {
+			t.Fatalf("row %d differs: %v vs %v", i, ra.Data[i], rb.Data[i])
+		}
+	}
+}
+
+func TestRangeNotExtractedThroughOr(t *testing.T) {
+	c := openTestDB(t)
+	mustExec(t, c, `CREATE SORTED INDEX deals_by_tcv ON deals (tcv)`)
+	// A disjunctive WHERE must not be narrowed by the range planner.
+	rows := mustQuery(t, c, `SELECT id FROM deals WHERE tcv > 100 OR industry = 'Insurance'`)
+	if rows.Len() != 3 { // DEAL A by tcv; B, C by industry
+		t.Fatalf("rows = %v", rows.Data)
+	}
+}
+
+func TestBetween(t *testing.T) {
+	c := openTestDB(t)
+	rows := mustQuery(t, c, `SELECT id FROM deals WHERE tcv BETWEEN 55 AND 76 ORDER BY id`)
+	if rows.Len() != 2 || rows.Data[0][0] != "DEAL B" || rows.Data[1][0] != "DEAL C" {
+		t.Fatalf("rows = %v", rows.Data)
+	}
+	rows = mustQuery(t, c, `SELECT id FROM deals WHERE tcv NOT BETWEEN 55 AND 76`)
+	if rows.Len() != 1 || rows.Data[0][0] != "DEAL A" { // NULL tcv excluded
+		t.Fatalf("rows = %v", rows.Data)
+	}
+	// BETWEEN desugars to >=/<= so the range planner kicks in.
+	mustExec(t, c, `CREATE SORTED INDEX deals_by_tcv ON deals (tcv)`)
+	rows = mustQuery(t, c, `SELECT id FROM deals WHERE tcv BETWEEN 55 AND 76 ORDER BY id`)
+	if rows.Len() != 2 {
+		t.Fatalf("indexed rows = %v", rows.Data)
+	}
+	if _, err := c.Query(`SELECT id FROM deals WHERE tcv BETWEEN 55`); err == nil {
+		t.Fatal("half a BETWEEN accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package studies
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCategorizeRules(t *testing.T) {
+	cases := []struct {
+		text   string
+		labels []string
+		social bool
+	}{
+		{"Which business engagements have a scope that involves Network Services?", []string{MQ1}, false},
+		{"Who in the CSE role has worked with Pat Lee in Borealis?", []string{MQ2}, true},
+		{"Has anyone worked in the capacity of cross tower TSA?", []string{MQ3}, true},
+		{"Who has worked on Storage engagements that involved data replication?", []string{MQ4}, false},
+		{"Please point me to the right person to talk to about payroll.", nil, true},
+		{"Sharing the quarterly collateral.", nil, false},
+	}
+	for _, c := range cases {
+		labels, social := Categorize(c.text)
+		if social != c.social {
+			t.Errorf("Categorize(%q) social = %v, want %v", c.text, social, c.social)
+		}
+		if len(labels) != len(c.labels) {
+			t.Errorf("Categorize(%q) labels = %v, want %v", c.text, labels, c.labels)
+			continue
+		}
+		for i := range labels {
+			if labels[i] != c.labels[i] {
+				t.Errorf("Categorize(%q) labels = %v, want %v", c.text, labels, c.labels)
+			}
+		}
+	}
+}
+
+func TestRunRecoversMarginals(t *testing.T) {
+	r, err := Run(2008)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Threads != 120 {
+		t.Fatalf("threads = %d", r.Threads)
+	}
+	// Paper percentages: MQ1 38%, MQ2 17%, MQ3 36%, MQ4 29%, social 63/120
+	// = 52.5%. The rule-based categorizer should land within a few points.
+	paper := map[string]float64{MQ1: 38, MQ2: 17, MQ3: 36, MQ4: 29, Social: 52.5}
+	for label, want := range paper {
+		got := r.Percent(label)
+		if math.Abs(got-want) > 8 {
+			t.Errorf("%s = %.1f%%, paper reports %.1f%%", label, got, want)
+		}
+	}
+	if r.Accuracy < 0.9 {
+		t.Errorf("categorizer accuracy = %.2f", r.Accuracy)
+	}
+	if r.NBAccuracy < 0.6 {
+		t.Errorf("naive Bayes accuracy = %.2f", r.NBAccuracy)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{MQ1, MQ2, MQ3, MQ4, Social} {
+		if a.Measured[label] != b.Measured[label] {
+			t.Fatalf("nondeterministic study: %s %d vs %d", label, a.Measured[label], b.Measured[label])
+		}
+	}
+}
+
+func TestPercentZeroThreads(t *testing.T) {
+	var r Result
+	if r.Percent(MQ1) != 0 {
+		t.Fatal("Percent on empty result")
+	}
+}

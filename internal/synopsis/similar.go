@@ -1,0 +1,114 @@
+package synopsis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SimilarHit is one deal ranked by similarity to a reference deal.
+type SimilarHit struct {
+	DealID string
+	// Score in (0, 1]: cosine similarity of tower-significance vectors,
+	// boosted by shared industry and consultant.
+	Score float64
+	// SharedTowers are the towers the two deals have in common, reference
+	// significance order.
+	SharedTowers []string
+}
+
+// Similar finds up to k deals most similar to dealID. Similarity follows
+// how the sales community thinks about "a similar situation" (§2): the
+// same services mix first (cosine over tower significance), same industry
+// and sourcing advisor as tie-strengtheners. Deals with no tower overlap
+// are omitted.
+func (s *Store) Similar(dealID string, k int) ([]SimilarHit, error) {
+	if k <= 0 {
+		k = 5
+	}
+	ref, err := s.Get(dealID)
+	if err != nil {
+		return nil, err
+	}
+	refVec := towerVector(ref)
+	if len(refVec) == 0 {
+		return nil, fmt.Errorf("synopsis: %s has no scope towers to compare", dealID)
+	}
+	ids, err := s.DealIDs()
+	if err != nil {
+		return nil, err
+	}
+	var hits []SimilarHit
+	for _, id := range ids {
+		if id == dealID {
+			continue
+		}
+		other, err := s.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		vec := towerVector(other)
+		cos := cosine(refVec, vec)
+		if cos <= 0 {
+			continue
+		}
+		score := cos
+		if ref.Overview.Industry != "" && ref.Overview.Industry == other.Overview.Industry {
+			score += 0.10
+		}
+		if ref.Overview.Consultant != "" && ref.Overview.Consultant == other.Overview.Consultant {
+			score += 0.05
+		}
+		if score > 1 {
+			score = 1
+		}
+		hit := SimilarHit{DealID: id, Score: score}
+		for _, tw := range ref.Towers {
+			if tw.SubTower != "" {
+				continue
+			}
+			if _, ok := vec[tw.Tower]; ok {
+				hit.SharedTowers = append(hit.SharedTowers, tw.Tower)
+			}
+		}
+		hits = append(hits, hit)
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].DealID < hits[j].DealID
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits, nil
+}
+
+// towerVector maps tower -> significance for the deal's top-level towers.
+func towerVector(d Deal) map[string]float64 {
+	vec := map[string]float64{}
+	for _, tw := range d.Towers {
+		if tw.SubTower == "" {
+			vec[tw.Tower] = tw.Significance
+		}
+	}
+	return vec
+}
+
+func cosine(a, b map[string]float64) float64 {
+	var dot, na, nb float64
+	for k, va := range a {
+		na += va * va
+		if vb, ok := b[k]; ok {
+			dot += va * vb
+		}
+	}
+	for _, vb := range b {
+		nb += vb * vb
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}

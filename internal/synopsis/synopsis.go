@@ -1,0 +1,480 @@
+// Package synopsis is EIL's organized-information layer: the structured
+// business context extracted from engagement workbooks, stored in the
+// relational engine (the DB2 substitute) and queried by the business-
+// activity driven search algorithm's "synopsis query" (Figure 1, steps 2
+// and 4). A deal synopsis carries the tabs of the paper's Figure 6:
+// Overview, People, Win Strategies, Client References, and Technology
+// Solutions.
+package synopsis
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relstore"
+	"repro/internal/sqlx"
+)
+
+// Overview is the structured header of a deal (Figure 6's Overview tab).
+type Overview struct {
+	DealID        string
+	Customer      string
+	Industry      string
+	Consultant    string // outsourcing consultant, e.g. TPI
+	Geography     string
+	Country       string
+	TermStart     string // ISO date, e.g. "2006-01-05"
+	TermMonths    int
+	TCVBand       string // display band, e.g. "50 to 100M"
+	International bool
+	Repository    string // workbook repository path
+}
+
+// TowerScope is one service tower in a deal's scope with its significance
+// (the CPE's occurrence-derived weight; Figure 5 orders towers by it).
+type TowerScope struct {
+	Tower        string
+	SubTower     string
+	Significance float64
+}
+
+// Contact is one person on the deal's People tab.
+type Contact struct {
+	Name      string
+	Email     string
+	Phone     string
+	Org       string
+	Role      string // raw role text from documents
+	Category  string // normalized: core deal team, delivery team, client team...
+	Validated bool   // confirmed against the personnel directory
+}
+
+// Deal is a full synopsis.
+type Deal struct {
+	Overview      Overview
+	Towers        []TowerScope
+	People        []Contact
+	WinStrategies []string
+	ClientRefs    []string
+	// TechSolutions maps tower name -> technical solution overview text.
+	TechSolutions map[string]string
+}
+
+// ErrNotFound is returned when a deal is absent.
+var ErrNotFound = errors.New("synopsis: deal not found")
+
+// Store persists synopses. Create with NewStore.
+type Store struct {
+	conn *sqlx.Conn
+}
+
+// schemaStmts creates the context tables; names mirror the paper's "set of
+// tables in DB2 database as part of the corresponding business context".
+var schemaStmts = []string{
+	`CREATE TABLE deals (
+		id TEXT PRIMARY KEY,
+		customer TEXT,
+		industry TEXT,
+		consultant TEXT,
+		geography TEXT,
+		country TEXT,
+		term_start TEXT,
+		term_months INT,
+		tcv_band TEXT,
+		international BOOL,
+		repository TEXT
+	)`,
+	`CREATE TABLE deal_towers (
+		deal_id TEXT NOT NULL,
+		tower TEXT NOT NULL,
+		subtower TEXT,
+		significance FLOAT NOT NULL
+	)`,
+	`CREATE INDEX deal_towers_by_deal ON deal_towers (deal_id)`,
+	`CREATE INDEX deal_towers_by_tower ON deal_towers (tower)`,
+	`CREATE TABLE contacts (
+		deal_id TEXT NOT NULL,
+		name TEXT NOT NULL,
+		email TEXT,
+		phone TEXT,
+		org TEXT,
+		role TEXT,
+		category TEXT,
+		validated BOOL
+	)`,
+	`CREATE INDEX contacts_by_deal ON contacts (deal_id)`,
+	`CREATE INDEX contacts_by_name ON contacts (name)`,
+	`CREATE TABLE win_strategies (deal_id TEXT NOT NULL, strategy TEXT NOT NULL)`,
+	`CREATE INDEX win_by_deal ON win_strategies (deal_id)`,
+	`CREATE TABLE client_refs (deal_id TEXT NOT NULL, reference TEXT NOT NULL)`,
+	`CREATE INDEX refs_by_deal ON client_refs (deal_id)`,
+	`CREATE TABLE tech_solutions (deal_id TEXT NOT NULL, tower TEXT NOT NULL, overview TEXT NOT NULL)`,
+	`CREATE INDEX tech_by_deal ON tech_solutions (deal_id)`,
+}
+
+// NewStore creates the context tables in db and returns the store.
+func NewStore(db *relstore.DB) (*Store, error) {
+	conn := sqlx.Open(db)
+	for _, stmt := range schemaStmts {
+		if _, err := conn.Exec(stmt); err != nil {
+			return nil, fmt.Errorf("synopsis: schema: %w", err)
+		}
+	}
+	return &Store{conn: conn}, nil
+}
+
+// Open wraps a database that already carries the context schema (for
+// example one restored with relstore.LoadFile). It fails if the schema is
+// absent.
+func Open(db *relstore.DB) (*Store, error) {
+	if _, err := db.Schema("deals"); err != nil {
+		return nil, fmt.Errorf("synopsis: open: %w", err)
+	}
+	return &Store{conn: sqlx.Open(db)}, nil
+}
+
+// DB exposes the underlying engine, for persistence.
+func (s *Store) DB() *relstore.DB { return s.conn.DB() }
+
+// Conn exposes the SQL connection for directed queries by the core search
+// layer.
+func (s *Store) Conn() *sqlx.Conn { return s.conn }
+
+// Put upserts a complete deal synopsis.
+func (s *Store) Put(d Deal) error {
+	id := d.Overview.DealID
+	if id == "" {
+		return errors.New("synopsis: empty deal id")
+	}
+	// Replace wholesale: the offline analysis regenerates synopses.
+	if err := s.deleteDeal(id); err != nil {
+		return err
+	}
+	o := d.Overview
+	_, err := s.conn.Exec(
+		`INSERT INTO deals VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`,
+		o.DealID, o.Customer, o.Industry, o.Consultant, o.Geography, o.Country,
+		o.TermStart, int64(o.TermMonths), o.TCVBand, o.International, o.Repository)
+	if err != nil {
+		return fmt.Errorf("synopsis: put deal: %w", err)
+	}
+	for _, tw := range d.Towers {
+		if _, err := s.conn.Exec(`INSERT INTO deal_towers VALUES (?, ?, ?, ?)`,
+			id, tw.Tower, tw.SubTower, tw.Significance); err != nil {
+			return fmt.Errorf("synopsis: put tower: %w", err)
+		}
+	}
+	for _, p := range d.People {
+		if _, err := s.conn.Exec(`INSERT INTO contacts VALUES (?, ?, ?, ?, ?, ?, ?, ?)`,
+			id, p.Name, p.Email, p.Phone, p.Org, p.Role, p.Category, p.Validated); err != nil {
+			return fmt.Errorf("synopsis: put contact: %w", err)
+		}
+	}
+	for _, w := range d.WinStrategies {
+		if _, err := s.conn.Exec(`INSERT INTO win_strategies VALUES (?, ?)`, id, w); err != nil {
+			return fmt.Errorf("synopsis: put strategy: %w", err)
+		}
+	}
+	for _, r := range d.ClientRefs {
+		if _, err := s.conn.Exec(`INSERT INTO client_refs VALUES (?, ?)`, id, r); err != nil {
+			return fmt.Errorf("synopsis: put reference: %w", err)
+		}
+	}
+	for tower, text := range d.TechSolutions {
+		if _, err := s.conn.Exec(`INSERT INTO tech_solutions VALUES (?, ?, ?)`, id, tower, text); err != nil {
+			return fmt.Errorf("synopsis: put solution: %w", err)
+		}
+	}
+	return nil
+}
+
+// Delete removes a deal's synopsis entirely (idempotent).
+func (s *Store) Delete(id string) error { return s.deleteDeal(id) }
+
+func (s *Store) deleteDeal(id string) error {
+	for _, table := range []string{"deals", "deal_towers", "contacts", "win_strategies", "client_refs", "tech_solutions"} {
+		col := "deal_id"
+		if table == "deals" {
+			col = "id"
+		}
+		if _, err := s.conn.Exec(fmt.Sprintf(`DELETE FROM %s WHERE %s = ?`, table, col), id); err != nil {
+			return fmt.Errorf("synopsis: clear %s: %w", table, err)
+		}
+	}
+	return nil
+}
+
+// Get loads a full deal synopsis.
+func (s *Store) Get(id string) (Deal, error) {
+	row, err := s.conn.QueryOne(`SELECT id, customer, industry, consultant, geography, country,
+		term_start, term_months, tcv_band, international, repository FROM deals WHERE id = ?`, id)
+	if err != nil {
+		return Deal{}, err
+	}
+	if row == nil {
+		return Deal{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	d := Deal{Overview: Overview{
+		DealID:        text(row[0]),
+		Customer:      text(row[1]),
+		Industry:      text(row[2]),
+		Consultant:    text(row[3]),
+		Geography:     text(row[4]),
+		Country:       text(row[5]),
+		TermStart:     text(row[6]),
+		TermMonths:    int(integer(row[7])),
+		TCVBand:       text(row[8]),
+		International: boolean(row[9]),
+		Repository:    text(row[10]),
+	}, TechSolutions: map[string]string{}}
+
+	towers, err := s.conn.Query(`SELECT tower, subtower, significance FROM deal_towers
+		WHERE deal_id = ? ORDER BY significance DESC, tower`, id)
+	if err != nil {
+		return Deal{}, err
+	}
+	for _, r := range towers.Data {
+		d.Towers = append(d.Towers, TowerScope{Tower: text(r[0]), SubTower: text(r[1]), Significance: float(r[2])})
+	}
+	people, err := s.conn.Query(`SELECT name, email, phone, org, role, category, validated
+		FROM contacts WHERE deal_id = ? ORDER BY category, name`, id)
+	if err != nil {
+		return Deal{}, err
+	}
+	for _, r := range people.Data {
+		d.People = append(d.People, Contact{
+			Name: text(r[0]), Email: text(r[1]), Phone: text(r[2]), Org: text(r[3]),
+			Role: text(r[4]), Category: text(r[5]), Validated: boolean(r[6]),
+		})
+	}
+	wins, err := s.conn.Query(`SELECT strategy FROM win_strategies WHERE deal_id = ? ORDER BY strategy`, id)
+	if err != nil {
+		return Deal{}, err
+	}
+	for _, r := range wins.Data {
+		d.WinStrategies = append(d.WinStrategies, text(r[0]))
+	}
+	refs, err := s.conn.Query(`SELECT reference FROM client_refs WHERE deal_id = ? ORDER BY reference`, id)
+	if err != nil {
+		return Deal{}, err
+	}
+	for _, r := range refs.Data {
+		d.ClientRefs = append(d.ClientRefs, text(r[0]))
+	}
+	sols, err := s.conn.Query(`SELECT tower, overview FROM tech_solutions WHERE deal_id = ?`, id)
+	if err != nil {
+		return Deal{}, err
+	}
+	for _, r := range sols.Data {
+		d.TechSolutions[text(r[0])] = text(r[1])
+	}
+	return d, nil
+}
+
+// DealIDs lists all stored deals, sorted.
+func (s *Store) DealIDs() ([]string, error) {
+	rows, err := s.conn.Query(`SELECT id FROM deals ORDER BY id`)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, rows.Len())
+	for _, r := range rows.Data {
+		out = append(out, text(r[0]))
+	}
+	return out, nil
+}
+
+// Query is the form-based synopsis query of the paper's Figure 8: every
+// field is optional; set fields conjoin.
+type Query struct {
+	Tower      string // canonical tower or sub-tower name
+	SubTower   string
+	Industry   string
+	Consultant string
+	Geography  string
+	Country    string
+	// PersonName / PersonOrg search the contact list ("with these people").
+	PersonName string
+	PersonOrg  string
+	// RestrictTo, when non-empty, limits candidates to these deal IDs
+	// (used when access control has pre-filtered).
+	RestrictTo []string
+}
+
+// Empty reports whether no criteria are set.
+func (q Query) Empty() bool {
+	return q.Tower == "" && q.SubTower == "" && q.Industry == "" && q.Consultant == "" &&
+		q.Geography == "" && q.Country == "" && q.PersonName == "" && q.PersonOrg == ""
+}
+
+// Hit is one scored deal from the synopsis search.
+type Hit struct {
+	DealID string
+	// Score aggregates criterion matches; tower matches contribute their
+	// significance so Figure 5's ordering (most-significant tower first)
+	// falls out of the ranking.
+	Score float64
+	// MatchedTowers lists the deal's towers that satisfied the tower
+	// criterion, ordered by significance.
+	MatchedTowers []string
+}
+
+// Search executes the synopsis query: a set of directed SQL queries whose
+// intersection forms the candidate set, scored per criterion. This is
+// steps 2 and 4 of the paper's Figure 1.
+func (s *Store) Search(q Query) ([]Hit, error) {
+	type cand struct {
+		score   float64
+		matched []string
+		hits    int
+	}
+	cands := map[string]*cand{}
+	criteria := 0
+
+	merge := func(ids map[string]float64, towers map[string][]string) {
+		criteria++
+		for id, sc := range ids {
+			c := cands[id]
+			if c == nil {
+				c = &cand{}
+				cands[id] = c
+			}
+			c.score += sc
+			c.hits++
+			if towers != nil {
+				c.matched = append(c.matched, towers[id]...)
+			}
+		}
+	}
+
+	if q.Tower != "" || q.SubTower != "" {
+		ids := map[string]float64{}
+		towers := map[string][]string{}
+		var rows *sqlx.Rows
+		var err error
+		switch {
+		case q.Tower != "" && q.SubTower != "":
+			rows, err = s.conn.Query(`SELECT deal_id, tower, significance FROM deal_towers
+				WHERE tower = ? AND subtower = ? ORDER BY significance DESC`, q.Tower, q.SubTower)
+		case q.SubTower != "":
+			rows, err = s.conn.Query(`SELECT deal_id, tower, significance FROM deal_towers
+				WHERE subtower = ? ORDER BY significance DESC`, q.SubTower)
+		default:
+			rows, err = s.conn.Query(`SELECT deal_id, tower, significance FROM deal_towers
+				WHERE tower = ? ORDER BY significance DESC`, q.Tower)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows.Data {
+			id := text(r[0])
+			ids[id] += float(r[2])
+			towers[id] = append(towers[id], text(r[1]))
+		}
+		merge(ids, towers)
+	}
+
+	simple := []struct{ col, val string }{
+		{"industry", q.Industry},
+		{"consultant", q.Consultant},
+		{"geography", q.Geography},
+		{"country", q.Country},
+	}
+	for _, c := range simple {
+		if c.val == "" {
+			continue
+		}
+		rows, err := s.conn.Query(fmt.Sprintf(`SELECT id FROM deals WHERE %s = ?`, c.col), c.val)
+		if err != nil {
+			return nil, err
+		}
+		ids := map[string]float64{}
+		for _, r := range rows.Data {
+			ids[text(r[0])] = 1
+		}
+		merge(ids, nil)
+	}
+
+	if q.PersonName != "" || q.PersonOrg != "" {
+		where := []string{}
+		args := []relstore.Value{}
+		if q.PersonName != "" {
+			where = append(where, `LOWER(name) LIKE ?`)
+			args = append(args, "%"+strings.ToLower(q.PersonName)+"%")
+		}
+		if q.PersonOrg != "" {
+			where = append(where, `LOWER(org) LIKE ?`)
+			args = append(args, "%"+strings.ToLower(q.PersonOrg)+"%")
+		}
+		rows, err := s.conn.Query(`SELECT deal_id, validated FROM contacts WHERE `+strings.Join(where, " AND "), args...)
+		if err != nil {
+			return nil, err
+		}
+		ids := map[string]float64{}
+		for _, r := range rows.Data {
+			sc := 1.0
+			if boolean(r[1]) {
+				sc = 1.2 // directory-validated contacts are stronger evidence
+			}
+			if sc > ids[text(r[0])] {
+				ids[text(r[0])] = sc
+			}
+		}
+		merge(ids, nil)
+	}
+
+	if criteria == 0 {
+		return nil, nil
+	}
+
+	restrict := map[string]bool{}
+	for _, id := range q.RestrictTo {
+		restrict[id] = true
+	}
+
+	hits := make([]Hit, 0, len(cands))
+	for id, c := range cands {
+		if c.hits < criteria {
+			continue // conjunction: every set criterion must match
+		}
+		if len(restrict) > 0 && !restrict[id] {
+			continue
+		}
+		hits = append(hits, Hit{DealID: id, Score: c.score, MatchedTowers: c.matched})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].DealID < hits[j].DealID
+	})
+	return hits, nil
+}
+
+// value accessors tolerate NULLs.
+func text(v relstore.Value) string {
+	s, _ := v.(string)
+	return s
+}
+
+func integer(v relstore.Value) int64 {
+	n, _ := v.(int64)
+	return n
+}
+
+func float(v relstore.Value) float64 {
+	switch x := v.(type) {
+	case float64:
+		return x
+	case int64:
+		return float64(x)
+	}
+	return 0
+}
+
+func boolean(v relstore.Value) bool {
+	b, _ := v.(bool)
+	return b
+}

@@ -1,0 +1,429 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/docmodel"
+	"repro/internal/docparse"
+	"repro/internal/taxonomy"
+)
+
+// addDoc parses content and appends it to the corpus under the deal. The
+// raw source text is retained so the corpus can be written to disk and
+// re-crawled byte-identically.
+func (c *Corpus) addDoc(dealID, name, content string) error {
+	path := dealID + "/" + name
+	doc, err := docparse.Parse(path, content)
+	if err != nil {
+		return fmt.Errorf("synth: %s: %w", path, err)
+	}
+	doc.DealID = dealID
+	c.Docs = append(c.Docs, doc)
+	if c.Raw == nil {
+		c.Raw = map[string]string{}
+	}
+	c.Raw[path] = content
+	return nil
+}
+
+// emitDealDocs writes one deal's engagement workbook.
+func (c *Corpus) emitDealDocs(rng *rand.Rand, tax *taxonomy.Taxonomy, t *DealTruth) error {
+	if err := c.emitOverview(t); err != nil {
+		return err
+	}
+	if err := c.emitScopeDeck(rng, t); err != nil {
+		return err
+	}
+	if err := c.emitSolutionDecks(rng, t); err != nil {
+		return err
+	}
+	if err := c.emitWinAndRefs(rng, t); err != nil {
+		return err
+	}
+	if err := c.emitRoster(rng, t); err != nil {
+		return err
+	}
+	if err := c.emitKickoff(t); err != nil {
+		return err
+	}
+	if err := c.emitTSAGrids(rng, t); err != nil {
+		return err
+	}
+	if t.ID == PlantedDealID {
+		if err := c.emitPlantedSamDocs(t); err != nil {
+			return err
+		}
+	}
+	if err := c.emitQuietMentions(t); err != nil {
+		return err
+	}
+	return c.emitNoise(rng, tax, t)
+}
+
+// documentedTowers returns the scope towers that appear in the deal's
+// formal artifacts (everything but the quiet ones).
+func (t *DealTruth) documentedTowers() []string {
+	if len(t.QuietTowers) == 0 {
+		return t.Towers
+	}
+	out := make([]string, 0, len(t.Towers))
+	for _, tower := range t.Towers {
+		if !t.QuietTowers[tower] {
+			out = append(out, tower)
+		}
+	}
+	return out
+}
+
+// emitQuietMentions writes the two passing mentions each quiet tower gets:
+// enough for a keyword hit, not enough for the scope CPE.
+func (c *Corpus) emitQuietMentions(t *DealTruth) error {
+	n := 0
+	for tower := range t.QuietTowers {
+		for k := 0; k < 2; k++ {
+			content := fmt.Sprintf("Meeting aside %d\nThe %s option came up briefly; parking it for later.\n", k, tower)
+			if err := c.addDoc(t.ID, fmt.Sprintf("aside-%d-%d.txt", n, k), content); err != nil {
+				return err
+			}
+		}
+		n++
+	}
+	return nil
+}
+
+func (c *Corpus) emitOverview(t *DealTruth) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Deal Overview\n")
+	fmt.Fprintf(&b, "Customer: %s\n", t.Customer)
+	fmt.Fprintf(&b, "Industry: %s\n", t.Industry)
+	fmt.Fprintf(&b, "Out Sourcing Consultant: %s\n", t.Consultant)
+	fmt.Fprintf(&b, "Geography: %s\n", t.Geography)
+	fmt.Fprintf(&b, "Country: %s\n", t.Country)
+	fmt.Fprintf(&b, "Contract Term Start: %s\n", t.TermStart)
+	fmt.Fprintf(&b, "Term Duration Months: %d\n", t.TermMonths)
+	fmt.Fprintf(&b, "Total Contract Value: %s\n", t.TCVBand)
+	intl := "N"
+	if t.Intl {
+		intl = "Y"
+	}
+	fmt.Fprintf(&b, "Is International: %s\n", intl)
+	fmt.Fprintf(&b, "Scope summary: %s.\n", strings.Join(t.documentedTowers(), ", "))
+	return c.addDoc(t.ID, "overview.txt", b.String())
+}
+
+func (c *Corpus) emitScopeDeck(rng *rand.Rand, t *DealTruth) error {
+	var b strings.Builder
+	b.WriteString("# Services Scope Baseline\n")
+	for _, tower := range t.documentedTowers() {
+		fmt.Fprintf(&b, "- %s\n", tower)
+		for _, sub := range t.SubTowers[tower] {
+			fmt.Fprintf(&b, "- %s coverage\n", sub)
+		}
+	}
+	b.WriteString("---\n# Scope Assumptions\n")
+	for i := 0; i < 3; i++ {
+		fmt.Fprintf(&b, "- %s alignment with client %s\n",
+			chatterWords[rng.Intn(len(chatterWords))], chatterWords[rng.Intn(len(chatterWords))])
+	}
+	return c.addDoc(t.ID, "scope.deck", b.String())
+}
+
+func (c *Corpus) emitSolutionDecks(rng *rand.Rand, t *DealTruth) error {
+	documented := t.documentedTowers()
+	n := len(documented)
+	if n > 3 {
+		n = 3
+	}
+	for i := 0; i < n; i++ {
+		tower := documented[i]
+		phrases := techPhrases[tower]
+		if len(phrases) == 0 {
+			phrases = []string{"managed services with standard tooling"}
+		}
+		var b strings.Builder
+		b.WriteString("# Technical Solution Overview\n")
+		fmt.Fprintf(&b, "## %s\n", tower)
+		for _, p := range phrases {
+			fmt.Fprintf(&b, "- %s\n", p)
+		}
+		fmt.Fprintf(&b, "- %s sizing validated in %s workshop\n",
+			chatterWords[rng.Intn(len(chatterWords))], chatterWords[rng.Intn(len(chatterWords))])
+		if err := c.addDoc(t.ID, fmt.Sprintf("solution-%d.deck", i+1), b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Corpus) emitWinAndRefs(rng *rand.Rand, t *DealTruth) error {
+	var b strings.Builder
+	b.WriteString("# Win Strategy\n")
+	perm := rng.Perm(len(winStrategies))
+	for i := 0; i < 3; i++ {
+		fmt.Fprintf(&b, "- %s\n", winStrategies[perm[i]])
+	}
+	if err := c.addDoc(t.ID, "win.deck", b.String()); err != nil {
+		return err
+	}
+	var r strings.Builder
+	r.WriteString("# Client References\n")
+	for i := 0; i < 2; i++ {
+		tmpl := clientRefTemplates[rng.Intn(len(clientRefTemplates))]
+		fmt.Fprintf(&r, "- %s\n", fmt.Sprintf(tmpl, customers[rng.Intn(len(customers))], 2001+rng.Intn(6)))
+	}
+	return c.addDoc(t.ID, "refs.deck", r.String())
+}
+
+func (c *Corpus) emitRoster(rng *rand.Rand, t *DealTruth) error {
+	var b strings.Builder
+	b.WriteString("GRID Deal Team Roster\n")
+	b.WriteString("Name | Role | Email | Phone | Organization\n")
+	if !t.RosterPopulated {
+		// The pre-defined template exists but nobody filled it in.
+		b.WriteString(" | | | |\n | | | |\n")
+		return c.addDoc(t.ID, "team.grid", b.String())
+	}
+	for _, p := range t.Team {
+		email, phone, org := p.Email, p.Phone, p.Org
+		// Partial population: drop fields at random.
+		if rng.Float64() < 0.3 {
+			email = ""
+		}
+		if rng.Float64() < 0.5 {
+			phone = ""
+		}
+		if rng.Float64() < 0.4 {
+			org = ""
+		}
+		fmt.Fprintf(&b, "%s | %s | %s | %s | %s\n", p.Name, p.Role, email, phone, org)
+	}
+	// A duplicate row with conflicting partial fields (step 10 fodder).
+	if len(t.Team) > 0 {
+		p := t.Team[0]
+		fmt.Fprintf(&b, "%s | | %s | | \n", p.Name, p.Email)
+	}
+	return c.addDoc(t.ID, "team.grid", b.String())
+}
+
+func (c *Corpus) emitKickoff(t *DealTruth) error {
+	var b strings.Builder
+	b.WriteString("# Kickoff Agenda\n- introductions\n- scope walkthrough\n---\n# Deal Team\n")
+	for _, p := range t.Team {
+		fmt.Fprintf(&b, "- %s, %s\n", p.Name, p.Role)
+	}
+	return c.addDoc(t.ID, "kickoff.deck", b.String())
+}
+
+// emitTSAGrids writes the service-detail forms whose schema includes the
+// "cross tower TSA" field — mostly empty, the Meta-query 3 noise source.
+func (c *Corpus) emitTSAGrids(rng *rand.Rand, t *DealTruth) error {
+	var tsaPerson string
+	for _, p := range t.Team {
+		if strings.EqualFold(p.Role, "cross tower TSA") {
+			tsaPerson = p.Name
+			break
+		}
+	}
+	for i, tower := range t.documentedTowers() {
+		var b strings.Builder
+		fmt.Fprintf(&b, "GRID %s Service Details\n", tower)
+		b.WriteString("Service Item | cross tower TSA | Delivery Notes\n")
+		rows := 3 + rng.Intn(3)
+		filled := -1
+		if tsaPerson != "" && rng.Float64() < 0.4 {
+			filled = rng.Intn(rows)
+		}
+		for r := 0; r < rows; r++ {
+			name := ""
+			if r == filled {
+				name = tsaPerson
+			}
+			fmt.Fprintf(&b, "%s item %d | %s | %s\n",
+				tower, r+1, name, chatterWords[rng.Intn(len(chatterWords))])
+		}
+		if err := c.addDoc(t.ID, fmt.Sprintf("tsa-%d.grid", i+1), b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitPlantedSamDocs writes the exactly-four documents that tie Sam White to
+// company ABC (the Meta-query 2 funnel's second step finds these), none of
+// which mention the CSE role (so the funnel's first step finds nothing).
+func (c *Corpus) emitPlantedSamDocs(t *DealTruth) error {
+	docs := []struct{ name, content string }{
+		{"sam-mail-1.eml", `From: sam.white@abc.com
+To: deal.desk@ibm.com
+Subject: sourcing timetable
+
+Our procurement office will share the ABC sourcing timetable on Friday.
+Regards, Sam White
+`},
+		{"sam-mail-2.eml", `From: sam.white@abc.com
+To: deal.desk@ibm.com
+Subject: data center visit
+
+Sam White here - confirming the ABC data center visit for the diligence team.
+`},
+		{"sam-note-1.txt", "Client meeting notes\nMet Sam White from ABC to review the governance model.\n"},
+		{"sam-note-2.txt", "Workshop summary\nSam White (ABC) walked the team through the incumbent landscape.\n"},
+	}
+	for _, d := range docs {
+		if err := c.addDoc(t.ID, d.name, d.content); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitNoise writes the chatter emails and meeting notes that make up the
+// bulk of the workbook.
+func (c *Corpus) emitNoise(rng *rand.Rand, tax *taxonomy.Taxonomy, t *DealTruth) error {
+	towers := tax.Towers()
+	ibm := make([]Person, 0, len(t.Team))
+	for _, p := range t.Team {
+		if !p.Client {
+			ibm = append(ibm, p)
+		}
+	}
+	for n := 0; n < c.Cfg.NoiseDocsPerDeal; n++ {
+		var body strings.Builder
+		// Base chatter.
+		words := 25 + rng.Intn(30)
+		for w := 0; w < words; w++ {
+			body.WriteString(chatterWords[rng.Intn(len(chatterWords))])
+			if w%9 == 8 {
+				body.WriteString(".\n")
+			} else {
+				body.WriteByte(' ')
+			}
+		}
+		// Deal-name references (about half the documents cite the deal).
+		mentionsDeal := rng.Float64() < 0.5
+		if mentionsDeal {
+			fmt.Fprintf(&body, "\nDeal: %s status as discussed.\n", t.ID)
+		}
+		// Role chatter: CSE and other roles come up constantly (this is
+		// what floods Meta-query 2's third keyword step with ~100 hits).
+		if rng.Float64() < 0.45 {
+			fmt.Fprintf(&body, "Action: %s to confirm with the client.\n",
+				[]string{"CSE", "CSE", "PE", "TSA"}[rng.Intn(4)])
+		}
+		if rng.Float64() < 0.004 {
+			body.WriteString("Need the cross tower TSA view before the review.\n")
+		}
+		// Scope-tower mentions: evidence for the scope CPE, by a surface
+		// form biased toward sub-towers (the Figure 4 vocabulary drift).
+		// Quiet towers do not participate — their only evidence is the
+		// dedicated passing-mention notes.
+		documented := t.documentedTowers()
+		if len(documented) > 0 && rng.Float64() < c.Cfg.ScopeMentionRate {
+			tower := documented[weightedIndex(rng, len(documented))]
+			fmt.Fprintf(&body, "Progress on %s workstream noted.\n", c.scopeSurface(rng, tax, tower))
+		}
+		// Incidental cross-deal mentions: the keyword baseline's poison.
+		if rng.Float64() < c.Cfg.CrossMentionRate {
+			other := towers[rng.Intn(len(towers))].Name
+			if !t.HasTower(other) {
+				fmt.Fprintf(&body, "FYI: the %s practice published new collateral.\n", c.scopeSurface(rng, tax, other))
+			}
+		}
+
+		if rng.Float64() < 0.55 && len(ibm) >= 2 {
+			// Email between two IBM-side team members.
+			a, b := ibm[rng.Intn(len(ibm))], ibm[rng.Intn(len(ibm))]
+			subject := fmt.Sprintf("%s %s", t.ID, chatterWords[rng.Intn(len(chatterWords))])
+			if !mentionsDeal {
+				subject = chatterWords[rng.Intn(len(chatterWords))] + " sync"
+			}
+			content := fmt.Sprintf("From: %s\nTo: %s\nSubject: %s\n\n%s",
+				a.Email, b.Email, subject, body.String())
+			if err := c.addDoc(t.ID, fmt.Sprintf("mail-%04d.eml", n), content); err != nil {
+				return err
+			}
+		} else {
+			content := fmt.Sprintf("Meeting notes %d\n%s", n, body.String())
+			name := fmt.Sprintf("note-%04d.txt", n)
+			if err := c.addDoc(t.ID, name, content); err != nil {
+				return err
+			}
+			// Re-uploaded copies: same content under a new name, the
+			// redundancy the dedup CPE exists for.
+			if rng.Float64() < c.Cfg.DuplicateRate {
+				if err := c.addDoc(t.ID, "copy-of-"+name, content); err != nil {
+					return err
+				}
+				c.PlantedDuplicates++
+			}
+		}
+	}
+	return nil
+}
+
+// scopeSurface picks a surface form for a tower mention: sub-tower names
+// and acronyms with probability SubTypeBias, the canonical tower name (or
+// its acronym) otherwise.
+func (c *Corpus) scopeSurface(rng *rand.Rand, tax *taxonomy.Taxonomy, tower string) string {
+	forms := tax.Expand(tower)
+	if len(forms) == 0 {
+		return tower
+	}
+	canonical := []string{tower}
+	var subs []string
+	for _, f := range forms {
+		t2, sub, ok := tax.Resolve(f)
+		if !ok || t2 != tower {
+			continue
+		}
+		if sub == "" {
+			canonical = append(canonical, f)
+		} else {
+			subs = append(subs, f)
+		}
+	}
+	if len(subs) > 0 && rng.Float64() < c.Cfg.SubTypeBias {
+		return subs[rng.Intn(len(subs))]
+	}
+	return canonical[rng.Intn(len(canonical))]
+}
+
+// weightedIndex favors low indexes (the deal's most significant towers get
+// mentioned most), halving the probability each step.
+func weightedIndex(rng *rand.Rand, n int) int {
+	for i := 0; i < n-1; i++ {
+		if rng.Float64() < 0.5 {
+			return i
+		}
+	}
+	return n - 1
+}
+
+// Stats summarizes the corpus for logging and EXPERIMENTS.md.
+type Stats struct {
+	Deals  int
+	Docs   int
+	People int
+}
+
+// Stats computes corpus statistics.
+func (c *Corpus) Stats() Stats {
+	people := 0
+	for _, t := range c.Truth {
+		people += len(t.Team)
+	}
+	return Stats{Deals: len(c.DealIDs), Docs: len(c.Docs), People: people}
+}
+
+// Doc type sanity accessor used by tests.
+func (c *Corpus) DocsOfType(dt docmodel.DocType) int {
+	n := 0
+	for _, d := range c.Docs {
+		if d.Type == dt {
+			n++
+		}
+	}
+	return n
+}

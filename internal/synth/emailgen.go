@@ -1,0 +1,133 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/taxonomy"
+)
+
+// EmailThread is one distribution-list thread from the §2 information-needs
+// study, with its planted ground-truth intents.
+type EmailThread struct {
+	ID      int
+	Subject string
+	Body    string
+	// Intents are the planted meta-query labels: "mq1".."mq4". A thread
+	// can carry several ("sometimes they are an inherent part of a larger
+	// query instead of a standalone query by themselves").
+	Intents []string
+	// Social marks threads soliciting social-networking information
+	// (explicitly or implicitly).
+	Social bool
+}
+
+// HasIntent reports whether the thread carries the label.
+func (t *EmailThread) HasIntent(label string) bool {
+	for _, in := range t.Intents {
+		if in == label {
+			return true
+		}
+	}
+	return false
+}
+
+// StudyMarginals are the paper's reported intent rates over 120 threads:
+// MQ1 38%, MQ2 17%, MQ3 36%, MQ4 29%, and 63/120 soliciting social
+// networking information.
+var StudyMarginals = map[string]int{
+	"mq1":    46, // 38% of 120 ≈ 45.6
+	"mq2":    20, // 17% ≈ 20.4
+	"mq3":    43, // 36% ≈ 43.2
+	"mq4":    35, // 29% ≈ 34.8
+	"social": 63,
+}
+
+// GenerateEmailStudy builds the 120-thread distribution list with intents
+// planted at the paper's marginals. Deterministic under seed.
+func GenerateEmailStudy(seed int64) []EmailThread {
+	const n = 120
+	rng := rand.New(rand.NewSource(seed))
+	tax := taxonomy.Default()
+	towers := tax.Towers()
+
+	threads := make([]EmailThread, n)
+	for i := range threads {
+		threads[i].ID = i + 1
+	}
+	// Plant each meta-query label on a random subset of threads of the
+	// target size. Overlaps are expected (the marginals sum past 100%).
+	for _, label := range []string{"mq1", "mq2", "mq3", "mq4"} {
+		perm := rng.Perm(n)
+		for k := 0; k < StudyMarginals[label]; k++ {
+			threads[perm[k]].Intents = append(threads[perm[k]].Intents, label)
+		}
+	}
+	// Social solicitation: people-seeking meta-queries imply it; top up to
+	// the target with extra threads.
+	social := 0
+	for i := range threads {
+		if threads[i].HasIntent("mq2") || threads[i].HasIntent("mq3") {
+			threads[i].Social = true
+			social++
+		}
+	}
+	perm := rng.Perm(n)
+	for _, i := range perm {
+		if social >= StudyMarginals["social"] {
+			break
+		}
+		if !threads[i].Social {
+			threads[i].Social = true
+			social++
+		}
+	}
+
+	for i := range threads {
+		threads[i].Subject, threads[i].Body = renderThread(rng, towers, &threads[i])
+	}
+	return threads
+}
+
+func renderThread(rng *rand.Rand, towers []taxonomy.Tower, t *EmailThread) (subject, body string) {
+	tower := towers[rng.Intn(len(towers))].Name
+	person := firstNames[rng.Intn(len(firstNames))] + " " + lastNames[rng.Intn(len(lastNames))]
+	org := customers[rng.Intn(len(customers))]
+	role := salesRoles[rng.Intn(len(salesRoles))]
+	keyword := []string{"data replication", "disaster recovery", "help desk", "payroll", "voice over IP"}[rng.Intn(5)]
+
+	var lines []string
+	for _, intent := range t.Intents {
+		switch intent {
+		case "mq1":
+			lines = append(lines, fmt.Sprintf(
+				"Which business engagements have a scope that involves %s?", tower))
+		case "mq2":
+			lines = append(lines, fmt.Sprintf(
+				"Who in the %s role has worked with %s in %s?", role, person, org))
+		case "mq3":
+			lines = append(lines, fmt.Sprintf(
+				"Has anyone worked in the capacity of %s on a recent deal?", role))
+		case "mq4":
+			lines = append(lines, fmt.Sprintf(
+				"Who has worked on %s engagements that involved %s?", tower, keyword))
+		}
+	}
+	if len(lines) == 0 {
+		lines = append(lines, fmt.Sprintf(
+			"Sharing the latest %s collateral with the community.",
+			chatterWords[rng.Intn(len(chatterWords))]))
+	}
+	if t.Social && !t.HasIntent("mq2") && !t.HasIntent("mq3") {
+		lines = append(lines, fmt.Sprintf(
+			"Please point me to the right person to talk to about %s.", tower))
+	}
+	lines = append(lines, "Thanks, "+firstNames[rng.Intn(len(firstNames))])
+
+	subject = strings.SplitN(lines[0], "?", 2)[0]
+	if len(subject) > 60 {
+		subject = subject[:60]
+	}
+	return subject, strings.Join(lines, "\n")
+}

@@ -1,0 +1,136 @@
+package synth
+
+// Vocabulary pools for the deterministic corpus generator. All content is
+// synthetic; the only deliberately planted identities are the ones the
+// paper's worked examples use (Sam White, company ABC, deal "ABC Online").
+
+var firstNames = []string{
+	"Alex", "Blake", "Casey", "Dana", "Elliot", "Frankie", "Gray", "Harper",
+	"Indira", "Jordan", "Kiran", "Logan", "Morgan", "Noel", "Oakley",
+	"Parker", "Quinn", "Riley", "Sasha", "Taylor", "Uma", "Val", "Wren",
+	"Xiomara", "Yuri", "Zia", "Avery", "Brook", "Corey", "Devon", "Emery",
+	"Finley", "Gale", "Hollis", "Ira", "Jules", "Kai", "Lane", "Marlow",
+	"Nico", "Onyx", "Perry", "Reese", "Sage", "Tatum", "Urban", "Vesper",
+	"Winter", "Yael", "Zora",
+}
+
+var lastNames = []string{
+	"Abbott", "Barnes", "Calloway", "Draper", "Ellison", "Foster", "Granger",
+	"Hale", "Irving", "Jennings", "Keller", "Lockwood", "Mercer", "Norwood",
+	"Okafor", "Pruitt", "Quimby", "Radcliffe", "Sandoval", "Thornton",
+	"Underhill", "Vargas", "Whitfield", "Xanders", "Yates", "Zeller",
+	"Ainsley", "Bowers", "Crawford", "Dalton", "Eastman", "Fairchild",
+	"Goodwin", "Hollister", "Ingram", "Jameson", "Kendrick", "Lowell",
+	"Monroe", "Nightingale", "Osborne", "Prescott", "Quill", "Rutherford",
+	"Sterling", "Tilman", "Upton", "Vance", "Winslow", "York",
+}
+
+// customers are client company base names; the generator suffixes sectors.
+var customers = []string{
+	"Borealis", "Cygnus", "Delphinus", "Equuleus", "Fornax", "Grus",
+	"Hydrus", "Indus", "Lacerta", "Mensa", "Norma", "Octans", "Pavo",
+	"Reticulum", "Sculptor", "Telescopium", "Vela", "Volans", "Aquila",
+	"Carina", "Dorado", "Eridanus", "Phoenix", "Lyra", "Perseus", "Orion",
+}
+
+// salesRoles are the roles planted on deal teams, weighted toward the roles
+// the meta-queries ask about.
+var salesRoles = []string{
+	"CSE", "Client Solution Executive", "cross tower TSA", "TSA",
+	"Technical Solution Architect", "PE", "Project Executive",
+	"Delivery Project Manager", "Transition Manager", "Engagement Manager",
+	"Pricer", "Sales Leader",
+}
+
+var clientRoles = []string{"CIO", "CTO", "CFO", "Procurement Lead"}
+
+// chatterWords fills noise emails and meeting notes with plausible business
+// prose so BM25 statistics behave naturally.
+var chatterWords = []string{
+	"agenda", "baseline", "checkpoint", "costing", "diligence", "estimate",
+	"forecast", "governance", "handover", "integration", "kickoff",
+	"milestone", "negotiation", "onboarding", "pricing", "quarterly",
+	"resourcing", "stakeholder", "timeline", "update", "vendor", "workshop",
+	"approval", "budget", "capacity", "deliverable", "escalation",
+	"facilities", "headcount", "inventory", "journal", "knowledge",
+	"logistics", "metrics", "notice", "operations", "proposal", "quality",
+	"review", "schedule", "transition", "utilization", "variance",
+	"contract", "engagement", "client", "margin", "risk", "sow",
+}
+
+// techPhrases seed technology-solution decks; the first entry per tower is
+// that tower's signature phrase (Meta-query 4 plants "data replication"
+// under Storage Management Services).
+var techPhrases = map[string][]string{
+	"Storage Management Services": {
+		"data replication between the primary and recovery sites",
+		"tiered SAN fabric with thin provisioning",
+		"nightly incremental backup with offsite vaulting",
+	},
+	"End User Services": {
+		"consolidated help desk with follow-the-sun staffing",
+		"desktop image standardization across regions",
+		"self-service password reset rollout",
+	},
+	"Server Systems Management": {
+		"mainframe capacity on demand with sysplex failover",
+		"midrange consolidation onto virtualized frames",
+		"patch automation across the server estate",
+	},
+	"Network Services": {
+		"MPLS WAN redesign with QoS classes",
+		"voice over IP migration for branch offices",
+		"redundant LAN core with rapid spanning tree",
+	},
+	"Disaster Recovery Services": {
+		"RTO lower than 48 hours with RPO of 24 hours",
+		"rapid recovery runbooks tested twice yearly",
+		"BCRS standby capacity at the recovery center",
+	},
+	"Data Center Services": {
+		"raised floor consolidation into two strategic sites",
+		"power and cooling right-sizing program",
+	},
+	"Application Management Services": {
+		"application portfolio rationalization",
+		"managed maintenance with service level credits",
+	},
+	"Security Services": {
+		"identity management with role based provisioning",
+		"compliance reporting aligned to regulatory controls",
+	},
+	"eBusiness Services": {
+		"web hosting with managed middleware",
+		"collaboration platform migration",
+	},
+	"Asset Management": {
+		"procurement catalog integration",
+		"software license harvesting",
+	},
+	"Human Resources Services": {
+		"payroll processing with statutory reporting",
+		"workforce administration shared services",
+	},
+	"Infrastructure Services": {
+		"computer operations and monitoring around the clock",
+		"event correlation with automated dispatch",
+	},
+}
+
+var winStrategies = []string{
+	"Price to win with aggressive year-one credits",
+	"Incumbent displacement through service quality proof points",
+	"Leverage client references from the same industry",
+	"Bundle towers for cross-tower savings",
+	"Early executive sponsorship alignment",
+	"Risk transfer through gain-sharing clauses",
+	"Transition acceleration with dedicated SWAT team",
+	"Co-location of delivery staff with client teams",
+}
+
+var clientRefTemplates = []string{
+	"Reference: %s infrastructure outsourcing, signed %d",
+	"Reference: %s help desk consolidation, signed %d",
+	"Reference: %s data center migration, signed %d",
+	"Reference: %s network transformation, signed %d",
+}

@@ -1,0 +1,379 @@
+// Package synth generates the synthetic engagement-workbook corpus that
+// stands in for the paper's proprietary deployment data. Generation is
+// deterministic under a seed and returns full ground truth (true scopes,
+// rosters, overview facts) so precision and recall are computable — the
+// paper used a domain expert for that; our expert is the generator.
+//
+// The corpus plants the pathologies the paper's evaluation turns on:
+//
+//   - incidental tower mentions in unrelated deals (keyword false positives,
+//     Table 2's precision gap);
+//   - sub-type vocabulary drift — documents say "CSC" or "Customer Service
+//     Center" where the query says "End User Services" (Figure 4's 261 vs
+//     1132 expansion);
+//   - TSA forms that carry "cross tower TSA" as an empty schema field
+//     (Meta-query 3's 149 useless hits);
+//   - unpopulated roster templates, so people evidence hides in slides and
+//     email addresses (Meta-query 2's three-step keyword funnel);
+//   - duplicate, partially populated contact rows (Figure 3's
+//     de-duplication steps).
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/directory"
+	"repro/internal/docmodel"
+	"repro/internal/taxonomy"
+)
+
+// Config controls corpus shape. Zero fields take defaults from EvalConfig.
+type Config struct {
+	// Seed drives all randomness; equal seeds give equal corpora.
+	Seed int64
+	// Deals is the number of engagements (the paper's eval corpus has 23).
+	Deals int
+	// NoiseDocsPerDeal is the number of chatter emails and meeting notes
+	// per deal (the bulk of the ~15,000 documents).
+	NoiseDocsPerDeal int
+	// ScopeMentionRate is the probability a noise document mentions one of
+	// its deal's true-scope towers (by any surface form).
+	ScopeMentionRate float64
+	// SubTypeBias is the probability that a scope mention uses a sub-tower
+	// surface form instead of the canonical tower name — the vocabulary
+	// drift behind Figure 4.
+	SubTypeBias float64
+	// CrossMentionRate is the probability a noise document incidentally
+	// mentions a tower that is NOT in its deal's scope.
+	CrossMentionRate float64
+	// RosterUnpopulatedRate is the probability a deal's roster grid is left
+	// unpopulated (headers only), reflecting "often this is not populated
+	// or properly maintained".
+	RosterUnpopulatedRate float64
+	// DuplicateRate is the probability a noise document is re-uploaded as
+	// a near-identical copy (the redundant data §3.4's CPEs clean up).
+	DuplicateRate float64
+}
+
+// EvalConfig mirrors the paper's evaluation corpus: 23 deals, roughly
+// 15,000 documents.
+func EvalConfig() Config {
+	return Config{
+		Seed:                  2008,
+		Deals:                 23,
+		NoiseDocsPerDeal:      610,
+		ScopeMentionRate:      0.27,
+		SubTypeBias:           0.80,
+		CrossMentionRate:      0.065,
+		RosterUnpopulatedRate: 0.35,
+		DuplicateRate:         0.02,
+	}
+}
+
+// SmallConfig is a fast corpus for unit tests.
+func SmallConfig() Config {
+	c := EvalConfig()
+	c.Deals = 6
+	c.NoiseDocsPerDeal = 40
+	return c
+}
+
+func (c Config) withDefaults() Config {
+	d := EvalConfig()
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.Deals == 0 {
+		c.Deals = d.Deals
+	}
+	if c.NoiseDocsPerDeal == 0 {
+		c.NoiseDocsPerDeal = d.NoiseDocsPerDeal
+	}
+	if c.ScopeMentionRate == 0 {
+		c.ScopeMentionRate = d.ScopeMentionRate
+	}
+	if c.SubTypeBias == 0 {
+		c.SubTypeBias = d.SubTypeBias
+	}
+	if c.CrossMentionRate == 0 {
+		c.CrossMentionRate = d.CrossMentionRate
+	}
+	if c.RosterUnpopulatedRate == 0 {
+		c.RosterUnpopulatedRate = d.RosterUnpopulatedRate
+	}
+	if c.DuplicateRate == 0 {
+		c.DuplicateRate = d.DuplicateRate
+	}
+	return c
+}
+
+// Person is a ground-truth person on a deal.
+type Person struct {
+	Name   string
+	Email  string
+	Phone  string
+	Org    string
+	Role   string
+	Serial string
+	Client bool // true for client-side people
+}
+
+// DealTruth is the generator's ground truth for one engagement.
+type DealTruth struct {
+	ID         string
+	Customer   string
+	Industry   string
+	Consultant string
+	Geography  string
+	Country    string
+	TermStart  string
+	TermMonths int
+	TCVBand    string
+	Intl       bool
+	// Towers is the true scope, most significant first.
+	Towers []string
+	// SubTowers lists the true sub-towers per tower.
+	SubTowers map[string][]string
+	// QuietTowers marks scope towers that are real but barely documented:
+	// they are missing from the scope deck, the overview summary, and the
+	// TSA forms, surfacing only in a couple of passing mentions. The scope
+	// CPE's threshold drops them — EIL's recall losses in the paper's
+	// Table 2 (for example Q3 at 0.75 and Q8 at 0.33) have exactly this
+	// texture, while keyword search still hits the passing mentions.
+	QuietTowers map[string]bool
+	// Team is the full roster (IBM side and client side).
+	Team []Person
+	// RosterPopulated records whether the roster grid carries the team
+	// (false reproduces the unpopulated-template pathology).
+	RosterPopulated bool
+}
+
+// HasTower reports whether tower is in the deal's true scope.
+func (d *DealTruth) HasTower(tower string) bool {
+	for _, t := range d.Towers {
+		if t == tower {
+			return true
+		}
+	}
+	return false
+}
+
+// Corpus is a generated workload.
+type Corpus struct {
+	Cfg     Config
+	Docs    []*docmodel.Document
+	Truth   map[string]*DealTruth
+	DealIDs []string // generation order
+	// Directory is the synthetic intranet personnel service covering every
+	// IBM-side team member (clients are deliberately absent, as in life).
+	Directory *directory.Directory
+	// Raw maps document path to the raw file content, so the corpus can be
+	// materialized on disk and re-crawled.
+	Raw map[string]string
+	// PlantedDuplicates counts the re-uploaded copies the generator wrote.
+	PlantedDuplicates int
+
+	usedNames  map[string]bool
+	nameSuffix int
+}
+
+// PlantedDealID is the Meta-query 2 walkthrough deal ("ABC Online").
+const PlantedDealID = "ABC ONLINE"
+
+// PlantedPerson is the client executive of the worked example.
+const PlantedPerson = "Sam White"
+
+// Generate builds a corpus under cfg.
+func Generate(cfg Config) (*Corpus, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tax := taxonomy.Default()
+	c := &Corpus{Cfg: cfg, Truth: map[string]*DealTruth{}, Directory: directory.New()}
+
+	towers := tax.Towers()
+	serial := 0
+	nextSerial := func() string {
+		serial++
+		return fmt.Sprintf("%06d", serial)
+	}
+
+	for i := 0; i < cfg.Deals; i++ {
+		truth := c.makeDealTruth(rng, tax, towers, i, nextSerial)
+		c.Truth[truth.ID] = truth
+		c.DealIDs = append(c.DealIDs, truth.ID)
+		for _, p := range truth.Team {
+			if p.Client {
+				continue
+			}
+			// Register IBM-side people in the directory; a few are stale
+			// (departed) to exercise validation.
+			active := rng.Float64() > 0.06
+			if err := c.Directory.Add(directory.Person{
+				Serial: p.Serial, Name: p.Name, Email: p.Email,
+				Phone: p.Phone, Org: p.Org, Title: p.Role, Active: active,
+			}); err != nil {
+				return nil, fmt.Errorf("synth: directory: %w", err)
+			}
+		}
+		if err := c.emitDealDocs(rng, tax, truth); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// dealID produces "DEAL A".."DEAL Z", then numbered IDs. Deal index 0 is the
+// planted "ABC ONLINE".
+func dealID(i int) string {
+	if i == 0 {
+		return PlantedDealID
+	}
+	if i <= 26 {
+		return fmt.Sprintf("DEAL %c", 'A'+i-1)
+	}
+	return fmt.Sprintf("DEAL %03d", i)
+}
+
+func (c *Corpus) makeDealTruth(rng *rand.Rand, tax *taxonomy.Taxonomy, towers []taxonomy.Tower, i int, nextSerial func() string) *DealTruth {
+	t := &DealTruth{ID: dealID(i), SubTowers: map[string][]string{}}
+	industries := tax.Industries()
+	geos := tax.Geographies()
+
+	if i == 0 {
+		t.Customer = "ABC"
+		t.Industry = "Financial Services"
+	} else {
+		t.Customer = customers[(i-1)%len(customers)]
+		t.Industry = industries[rng.Intn(len(industries))]
+	}
+	t.Consultant = taxonomy.OutsourcingConsultants[rng.Intn(len(taxonomy.OutsourcingConsultants))]
+	geo := geos[rng.Intn(len(geos))]
+	t.Geography = geo.Name
+	t.Country = geo.Countries[rng.Intn(len(geo.Countries))]
+	t.TermStart = fmt.Sprintf("200%d-%02d-01", 4+rng.Intn(4), 1+rng.Intn(12))
+	t.TermMonths = []int{36, 48, 60, 84, 120}[rng.Intn(5)]
+	t.TCVBand = taxonomy.ContractValueBands[rng.Intn(len(taxonomy.ContractValueBands))]
+	t.Intl = rng.Float64() < 0.5
+
+	// Scope: 2-6 towers. Storage Management Services is forced onto the
+	// planted deal so Meta-query 4's walkthrough lands there; End User
+	// Services appears on roughly half the deals so scope queries have
+	// substance.
+	nScope := 2 + rng.Intn(5)
+	perm := rng.Perm(len(towers))
+	seen := map[string]bool{}
+	add := func(name string) {
+		if !seen[name] && len(t.Towers) < nScope {
+			seen[name] = true
+			t.Towers = append(t.Towers, name)
+		}
+	}
+	if i == 0 {
+		add("Storage Management Services")
+		add("Disaster Recovery Services")
+	}
+	if i%2 == 1 {
+		add("End User Services")
+	}
+	for _, pi := range perm {
+		add(towers[pi].Name)
+	}
+	// One scope tower per deal (beyond the primary) may be quiet; the
+	// planted deal stays fully documented for the walkthroughs.
+	t.QuietTowers = map[string]bool{}
+	if i != 0 && len(t.Towers) >= 3 && rng.Float64() < 0.30 {
+		quiet := t.Towers[1+rng.Intn(len(t.Towers)-1)]
+		t.QuietTowers[quiet] = true
+	}
+	for _, towerName := range t.Towers {
+		if t.QuietTowers[towerName] {
+			continue // quiet towers leave no sub-tower evidence either
+		}
+		subs := tax.SubTypesOf(towerName)
+		if len(subs) == 0 {
+			continue
+		}
+		// Most deals with a tower exercise one or two of its sub-towers.
+		n := 1 + rng.Intn(2)
+		if n > len(subs) {
+			n = len(subs)
+		}
+		sp := rng.Perm(len(subs))
+		for k := 0; k < n; k++ {
+			t.SubTowers[towerName] = append(t.SubTowers[towerName], subs[sp[k]])
+		}
+	}
+
+	// Team: 5-9 IBM-side people plus 2-3 client-side. Names are unique
+	// corpus-wide because emails (and so directory entries) derive from
+	// them.
+	nTeam := 5 + rng.Intn(5)
+	if c.usedNames == nil {
+		c.usedNames = map[string]bool{}
+	}
+	pick := func() (string, string) {
+		for attempt := 0; ; attempt++ {
+			f := firstNames[rng.Intn(len(firstNames))]
+			l := lastNames[rng.Intn(len(lastNames))]
+			if attempt > 20 {
+				// The combination pool is exhausted (very large corpora):
+				// disambiguate deterministically.
+				c.nameSuffix++
+				l = fmt.Sprintf("%s%d", l, c.nameSuffix)
+			}
+			full := f + " " + l
+			if !c.usedNames[full] {
+				c.usedNames[full] = true
+				return f, l
+			}
+		}
+	}
+	mkEmail := func(f, l, org string) string {
+		return strings.ToLower(f) + "." + strings.ToLower(l) + "@" + strings.ToLower(org) + ".com"
+	}
+	hasCSE := false
+	for k := 0; k < nTeam; k++ {
+		f, l := pick()
+		role := salesRoles[rng.Intn(len(salesRoles))]
+		if k == 0 {
+			role = "CSE" // every deal has at least one CSE
+		}
+		if role == "CSE" || role == "Client Solution Executive" {
+			hasCSE = true
+		}
+		t.Team = append(t.Team, Person{
+			Name: f + " " + l, Email: mkEmail(f, l, "ibm"),
+			Phone:  fmt.Sprintf("555-%04d", rng.Intn(10000)),
+			Org:    "ITD " + []string{"Sales", "Delivery", "Solutioning"}[rng.Intn(3)],
+			Role:   role,
+			Serial: nextSerial(),
+		})
+	}
+	_ = hasCSE
+	nClient := 2 + rng.Intn(2)
+	for k := 0; k < nClient; k++ {
+		f, l := pick()
+		if i == 0 && k == 0 {
+			// The planted walkthrough identity.
+			t.Team = append(t.Team, Person{
+				Name: PlantedPerson, Email: "sam.white@abc.com",
+				Org: "ABC", Role: "CIO", Client: true, Serial: nextSerial(),
+			})
+			c.usedNames[PlantedPerson] = true
+			continue
+		}
+		org := t.Customer
+		t.Team = append(t.Team, Person{
+			Name: f + " " + l, Email: mkEmail(f, l, strings.ReplaceAll(org, " ", "")),
+			Org: org, Role: clientRoles[rng.Intn(len(clientRoles))], Client: true,
+			Serial: nextSerial(),
+		})
+	}
+	t.RosterPopulated = rng.Float64() > c.Cfg.RosterUnpopulatedRate
+	if i == 0 {
+		t.RosterPopulated = false // the MQ2 funnel needs the template empty
+	}
+	return t
+}

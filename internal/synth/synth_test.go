@@ -1,0 +1,284 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/docmodel"
+)
+
+func smallCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	c, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Docs) != len(b.Docs) {
+		t.Fatalf("doc counts differ: %d vs %d", len(a.Docs), len(b.Docs))
+	}
+	for i := range a.Docs {
+		if a.Docs[i].Path != b.Docs[i].Path || a.Docs[i].Body != b.Docs[i].Body {
+			t.Fatalf("doc %d differs between runs: %s vs %s", i, a.Docs[i].Path, b.Docs[i].Path)
+		}
+	}
+}
+
+func TestGenerateSeedChangesCorpus(t *testing.T) {
+	cfg := SmallConfig()
+	a, _ := Generate(cfg)
+	cfg.Seed = 999
+	b, _ := Generate(cfg)
+	same := true
+	for i := range a.Docs {
+		if i >= len(b.Docs) || a.Docs[i].Body != b.Docs[i].Body {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestCorpusShape(t *testing.T) {
+	c := smallCorpus(t)
+	s := c.Stats()
+	if s.Deals != 6 {
+		t.Fatalf("deals = %d", s.Deals)
+	}
+	// 6 deals x (40 noise + ~10 fixed) plus 4 planted docs.
+	if s.Docs < 6*45 || s.Docs > 6*60 {
+		t.Fatalf("docs = %d", s.Docs)
+	}
+	if c.DocsOfType(docmodel.TypeGrid) == 0 || c.DocsOfType(docmodel.TypeDeck) == 0 ||
+		c.DocsOfType(docmodel.TypeEmail) == 0 || c.DocsOfType(docmodel.TypeText) == 0 {
+		t.Fatal("missing document types")
+	}
+}
+
+func TestTruthConsistency(t *testing.T) {
+	c := smallCorpus(t)
+	for _, id := range c.DealIDs {
+		truth := c.Truth[id]
+		if truth == nil {
+			t.Fatalf("no truth for %s", id)
+		}
+		if len(truth.Towers) < 2 || len(truth.Towers) > 6 {
+			t.Fatalf("%s towers = %v", id, truth.Towers)
+		}
+		if len(truth.Team) < 7 {
+			t.Fatalf("%s team = %d", id, len(truth.Team))
+		}
+		seen := map[string]bool{}
+		for _, tower := range truth.Towers {
+			if seen[tower] {
+				t.Fatalf("%s duplicate scope tower %s", id, tower)
+			}
+			seen[tower] = true
+		}
+		for tower, subs := range truth.SubTowers {
+			if !truth.HasTower(tower) {
+				t.Fatalf("%s subtowers of non-scope tower %s: %v", id, tower, subs)
+			}
+		}
+	}
+}
+
+func TestPlantedDeal(t *testing.T) {
+	c := smallCorpus(t)
+	truth := c.Truth[PlantedDealID]
+	if truth == nil {
+		t.Fatal("planted deal missing")
+	}
+	if truth.Customer != "ABC" || !truth.HasTower("Storage Management Services") {
+		t.Fatalf("planted truth = %+v", truth)
+	}
+	if truth.RosterPopulated {
+		t.Fatal("planted roster must be unpopulated (MQ2 funnel)")
+	}
+	foundSam := false
+	for _, p := range truth.Team {
+		if p.Name == PlantedPerson {
+			foundSam = true
+			if !p.Client || p.Org != "ABC" {
+				t.Fatalf("Sam White = %+v", p)
+			}
+		}
+	}
+	if !foundSam {
+		t.Fatal("Sam White not on planted deal")
+	}
+	// Exactly the four planted documents tie Sam to ABC textually, and
+	// none of them mention CSE.
+	samDocs := 0
+	for _, d := range c.Docs {
+		body := strings.ToLower(d.Body + " " + d.Title + " " + headerText(d))
+		hasSam := strings.Contains(body, "sam") && strings.Contains(body, "white")
+		hasABC := strings.Contains(body, "abc")
+		if hasSam && hasABC {
+			samDocs++
+			if strings.Contains(body, "cse") {
+				t.Fatalf("planted Sam doc %s mentions CSE", d.Path)
+			}
+		}
+	}
+	if samDocs != 4 {
+		t.Fatalf("Sam+ABC docs = %d, want exactly 4", samDocs)
+	}
+}
+
+func headerText(d *docmodel.Document) string {
+	if d.Structure == nil || d.Structure.Headers == nil {
+		return ""
+	}
+	var parts []string
+	for k, v := range d.Structure.Headers {
+		parts = append(parts, k+" "+v)
+	}
+	return strings.Join(parts, " ")
+}
+
+func TestCrossTowerTSANoise(t *testing.T) {
+	c := smallCorpus(t)
+	withPhrase := 0
+	withValue := 0
+	for _, d := range c.Docs {
+		if !strings.Contains(strings.ToLower(d.Body), "cross tower tsa") {
+			continue
+		}
+		withPhrase++
+		if d.Type != docmodel.TypeGrid {
+			continue
+		}
+		g := d.Structure.Grid
+		col := g.ColumnIndex("cross tower tsa")
+		if col < 0 {
+			continue
+		}
+		for r := 1; r < len(g.Rows); r++ {
+			if g.Cell(r, col) != "" {
+				withValue++
+			}
+		}
+	}
+	if withPhrase < 10 {
+		t.Fatalf("cross tower TSA phrase docs = %d, want plenty of schema noise", withPhrase)
+	}
+	if withValue == 0 {
+		t.Fatal("no TSA grid ever has a value — annotator has nothing to find")
+	}
+	if withValue*3 > withPhrase {
+		t.Fatalf("TSA values (%d) not rare relative to phrase docs (%d)", withValue, withPhrase)
+	}
+}
+
+func TestDirectoryCoversIBMTeam(t *testing.T) {
+	c := smallCorpus(t)
+	for _, truth := range c.Truth {
+		for _, p := range truth.Team {
+			if p.Client {
+				if _, err := c.Directory.ByEmail(p.Email); err == nil {
+					t.Fatalf("client %s leaked into the intranet directory", p.Name)
+				}
+				continue
+			}
+			if _, err := c.Directory.ByEmail(p.Email); err != nil {
+				t.Fatalf("IBM person %s missing from directory: %v", p.Name, err)
+			}
+		}
+	}
+}
+
+func TestSubTypeVocabularyDrift(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.NoiseDocsPerDeal = 200 // enough mentions to measure
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical, subtype := 0, 0
+	for _, d := range c.Docs {
+		body := strings.ToLower(d.Body)
+		if strings.Contains(body, "end user services") {
+			canonical++
+		}
+		if strings.Contains(body, "customer service center") || strings.Contains(body, "distributed computing services") ||
+			strings.Contains(body, "help desk services") || strings.Contains(body, "distributed client services") {
+			subtype++
+		}
+	}
+	if canonical == 0 || subtype == 0 {
+		t.Fatalf("no EUS mentions at all: canonical=%d subtype=%d", canonical, subtype)
+	}
+	if subtype < canonical {
+		t.Fatalf("vocabulary drift missing: canonical=%d subtype=%d", canonical, subtype)
+	}
+}
+
+func TestEmailStudyMarginals(t *testing.T) {
+	threads := GenerateEmailStudy(7)
+	if len(threads) != 120 {
+		t.Fatalf("threads = %d", len(threads))
+	}
+	counts := map[string]int{}
+	social := 0
+	for i := range threads {
+		for _, in := range threads[i].Intents {
+			counts[in]++
+		}
+		if threads[i].Social {
+			social++
+		}
+		if threads[i].Body == "" || threads[i].Subject == "" {
+			t.Fatalf("thread %d has empty text", threads[i].ID)
+		}
+	}
+	for _, label := range []string{"mq1", "mq2", "mq3", "mq4"} {
+		if counts[label] != StudyMarginals[label] {
+			t.Fatalf("%s = %d, want %d", label, counts[label], StudyMarginals[label])
+		}
+	}
+	if social != StudyMarginals["social"] {
+		t.Fatalf("social = %d, want %d", social, StudyMarginals["social"])
+	}
+}
+
+func TestEmailStudyDeterministic(t *testing.T) {
+	a := GenerateEmailStudy(7)
+	b := GenerateEmailStudy(7)
+	for i := range a {
+		if a[i].Body != b[i].Body {
+			t.Fatal("email study not deterministic")
+		}
+	}
+}
+
+func TestEvalConfigScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("eval-scale corpus generation in -short mode")
+	}
+	c, err := Generate(EvalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.Deals != 23 {
+		t.Fatalf("deals = %d", s.Deals)
+	}
+	// The paper's eval corpus: "approximately about 15,000 documents".
+	if s.Docs < 13500 || s.Docs > 16500 {
+		t.Fatalf("docs = %d, want ~15000", s.Docs)
+	}
+}

@@ -1,0 +1,134 @@
+package taxonomy
+
+// Default returns the IT Services taxonomy used throughout the EIL
+// reproduction. Tower and sub-tower names follow the vocabulary visible in
+// the paper's figures (Figures 5, 6, and 9 list towers such as Customer
+// Service Center, Distributed Client Services, Storage Management Services,
+// End User Services, and so on); where the paper does not enumerate a
+// tower's subtypes we complete the hierarchy with conventional IT
+// outsourcing service lines.
+func Default() *Taxonomy {
+	towers := []Tower{
+		{
+			Name:    "End User Services",
+			Acronym: "EUS",
+			SubTypes: []SubTower{
+				// The paper names exactly these two subtypes of EUS.
+				{Name: "Customer Service Center", Acronym: "CSC", Aliases: []string{"Customer Services Center", "Help Desk Services"}},
+				{Name: "Distributed Computing Services", Acronym: "DCS", Aliases: []string{"Distributed Client Services", "Desktop Services"}},
+			},
+		},
+		{
+			Name:    "Storage Management Services",
+			Acronym: "SMS",
+			SubTypes: []SubTower{
+				{Name: "Storage Area Network Services", Acronym: "SAN"},
+				{Name: "Backup And Restore Services", Aliases: []string{"Backup Services"}},
+				{Name: "Data Replication Services"},
+			},
+		},
+		{
+			Name:    "Server Systems Management",
+			Acronym: "SSM",
+			SubTypes: []SubTower{
+				{Name: "Mainframe Services", Aliases: []string{"zSeries Services"}},
+				{Name: "Midrange Services", Aliases: []string{"AS400 Services", "iSeries Services"}},
+				{Name: "Unix Server Services"},
+				{Name: "Intel Server Services", Aliases: []string{"Wintel Services"}},
+			},
+		},
+		{
+			Name:    "Network Services",
+			Acronym: "NWS",
+			SubTypes: []SubTower{
+				{Name: "Data Network Services", Aliases: []string{"LAN Services", "WAN Services"}},
+				{Name: "Voice Services", Aliases: []string{"Telephony Services"}},
+				{Name: "Remote Access Services"},
+			},
+		},
+		{
+			Name:    "Disaster Recovery Services",
+			Acronym: "DRS",
+			SubTypes: []SubTower{
+				{Name: "Business Continuity And Recovery Services", Acronym: "BCRS"},
+				{Name: "Rapid Recovery Services"},
+			},
+		},
+		{
+			Name:    "Data Center Services",
+			Acronym: "DCF",
+			SubTypes: []SubTower{
+				{Name: "Data Center Operations"},
+				{Name: "Facilities Management"},
+			},
+		},
+		{
+			Name:    "Application Management Services",
+			Acronym: "AMS",
+			SubTypes: []SubTower{
+				{Name: "Application Development"},
+				{Name: "Application Maintenance"},
+			},
+		},
+		{
+			Name:    "Security Services",
+			Acronym: "SEC",
+			SubTypes: []SubTower{
+				{Name: "Identity Management Services"},
+				{Name: "Compliance And Regulatory", Aliases: []string{"Compliance Services"}},
+			},
+		},
+		{
+			Name:    "eBusiness Services",
+			Acronym: "EBS",
+			SubTypes: []SubTower{
+				{Name: "Web Hosting Services"},
+				{Name: "Groupware", Aliases: []string{"Collaboration Services"}},
+			},
+		},
+		{
+			Name:    "Asset Management",
+			Acronym: "AM",
+			SubTypes: []SubTower{
+				{Name: "Procurement Services"},
+				{Name: "Software Asset Management"},
+			},
+		},
+		{
+			Name:    "Human Resources Services",
+			Acronym: "HRS",
+			SubTypes: []SubTower{
+				{Name: "Payroll Services"},
+				{Name: "Workforce Administration"},
+			},
+		},
+		{
+			Name:    "Infrastructure Services",
+			Acronym: "IS",
+			SubTypes: []SubTower{
+				{Name: "Infrastructure Consolidation"},
+				{Name: "Systems Monitoring", Aliases: []string{"Computer Operations And Monitoring"}},
+			},
+		},
+	}
+	industries := []string{
+		"Banking", "Insurance", "Financial Markets", "Financial Services",
+		"Industrial", "Industrial Products", "Retail", "Distribution",
+		"Communications", "Healthcare", "Public Sector", "Energy And Utilities",
+		"Travel And Transportation",
+	}
+	geos := []Geography{
+		{Name: "Americas", Acronym: "AM", Countries: []string{"United States", "Canada", "Brazil", "Mexico"}},
+		{Name: "Europe Middle East Africa", Acronym: "EMEA", Countries: []string{"United Kingdom", "Germany", "France", "South Africa"}},
+		{Name: "Asia Pacific", Acronym: "AP", Countries: []string{"Japan", "Australia", "India", "China"}},
+	}
+	return New(towers, industries, geos)
+}
+
+// OutsourcingConsultants is the vocabulary of third-party sourcing advisors
+// that appear in deal synopses (the paper's Figure 6 shows "TPI").
+var OutsourcingConsultants = []string{"TPI", "Gartner", "EquaTerra", "Everest Group", "Alsbridge"}
+
+// ContractValueBands are the total-contract-value display bands used in the
+// paper's figures ("50 to 100M", "over 100M").
+var ContractValueBands = []string{"under 10M", "10 to 50M", "50 to 100M", "over 100M"}

@@ -1,0 +1,59 @@
+package taxonomy
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// fileSchema is the JSON shape for customer-supplied taxonomies, so a
+// deployment can describe its own service lines without recompiling — the
+// paper's methodology is "applicable in situations where a business process
+// constrains information needs", which means other processes bring other
+// vocabularies.
+type fileSchema struct {
+	Towers     []Tower     `json:"towers"`
+	Industries []string    `json:"industries"`
+	Geos       []Geography `json:"geographies"`
+}
+
+// LoadJSON reads a taxonomy from JSON.
+func LoadJSON(r io.Reader) (*Taxonomy, error) {
+	var fs fileSchema
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&fs); err != nil {
+		return nil, fmt.Errorf("taxonomy: decode: %w", err)
+	}
+	if len(fs.Towers) == 0 {
+		return nil, fmt.Errorf("taxonomy: no towers defined")
+	}
+	for _, tw := range fs.Towers {
+		if tw.Name == "" {
+			return nil, fmt.Errorf("taxonomy: tower with empty name")
+		}
+	}
+	return New(fs.Towers, fs.Industries, fs.Geos), nil
+}
+
+// LoadFile reads a taxonomy from a JSON file.
+func LoadFile(path string) (*Taxonomy, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("taxonomy: %w", err)
+	}
+	defer f.Close()
+	return LoadJSON(f)
+}
+
+// WriteJSON serializes the taxonomy (round-trips with LoadJSON). Useful as
+// a starting point: dump the default, edit, load.
+func (t *Taxonomy) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(fileSchema{Towers: t.towers, Industries: t.industries, Geos: t.geos}); err != nil {
+		return fmt.Errorf("taxonomy: encode: %w", err)
+	}
+	return nil
+}

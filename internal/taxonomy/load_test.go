@@ -1,0 +1,72 @@
+package taxonomy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTaxonomyJSONRoundTrip(t *testing.T) {
+	tax := Default()
+	var buf bytes.Buffer
+	if err := tax.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Towers()) != len(tax.Towers()) {
+		t.Fatalf("towers %d vs %d", len(loaded.Towers()), len(tax.Towers()))
+	}
+	// Aliases survive: CSC still resolves.
+	tower, sub, ok := loaded.Resolve("CSC")
+	if !ok || tower != "End User Services" || sub != "Customer Service Center" {
+		t.Fatalf("Resolve(CSC) after round trip = %q/%q/%v", tower, sub, ok)
+	}
+	if len(loaded.Industries()) != len(tax.Industries()) {
+		t.Fatal("industries lost")
+	}
+	if len(loaded.Geographies()) != len(tax.Geographies()) {
+		t.Fatal("geographies lost")
+	}
+}
+
+func TestLoadJSONCustomVocabulary(t *testing.T) {
+	custom := `{
+	  "towers": [
+	    {"Name": "Claims Processing", "Acronym": "CP",
+	     "SubTypes": [{"Name": "First Notice Of Loss", "Acronym": "FNOL"}]}
+	  ],
+	  "industries": ["Insurance"],
+	  "geographies": []
+	}`
+	tax, err := LoadJSON(strings.NewReader(custom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tower, sub, ok := tax.Resolve("fnol")
+	if !ok || tower != "Claims Processing" || sub != "First Notice Of Loss" {
+		t.Fatalf("custom resolve = %q/%q/%v", tower, sub, ok)
+	}
+}
+
+func TestLoadJSONValidation(t *testing.T) {
+	bad := []string{
+		`not json`,
+		`{"towers": []}`,
+		`{"towers": [{"Name": ""}]}`,
+		`{"towers": [{"Name": "X"}], "unknown_field": 1}`,
+	}
+	for _, s := range bad {
+		if _, err := LoadJSON(strings.NewReader(s)); err == nil {
+			t.Errorf("accepted %q", s)
+		}
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile("/nonexistent/tax.json"); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}

@@ -1,0 +1,94 @@
+package taxonomy
+
+import (
+	"sort"
+	"strings"
+)
+
+// Suggestion is one near-miss vocabulary match for a user's input.
+type Suggestion struct {
+	Surface  string // the registered surface form
+	Tower    string // its canonical tower
+	SubTower string
+	Distance int // Levenshtein distance to the input (lowercased)
+}
+
+// Suggest returns up to k registered surface forms closest to the input by
+// edit distance, for "did you mean" behaviour when a concept query does not
+// resolve (sales executives type "Strorage Mgmt" more often than one would
+// hope). Exact resolutions return themselves with distance 0.
+func (t *Taxonomy) Suggest(input string, k int) []Suggestion {
+	if k <= 0 {
+		k = 3
+	}
+	needle := strings.ToLower(strings.TrimSpace(input))
+	if needle == "" {
+		return nil
+	}
+	var out []Suggestion
+	for surface, ref := range t.byName {
+		d := levenshtein(needle, surface)
+		// Cap the acceptable distance relative to the input length so
+		// nonsense does not "suggest" everything.
+		if d > len(needle)/2+2 {
+			continue
+		}
+		out = append(out, Suggestion{
+			Surface:  surface,
+			Tower:    ref.tower,
+			SubTower: ref.subTower,
+			Distance: d,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].Surface < out[j].Surface
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// levenshtein computes the edit distance with the classic two-row dynamic
+// program, byte-wise (the vocabulary is ASCII).
+func levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

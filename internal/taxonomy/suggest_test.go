@@ -1,0 +1,102 @@
+package taxonomy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSuggestExact(t *testing.T) {
+	tax := Default()
+	s := tax.Suggest("end user services", 3)
+	if len(s) == 0 || s[0].Distance != 0 || s[0].Tower != "End User Services" {
+		t.Fatalf("suggestions = %+v", s)
+	}
+}
+
+func TestSuggestTypo(t *testing.T) {
+	tax := Default()
+	s := tax.Suggest("Strorage Management Services", 3)
+	if len(s) == 0 {
+		t.Fatal("no suggestions for a one-typo input")
+	}
+	if s[0].Tower != "Storage Management Services" {
+		t.Fatalf("top suggestion = %+v", s[0])
+	}
+}
+
+func TestSuggestAcronymTypo(t *testing.T) {
+	tax := Default()
+	s := tax.Suggest("EUSS", 2)
+	found := false
+	for _, x := range s {
+		if x.Tower == "End User Services" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("EUS not suggested for EUSS: %+v", s)
+	}
+}
+
+func TestSuggestNonsense(t *testing.T) {
+	tax := Default()
+	if s := tax.Suggest("qqqqqqqqqqqqqqqqqqqqqq", 3); len(s) != 0 {
+		t.Fatalf("nonsense got suggestions: %+v", s)
+	}
+	if s := tax.Suggest("", 3); s != nil {
+		t.Fatalf("empty input got suggestions: %+v", s)
+	}
+}
+
+func TestSuggestLimit(t *testing.T) {
+	tax := Default()
+	if s := tax.Suggest("services", 2); len(s) > 2 {
+		t.Fatalf("limit ignored: %+v", s)
+	}
+	if s := tax.Suggest("services", 0); len(s) > 3 {
+		t.Fatalf("default limit ignored: %+v", s)
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"same", "same", 0},
+	}
+	for _, c := range cases {
+		if got := levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Properties: symmetry and the triangle-ish identity bound.
+func TestLevenshteinProperties(t *testing.T) {
+	err := quick.Check(func(a, b string) bool {
+		if len(a) > 50 {
+			a = a[:50]
+		}
+		if len(b) > 50 {
+			b = b[:50]
+		}
+		d1, d2 := levenshtein(a, b), levenshtein(b, a)
+		if d1 != d2 {
+			return false
+		}
+		max := len(a)
+		if len(b) > max {
+			max = len(b)
+		}
+		return d1 <= max && (d1 == 0) == (a == b)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}

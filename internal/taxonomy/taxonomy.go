@@ -1,0 +1,197 @@
+// Package taxonomy defines the controlled vocabularies EIL's concept search
+// is built on: the IT-services tower/sub-tower hierarchy, industries, and
+// geographies. The ontology-based scope annotator matches document text
+// against this taxonomy, and the query analyzer expands user-selected
+// concepts (for example "End User Services") into their sub-types — the
+// expansion the paper's Meta-query 1 evaluation turns on.
+package taxonomy
+
+import (
+	"sort"
+	"strings"
+)
+
+// Tower is one service tower (top-level scope concept) with its sub-towers.
+type Tower struct {
+	Name     string
+	Acronym  string // common short form used in documents, "" if none
+	SubTypes []SubTower
+}
+
+// SubTower is a second-level service concept under a tower.
+type SubTower struct {
+	Name    string
+	Acronym string
+	// Aliases are alternative surface forms seen in documents. The paper
+	// notes the phrase "CSC" is not used consistently across the
+	// organization; aliases model that inconsistency.
+	Aliases []string
+}
+
+// Taxonomy is an immutable vocabulary set. Build one with Default or New.
+type Taxonomy struct {
+	towers     []Tower
+	industries []string
+	geos       []Geography
+	// byName maps lowercase tower and sub-tower names/acronyms/aliases to
+	// their canonical tower (and sub-tower when applicable).
+	byName map[string]conceptRef
+}
+
+// Geography is a sales geography with its countries.
+type Geography struct {
+	Name      string
+	Acronym   string
+	Countries []string
+}
+
+type conceptRef struct {
+	tower    string
+	subTower string // "" when the name denotes the tower itself
+}
+
+// New builds a taxonomy from explicit vocabularies.
+func New(towers []Tower, industries []string, geos []Geography) *Taxonomy {
+	t := &Taxonomy{towers: towers, industries: industries, geos: geos, byName: map[string]conceptRef{}}
+	for _, tw := range towers {
+		t.register(tw.Name, conceptRef{tower: tw.Name})
+		if tw.Acronym != "" {
+			t.register(tw.Acronym, conceptRef{tower: tw.Name})
+		}
+		for _, st := range tw.SubTypes {
+			ref := conceptRef{tower: tw.Name, subTower: st.Name}
+			t.register(st.Name, ref)
+			if st.Acronym != "" {
+				t.register(st.Acronym, ref)
+			}
+			for _, a := range st.Aliases {
+				t.register(a, ref)
+			}
+		}
+	}
+	return t
+}
+
+func (t *Taxonomy) register(name string, ref conceptRef) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if key == "" {
+		return
+	}
+	if _, exists := t.byName[key]; !exists {
+		t.byName[key] = ref
+	}
+}
+
+// Towers returns the tower list in declaration order.
+func (t *Taxonomy) Towers() []Tower { return t.towers }
+
+// TowerNames returns the canonical tower names, sorted.
+func (t *Taxonomy) TowerNames() []string {
+	names := make([]string, len(t.towers))
+	for i, tw := range t.towers {
+		names[i] = tw.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Industries returns the industry vocabulary.
+func (t *Taxonomy) Industries() []string { return t.industries }
+
+// Geographies returns the geography vocabulary.
+func (t *Taxonomy) Geographies() []Geography { return t.geos }
+
+// Resolve maps any surface form (tower name, sub-tower name, acronym, or
+// alias, case-insensitive) to its canonical tower and sub-tower. subTower is
+// "" when the form denotes a whole tower.
+func (t *Taxonomy) Resolve(surface string) (tower, subTower string, ok bool) {
+	ref, ok := t.byName[strings.ToLower(strings.TrimSpace(surface))]
+	if !ok {
+		return "", "", false
+	}
+	return ref.tower, ref.subTower, true
+}
+
+// IsTower reports whether name is a canonical tower name.
+func (t *Taxonomy) IsTower(name string) bool {
+	ref, ok := t.byName[strings.ToLower(strings.TrimSpace(name))]
+	return ok && ref.subTower == "" && strings.EqualFold(ref.tower, strings.TrimSpace(name))
+}
+
+// SubTypesOf returns the sub-tower names of a tower (resolving aliases),
+// or nil when the tower is unknown or has none. This is the expansion used
+// by Meta-query 1: a keyword search for "End User Services" misses documents
+// that only mention "Customer Service Center" or "Distributed Computing
+// Services" unless the subtypes are added to the query.
+func (t *Taxonomy) SubTypesOf(tower string) []string {
+	ref, ok := t.byName[strings.ToLower(strings.TrimSpace(tower))]
+	if !ok || ref.subTower != "" {
+		return nil
+	}
+	for _, tw := range t.towers {
+		if tw.Name == ref.tower {
+			names := make([]string, len(tw.SubTypes))
+			for i, st := range tw.SubTypes {
+				names[i] = st.Name
+			}
+			return names
+		}
+	}
+	return nil
+}
+
+// Expand returns all surface forms (canonical names, acronyms, aliases) that
+// denote the tower or any of its sub-towers. Keyword baselines use this to
+// build the "subtypes explicitly considered" query of Figure 4.
+func (t *Taxonomy) Expand(tower string) []string {
+	ref, ok := t.byName[strings.ToLower(strings.TrimSpace(tower))]
+	if !ok {
+		return nil
+	}
+	for _, tw := range t.towers {
+		if tw.Name != ref.tower {
+			continue
+		}
+		var forms []string
+		add := func(s string) {
+			if s != "" {
+				forms = append(forms, s)
+			}
+		}
+		if ref.subTower == "" {
+			add(tw.Name)
+			add(tw.Acronym)
+			for _, st := range tw.SubTypes {
+				add(st.Name)
+				add(st.Acronym)
+				for _, a := range st.Aliases {
+					add(a)
+				}
+			}
+		} else {
+			for _, st := range tw.SubTypes {
+				if st.Name != ref.subTower {
+					continue
+				}
+				add(st.Name)
+				add(st.Acronym)
+				for _, a := range st.Aliases {
+					add(a)
+				}
+			}
+		}
+		return forms
+	}
+	return nil
+}
+
+// AllSurfaceForms returns every registered surface form, sorted; the scope
+// annotator scans documents for these.
+func (t *Taxonomy) AllSurfaceForms() []string {
+	forms := make([]string, 0, len(t.byName))
+	for k := range t.byName {
+		forms = append(forms, k)
+	}
+	sort.Strings(forms)
+	return forms
+}

@@ -1,0 +1,188 @@
+package taxonomy
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultTowers(t *testing.T) {
+	tax := Default()
+	if len(tax.Towers()) < 10 {
+		t.Fatalf("suspiciously few towers: %d", len(tax.Towers()))
+	}
+	names := tax.TowerNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("TowerNames not sorted: %v", names)
+		}
+	}
+}
+
+func TestResolveCanonical(t *testing.T) {
+	tax := Default()
+	tower, sub, ok := tax.Resolve("End User Services")
+	if !ok || tower != "End User Services" || sub != "" {
+		t.Fatalf("Resolve = %q %q %v", tower, sub, ok)
+	}
+}
+
+func TestResolveAcronymAndAlias(t *testing.T) {
+	tax := Default()
+	cases := []struct {
+		surface, tower, sub string
+	}{
+		{"EUS", "End User Services", ""},
+		{"eus", "End User Services", ""},
+		{"CSC", "End User Services", "Customer Service Center"},
+		{"Customer Services Center", "End User Services", "Customer Service Center"},
+		{"Distributed Client Services", "End User Services", "Distributed Computing Services"},
+		{"BCRS", "Disaster Recovery Services", "Business Continuity And Recovery Services"},
+		{"  storage management services  ", "Storage Management Services", ""},
+	}
+	for _, c := range cases {
+		tower, sub, ok := tax.Resolve(c.surface)
+		if !ok || tower != c.tower || sub != c.sub {
+			t.Errorf("Resolve(%q) = %q/%q/%v, want %q/%q", c.surface, tower, sub, ok, c.tower, c.sub)
+		}
+	}
+}
+
+func TestResolveUnknown(t *testing.T) {
+	tax := Default()
+	if _, _, ok := tax.Resolve("Underwater Basket Weaving"); ok {
+		t.Fatal("resolved a nonsense concept")
+	}
+	if _, _, ok := tax.Resolve(""); ok {
+		t.Fatal("resolved empty string")
+	}
+}
+
+func TestIsTower(t *testing.T) {
+	tax := Default()
+	if !tax.IsTower("End User Services") {
+		t.Error("EUS canonical name not a tower")
+	}
+	if tax.IsTower("Customer Service Center") {
+		t.Error("sub-tower reported as tower")
+	}
+	if tax.IsTower("EUS") {
+		t.Error("acronym should not satisfy IsTower (not canonical)")
+	}
+}
+
+func TestSubTypesOfEUS(t *testing.T) {
+	tax := Default()
+	subs := tax.SubTypesOf("End User Services")
+	// The paper: "End User Services has two subtypes: Customer Services
+	// Center and Distributed Computing Services."
+	if len(subs) != 2 {
+		t.Fatalf("EUS subtypes = %v", subs)
+	}
+	want := map[string]bool{"Customer Service Center": true, "Distributed Computing Services": true}
+	for _, s := range subs {
+		if !want[s] {
+			t.Errorf("unexpected subtype %q", s)
+		}
+	}
+	if subs := tax.SubTypesOf("CSC"); subs != nil {
+		t.Errorf("SubTypesOf(sub-tower) = %v, want nil", subs)
+	}
+	if subs := tax.SubTypesOf("nope"); subs != nil {
+		t.Errorf("SubTypesOf(unknown) = %v, want nil", subs)
+	}
+}
+
+func TestExpandTower(t *testing.T) {
+	tax := Default()
+	forms := tax.Expand("End User Services")
+	joined := strings.ToLower(strings.Join(forms, "|"))
+	for _, want := range []string{"end user services", "eus", "customer service center", "csc", "distributed computing services", "help desk services"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("Expand(EUS) missing %q: %v", want, forms)
+		}
+	}
+	// Expanding via acronym gives the same set.
+	forms2 := tax.Expand("eus")
+	if len(forms2) != len(forms) {
+		t.Errorf("Expand via acronym differs: %d vs %d", len(forms2), len(forms))
+	}
+}
+
+func TestExpandSubTower(t *testing.T) {
+	tax := Default()
+	forms := tax.Expand("CSC")
+	joined := strings.ToLower(strings.Join(forms, "|"))
+	if !strings.Contains(joined, "customer service center") || strings.Contains(joined, "distributed") {
+		t.Errorf("Expand(CSC) = %v", forms)
+	}
+	if forms := tax.Expand("never heard of it"); forms != nil {
+		t.Errorf("Expand(unknown) = %v", forms)
+	}
+}
+
+func TestAllSurfaceFormsResolveProperty(t *testing.T) {
+	tax := Default()
+	forms := tax.AllSurfaceForms()
+	if len(forms) < 40 {
+		t.Fatalf("surface forms = %d, want a rich vocabulary", len(forms))
+	}
+	for _, f := range forms {
+		if _, _, ok := tax.Resolve(f); !ok {
+			t.Errorf("registered form %q does not resolve", f)
+		}
+	}
+}
+
+// Property: Resolve is case-insensitive.
+func TestResolveCaseInsensitiveProperty(t *testing.T) {
+	tax := Default()
+	forms := tax.AllSurfaceForms()
+	err := quick.Check(func(i uint16) bool {
+		f := forms[int(i)%len(forms)]
+		t1, s1, ok1 := tax.Resolve(strings.ToUpper(f))
+		t2, s2, ok2 := tax.Resolve(strings.ToLower(f))
+		return ok1 && ok2 && t1 == t2 && s1 == s2
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every expansion form resolves back into the same tower.
+func TestExpandClosureProperty(t *testing.T) {
+	tax := Default()
+	for _, tw := range tax.Towers() {
+		for _, form := range tax.Expand(tw.Name) {
+			tower, _, ok := tax.Resolve(form)
+			if !ok || tower != tw.Name {
+				t.Errorf("form %q of tower %q resolves to %q (%v)", form, tw.Name, tower, ok)
+			}
+		}
+	}
+}
+
+func TestIndustriesAndGeos(t *testing.T) {
+	tax := Default()
+	if len(tax.Industries()) < 10 {
+		t.Errorf("industries = %v", tax.Industries())
+	}
+	geos := tax.Geographies()
+	if len(geos) != 3 {
+		t.Fatalf("geos = %v", geos)
+	}
+	for _, g := range geos {
+		if len(g.Countries) == 0 {
+			t.Errorf("geo %s has no countries", g.Name)
+		}
+	}
+}
+
+func TestVocabularies(t *testing.T) {
+	if len(OutsourcingConsultants) == 0 || OutsourcingConsultants[0] != "TPI" {
+		t.Error("TPI must head the consultant vocabulary (paper Figure 6)")
+	}
+	if len(ContractValueBands) != 4 {
+		t.Errorf("bands = %v", ContractValueBands)
+	}
+}

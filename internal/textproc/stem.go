@@ -1,0 +1,245 @@
+package textproc
+
+// Stem implements the classic Porter stemming algorithm (M.F. Porter, 1980,
+// "An algorithm for suffix stripping"). The input must already be lowercase
+// ASCII; words containing non a-z bytes are returned unchanged. Words of
+// length <= 2 are returned unchanged, per the original algorithm.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	for i := 0; i < len(word); i++ {
+		if word[i] < 'a' || word[i] > 'z' {
+			return word
+		}
+	}
+	w := []byte(word)
+	w = step1a(w)
+	w = step1b(w)
+	w = step1c(w)
+	w = step2(w)
+	w = step3(w)
+	w = step4(w)
+	w = step5a(w)
+	w = step5b(w)
+	return string(w)
+}
+
+// isCons reports whether w[i] is a consonant in Porter's sense: a letter
+// other than a, e, i, o, u, and y when y follows a vowel position.
+func isCons(w []byte, i int) bool {
+	switch w[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isCons(w, i-1)
+	default:
+		return true
+	}
+}
+
+// measure computes m, the number of VC (vowel-consonant) sequences in w[0:end].
+func measure(w []byte, end int) int {
+	m := 0
+	i := 0
+	// skip initial consonants
+	for i < end && isCons(w, i) {
+		i++
+	}
+	for i < end {
+		// in vowel run
+		for i < end && !isCons(w, i) {
+			i++
+		}
+		if i >= end {
+			break
+		}
+		m++
+		for i < end && isCons(w, i) {
+			i++
+		}
+	}
+	return m
+}
+
+func hasVowel(w []byte, end int) bool {
+	for i := 0; i < end; i++ {
+		if !isCons(w, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleCons reports whether w[0:end] ends with a double consonant.
+func endsDoubleCons(w []byte, end int) bool {
+	if end < 2 {
+		return false
+	}
+	return w[end-1] == w[end-2] && isCons(w, end-1)
+}
+
+// endsCVC reports whether w[0:end] ends consonant-vowel-consonant where the
+// final consonant is not w, x, or y.
+func endsCVC(w []byte, end int) bool {
+	if end < 3 {
+		return false
+	}
+	if !isCons(w, end-3) || isCons(w, end-2) || !isCons(w, end-1) {
+		return false
+	}
+	c := w[end-1]
+	return c != 'w' && c != 'x' && c != 'y'
+}
+
+func hasSuffix(w []byte, s string) bool {
+	if len(w) < len(s) {
+		return false
+	}
+	return string(w[len(w)-len(s):]) == s
+}
+
+// replaceSuffix, when w ends with suf and measure of the stem exceeds minM,
+// replaces suf with rep and reports success.
+func replaceSuffix(w []byte, suf, rep string, minM int) ([]byte, bool) {
+	if !hasSuffix(w, suf) {
+		return w, false
+	}
+	stem := len(w) - len(suf)
+	if measure(w, stem) <= minM {
+		return w, false
+	}
+	return append(w[:stem], rep...), true
+}
+
+func step1a(w []byte) []byte {
+	switch {
+	case hasSuffix(w, "sses"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ies"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ss"):
+		return w
+	case hasSuffix(w, "s"):
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+func step1b(w []byte) []byte {
+	if hasSuffix(w, "eed") {
+		if measure(w, len(w)-3) > 0 {
+			return w[:len(w)-1]
+		}
+		return w
+	}
+	fix := false
+	if hasSuffix(w, "ed") && hasVowel(w, len(w)-2) {
+		w = w[:len(w)-2]
+		fix = true
+	} else if hasSuffix(w, "ing") && hasVowel(w, len(w)-3) {
+		w = w[:len(w)-3]
+		fix = true
+	}
+	if !fix {
+		return w
+	}
+	switch {
+	case hasSuffix(w, "at"), hasSuffix(w, "bl"), hasSuffix(w, "iz"):
+		return append(w, 'e')
+	case endsDoubleCons(w, len(w)):
+		c := w[len(w)-1]
+		if c != 'l' && c != 's' && c != 'z' {
+			return w[:len(w)-1]
+		}
+	case measure(w, len(w)) == 1 && endsCVC(w, len(w)):
+		return append(w, 'e')
+	}
+	return w
+}
+
+func step1c(w []byte) []byte {
+	if hasSuffix(w, "y") && hasVowel(w, len(w)-1) {
+		w[len(w)-1] = 'i'
+	}
+	return w
+}
+
+var step2Rules = []struct{ suf, rep string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func step2(w []byte) []byte {
+	for _, r := range step2Rules {
+		if hasSuffix(w, r.suf) {
+			w, _ = replaceSuffix(w, r.suf, r.rep, 0)
+			return w
+		}
+	}
+	return w
+}
+
+var step3Rules = []struct{ suf, rep string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func step3(w []byte) []byte {
+	for _, r := range step3Rules {
+		if hasSuffix(w, r.suf) {
+			w, _ = replaceSuffix(w, r.suf, r.rep, 0)
+			return w
+		}
+	}
+	return w
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func step4(w []byte) []byte {
+	for _, suf := range step4Suffixes {
+		if !hasSuffix(w, suf) {
+			continue
+		}
+		stem := len(w) - len(suf)
+		if suf == "ion" {
+			if stem > 0 && (w[stem-1] == 's' || w[stem-1] == 't') && measure(w, stem) > 1 {
+				return w[:stem]
+			}
+			continue
+		}
+		if measure(w, stem) > 1 {
+			return w[:stem]
+		}
+		return w // longest matching suffix decides; do not try shorter ones
+	}
+	return w
+}
+
+func step5a(w []byte) []byte {
+	if hasSuffix(w, "e") {
+		stem := len(w) - 1
+		m := measure(w, stem)
+		if m > 1 || (m == 1 && !endsCVC(w, stem)) {
+			return w[:stem]
+		}
+	}
+	return w
+}
+
+func step5b(w []byte) []byte {
+	if measure(w, len(w)) > 1 && endsDoubleCons(w, len(w)) && w[len(w)-1] == 'l' {
+		return w[:len(w)-1]
+	}
+	return w
+}

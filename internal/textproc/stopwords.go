@@ -1,0 +1,39 @@
+package textproc
+
+// stopwords is the English stopword list used by the EIL analyzers. It is
+// the classic Van Rijsbergen-derived list trimmed to words that actually
+// occur in business correspondence; domain acronyms are never stopwords.
+var stopwords = map[string]struct{}{}
+
+func init() {
+	for _, w := range []string{
+		"a", "about", "above", "after", "again", "against", "all", "am",
+		"an", "and", "any", "are", "as", "at", "be", "because", "been",
+		"before", "being", "below", "between", "both", "but", "by", "can",
+		"cannot", "could", "did", "do", "does", "doing", "down", "during",
+		"each", "few", "for", "from", "further", "had", "has", "have",
+		"having", "he", "her", "here", "hers", "herself", "him", "himself",
+		"his", "how", "i", "if", "in", "into", "is", "it", "its", "itself",
+		"me", "more", "most", "my", "myself", "no", "nor", "not", "of",
+		"off", "on", "once", "only", "or", "other", "ought", "our", "ours",
+		"ourselves", "out", "over", "own", "same", "she", "should", "so",
+		"some", "such", "than", "that", "the", "their", "theirs", "them",
+		"themselves", "then", "there", "these", "they", "this", "those",
+		"through", "to", "too", "under", "until", "up", "very", "was", "we",
+		"were", "what", "when", "where", "which", "while", "who", "whom",
+		"why", "with", "would", "you", "your", "yours", "yourself",
+		"yourselves",
+	} {
+		stopwords[w] = struct{}{}
+	}
+}
+
+// IsStopword reports whether the lowercase term is an English stopword.
+func IsStopword(term string) bool {
+	_, ok := stopwords[term]
+	return ok
+}
+
+// StopwordCount returns the size of the stopword list (exported for tests
+// and documentation).
+func StopwordCount() int { return len(stopwords) }

@@ -1,0 +1,216 @@
+// Package textproc provides the text-processing primitives used throughout
+// EIL: tokenization, case and Unicode normalization, stopword filtering,
+// Porter stemming, and sentence splitting. Every higher layer (the full-text
+// index, the SIAPI query parser, and the annotators) funnels text through
+// this package so that query-time and index-time analysis agree exactly.
+package textproc
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Token is a single lexical unit produced by the tokenizer. It records the
+// surface form, its normalized (lowercased, stemmed if requested) term, and
+// the byte offsets of the surface form in the original text so annotators can
+// map analysis results back onto documents.
+type Token struct {
+	Surface string // original text slice
+	Term    string // normalized term used for indexing and matching
+	Start   int    // byte offset of Surface in the input
+	End     int    // byte offset one past the end of Surface
+	Pos     int    // ordinal position in the token stream (0-based)
+}
+
+// Analyzer bundles a tokenization configuration. The zero value tokenizes on
+// non-alphanumeric boundaries, lowercases, keeps stopwords, and does not stem.
+type Analyzer struct {
+	// Stem applies Porter stemming to each term when true.
+	Stem bool
+	// DropStopwords removes English stopwords from the token stream. Offsets
+	// and Pos values of surviving tokens are preserved, so phrase matching
+	// remains positionally exact for non-stopword terms.
+	DropStopwords bool
+	// KeepAcronyms exempts all-uppercase tokens of length 2..6 (for
+	// example "TSA", "CSE", "EUS") from stemming; they are still
+	// lowercased. When false acronyms are stemmed like any word.
+	KeepAcronyms bool
+}
+
+// DefaultAnalyzer is the configuration used by the EIL document index:
+// stemming on, stopwords dropped, acronyms preserved.
+var DefaultAnalyzer = Analyzer{Stem: true, DropStopwords: true, KeepAcronyms: true}
+
+// QueryAnalyzer must match DefaultAnalyzer so user queries meet the index on
+// equal terms.
+var QueryAnalyzer = DefaultAnalyzer
+
+// isTokenRune reports whether r belongs inside a token. Letters and digits
+// are token runes; everything else separates tokens.
+func isTokenRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Tokenize splits text into tokens under the analyzer's configuration.
+// It is allocation-conscious: the token slice grows geometrically and
+// surfaces are substrings of the input (no copying).
+func (a Analyzer) Tokenize(text string) []Token {
+	tokens := make([]Token, 0, len(text)/6+4)
+	pos := 0
+	i := 0
+	for i < len(text) {
+		// Skip separators. ASCII fast path.
+		for i < len(text) {
+			c := text[i]
+			if c < 0x80 {
+				if isASCIITokenByte(c) {
+					break
+				}
+				i++
+				continue
+			}
+			r, size := decodeRune(text[i:])
+			if isTokenRune(r) {
+				break
+			}
+			i += size
+		}
+		if i >= len(text) {
+			break
+		}
+		start := i
+		for i < len(text) {
+			c := text[i]
+			if c < 0x80 {
+				if !isASCIITokenByte(c) {
+					break
+				}
+				i++
+				continue
+			}
+			r, size := decodeRune(text[i:])
+			if !isTokenRune(r) {
+				break
+			}
+			i += size
+		}
+		surface := text[start:i]
+		term := strings.ToLower(surface)
+		if a.DropStopwords && IsStopword(term) {
+			pos++ // keep positional gaps so phrases spanning stopwords stay honest
+			continue
+		}
+		if a.Stem && !(a.KeepAcronyms && isAcronym(surface)) {
+			term = Stem(term)
+		}
+		tokens = append(tokens, Token{Surface: surface, Term: term, Start: start, End: i, Pos: pos})
+		pos++
+	}
+	return tokens
+}
+
+// Terms returns just the normalized terms of the token stream, in order.
+func (a Analyzer) Terms(text string) []string {
+	toks := a.Tokenize(text)
+	terms := make([]string, len(toks))
+	for i, t := range toks {
+		terms[i] = t.Term
+	}
+	return terms
+}
+
+// NormalizeTerm applies the analyzer's per-term normalization (lowercase and
+// optional stemming) to a single word, without tokenizing. Use it to prepare
+// individual query terms.
+func (a Analyzer) NormalizeTerm(word string) string {
+	word = strings.TrimSpace(word)
+	term := strings.ToLower(word)
+	if a.Stem && !(a.KeepAcronyms && isAcronym(word)) {
+		term = Stem(term)
+	}
+	return term
+}
+
+// isAcronym reports whether the surface form looks like a domain acronym:
+// all uppercase ASCII letters, length 2 through 6 (TSA, CSE, EUS, BCRS...).
+// Acronyms are exempted from stemming so "EUS" never collides with a stemmed
+// English word.
+func isAcronym(surface string) bool {
+	if len(surface) < 2 || len(surface) > 6 {
+		return false
+	}
+	for i := 0; i < len(surface); i++ {
+		if surface[i] < 'A' || surface[i] > 'Z' {
+			return false
+		}
+	}
+	return true
+}
+
+func isASCIITokenByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// decodeRune decodes the first rune of s.
+func decodeRune(s string) (rune, int) {
+	return utf8.DecodeRuneInString(s)
+}
+
+// SplitSentences breaks text into sentences on '.', '!', '?' and newline
+// boundaries, trimming whitespace. It is deliberately simple: EIL annotators
+// only need sentence granularity for heuristic windows, not linguistic
+// perfection.
+func SplitSentences(text string) []string {
+	var out []string
+	start := 0
+	flush := func(end int) {
+		s := strings.TrimSpace(text[start:end])
+		if s != "" {
+			out = append(out, s)
+		}
+	}
+	for i := 0; i < len(text); i++ {
+		switch text[i] {
+		case '.', '!', '?':
+			// Don't split inside common abbreviations like "e.g." or an
+			// email/host name: require following whitespace or EOT.
+			if i+1 < len(text) && !isSpaceByte(text[i+1]) {
+				continue
+			}
+			flush(i + 1)
+			start = i + 1
+		case '\n':
+			flush(i)
+			start = i + 1
+		}
+	}
+	flush(len(text))
+	return out
+}
+
+func isSpaceByte(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+// FoldWhitespace collapses runs of whitespace into single spaces and trims
+// the ends. Annotators use it to normalize extracted field values.
+func FoldWhitespace(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	space := false
+	wrote := false
+	for _, r := range s {
+		if unicode.IsSpace(r) {
+			space = wrote
+			continue
+		}
+		if space {
+			b.WriteByte(' ')
+			space = false
+		}
+		b.WriteRune(r)
+		wrote = true
+	}
+	return b.String()
+}

@@ -1,0 +1,360 @@
+package textproc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	a := Analyzer{}
+	toks := a.Tokenize("Hello, World! 42 times.")
+	want := []string{"hello", "world", "42", "times"}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %+v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Term != w {
+			t.Errorf("token %d: got %q want %q", i, toks[i].Term, w)
+		}
+	}
+}
+
+func TestTokenizeOffsets(t *testing.T) {
+	a := Analyzer{}
+	text := "alpha beta  gamma"
+	for _, tok := range a.Tokenize(text) {
+		if got := text[tok.Start:tok.End]; got != tok.Surface {
+			t.Errorf("offset mismatch: slice %q vs surface %q", got, tok.Surface)
+		}
+	}
+}
+
+func TestTokenizePositionsMonotonic(t *testing.T) {
+	a := DefaultAnalyzer
+	toks := a.Tokenize("the quick brown fox and the lazy dog")
+	last := -1
+	for _, tok := range toks {
+		if tok.Pos <= last {
+			t.Fatalf("positions not strictly increasing: %v", toks)
+		}
+		last = tok.Pos
+	}
+	// "the" and "and" are stopwords; positions of surviving tokens must keep
+	// gaps so "quick brown" stays adjacent but "fox lazy" does not.
+	if toks[0].Term != "quick" || toks[0].Pos != 1 {
+		t.Errorf("first surviving token = %+v, want quick at pos 1", toks[0])
+	}
+}
+
+func TestTokenizeStopwords(t *testing.T) {
+	a := Analyzer{DropStopwords: true}
+	terms := a.Terms("the deal is in the scope of the engagement")
+	for _, term := range terms {
+		if IsStopword(term) {
+			t.Errorf("stopword %q survived", term)
+		}
+	}
+	if len(terms) != 3 { // deal, scope, engagement
+		t.Errorf("got %v, want 3 content terms", terms)
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	a := Analyzer{}
+	terms := a.Terms("café Zürich naïve")
+	if len(terms) != 3 {
+		t.Fatalf("got %v", terms)
+	}
+	if terms[0] != "café" || terms[1] != "zürich" {
+		t.Errorf("unicode terms mangled: %v", terms)
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	a := DefaultAnalyzer
+	if toks := a.Tokenize(""); len(toks) != 0 {
+		t.Errorf("empty input produced %v", toks)
+	}
+	if toks := a.Tokenize("   \t\n  ,;!"); len(toks) != 0 {
+		t.Errorf("separator-only input produced %v", toks)
+	}
+}
+
+func TestAcronymNotStemmed(t *testing.T) {
+	a := DefaultAnalyzer
+	terms := a.Terms("EUS services TSA roles")
+	// "EUS" must stay "eus" (not stemmed to "eu"); "services" stems to "servic".
+	found := map[string]bool{}
+	for _, term := range terms {
+		found[term] = true
+	}
+	if !found["eus"] {
+		t.Errorf("acronym EUS was altered: %v", terms)
+	}
+	if !found["servic"] {
+		t.Errorf("services not stemmed: %v", terms)
+	}
+	if !found["tsa"] {
+		t.Errorf("acronym TSA was altered: %v", terms)
+	}
+}
+
+func TestNormalizeTermAgreesWithTokenize(t *testing.T) {
+	a := DefaultAnalyzer
+	for _, w := range []string{"Services", "replication", "EUS", "Storage", "engagements"} {
+		toks := a.Tokenize(w)
+		if len(toks) != 1 {
+			t.Fatalf("tokenize(%q) = %v", w, toks)
+		}
+		if got := a.NormalizeTerm(w); got != toks[0].Term {
+			t.Errorf("NormalizeTerm(%q)=%q, Tokenize=%q", w, got, toks[0].Term)
+		}
+	}
+}
+
+func TestStemKnownPairs(t *testing.T) {
+	// Spot vectors from Porter's published test set.
+	pairs := map[string]string{
+		"caresses":       "caress",
+		"ponies":         "poni",
+		"ties":           "ti",
+		"caress":         "caress",
+		"cats":           "cat",
+		"feed":           "feed",
+		"agreed":         "agre",
+		"plastered":      "plaster",
+		"bled":           "bled",
+		"motoring":       "motor",
+		"sing":           "sing",
+		"conflated":      "conflat",
+		"troubled":       "troubl",
+		"sized":          "size",
+		"hopping":        "hop",
+		"tanned":         "tan",
+		"falling":        "fall",
+		"hissing":        "hiss",
+		"fizzed":         "fizz",
+		"failing":        "fail",
+		"filing":         "file",
+		"happy":          "happi",
+		"sky":            "sky",
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		"triplicate":     "triplic",
+		"formative":      "form",
+		"formalize":      "formal",
+		"electriciti":    "electr",
+		"electrical":     "electr",
+		"hopeful":        "hope",
+		"goodness":       "good",
+		"revival":        "reviv",
+		"allowance":      "allow",
+		"inference":      "infer",
+		"airliner":       "airlin",
+		"gyroscopic":     "gyroscop",
+		"adjustable":     "adjust",
+		"defensible":     "defens",
+		"irritant":       "irrit",
+		"replacement":    "replac",
+		"adjustment":     "adjust",
+		"dependent":      "depend",
+		"adoption":       "adopt",
+		"homologou":      "homolog",
+		"communism":      "commun",
+		"activate":       "activ",
+		"angulariti":     "angular",
+		"homologous":     "homolog",
+		"effective":      "effect",
+		"bowdlerize":     "bowdler",
+		"probate":        "probat",
+		"rate":           "rate",
+		"cease":          "ceas",
+		"controll":       "control",
+		"roll":           "roll",
+		"replication":    "replic",
+		"storage":        "storag",
+		"services":       "servic",
+		"engagement":     "engag",
+	}
+	for in, want := range pairs {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortWordsUnchanged(t *testing.T) {
+	for _, w := range []string{"", "a", "at", "be", "is"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemNonAlphaUnchanged(t *testing.T) {
+	for _, w := range []string{"abc123", "x-ray", "über"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemIdempotentish(t *testing.T) {
+	// Porter is not strictly idempotent, but double-stemming must never
+	// panic or grow the word.
+	err := quick.Check(func(s string) bool {
+		w := strings.ToLower(s)
+		once := Stem(w)
+		twice := Stem(once)
+		return len(twice) <= len(once)+1
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenizeNeverPanicsProperty(t *testing.T) {
+	a := DefaultAnalyzer
+	err := quick.Check(func(s string) bool {
+		toks := a.Tokenize(s)
+		for _, tok := range toks {
+			if tok.Start < 0 || tok.End > len(s) || tok.Start >= tok.End {
+				return false
+			}
+			if tok.Term == "" {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenizeTermsLowercaseProperty(t *testing.T) {
+	a := Analyzer{} // no stemming: terms must be exactly lowercased surfaces
+	err := quick.Check(func(s string) bool {
+		for _, tok := range a.Tokenize(s) {
+			if tok.Term != strings.ToLower(tok.Surface) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitSentences(t *testing.T) {
+	got := SplitSentences("First point. Second point! Third?\nFourth line")
+	want := []string{"First point.", "Second point!", "Third?", "Fourth line"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sentence %d: %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSplitSentencesAbbreviation(t *testing.T) {
+	got := SplitSentences("Contact john.smith@abc.com for details. Thanks.")
+	if len(got) != 2 {
+		t.Fatalf("email address split a sentence: %v", got)
+	}
+}
+
+func TestFoldWhitespace(t *testing.T) {
+	cases := map[string]string{
+		"  a   b\t\nc ": "a b c",
+		"":              "",
+		"   ":           "",
+		"single":        "single",
+	}
+	for in, want := range cases {
+		if got := FoldWhitespace(in); got != want {
+			t.Errorf("FoldWhitespace(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFoldWhitespaceProperty(t *testing.T) {
+	err := quick.Check(func(s string) bool {
+		out := FoldWhitespace(s)
+		if strings.Contains(out, "  ") {
+			return false
+		}
+		if out != strings.TrimSpace(out) {
+			return false
+		}
+		// No non-space content may be lost.
+		strip := func(r rune) rune {
+			if unicode.IsSpace(r) {
+				return -1
+			}
+			return r
+		}
+		return strings.Map(strip, s) == strings.Map(strip, out)
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	for _, w := range []string{"the", "and", "of"} {
+		if !IsStopword(w) {
+			t.Errorf("%q should be a stopword", w)
+		}
+	}
+	for _, w := range []string{"deal", "tsa", "storage", ""} {
+		if IsStopword(w) {
+			t.Errorf("%q must not be a stopword", w)
+		}
+	}
+	if StopwordCount() < 100 {
+		t.Errorf("stopword list suspiciously small: %d", StopwordCount())
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	text := strings.Repeat("The engagement scope includes Storage Management Services and data replication across towers. ", 50)
+	a := DefaultAnalyzer
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Tokenize(text)
+	}
+}
+
+func BenchmarkStem(b *testing.B) {
+	words := []string{"replication", "engagements", "services", "relational", "organizations"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Stem(words[i%len(words)])
+	}
+}

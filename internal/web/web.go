@@ -1,0 +1,341 @@
+// Package web serves EIL over HTTP: a minimal HTML front-end standing in
+// for the paper's Lotus Notes GUI, plus a JSON API. Authentication is
+// simulated through the X-EIL-User and X-EIL-Roles headers (the paper's
+// front-end delegates to the enterprise SSO); authorization is the real
+// access-control component.
+package web
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/access"
+	"repro/internal/core"
+)
+
+// Handler serves the EIL UI and API for one system.
+func Handler(sys *eil.System) http.Handler {
+	h := &handler{sys: sys}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", h.home)
+	mux.HandleFunc("/deal", h.dealPage)
+	mux.HandleFunc("/api/search", h.apiSearch)
+	mux.HandleFunc("/api/deal", h.apiDeal)
+	mux.HandleFunc("/api/keyword", h.apiKeyword)
+	mux.HandleFunc("/api/qlog", h.apiQueryLog)
+	mux.HandleFunc("/api/explore", h.apiExplore)
+	mux.HandleFunc("/api/similar", h.apiSimilar)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+type handler struct {
+	sys *eil.System
+}
+
+// userFrom reconstructs the principal from the simulated SSO headers. An
+// anonymous request gets the sales role (the community the system serves).
+func userFrom(r *http.Request) access.User {
+	u := access.User{ID: r.Header.Get("X-EIL-User"), Name: r.Header.Get("X-EIL-User")}
+	if u.ID == "" {
+		u.ID = "anonymous"
+	}
+	roles := r.Header.Get("X-EIL-Roles")
+	if roles == "" {
+		roles = string(access.RoleSales)
+	}
+	for _, role := range strings.Split(roles, ",") {
+		if role = strings.TrimSpace(role); role != "" {
+			u.Roles = append(u.Roles, access.Role(role))
+		}
+	}
+	return u
+}
+
+// formQuery builds a FormQuery from request parameters (shared by the HTML
+// and JSON endpoints).
+func formQuery(r *http.Request) core.FormQuery {
+	get := func(k string) string { return strings.TrimSpace(r.FormValue(k)) }
+	words := func(k string) []string {
+		f := strings.Fields(get(k))
+		if len(f) == 0 {
+			return nil
+		}
+		return f
+	}
+	q := core.FormQuery{
+		Tower:       get("tower"),
+		SubTower:    get("subtower"),
+		Industry:    get("industry"),
+		Consultant:  get("consultant"),
+		Geography:   get("geography"),
+		Country:     get("country"),
+		AllWords:    words("all"),
+		ExactPhrase: get("exact"),
+		AnyWords:    words("any"),
+		NoneWords:   words("none"),
+		PersonName:  get("person"),
+		PersonOrg:   get("org"),
+		Target:      core.TextTarget(get("target")),
+	}
+	if n, err := strconv.Atoi(get("limit")); err == nil && n > 0 {
+		q.Limit = n
+	}
+	return q
+}
+
+func (h *handler) apiSearch(w http.ResponseWriter, r *http.Request) {
+	q := formQuery(r)
+	res, err := h.sys.Search(userFrom(r), q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (h *handler) apiDeal(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimSpace(r.FormValue("id"))
+	if id == "" {
+		http.Error(w, "missing id", http.StatusBadRequest)
+		return
+	}
+	deal, err := h.sys.Deal(userFrom(r), id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, deal)
+}
+
+func (h *handler) apiKeyword(w http.ResponseWriter, r *http.Request) {
+	q := strings.TrimSpace(r.FormValue("q"))
+	if q == "" {
+		http.Error(w, "missing q", http.StatusBadRequest)
+		return
+	}
+	limit := 20
+	if n, err := strconv.Atoi(r.FormValue("limit")); err == nil && n > 0 {
+		limit = n
+	}
+	writeJSON(w, map[string]any{
+		"count": h.sys.KeywordCount(q),
+		"hits":  h.sys.KeywordSearch(q, limit),
+	})
+}
+
+// apiExplore drills into one activity's documents.
+func (h *handler) apiExplore(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimSpace(r.FormValue("id"))
+	if id == "" {
+		http.Error(w, "missing id", http.StatusBadRequest)
+		return
+	}
+	hits, err := h.sys.Explore(userFrom(r), id, formQuery(r))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusForbidden)
+		return
+	}
+	writeJSON(w, hits)
+}
+
+// apiSimilar lists activities similar to one activity.
+func (h *handler) apiSimilar(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimSpace(r.FormValue("id"))
+	if id == "" {
+		http.Error(w, "missing id", http.StatusBadRequest)
+		return
+	}
+	k := 5
+	if n, err := strconv.Atoi(r.FormValue("k")); err == nil && n > 0 {
+		k = n
+	}
+	hits, err := h.sys.SimilarDeals(userFrom(r), id, k)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, hits)
+}
+
+// apiQueryLog summarizes the query log (404 when logging is off).
+func (h *handler) apiQueryLog(w http.ResponseWriter, r *http.Request) {
+	if h.sys.QueryLog == nil {
+		http.Error(w, "query logging disabled", http.StatusNotFound)
+		return
+	}
+	topK := 10
+	if n, err := strconv.Atoi(r.FormValue("top")); err == nil && n > 0 {
+		topK = n
+	}
+	writeJSON(w, h.sys.QueryLog.Summarize(topK))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+var homeTmpl = template.Must(template.New("home").Parse(`<!doctype html>
+<html><head><title>EIL — Enterprise Information Leverage</title>
+<style>
+ body{font-family:sans-serif;margin:2em;max-width:70em}
+ fieldset{margin-bottom:1em} label{display:inline-block;width:11em}
+ .deal{border:1px solid #ccc;margin:.6em 0;padding:.6em}
+ .towers{color:#046} .score{color:#666;font-size:.85em}
+ .doc{margin-left:1.5em;font-size:.9em} em{background:#ffc}
+</style></head><body>
+<h1>EIL Search Editor</h1>
+<form method="get" action="/">
+<fieldset><legend>Find deals with these characteristics</legend>
+ <label>Tower / Sub tower</label><input name="tower" value="{{.Q.Tower}}"><br>
+ <label>Sector / Industry</label><input name="industry" value="{{.Q.Industry}}"><br>
+ <label>Out Sourcing Consultant</label><input name="consultant" value="{{.Q.Consultant}}"><br>
+ <label>Geography / Country</label><input name="geography" value="{{.Q.Geography}}">
+</fieldset>
+<fieldset><legend>with this text</legend>
+ <label>all of these words</label><input name="all"><br>
+ <label>the exact phrase</label><input name="exact" value="{{.Q.ExactPhrase}}"><br>
+ <label>any of these words</label><input name="any"><br>
+ <label>none of these words</label><input name="none">
+</fieldset>
+<fieldset><legend>with these people and/or skills</legend>
+ <label>Organization</label><input name="org" value="{{.Q.PersonOrg}}"><br>
+ <label>Name</label><input name="person" value="{{.Q.PersonName}}">
+</fieldset>
+<button>Search</button></form>
+{{if .Suggestions}}<p>Did you mean: {{range $i, $s := .Suggestions}}{{if $i}}, {{end}}<a href="/?tower={{$s}}">{{$s}}</a>{{end}}?</p>{{end}}
+{{if .Ran}}
+<h2>{{len .Activities}} relevant business activities</h2>
+{{range .Activities}}
+ <div class="deal"><strong><a href="/deal?id={{.DealID}}">{{.DealID}}</a></strong> <span class="score">score {{printf "%.2f" .Score}} ({{.Level}})</span><br>
+ {{if .Synopsis}}<span class="towers">{{range $i, $t := .Synopsis.Towers}}{{if $i}}, {{end}}{{$t.Tower}}{{if $t.SubTower}} / {{$t.SubTower}}{{end}}{{end}}</span>
+ — {{.Synopsis.Overview.Industry}}; {{.Synopsis.Overview.Consultant}}; {{.Synopsis.Overview.TCVBand}}{{end}}
+ {{range .Docs}}<div class="doc">{{printf "%.2f" .Score}} <strong>{{.Title}}</strong> — {{.SnippetHTML}}</div>{{end}}
+ </div>
+{{end}}
+{{end}}
+</body></html>`))
+
+type homeData struct {
+	Q           core.FormQuery
+	Ran         bool
+	Activities  []viewActivity
+	Suggestions []string
+}
+
+type viewActivity struct {
+	core.Activity
+	Docs []viewDoc
+}
+
+type viewDoc struct {
+	Title       string
+	Score       float64
+	SnippetHTML template.HTML
+}
+
+func (h *handler) home(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	q := formQuery(r)
+	data := homeData{Q: q}
+	if q.HasConcepts() || q.HasText() {
+		res, err := h.sys.Search(userFrom(r), q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		data.Ran = true
+		data.Suggestions = res.Suggestions
+		for _, a := range res.Activities {
+			va := viewActivity{Activity: a}
+			for _, d := range a.Docs {
+				va.Docs = append(va.Docs, viewDoc{
+					Title: d.Title,
+					Score: d.Score,
+					// Snippets wrap matches in <em>; the rest of the text
+					// is escaped before the tags are re-introduced.
+					SnippetHTML: highlightHTML(d.Snippet),
+				})
+			}
+			data.Activities = append(data.Activities, va)
+		}
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := homeTmpl.Execute(w, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+var dealTmpl = template.Must(template.New("deal").Parse(`<!doctype html>
+<html><head><title>{{.Overview.DealID}} — EIL Synopsis</title>
+<style>
+ body{font-family:sans-serif;margin:2em;max-width:70em}
+ h2{border-bottom:1px solid #ccc} table{border-collapse:collapse}
+ td,th{padding:.25em .8em;text-align:left;border-bottom:1px solid #eee}
+ .towers{color:#046}
+</style></head><body>
+<p><a href="/">&larr; search</a></p>
+<h1>Synopsis for {{.Overview.DealID}}</h1>
+<h2>Overview</h2>
+<table>
+<tr><th>Towers</th><td class="towers">{{range $i, $t := .Towers}}{{if $i}}, {{end}}{{$t.Tower}}{{if $t.SubTower}} / {{$t.SubTower}}{{end}}{{end}}</td></tr>
+<tr><th>Customer name</th><td>{{.Overview.Customer}}</td></tr>
+<tr><th>Industry</th><td>{{.Overview.Industry}}</td></tr>
+<tr><th>Out Sourcing Consultant</th><td>{{.Overview.Consultant}}</td></tr>
+<tr><th>Geography / Country</th><td>{{.Overview.Geography}} / {{.Overview.Country}}</td></tr>
+<tr><th>Contract Term Start</th><td>{{.Overview.TermStart}}</td></tr>
+<tr><th>Term Duration (months)</th><td>{{.Overview.TermMonths}}</td></tr>
+<tr><th>Total Contract Value</th><td>{{.Overview.TCVBand}}</td></tr>
+<tr><th>Is International?</th><td>{{if .Overview.International}}Y{{else}}N{{end}}</td></tr>
+</table>
+<h2>People</h2>
+<table><tr><th>Name</th><th>Role</th><th>Category</th><th>Email</th><th>Phone</th><th>Org</th><th>Validated</th></tr>
+{{range .People}}<tr><td>{{.Name}}</td><td>{{.Role}}</td><td>{{.Category}}</td><td>{{.Email}}</td><td>{{.Phone}}</td><td>{{.Org}}</td><td>{{if .Validated}}yes{{end}}</td></tr>{{end}}
+</table>
+<h2>Win Strategies</h2>
+<ul>{{range .WinStrategies}}<li>{{.}}</li>{{end}}</ul>
+<h2>Client References</h2>
+<ul>{{range .ClientRefs}}<li>{{.}}</li>{{end}}</ul>
+<h2>Technology Solutions</h2>
+<table>{{range $tower, $text := .TechSolutions}}<tr><th>{{$tower}}</th><td>{{$text}}</td></tr>{{end}}</table>
+</body></html>`))
+
+// dealPage renders the Figure 6 synopsis view, subject to access control.
+func (h *handler) dealPage(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimSpace(r.FormValue("id"))
+	if id == "" {
+		http.Error(w, "missing id", http.StatusBadRequest)
+		return
+	}
+	deal, err := h.sys.Deal(userFrom(r), id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := dealTmpl.Execute(w, deal); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// highlightHTML escapes snippet text while preserving the <em> highlight
+// tags the snippet generator produced.
+func highlightHTML(snippet string) template.HTML {
+	esc := template.HTMLEscapeString(snippet)
+	esc = strings.ReplaceAll(esc, "&lt;em&gt;", "<em>")
+	esc = strings.ReplaceAll(esc, "&lt;/em&gt;", "</em>")
+	return template.HTML(esc)
+}

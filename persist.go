@@ -1,0 +1,69 @@
+package eil
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/relstore"
+	"repro/internal/siapi"
+	"repro/internal/synopsis"
+	"repro/internal/taxonomy"
+)
+
+// Snapshot file names inside a system directory.
+const (
+	indexFile   = "index.gob"
+	contextFile = "context.gob"
+)
+
+// Save persists the system (semantic index and business-context database)
+// into dir, creating it if needed. The personnel directory and access
+// grants are runtime configuration and are not persisted.
+func (s *System) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("eil: save: %w", err)
+	}
+	if err := s.Index.SaveFile(filepath.Join(dir, indexFile)); err != nil {
+		return fmt.Errorf("eil: save index: %w", err)
+	}
+	if err := s.Synopses.DB().SaveFile(filepath.Join(dir, contextFile)); err != nil {
+		return fmt.Errorf("eil: save context: %w", err)
+	}
+	return nil
+}
+
+// LoadSystem restores a system saved with Save. The access controller (nil
+// means everyone sees everything) and taxonomy are supplied by the caller.
+func LoadSystem(dir string, ctl *access.Controller) (*System, error) {
+	ix, err := index.LoadFile(filepath.Join(dir, indexFile))
+	if err != nil {
+		return nil, fmt.Errorf("eil: load index: %w", err)
+	}
+	db, err := relstore.LoadFile(filepath.Join(dir, contextFile))
+	if err != nil {
+		return nil, fmt.Errorf("eil: load context: %w", err)
+	}
+	store, err := synopsis.Open(db)
+	if err != nil {
+		return nil, fmt.Errorf("eil: load context: %w", err)
+	}
+	tax := taxonomy.Default()
+	sys := &System{
+		Index:    ix,
+		SIAPI:    siapi.NewEngine(ix),
+		Synopses: store,
+		Taxonomy: tax,
+		Access:   ctl,
+	}
+	sys.Engine = &core.Engine{
+		Synopses: store,
+		Docs:     sys.SIAPI,
+		Access:   ctl,
+		Tax:      tax,
+	}
+	return sys, nil
+}

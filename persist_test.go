@@ -1,0 +1,52 @@
+package eil
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+func TestSystemSaveLoad(t *testing.T) {
+	_, sys := testSystem(t, Options{})
+	dir := t.TempDir()
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSystem(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Index.DocCount() != sys.Index.DocCount() {
+		t.Fatalf("doc count %d vs %d", loaded.Index.DocCount(), sys.Index.DocCount())
+	}
+	// Query equivalence on a concept+text search.
+	q := core.FormQuery{Tower: "Storage Management Services", ExactPhrase: "data replication"}
+	a, err := sys.Search(admin(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Search(admin(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Activities) != len(b.Activities) {
+		t.Fatalf("activities %d vs %d", len(a.Activities), len(b.Activities))
+	}
+	for i := range a.Activities {
+		if a.Activities[i].DealID != b.Activities[i].DealID {
+			t.Fatalf("activity %d: %s vs %s", i, a.Activities[i].DealID, b.Activities[i].DealID)
+		}
+	}
+	// People search still resolves through the restored context DB.
+	res, err := loaded.Search(admin(), core.FormQuery{PersonName: synth.PlantedPerson})
+	if err != nil || len(res.Activities) == 0 {
+		t.Fatalf("people search after load: %v, %v", res.Activities, err)
+	}
+}
+
+func TestLoadSystemMissing(t *testing.T) {
+	if _, err := LoadSystem(t.TempDir(), nil); err == nil {
+		t.Fatal("empty dir loaded")
+	}
+}

@@ -1,0 +1,90 @@
+package eil
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/docmodel"
+	"repro/internal/siapi"
+)
+
+// ErrNotUpdatable is returned by incremental operations on systems restored
+// from disk, whose offline-pipeline state was not persisted.
+var ErrNotUpdatable = errors.New("eil: system restored from snapshot; re-ingest to update")
+
+// AddDocuments incrementally ingests new documents into a live system: each
+// document is analyzed, indexed, and folded into its business activity's
+// accumulated state; affected synopses are rebuilt. This is the continuous-
+// rollout path — the paper's production system keeps incorporating new
+// engagement documents ("more than half a million documents from almost
+// 1000 engagements have been incorporated").
+//
+// Documents are processed serially (incremental batches are small); a
+// document that fails analysis aborts the batch with its error, leaving
+// earlier documents applied.
+func (s *System) AddDocuments(docs []*docmodel.Document) error {
+	if s.builder == nil || s.flow == nil || s.writer == nil {
+		return ErrNotUpdatable
+	}
+	affected := map[string]bool{}
+	var order []string
+	for _, doc := range docs {
+		cas := analysis.NewCAS(doc)
+		if err := s.flow.Process(cas); err != nil {
+			return fmt.Errorf("eil: update %s: %w", doc.Path, err)
+		}
+		if err := s.writer.Consume(cas); err != nil {
+			return fmt.Errorf("eil: update %s: %w", doc.Path, err)
+		}
+		if err := s.builder.Consume(cas); err != nil {
+			return fmt.Errorf("eil: update %s: %w", doc.Path, err)
+		}
+		if doc.DealID != "" && !affected[doc.DealID] {
+			affected[doc.DealID] = true
+			order = append(order, doc.DealID)
+		}
+	}
+	for _, dealID := range order {
+		if err := s.builder.PutDeal(dealID); err != nil {
+			return fmt.Errorf("eil: update synopsis %s: %w", dealID, err)
+		}
+	}
+	return nil
+}
+
+// Compact rebuilds the semantic index without the tombstones that
+// RemoveDeal and document deletions leave behind, and swaps it into the
+// live system. Queries issued concurrently with Compact see either the old
+// or the new index, both of which answer identically.
+func (s *System) Compact() {
+	fresh := s.Index.Compact()
+	s.Index = fresh
+	s.SIAPI = siapi.NewEngine(fresh)
+	s.Engine.Docs = s.SIAPI
+	if s.writer != nil {
+		s.writer.Ix = fresh
+	}
+}
+
+// RemoveDeal withdraws an entire business activity: its documents leave the
+// index, its synopsis is deleted, and its accumulated analysis state is
+// dropped, so a later AddDocuments for the same ID starts clean. It works
+// on restored systems too (no pipeline state is needed to remove).
+func (s *System) RemoveDeal(dealID string) error {
+	if dealID == "" {
+		return errors.New("eil: empty deal id")
+	}
+	for _, path := range s.Index.ExtIDsByMeta("deal", dealID) {
+		if err := s.Index.Delete(path); err != nil {
+			return fmt.Errorf("eil: remove %s: %w", path, err)
+		}
+	}
+	if err := s.Synopses.Delete(dealID); err != nil {
+		return fmt.Errorf("eil: remove synopsis %s: %w", dealID, err)
+	}
+	if s.builder != nil {
+		s.builder.DropDeal(dealID)
+	}
+	return nil
+}

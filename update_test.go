@@ -1,0 +1,243 @@
+package eil
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/docmodel"
+	"repro/internal/docparse"
+	"repro/internal/synth"
+)
+
+func newDealDocs(t *testing.T, dealID string) []*docmodel.Document {
+	t.Helper()
+	files := []struct{ name, content string }{
+		{"overview.txt", "Deal Overview\nCustomer: Nova Corp\nIndustry: Retail\nTotal Contract Value: over 100M\nScope summary: Network Services.\n"},
+		{"scope.deck", "# Services Scope Baseline\n- Network Services\n- Voice Services coverage\n"},
+		{"team.grid", "GRID Deal Team Roster\nName | Role | Email | Phone\nNew Person | CSE | new.person@ibm.com |\n"},
+		{"tsa-1.grid", "GRID Network Services Service Details\nService Item | cross tower TSA | Notes\nNetwork Services item 1 | | pending\n"},
+	}
+	var docs []*docmodel.Document
+	for _, f := range files {
+		doc, err := docparse.Parse(dealID+"/"+f.name, f.content)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc.DealID = dealID
+		docs = append(docs, doc)
+	}
+	return docs
+}
+
+func TestAddDocumentsNewDeal(t *testing.T) {
+	_, sys := testSystem(t, Options{})
+	before := sys.Index.DocCount()
+	docs := newDealDocs(t, "DEAL NEW")
+	if err := sys.AddDocuments(docs); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Index.DocCount(); got != before+len(docs) {
+		t.Fatalf("DocCount = %d, want %d", got, before+len(docs))
+	}
+	deal, err := sys.Synopses.Get("DEAL NEW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deal.Overview.Customer != "Nova Corp" {
+		t.Fatalf("overview = %+v", deal.Overview)
+	}
+	foundNetwork := false
+	for _, tw := range deal.Towers {
+		if tw.Tower == "Network Services" {
+			foundNetwork = true
+		}
+	}
+	if !foundNetwork {
+		t.Fatalf("towers = %+v", deal.Towers)
+	}
+	// The new deal is searchable end to end.
+	res, err := sys.Search(admin(), core.FormQuery{PersonName: "New Person"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Activities) != 1 || res.Activities[0].DealID != "DEAL NEW" {
+		t.Fatalf("activities = %+v", res.Activities)
+	}
+}
+
+func TestAddDocumentsGrowsExistingDeal(t *testing.T) {
+	corpus, sys := testSystem(t, Options{})
+	dealID := corpus.DealIDs[1]
+	before, err := sys.Synopses.Get(dealID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := docparse.Parse(dealID+"/late-roster.grid", `GRID Deal Team Roster
+Name | Role | Email | Phone
+Late Addition | PE | late.addition@ibm.com | 555-9999
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.DealID = dealID
+	if err := sys.AddDocuments([]*docmodel.Document{doc}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := sys.Synopses.Get(dealID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.People) != len(before.People)+1 {
+		t.Fatalf("people %d -> %d, want +1", len(before.People), len(after.People))
+	}
+	found := false
+	for _, p := range after.People {
+		if p.Name == "Late Addition" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("late addition missing: %+v", after.People)
+	}
+}
+
+func TestAddDocumentsDuplicatePathFails(t *testing.T) {
+	corpus, sys := testSystem(t, Options{})
+	dup := corpus.Docs[0]
+	err := sys.AddDocuments([]*docmodel.Document{dup})
+	if err == nil {
+		t.Fatal("duplicate path re-ingested silently")
+	}
+}
+
+func TestRemoveDeal(t *testing.T) {
+	corpus, sys := testSystem(t, Options{})
+	dealID := corpus.DealIDs[0]
+	before := sys.Index.DocCount()
+	removedDocs := len(sys.Index.ExtIDsByMeta("deal", dealID))
+	if removedDocs == 0 {
+		t.Fatal("no docs to remove")
+	}
+	if err := sys.RemoveDeal(dealID); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Index.DocCount(); got != before-removedDocs {
+		t.Fatalf("DocCount = %d, want %d", got, before-removedDocs)
+	}
+	if _, err := sys.Synopses.Get(dealID); err == nil {
+		t.Fatal("synopsis survived removal")
+	}
+	// Search no longer returns the deal.
+	res, err := sys.Search(admin(), core.FormQuery{PersonName: synth.PlantedPerson})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Activities {
+		if a.DealID == dealID {
+			t.Fatal("removed deal still searchable")
+		}
+	}
+	// And it can be re-added cleanly afterwards.
+	if err := sys.AddDocuments(newDealDocs(t, dealID)); err != nil {
+		t.Fatal(err)
+	}
+	deal, err := sys.Synopses.Get(dealID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deal.Overview.Customer != "Nova Corp" {
+		t.Fatalf("re-added deal kept stale state: %+v", deal.Overview)
+	}
+	for _, p := range deal.People {
+		if p.Name == synth.PlantedPerson {
+			t.Fatal("stale contact survived drop + re-add")
+		}
+	}
+}
+
+func TestRemoveDealValidation(t *testing.T) {
+	_, sys := testSystem(t, Options{})
+	if err := sys.RemoveDeal(""); err == nil {
+		t.Fatal("empty id accepted")
+	}
+}
+
+func TestRestoredSystemNotUpdatable(t *testing.T) {
+	_, sys := testSystem(t, Options{})
+	dir := t.TempDir()
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSystem(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = loaded.AddDocuments(newDealDocs(t, "DEAL X"))
+	if !errors.Is(err, ErrNotUpdatable) {
+		t.Fatalf("err = %v", err)
+	}
+	// Removal still works on restored systems.
+	ids, _ := loaded.Synopses.DealIDs()
+	if len(ids) == 0 {
+		t.Fatal("no deals")
+	}
+	if err := loaded.RemoveDeal(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddDocumentsManyBatches(t *testing.T) {
+	_, sys := testSystem(t, Options{})
+	for i := 0; i < 5; i++ {
+		docs := newDealDocs(t, fmt.Sprintf("DEAL BATCH %d", i))
+		if err := sys.AddDocuments(docs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := sys.Synopses.DealIDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, id := range ids {
+		if len(id) > 10 && id[:10] == "DEAL BATCH" {
+			count++
+		}
+	}
+	if count != 5 {
+		t.Fatalf("batch deals = %d", count)
+	}
+}
+
+func TestCompactAfterRemove(t *testing.T) {
+	corpus, sys := testSystem(t, Options{})
+	if err := sys.RemoveDeal(corpus.DealIDs[0]); err != nil {
+		t.Fatal(err)
+	}
+	live := sys.Index.DocCount()
+	q := core.FormQuery{Tower: "End User Services"}
+	before, err := sys.Search(admin(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Compact()
+	if sys.Index.DocCount() != live {
+		t.Fatalf("compact changed live count: %d vs %d", sys.Index.DocCount(), live)
+	}
+	after, err := sys.Search(admin(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before.Activities) != len(after.Activities) {
+		t.Fatalf("compact changed results: %d vs %d", len(before.Activities), len(after.Activities))
+	}
+	// Incremental ingest still works through the swapped index.
+	if err := sys.AddDocuments(newDealDocs(t, "DEAL POST COMPACT")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Synopses.Get("DEAL POST COMPACT"); err != nil {
+		t.Fatal(err)
+	}
+}
