@@ -1,0 +1,154 @@
+// Command eilbench records an ingest+search throughput snapshot through the
+// obs instrumentation: it generates a synthetic corpus, ingests it, runs a
+// mixed form/keyword query workload, and writes a JSON report (summary plus
+// the full metrics snapshot). The committed BENCH_baseline.json was produced
+// by this tool; future performance PRs re-run it to show a trajectory.
+//
+// Usage:
+//
+//	eilbench -deals 23 -noise 610 -queries 500 -out BENCH_baseline.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/synth"
+)
+
+// report is the JSON document eilbench writes.
+type report struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+
+	Ingest struct {
+		Docs        int     `json:"docs"`
+		Deals       int     `json:"deals"`
+		Annotations int     `json:"annotations"`
+		WallSeconds float64 `json:"wall_seconds"`
+		DocsPerSec  float64 `json:"docs_per_sec"`
+	} `json:"ingest"`
+
+	Search struct {
+		Queries       int     `json:"queries"`
+		FormQueries   int     `json:"form_queries"`
+		KeywordHits   int     `json:"keyword_queries"`
+		WallSeconds   float64 `json:"wall_seconds"`
+		QueriesPerSec float64 `json:"queries_per_sec"`
+		P50Seconds    float64 `json:"p50_seconds"`
+		P95Seconds    float64 `json:"p95_seconds"`
+		P99Seconds    float64 `json:"p99_seconds"`
+	} `json:"search"`
+
+	Metrics []obs.Snapshot `json:"metrics"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("eilbench: ")
+	var (
+		deals   = flag.Int("deals", 23, "synthetic corpus size in deals (paper evaluation: 23)")
+		noise   = flag.Int("noise", 610, "noise documents per deal (paper evaluation: ~610)")
+		queries = flag.Int("queries", 500, "workload size (3:1 form-to-keyword mix)")
+		out     = flag.String("out", "", "write the JSON report to this file (default: stdout)")
+	)
+	flag.Parse()
+
+	cfg := synth.EvalConfig()
+	cfg.Deals = *deals
+	cfg.NoiseDocsPerDeal = *noise
+	log.Printf("generating %d deals x ~%d docs...", cfg.Deals, cfg.NoiseDocsPerDeal)
+	corpus, err := synth.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sys, err := eil.Ingest(corpus.Docs, eil.Options{Directory: corpus.Directory})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("ingested %d docs in %v (%.0f docs/sec)",
+		sys.Stats.Docs, sys.Stats.Wall.Round(time.Millisecond), sys.Stats.DocsPerSec())
+
+	// Mixed workload: cycle concept-scoped form queries (with and without
+	// text predicates) and keyword-baseline queries over the taxonomy
+	// vocabulary, so every search stage is exercised.
+	towers := sys.Taxonomy.TowerNames()
+	user := access.User{ID: "bench"}
+	phrases := []string{"data replication", "service desk", "disaster recovery", "asset management"}
+	searchWall := obs.StartTimer()
+	var formN, keywordN int
+	for i := 0; i < *queries; i++ {
+		switch i % 4 {
+		case 0:
+			_, err = sys.Search(user, core.FormQuery{Tower: towers[i%len(towers)]})
+		case 1:
+			_, err = sys.Search(user, core.FormQuery{
+				Tower:       towers[i%len(towers)],
+				ExactPhrase: phrases[i%len(phrases)],
+			})
+		case 2:
+			_, err = sys.Search(user, core.FormQuery{AnyWords: []string{"replication", "outsourcing"}})
+		case 3:
+			sys.KeywordSearch(fmt.Sprintf("%q", phrases[i%len(phrases)]), 20)
+			keywordN++
+			continue
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		formN++
+	}
+	searchElapsed := searchWall.Elapsed()
+
+	var r report
+	r.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	r.GoVersion = runtime.Version()
+	r.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	r.Ingest.Docs = sys.Stats.Docs
+	r.Ingest.Deals = cfg.Deals
+	r.Ingest.Annotations = sys.Stats.Annotations
+	r.Ingest.WallSeconds = sys.Stats.Wall.Seconds()
+	r.Ingest.DocsPerSec = sys.Stats.DocsPerSec()
+	r.Search.Queries = *queries
+	r.Search.FormQueries = formN
+	r.Search.KeywordHits = keywordN
+	r.Search.WallSeconds = searchElapsed.Seconds()
+	r.Search.QueriesPerSec = float64(*queries) / searchElapsed.Seconds()
+	h := sys.Metrics.Histogram("search_seconds", nil)
+	r.Search.P50Seconds = h.Quantile(0.50)
+	r.Search.P95Seconds = h.Quantile(0.95)
+	r.Search.P99Seconds = h.Quantile(0.99)
+	r.Metrics = sys.Metrics.Snapshots()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("search: %d queries in %v (%.0f q/s, p50 %.3gms p95 %.3gms)",
+		*queries, searchElapsed.Round(time.Millisecond), r.Search.QueriesPerSec,
+		r.Search.P50Seconds*1000, r.Search.P95Seconds*1000)
+	if *out != "" {
+		log.Printf("wrote %s", *out)
+	}
+}

@@ -26,14 +26,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("eilingest: ")
 	var (
-		repo      = flag.String("repo", "workbooks", "repository tree to crawl")
-		out       = flag.String("out", "eilsys", "system output directory")
-		personnel = flag.String("personnel", "", "personnel directory file (default: <repo>/personnel.jsonl when present)")
-		workers   = flag.Int("workers", 0, "annotator parallelism (0 = GOMAXPROCS)")
-		blob      = flag.Bool("blob", false, "degrade to structure-blind parsing (the §3.3 ablation)")
-		threshold = flag.Float64("scope-threshold", 0, "override the scope CPE significance threshold")
-		taxFile   = flag.String("taxonomy", "", "custom services taxonomy (JSON; default: built-in IT services vocabulary)")
-		dedup     = flag.Bool("dedup", false, "drop near-duplicate documents before analysis (§3.4 redundancy cleanup)")
+		repo       = flag.String("repo", "workbooks", "repository tree to crawl")
+		out        = flag.String("out", "eilsys", "system output directory")
+		personnel  = flag.String("personnel", "", "personnel directory file (default: <repo>/personnel.jsonl when present)")
+		workers    = flag.Int("workers", 0, "annotator parallelism (0 = GOMAXPROCS)")
+		blob       = flag.Bool("blob", false, "degrade to structure-blind parsing (the §3.3 ablation)")
+		threshold  = flag.Float64("scope-threshold", 0, "override the scope CPE significance threshold")
+		taxFile    = flag.String("taxonomy", "", "custom services taxonomy (JSON; default: built-in IT services vocabulary)")
+		dedup      = flag.Bool("dedup", false, "drop near-duplicate documents before analysis (§3.4 redundancy cleanup)")
+		stats      = flag.Bool("stats", false, "print the per-annotator and per-CPE wall-time breakdown")
+		metricsOut = flag.String("metrics-out", "", "write the ingest metrics snapshot (JSON) to this file")
 	)
 	flag.Parse()
 
@@ -91,6 +93,29 @@ func main() {
 	if sys.Stats.Failed > 0 {
 		log.Printf("warning: %d documents failed analysis", sys.Stats.Failed)
 	}
+	if *stats {
+		for _, st := range sys.Stats.Annotators {
+			log.Printf("  annotator %-22s %8s over %d docs (%d failed)",
+				st.Name, st.Wall.Round(time.Microsecond), st.Docs, st.Failed)
+		}
+		for _, st := range sys.Stats.Consumers {
+			log.Printf("  cpe       %-22s %8s over %d docs",
+				st.Name, st.Wall.Round(time.Microsecond), st.Docs)
+		}
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Metrics.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote metrics snapshot to %s", *metricsOut)
+	}
 	if err := sys.Save(*out); err != nil {
 		log.Fatal(err)
 	}
@@ -98,6 +123,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("ingested %d documents (%d annotations) across %d business activities in %v; saved to %s",
-		sys.Index.DocCount(), sys.Stats.Annotations, len(ids), time.Since(start).Round(time.Millisecond), *out)
+	log.Printf("ingested %d documents (%d annotations) across %d business activities in %v (%.0f docs/sec); saved to %s",
+		sys.Index.DocCount(), sys.Stats.Annotations, len(ids), time.Since(start).Round(time.Millisecond),
+		sys.Stats.DocsPerSec(), *out)
 }

@@ -2,16 +2,28 @@
 // Notes GUI substitute) and a JSON API. It loads a persisted system or, with
 // -demo, generates and ingests a synthetic corpus on startup.
 //
+// Observability: every route is wrapped with request/latency metrics,
+// served at /metrics (Prometheus text exposition) and /api/metrics (JSON);
+// -pprof mounts net/http/pprof under /debug/pprof/; -access-log emits one
+// structured log line per request. SIGINT/SIGTERM drain in-flight requests
+// before exit so metrics and query-log state are not torn down mid-request.
+//
 // Usage:
 //
 //	eilserver -sys ./eilsys -addr :8080
-//	eilserver -demo -addr :8080
+//	eilserver -demo -addr :8080 -pprof -access-log
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro"
@@ -25,11 +37,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("eilserver: ")
 	var (
-		sysDir = flag.String("sys", "eilsys", "system directory written by eilingest")
-		addr   = flag.String("addr", ":8080", "listen address")
-		demo   = flag.Bool("demo", false, "ignore -sys; generate and ingest a demo corpus")
-		secure = flag.Bool("access-control", false, "enforce role-based access (default: everyone sees everything)")
-		logCap = flag.Int("querylog", 1024, "query-log capacity (0 disables; summary at /api/qlog)")
+		sysDir    = flag.String("sys", "eilsys", "system directory written by eilingest")
+		addr      = flag.String("addr", ":8080", "listen address")
+		demo      = flag.Bool("demo", false, "ignore -sys; generate and ingest a demo corpus")
+		secure    = flag.Bool("access-control", false, "enforce role-based access (default: everyone sees everything)")
+		logCap    = flag.Int("querylog", 1024, "query-log capacity (0 disables; summary at /api/qlog)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		accessLog = flag.Bool("access-log", false, "log every request (structured, to stderr)")
+		drain     = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain window")
 	)
 	flag.Parse()
 
@@ -51,7 +66,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("ingested %d documents in %v", sys.Index.DocCount(), time.Since(start).Round(time.Millisecond))
+		log.Printf("ingested %d documents in %v (%.0f docs/sec)",
+			sys.Index.DocCount(), time.Since(start).Round(time.Millisecond), sys.Stats.DocsPerSec())
 	} else {
 		sys, err = eil.LoadSystem(*sysDir, ctl)
 		if err != nil {
@@ -65,11 +81,41 @@ func main() {
 		sys.QueryLog = qlog.New(*logCap)
 	}
 
+	var opts []web.Option
+	if *pprofOn {
+		opts = append(opts, web.WithPprof())
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
+	if *accessLog {
+		opts = append(opts, web.WithAccessLog(slog.New(slog.NewTextHandler(os.Stderr, nil))))
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           web.Handler(sys),
+		Handler:           web.Handler(sys, opts...),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (metrics at /metrics)", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills us
+		log.Printf("shutting down, draining for up to %v...", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("shutdown: %v", err)
+		}
+		log.Printf("bye")
+	}
 }

@@ -29,6 +29,7 @@ import (
 	"repro/internal/directory"
 	"repro/internal/docmodel"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/qlog"
 	"repro/internal/relstore"
 	"repro/internal/siapi"
@@ -71,6 +72,10 @@ type Options struct {
 	// Access supplies the access controller; nil grants everyone full
 	// access (offline evaluation mode).
 	Access *access.Controller
+	// Metrics is the registry ingest and search telemetry is recorded into;
+	// nil creates a fresh registry (exposed as System.Metrics). Supply one
+	// to share a registry across systems or with other subsystems.
+	Metrics *obs.Registry
 }
 
 // System is an ingested EIL instance ready to answer queries.
@@ -88,6 +93,10 @@ type System struct {
 	// telemetry behind the paper's "additional evaluation" improvement
 	// loop).
 	QueryLog *qlog.Log
+	// Metrics holds the system's counters, gauges, and latency histograms:
+	// ingest_* from the offline pipeline, search_* from the online path,
+	// and (when served through internal/web) http_* from the HTTP layer.
+	Metrics *obs.Registry
 	// Duplicates lists the redundant documents the dedup pre-pass dropped
 	// (empty unless Options.Dedup was set).
 	Duplicates []string
@@ -138,11 +147,16 @@ func IngestFrom(reader analysis.CollectionReader, opts Options) (*System, error)
 		}
 	}
 
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = obs.NewRegistry()
+	}
 	pipe := &analysis.Pipeline{
 		Reader:    reader,
 		Annotator: annotators.NewEILFlow(tax),
 		Consumers: []analysis.Consumer{writer, builder},
 		Workers:   opts.Workers,
+		Metrics:   metrics,
 	}
 	if opts.BlobParsing {
 		// The blob flow also degrades the social annotator.
@@ -165,6 +179,7 @@ func IngestFrom(reader analysis.CollectionReader, opts Options) (*System, error)
 		Directory:  opts.Directory,
 		Stats:      stats,
 		Duplicates: duplicates,
+		Metrics:    metrics,
 		flow:       pipe.Annotator,
 		builder:    builder,
 		writer:     writer,
@@ -175,6 +190,7 @@ func IngestFrom(reader analysis.CollectionReader, opts Options) (*System, error)
 		Access:         opts.Access,
 		Tax:            tax,
 		DisableScoping: opts.DisableScoping,
+		Metrics:        metrics,
 	}
 	return sys, nil
 }
@@ -258,6 +274,7 @@ func entityFlow(tax *taxonomy.Taxonomy) analysis.Annotator {
 
 // Search runs a business-activity driven search for the user (Figure 1).
 func (s *System) Search(user access.User, q core.FormQuery) (core.Result, error) {
+	t := obs.StartTimer()
 	res, err := s.Engine.Search(user, q)
 	if err == nil && s.QueryLog != nil {
 		s.QueryLog.Record(qlog.Entry{
@@ -267,6 +284,7 @@ func (s *System) Search(user access.User, q core.FormQuery) (core.Result, error)
 			Concepts:   formConcepts(q),
 			Activities: len(res.Activities),
 			Fallback:   res.UnscopedFallback,
+			Latency:    t.Elapsed(),
 		})
 	}
 	return res, err
@@ -307,12 +325,19 @@ func formConcepts(q core.FormQuery) []string {
 // documents, not activities, with no business context. Quoted phrases and
 // -exclusions are honored.
 func (s *System) KeywordSearch(query string, limit int) []siapi.DocHit {
-	hits := s.SIAPI.Search(siapi.ParseKeywords(query), limit)
+	kq := siapi.ParseKeywords(query)
+	t := obs.StartTimer()
+	hits := s.SIAPI.Search(kq, limit)
+	latency := t.Elapsed()
 	if s.QueryLog != nil {
+		// Log the true match count, not len(hits): the returned page is
+		// truncated by limit, which would distort zero-result and volume
+		// analytics.
 		s.QueryLog.Record(qlog.Entry{
 			Kind:       qlog.KindKeyword,
 			Summary:    query,
-			Activities: len(hits),
+			Activities: s.SIAPI.Count(kq),
+			Latency:    latency,
 		})
 	}
 	return hits

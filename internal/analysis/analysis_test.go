@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/docmodel"
+	"repro/internal/obs"
 )
 
 func doc(path, body string) *docmodel.Document {
@@ -226,5 +227,81 @@ func TestSliceReaderEOF(t *testing.T) {
 	r := &SliceReader{}
 	if _, err := r.Next(); err == nil {
 		t.Fatal("expected EOF")
+	}
+}
+
+func TestPipelineStageStats(t *testing.T) {
+	var docs []*docmodel.Document
+	for i := 0; i < 10; i++ {
+		docs = append(docs, doc(fmt.Sprintf("doc%02d", i), "body"))
+	}
+	flow := &Aggregate{ID: "flow", Steps: []Annotator{
+		AnnotatorFunc{ID: "first", Fn: func(cas *CAS) error {
+			cas.Add(Annotation{Type: "t", Begin: -1, End: -1})
+			return nil
+		}},
+		AnnotatorFunc{ID: "second", Fn: func(cas *CAS) error {
+			if cas.Doc.Path == "doc03" {
+				return errors.New("boom")
+			}
+			return nil
+		}},
+	}}
+	reg := obs.NewRegistry()
+	cons := &collectingConsumer{name: "cpe"}
+	p := &Pipeline{Reader: &SliceReader{Docs: docs}, Annotator: flow, Consumers: []Consumer{cons}, Workers: 4, Metrics: reg}
+	stats, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Wall <= 0 {
+		t.Fatalf("wall = %v", stats.Wall)
+	}
+	if stats.DocsPerSec() <= 0 {
+		t.Fatalf("docs/sec = %v", stats.DocsPerSec())
+	}
+	if len(stats.Annotators) != 2 {
+		t.Fatalf("annotator stages = %+v", stats.Annotators)
+	}
+	first, second := stats.Annotators[0], stats.Annotators[1]
+	if first.Name != "first" || first.Docs != 10 || first.Failed != 0 {
+		t.Fatalf("first stage = %+v", first)
+	}
+	// The failure is charged to the step that errored.
+	if second.Name != "second" || second.Docs != 10 || second.Failed != 1 {
+		t.Fatalf("second stage = %+v", second)
+	}
+	if len(stats.Consumers) != 1 || stats.Consumers[0].Name != "cpe" || stats.Consumers[0].Docs != 9 {
+		t.Fatalf("consumer stages = %+v", stats.Consumers)
+	}
+	// Metrics mirror the stats.
+	if got := reg.Counter("ingest_docs_total").Value(); got != 10 {
+		t.Fatalf("ingest_docs_total = %d", got)
+	}
+	if got := reg.Counter("ingest_doc_failures_total").Value(); got != 1 {
+		t.Fatalf("ingest_doc_failures_total = %d", got)
+	}
+	if got := reg.Histogram("ingest_annotator_seconds", nil, "annotator", "second").Count(); got != 10 {
+		t.Fatalf("annotator histogram count = %d", got)
+	}
+	if got := reg.Histogram("ingest_cpe_seconds", nil, "cpe", "cpe").Count(); got != 9 {
+		t.Fatalf("cpe histogram count = %d", got)
+	}
+	if got := reg.Gauge("ingest_docs_per_second").Value(); got <= 0 {
+		t.Fatalf("ingest_docs_per_second = %v", got)
+	}
+}
+
+func TestPipelineStageStatsWithoutMetrics(t *testing.T) {
+	p := &Pipeline{
+		Reader:    &SliceReader{Docs: []*docmodel.Document{doc("a", "x")}},
+		Annotator: AnnotatorFunc{ID: "solo", Fn: func(*CAS) error { return nil }},
+	}
+	stats, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Annotators) != 1 || stats.Annotators[0].Name != "solo" || stats.Annotators[0].Docs != 1 {
+		t.Fatalf("stages = %+v", stats.Annotators)
 	}
 }

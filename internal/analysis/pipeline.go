@@ -6,8 +6,11 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/docmodel"
+	"repro/internal/obs"
 )
 
 // Annotator processes one document's CAS, adding annotations. Annotators
@@ -86,12 +89,41 @@ type Consumer interface {
 	End() error
 }
 
+// StageStat is one pipeline stage's aggregate cost: an annotator's wall
+// time summed across workers (so it can exceed the run's elapsed time when
+// the pipeline is parallel) or a collection processing engine's serial
+// consume-plus-end time.
+type StageStat struct {
+	Name string
+	Docs int // documents the stage processed
+	// Failed counts documents the stage errored on (for an aggregate flow,
+	// the step that failed charges the failure; later steps never see the
+	// document).
+	Failed int
+	Wall   time.Duration
+}
+
 // Stats summarizes a pipeline run.
 type Stats struct {
 	Docs        int // documents read
 	Failed      int // documents whose annotator flow errored
 	Annotations int // total annotations produced on successful documents
-	Errors      []error
+	// Wall is the total elapsed time of Run, from first read to last
+	// consumer End.
+	Wall time.Duration
+	// Annotators carries the per-annotator cost breakdown, in flow order.
+	Annotators []StageStat
+	// Consumers carries the per-CPE cost breakdown, in consumer order.
+	Consumers []StageStat
+	Errors    []error
+}
+
+// DocsPerSec is the run's document throughput (0 before Run completes).
+func (s Stats) DocsPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Docs) / s.Wall.Seconds()
 }
 
 // Pipeline wires a reader through an annotator to consumers.
@@ -104,6 +136,74 @@ type Pipeline struct {
 	// MaxErrors aborts the run when more than this many documents fail;
 	// 0 means unlimited tolerance.
 	MaxErrors int
+	// Metrics, when set, receives per-stage histograms and run counters
+	// (ingest_* metric names); nil disables metric recording. Stats carries
+	// the same timings either way.
+	Metrics *obs.Registry
+}
+
+// stageClock accumulates one stage's cost across concurrent workers.
+type stageClock struct {
+	name   string
+	nanos  atomic.Int64
+	docs   atomic.Int64
+	failed atomic.Int64
+	hist   *obs.Histogram // per-document duration; nil-safe
+}
+
+func (c *stageClock) stat() StageStat {
+	return StageStat{
+		Name:   c.name,
+		Docs:   int(c.docs.Load()),
+		Failed: int(c.failed.Load()),
+		Wall:   time.Duration(c.nanos.Load()),
+	}
+}
+
+// timedStep wraps an annotator, charging each Process call to its clock.
+type timedStep struct {
+	inner Annotator
+	clock *stageClock
+}
+
+// Name implements Annotator.
+func (t *timedStep) Name() string { return t.inner.Name() }
+
+// Process implements Annotator.
+func (t *timedStep) Process(cas *CAS) error {
+	start := time.Now()
+	err := t.inner.Process(cas)
+	d := time.Since(start)
+	t.clock.nanos.Add(d.Nanoseconds())
+	t.clock.docs.Add(1)
+	t.clock.hist.ObserveDuration(d)
+	if err != nil {
+		t.clock.failed.Add(1)
+	}
+	return err
+}
+
+// instrument wraps the pipeline's annotator with per-stage clocks. An
+// aggregate flow is unwrapped so each primitive is charged separately —
+// the per-annotator accounting of the paper's Table 1 components.
+func (p *Pipeline) instrument() (Annotator, []*stageClock) {
+	wrap := func(a Annotator) (*timedStep, *stageClock) {
+		c := &stageClock{
+			name: a.Name(),
+			hist: p.Metrics.Histogram("ingest_annotator_seconds", nil, "annotator", a.Name()),
+		}
+		return &timedStep{inner: a, clock: c}, c
+	}
+	if agg, ok := p.Annotator.(*Aggregate); ok {
+		steps := make([]Annotator, len(agg.Steps))
+		clocks := make([]*stageClock, len(agg.Steps))
+		for i, s := range agg.Steps {
+			steps[i], clocks[i] = wrap(s)
+		}
+		return &Aggregate{ID: agg.ID, Steps: steps}, clocks
+	}
+	step, clock := wrap(p.Annotator)
+	return step, []*stageClock{clock}
 }
 
 // errTooManyFailures aborts a run that exceeds MaxErrors.
@@ -112,10 +212,24 @@ var errTooManyFailures = errors.New("analysis: too many document failures")
 // Run drives the pipeline to completion. Document-level analysis runs on
 // Workers goroutines; consumers then see the analyzed CASes serially, in
 // reader order, so collection-level processing is deterministic.
-func (p *Pipeline) Run() (Stats, error) {
-	var stats Stats
+func (p *Pipeline) Run() (stats Stats, err error) {
 	if p.Reader == nil {
 		return stats, errors.New("analysis: pipeline has no reader")
+	}
+	runStart := time.Now()
+	finish := func(clocks, cpeClocks []*stageClock) {
+		stats.Wall = time.Since(runStart)
+		for _, c := range clocks {
+			stats.Annotators = append(stats.Annotators, c.stat())
+		}
+		for _, c := range cpeClocks {
+			stats.Consumers = append(stats.Consumers, c.stat())
+		}
+		p.Metrics.Histogram("ingest_pipeline_seconds", nil).ObserveDuration(stats.Wall)
+		p.Metrics.Counter("ingest_docs_total").Add(int64(stats.Docs))
+		p.Metrics.Counter("ingest_doc_failures_total").Add(int64(stats.Failed))
+		p.Metrics.Counter("ingest_annotations_total").Add(int64(stats.Annotations))
+		p.Metrics.Gauge("ingest_docs_per_second").Set(stats.DocsPerSec())
 	}
 	workers := p.Workers
 	if workers <= 0 {
@@ -137,9 +251,23 @@ func (p *Pipeline) Run() (Stats, error) {
 	}
 	stats.Docs = len(docs)
 
+	var annotator Annotator
+	var clocks []*stageClock
+	if p.Annotator != nil {
+		annotator, clocks = p.instrument()
+	}
+	cpeClocks := make([]*stageClock, len(p.Consumers))
+	for i, c := range p.Consumers {
+		cpeClocks[i] = &stageClock{
+			name: c.Name(),
+			hist: p.Metrics.Histogram("ingest_cpe_seconds", nil, "cpe", c.Name()),
+		}
+	}
+	defer finish(clocks, cpeClocks)
+
 	cases := make([]*CAS, len(docs))
 	errs := make([]error, len(docs))
-	if p.Annotator != nil {
+	if annotator != nil {
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, workers)
 		for i, d := range docs {
@@ -149,7 +277,7 @@ func (p *Pipeline) Run() (Stats, error) {
 				defer wg.Done()
 				defer func() { <-sem }()
 				cas := NewCAS(d)
-				if err := p.Annotator.Process(cas); err != nil {
+				if err := annotator.Process(cas); err != nil {
 					errs[i] = fmt.Errorf("doc %s: %w", d.Path, err)
 					return
 				}
@@ -173,14 +301,25 @@ func (p *Pipeline) Run() (Stats, error) {
 			continue
 		}
 		stats.Annotations += len(cases[i].All())
-		for _, c := range p.Consumers {
-			if err := c.Consume(cases[i]); err != nil {
+		for ci, c := range p.Consumers {
+			start := time.Now()
+			err := c.Consume(cases[i])
+			d := time.Since(start)
+			cpeClocks[ci].nanos.Add(d.Nanoseconds())
+			cpeClocks[ci].docs.Add(1)
+			cpeClocks[ci].hist.ObserveDuration(d)
+			if err != nil {
+				cpeClocks[ci].failed.Add(1)
 				return stats, fmt.Errorf("analysis: consumer %s: %w", c.Name(), err)
 			}
 		}
 	}
-	for _, c := range p.Consumers {
-		if err := c.End(); err != nil {
+	for ci, c := range p.Consumers {
+		start := time.Now()
+		err := c.End()
+		cpeClocks[ci].nanos.Add(time.Since(start).Nanoseconds())
+		if err != nil {
+			cpeClocks[ci].failed.Add(1)
 			return stats, fmt.Errorf("analysis: consumer %s end: %w", c.Name(), err)
 		}
 	}

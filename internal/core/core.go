@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"repro/internal/access"
+	"repro/internal/obs"
 	"repro/internal/siapi"
 	"repro/internal/synopsis"
 	"repro/internal/taxonomy"
@@ -124,6 +125,22 @@ type Engine struct {
 	// intersected with S anyway to preserve semantics, so the ablation
 	// measures the cost, not a semantic change.
 	DisableScoping bool
+	// Metrics, when set, receives per-stage search timings and outcome
+	// counters (search_* metric names); nil disables recording.
+	Metrics *obs.Registry
+}
+
+// Search stage labels used in search_stage_seconds.
+const (
+	StageSynopsis = "synopsis" // synopsis (business context) query
+	StageSIAPI    = "siapi"    // semantic document index query
+	StageMerge    = "merge"    // rank combination and sort
+	StageAccess   = "access"   // per-activity access filtering
+)
+
+// stageHist returns the histogram for one search stage.
+func (e *Engine) stageHist(stage string) *obs.Histogram {
+	return e.Metrics.Histogram("search_stage_seconds", nil, "stage", stage)
 }
 
 func (e *Engine) weights() (float64, float64) {
@@ -139,6 +156,26 @@ func (e *Engine) weights() (float64, float64) {
 
 // Search runs the business-activity driven search algorithm for the user.
 func (e *Engine) Search(user access.User, q FormQuery) (Result, error) {
+	total := obs.StartTimer()
+	e.Metrics.Counter("search_total").Inc()
+	res, err := e.search(user, q)
+	total.ObserveInto(e.Metrics.Histogram("search_seconds", nil))
+	if err != nil {
+		e.Metrics.Counter("search_errors_total").Inc()
+		return res, err
+	}
+	if res.UnscopedFallback {
+		e.Metrics.Counter("search_fallback_total").Inc()
+	} else {
+		e.Metrics.Counter("search_scoped_total").Inc()
+	}
+	if len(res.Activities) == 0 {
+		e.Metrics.Counter("search_zero_results_total").Inc()
+	}
+	return res, nil
+}
+
+func (e *Engine) search(user access.User, q FormQuery) (Result, error) {
 	var res Result
 	// Step 1-2: compose the synopsis query from form input.
 	sq, explain := e.composeSynopsisQuery(q)
@@ -160,7 +197,9 @@ func (e *Engine) Search(user access.User, q FormQuery) (Result, error) {
 	var synHits []synopsis.Hit
 	var err error
 	if !sq.Empty() {
+		t := obs.StartTimer()
 		synHits, err = e.Synopses.Search(sq)
+		t.ObserveInto(e.stageHist(StageSynopsis))
 		if err != nil {
 			return res, fmt.Errorf("core: synopsis query: %w", err)
 		}
@@ -209,7 +248,9 @@ func (e *Engine) Search(user access.User, q FormQuery) (Result, error) {
 			if perDeal <= 0 {
 				perDeal = 5
 			}
+			t := obs.StartTimer()
 			docActs := e.Docs.SearchActivities(dq, perDeal)
+			t.ObserveInto(e.stageHist(StageSIAPI))
 			for _, da := range docActs {
 				sh, inS := synByDeal[da.DealID]
 				if !inS {
@@ -237,7 +278,10 @@ func (e *Engine) Search(user access.User, q FormQuery) (Result, error) {
 		if perDeal <= 0 {
 			perDeal = 5
 		}
-		for _, da := range e.Docs.SearchActivities(dq, perDeal) {
+		t := obs.StartTimer()
+		docActs := e.Docs.SearchActivities(dq, perDeal)
+		t.ObserveInto(e.stageHist(StageSIAPI))
+		for _, da := range docActs {
 			acts[da.DealID] = &combined{doc: da.Score, dcs: da.Docs}
 		}
 		res.UnscopedFallback = true
@@ -247,6 +291,7 @@ func (e *Engine) Search(user access.User, q FormQuery) (Result, error) {
 	}
 
 	// Step 18: rank by the combined score.
+	merge := obs.StartTimer()
 	sw, dw := e.weights()
 	for dealID, c := range acts {
 		a := Activity{
@@ -268,8 +313,10 @@ func (e *Engine) Search(user access.User, q FormQuery) (Result, error) {
 	if q.Limit > 0 && len(res.Activities) > q.Limit {
 		res.Activities = res.Activities[:q.Limit]
 	}
+	merge.ObserveInto(e.stageHist(StageMerge))
 
 	// Step 19: present with proper access control.
+	filter := obs.StartTimer()
 	out := res.Activities[:0]
 	for _, a := range res.Activities {
 		level := access.LevelFull
@@ -290,6 +337,7 @@ func (e *Engine) Search(user access.User, q FormQuery) (Result, error) {
 		out = append(out, a)
 	}
 	res.Activities = out
+	filter.ObserveInto(e.stageHist(StageAccess))
 	return res, nil
 }
 

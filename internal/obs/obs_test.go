@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Counter("hits_total", "worker", "shared").Inc()
+				r.Gauge("inflight").Add(1)
+				r.Gauge("inflight").Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits_total", "worker", "shared").Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Gauge("inflight").Value(); got != 0 {
+		t.Fatalf("gauge = %v, want 0", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", []float64{0.01, 0.1, 1})
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.05)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+	want := 0.05 * workers * per
+	if got := h.Sum(); got < want*0.999 || got > want*1.001 {
+		t.Fatalf("sum = %v, want ~%v", got, want)
+	}
+	cum := h.CumulativeCounts()
+	if cum[0] != 0 || cum[1] != workers*per || cum[3] != workers*per {
+		t.Fatalf("cumulative = %v", cum)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("b", []float64{0.01, 0.1, 1})
+	// Exact boundary values land in their own bucket (le semantics).
+	h.Observe(0.01)
+	h.Observe(0.1)
+	h.Observe(1)
+	// Interior and overflow values.
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(42)
+	cum := h.CumulativeCounts()
+	want := []int64{2, 4, 5, 6} // le=0.01: {0.01, 0.005}; le=0.1: +{0.1, 0.05}; le=1: +{1}; +Inf: +{42}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("cumulative = %v, want %v", cum, want)
+		}
+	}
+	if got := h.Count(); got != 6 {
+		t.Fatalf("count = %d", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", []float64{1, 2, 4})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5) // all in the le=1 bucket
+	}
+	p50 := h.Quantile(0.5)
+	if p50 <= 0 || p50 > 1 {
+		t.Fatalf("p50 = %v, want within (0, 1]", p50)
+	}
+	h.Observe(100) // +Inf bucket clamps to the top finite bound
+	if got := h.Quantile(1); got != 4 {
+		t.Fatalf("p100 = %v, want 4", got)
+	}
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("http_requests_total", "route", "/api/search", "code", "2xx").Add(3)
+	r.Counter("http_requests_total", "route", "/healthz", "code", "2xx").Inc()
+	r.Gauge("ingest_docs_per_second").Set(1250.5)
+	h := r.Histogram("search_seconds", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE http_requests_total counter
+http_requests_total{code="2xx",route="/api/search"} 3
+http_requests_total{code="2xx",route="/healthz"} 1
+# TYPE ingest_docs_per_second gauge
+ingest_docs_per_second 1250.5
+# TYPE search_seconds histogram
+search_seconds_bucket{le="0.001"} 1
+search_seconds_bucket{le="0.01"} 1
+search_seconds_bucket{le="+Inf"} 2
+search_seconds_sum 0.5005
+search_seconds_count 2
+`
+	if got := b.String(); got != want {
+		t.Fatalf("rendering mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "k", "a\"b\\c\nd").Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `c{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("unescaped labels: %q", b.String())
+	}
+}
+
+func TestSameLabelsDifferentOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "a", "1", "b", "2").Inc()
+	r.Counter("c", "b", "2", "a", "1").Inc()
+	if got := r.Counter("c", "a", "1", "b", "2").Value(); got != 2 {
+		t.Fatalf("label order split the metric: %d", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter held a value")
+	}
+	g := r.Gauge("y")
+	g.Set(1)
+	g.Add(2)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge held a value")
+	}
+	h := r.Histogram("z", nil)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if h.Count() != 0 || h.Sum() != 0 || h.CumulativeCounts() != nil || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram held state")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Snapshots() != nil {
+		t.Fatal("nil registry produced snapshots")
+	}
+	StartTimer().ObserveInto(nil)
+}
+
+func TestSnapshotsJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(7)
+	r.Gauge("b").Set(2.5)
+	r.Histogram("c_seconds", []float64{1}).Observe(0.5)
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var snaps []Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &snaps); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(snaps) != 3 {
+		t.Fatalf("snapshots = %d", len(snaps))
+	}
+	if snaps[0].Name != "a_total" || snaps[0].Value != 7 {
+		t.Fatalf("counter snapshot = %+v", snaps[0])
+	}
+	if snaps[2].Name != "c_seconds" || snaps[2].Count != 1 || snaps[2].Buckets["1"] != 1 || snaps[2].Buckets["+Inf"] != 1 {
+		t.Fatalf("histogram snapshot = %+v", snaps[2])
+	}
+}
+
+func TestTimer(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_seconds", nil)
+	tm := StartTimer()
+	time.Sleep(time.Millisecond)
+	d := tm.ObserveInto(h)
+	if d < time.Millisecond {
+		t.Fatalf("elapsed = %v", d)
+	}
+	if h.Count() != 1 || h.Sum() < 0.001 {
+		t.Fatalf("histogram = count %d sum %v", h.Count(), h.Sum())
+	}
+}
+
+func TestRegistryConcurrentCreation(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("created_total", "shard", "s").Inc()
+				r.Histogram("created_seconds", nil, "shard", "s").Observe(0.001)
+				r.Gauge("created", "shard", "s").Set(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("created_total", "shard", "s").Value(); got != 1600 {
+		t.Fatalf("counter = %d", got)
+	}
+	if got := r.Histogram("created_seconds", nil, "shard", "s").Count(); got != 1600 {
+		t.Fatalf("histogram count = %d", got)
+	}
+}

@@ -28,8 +28,11 @@ type Entry struct {
 	Kind       Kind
 	Summary    string // human-readable rendering of the query
 	Concepts   []string
-	Activities int  // activities (or documents, for keyword) returned
+	Activities int  // activities (or matching documents, for keyword) returned
 	Fallback   bool // the unscoped SIAPI fallback fired
+	// Latency is the end-to-end search duration, when the caller measured
+	// one (zero otherwise).
+	Latency time.Duration
 }
 
 // Log is a bounded ring of entries, safe for concurrent use.
@@ -98,10 +101,14 @@ type ConceptCount struct {
 
 // Summary aggregates the retained entries.
 type Summary struct {
-	Total       int
-	Zero        int // queries returning nothing
-	Fallbacks   int // unscoped-fallback queries
-	Keyword     int // search-box queries
+	Total     int
+	Zero      int // queries returning nothing
+	Fallbacks int // unscoped-fallback queries
+	Keyword   int // search-box queries
+	// AvgLatency and MaxLatency aggregate the entries that carried a
+	// measured latency (zero when none did).
+	AvgLatency  time.Duration
+	MaxLatency  time.Duration
 	TopConcepts []ConceptCount
 }
 
@@ -113,6 +120,8 @@ func (l *Log) Summarize(topK int) Summary {
 	}
 	var s Summary
 	counts := map[string]int{}
+	var latSum time.Duration
+	var latN int
 	for _, e := range l.Entries() {
 		s.Total++
 		if e.Activities == 0 {
@@ -124,9 +133,19 @@ func (l *Log) Summarize(topK int) Summary {
 		if e.Kind == KindKeyword {
 			s.Keyword++
 		}
+		if e.Latency > 0 {
+			latSum += e.Latency
+			latN++
+			if e.Latency > s.MaxLatency {
+				s.MaxLatency = e.Latency
+			}
+		}
 		for _, c := range e.Concepts {
 			counts[c]++
 		}
+	}
+	if latN > 0 {
+		s.AvgLatency = latSum / time.Duration(latN)
 	}
 	for c, n := range counts {
 		s.TopConcepts = append(s.TopConcepts, ConceptCount{Concept: c, Count: n})

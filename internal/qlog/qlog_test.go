@@ -94,3 +94,17 @@ func TestConcurrentRecording(t *testing.T) {
 		t.Fatalf("Len = %d", l.Len())
 	}
 }
+
+func TestSummarizeLatency(t *testing.T) {
+	l := New(16)
+	l.Record(Entry{Kind: KindForm, Activities: 1, Latency: 10 * time.Millisecond})
+	l.Record(Entry{Kind: KindForm, Activities: 1, Latency: 30 * time.Millisecond})
+	l.Record(Entry{Kind: KindKeyword, Activities: 1}) // unmeasured: excluded
+	s := l.Summarize(5)
+	if s.AvgLatency != 20*time.Millisecond {
+		t.Fatalf("avg = %v", s.AvgLatency)
+	}
+	if s.MaxLatency != 30*time.Millisecond {
+		t.Fatalf("max = %v", s.MaxLatency)
+	}
+}

@@ -9,17 +9,45 @@ import (
 	"encoding/json"
 	"fmt"
 	"html/template"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 
 	"repro"
 	"repro/internal/access"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
-// Handler serves the EIL UI and API for one system.
-func Handler(sys *eil.System) http.Handler {
+// Option configures optional handler subsystems.
+type Option func(*config)
+
+type config struct {
+	pprof     bool
+	accessLog *slog.Logger
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/.
+func WithPprof() Option {
+	return func(c *config) { c.pprof = true }
+}
+
+// WithAccessLog emits one structured log line per request to logger.
+func WithAccessLog(logger *slog.Logger) Option {
+	return func(c *config) { c.accessLog = logger }
+}
+
+// Handler serves the EIL UI and API for one system. Every route is wrapped
+// in the metrics middleware (request counts, status classes, and latency
+// histograms in sys.Metrics), and the registry itself is served at /metrics
+// (Prometheus text exposition) and /api/metrics (JSON).
+func Handler(sys *eil.System, opts ...Option) http.Handler {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
 	h := &handler{sys: sys}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", h.home)
@@ -30,14 +58,107 @@ func Handler(sys *eil.System) http.Handler {
 	mux.HandleFunc("/api/qlog", h.apiQueryLog)
 	mux.HandleFunc("/api/explore", h.apiExplore)
 	mux.HandleFunc("/api/similar", h.apiSimilar)
+	mux.HandleFunc("/api/metrics", h.apiMetrics)
+	mux.HandleFunc("/metrics", h.metrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	if cfg.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return &middleware{next: mux, mux: mux, reg: sys.Metrics, accessLog: cfg.accessLog}
 }
 
 type handler struct {
 	sys *eil.System
+}
+
+// middleware wraps every route with request counting, status-class
+// counting, and a per-route latency histogram. All metric handles are
+// nil-safe, so a system without a registry costs nothing extra.
+type middleware struct {
+	next      http.Handler
+	mux       *http.ServeMux
+	reg       *obs.Registry
+	accessLog *slog.Logger
+}
+
+// statusWriter captures the response status for metrics and access logs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Label by registered pattern, not raw path, to bound cardinality.
+	_, route := m.mux.Handler(r)
+	if route == "" {
+		route = "unmatched"
+	}
+	inflight := m.reg.Gauge("http_in_flight_requests")
+	inflight.Add(1)
+	defer inflight.Add(-1)
+	sw := &statusWriter{ResponseWriter: w}
+	t := obs.StartTimer()
+	m.next.ServeHTTP(sw, r)
+	d := t.Elapsed()
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	m.reg.Counter("http_requests_total", "route", route, "code", statusClass(sw.status)).Inc()
+	m.reg.Histogram("http_request_seconds", nil, "route", route).ObserveDuration(d)
+	if m.accessLog != nil {
+		m.accessLog.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"route", route,
+			"status", sw.status,
+			"duration", d,
+			"user", r.Header.Get("X-EIL-User"),
+			"remote", r.RemoteAddr,
+		)
+	}
+}
+
+// statusClass buckets an HTTP status into 2xx/3xx/4xx/5xx.
+func statusClass(code int) string {
+	switch {
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	case code >= 300:
+		return "3xx"
+	default:
+		return "2xx"
+	}
+}
+
+// metrics serves the registry in Prometheus text exposition format.
+func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	h.sys.Metrics.WritePrometheus(w)
+}
+
+// apiMetrics serves the registry as JSON snapshots.
+func (h *handler) apiMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, h.sys.Metrics.Snapshots())
 }
 
 // userFrom reconstructs the principal from the simulated SSO headers. An

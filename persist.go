@@ -8,6 +8,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/core"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/relstore"
 	"repro/internal/siapi"
 	"repro/internal/synopsis"
@@ -52,18 +53,21 @@ func LoadSystem(dir string, ctl *access.Controller) (*System, error) {
 		return nil, fmt.Errorf("eil: load context: %w", err)
 	}
 	tax := taxonomy.Default()
+	metrics := obs.NewRegistry()
 	sys := &System{
 		Index:    ix,
 		SIAPI:    siapi.NewEngine(ix),
 		Synopses: store,
 		Taxonomy: tax,
 		Access:   ctl,
+		Metrics:  metrics,
 	}
 	sys.Engine = &core.Engine{
 		Synopses: store,
 		Docs:     sys.SIAPI,
 		Access:   ctl,
 		Tax:      tax,
+		Metrics:  metrics,
 	}
 	return sys, nil
 }
