@@ -27,8 +27,11 @@ import (
 	"repro"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/index"
+	"repro/internal/siapi"
 	"repro/internal/studies"
 	"repro/internal/synth"
+	"repro/internal/textproc"
 )
 
 // benchFixture shares one paper-scale ingest across all benchmarks.
@@ -317,6 +320,81 @@ func BenchmarkSearchLatency(b *testing.B) {
 
 // BenchmarkKeywordLatency measures the baseline search-box path.
 func BenchmarkKeywordLatency(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Sys.KeywordSearch(`"data replication" storage`, 20)
+	}
+}
+
+// --- PR 2 performance benchmarks (index hot paths) ---
+
+// BenchmarkIndexAdd measures single-document ingestion into the index —
+// tokenization plus the merge critical section.
+func BenchmarkIndexAdd(b *testing.B) {
+	ix := index.New(textproc.DefaultAnalyzer)
+	body := "storage management services with data replication between sites " +
+		"and a transition plan covering help desk, desktop, and network towers"
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := ix.Add(index.Document{
+			ExtID: fmt.Sprintf("bench/doc-%d", i),
+			Fields: []index.Field{
+				{Name: "title", Text: "Technical Solution", Weight: 2},
+				{Name: "body", Text: body},
+				{Name: "tower", Text: "Storage Management Services", Keyword: true},
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIndexAddBatch is BenchmarkIndexAdd through the parallel segment
+// builder, the path the ingest pipeline uses.
+func BenchmarkIndexAddBatch(b *testing.B) {
+	body := "storage management services with data replication between sites " +
+		"and a transition plan covering help desk, desktop, and network towers"
+	const batch = 256
+	docs := make([]index.Document, batch)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := range docs {
+			docs[j] = index.Document{
+				ExtID: fmt.Sprintf("bench/%d-%d", i, j),
+				Fields: []index.Field{
+					{Name: "title", Text: "Technical Solution", Weight: 2},
+					{Name: "body", Text: body},
+				},
+			}
+		}
+		ix := index.New(textproc.DefaultAnalyzer)
+		if _, err := ix.AddBatch(docs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(batch, "docs/op")
+}
+
+// BenchmarkSearchTopK measures the bounded top-k query path against the
+// paper-scale index, bypassing the result cache.
+func BenchmarkSearchTopK(b *testing.B) {
+	f := benchFixture(b)
+	q := f.Sys.SIAPI.Compile(siapi.ParseKeywords(`"data replication" storage migration`))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Sys.Index.Search(q, 10)
+	}
+}
+
+// BenchmarkSearchCached measures the repeat-query path: after the first
+// iteration every search is served from the epoch-invalidated LRU.
+func BenchmarkSearchCached(b *testing.B) {
 	f := benchFixture(b)
 	b.ResetTimer()
 	b.ReportAllocs()

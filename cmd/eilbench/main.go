@@ -6,7 +6,12 @@
 //
 // Usage:
 //
-//	eilbench -deals 23 -noise 610 -queries 500 -out BENCH_baseline.json
+//	eilbench -deals 23 -noise 610 -queries 500 -out BENCH_pr2.json
+//	eilbench -procs 1,4 -compare BENCH_baseline.json -out BENCH_pr2.json
+//
+// -procs runs the whole benchmark once per GOMAXPROCS value (the first is
+// the primary run reported at the top level; the rest land in "runs").
+// -compare prints per-metric deltas against a previous report.
 package main
 
 import (
@@ -16,6 +21,9 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro"
@@ -25,32 +33,47 @@ import (
 	"repro/internal/synth"
 )
 
-// report is the JSON document eilbench writes.
+// ingestSummary and searchSummary are the per-run measurement blocks.
+type ingestSummary struct {
+	Docs        int     `json:"docs"`
+	Deals       int     `json:"deals"`
+	Annotations int     `json:"annotations"`
+	WallSeconds float64 `json:"wall_seconds"`
+	DocsPerSec  float64 `json:"docs_per_sec"`
+}
+
+type searchSummary struct {
+	Queries       int     `json:"queries"`
+	FormQueries   int     `json:"form_queries"`
+	KeywordHits   int     `json:"keyword_queries"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	P50Seconds    float64 `json:"p50_seconds"`
+	P95Seconds    float64 `json:"p95_seconds"`
+	P99Seconds    float64 `json:"p99_seconds"`
+}
+
+// runReport is one complete benchmark pass at a fixed GOMAXPROCS.
+type runReport struct {
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Ingest     ingestSummary  `json:"ingest"`
+	Search     searchSummary  `json:"search"`
+	Metrics    []obs.Snapshot `json:"metrics"`
+}
+
+// report is the JSON document eilbench writes. The top-level fields mirror
+// the original single-run layout (so -compare can read any vintage);
+// additional -procs runs are appended under "runs".
 type report struct {
 	GeneratedAt string `json:"generated_at"`
 	GoVersion   string `json:"go_version"`
 	GOMAXPROCS  int    `json:"gomaxprocs"`
 
-	Ingest struct {
-		Docs        int     `json:"docs"`
-		Deals       int     `json:"deals"`
-		Annotations int     `json:"annotations"`
-		WallSeconds float64 `json:"wall_seconds"`
-		DocsPerSec  float64 `json:"docs_per_sec"`
-	} `json:"ingest"`
-
-	Search struct {
-		Queries       int     `json:"queries"`
-		FormQueries   int     `json:"form_queries"`
-		KeywordHits   int     `json:"keyword_queries"`
-		WallSeconds   float64 `json:"wall_seconds"`
-		QueriesPerSec float64 `json:"queries_per_sec"`
-		P50Seconds    float64 `json:"p50_seconds"`
-		P95Seconds    float64 `json:"p95_seconds"`
-		P99Seconds    float64 `json:"p99_seconds"`
-	} `json:"search"`
-
+	Ingest  ingestSummary  `json:"ingest"`
+	Search  searchSummary  `json:"search"`
 	Metrics []obs.Snapshot `json:"metrics"`
+
+	Runs []runReport `json:"runs,omitempty"`
 }
 
 func main() {
@@ -61,24 +84,110 @@ func main() {
 		noise   = flag.Int("noise", 610, "noise documents per deal (paper evaluation: ~610)")
 		queries = flag.Int("queries", 500, "workload size (3:1 form-to-keyword mix)")
 		out     = flag.String("out", "", "write the JSON report to this file (default: stdout)")
+		procs   = flag.String("procs", "", "comma-separated GOMAXPROCS values to benchmark (default: current)")
+		compare = flag.String("compare", "", "previous report JSON to diff against")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	cfg := synth.EvalConfig()
 	cfg.Deals = *deals
 	cfg.NoiseDocsPerDeal = *noise
-	log.Printf("generating %d deals x ~%d docs...", cfg.Deals, cfg.NoiseDocsPerDeal)
-	corpus, err := synth.Generate(cfg)
+
+	procList, err := parseProcs(*procs)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	sys, err := eil.Ingest(corpus.Docs, eil.Options{Directory: corpus.Directory})
-	if err != nil {
+	var runs []runReport
+	for _, p := range procList {
+		prev := runtime.GOMAXPROCS(p)
+		run, err := benchOnce(cfg, *queries)
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runs = append(runs, run)
+	}
+
+	var r report
+	r.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	r.GoVersion = runtime.Version()
+	r.GOMAXPROCS = runs[0].GOMAXPROCS
+	r.Ingest = runs[0].Ingest
+	r.Search = runs[0].Search
+	r.Metrics = runs[0].Metrics
+	r.Runs = runs[1:]
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("ingested %d docs in %v (%.0f docs/sec)",
-		sys.Stats.Docs, sys.Stats.Wall.Round(time.Millisecond), sys.Stats.DocsPerSec())
+	if *out != "" {
+		log.Printf("wrote %s", *out)
+	}
+	if *compare != "" {
+		if err := printComparison(*compare, r); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// parseProcs turns "1,4" into [1, 4]; empty means the current GOMAXPROCS.
+func parseProcs(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return []int{runtime.GOMAXPROCS(0)}, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -procs value %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// benchOnce generates the corpus, ingests it, and runs the query workload at
+// the current GOMAXPROCS.
+func benchOnce(cfg synth.Config, queries int) (runReport, error) {
+	var run runReport
+	run.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	log.Printf("[procs=%d] generating %d deals x ~%d docs...", run.GOMAXPROCS, cfg.Deals, cfg.NoiseDocsPerDeal)
+	corpus, err := synth.Generate(cfg)
+	if err != nil {
+		return run, err
+	}
+
+	sys, err := eil.Ingest(corpus.Docs, eil.Options{Directory: corpus.Directory})
+	if err != nil {
+		return run, err
+	}
+	log.Printf("[procs=%d] ingested %d docs in %v (%.0f docs/sec)",
+		run.GOMAXPROCS, sys.Stats.Docs, sys.Stats.Wall.Round(time.Millisecond), sys.Stats.DocsPerSec())
 
 	// Mixed workload: cycle concept-scoped form queries (with and without
 	// text predicates) and keyword-baseline queries over the taxonomy
@@ -88,7 +197,7 @@ func main() {
 	phrases := []string{"data replication", "service desk", "disaster recovery", "asset management"}
 	searchWall := obs.StartTimer()
 	var formN, keywordN int
-	for i := 0; i < *queries; i++ {
+	for i := 0; i < queries; i++ {
 		switch i % 4 {
 		case 0:
 			_, err = sys.Search(user, core.FormQuery{Tower: towers[i%len(towers)]})
@@ -105,50 +214,67 @@ func main() {
 			continue
 		}
 		if err != nil {
-			log.Fatal(err)
+			return run, err
 		}
 		formN++
 	}
 	searchElapsed := searchWall.Elapsed()
 
-	var r report
-	r.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
-	r.GoVersion = runtime.Version()
-	r.GOMAXPROCS = runtime.GOMAXPROCS(0)
-	r.Ingest.Docs = sys.Stats.Docs
-	r.Ingest.Deals = cfg.Deals
-	r.Ingest.Annotations = sys.Stats.Annotations
-	r.Ingest.WallSeconds = sys.Stats.Wall.Seconds()
-	r.Ingest.DocsPerSec = sys.Stats.DocsPerSec()
-	r.Search.Queries = *queries
-	r.Search.FormQueries = formN
-	r.Search.KeywordHits = keywordN
-	r.Search.WallSeconds = searchElapsed.Seconds()
-	r.Search.QueriesPerSec = float64(*queries) / searchElapsed.Seconds()
+	run.Ingest.Docs = sys.Stats.Docs
+	run.Ingest.Deals = cfg.Deals
+	run.Ingest.Annotations = sys.Stats.Annotations
+	run.Ingest.WallSeconds = sys.Stats.Wall.Seconds()
+	run.Ingest.DocsPerSec = sys.Stats.DocsPerSec()
+	run.Search.Queries = queries
+	run.Search.FormQueries = formN
+	run.Search.KeywordHits = keywordN
+	run.Search.WallSeconds = searchElapsed.Seconds()
+	run.Search.QueriesPerSec = float64(queries) / searchElapsed.Seconds()
 	h := sys.Metrics.Histogram("search_seconds", nil)
-	r.Search.P50Seconds = h.Quantile(0.50)
-	r.Search.P95Seconds = h.Quantile(0.95)
-	r.Search.P99Seconds = h.Quantile(0.99)
-	r.Metrics = sys.Metrics.Snapshots()
+	run.Search.P50Seconds = h.Quantile(0.50)
+	run.Search.P95Seconds = h.Quantile(0.95)
+	run.Search.P99Seconds = h.Quantile(0.99)
+	run.Metrics = sys.Metrics.Snapshots()
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			log.Fatal(err)
+	log.Printf("[procs=%d] search: %d queries in %v (%.0f q/s, p50 %.3gms p95 %.3gms p99 %.3gms)",
+		run.GOMAXPROCS, queries, searchElapsed.Round(time.Millisecond), run.Search.QueriesPerSec,
+		run.Search.P50Seconds*1000, run.Search.P95Seconds*1000, run.Search.P99Seconds*1000)
+	return run, nil
+}
+
+// printComparison loads a previous report and prints per-metric deltas
+// between its primary run and this one's.
+func printComparison(path string, cur report) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("compare: %w", err)
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("compare: parse %s: %w", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "\ncomparison vs %s (baseline procs=%d, current procs=%d):\n",
+		path, base.GOMAXPROCS, cur.GOMAXPROCS)
+	row := func(name string, baseV, curV float64, higherBetter bool) {
+		if baseV == 0 {
+			fmt.Fprintf(os.Stderr, "  %-22s %12.4g -> %12.4g\n", name, baseV, curV)
+			return
 		}
-		defer f.Close()
-		w = f
+		ratio := curV / baseV
+		verdict := "slower"
+		if (higherBetter && ratio >= 1) || (!higherBetter && ratio <= 1) {
+			verdict = "faster"
+		}
+		fmt.Fprintf(os.Stderr, "  %-22s %12.4g -> %12.4g   %.2fx (%s)\n", name, baseV, curV, ratio, verdict)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(r); err != nil {
-		log.Fatal(err)
+	row("ingest docs/sec", base.Ingest.DocsPerSec, cur.Ingest.DocsPerSec, true)
+	row("search queries/sec", base.Search.QueriesPerSec, cur.Search.QueriesPerSec, true)
+	row("search p50 (ms)", base.Search.P50Seconds*1000, cur.Search.P50Seconds*1000, false)
+	row("search p95 (ms)", base.Search.P95Seconds*1000, cur.Search.P95Seconds*1000, false)
+	row("search p99 (ms)", base.Search.P99Seconds*1000, cur.Search.P99Seconds*1000, false)
+	for _, run := range cur.Runs {
+		fmt.Fprintf(os.Stderr, "  [procs=%d run] ingest %.4g docs/sec, search %.4g q/s, p99 %.4gms\n",
+			run.GOMAXPROCS, run.Ingest.DocsPerSec, run.Search.QueriesPerSec, run.Search.P99Seconds*1000)
 	}
-	log.Printf("search: %d queries in %v (%.0f q/s, p50 %.3gms p95 %.3gms)",
-		*queries, searchElapsed.Round(time.Millisecond), r.Search.QueriesPerSec,
-		r.Search.P50Seconds*1000, r.Search.P95Seconds*1000)
-	if *out != "" {
-		log.Printf("wrote %s", *out)
-	}
+	return nil
 }

@@ -29,7 +29,7 @@ func main() {
 		repo       = flag.String("repo", "workbooks", "repository tree to crawl")
 		out        = flag.String("out", "eilsys", "system output directory")
 		personnel  = flag.String("personnel", "", "personnel directory file (default: <repo>/personnel.jsonl when present)")
-		workers    = flag.Int("workers", 0, "annotator parallelism (0 = GOMAXPROCS)")
+		workers    = flag.Int("workers", 0, "annotator and index-build parallelism (0 = GOMAXPROCS)")
 		blob       = flag.Bool("blob", false, "degrade to structure-blind parsing (the §3.3 ablation)")
 		threshold  = flag.Float64("scope-threshold", 0, "override the scope CPE significance threshold")
 		taxFile    = flag.String("taxonomy", "", "custom services taxonomy (JSON; default: built-in IT services vocabulary)")

@@ -129,11 +129,16 @@ func IngestFrom(reader analysis.CollectionReader, opts Options) (*System, error)
 	}
 	ix := index.New(textproc.DefaultAnalyzer)
 
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = obs.NewRegistry()
+	}
+
 	builder := annotators.NewBuilder(store, opts.Directory)
 	if opts.MinScopeWeight > 0 {
 		builder.MinScopeWeight = opts.MinScopeWeight
 	}
-	writer := &crawler.IndexWriter{Ix: ix}
+	writer := &crawler.IndexWriter{Ix: ix, Workers: opts.Workers, Metrics: metrics}
 
 	if opts.BlobParsing {
 		reader = &blobReader{inner: reader}
@@ -145,11 +150,6 @@ func IngestFrom(reader analysis.CollectionReader, opts Options) (*System, error)
 		if err != nil {
 			return nil, fmt.Errorf("eil: dedup: %w", err)
 		}
-	}
-
-	metrics := opts.Metrics
-	if metrics == nil {
-		metrics = obs.NewRegistry()
 	}
 	pipe := &analysis.Pipeline{
 		Reader:    reader,
@@ -170,9 +170,11 @@ func IngestFrom(reader analysis.CollectionReader, opts Options) (*System, error)
 		return nil, fmt.Errorf("eil: ingest: %w", err)
 	}
 
+	sia := siapi.NewEngine(ix)
+	sia.SetMetrics(metrics)
 	sys := &System{
 		Index:      ix,
-		SIAPI:      siapi.NewEngine(ix),
+		SIAPI:      sia,
 		Synopses:   store,
 		Taxonomy:   tax,
 		Access:     opts.Access,

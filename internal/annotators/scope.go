@@ -1,7 +1,9 @@
 package annotators
 
 import (
+	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/taxonomy"
@@ -23,6 +25,103 @@ type ScopeAnnotator struct {
 	// TitleBoost raises confidence for mentions in scope-bearing documents
 	// (scope decks and overview docs), reflecting §3.3's use of structure.
 	TitleBoost float64
+
+	// The taxonomy is immutable during a pipeline run, so the resolved
+	// surface-form table and its first-word index are built once and shared
+	// by every Process call (the annotator runs on many worker goroutines).
+	matcherOnce sync.Once
+	matcher     scopeMatcher
+}
+
+// scopeForm is one taxonomy surface form prepared for matching.
+type scopeForm struct {
+	needle string // lowercased surface form
+	tower  string
+	sub    string
+}
+
+// scopeMatcher finds taxonomy mentions in a single pass over the document's
+// word starts instead of one strings.Index sweep per form: each body word is
+// looked up in the first-word index and only the handful of forms sharing
+// that first word are verified at the site.
+type scopeMatcher struct {
+	forms       []scopeForm
+	byFirstWord map[string][]int // first word of needle -> indices into forms
+	fallback    []int            // forms whose needle does not start with a word byte
+}
+
+// buildMatcher resolves every surface form once, in AllSurfaceForms order so
+// annotation emission order is unchanged.
+func buildMatcher(tax *taxonomy.Taxonomy) scopeMatcher {
+	m := scopeMatcher{byFirstWord: map[string][]int{}}
+	for _, form := range tax.AllSurfaceForms() {
+		tower, sub, ok := tax.Resolve(form)
+		if !ok {
+			continue
+		}
+		needle := strings.ToLower(form)
+		if needle == "" {
+			continue
+		}
+		idx := len(m.forms)
+		m.forms = append(m.forms, scopeForm{needle: needle, tower: tower, sub: sub})
+		end := 0
+		for end < len(needle) && isWordByte(needle[end]) {
+			end++
+		}
+		if end == 0 {
+			m.fallback = append(m.fallback, idx)
+			continue
+		}
+		first := needle[:end]
+		m.byFirstWord[first] = append(m.byFirstWord[first], idx)
+	}
+	return m
+}
+
+// scopeMatch is one mention of forms[form] at [begin, end).
+type scopeMatch struct {
+	form       int
+	begin, end int
+}
+
+// scan returns every word-bounded occurrence of every form in lower (which
+// must already be lowercased), grouped by form in table order with spans
+// ascending — the same order the per-form strings.Index sweep produced.
+func (m *scopeMatcher) scan(lower string) []scopeMatch {
+	var out []scopeMatch
+	i := 0
+	for i < len(lower) {
+		if !isWordByte(lower[i]) {
+			i++
+			continue
+		}
+		start := i
+		for i < len(lower) && isWordByte(lower[i]) {
+			i++
+		}
+		word := lower[start:i]
+		for _, idx := range m.byFirstWord[word] {
+			needle := m.forms[idx].needle
+			end := start + len(needle)
+			if end > len(lower) || lower[start:end] != needle {
+				continue
+			}
+			if end < len(lower) && isWordByte(lower[end]) {
+				continue
+			}
+			out = append(out, scopeMatch{form: idx, begin: start, end: end})
+		}
+	}
+	for _, idx := range m.fallback {
+		for _, span := range findWordSpans(lower, m.forms[idx].needle) {
+			out = append(out, scopeMatch{form: idx, begin: span[0], end: span[1]})
+		}
+	}
+	// Word starts are visited in ascending order, so spans within a form are
+	// already sorted; restore the grouped-by-form order of the old sweep.
+	sort.SliceStable(out, func(a, b int) bool { return out[a].form < out[b].form })
+	return out
 }
 
 // NewScopeAnnotator builds the annotator over the taxonomy.
@@ -35,31 +134,27 @@ func (s *ScopeAnnotator) Name() string { return "scope-ontology" }
 
 // Process implements analysis.Annotator.
 func (s *ScopeAnnotator) Process(cas *analysis.CAS) error {
+	s.matcherOnce.Do(func() { s.matcher = buildMatcher(s.Tax) })
 	body := cas.Doc.Body
 	lower := strings.ToLower(body)
 	inScopeDoc := isScopeBearing(cas)
-	for _, form := range s.Tax.AllSurfaceForms() {
-		tower, sub, ok := s.Tax.Resolve(form)
-		if !ok {
-			continue
+	for _, match := range s.matcher.scan(lower) {
+		form := &s.matcher.forms[match.form]
+		conf := 0.6
+		if inScopeDoc {
+			conf += s.TitleBoost
 		}
-		for _, span := range findWordSpans(lower, form) {
-			conf := 0.6
-			if inScopeDoc {
-				conf += s.TitleBoost
-			}
-			features := map[string]string{
-				"tower":   tower,
-				"surface": body[span[0]:span[1]],
-			}
-			if sub != "" {
-				features["subtower"] = sub
-			}
-			cas.Add(analysis.Annotation{
-				Type: TypeScope, Begin: span[0], End: span[1],
-				Features: features, Confidence: conf, Source: s.Name(),
-			})
+		features := map[string]string{
+			"tower":   form.tower,
+			"surface": body[match.begin:match.end],
 		}
+		if form.sub != "" {
+			features["subtower"] = form.sub
+		}
+		cas.Add(analysis.Annotation{
+			Type: TypeScope, Begin: match.begin, End: match.end,
+			Features: features, Confidence: conf, Source: s.Name(),
+		})
 	}
 	return nil
 }

@@ -11,8 +11,10 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/access"
+	"repro/internal/lru"
 	"repro/internal/obs"
 	"repro/internal/siapi"
 	"repro/internal/synopsis"
@@ -128,6 +130,28 @@ type Engine struct {
 	// Metrics, when set, receives per-stage search timings and outcome
 	// counters (search_* metric names); nil disables recording.
 	Metrics *obs.Registry
+
+	// synMemo lazily memoizes synopsis query results keyed on the store's
+	// generation counter (see memo.go).
+	synOnce sync.Once
+	synMemo *lru.Cache[string, []synopsis.Hit]
+}
+
+// Derive returns a new Engine sharing this engine's stores and
+// configuration. Engines must not be copied by value (they carry memo
+// state); Derive is the supported way to tweak settings — ablations flip
+// DisableScoping or the rank weights on a derived engine.
+func (e *Engine) Derive() *Engine {
+	return &Engine{
+		Synopses:       e.Synopses,
+		Docs:           e.Docs,
+		Access:         e.Access,
+		Tax:            e.Tax,
+		SynopsisWeight: e.SynopsisWeight,
+		DocWeight:      e.DocWeight,
+		DisableScoping: e.DisableScoping,
+		Metrics:        e.Metrics,
+	}
 }
 
 // Search stage labels used in search_stage_seconds.
@@ -198,7 +222,7 @@ func (e *Engine) search(user access.User, q FormQuery) (Result, error) {
 	var err error
 	if !sq.Empty() {
 		t := obs.StartTimer()
-		synHits, err = e.Synopses.Search(sq)
+		synHits, err = e.synopsisSearch(sq)
 		t.ObserveInto(e.stageHist(StageSynopsis))
 		if err != nil {
 			return res, fmt.Errorf("core: synopsis query: %w", err)

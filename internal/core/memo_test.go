@@ -1,0 +1,47 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/synopsis"
+)
+
+func TestSynopsisMemoHitsAndInvalidation(t *testing.T) {
+	e := newEngine(t)
+	reg := obs.NewRegistry()
+	e.Metrics = reg
+	hits := reg.Counter("synopsis_cache_hits_total")
+	misses := reg.Counter("synopsis_cache_misses_total")
+
+	q := FormQuery{Tower: "Storage Management Services"}
+	first, err := e.Search(anyUser(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if misses.Value() != 1 || hits.Value() != 0 {
+		t.Fatalf("after first search: hits=%d misses=%d", hits.Value(), misses.Value())
+	}
+	second, err := e.Search(anyUser(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits.Value() != 1 {
+		t.Fatalf("repeat synopsis query did not hit memo: hits=%d misses=%d", hits.Value(), misses.Value())
+	}
+	if !reflect.DeepEqual(first.Activities, second.Activities) {
+		t.Fatal("memoized search diverges from computed one")
+	}
+
+	// Any synopsis write bumps the store generation and flushes the memo.
+	if err := e.Synopses.Put(synopsis.Deal{Overview: synopsis.Overview{DealID: "DEAL NEW"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Search(anyUser(), q); err != nil {
+		t.Fatal(err)
+	}
+	if misses.Value() != 2 {
+		t.Fatalf("write did not invalidate memo: hits=%d misses=%d", hits.Value(), misses.Value())
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/docmodel"
 	"repro/internal/docparse"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/siapi"
 )
 
@@ -104,21 +105,52 @@ func WriteTree(root string, docs []*docmodel.Document, contents map[string]strin
 	return nil
 }
 
+// defaultIndexBatch is how many documents the IndexWriter buffers before
+// handing a batch to the parallel segment builder.
+const defaultIndexBatch = 256
+
 // IndexWriter is the pipeline consumer that populates the semantic index:
 // the document's lexical fields plus concept fields distilled from its
 // annotations (towers, people, roles, technology solutions), so SIAPI
-// queries can target concepts directly.
+// queries can target concepts directly. Documents are buffered and indexed
+// in batches through index.AddBatch, so tokenization fans out across workers
+// instead of serializing behind the index lock.
 type IndexWriter struct {
 	Ix *index.Index
-	// docs counts documents written.
-	docs int
+	// Workers caps tokenization fan-out per flushed batch; 0 means
+	// GOMAXPROCS.
+	Workers int
+	// BatchSize is the flush threshold; 0 means defaultIndexBatch.
+	BatchSize int
+	// Metrics, when set, records segment build/merge timing per flush.
+	Metrics *obs.Registry
+
+	pending []index.Document
+	docs    int
 }
 
 // Name implements analysis.Consumer.
 func (w *IndexWriter) Name() string { return "index-writer" }
 
-// Docs reports how many documents were indexed.
+// Docs reports how many documents were indexed (flushed batches only).
 func (w *IndexWriter) Docs() int { return w.docs }
+
+// Flush indexes all buffered documents as one parallel batch. Callers that
+// bypass the pipeline (which flushes via End) must call it before searching.
+func (w *IndexWriter) Flush() error {
+	if len(w.pending) == 0 {
+		return nil
+	}
+	ids, stats, err := w.Ix.AddBatchStats(w.pending, w.Workers)
+	w.pending = w.pending[:0]
+	if err != nil {
+		return fmt.Errorf("crawler: index batch: %w", err)
+	}
+	w.Metrics.Histogram("ingest_segment_build_seconds", nil).Observe(stats.BuildWall.Seconds())
+	w.Metrics.Histogram("ingest_segment_merge_seconds", nil).Observe(stats.MergeWall.Seconds())
+	w.docs += len(ids)
+	return nil
+}
 
 // Consume implements analysis.Consumer.
 func (w *IndexWriter) Consume(cas *analysis.CAS) error {
@@ -167,12 +199,16 @@ func (w *IndexWriter) Consume(cas *analysis.CAS) error {
 		}
 	}
 	meta := map[string]string{"deal": doc.DealID, "type": string(doc.Type)}
-	if _, err := w.Ix.Add(index.Document{ExtID: doc.Path, Fields: fields, Meta: meta}); err != nil {
-		return fmt.Errorf("crawler: index %s: %w", doc.Path, err)
+	w.pending = append(w.pending, index.Document{ExtID: doc.Path, Fields: fields, Meta: meta})
+	limit := w.BatchSize
+	if limit <= 0 {
+		limit = defaultIndexBatch
 	}
-	w.docs++
+	if len(w.pending) >= limit {
+		return w.Flush()
+	}
 	return nil
 }
 
 // End implements analysis.Consumer.
-func (w *IndexWriter) End() error { return nil }
+func (w *IndexWriter) End() error { return w.Flush() }

@@ -273,7 +273,7 @@ type RankingAblation struct {
 // fixture.
 func AblationRanking(f *Fixture) (RankingAblation, error) {
 	run := func(sw, dw float64) (int, int, error) {
-		eng := *f.Sys.Engine
+		eng := f.Sys.Engine.Derive()
 		eng.SynopsisWeight = sw
 		eng.DocWeight = dw
 		res, err := eng.Search(f.User(), core.FormQuery{
@@ -326,13 +326,13 @@ func AblationScoping(f *Fixture) (ScopingAblation, error) {
 	var r ScopingAblation
 	q := core.FormQuery{Tower: "End User Services", AllWords: []string{"replication"}}
 
-	scopedEng := *f.Sys.Engine
+	scopedEng := f.Sys.Engine.Derive()
 	scopedEng.DisableScoping = false
 	scoped, err := scopedEng.Search(f.User(), q)
 	if err != nil {
 		return r, err
 	}
-	unscopedEng := *f.Sys.Engine
+	unscopedEng := f.Sys.Engine.Derive()
 	unscopedEng.DisableScoping = true
 	unscoped, err := unscopedEng.Search(f.User(), q)
 	if err != nil {

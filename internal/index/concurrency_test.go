@@ -100,3 +100,59 @@ func TestConcurrentDeleteSearch(t *testing.T) {
 		t.Fatalf("DocCount = %d, want %d", got, n/2)
 	}
 }
+
+// TestConcurrentAddBatchSearch exercises the parallel segment path under
+// concurrent readers, deleters, and competing batch writers; run with -race
+// to verify that tokenization really is lock-free and the merge is not.
+func TestConcurrentAddBatchSearch(t *testing.T) {
+	ix := New(textproc.DefaultAnalyzer)
+	const batches, perBatch = 8, 50
+	var wg sync.WaitGroup
+	for b := 0; b < batches; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			docs := make([]Document, perBatch)
+			for i := range docs {
+				docs[i] = Document{
+					ExtID: fmt.Sprintf("b%d-d%d", b, i),
+					Fields: []Field{
+						{Name: "body", Text: "shared storage migration plan"},
+						{Name: "tower", Text: "Storage", Keyword: true},
+					},
+				}
+			}
+			if _, err := ix.AddBatch(docs, 3); err != nil {
+				t.Errorf("batch %d: %v", b, err)
+			}
+		}(b)
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		q := BoolQuery{
+			Must:    []Query{TermQuery{Field: "body", Term: "storag"}},
+			MustNot: []Query{TermQuery{Field: "body", Term: "absent"}},
+		}
+		for i := 0; i < 300; i++ {
+			hits := ix.Search(q, 10)
+			if len(hits) > 10 {
+				t.Errorf("limit overrun: %d", len(hits))
+				return
+			}
+			_ = ix.Count(AllQuery{})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < perBatch; i++ {
+			// Deletes race the batches; miss errors are expected.
+			_ = ix.Delete(fmt.Sprintf("b0-d%d", i))
+		}
+	}()
+	wg.Wait()
+	total := batches * perBatch
+	if got := ix.DocCount(); got > total || got < total-perBatch {
+		t.Fatalf("DocCount = %d, want within [%d, %d]", got, total-perBatch, total)
+	}
+}

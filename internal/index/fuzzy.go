@@ -37,9 +37,10 @@ const maxPrefixExpansions = 64
 
 // evalPrefix expands the prefix against the dictionary and evaluates the
 // union at full term scores.
-func (ix *Index) evalPrefix(q PrefixQuery) map[DocID]float64 {
+func (ix *Index) evalPrefix(q PrefixQuery) *acc {
+	out := ix.getAcc()
 	if q.Prefix == "" {
-		return map[DocID]float64{}
+		return out
 	}
 	var terms []string
 	for key := range ix.postings {
@@ -63,13 +64,14 @@ func (ix *Index) evalPrefix(q PrefixQuery) map[DocID]float64 {
 	if len(terms) > maxPrefixExpansions {
 		terms = terms[:maxPrefixExpansions]
 	}
-	out := map[DocID]float64{}
 	for _, term := range terms {
-		for id, s := range ix.evalTerm(q.Field, term) {
-			if s > out[id] {
-				out[id] = s
+		m := ix.evalTerm(q.Field, term)
+		for _, id := range m.ids {
+			if m.member[id] {
+				out.addMax(id, m.scores[id])
 			}
 		}
+		ix.putAcc(m)
 	}
 	return out
 }
@@ -77,7 +79,7 @@ func (ix *Index) evalPrefix(q PrefixQuery) map[DocID]float64 {
 // evalFuzzy expands the query term against the dictionary and evaluates the
 // union. Scores are the underlying term scores scaled down by edit distance
 // (exact-distance-1 matches count 60%, distance-2 matches 35%).
-func (ix *Index) evalFuzzy(q FuzzyQuery) map[DocID]float64 {
+func (ix *Index) evalFuzzy(q FuzzyQuery) *acc {
 	maxDist := q.MaxDist
 	if maxDist <= 0 {
 		maxDist = 1
@@ -111,7 +113,7 @@ func (ix *Index) evalFuzzy(q FuzzyQuery) map[DocID]float64 {
 	if len(cands) > maxFuzzyExpansions {
 		cands = cands[:maxFuzzyExpansions]
 	}
-	out := map[DocID]float64{}
+	out := ix.getAcc()
 	for _, c := range cands {
 		scale := 1.0
 		switch c.dist {
@@ -120,11 +122,13 @@ func (ix *Index) evalFuzzy(q FuzzyQuery) map[DocID]float64 {
 		case 2:
 			scale = 0.35
 		}
-		for id, s := range ix.evalTerm(q.Field, c.term) {
-			if v := s * scale; v > out[id] {
-				out[id] = v
+		m := ix.evalTerm(q.Field, c.term)
+		for _, id := range m.ids {
+			if m.member[id] {
+				out.addMax(id, m.scores[id]*scale)
 			}
 		}
+		ix.putAcc(m)
 	}
 	return out
 }

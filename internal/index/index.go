@@ -6,14 +6,18 @@
 // exposed here.
 //
 // The index is safe for concurrent use: writes take an exclusive lock,
-// searches take a shared lock.
+// searches take a shared lock. Tokenization runs outside the lock (see
+// segment.go), so concurrent writers contend only on the short merge step.
 package index
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"unicode/utf8"
 
 	"repro/internal/textproc"
 )
@@ -59,8 +63,11 @@ type posting struct {
 }
 
 // postingList is the per-(field,term) list, kept in ascending DocID order.
+// live tracks the number of non-tombstoned documents in entries, so document
+// frequency never requires rescanning the list.
 type postingList struct {
 	entries []posting
+	live    int
 }
 
 type fieldTerm struct {
@@ -69,10 +76,9 @@ type fieldTerm struct {
 }
 
 type docEntry struct {
-	extID   string
-	meta    map[string]string
-	fields  []storedField
-	deleted bool
+	extID  string
+	meta   map[string]string
+	fields []storedField
 }
 
 type storedField struct {
@@ -82,18 +88,62 @@ type storedField struct {
 	weight float64
 }
 
+// fieldData is the dense per-document statistics table for one field:
+// token length and BM25 weight indexed by DocID. A zero weight means the
+// document does not have the field (stored weights are never zero), in which
+// case scoring falls back to length 0 and weight 1 — the same answer the old
+// linear scan over stored fields gave for absent fields.
+type fieldData struct {
+	lens    []int32
+	weights []float64
+}
+
+// ensure grows the tables to cover n documents.
+func (fd *fieldData) ensure(n int) {
+	if len(fd.lens) >= n {
+		return
+	}
+	fd.lens = append(fd.lens, make([]int32, n-len(fd.lens))...)
+	fd.weights = append(fd.weights, make([]float64, n-len(fd.weights))...)
+}
+
+// at returns the field length and weight for one document.
+func (fd *fieldData) at(id DocID) (length int, weight float64) {
+	if fd == nil || int(id) >= len(fd.lens) {
+		return 0, 1
+	}
+	w := fd.weights[id]
+	if w == 0 {
+		return 0, 1
+	}
+	return int(fd.lens[id]), w
+}
+
 // Index is the inverted index. Create one with New.
 type Index struct {
 	mu       sync.RWMutex
 	analyzer textproc.Analyzer
 	docs     []docEntry
+	// deleted is the tombstone bitmap, parallel to docs: a dense slice the
+	// evaluation hot loops can probe without touching the wide docEntry.
+	deleted  []bool
 	byExt    map[string]DocID
 	postings map[fieldTerm]*postingList
 	// fieldTotals tracks the sum of token lengths per field for average
 	// length in BM25; fieldDocs counts docs that have the field.
 	fieldTotals map[string]int
 	fieldDocs   map[string]int
-	liveDocs    int
+	// fieldLens holds the dense per-doc length/weight tables consulted once
+	// per scored posting.
+	fieldLens map[string]*fieldData
+	liveDocs  int
+
+	// gen counts index mutations (Add, AddBatch, Delete). Query-result
+	// caches key on it so any write invalidates without coordination.
+	gen atomic.Uint64
+
+	// accPool recycles per-query scoring accumulators.
+	accPool sync.Pool
 }
 
 // New returns an empty index using the given analyzer. Pass
@@ -105,6 +155,7 @@ func New(a textproc.Analyzer) *Index {
 		postings:    make(map[fieldTerm]*postingList),
 		fieldTotals: make(map[string]int),
 		fieldDocs:   make(map[string]int),
+		fieldLens:   make(map[string]*fieldData),
 	}
 }
 
@@ -112,42 +163,23 @@ func New(a textproc.Analyzer) *Index {
 // use it so query terms normalize identically to indexed terms.
 func (ix *Index) Analyzer() textproc.Analyzer { return ix.analyzer }
 
+// Generation reports the index mutation epoch: it changes after every Add,
+// AddBatch, or Delete. Caches key results on it to invalidate on write.
+func (ix *Index) Generation() uint64 { return ix.gen.Load() }
+
 // Add indexes one document and returns its DocID. Adding an ExtID that is
-// already live returns ErrDuplicate.
+// already live returns ErrDuplicate. Tokenization happens outside the index
+// lock; only the final merge takes it.
 func (ix *Index) Add(doc Document) (DocID, error) {
-	if doc.ExtID == "" {
-		return 0, fmt.Errorf("index: empty external id")
+	seg := newSegment(ix.analyzer)
+	if err := seg.add(doc); err != nil {
+		return 0, err
 	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if _, ok := ix.byExt[doc.ExtID]; ok {
-		return 0, fmt.Errorf("%w: %s", ErrDuplicate, doc.ExtID)
+	ids, err := ix.mergeSegments([]*segment{seg})
+	if err != nil {
+		return 0, err
 	}
-	id := DocID(len(ix.docs))
-	entry := docEntry{extID: doc.ExtID, meta: doc.Meta}
-	for _, f := range doc.Fields {
-		w := f.Weight
-		if w == 0 {
-			w = 1
-		}
-		toks := ix.analyzer.Tokenize(f.Text)
-		for _, tok := range toks {
-			ix.addPosting(f.Name, tok.Term, id, uint32(tok.Pos))
-		}
-		if f.Keyword {
-			kw := keywordTerm(f.Text)
-			if kw != "" {
-				ix.addPosting(f.Name, kw, id, keywordPos)
-			}
-		}
-		entry.fields = append(entry.fields, storedField{name: f.Name, text: f.Text, length: len(toks), weight: w})
-		ix.fieldTotals[f.Name] += len(toks)
-		ix.fieldDocs[f.Name]++
-	}
-	ix.docs = append(ix.docs, entry)
-	ix.byExt[doc.ExtID] = id
-	ix.liveDocs++
-	return id, nil
+	return ids[0], nil
 }
 
 // keywordPos is the sentinel position used for whole-value keyword terms so
@@ -160,11 +192,24 @@ func keywordTerm(value string) string {
 	if v == "" {
 		return ""
 	}
-	return "\x00" + lowerASCII(v)
+	return "\x00" + lowerTerm(v)
 }
 
 // KeywordTerm exposes the keyword-term normalization for query compilers.
 func KeywordTerm(value string) string { return keywordTerm(value) }
+
+// lowerTerm lowercases a keyword value: the ASCII fast path avoids an
+// allocation for the common case, and values carrying non-ASCII bytes
+// (accented client or person names) go through full Unicode lowercasing so
+// exact-match concept fields stay case-insensitive for them too.
+func lowerTerm(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= utf8.RuneSelf {
+			return strings.ToLower(s)
+		}
+	}
+	return lowerASCII(s)
+}
 
 func lowerASCII(s string) string {
 	b := []byte(s)
@@ -181,23 +226,10 @@ func lowerASCII(s string) string {
 	return string(b)
 }
 
-func (ix *Index) addPosting(field, term string, id DocID, pos uint32) {
-	key := fieldTerm{field, term}
-	pl := ix.postings[key]
-	if pl == nil {
-		pl = &postingList{}
-		ix.postings[key] = pl
-	}
-	n := len(pl.entries)
-	if n > 0 && pl.entries[n-1].doc == id {
-		pl.entries[n-1].positions = append(pl.entries[n-1].positions, pos)
-		return
-	}
-	pl.entries = append(pl.entries, posting{doc: id, positions: []uint32{pos}})
-}
-
 // Delete tombstones the document with the given external ID. Postings are
 // retained but filtered at read time; EIL re-ingests rather than compacting.
+// The stored fields are re-tokenized (outside the hot path — deletes are
+// rare) to decrement each affected posting list's live document frequency.
 func (ix *Index) Delete(extID string) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
@@ -206,16 +238,32 @@ func (ix *Index) Delete(extID string) error {
 		return fmt.Errorf("%w: %s", ErrNotFound, extID)
 	}
 	e := &ix.docs[id]
-	if e.deleted {
-		return fmt.Errorf("%w: %s", ErrNotFound, extID)
-	}
-	e.deleted = true
+	ix.deleted[id] = true
 	delete(ix.byExt, extID)
+	seen := make(map[fieldTerm]struct{})
+	decr := func(key fieldTerm) {
+		if _, dup := seen[key]; dup {
+			return
+		}
+		seen[key] = struct{}{}
+		if pl := ix.postings[key]; pl != nil && findPosting(pl, id) != nil {
+			pl.live--
+		}
+	}
 	for _, f := range e.fields {
 		ix.fieldTotals[f.name] -= f.length
 		ix.fieldDocs[f.name]--
+		for _, tok := range ix.analyzer.Tokenize(f.text) {
+			decr(fieldTerm{f.name, tok.Term})
+		}
+		// The whole-value term exists only if the field was keyword-indexed;
+		// findPosting inside decr resolves that exactly.
+		if kw := keywordTerm(f.text); kw != "" {
+			decr(fieldTerm{f.name, kw})
+		}
 	}
 	ix.liveDocs--
+	ix.gen.Add(1)
 	return nil
 }
 
@@ -238,7 +286,7 @@ func (ix *Index) TermCount() int {
 func (ix *Index) ExtID(id DocID) (string, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	if int(id) >= len(ix.docs) || ix.docs[id].deleted {
+	if int(id) >= len(ix.docs) || ix.deleted[id] {
 		return "", ErrNotFound
 	}
 	return ix.docs[id].extID, nil
@@ -256,7 +304,7 @@ func (ix *Index) Lookup(extID string) (DocID, bool) {
 func (ix *Index) Meta(id DocID, key string) string {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	if int(id) >= len(ix.docs) || ix.docs[id].deleted {
+	if int(id) >= len(ix.docs) || ix.deleted[id] {
 		return ""
 	}
 	return ix.docs[id].meta[key]
@@ -267,7 +315,7 @@ func (ix *Index) Meta(id DocID, key string) string {
 func (ix *Index) FieldText(id DocID, field string) string {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	if int(id) >= len(ix.docs) || ix.docs[id].deleted {
+	if int(id) >= len(ix.docs) || ix.deleted[id] {
 		return ""
 	}
 	for _, f := range ix.docs[id].fields {
@@ -301,10 +349,10 @@ func (ix *Index) Compact() *Index {
 	defer ix.mu.RUnlock()
 	fresh := New(ix.analyzer)
 	for i := range ix.docs {
-		d := &ix.docs[i]
-		if d.deleted {
+		if ix.deleted[i] {
 			continue
 		}
+		d := &ix.docs[i]
 		doc := Document{ExtID: d.extID, Meta: d.meta}
 		for _, f := range d.fields {
 			doc.Fields = append(doc.Fields, Field{Name: f.name, Text: f.text, Weight: f.weight})
@@ -338,15 +386,18 @@ func (ix *Index) ExtIDsByMeta(key, value string) []string {
 	defer ix.mu.RUnlock()
 	var out []string
 	for i := range ix.docs {
-		d := &ix.docs[i]
-		if !d.deleted && d.meta[key] == value {
-			out = append(out, d.extID)
+		if ix.deleted[i] {
+			continue
+		}
+		if ix.docs[i].meta[key] == value {
+			out = append(out, ix.docs[i].extID)
 		}
 	}
 	return out
 }
 
-// DocFreq reports how many live documents contain term in field.
+// DocFreq reports how many live documents contain term in field. The count
+// is maintained incrementally by Add and Delete, so this is O(1).
 func (ix *Index) DocFreq(field, term string) int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -354,11 +405,16 @@ func (ix *Index) DocFreq(field, term string) int {
 	if pl == nil {
 		return 0
 	}
-	n := 0
-	for _, p := range pl.entries {
-		if !ix.docs[p.doc].deleted {
-			n++
-		}
+	return pl.live
+}
+
+// fieldData returns (creating if needed) the stats table for a field.
+// Callers must hold the write lock.
+func (ix *Index) fieldData(name string) *fieldData {
+	fd := ix.fieldLens[name]
+	if fd == nil {
+		fd = &fieldData{}
+		ix.fieldLens[name] = fd
 	}
-	return n
+	return fd
 }

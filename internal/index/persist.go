@@ -62,8 +62,8 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		FieldDocs:   ix.fieldDocs,
 		LiveDocs:    ix.liveDocs,
 	}
-	for _, d := range ix.docs {
-		sd := snapDoc{ExtID: d.extID, Meta: d.meta, Deleted: d.deleted}
+	for i, d := range ix.docs {
+		sd := snapDoc{ExtID: d.extID, Meta: d.meta, Deleted: ix.deleted[i]}
 		for _, f := range d.fields {
 			sd.Fields = append(sd.Fields, snapField{Name: f.name, Text: f.text, Length: f.length, Weight: f.weight})
 		}
@@ -103,19 +103,33 @@ func Load(r io.Reader) (*Index, error) {
 	}
 	ix.liveDocs = snap.LiveDocs
 	for i, sd := range snap.Docs {
-		d := docEntry{extID: sd.ExtID, meta: sd.Meta, deleted: sd.Deleted}
+		d := docEntry{extID: sd.ExtID, meta: sd.Meta}
 		for _, f := range sd.Fields {
 			d.fields = append(d.fields, storedField{name: f.Name, text: f.Text, length: f.Length, weight: f.Weight})
 		}
 		ix.docs = append(ix.docs, d)
+		ix.deleted = append(ix.deleted, sd.Deleted)
 		if !sd.Deleted {
 			ix.byExt[sd.ExtID] = DocID(i)
+			// Rebuild the dense field-length table (first occurrence of a
+			// field name in a document wins, matching the merge path).
+			for _, f := range d.fields {
+				fd := ix.fieldData(f.name)
+				fd.ensure(len(ix.docs))
+				if fd.weights[i] == 0 {
+					fd.lens[i] = int32(f.length)
+					fd.weights[i] = f.weight
+				}
+			}
 		}
 	}
 	for _, sp := range snap.Postings {
 		pl := &postingList{}
 		for _, e := range sp.Entries {
 			pl.entries = append(pl.entries, posting{doc: e.Doc, positions: e.Positions})
+			if !ix.deleted[e.Doc] {
+				pl.live++
+			}
 		}
 		ix.postings[fieldTerm{sp.Field, sp.Term}] = pl
 	}

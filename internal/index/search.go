@@ -57,38 +57,202 @@ const (
 // evidence of relevance than bag-of-words co-occurrence.
 const phraseBoost = 1.2
 
+// acc is a reusable per-query scoring accumulator: a dense score table plus
+// the list of matched documents, replacing the map[DocID]float64 the
+// evaluator used to allocate per query. ids may retain entries whose member
+// flag has since been cleared by a removal; iterations check member. Members
+// are only ever added while an accumulator is being filled (term/phrase/all/
+// union), never after removals start, so ids holds no duplicates.
+type acc struct {
+	scores []float64
+	member []bool
+	ids    []DocID
+	n      int // live member count
+}
+
+// grow sizes the dense tables for n documents. Pooled accumulators keep
+// their backing arrays zeroed (reset clears every touched slot), so
+// re-slicing within capacity exposes only zeroes.
+func (a *acc) grow(n int) {
+	if cap(a.scores) < n {
+		a.scores = make([]float64, n)
+		a.member = make([]bool, n)
+		return
+	}
+	a.scores = a.scores[:n]
+	a.member = a.member[:n]
+}
+
+// add inserts or score-accumulates one document.
+func (a *acc) add(id DocID, s float64) {
+	if a.member[id] {
+		a.scores[id] += s
+		return
+	}
+	a.member[id] = true
+	a.scores[id] = s
+	a.ids = append(a.ids, id)
+	a.n++
+}
+
+// addMax inserts or keeps the maximum score (fuzzy/prefix disjunctions).
+func (a *acc) addMax(id DocID, s float64) {
+	if a.member[id] {
+		if s > a.scores[id] {
+			a.scores[id] = s
+		}
+		return
+	}
+	a.member[id] = true
+	a.scores[id] = s
+	a.ids = append(a.ids, id)
+	a.n++
+}
+
+// remove clears one document's membership; its id stays in ids as a stale
+// entry that later iterations skip.
+func (a *acc) remove(id DocID) {
+	if a.member[id] {
+		a.member[id] = false
+		a.scores[id] = 0
+		a.n--
+	}
+}
+
+// reset clears every touched slot so the accumulator can return to the pool
+// with all-zero backing arrays.
+func (a *acc) reset() {
+	for _, id := range a.ids {
+		a.scores[id] = 0
+		a.member[id] = false
+	}
+	a.ids = a.ids[:0]
+	a.n = 0
+}
+
+// getAcc leases an accumulator sized for the current document space.
+// Callers must hold at least a read lock (len(ix.docs) must be stable).
+func (ix *Index) getAcc() *acc {
+	a, _ := ix.accPool.Get().(*acc)
+	if a == nil {
+		a = &acc{}
+	}
+	a.grow(len(ix.docs))
+	return a
+}
+
+// putAcc resets and returns an accumulator to the pool.
+func (ix *Index) putAcc(a *acc) {
+	a.reset()
+	ix.accPool.Put(a)
+}
+
 // Search evaluates q and returns hits sorted by descending score (ties broken
-// by ascending DocID for determinism). limit <= 0 returns all hits.
+// by ascending DocID for determinism). limit <= 0 returns all hits; a
+// positive limit selects the top-k through a bounded min-heap without
+// materializing or sorting the full result set.
 func (ix *Index) Search(q Query, limit int) []Hit {
 	ix.mu.RLock()
-	scores := ix.eval(q)
+	a := ix.evalAcc(q)
 	ix.mu.RUnlock()
-
-	hits := make([]Hit, 0, len(scores))
-	for id, s := range scores {
-		hits = append(hits, Hit{Doc: id, Score: s})
-	}
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
-		}
-		return hits[i].Doc < hits[j].Doc
-	})
-	if limit > 0 && len(hits) > limit {
-		hits = hits[:limit]
-	}
+	hits := collectHits(a, limit)
+	ix.putAcc(a)
 	return hits
 }
 
 // Count evaluates q and returns only the number of matching documents.
+// AllQuery short-circuits to the maintained live-document count.
 func (ix *Index) Count(q Query) int {
 	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return len(ix.eval(q))
+	if _, ok := q.(AllQuery); ok {
+		n := ix.liveDocs
+		ix.mu.RUnlock()
+		return n
+	}
+	a := ix.evalAcc(q)
+	ix.mu.RUnlock()
+	n := a.n
+	ix.putAcc(a)
+	return n
 }
 
-// eval computes the score map for q. Callers must hold at least a read lock.
-func (ix *Index) eval(q Query) map[DocID]float64 {
+// hitWorse reports whether a ranks strictly below b: lower score, or equal
+// score and higher DocID. It is the strict total order behind both the final
+// sort and the top-k heap, so bounded and unbounded search agree exactly.
+func hitWorse(a, b Hit) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Doc > b.Doc
+}
+
+// collectHits turns an accumulator into a ranked hit list.
+func collectHits(a *acc, limit int) []Hit {
+	if limit <= 0 || a.n <= limit {
+		hits := make([]Hit, 0, a.n)
+		for _, id := range a.ids {
+			if a.member[id] {
+				hits = append(hits, Hit{Doc: id, Score: a.scores[id]})
+			}
+		}
+		sort.Slice(hits, func(i, j int) bool { return hitWorse(hits[j], hits[i]) })
+		return hits
+	}
+	// Bounded selection: a min-heap of size limit ordered worst-at-root.
+	h := make([]Hit, 0, limit)
+	for _, id := range a.ids {
+		if !a.member[id] {
+			continue
+		}
+		cand := Hit{Doc: id, Score: a.scores[id]}
+		if len(h) < limit {
+			h = append(h, cand)
+			siftUp(h, len(h)-1)
+			continue
+		}
+		if hitWorse(h[0], cand) {
+			h[0] = cand
+			siftDown(h, 0)
+		}
+	}
+	sort.Slice(h, func(i, j int) bool { return hitWorse(h[j], h[i]) })
+	return h
+}
+
+// siftUp restores the worst-at-root heap property after appending at i.
+func siftUp(h []Hit, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !hitWorse(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// siftDown restores the heap property after replacing the root.
+func siftDown(h []Hit, i int) {
+	n := len(h)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && hitWorse(h[l], h[worst]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && hitWorse(h[r], h[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
+}
+
+// evalAcc computes the scored match set for q. Callers must hold at least a
+// read lock and must return the accumulator to the pool.
+func (ix *Index) evalAcc(q Query) *acc {
 	switch t := q.(type) {
 	case TermQuery:
 		return ix.evalTerm(t.Field, t.Term)
@@ -101,15 +265,15 @@ func (ix *Index) eval(q Query) map[DocID]float64 {
 	case PrefixQuery:
 		return ix.evalPrefix(t)
 	case AllQuery:
-		out := make(map[DocID]float64, ix.liveDocs)
+		a := ix.getAcc()
 		for id := range ix.docs {
-			if !ix.docs[id].deleted {
-				out[DocID(id)] = 1
+			if !ix.deleted[id] {
+				a.add(DocID(id), 1)
 			}
 		}
-		return out
+		return a
 	default:
-		return nil
+		return ix.getAcc()
 	}
 }
 
@@ -137,60 +301,51 @@ func (ix *Index) fieldStats(field string) (avgLen float64, docs int) {
 	return avgLen, docs
 }
 
-func (ix *Index) fieldLen(id DocID, field string) (length int, weight float64) {
-	for _, f := range ix.docs[id].fields {
-		if f.name == field {
-			return f.length, f.weight
-		}
-	}
-	return 0, 1
-}
-
-func (ix *Index) evalTerm(field, term string) map[DocID]float64 {
+func (ix *Index) evalTerm(field, term string) *acc {
+	a := ix.getAcc()
 	pl := ix.postings[fieldTerm{field, term}]
-	if pl == nil {
-		return map[DocID]float64{}
+	if pl == nil || pl.live == 0 {
+		return a
 	}
 	avgLen, _ := ix.fieldStats(field)
-	df := 0
-	for _, p := range pl.entries {
-		if !ix.docs[p.doc].deleted {
-			df++
-		}
-	}
-	out := make(map[DocID]float64, df)
-	for _, p := range pl.entries {
-		if ix.docs[p.doc].deleted {
+	df := pl.live
+	fd := ix.fieldLens[field]
+	for i := range pl.entries {
+		p := &pl.entries[i]
+		if ix.deleted[p.doc] {
 			continue
 		}
-		fl, w := ix.fieldLen(p.doc, field)
-		out[p.doc] = w * bm25(len(p.positions), df, ix.liveDocs, fl, avgLen)
+		fl, w := fd.at(p.doc)
+		a.add(p.doc, w*bm25(len(p.positions), df, ix.liveDocs, fl, avgLen))
 	}
-	return out
+	return a
 }
 
-func (ix *Index) evalPhrase(field string, terms []string) map[DocID]float64 {
+func (ix *Index) evalPhrase(field string, terms []string) *acc {
 	switch len(terms) {
 	case 0:
-		return map[DocID]float64{}
+		return ix.getAcc()
 	case 1:
 		return ix.evalTerm(field, terms[0])
 	}
+	a := ix.getAcc()
 	lists := make([]*postingList, len(terms))
 	for i, term := range terms {
 		lists[i] = ix.postings[fieldTerm{field, term}]
 		if lists[i] == nil {
-			return map[DocID]float64{}
+			return a
 		}
 	}
 	// Document-at-a-time intersection driven by the first term's postings.
-	avgLen, _ := ix.fieldStats(field)
-	matches := make(map[DocID]int) // doc -> phrase occurrence count
-	for _, p0 := range lists[0].entries {
-		if ix.docs[p0.doc].deleted {
+	// First pass stores each matching document's phrase occurrence count in
+	// the accumulator; the second rescales counts into BM25 scores once the
+	// phrase document frequency (a.n) is known.
+	rest := make([][]uint32, len(terms)-1)
+	for i := range lists[0].entries {
+		p0 := &lists[0].entries[i]
+		if ix.deleted[p0.doc] {
 			continue
 		}
-		rest := make([][]uint32, len(terms)-1)
 		ok := true
 		for i := 1; i < len(terms); i++ {
 			p := findPosting(lists[i], p0.doc)
@@ -203,21 +358,22 @@ func (ix *Index) evalPhrase(field string, terms []string) map[DocID]float64 {
 		if !ok {
 			continue
 		}
-		count := countPhrase(p0.positions, rest)
-		if count > 0 {
-			matches[p0.doc] = count
+		if count := countPhrase(p0.positions, rest); count > 0 {
+			a.add(p0.doc, float64(count))
 		}
 	}
-	if len(matches) == 0 {
-		return map[DocID]float64{}
+	if a.n == 0 {
+		return a
 	}
-	df := len(matches)
-	out := make(map[DocID]float64, df)
-	for id, tf := range matches {
-		fl, w := ix.fieldLen(id, field)
-		out[id] = phraseBoost * w * bm25(tf, df, ix.liveDocs, fl, avgLen)
+	avgLen, _ := ix.fieldStats(field)
+	fd := ix.fieldLens[field]
+	df := a.n
+	for _, id := range a.ids {
+		tf := int(a.scores[id])
+		fl, w := fd.at(id)
+		a.scores[id] = phraseBoost * w * bm25(tf, df, ix.liveDocs, fl, avgLen)
 	}
-	return out
+	return a
 }
 
 // findPosting binary-searches a posting list for a document.
@@ -258,53 +414,66 @@ func containsPos(positions []uint32, want uint32) bool {
 	return i < len(positions) && positions[i] == want
 }
 
-func (ix *Index) evalBool(q BoolQuery) map[DocID]float64 {
-	var acc map[DocID]float64
+func (ix *Index) evalBool(q BoolQuery) *acc {
+	var a *acc
 	// Must clauses: intersection with score accumulation.
 	for _, sub := range q.Must {
-		m := ix.eval(sub)
-		if acc == nil {
-			acc = m
+		m := ix.evalAcc(sub)
+		if a == nil {
+			a = m
 			continue
 		}
-		for id := range acc {
-			if s, ok := m[id]; ok {
-				acc[id] += s
+		for _, id := range a.ids {
+			if !a.member[id] {
+				continue
+			}
+			if m.member[id] {
+				a.scores[id] += m.scores[id]
 			} else {
-				delete(acc, id)
+				a.remove(id)
 			}
 		}
-		if len(acc) == 0 {
-			return acc
+		ix.putAcc(m)
+		if a.n == 0 {
+			return a
 		}
 	}
 	// Should clauses: union among themselves; if Must is present they only
 	// contribute score plus act as a filter when there are no Must clauses.
 	if len(q.Should) > 0 {
-		union := make(map[DocID]float64)
+		union := ix.getAcc()
 		for _, sub := range q.Should {
-			for id, s := range ix.eval(sub) {
-				union[id] += s
-			}
-		}
-		if acc == nil {
-			acc = union
-		} else {
-			for id := range acc {
-				if s, ok := union[id]; ok {
-					acc[id] += s
+			m := ix.evalAcc(sub)
+			for _, id := range m.ids {
+				if m.member[id] {
+					union.add(id, m.scores[id])
 				}
 			}
+			ix.putAcc(m)
+		}
+		if a == nil {
+			a = union
+		} else {
+			for _, id := range a.ids {
+				if a.member[id] && union.member[id] {
+					a.scores[id] += union.scores[id]
+				}
+			}
+			ix.putAcc(union)
 		}
 	}
-	if acc == nil {
+	if a == nil {
 		// Only MustNot clauses: interpret as AllQuery minus exclusions.
-		acc = ix.eval(AllQuery{})
+		a = ix.evalAcc(AllQuery{})
 	}
 	for _, sub := range q.MustNot {
-		for id := range ix.eval(sub) {
-			delete(acc, id)
+		m := ix.evalAcc(sub)
+		for _, id := range m.ids {
+			if m.member[id] {
+				a.remove(id)
+			}
 		}
+		ix.putAcc(m)
 	}
-	return acc
+	return a
 }

@@ -1,0 +1,137 @@
+// Package lru provides a small epoch-invalidated LRU cache for query
+// results. The epoch is an external generation counter (for EIL, the index
+// or synopsis-store mutation count): every entry is stored under the epoch
+// current at compute time, and the first access at a newer epoch flushes the
+// whole cache. That makes invalidation free for writers — they bump a
+// counter and never touch the cache — at the cost of a cold cache after
+// every write, the right trade for EIL's read-heavy, slowly-changing corpus.
+package lru
+
+import "sync"
+
+// Cache is a fixed-capacity LRU keyed by K, safe for concurrent use.
+type Cache[K comparable, V any] struct {
+	mu    sync.Mutex
+	cap   int
+	epoch uint64
+	items map[K]*entry[K, V]
+	// Doubly-linked use list; head is most recent, tail least.
+	head, tail *entry[K, V]
+}
+
+type entry[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *entry[K, V]
+}
+
+// New returns a cache holding at most capacity entries (minimum 1).
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache[K, V]{cap: capacity, items: make(map[K]*entry[K, V], capacity)}
+}
+
+// Get returns the value cached for key, if it was stored at the given
+// epoch. A newer epoch flushes the cache (every entry is stale) and
+// misses; an older epoch — a reader that observed the counter before a
+// concurrent writer bumped it — misses without disturbing newer entries.
+func (c *Cache[K, V]) Get(key K, epoch uint64) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch != c.epoch {
+		if epoch > c.epoch {
+			c.flush(epoch)
+		}
+		var zero V
+		return zero, false
+	}
+	e, ok := c.items[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.moveToFront(e)
+	return e.val, true
+}
+
+// Put stores key→val computed at the given epoch. Values from epochs older
+// than the cache's are dropped (they may already be stale); a newer epoch
+// flushes first.
+func (c *Cache[K, V]) Put(key K, epoch uint64, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch != c.epoch {
+		if epoch < c.epoch {
+			return
+		}
+		c.flush(epoch)
+	}
+	if e, ok := c.items[key]; ok {
+		e.val = val
+		c.moveToFront(e)
+		return
+	}
+	e := &entry[K, V]{key: key, val: val}
+	c.items[key] = e
+	c.pushFront(e)
+	if len(c.items) > c.cap {
+		c.evict(c.tail)
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+func (c *Cache[K, V]) flush(epoch uint64) {
+	c.epoch = epoch
+	clear(c.items)
+	c.head, c.tail = nil, nil
+}
+
+func (c *Cache[K, V]) pushFront(e *entry[K, V]) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache[K, V]) unlink(e *entry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache[K, V]) moveToFront(e *entry[K, V]) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *Cache[K, V]) evict(e *entry[K, V]) {
+	if e == nil {
+		return
+	}
+	c.unlink(e)
+	delete(c.items, e.key)
+}

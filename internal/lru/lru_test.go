@@ -1,0 +1,96 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New[string, int](2)
+	if _, ok := c.Get("a", 0); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", 0, 1)
+	c.Put("b", 0, 2)
+	if v, ok := c.Get("a", 0); !ok || v != 1 {
+		t.Fatalf("a = %d, %v", v, ok)
+	}
+	// "a" is now most recent; inserting "c" evicts "b".
+	c.Put("c", 0, 3)
+	if _, ok := c.Get("b", 0); ok {
+		t.Fatal("b survived eviction")
+	}
+	if v, ok := c.Get("a", 0); !ok || v != 1 {
+		t.Fatalf("a evicted wrongly: %d, %v", v, ok)
+	}
+	if v, ok := c.Get("c", 0); !ok || v != 3 {
+		t.Fatalf("c = %d, %v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestPutUpdatesExisting(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 0, 1)
+	c.Put("a", 0, 9)
+	if v, _ := c.Get("a", 0); v != 9 {
+		t.Fatalf("a = %d, want 9", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestEpochFlush(t *testing.T) {
+	c := New[string, int](4)
+	c.Put("a", 1, 1)
+	// A newer epoch flushes everything and misses.
+	if _, ok := c.Get("a", 2); ok {
+		t.Fatal("stale entry served at newer epoch")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("cache not flushed: Len = %d", c.Len())
+	}
+	// A stale writer (epoch already passed) must not pollute the cache.
+	c.Put("b", 1, 2)
+	if _, ok := c.Get("b", 2); ok {
+		t.Fatal("stale Put was stored")
+	}
+	// A stale reader misses without flushing newer entries.
+	c.Put("c", 2, 3)
+	if _, ok := c.Get("c", 1); ok {
+		t.Fatal("newer entry served to stale reader")
+	}
+	if v, ok := c.Get("c", 2); !ok || v != 3 {
+		t.Fatalf("current entry lost: %d, %v", v, ok)
+	}
+}
+
+func TestCapacityFloor(t *testing.T) {
+	c := New[int, int](0)
+	c.Put(1, 0, 1)
+	if v, ok := c.Get(1, 0); !ok || v != 1 {
+		t.Fatalf("minimum capacity broken: %d, %v", v, ok)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	c := New[string, int](32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", i%50)
+				epoch := uint64(i / 100)
+				c.Put(key, epoch, i)
+				c.Get(key, epoch)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,113 @@
+package siapi
+
+// Query result caching. The EIL workload is read-heavy and repetitive —
+// form queries over a slow-changing corpus — so the engine memoizes Search
+// and Count results in small LRUs keyed on a canonical encoding of the
+// query plus the index's generation counter. Any index write bumps the
+// counter, so the first query after a write sees a flushed cache; writers
+// never touch the cache at all.
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/lru"
+	"repro/internal/obs"
+)
+
+const (
+	// searchCacheSize bounds the hit-list cache; entries are full result
+	// pages (tens of DocHits), so keep it modest.
+	searchCacheSize = 512
+	// countCacheSize bounds the match-count cache; entries are a single int.
+	countCacheSize = 1024
+)
+
+// SetMetrics routes cache hit/miss counters into reg (nil disables; the
+// handles are nil-safe).
+func (e *Engine) SetMetrics(reg *obs.Registry) {
+	e.cacheHits = reg.Counter("search_cache_hits_total")
+	e.cacheMisses = reg.Counter("search_cache_misses_total")
+}
+
+// cacheKey encodes a query and limit injectively: every component is
+// length-prefixed, so distinct queries can never collide by concatenation.
+func cacheKey(q Query, limit int) string {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(limit))
+	writeList := func(tag byte, vals []string) {
+		b.WriteByte(tag)
+		b.WriteString(strconv.Itoa(len(vals)))
+		for _, v := range vals {
+			b.WriteByte(':')
+			b.WriteString(strconv.Itoa(len(v)))
+			b.WriteByte(':')
+			b.WriteString(v)
+		}
+	}
+	writeList('a', q.All)
+	writeList('x', []string{q.Exact})
+	writeList('y', q.Any)
+	writeList('n', q.None)
+	writeList('z', q.Fuzzy)
+	writeList('p', q.Prefix)
+	writeList('f', q.Fields)
+	writeList('d', q.Deals)
+	return b.String()
+}
+
+// cachedSearch consults the result LRU before running compute, and stores
+// what compute returns. Hit lists are copied on both sides of the cache
+// boundary so callers may mutate what they receive.
+func (e *Engine) cachedSearch(q Query, limit int, compute func() []DocHit) []DocHit {
+	if e.hitCache == nil {
+		return compute()
+	}
+	key := cacheKey(q, limit)
+	epoch := e.ix.Generation()
+	if hits, ok := e.hitCache.Get(key, epoch); ok {
+		e.cacheHits.Inc()
+		return cloneHits(hits)
+	}
+	e.cacheMisses.Inc()
+	out := compute()
+	e.hitCache.Put(key, epoch, cloneHits(out))
+	return out
+}
+
+// cachedCount is cachedSearch for match counts.
+func (e *Engine) cachedCount(q Query, compute func() int) int {
+	if e.countCache == nil {
+		return compute()
+	}
+	// Counts ignore limit; key with a sentinel that no Search uses.
+	key := cacheKey(q, -1)
+	epoch := e.ix.Generation()
+	if n, ok := e.countCache.Get(key, epoch); ok {
+		e.cacheHits.Inc()
+		return n
+	}
+	e.cacheMisses.Inc()
+	n := compute()
+	e.countCache.Put(key, epoch, n)
+	return n
+}
+
+// cloneHits shallow-copies a hit list. DocHit fields are value types
+// (strings are immutable), so a slice copy fully isolates caller and cache.
+func cloneHits(hits []DocHit) []DocHit {
+	if hits == nil {
+		return nil
+	}
+	out := make([]DocHit, len(hits))
+	copy(out, hits)
+	return out
+}
+
+func newHitCache() *lru.Cache[string, []DocHit] {
+	return lru.New[string, []DocHit](searchCacheSize)
+}
+
+func newCountCache() *lru.Cache[string, int] {
+	return lru.New[string, int](countCacheSize)
+}

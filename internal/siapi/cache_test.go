@@ -1,0 +1,117 @@
+package siapi
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/obs"
+	"repro/internal/textproc"
+)
+
+func TestSearchCacheHitsAndInvalidation(t *testing.T) {
+	e := newEngine(t)
+	reg := obs.NewRegistry()
+	e.SetMetrics(reg)
+	hits := reg.Counter("search_cache_hits_total")
+	misses := reg.Counter("search_cache_misses_total")
+
+	q := Query{All: []string{"storage"}}
+	first := e.Search(q, 10)
+	if len(first) == 0 {
+		t.Fatal("no hits for warm-up query")
+	}
+	if hits.Value() != 0 || misses.Value() != 1 {
+		t.Fatalf("after miss: hits=%d misses=%d", hits.Value(), misses.Value())
+	}
+	second := e.Search(q, 10)
+	if hits.Value() != 1 {
+		t.Fatalf("repeat query did not hit cache: hits=%d misses=%d", hits.Value(), misses.Value())
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("cached result diverges:\n%v\n%v", first, second)
+	}
+
+	// A write bumps the index generation; the next identical query must
+	// recompute and see the new document.
+	if _, err := e.Index().Add(index.Document{
+		ExtID:  "new/storage.doc",
+		Fields: []index.Field{{Name: FieldBody, Text: "more storage services"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	third := e.Search(q, 10)
+	if misses.Value() != 2 {
+		t.Fatalf("write did not invalidate: hits=%d misses=%d", hits.Value(), misses.Value())
+	}
+	if len(third) != len(first)+1 {
+		t.Fatalf("stale result after write: %d hits, want %d", len(third), len(first)+1)
+	}
+}
+
+func TestSearchCacheIsolation(t *testing.T) {
+	e := newEngine(t)
+	q := Query{All: []string{"storage"}}
+	first := e.Search(q, 10)
+	if len(first) == 0 {
+		t.Fatal("no hits")
+	}
+	// Mutating a returned page must not corrupt the cached copy.
+	first[0].Path = "mutated"
+	second := e.Search(q, 10)
+	if second[0].Path == "mutated" {
+		t.Fatal("caller mutation leaked into cache")
+	}
+}
+
+func TestCountCache(t *testing.T) {
+	e := newEngine(t)
+	reg := obs.NewRegistry()
+	e.SetMetrics(reg)
+	q := Query{All: []string{"storage"}}
+	n1 := e.Count(q)
+	n2 := e.Count(q)
+	if n1 != n2 {
+		t.Fatalf("counts diverge: %d vs %d", n1, n2)
+	}
+	if reg.Counter("search_cache_hits_total").Value() != 1 {
+		t.Fatal("repeat count did not hit cache")
+	}
+	// Limit-keyed search entries and count entries must not collide.
+	if len(e.Search(q, n1)) != n1 {
+		t.Fatal("search after count returned wrong page")
+	}
+}
+
+func TestCacheKeyInjective(t *testing.T) {
+	// Queries that would collide under naive concatenation.
+	pairs := [][2]Query{
+		{{All: []string{"ab", "c"}}, {All: []string{"a", "bc"}}},
+		{{All: []string{"a"}, Any: []string{"b"}}, {All: []string{"a", "b"}}},
+		{{Exact: "x y"}, {All: []string{"x", "y"}}},
+		{{Deals: []string{"d1"}}, {Fields: []string{"d1"}}},
+	}
+	for _, p := range pairs {
+		if cacheKey(p[0], 5) == cacheKey(p[1], 5) {
+			t.Fatalf("key collision: %#v vs %#v", p[0], p[1])
+		}
+	}
+	if cacheKey(Query{All: []string{"a"}}, 5) == cacheKey(Query{All: []string{"a"}}, 6) {
+		t.Fatal("limit not part of key")
+	}
+}
+
+func TestNilEngineCachesDisabled(t *testing.T) {
+	// A zero-value Engine (no NewEngine) must still work uncached.
+	ix := index.New(textproc.DefaultAnalyzer)
+	if _, err := ix.Add(index.Document{ExtID: "d", Fields: []index.Field{{Name: FieldBody, Text: "storage"}}}); err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{ix: ix}
+	if got := e.Count(Query{All: []string{"storage"}}); got != 1 {
+		t.Fatalf("uncached count = %d", got)
+	}
+	if got := len(e.Search(Query{All: []string{"storage"}}, 0)); got != 1 {
+		t.Fatalf("uncached search = %d hits", got)
+	}
+}

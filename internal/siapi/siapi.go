@@ -12,6 +12,8 @@ import (
 	"strings"
 
 	"repro/internal/index"
+	"repro/internal/lru"
+	"repro/internal/obs"
 	"repro/internal/textproc"
 )
 
@@ -114,13 +116,22 @@ type ActivityHit struct {
 	Docs  []DocHit
 }
 
-// Engine executes SIAPI queries against a document index.
+// Engine executes SIAPI queries against a document index. Search and Count
+// results are memoized in epoch-invalidated LRUs (see cache.go); any index
+// write invalidates them through the index generation counter.
 type Engine struct {
-	ix *index.Index
+	ix         *index.Index
+	hitCache   *lru.Cache[string, []DocHit]
+	countCache *lru.Cache[string, int]
+	// Cache telemetry; nil-safe no-ops until SetMetrics is called.
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
 }
 
 // NewEngine wraps an index.
-func NewEngine(ix *index.Index) *Engine { return &Engine{ix: ix} }
+func NewEngine(ix *index.Index) *Engine {
+	return &Engine{ix: ix, hitCache: newHitCache(), countCache: newCountCache()}
+}
 
 // Index exposes the wrapped index (the ingest pipeline writes through it).
 func (e *Engine) Index() *index.Index { return e.ix }
@@ -229,28 +240,32 @@ func (e *Engine) queryTerms(q Query) []string {
 }
 
 // Search runs the query and returns up to limit document hits with
-// snippets. limit <= 0 returns all.
+// snippets. limit <= 0 returns all. Results are served from the
+// epoch-invalidated cache when the same query repeats against an unchanged
+// index.
 func (e *Engine) Search(q Query, limit int) []DocHit {
 	if q.Empty() {
 		return nil
 	}
-	hits := e.ix.Search(e.Compile(q), limit)
-	terms := e.queryTerms(q)
-	out := make([]DocHit, 0, len(hits))
-	for _, h := range hits {
-		path, err := e.ix.ExtID(h.Doc)
-		if err != nil {
-			continue
+	return e.cachedSearch(q, limit, func() []DocHit {
+		hits := e.ix.Search(e.Compile(q), limit)
+		terms := e.queryTerms(q)
+		out := make([]DocHit, 0, len(hits))
+		for _, h := range hits {
+			path, err := e.ix.ExtID(h.Doc)
+			if err != nil {
+				continue
+			}
+			out = append(out, DocHit{
+				Path:    path,
+				DealID:  e.ix.Meta(h.Doc, "deal"),
+				Title:   e.ix.FieldText(h.Doc, FieldTitle),
+				Score:   h.Score,
+				Snippet: e.ix.Snippet(h.Doc, FieldBody, terms, 30),
+			})
 		}
-		out = append(out, DocHit{
-			Path:    path,
-			DealID:  e.ix.Meta(h.Doc, "deal"),
-			Title:   e.ix.FieldText(h.Doc, FieldTitle),
-			Score:   h.Score,
-			Snippet: e.ix.Snippet(h.Doc, FieldBody, terms, 30),
-		})
-	}
-	return out
+		return out
+	})
 }
 
 // Count returns the number of matching documents — the "N documents
@@ -259,7 +274,9 @@ func (e *Engine) Count(q Query) int {
 	if q.Empty() {
 		return 0
 	}
-	return e.ix.Count(e.Compile(q))
+	return e.cachedCount(q, func() int {
+		return e.ix.Count(e.Compile(q))
+	})
 }
 
 // SearchActivities groups document hits by business activity and ranks

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/relstore"
 	"repro/internal/sqlx"
@@ -68,7 +69,14 @@ var ErrNotFound = errors.New("synopsis: deal not found")
 // Store persists synopses. Create with NewStore.
 type Store struct {
 	conn *sqlx.Conn
+	// gen counts mutations (Put, Delete); query memoizers key on it so any
+	// synopsis write invalidates without coordination.
+	gen atomic.Uint64
 }
+
+// Generation reports the store mutation epoch: it changes after every Put or
+// Delete. Caches key results on it to invalidate on write.
+func (s *Store) Generation() uint64 { return s.gen.Load() }
 
 // schemaStmts creates the context tables; names mirror the paper's "set of
 // tables in DB2 database as part of the corresponding business context".
@@ -187,6 +195,7 @@ func (s *Store) Put(d Deal) error {
 			return fmt.Errorf("synopsis: put solution: %w", err)
 		}
 	}
+	s.gen.Add(1)
 	return nil
 }
 
@@ -203,6 +212,7 @@ func (s *Store) deleteDeal(id string) error {
 			return fmt.Errorf("synopsis: clear %s: %w", table, err)
 		}
 	}
+	s.gen.Add(1)
 	return nil
 }
 

@@ -1,9 +1,37 @@
 package textproc
 
+import (
+	"strings"
+	"sync/atomic"
+)
+
+// stemCacheBits sizes the direct-mapped stem cache (1<<bits slots). Corpus
+// vocabularies are far smaller than the slot count, so steady-state ingest
+// hits almost every lookup.
+const stemCacheBits = 13
+
+// stemCacheEntry pairs an input word with its stem. Entries are immutable
+// once published; the slots hold atomic pointers so concurrent indexing
+// workers share results without locking.
+type stemCacheEntry struct{ word, stem string }
+
+var stemCache [1 << stemCacheBits]atomic.Pointer[stemCacheEntry]
+
+// stemHash is FNV-1a over the word bytes.
+func stemHash(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
 // Stem implements the classic Porter stemming algorithm (M.F. Porter, 1980,
 // "An algorithm for suffix stripping"). The input must already be lowercase
 // ASCII; words containing non a-z bytes are returned unchanged. Words of
-// length <= 2 are returned unchanged, per the original algorithm.
+// length <= 2 are returned unchanged, per the original algorithm. Results
+// are memoized in a fixed-size shared cache: stemming dominates tokenization
+// cost, and real corpora repeat a small vocabulary endlessly.
 func Stem(word string) string {
 	if len(word) <= 2 {
 		return word
@@ -12,6 +40,10 @@ func Stem(word string) string {
 		if word[i] < 'a' || word[i] > 'z' {
 			return word
 		}
+	}
+	slot := &stemCache[stemHash(word)&(1<<stemCacheBits-1)]
+	if e := slot.Load(); e != nil && e.word == word {
+		return e.stem
 	}
 	w := []byte(word)
 	w = step1a(w)
@@ -22,7 +54,11 @@ func Stem(word string) string {
 	w = step4(w)
 	w = step5a(w)
 	w = step5b(w)
-	return string(w)
+	out := string(w)
+	// Clone the key: word is usually a slice of a whole document buffer,
+	// which a long-lived cache entry must not pin in memory.
+	slot.Store(&stemCacheEntry{word: strings.Clone(word), stem: out})
+	return out
 }
 
 // isCons reports whether w[i] is a consonant in Porter's sense: a letter

@@ -54,9 +54,11 @@ func LoadSystem(dir string, ctl *access.Controller) (*System, error) {
 	}
 	tax := taxonomy.Default()
 	metrics := obs.NewRegistry()
+	sia := siapi.NewEngine(ix)
+	sia.SetMetrics(metrics)
 	sys := &System{
 		Index:    ix,
-		SIAPI:    siapi.NewEngine(ix),
+		SIAPI:    sia,
 		Synopses: store,
 		Taxonomy: tax,
 		Access:   ctl,

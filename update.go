@@ -45,6 +45,11 @@ func (s *System) AddDocuments(docs []*docmodel.Document) error {
 			order = append(order, doc.DealID)
 		}
 	}
+	// The IndexWriter batches; push the buffered tail into the index before
+	// synopsis rebuilds (they query it) and before callers search.
+	if err := s.writer.Flush(); err != nil {
+		return fmt.Errorf("eil: update flush: %w", err)
+	}
 	for _, dealID := range order {
 		if err := s.builder.PutDeal(dealID); err != nil {
 			return fmt.Errorf("eil: update synopsis %s: %w", dealID, err)
@@ -61,6 +66,7 @@ func (s *System) Compact() {
 	fresh := s.Index.Compact()
 	s.Index = fresh
 	s.SIAPI = siapi.NewEngine(fresh)
+	s.SIAPI.SetMetrics(s.Metrics)
 	s.Engine.Docs = s.SIAPI
 	if s.writer != nil {
 		s.writer.Ix = fresh
