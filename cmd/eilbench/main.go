@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/synth"
+	"repro/internal/trace"
 )
 
 // ingestSummary and searchSummary are the per-run measurement blocks.
@@ -51,6 +53,17 @@ type searchSummary struct {
 	P50Seconds    float64 `json:"p50_seconds"`
 	P95Seconds    float64 `json:"p95_seconds"`
 	P99Seconds    float64 `json:"p99_seconds"`
+	// Stages breaks form-query time down by pipeline stage, measured from
+	// the per-query trace spans (search.compose, search.synopsis,
+	// search.siapi, search.combine, search.access).
+	Stages map[string]stageSummary `json:"stages,omitempty"`
+}
+
+// stageSummary is one search stage's aggregate span timing.
+type stageSummary struct {
+	Count        int     `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+	MeanSeconds  float64 `json:"mean_seconds"`
 }
 
 // runReport is one complete benchmark pass at a fixed GOMAXPROCS.
@@ -195,19 +208,43 @@ func benchOnce(cfg synth.Config, queries int) (runReport, error) {
 	towers := sys.Taxonomy.TowerNames()
 	user := access.User{ID: "bench"}
 	phrases := []string{"data replication", "service desk", "disaster recovery", "asset management"}
+
+	// Every form query runs traced (a tiny ring: spans are read inline, not
+	// retained), so the report can break latency down by pipeline stage.
+	tracer := trace.New(trace.Options{RingSize: 16, SlowPerRoute: 1})
+	stageTotals := map[string]time.Duration{}
+	stageCounts := map[string]int{}
+	recordStages := func(tr *trace.Trace) {
+		for _, s := range tr.Spans() {
+			if strings.HasPrefix(s.Name, "search.") {
+				stageTotals[s.Name] += s.Duration
+				stageCounts[s.Name]++
+			}
+		}
+	}
+	formQuery := func(q core.FormQuery) error {
+		ctx, tr := tracer.Start(context.Background(), "bench.form", trace.StartOptions{})
+		_, err := sys.SearchCtx(ctx, user, q)
+		tr.Finish()
+		if err == nil {
+			recordStages(tr)
+		}
+		return err
+	}
+
 	searchWall := obs.StartTimer()
 	var formN, keywordN int
 	for i := 0; i < queries; i++ {
 		switch i % 4 {
 		case 0:
-			_, err = sys.Search(user, core.FormQuery{Tower: towers[i%len(towers)]})
+			err = formQuery(core.FormQuery{Tower: towers[i%len(towers)]})
 		case 1:
-			_, err = sys.Search(user, core.FormQuery{
+			err = formQuery(core.FormQuery{
 				Tower:       towers[i%len(towers)],
 				ExactPhrase: phrases[i%len(phrases)],
 			})
 		case 2:
-			_, err = sys.Search(user, core.FormQuery{AnyWords: []string{"replication", "outsourcing"}})
+			err = formQuery(core.FormQuery{AnyWords: []string{"replication", "outsourcing"}})
 		case 3:
 			sys.KeywordSearch(fmt.Sprintf("%q", phrases[i%len(phrases)]), 20)
 			keywordN++
@@ -234,6 +271,15 @@ func benchOnce(cfg synth.Config, queries int) (runReport, error) {
 	run.Search.P50Seconds = h.Quantile(0.50)
 	run.Search.P95Seconds = h.Quantile(0.95)
 	run.Search.P99Seconds = h.Quantile(0.99)
+	run.Search.Stages = map[string]stageSummary{}
+	for name, total := range stageTotals {
+		n := stageCounts[name]
+		run.Search.Stages[name] = stageSummary{
+			Count:        n,
+			TotalSeconds: total.Seconds(),
+			MeanSeconds:  total.Seconds() / float64(n),
+		}
+	}
 	run.Metrics = sys.Metrics.Snapshots()
 
 	log.Printf("[procs=%d] search: %d queries in %v (%.0f q/s, p50 %.3gms p95 %.3gms p99 %.3gms)",

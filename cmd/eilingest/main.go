@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"log"
 	"os"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/crawler"
 	"repro/internal/directory"
 	"repro/internal/taxonomy"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -36,8 +38,16 @@ func main() {
 		dedup      = flag.Bool("dedup", false, "drop near-duplicate documents before analysis (§3.4 redundancy cleanup)")
 		stats      = flag.Bool("stats", false, "print the per-annotator and per-CPE wall-time breakdown")
 		metricsOut = flag.String("metrics-out", "", "write the ingest metrics snapshot (JSON) to this file")
+
+		traceSample = flag.Int("trace-sample", 16, "trace 1 in N documents through the annotator flow (0 disables)")
+		traceOut    = flag.String("trace-out", "", "write retained document and flush traces (JSON) to this file")
 	)
 	flag.Parse()
+
+	var tracer *trace.Tracer
+	if *traceSample > 0 {
+		tracer = trace.New(trace.Options{SampleEvery: *traceSample})
+	}
 
 	var tax *taxonomy.Taxonomy
 	if *taxFile != "" {
@@ -80,6 +90,7 @@ func main() {
 		BlobParsing:    *blob,
 		Dedup:          *dedup,
 		MinScopeWeight: *threshold,
+		Tracer:         tracer,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -116,6 +127,11 @@ func main() {
 		}
 		log.Printf("wrote metrics snapshot to %s", *metricsOut)
 	}
+	if *traceOut != "" && tracer != nil {
+		if err := dumpTraces(tracer, *traceOut); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if err := sys.Save(*out); err != nil {
 		log.Fatal(err)
 	}
@@ -126,4 +142,38 @@ func main() {
 	log.Printf("ingested %d documents (%d annotations) across %d business activities in %v (%.0f docs/sec); saved to %s",
 		sys.Index.DocCount(), sys.Stats.Annotations, len(ids), time.Since(start).Round(time.Millisecond),
 		sys.Stats.DocsPerSec(), *out)
+}
+
+// dumpTraces writes every retained trace — the recent ring plus the slowest
+// per route — as one JSON array of {summary, tree} objects, slowest first
+// within the slow set, newest first within the recent set.
+func dumpTraces(tracer *trace.Tracer, path string) error {
+	type dumped struct {
+		Summary trace.Summary `json:"summary"`
+		Tree    *trace.Node   `json:"tree"`
+	}
+	seen := map[string]bool{}
+	var out []dumped
+	for _, tr := range append(tracer.Slowest(""), tracer.Recent(0)...) {
+		if seen[tr.ID] {
+			continue
+		}
+		seen[tr.ID] = true
+		out = append(out, dumped{Summary: tr.Summarize(), Tree: tr.Tree()})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	log.Printf("wrote %d traces to %s", len(out), path)
+	return nil
 }

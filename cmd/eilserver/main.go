@@ -4,9 +4,13 @@
 //
 // Observability: every route is wrapped with request/latency metrics,
 // served at /metrics (Prometheus text exposition) and /api/metrics (JSON);
-// -pprof mounts net/http/pprof under /debug/pprof/; -access-log emits one
-// structured log line per request. SIGINT/SIGTERM drain in-flight requests
-// before exit so metrics and query-log state are not torn down mid-request.
+// request traces are sampled per -trace-sample and browsable at
+// /debug/traces and /debug/trace/{id} (an inbound X-Trace-ID is adopted and
+// echoed; ?explain=1 on /api/search returns the span tree and score
+// decomposition); -pprof mounts net/http/pprof under /debug/pprof/;
+// -access-log emits one structured log line per request. SIGINT/SIGTERM
+// drain in-flight requests before exit so metrics and query-log state are
+// not torn down mid-request.
 //
 // Usage:
 //
@@ -30,6 +34,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/qlog"
 	"repro/internal/synth"
+	"repro/internal/trace"
 	"repro/internal/web"
 )
 
@@ -45,12 +50,25 @@ func main() {
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		accessLog = flag.Bool("access-log", false, "log every request (structured, to stderr)")
 		drain     = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain window")
+
+		traceSample = flag.Int("trace-sample", 1, "trace 1 in N requests (1 = every request, 0 disables tracing)")
+		traceRing   = flag.Int("trace-ring", trace.DefRingSize, "recent completed traces retained for /debug/traces")
+		traceSlow   = flag.Int("trace-slow", trace.DefSlowPerRoute, "slowest traces retained per route")
 	)
 	flag.Parse()
 
 	var ctl *access.Controller
 	if *secure {
 		ctl = access.NewController()
+	}
+
+	var tracer *trace.Tracer
+	if *traceSample > 0 {
+		tracer = trace.New(trace.Options{
+			RingSize:     *traceRing,
+			SlowPerRoute: *traceSlow,
+			SampleEvery:  *traceSample,
+		})
 	}
 
 	var sys *eil.System
@@ -62,7 +80,7 @@ func main() {
 			log.Fatal(gerr)
 		}
 		start := time.Now()
-		sys, err = eil.Ingest(corpus.Docs, eil.Options{Directory: corpus.Directory, Access: ctl})
+		sys, err = eil.Ingest(corpus.Docs, eil.Options{Directory: corpus.Directory, Access: ctl, Tracer: tracer})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -74,7 +92,11 @@ func main() {
 			log.Fatal(err)
 		}
 		sys.Access = ctl
+		sys.Tracer = tracer
 		log.Printf("loaded %d documents from %s", sys.Index.DocCount(), *sysDir)
+	}
+	if tracer != nil {
+		log.Printf("tracing 1 in %d requests (debug surfaces at /debug/traces)", *traceSample)
 	}
 
 	if *logCap > 0 {

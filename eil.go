@@ -16,9 +16,11 @@
 package eil
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"repro/internal/access"
 	"repro/internal/analysis"
@@ -36,6 +38,7 @@ import (
 	"repro/internal/synopsis"
 	"repro/internal/taxonomy"
 	"repro/internal/textproc"
+	"repro/internal/trace"
 )
 
 // Options configures ingestion. The zero value is the standard system; the
@@ -76,6 +79,10 @@ type Options struct {
 	// nil creates a fresh registry (exposed as System.Metrics). Supply one
 	// to share a registry across systems or with other subsystems.
 	Metrics *obs.Registry
+	// Tracer, when set, samples per-document traces during ingest and is
+	// exposed as System.Tracer for request tracing and the debug surfaces;
+	// nil disables tracing (every trace call is a no-op).
+	Tracer *trace.Tracer
 }
 
 // System is an ingested EIL instance ready to answer queries.
@@ -97,6 +104,9 @@ type System struct {
 	// ingest_* from the offline pipeline, search_* from the online path,
 	// and (when served through internal/web) http_* from the HTTP layer.
 	Metrics *obs.Registry
+	// Tracer retains recent and slowest request/document traces; nil when
+	// tracing is off. internal/web serves it at /debug/traces.
+	Tracer *trace.Tracer
 	// Duplicates lists the redundant documents the dedup pre-pass dropped
 	// (empty unless Options.Dedup was set).
 	Duplicates []string
@@ -138,7 +148,7 @@ func IngestFrom(reader analysis.CollectionReader, opts Options) (*System, error)
 	if opts.MinScopeWeight > 0 {
 		builder.MinScopeWeight = opts.MinScopeWeight
 	}
-	writer := &crawler.IndexWriter{Ix: ix, Workers: opts.Workers, Metrics: metrics}
+	writer := &crawler.IndexWriter{Ix: ix, Workers: opts.Workers, Metrics: metrics, Tracer: opts.Tracer}
 
 	if opts.BlobParsing {
 		reader = &blobReader{inner: reader}
@@ -157,6 +167,7 @@ func IngestFrom(reader analysis.CollectionReader, opts Options) (*System, error)
 		Consumers: []analysis.Consumer{writer, builder},
 		Workers:   opts.Workers,
 		Metrics:   metrics,
+		Tracer:    opts.Tracer,
 	}
 	if opts.BlobParsing {
 		// The blob flow also degrades the social annotator.
@@ -182,6 +193,7 @@ func IngestFrom(reader analysis.CollectionReader, opts Options) (*System, error)
 		Stats:      stats,
 		Duplicates: duplicates,
 		Metrics:    metrics,
+		Tracer:     opts.Tracer,
 		flow:       pipe.Annotator,
 		builder:    builder,
 		writer:     writer,
@@ -276,20 +288,43 @@ func entityFlow(tax *taxonomy.Taxonomy) analysis.Annotator {
 
 // Search runs a business-activity driven search for the user (Figure 1).
 func (s *System) Search(user access.User, q core.FormQuery) (core.Result, error) {
+	return s.SearchCtx(context.Background(), user, q)
+}
+
+// SearchCtx is Search under the caller's context: when ctx carries a trace
+// (the web middleware starts one per request), every search stage records a
+// span and the query-log entry carries the trace ID.
+func (s *System) SearchCtx(ctx context.Context, user access.User, q core.FormQuery) (core.Result, error) {
 	t := obs.StartTimer()
-	res, err := s.Engine.Search(user, q)
-	if err == nil && s.QueryLog != nil {
-		s.QueryLog.Record(qlog.Entry{
-			User:       user.ID,
-			Kind:       qlog.KindForm,
-			Summary:    formSummary(q),
-			Concepts:   formConcepts(q),
-			Activities: len(res.Activities),
-			Fallback:   res.UnscopedFallback,
-			Latency:    t.Elapsed(),
-		})
-	}
+	res, err := s.Engine.SearchCtx(ctx, user, q)
+	s.logForm(ctx, user, q, res, err, t.Elapsed())
 	return res, err
+}
+
+// SearchExplain runs the search in explain mode, returning the result plus
+// the span tree and per-activity score decomposition.
+func (s *System) SearchExplain(ctx context.Context, user access.User, q core.FormQuery) (core.Result, *core.Explanation, error) {
+	t := obs.StartTimer()
+	res, ex, err := s.Engine.SearchExplain(ctx, user, q)
+	s.logForm(ctx, user, q, res, err, t.Elapsed())
+	return res, ex, err
+}
+
+// logForm records one form query in the query log (nil-log safe).
+func (s *System) logForm(ctx context.Context, user access.User, q core.FormQuery, res core.Result, err error, latency time.Duration) {
+	if err != nil || s.QueryLog == nil {
+		return
+	}
+	s.QueryLog.Record(qlog.Entry{
+		User:       user.ID,
+		Kind:       qlog.KindForm,
+		Summary:    formSummary(q),
+		Concepts:   formConcepts(q),
+		Activities: len(res.Activities),
+		Fallback:   res.UnscopedFallback,
+		Latency:    latency,
+		TraceID:    trace.ID(ctx),
+	})
 }
 
 // formSummary renders a form query for the log.
@@ -327,9 +362,14 @@ func formConcepts(q core.FormQuery) []string {
 // documents, not activities, with no business context. Quoted phrases and
 // -exclusions are honored.
 func (s *System) KeywordSearch(query string, limit int) []siapi.DocHit {
+	return s.KeywordSearchCtx(context.Background(), query, limit)
+}
+
+// KeywordSearchCtx is KeywordSearch under the caller's context.
+func (s *System) KeywordSearchCtx(ctx context.Context, query string, limit int) []siapi.DocHit {
 	kq := siapi.ParseKeywords(query)
 	t := obs.StartTimer()
-	hits := s.SIAPI.Search(kq, limit)
+	hits := s.SIAPI.SearchCtx(ctx, kq, limit)
 	latency := t.Elapsed()
 	if s.QueryLog != nil {
 		// Log the true match count, not len(hits): the returned page is
@@ -340,6 +380,7 @@ func (s *System) KeywordSearch(query string, limit int) []siapi.DocHit {
 			Summary:    query,
 			Activities: s.SIAPI.Count(kq),
 			Latency:    latency,
+			TraceID:    trace.ID(ctx),
 		})
 	}
 	return hits
@@ -355,6 +396,11 @@ func (s *System) KeywordCount(query string) int {
 // drill-down). Requires document-level access to the activity.
 func (s *System) Explore(user access.User, dealID string, q core.FormQuery) ([]siapi.DocHit, error) {
 	return s.Engine.Explore(user, dealID, q)
+}
+
+// ExploreCtx is Explore under the caller's context.
+func (s *System) ExploreCtx(ctx context.Context, user access.User, dealID string, q core.FormQuery) ([]siapi.DocHit, error) {
+	return s.Engine.ExploreCtx(ctx, user, dealID, q)
 }
 
 // SimilarDeals finds activities similar to dealID (services mix, industry,

@@ -7,10 +7,13 @@
 package access
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/trace"
 )
 
 // Level is what a user may see of a business activity.
@@ -144,6 +147,27 @@ func (c *Controller) LevelFor(u User, dealID string) Level {
 		}
 	}
 	return level
+}
+
+// LevelsFor resolves the user's level for each deal in one traced batch —
+// the access-filter stage of Figure 1 step 19. The span records how many
+// activities were checked and how many came back invisible.
+func (c *Controller) LevelsFor(ctx context.Context, u User, dealIDs []string) []Level {
+	_, sp := trace.StartSpan(ctx, "access.levels")
+	out := make([]Level, len(dealIDs))
+	denied := 0
+	for i, id := range dealIDs {
+		out[i] = c.LevelFor(u, id)
+		if out[i] == LevelNone {
+			denied++
+		}
+	}
+	if sp != nil {
+		sp.SetInt("checked", len(dealIDs))
+		sp.SetInt("denied", denied)
+		sp.End()
+	}
+	return out
 }
 
 // CanSeeDocuments reports whether the user may open documents of the deal.

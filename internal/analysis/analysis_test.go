@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/docmodel"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 func doc(path, body string) *docmodel.Document {
@@ -303,5 +304,83 @@ func TestPipelineStageStatsWithoutMetrics(t *testing.T) {
 	}
 	if len(stats.Annotators) != 1 || stats.Annotators[0].Name != "solo" || stats.Annotators[0].Docs != 1 {
 		t.Fatalf("stages = %+v", stats.Annotators)
+	}
+}
+
+func TestPipelineDocTracing(t *testing.T) {
+	var docs []*docmodel.Document
+	for i := 0; i < 8; i++ {
+		docs = append(docs, doc(fmt.Sprintf("deal/doc%d", i), "body"))
+	}
+	step := func(name string) Annotator {
+		return AnnotatorFunc{ID: name, Fn: func(cas *CAS) error {
+			cas.Add(Annotation{Type: name, Begin: -1, End: -1})
+			return nil
+		}}
+	}
+	tracer := trace.New(trace.Options{SampleEvery: 2})
+	p := &Pipeline{
+		Reader:    &SliceReader{Docs: docs},
+		Annotator: &Aggregate{ID: "flow", Steps: []Annotator{step("tokenize"), step("scope")}},
+		Workers:   2,
+		Tracer:    tracer,
+	}
+	if _, err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	traces := tracer.Recent(0)
+	if len(traces) != 4 {
+		t.Fatalf("sampled traces = %d, want 4 (1 in 2 of 8)", len(traces))
+	}
+	for _, tr := range traces {
+		if tr.Route != "ingest.doc" {
+			t.Fatalf("route = %q", tr.Route)
+		}
+		spans := tr.Spans()
+		// Root + one span per primitive annotator.
+		if len(spans) != 3 {
+			t.Fatalf("spans = %d", len(spans))
+		}
+		names := map[string]bool{}
+		for _, s := range spans {
+			names[s.Name] = true
+		}
+		if !names["tokenize"] || !names["scope"] {
+			t.Fatalf("annotator spans missing: %v", names)
+		}
+		attrs := map[string]string{}
+		for _, a := range spans[0].Attrs {
+			attrs[a.Key] = a.Value
+		}
+		if !strings.HasPrefix(attrs["path"], "deal/doc") || attrs["deal"] != "DEAL X" || attrs["annotations"] != "2" {
+			t.Fatalf("root attrs = %v", attrs)
+		}
+	}
+}
+
+func TestPipelineTracingRecordsFailure(t *testing.T) {
+	boom := errors.New("boom")
+	tracer := trace.New(trace.Options{})
+	p := &Pipeline{
+		Reader:    &SliceReader{Docs: []*docmodel.Document{doc("bad", "x")}},
+		Annotator: AnnotatorFunc{ID: "fail", Fn: func(*CAS) error { return boom }},
+		Tracer:    tracer,
+	}
+	stats, err := p.Run()
+	if err != nil || stats.Failed != 1 {
+		t.Fatalf("stats = %+v, err = %v", stats, err)
+	}
+	traces := tracer.Recent(0)
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	found := false
+	for _, a := range traces[0].Spans()[0].Attrs {
+		if a.Key == "error" && strings.Contains(a.Value, "boom") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("failed document's trace has no error attribute")
 	}
 }

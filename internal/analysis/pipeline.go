@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 
 	"repro/internal/docmodel"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Annotator processes one document's CAS, adding annotations. Annotators
@@ -140,6 +142,10 @@ type Pipeline struct {
 	// (ingest_* metric names); nil disables metric recording. Stats carries
 	// the same timings either way.
 	Metrics *obs.Registry
+	// Tracer, when set, samples per-document traces of the annotator flow
+	// (one child span per primitive annotator), so a pathological workbook
+	// is attributable by path. Sampling rate is the tracer's SampleEvery.
+	Tracer *trace.Tracer
 }
 
 // stageClock accumulates one stage's cost across concurrent workers.
@@ -204,6 +210,50 @@ func (p *Pipeline) instrument() (Annotator, []*stageClock) {
 	}
 	step, clock := wrap(p.Annotator)
 	return step, []*stageClock{clock}
+}
+
+// processDoc runs the annotator flow for one document, under a sampled
+// per-document trace when the pipeline has a tracer. The root span records
+// the document path and deal; each primitive annotator gets a child span.
+func (p *Pipeline) processDoc(annotator Annotator, cas *CAS) error {
+	ctx, dtr := p.Tracer.Start(context.Background(), "ingest.doc", trace.StartOptions{})
+	if dtr == nil {
+		return annotator.Process(cas)
+	}
+	root := trace.FromContext(ctx)
+	root.Set("path", cas.Doc.Path)
+	if cas.Doc.DealID != "" {
+		root.Set("deal", cas.Doc.DealID)
+	}
+	err := processSteps(ctx, annotator, cas)
+	if err != nil {
+		root.Set("error", err.Error())
+	} else {
+		root.SetInt("annotations", len(cas.All()))
+	}
+	dtr.Finish()
+	return err
+}
+
+// processSteps mirrors Aggregate.Process with a span per step, so a traced
+// document shows where its analysis time went.
+func processSteps(ctx context.Context, a Annotator, cas *CAS) error {
+	agg, ok := a.(*Aggregate)
+	if !ok {
+		_, sp := trace.StartSpan(ctx, a.Name())
+		err := a.Process(cas)
+		sp.End()
+		return err
+	}
+	for _, s := range agg.Steps {
+		_, sp := trace.StartSpan(ctx, s.Name())
+		err := s.Process(cas)
+		sp.End()
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.Name(), err)
+		}
+	}
+	return nil
 }
 
 // errTooManyFailures aborts a run that exceeds MaxErrors.
@@ -277,7 +327,7 @@ func (p *Pipeline) Run() (stats Stats, err error) {
 				defer wg.Done()
 				defer func() { <-sem }()
 				cas := NewCAS(d)
-				if err := annotator.Process(cas); err != nil {
+				if err := p.processDoc(annotator, cas); err != nil {
 					errs[i] = fmt.Errorf("doc %s: %w", d.Path, err)
 					return
 				}

@@ -9,9 +9,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/access"
 	"repro/internal/lru"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/siapi"
 	"repro/internal/synopsis"
 	"repro/internal/taxonomy"
+	"repro/internal/trace"
 )
 
 // TextTarget selects where the form's text predicates search — "anywhere in
@@ -156,6 +159,7 @@ func (e *Engine) Derive() *Engine {
 
 // Search stage labels used in search_stage_seconds.
 const (
+	StageCompose  = "compose"  // form decomposition + taxonomy resolution
 	StageSynopsis = "synopsis" // synopsis (business context) query
 	StageSIAPI    = "siapi"    // semantic document index query
 	StageMerge    = "merge"    // rank combination and sort
@@ -165,6 +169,13 @@ const (
 // stageHist returns the histogram for one search stage.
 func (e *Engine) stageHist(stage string) *obs.Histogram {
 	return e.Metrics.Histogram("search_stage_seconds", nil, "stage", stage)
+}
+
+// observeStage records one stage duration into the stage histogram. When
+// the request is traced, the observation carries the trace ID as an
+// exemplar, so a p99 bucket on the dashboard links to a concrete trace.
+func (e *Engine) observeStage(ctx context.Context, stage string, d time.Duration) {
+	e.stageHist(stage).ObserveDurationWithExemplar(d, trace.ID(ctx))
 }
 
 func (e *Engine) weights() (float64, float64) {
@@ -180,10 +191,18 @@ func (e *Engine) weights() (float64, float64) {
 
 // Search runs the business-activity driven search algorithm for the user.
 func (e *Engine) Search(user access.User, q FormQuery) (Result, error) {
+	return e.SearchCtx(context.Background(), user, q)
+}
+
+// SearchCtx is Search under the caller's context: when ctx carries a trace
+// (started by the web middleware, explain mode, or eilbench), every stage
+// of the Figure 1 algorithm records a child span, and the stage histograms
+// receive trace-ID exemplars.
+func (e *Engine) SearchCtx(ctx context.Context, user access.User, q FormQuery) (Result, error) {
 	total := obs.StartTimer()
 	e.Metrics.Counter("search_total").Inc()
-	res, err := e.search(user, q)
-	total.ObserveInto(e.Metrics.Histogram("search_seconds", nil))
+	res, err := e.search(ctx, user, q)
+	e.Metrics.Histogram("search_seconds", nil).ObserveDurationWithExemplar(total.Elapsed(), trace.ID(ctx))
 	if err != nil {
 		e.Metrics.Counter("search_errors_total").Inc()
 		return res, err
@@ -199,9 +218,11 @@ func (e *Engine) Search(user access.User, q FormQuery) (Result, error) {
 	return res, nil
 }
 
-func (e *Engine) search(user access.User, q FormQuery) (Result, error) {
+func (e *Engine) search(ctx context.Context, user access.User, q FormQuery) (Result, error) {
 	var res Result
 	// Step 1-2: compose the synopsis query from form input.
+	compose := obs.StartTimer()
+	_, csp := trace.StartSpan(ctx, "search.compose")
 	sq, explain := e.composeSynopsisQuery(q)
 	res.Explain = append(res.Explain, explain...)
 	if q.Tower != "" && e.Tax != nil {
@@ -216,14 +237,28 @@ func (e *Engine) search(user access.User, q FormQuery) (Result, error) {
 	if !dq.Empty() {
 		res.Explain = append(res.Explain, fmt.Sprintf("SIAPI query on fields %v", dq.Fields))
 	}
+	if csp != nil {
+		csp.SetBool("has_concepts", !sq.Empty())
+		csp.SetBool("has_text", !dq.Empty())
+		csp.SetInt("suggestions", len(res.Suggestions))
+		csp.End()
+	}
+	e.observeStage(ctx, StageCompose, compose.Elapsed())
 
 	// Step 4: execute the synopsis query.
 	var synHits []synopsis.Hit
 	var err error
 	if !sq.Empty() {
 		t := obs.StartTimer()
-		synHits, err = e.synopsisSearch(sq)
-		t.ObserveInto(e.stageHist(StageSynopsis))
+		sctx, sp := trace.StartSpan(ctx, "search.synopsis")
+		var cached bool
+		synHits, cached, err = e.synopsisSearch(sctx, sq)
+		if sp != nil {
+			sp.SetBool("cache_hit", cached)
+			sp.SetInt("hits", len(synHits))
+			sp.End()
+		}
+		e.observeStage(ctx, StageSynopsis, t.Elapsed())
 		if err != nil {
 			return res, fmt.Errorf("core: synopsis query: %w", err)
 		}
@@ -259,6 +294,25 @@ func (e *Engine) search(user access.User, q FormQuery) (Result, error) {
 		c.tws = h.MatchedTowers
 	}
 
+	// siapiStage runs one SIAPI activity search under a traced child span.
+	siapiStage := func(scoped bool) []siapi.ActivityHit {
+		perDeal := q.DocsPerDeal
+		if perDeal <= 0 {
+			perDeal = 5
+		}
+		t := obs.StartTimer()
+		sctx, sp := trace.StartSpan(ctx, "search.siapi")
+		docActs := e.Docs.SearchActivitiesCtx(sctx, dq, perDeal)
+		if sp != nil {
+			sp.SetBool("scoped", scoped)
+			sp.SetInt("scope_deals", len(dq.Deals))
+			sp.SetInt("activities", len(docActs))
+			sp.End()
+		}
+		e.observeStage(ctx, StageSIAPI, t.Elapsed())
+		return docActs
+	}
+
 	switch {
 	case len(synHits) > 0: // steps 5-11
 		if !dq.Empty() {
@@ -268,14 +322,7 @@ func (e *Engine) search(user access.User, q FormQuery) (Result, error) {
 					dq.Deals = append(dq.Deals, h.DealID)
 				}
 			}
-			perDeal := q.DocsPerDeal
-			if perDeal <= 0 {
-				perDeal = 5
-			}
-			t := obs.StartTimer()
-			docActs := e.Docs.SearchActivities(dq, perDeal)
-			t.ObserveInto(e.stageHist(StageSIAPI))
-			for _, da := range docActs {
+			for _, da := range siapiStage(!e.DisableScoping) {
 				sh, inS := synByDeal[da.DealID]
 				if !inS {
 					continue // unscoped ablation: intersect to keep semantics
@@ -298,14 +345,7 @@ func (e *Engine) search(user access.User, q FormQuery) (Result, error) {
 			res.Explain = append(res.Explain, "concept criteria matched no activities")
 			break
 		}
-		perDeal := q.DocsPerDeal
-		if perDeal <= 0 {
-			perDeal = 5
-		}
-		t := obs.StartTimer()
-		docActs := e.Docs.SearchActivities(dq, perDeal)
-		t.ObserveInto(e.stageHist(StageSIAPI))
-		for _, da := range docActs {
+		for _, da := range siapiStage(false) {
 			acts[da.DealID] = &combined{doc: da.Score, dcs: da.Docs}
 		}
 		res.UnscopedFallback = true
@@ -316,6 +356,7 @@ func (e *Engine) search(user access.User, q FormQuery) (Result, error) {
 
 	// Step 18: rank by the combined score.
 	merge := obs.StartTimer()
+	_, msp := trace.StartSpan(ctx, "search.combine")
 	sw, dw := e.weights()
 	for dealID, c := range acts {
 		a := Activity{
@@ -334,18 +375,34 @@ func (e *Engine) search(user access.User, q FormQuery) (Result, error) {
 		}
 		return res.Activities[i].DealID < res.Activities[j].DealID
 	})
+	ranked := len(res.Activities)
 	if q.Limit > 0 && len(res.Activities) > q.Limit {
 		res.Activities = res.Activities[:q.Limit]
 	}
-	merge.ObserveInto(e.stageHist(StageMerge))
+	if msp != nil {
+		msp.SetInt("combined", ranked)
+		msp.SetBool("limit_truncated", ranked > len(res.Activities))
+		msp.End()
+	}
+	e.observeStage(ctx, StageMerge, merge.Elapsed())
 
 	// Step 19: present with proper access control.
 	filter := obs.StartTimer()
+	actx, asp := trace.StartSpan(ctx, "search.access")
+	var levels []access.Level
+	if e.Access != nil {
+		ids := make([]string, len(res.Activities))
+		for i, a := range res.Activities {
+			ids[i] = a.DealID
+		}
+		levels = e.Access.LevelsFor(actx, user, ids)
+	}
 	out := res.Activities[:0]
-	for _, a := range res.Activities {
+	synopsisOnly := 0
+	for i, a := range res.Activities {
 		level := access.LevelFull
-		if e.Access != nil {
-			level = e.Access.LevelFor(user, a.DealID)
+		if levels != nil {
+			level = levels[i]
 		}
 		a.Level = level
 		switch {
@@ -353,6 +410,7 @@ func (e *Engine) search(user access.User, q FormQuery) (Result, error) {
 			continue // invisible
 		case level == access.LevelSynopsis:
 			a.Docs = nil // synopsis-plus-contacts fallback
+			synopsisOnly++
 		}
 		deal, err := e.Synopses.Get(a.DealID)
 		if err == nil {
@@ -360,8 +418,14 @@ func (e *Engine) search(user access.User, q FormQuery) (Result, error) {
 		}
 		out = append(out, a)
 	}
+	if asp != nil {
+		asp.SetInt("in", len(res.Activities))
+		asp.SetInt("visible", len(out))
+		asp.SetInt("synopsis_only", synopsisOnly)
+		asp.End()
+	}
 	res.Activities = out
-	filter.ObserveInto(e.stageHist(StageAccess))
+	e.observeStage(ctx, StageAccess, filter.Elapsed())
 	return res, nil
 }
 
@@ -440,6 +504,12 @@ func (e *Engine) composeSIAPIQuery(q FormQuery) siapi.Query {
 // documents within a business activity based on its synopsis"). The user
 // needs document-level access to the activity.
 func (e *Engine) Explore(user access.User, dealID string, q FormQuery) ([]siapi.DocHit, error) {
+	return e.ExploreCtx(context.Background(), user, dealID, q)
+}
+
+// ExploreCtx is Explore under the caller's context; the document search
+// records spans when ctx carries a trace.
+func (e *Engine) ExploreCtx(ctx context.Context, user access.User, dealID string, q FormQuery) ([]siapi.DocHit, error) {
 	if e.Access != nil && !e.Access.CanSeeDocuments(user, dealID) {
 		return nil, fmt.Errorf("core: %w for documents of %s", access.ErrDenied, dealID)
 	}
@@ -452,5 +522,5 @@ func (e *Engine) Explore(user access.User, dealID string, q FormQuery) ([]siapi.
 	if limit <= 0 {
 		limit = 20
 	}
-	return e.Docs.Search(dq, limit), nil
+	return e.Docs.SearchCtx(ctx, dq, limit), nil
 }

@@ -1,0 +1,84 @@
+package core
+
+// Query explain mode: alongside the normal result set, return the request's
+// span tree and a per-activity decomposition of the combined score. The
+// decomposition recomputes each component with the exact expression the
+// merge stage uses (sw*SynopsisScore + dw*DocScore), so components always
+// sum to the reported score — bit-for-bit, not approximately.
+
+import (
+	"context"
+
+	"repro/internal/access"
+	"repro/internal/trace"
+)
+
+// ScoreExplanation decomposes one activity's combined ranking score.
+type ScoreExplanation struct {
+	DealID string `json:"deal_id"`
+	// Weights are the engine's rank-combination mix (defaulted values, not
+	// the raw zero-means-one configuration fields).
+	SynopsisWeight float64 `json:"synopsis_weight"`
+	DocWeight      float64 `json:"doc_weight"`
+	// Scores are the normalized per-side inputs to the combination.
+	SynopsisScore float64 `json:"synopsis_score"`
+	DocScore      float64 `json:"doc_score"`
+	// Components are weight*score; Total is their sum and equals the
+	// activity's reported Score exactly.
+	SynopsisComponent float64 `json:"synopsis_component"`
+	DocComponent      float64 `json:"doc_component"`
+	Total             float64 `json:"total"`
+	// MatchedTowers and Level carry the concept-match and access context
+	// for the row (Figure 5's bolded towers; synopsis-only fallback).
+	MatchedTowers []string `json:"matched_towers,omitempty"`
+	Level         string   `json:"level"`
+}
+
+// Explanation is the explain-mode envelope: the trace's span tree (when the
+// context carries one), the executed stage names, and the per-hit score
+// decomposition.
+type Explanation struct {
+	TraceID string      `json:"trace_id,omitempty"`
+	Trace   *trace.Node `json:"trace,omitempty"`
+	// Stages lists the span names recorded under the search, in start
+	// order — the named stages of the Figure 1 algorithm that actually ran.
+	Stages []string           `json:"stages,omitempty"`
+	Scores []ScoreExplanation `json:"scores"`
+}
+
+// SearchExplain runs SearchCtx and builds the explanation from the result
+// and the context's trace. Callers who want a span tree must pass a traced
+// context (the web layer forces a trace for ?explain=1); without one the
+// explanation still carries the score decomposition.
+func (e *Engine) SearchExplain(ctx context.Context, user access.User, q FormQuery) (Result, *Explanation, error) {
+	res, err := e.SearchCtx(ctx, user, q)
+	if err != nil {
+		return res, nil, err
+	}
+	ex := &Explanation{TraceID: trace.ID(ctx)}
+	if sp := trace.FromContext(ctx); sp != nil {
+		ex.Trace = sp.Trace().Tree()
+		ex.Trace.Walk(func(n *trace.Node) {
+			if n != ex.Trace {
+				ex.Stages = append(ex.Stages, n.Name)
+			}
+		})
+	}
+	sw, dw := e.weights()
+	for _, a := range res.Activities {
+		sc := ScoreExplanation{
+			DealID:            a.DealID,
+			SynopsisWeight:    sw,
+			DocWeight:         dw,
+			SynopsisScore:     a.SynopsisScore,
+			DocScore:          a.DocScore,
+			SynopsisComponent: sw * a.SynopsisScore,
+			DocComponent:      dw * a.DocScore,
+			MatchedTowers:     a.MatchedTowers,
+			Level:             a.Level.String(),
+		}
+		sc.Total = sc.SynopsisComponent + sc.DocComponent
+		ex.Scores = append(ex.Scores, sc)
+	}
+	return res, ex, nil
+}

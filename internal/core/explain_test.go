@@ -1,0 +1,97 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestSearchExplainDecomposition is the explain golden test: every score
+// decomposition must sum exactly (not approximately — the explanation
+// recomputes with the merge stage's own expression) to the activity's
+// reported score, and the span tree must carry the named Figure 1 stages.
+func TestSearchExplainDecomposition(t *testing.T) {
+	e := newEngine(t)
+	tracer := trace.New(trace.Options{})
+	ctx, tr := tracer.Start(context.Background(), "test.search", trace.StartOptions{Force: true})
+	defer tr.Finish()
+
+	res, ex, err := e.SearchExplain(ctx, anyUser(), FormQuery{
+		Tower:    "Storage Management Services",
+		AllWords: []string{"replication"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Activities) == 0 {
+		t.Fatal("no activities to explain")
+	}
+	if ex == nil {
+		t.Fatal("nil explanation")
+	}
+	if ex.TraceID != tr.ID {
+		t.Fatalf("trace id = %q, want %q", ex.TraceID, tr.ID)
+	}
+	if len(ex.Scores) != len(res.Activities) {
+		t.Fatalf("scores = %d, activities = %d", len(ex.Scores), len(res.Activities))
+	}
+	for i, sc := range ex.Scores {
+		a := res.Activities[i]
+		if sc.DealID != a.DealID {
+			t.Fatalf("score %d deal = %q, want %q", i, sc.DealID, a.DealID)
+		}
+		if sc.SynopsisComponent != sc.SynopsisWeight*sc.SynopsisScore {
+			t.Fatalf("%s: synopsis component %v != %v*%v", sc.DealID, sc.SynopsisComponent, sc.SynopsisWeight, sc.SynopsisScore)
+		}
+		if sc.DocComponent != sc.DocWeight*sc.DocScore {
+			t.Fatalf("%s: doc component %v != %v*%v", sc.DealID, sc.DocComponent, sc.DocWeight, sc.DocScore)
+		}
+		// Exact equality is intentional: the decomposition uses the same
+		// float expression as the merge stage.
+		if sc.Total != sc.SynopsisComponent+sc.DocComponent {
+			t.Fatalf("%s: total %v != %v + %v", sc.DealID, sc.Total, sc.SynopsisComponent, sc.DocComponent)
+		}
+		if sc.Total != a.Score {
+			t.Fatalf("%s: explained total %v != reported score %v", sc.DealID, sc.Total, a.Score)
+		}
+	}
+
+	if ex.Trace == nil {
+		t.Fatal("no span tree on a traced context")
+	}
+	want := []string{"search.compose", "search.synopsis", "search.siapi", "search.combine", "search.access"}
+	have := map[string]bool{}
+	for _, s := range ex.Stages {
+		have[s] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Fatalf("stage %q missing from %v", w, ex.Stages)
+		}
+	}
+	if len(ex.Stages) < 4 {
+		t.Fatalf("fewer than 4 named stages: %v", ex.Stages)
+	}
+}
+
+// TestSearchExplainUntraced: without a trace in the context the explanation
+// still decomposes scores, with no tree and no trace ID.
+func TestSearchExplainUntraced(t *testing.T) {
+	e := newEngine(t)
+	res, ex, err := e.SearchExplain(context.Background(), anyUser(), FormQuery{AllWords: []string{"replication"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex == nil || ex.Trace != nil || ex.TraceID != "" {
+		t.Fatalf("untraced explanation = %+v", ex)
+	}
+	if len(ex.Scores) != len(res.Activities) {
+		t.Fatalf("scores = %d, activities = %d", len(ex.Scores), len(res.Activities))
+	}
+	for i, sc := range ex.Scores {
+		if sc.Total != res.Activities[i].Score {
+			t.Fatalf("%s: total %v != score %v", sc.DealID, sc.Total, res.Activities[i].Score)
+		}
+	}
+}

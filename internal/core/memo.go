@@ -8,6 +8,7 @@ package core
 // bumping the counter; they never touch the cache.
 
 import (
+	"context"
 	"strconv"
 	"strings"
 
@@ -19,8 +20,10 @@ import (
 // few hundred entries covers the working set.
 const synopsisMemoSize = 256
 
-// synopsisSearch is Synopses.Search behind the epoch-invalidated memo.
-func (e *Engine) synopsisSearch(sq synopsis.Query) ([]synopsis.Hit, error) {
+// synopsisSearch is Synopses.Search behind the epoch-invalidated memo. The
+// second result reports whether the memo served the hits (trace spans
+// record it).
+func (e *Engine) synopsisSearch(ctx context.Context, sq synopsis.Query) ([]synopsis.Hit, bool, error) {
 	e.synOnce.Do(func() {
 		e.synMemo = lru.New[string, []synopsis.Hit](synopsisMemoSize)
 	})
@@ -28,15 +31,15 @@ func (e *Engine) synopsisSearch(sq synopsis.Query) ([]synopsis.Hit, error) {
 	epoch := e.Synopses.Generation()
 	if hits, ok := e.synMemo.Get(key, epoch); ok {
 		e.Metrics.Counter("synopsis_cache_hits_total").Inc()
-		return cloneSynHits(hits), nil
+		return cloneSynHits(hits), true, nil
 	}
 	e.Metrics.Counter("synopsis_cache_misses_total").Inc()
-	hits, err := e.Synopses.Search(sq)
+	hits, err := e.Synopses.SearchCtx(ctx, sq)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	e.synMemo.Put(key, epoch, cloneSynHits(hits))
-	return hits, nil
+	return hits, false, nil
 }
 
 // synopsisKey encodes a synopsis query injectively (length-prefixed parts).

@@ -7,12 +7,14 @@
 package crawler
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/analysis"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/obs"
 	"repro/internal/siapi"
+	"repro/internal/trace"
 )
 
 // FSReader reads a repository tree: every regular file under Root whose
@@ -124,6 +127,9 @@ type IndexWriter struct {
 	BatchSize int
 	// Metrics, when set, records segment build/merge timing per flush.
 	Metrics *obs.Registry
+	// Tracer, when set, records one trace per flushed batch (flushes are
+	// rare, so every flush is traced regardless of the sampling rate).
+	Tracer *trace.Tracer
 
 	pending []index.Document
 	docs    int
@@ -141,11 +147,19 @@ func (w *IndexWriter) Flush() error {
 	if len(w.pending) == 0 {
 		return nil
 	}
+	ctx, ftr := w.Tracer.Start(context.Background(), "ingest.flush", trace.StartOptions{Force: true})
+	root := trace.FromContext(ctx)
+	root.SetInt("docs", len(w.pending))
 	ids, stats, err := w.Ix.AddBatchStats(w.pending, w.Workers)
 	w.pending = w.pending[:0]
 	if err != nil {
+		root.Set("error", err.Error())
+		ftr.Finish()
 		return fmt.Errorf("crawler: index batch: %w", err)
 	}
+	root.Set("build_seconds", strconv.FormatFloat(stats.BuildWall.Seconds(), 'f', 6, 64))
+	root.Set("merge_seconds", strconv.FormatFloat(stats.MergeWall.Seconds(), 'f', 6, 64))
+	ftr.Finish()
 	w.Metrics.Histogram("ingest_segment_build_seconds", nil).Observe(stats.BuildWall.Seconds())
 	w.Metrics.Histogram("ingest_segment_merge_seconds", nil).Observe(stats.MergeWall.Seconds())
 	w.docs += len(ids)

@@ -4,6 +4,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 
 	"repro/internal/analysis"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/synth"
 	"repro/internal/taxonomy"
 	"repro/internal/textproc"
+	"repro/internal/trace"
 )
 
 func writeTestTree(t *testing.T) string {
@@ -152,5 +154,49 @@ func TestWriteTreeRoundTrip(t *testing.T) {
 	}
 	if reader.Skipped() != 0 {
 		t.Fatalf("skipped = %d", reader.Skipped())
+	}
+}
+
+func TestIndexWriterFlushTraced(t *testing.T) {
+	root := writeTestTree(t)
+	reader, err := NewFSReader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := trace.New(trace.Options{SampleEvery: 100}) // flushes force through sampling
+	w := &IndexWriter{Ix: index.New(textproc.DefaultAnalyzer), BatchSize: 3, Tracer: tracer}
+	p := &analysis.Pipeline{
+		Reader:    reader,
+		Annotator: annotators.NewEILFlow(taxonomy.Default()),
+		Consumers: []analysis.Consumer{w},
+	}
+	if _, err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 docs with BatchSize 3: one mid-run flush plus the End flush.
+	traces := tracer.Recent(0)
+	if len(traces) != 2 {
+		t.Fatalf("flush traces = %d, want 2", len(traces))
+	}
+	total := 0
+	for _, tr := range traces {
+		if tr.Route != "ingest.flush" {
+			t.Fatalf("route = %q", tr.Route)
+		}
+		attrs := map[string]string{}
+		for _, a := range tr.Spans()[0].Attrs {
+			attrs[a.Key] = a.Value
+		}
+		n, err := strconv.Atoi(attrs["docs"])
+		if err != nil {
+			t.Fatalf("docs attr = %q", attrs["docs"])
+		}
+		total += n
+		if attrs["build_seconds"] == "" || attrs["merge_seconds"] == "" {
+			t.Fatalf("timing attrs missing: %v", attrs)
+		}
+	}
+	if total != 4 {
+		t.Fatalf("flushed docs = %d, want 4", total)
 	}
 }

@@ -1,8 +1,11 @@
 package index
 
 import (
+	"context"
 	"math"
 	"sort"
+
+	"repro/internal/trace"
 )
 
 // Query is the low-level query tree evaluated directly against the index.
@@ -152,10 +155,25 @@ func (ix *Index) putAcc(a *acc) {
 // positive limit selects the top-k through a bounded min-heap without
 // materializing or sorting the full result set.
 func (ix *Index) Search(q Query, limit int) []Hit {
+	return ix.SearchCtx(context.Background(), q, limit)
+}
+
+// SearchCtx is Search recording a trace span when ctx carries one: the
+// candidate count before top-k selection, the returned count, and whether
+// the bounded heap truncated the result set. Untraced contexts cost one
+// context lookup.
+func (ix *Index) SearchCtx(ctx context.Context, q Query, limit int) []Hit {
+	_, sp := trace.StartSpan(ctx, "index.search")
 	ix.mu.RLock()
 	a := ix.evalAcc(q)
 	ix.mu.RUnlock()
 	hits := collectHits(a, limit)
+	if sp != nil {
+		sp.SetInt("candidates", a.n)
+		sp.SetInt("returned", len(hits))
+		sp.SetBool("heap_truncated", limit > 0 && a.n > limit)
+		sp.End()
+	}
 	ix.putAcc(a)
 	return hits
 }

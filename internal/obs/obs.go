@@ -169,7 +169,13 @@ func (r *Registry) Histogram(name string, buckets []float64, kv ...string) *Hist
 		}
 		bounds := make([]float64, len(buckets))
 		copy(bounds, buckets)
-		h = &Histogram{name: name, labels: ls, bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+		h = &Histogram{
+			name:      name,
+			labels:    ls,
+			bounds:    bounds,
+			counts:    make([]atomic.Int64, len(bounds)+1),
+			exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
+		}
 		r.hists[k] = h
 	}
 	return h
@@ -239,14 +245,25 @@ func (g *Gauge) Value() float64 {
 }
 
 // Histogram counts observations into fixed buckets, tracking sum and count,
-// safe for concurrent use.
+// safe for concurrent use. Each bucket optionally carries the most recent
+// exemplar — a trace ID plus the observed value — so a histogram's p99
+// bucket links to one concrete traced request (rendered as OpenMetrics
+// exemplars in the Prometheus output).
 type Histogram struct {
-	name   string
-	labels []Label
-	bounds []float64      // ascending upper bounds; +Inf implicit
-	counts []atomic.Int64 // len(bounds)+1, last is the +Inf bucket
-	count  atomic.Int64
-	sum    atomic.Uint64 // float64 bits, CAS-added
+	name      string
+	labels    []Label
+	bounds    []float64      // ascending upper bounds; +Inf implicit
+	counts    []atomic.Int64 // len(bounds)+1, last is the +Inf bucket
+	count     atomic.Int64
+	sum       atomic.Uint64 // float64 bits, CAS-added
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one bucket to a concrete traced observation.
+type Exemplar struct {
+	TraceID string    `json:"trace_id"`
+	Value   float64   `json:"value"`
+	Time    time.Time `json:"time"`
 }
 
 // Observe records one value. An observation equal to a bound lands in that
@@ -267,8 +284,40 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveWithExemplar is Observe plus an exemplar: the owning bucket keeps
+// the most recent (traceID, v) pair. An empty traceID degrades to Observe.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	if traceID != "" && h.exemplars != nil {
+		i := sort.SearchFloat64s(h.bounds, v)
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v, Time: time.Now()})
+	}
+	h.Observe(v)
+}
+
+// Exemplars returns each bucket's retained exemplar, with nil entries for
+// buckets that never saw one (one slot per bound plus +Inf).
+func (h *Histogram) Exemplars() []*Exemplar {
+	if h == nil || h.exemplars == nil {
+		return nil
+	}
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
+}
+
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveDurationWithExemplar records a duration in seconds with a trace
+// exemplar.
+func (h *Histogram) ObserveDurationWithExemplar(d time.Duration, traceID string) {
+	h.ObserveWithExemplar(d.Seconds(), traceID)
+}
 
 // Count returns the number of observations (0 on a nil handle).
 func (h *Histogram) Count() int64 {
@@ -428,15 +477,41 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		typ(h.name, "histogram")
 		base := renderLabels(h.labels)
 		cum := h.CumulativeCounts()
+		ex := h.Exemplars()
 		for i, bound := range h.bounds {
-			writeSample(&b, h.name+"_bucket", base, `le="`+fmtFloat(bound)+`"`, float64(cum[i]))
+			writeBucket(&b, h.name, base, fmtFloat(bound), float64(cum[i]), ex[i])
 		}
-		writeSample(&b, h.name+"_bucket", base, `le="+Inf"`, float64(cum[len(cum)-1]))
+		writeBucket(&b, h.name, base, "+Inf", float64(cum[len(cum)-1]), ex[len(ex)-1])
 		writeSample(&b, h.name+"_sum", base, "", h.Sum())
 		writeSample(&b, h.name+"_count", base, "", float64(h.Count()))
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// writeBucket writes one histogram bucket line, appending the bucket's
+// retained exemplar (OpenMetrics syntax: `# {trace_id="..."} value ts`)
+// when one exists.
+func writeBucket(b *strings.Builder, name, base, le string, v float64, e *Exemplar) {
+	b.WriteString(name)
+	b.WriteString("_bucket{")
+	if base != "" {
+		b.WriteString(base)
+		b.WriteByte(',')
+	}
+	b.WriteString(`le="`)
+	b.WriteString(le)
+	b.WriteString(`"} `)
+	b.WriteString(fmtFloat(v))
+	if e != nil {
+		b.WriteString(` # {trace_id="`)
+		b.WriteString(escapeLabel(e.TraceID))
+		b.WriteString(`"} `)
+		b.WriteString(fmtFloat(e.Value))
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatFloat(float64(e.Time.UnixNano())/1e9, 'f', 3, 64))
+	}
+	b.WriteByte('\n')
 }
 
 // writeSample writes one exposition line, merging the base labels with an

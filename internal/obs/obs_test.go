@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -237,5 +238,86 @@ func TestRegistryConcurrentCreation(t *testing.T) {
 	}
 	if got := r.Histogram("created_seconds", nil, "shard", "s").Count(); got != 1600 {
 		t.Fatalf("histogram count = %d", got)
+	}
+}
+
+func TestObserveWithExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("stage_seconds", []float64{0.01, 0.1, 1})
+	h.ObserveWithExemplar(0.005, "aaaa000000000001")
+	h.ObserveWithExemplar(0.008, "aaaa000000000002") // same bucket: most recent wins
+	h.ObserveWithExemplar(0.5, "bbbb000000000001")
+	h.ObserveWithExemplar(5, "cccc000000000001") // +Inf bucket
+	h.ObserveWithExemplar(0.05, "")              // empty trace ID: plain Observe
+
+	ex := h.Exemplars()
+	if len(ex) != 4 {
+		t.Fatalf("want 4 exemplar slots, got %d", len(ex))
+	}
+	if ex[0] == nil || ex[0].TraceID != "aaaa000000000002" || ex[0].Value != 0.008 {
+		t.Fatalf("bucket 0 exemplar = %+v, want most recent", ex[0])
+	}
+	if ex[1] != nil {
+		t.Fatalf("bucket 1 got an exemplar from an empty trace ID: %+v", ex[1])
+	}
+	if ex[2] == nil || ex[2].TraceID != "bbbb000000000001" {
+		t.Fatalf("bucket 2 exemplar = %+v", ex[2])
+	}
+	if ex[3] == nil || ex[3].TraceID != "cccc000000000001" {
+		t.Fatalf("+Inf exemplar = %+v", ex[3])
+	}
+	if h.Count() != 5 {
+		t.Fatalf("exemplar observations must still count: %d", h.Count())
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := `stage_seconds_bucket{le="0.01"} 2 # {trace_id="aaaa000000000002"} 0.008 `
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing exemplar line %q:\n%s", want, out)
+	}
+	if !strings.Contains(out, `le="+Inf"} 5 # {trace_id="cccc000000000001"} 5 `) {
+		t.Fatalf("exposition missing +Inf exemplar:\n%s", out)
+	}
+	// The no-exemplar bucket renders exactly as before.
+	if !strings.Contains(out, "stage_seconds_bucket{le=\"0.1\"} 3\n") {
+		t.Fatalf("plain bucket line changed:\n%s", out)
+	}
+}
+
+func TestObserveWithExemplarNilSafe(t *testing.T) {
+	var r *Registry
+	h := r.Histogram("z", nil)
+	h.ObserveWithExemplar(1, "deadbeefdeadbeef")
+	h.ObserveDurationWithExemplar(time.Second, "deadbeefdeadbeef")
+	if h.Exemplars() != nil {
+		t.Fatal("nil histogram retained exemplars")
+	}
+}
+
+func TestExemplarConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("c", []float64{1})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := fmt.Sprintf("%016x", w)
+			for i := 0; i < 1000; i++ {
+				h.ObserveWithExemplar(0.5, id)
+				_ = h.Exemplars()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if ex := h.Exemplars(); ex[0] == nil {
+		t.Fatal("no exemplar retained")
 	}
 }

@@ -33,6 +33,10 @@ type Entry struct {
 	// Latency is the end-to-end search duration, when the caller measured
 	// one (zero otherwise).
 	Latency time.Duration
+	// TraceID links the entry to a retained trace when the request was
+	// traced (empty otherwise) — the bridge from "this query was slow" to
+	// "here is where its time went".
+	TraceID string
 }
 
 // Log is a bounded ring of entries, safe for concurrent use.
@@ -91,6 +95,25 @@ func (l *Log) Len() int {
 		return l.cap
 	}
 	return l.next
+}
+
+// Slowest returns up to k retained entries that carried a measured latency,
+// slowest first (k <= 0 means 10).
+func (l *Log) Slowest(k int) []Entry {
+	if k <= 0 {
+		k = 10
+	}
+	var out []Entry
+	for _, e := range l.Entries() {
+		if e.Latency > 0 {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Latency > out[j].Latency })
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
 }
 
 // ConceptCount is one concept with its query frequency.

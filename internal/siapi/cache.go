@@ -57,40 +57,41 @@ func cacheKey(q Query, limit int) string {
 }
 
 // cachedSearch consults the result LRU before running compute, and stores
-// what compute returns. Hit lists are copied on both sides of the cache
-// boundary so callers may mutate what they receive.
-func (e *Engine) cachedSearch(q Query, limit int, compute func() []DocHit) []DocHit {
+// what compute returns; the second result reports whether the cache served
+// the hit list (trace spans record it). Hit lists are copied on both sides
+// of the cache boundary so callers may mutate what they receive.
+func (e *Engine) cachedSearch(q Query, limit int, compute func() []DocHit) ([]DocHit, bool) {
 	if e.hitCache == nil {
-		return compute()
+		return compute(), false
 	}
 	key := cacheKey(q, limit)
 	epoch := e.ix.Generation()
 	if hits, ok := e.hitCache.Get(key, epoch); ok {
 		e.cacheHits.Inc()
-		return cloneHits(hits)
+		return cloneHits(hits), true
 	}
 	e.cacheMisses.Inc()
 	out := compute()
 	e.hitCache.Put(key, epoch, cloneHits(out))
-	return out
+	return out, false
 }
 
 // cachedCount is cachedSearch for match counts.
-func (e *Engine) cachedCount(q Query, compute func() int) int {
+func (e *Engine) cachedCount(q Query, compute func() int) (int, bool) {
 	if e.countCache == nil {
-		return compute()
+		return compute(), false
 	}
 	// Counts ignore limit; key with a sentinel that no Search uses.
 	key := cacheKey(q, -1)
 	epoch := e.ix.Generation()
 	if n, ok := e.countCache.Get(key, epoch); ok {
 		e.cacheHits.Inc()
-		return n
+		return n, true
 	}
 	e.cacheMisses.Inc()
 	n := compute()
 	e.countCache.Put(key, epoch, n)
-	return n
+	return n, false
 }
 
 // cloneHits shallow-copies a hit list. DocHit fields are value types

@@ -8,6 +8,7 @@
 package siapi
 
 import (
+	"context"
 	"sort"
 	"strings"
 
@@ -15,6 +16,7 @@ import (
 	"repro/internal/lru"
 	"repro/internal/obs"
 	"repro/internal/textproc"
+	"repro/internal/trace"
 )
 
 // Default field targets. "anywhere in EWB" searches body and title;
@@ -244,11 +246,18 @@ func (e *Engine) queryTerms(q Query) []string {
 // epoch-invalidated cache when the same query repeats against an unchanged
 // index.
 func (e *Engine) Search(q Query, limit int) []DocHit {
+	return e.SearchCtx(context.Background(), q, limit)
+}
+
+// SearchCtx is Search recording a trace span when ctx carries one: cache
+// hit or miss, the scope size, and the hit count.
+func (e *Engine) SearchCtx(ctx context.Context, q Query, limit int) []DocHit {
 	if q.Empty() {
 		return nil
 	}
-	return e.cachedSearch(q, limit, func() []DocHit {
-		hits := e.ix.Search(e.Compile(q), limit)
+	sctx, sp := trace.StartSpan(ctx, "siapi.search")
+	hits, cached := e.cachedSearch(q, limit, func() []DocHit {
+		hits := e.ix.SearchCtx(sctx, e.Compile(q), limit)
 		terms := e.queryTerms(q)
 		out := make([]DocHit, 0, len(hits))
 		for _, h := range hits {
@@ -266,6 +275,13 @@ func (e *Engine) Search(q Query, limit int) []DocHit {
 		}
 		return out
 	})
+	if sp != nil {
+		sp.SetBool("cache_hit", cached)
+		sp.SetInt("scope_deals", len(q.Deals))
+		sp.SetInt("hits", len(hits))
+		sp.End()
+	}
+	return hits
 }
 
 // Count returns the number of matching documents — the "N documents
@@ -274,16 +290,24 @@ func (e *Engine) Count(q Query) int {
 	if q.Empty() {
 		return 0
 	}
-	return e.cachedCount(q, func() int {
+	n, _ := e.cachedCount(q, func() int {
 		return e.ix.Count(e.Compile(q))
 	})
+	return n
 }
 
 // SearchActivities groups document hits by business activity and ranks
 // activities by their normalized average document score. perDeal bounds the
 // documents listed per activity (<= 0 keeps all).
 func (e *Engine) SearchActivities(q Query, perDeal int) []ActivityHit {
-	docs := e.Search(q, 0)
+	return e.SearchActivitiesCtx(context.Background(), q, perDeal)
+}
+
+// SearchActivitiesCtx is SearchActivities under a trace span recording the
+// grouped activity count.
+func (e *Engine) SearchActivitiesCtx(ctx context.Context, q Query, perDeal int) []ActivityHit {
+	ctx, sp := trace.StartSpan(ctx, "siapi.activities")
+	docs := e.SearchCtx(ctx, q, 0)
 	byDeal := map[string][]DocHit{}
 	for _, d := range docs {
 		if d.DealID == "" {
@@ -319,6 +343,10 @@ func (e *Engine) SearchActivities(q Query, perDeal int) []ActivityHit {
 		}
 		return hits[i].DealID < hits[j].DealID
 	})
+	if sp != nil {
+		sp.SetInt("activities", len(hits))
+		sp.End()
+	}
 	return hits
 }
 

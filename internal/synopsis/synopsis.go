@@ -8,6 +8,7 @@
 package synopsis
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -16,6 +17,7 @@ import (
 
 	"repro/internal/relstore"
 	"repro/internal/sqlx"
+	"repro/internal/trace"
 )
 
 // Overview is the structured header of a deal (Figure 6's Overview tab).
@@ -329,6 +331,22 @@ type Hit struct {
 	// MatchedTowers lists the deal's towers that satisfied the tower
 	// criterion, ordered by significance.
 	MatchedTowers []string
+}
+
+// SearchCtx is Search recording a trace span when ctx carries one: the hit
+// count and whether candidates were pre-restricted.
+func (s *Store) SearchCtx(ctx context.Context, q Query) ([]Hit, error) {
+	_, sp := trace.StartSpan(ctx, "synopsis.query")
+	hits, err := s.Search(q)
+	if sp != nil {
+		sp.SetInt("hits", len(hits))
+		sp.SetBool("restricted", len(q.RestrictTo) > 0)
+		if err != nil {
+			sp.Set("error", err.Error())
+		}
+		sp.End()
+	}
+	return hits, err
 }
 
 // Search executes the synopsis query: a set of directed SQL queries whose

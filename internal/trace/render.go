@@ -1,0 +1,85 @@
+package trace
+
+// JSON-friendly renderings of traces: a flat summary for trace listings and
+// a recursive span tree for explain mode and /debug/trace/{id}.
+
+import (
+	"time"
+)
+
+// Summary is one trace's listing row.
+type Summary struct {
+	ID              string    `json:"id"`
+	Route           string    `json:"route"`
+	Start           time.Time `json:"start"`
+	DurationSeconds float64   `json:"duration_seconds"`
+	Spans           int       `json:"spans"`
+}
+
+// Summarize renders the trace's listing row.
+func (tr *Trace) Summarize() Summary {
+	if tr == nil {
+		return Summary{}
+	}
+	d := tr.Duration
+	if d == 0 && !tr.done.Load() {
+		d = time.Since(tr.Start)
+	}
+	tr.mu.Lock()
+	n := len(tr.spans)
+	tr.mu.Unlock()
+	return Summary{ID: tr.ID, Route: tr.Route, Start: tr.Start, DurationSeconds: d.Seconds(), Spans: n}
+}
+
+// Node is one span in the rendered tree. Offsets are relative to the trace
+// start so a reader can see stage ordering without absolute timestamps.
+type Node struct {
+	Name            string  `json:"name"`
+	OffsetSeconds   float64 `json:"offset_seconds"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Attrs           []Attr  `json:"attrs,omitempty"`
+	Children        []*Node `json:"children,omitempty"`
+}
+
+// Tree reconstructs the span hierarchy. Spans still open (explain renders
+// mid-request, before the root ends) report their duration so far.
+func (tr *Trace) Tree() *Node {
+	if tr == nil {
+		return nil
+	}
+	spans := tr.Spans()
+	if len(spans) == 0 {
+		return nil
+	}
+	nodes := make([]*Node, len(spans))
+	for i, s := range spans {
+		d := s.Duration
+		if d == 0 {
+			d = time.Since(s.Start)
+		}
+		nodes[i] = &Node{
+			Name:            s.Name,
+			OffsetSeconds:   s.Start.Sub(tr.Start).Seconds(),
+			DurationSeconds: d.Seconds(),
+			Attrs:           s.Attrs,
+		}
+	}
+	for i, s := range spans {
+		if s.parent >= 0 && s.parent < len(nodes) {
+			nodes[s.parent].Children = append(nodes[s.parent].Children, nodes[i])
+		}
+	}
+	return nodes[0]
+}
+
+// Walk visits every node of the tree depth-first (parent before children).
+// A nil receiver is a no-op; useful for aggregating stage timings.
+func (n *Node) Walk(fn func(*Node)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}

@@ -1,0 +1,95 @@
+package trace
+
+// Bounded retention of completed traces. The ring is lock-free — trace
+// completion on the search hot path must not serialize behind readers of
+// /debug/traces — while the slow keeper, touched only on completion and
+// rarely contended, uses a plain mutex.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ring is a lock-free bounded buffer of recent traces. Writers claim a slot
+// with one atomic increment and store a pointer; readers load pointers.
+// A reader may observe a slot mid-overwrite as either the old or the new
+// trace — both are valid completed traces, so no coordination is needed.
+type ring struct {
+	slots []atomic.Pointer[Trace]
+	pos   atomic.Uint64 // next logical write position
+}
+
+func newRing(size int) *ring {
+	return &ring{slots: make([]atomic.Pointer[Trace], size)}
+}
+
+// put stores a completed trace, overwriting the oldest slot when full.
+func (r *ring) put(tr *Trace) {
+	i := r.pos.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(tr)
+}
+
+// snapshot returns the retained traces, newest first.
+func (r *ring) snapshot() []*Trace {
+	n := uint64(len(r.slots))
+	pos := r.pos.Load()
+	count := pos
+	if count > n {
+		count = n
+	}
+	out := make([]*Trace, 0, count)
+	for off := uint64(1); off <= count; off++ {
+		if tr := r.slots[(pos-off)%n].Load(); tr != nil {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// slowKeeper retains the worst (slowest) completed traces per route.
+type slowKeeper struct {
+	mu       sync.Mutex
+	perRoute int
+	routes   map[string][]*Trace // sorted slowest-first, len <= perRoute
+}
+
+func newSlowKeeper(perRoute int) *slowKeeper {
+	return &slowKeeper{perRoute: perRoute, routes: map[string][]*Trace{}}
+}
+
+// offer considers a completed trace for its route's worst-N list.
+func (k *slowKeeper) offer(tr *Trace) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	list := k.routes[tr.Route]
+	if len(list) == k.perRoute && tr.Duration <= list[len(list)-1].Duration {
+		return // faster than everything retained
+	}
+	// Insert in slowest-first order; N is small, linear insertion is fine.
+	i := sort.Search(len(list), func(i int) bool { return list[i].Duration < tr.Duration })
+	list = append(list, nil)
+	copy(list[i+1:], list[i:])
+	list[i] = tr
+	if len(list) > k.perRoute {
+		list = list[:k.perRoute]
+	}
+	k.routes[tr.Route] = list
+}
+
+// slowest returns the retained traces for route (or all routes when route
+// is ""), slowest first.
+func (k *slowKeeper) slowest(route string) []*Trace {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	var out []*Trace
+	if route != "" {
+		out = append(out, k.routes[route]...)
+		return out
+	}
+	for _, list := range k.routes {
+		out = append(out, list...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Duration > out[j].Duration })
+	return out
+}

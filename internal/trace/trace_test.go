@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	ctx, root := tr.Start(context.Background(), "route", StartOptions{})
+	if root != nil {
+		t.Fatal("nil tracer started a trace")
+	}
+	if got := FromContext(ctx); got != nil {
+		t.Fatal("nil tracer put a span in the context")
+	}
+	ctx2, sp := StartSpan(ctx, "child")
+	if sp != nil || ctx2 != ctx {
+		t.Fatal("StartSpan without a trace must be a no-op")
+	}
+	// All nil-receiver methods must not panic.
+	sp.End()
+	sp.Set("k", "v")
+	sp.SetInt("n", 1)
+	sp.SetBool("b", true)
+	root.Finish()
+	if ID(ctx) != "" {
+		t.Fatal("ID on an untraced context")
+	}
+	if tr.Recent(5) != nil || tr.Slowest("") != nil || tr.Find("x") != nil {
+		t.Fatal("nil tracer retained traces")
+	}
+}
+
+func TestSpanTreeAndAttrs(t *testing.T) {
+	tc := New(Options{})
+	ctx, tr := tc.Start(context.Background(), "/api/search", StartOptions{})
+	if tr == nil {
+		t.Fatal("no trace")
+	}
+	if len(tr.ID) != 16 {
+		t.Fatalf("trace ID %q not 16 hex chars", tr.ID)
+	}
+	ctx1, s1 := StartSpan(ctx, "stage.one")
+	s1.SetInt("candidates", 42)
+	_, s11 := StartSpan(ctx1, "stage.one.inner")
+	s11.SetBool("cache_hit", true)
+	s11.End()
+	s1.End()
+	_, s2 := StartSpan(ctx, "stage.two")
+	s2.Set("mode", "scoped")
+	s2.End()
+	tr.Finish()
+
+	root := tr.Tree()
+	if root == nil || root.Name != "/api/search" {
+		t.Fatalf("bad root: %+v", root)
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("want 2 children, got %d", len(root.Children))
+	}
+	one := root.Children[0]
+	if one.Name != "stage.one" || len(one.Children) != 1 || one.Children[0].Name != "stage.one.inner" {
+		t.Fatalf("bad subtree: %+v", one)
+	}
+	if one.Attrs[0].Key != "candidates" || one.Attrs[0].Value != "42" {
+		t.Fatalf("bad attrs: %+v", one.Attrs)
+	}
+	if one.Children[0].Attrs[0].Value != "true" {
+		t.Fatalf("bad bool attr: %+v", one.Children[0].Attrs)
+	}
+	var names []string
+	root.Walk(func(n *Node) { names = append(names, n.Name) })
+	if strings.Join(names, ",") != "/api/search,stage.one,stage.one.inner,stage.two" {
+		t.Fatalf("walk order: %v", names)
+	}
+	if tr.Duration <= 0 {
+		t.Fatal("finished trace has no duration")
+	}
+}
+
+func TestInboundIDAdoptedAndFindable(t *testing.T) {
+	tc := New(Options{SampleEvery: 1000}) // sampling must not drop adopted IDs
+	ctx, tr := tc.Start(context.Background(), "/api/search", StartOptions{ID: "cafecafecafecafe"})
+	if tr == nil || tr.ID != "cafecafecafecafe" {
+		t.Fatalf("inbound ID not adopted: %+v", tr)
+	}
+	if ID(ctx) != "cafecafecafecafe" {
+		t.Fatal("context does not carry the adopted ID")
+	}
+	tr.Finish()
+	if tc.Find("cafecafecafecafe") != tr {
+		t.Fatal("finished trace not findable by ID")
+	}
+}
+
+func TestSampling(t *testing.T) {
+	tc := New(Options{SampleEvery: 4})
+	kept := 0
+	for i := 0; i < 100; i++ {
+		_, tr := tc.Start(context.Background(), "r", StartOptions{})
+		if tr != nil {
+			kept++
+			tr.Finish()
+		}
+	}
+	if kept != 25 {
+		t.Fatalf("SampleEvery=4 kept %d of 100", kept)
+	}
+	// Force bypasses sampling entirely.
+	for i := 0; i < 10; i++ {
+		if _, tr := tc.Start(context.Background(), "r", StartOptions{Force: true}); tr == nil {
+			t.Fatal("forced start was sampled away")
+		}
+	}
+}
+
+func TestRingBounded(t *testing.T) {
+	tc := New(Options{RingSize: 8})
+	for i := 0; i < 100; i++ {
+		_, tr := tc.Start(context.Background(), "r", StartOptions{})
+		tr.Finish()
+	}
+	if got := len(tc.Recent(0)); got != 8 {
+		t.Fatalf("ring retained %d, want 8", got)
+	}
+	if got := len(tc.Recent(3)); got != 3 {
+		t.Fatalf("Recent(3) returned %d", got)
+	}
+}
+
+func TestSlowKeeperRetainsWorst(t *testing.T) {
+	k := newSlowKeeper(3)
+	mk := func(route string, d time.Duration) *Trace {
+		return &Trace{ID: d.String(), Route: route, Duration: d}
+	}
+	for _, ms := range []int{5, 1, 9, 3, 7, 2} {
+		k.offer(mk("a", time.Duration(ms)*time.Millisecond))
+	}
+	k.offer(mk("b", 4*time.Millisecond))
+	got := k.slowest("a")
+	if len(got) != 3 || got[0].Duration != 9*time.Millisecond ||
+		got[1].Duration != 7*time.Millisecond || got[2].Duration != 5*time.Millisecond {
+		t.Fatalf("slowest(a) = %+v", got)
+	}
+	all := k.slowest("")
+	if len(all) != 4 || all[0].Duration != 9*time.Millisecond {
+		t.Fatalf("slowest(all) = %+v", all)
+	}
+}
+
+// TestConcurrentWritersAndReaders hammers the ring and slow keeper with
+// parallel trace producers while readers snapshot, resolve by ID, and
+// render trees — the -race workout the retention layer must survive.
+func TestConcurrentWritersAndReaders(t *testing.T) {
+	tc := New(Options{RingSize: 32, SlowPerRoute: 4})
+	const writers, readers, perWriter = 8, 4, 200
+	var wgW, wgR sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wgR.Add(1)
+		go func() {
+			defer wgR.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, tr := range tc.Recent(0) {
+					_ = tr.Summarize()
+					_ = tr.Tree()
+				}
+				for _, tr := range tc.Slowest("") {
+					_ = tr.Summarize()
+				}
+				_ = tc.Find("0000000000000000")
+			}
+		}()
+	}
+	routes := []string{"/a", "/b", "/c"}
+	for w := 0; w < writers; w++ {
+		wgW.Add(1)
+		go func(w int) {
+			defer wgW.Done()
+			for i := 0; i < perWriter; i++ {
+				ctx, tr := tc.Start(context.Background(), routes[(w+i)%len(routes)], StartOptions{})
+				ctx1, s := StartSpan(ctx, "stage")
+				s.SetInt("i", i)
+				_, inner := StartSpan(ctx1, "inner")
+				inner.End()
+				s.End()
+				tr.Finish()
+			}
+		}(w)
+	}
+	wgW.Wait()
+	close(stop)
+	wgR.Wait()
+	if got := len(tc.Recent(0)); got != 32 {
+		t.Fatalf("ring retained %d, want 32", got)
+	}
+	for _, route := range routes {
+		if got := len(tc.Slowest(route)); got != 4 {
+			t.Fatalf("slow keeper retained %d for %s, want 4", got, route)
+		}
+	}
+}

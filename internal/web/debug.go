@@ -1,0 +1,125 @@
+package web
+
+// Live trace debugging surfaces: /debug/traces lists recent and slowest
+// retained traces, /debug/trace/{id} renders one trace's span tree. Both
+// serve HTML for a browser and JSON under ?format=json (or an Accept header
+// preferring application/json), so the same URLs work for humans and tools.
+
+import (
+	"html/template"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// wantJSON reports whether the request asked for a JSON rendering.
+func wantJSON(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "json" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/json")
+}
+
+// traceListing is the /debug/traces JSON shape.
+type traceListing struct {
+	Recent  []trace.Summary `json:"recent"`
+	Slowest []trace.Summary `json:"slowest"`
+}
+
+func summarize(traces []*trace.Trace) []trace.Summary {
+	out := make([]trace.Summary, 0, len(traces))
+	for _, tr := range traces {
+		out = append(out, tr.Summarize())
+	}
+	return out
+}
+
+// debugTraces lists recent traces (newest first) and the per-route slowest.
+func (h *handler) debugTraces(w http.ResponseWriter, r *http.Request) {
+	n := 50
+	if v, err := strconv.Atoi(r.FormValue("n")); err == nil && v > 0 {
+		n = v
+	}
+	listing := traceListing{
+		Recent:  summarize(h.sys.Tracer.Recent(n)),
+		Slowest: summarize(h.sys.Tracer.Slowest(r.FormValue("route"))),
+	}
+	if wantJSON(r) {
+		writeJSON(w, listing)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := tracesTmpl.Execute(w, listing); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// traceDetail is the /debug/trace/{id} JSON shape.
+type traceDetail struct {
+	Summary trace.Summary `json:"summary"`
+	Tree    *trace.Node   `json:"tree"`
+}
+
+// debugTrace renders one retained trace by ID.
+func (h *handler) debugTrace(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
+	if id == "" || strings.Contains(id, "/") {
+		http.Error(w, "usage: /debug/trace/{id}", http.StatusBadRequest)
+		return
+	}
+	tr := h.sys.Tracer.Find(id)
+	if tr == nil {
+		http.Error(w, "trace not retained (evicted or never sampled)", http.StatusNotFound)
+		return
+	}
+	detail := traceDetail{Summary: tr.Summarize(), Tree: tr.Tree()}
+	if wantJSON(r) {
+		writeJSON(w, detail)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := traceTmpl.Execute(w, detail); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+var debugStyle = `
+ body{font-family:sans-serif;margin:2em;max-width:70em}
+ table{border-collapse:collapse} td,th{padding:.25em .8em;text-align:left;border-bottom:1px solid #eee}
+ .num{text-align:right;font-variant-numeric:tabular-nums}
+ ul.tree{list-style:none;padding-left:1.2em;border-left:1px dotted #ccc}
+ .dur{color:#666;font-size:.85em} .attrs{color:#046;font-size:.85em}
+`
+
+var tracesTmpl = template.Must(template.New("traces").Funcs(template.FuncMap{
+	"ms": func(s float64) string { return strconv.FormatFloat(s*1000, 'f', 3, 64) + " ms" },
+}).Parse(`<!doctype html>
+<html><head><title>EIL — Traces</title><style>` + debugStyle + `</style></head><body>
+<h1>Traces</h1>
+<h2>Slowest</h2>
+<table><tr><th>ID</th><th>Route</th><th>Start</th><th class="num">Duration</th><th class="num">Spans</th></tr>
+{{range .Slowest}}<tr><td><a href="/debug/trace/{{.ID}}">{{.ID}}</a></td><td>{{.Route}}</td><td>{{.Start.Format "15:04:05.000"}}</td><td class="num">{{ms .DurationSeconds}}</td><td class="num">{{.Spans}}</td></tr>{{end}}
+</table>
+<h2>Recent</h2>
+<table><tr><th>ID</th><th>Route</th><th>Start</th><th class="num">Duration</th><th class="num">Spans</th></tr>
+{{range .Recent}}<tr><td><a href="/debug/trace/{{.ID}}">{{.ID}}</a></td><td>{{.Route}}</td><td>{{.Start.Format "15:04:05.000"}}</td><td class="num">{{ms .DurationSeconds}}</td><td class="num">{{.Spans}}</td></tr>{{end}}
+</table>
+</body></html>`))
+
+var traceTmpl = template.Must(template.New("trace").Funcs(template.FuncMap{
+	"ms": func(s float64) string { return strconv.FormatFloat(s*1000, 'f', 3, 64) + " ms" },
+}).Parse(`<!doctype html>
+<html><head><title>EIL — Trace {{.Summary.ID}}</title><style>` + debugStyle + `</style></head><body>
+<p><a href="/debug/traces">&larr; traces</a></p>
+<h1>Trace {{.Summary.ID}}</h1>
+<p>{{.Summary.Route}} — started {{.Summary.Start.Format "15:04:05.000"}}, {{ms .Summary.DurationSeconds}}, {{.Summary.Spans}} spans</p>
+{{define "node"}}
+<li><strong>{{.Name}}</strong> <span class="dur">+{{ms .OffsetSeconds}} for {{ms .DurationSeconds}}</span>
+{{if .Attrs}}<span class="attrs">{{range .Attrs}} {{.Key}}={{.Value}}{{end}}</span>{{end}}
+{{if .Children}}<ul class="tree">{{range .Children}}{{template "node" .}}{{end}}</ul>{{end}}
+</li>
+{{end}}
+<ul class="tree">{{template "node" .Tree}}</ul>
+</body></html>`))

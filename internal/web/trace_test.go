@@ -1,0 +1,239 @@
+package web
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/qlog"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// tracedServer is testServer with request tracing enabled.
+func tracedServer(t *testing.T) (*httptest.Server, *eil.System) {
+	t.Helper()
+	corpus, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := eil.Ingest(corpus.Docs, eil.Options{
+		Directory: corpus.Directory,
+		Tracer:    trace.New(trace.Options{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(sys))
+	t.Cleanup(srv.Close)
+	return srv, sys
+}
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	srv, _ := tracedServer(t)
+	u := srv.URL + "/api/search?" + url.Values{"tower": {"EUS"}}.Encode()
+
+	// A traced request gets a minted ID echoed in the response header.
+	resp, _ := get(t, u, nil)
+	minted := resp.Header.Get("X-Trace-ID")
+	if len(minted) != 16 {
+		t.Fatalf("minted trace id = %q", minted)
+	}
+
+	// An inbound X-Trace-ID is adopted and echoed back verbatim.
+	resp, _ = get(t, u, map[string]string{"X-Trace-ID": "cafe0123cafe0123"})
+	if got := resp.Header.Get("X-Trace-ID"); got != "cafe0123cafe0123" {
+		t.Fatalf("inbound trace id not echoed: %q", got)
+	}
+
+	// Both traces are findable in the debug listing by their IDs.
+	_, body := get(t, srv.URL+"/debug/traces?format=json", nil)
+	var listing struct {
+		Recent []struct {
+			ID    string `json:"id"`
+			Route string `json:"route"`
+		} `json:"recent"`
+	}
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatalf("bad listing JSON: %v", err)
+	}
+	// The ingest tracer is shared, so flush traces are listed too; only the
+	// two search traces matter here.
+	routes := map[string]string{}
+	for _, s := range listing.Recent {
+		routes[s.ID] = s.Route
+	}
+	if routes[minted] != "/api/search" || routes["cafe0123cafe0123"] != "/api/search" {
+		t.Fatalf("search traces missing from listing: %v", routes)
+	}
+}
+
+func TestDebugTraceDetail(t *testing.T) {
+	srv, _ := tracedServer(t)
+	u := srv.URL + "/api/search?" + url.Values{
+		"tower": {"Storage Management Services"},
+		"exact": {"data replication"},
+	}.Encode()
+	resp, _ := get(t, u, nil)
+	id := resp.Header.Get("X-Trace-ID")
+	if id == "" {
+		t.Fatal("no trace id on search response")
+	}
+
+	_, body := get(t, srv.URL+"/debug/trace/"+id+"?format=json", nil)
+	var detail struct {
+		Summary trace.Summary `json:"summary"`
+		Tree    *trace.Node   `json:"tree"`
+	}
+	if err := json.Unmarshal([]byte(body), &detail); err != nil {
+		t.Fatalf("bad detail JSON: %v", err)
+	}
+	if detail.Summary.ID != id || detail.Tree == nil {
+		t.Fatalf("detail = %+v", detail)
+	}
+	names := map[string]bool{}
+	detail.Tree.Walk(func(n *trace.Node) { names[n.Name] = true })
+	for _, want := range []string{"search.compose", "search.synopsis", "search.siapi", "search.combine", "search.access"} {
+		if !names[want] {
+			t.Fatalf("stage %q missing from tree: %v", want, names)
+		}
+	}
+
+	// HTML rendering works too.
+	resp, html := get(t, srv.URL+"/debug/trace/"+id, nil)
+	if resp.StatusCode != 200 || !strings.Contains(html, "search.siapi") {
+		t.Fatalf("html detail: %d", resp.StatusCode)
+	}
+
+	// Unknown IDs 404.
+	resp, _ = get(t, srv.URL+"/debug/trace/ffffffffffffffff", nil)
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown trace status = %d", resp.StatusCode)
+	}
+}
+
+func TestAPISearchExplain(t *testing.T) {
+	srv, _ := tracedServer(t)
+	u := srv.URL + "/api/search?explain=1&" + url.Values{
+		"tower": {"Storage Management Services"},
+		"exact": {"data replication"},
+	}.Encode()
+	resp, body := get(t, u, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Result struct {
+			Activities []struct {
+				DealID string  `json:"DealID"`
+				Score  float64 `json:"Score"`
+			}
+		} `json:"result"`
+		Explain struct {
+			TraceID string      `json:"trace_id"`
+			Trace   *trace.Node `json:"trace"`
+			Stages  []string    `json:"stages"`
+			Scores  []struct {
+				DealID            string  `json:"deal_id"`
+				SynopsisComponent float64 `json:"synopsis_component"`
+				DocComponent      float64 `json:"doc_component"`
+				Total             float64 `json:"total"`
+			} `json:"scores"`
+		} `json:"explain"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if out.Explain.TraceID != resp.Header.Get("X-Trace-ID") {
+		t.Fatalf("explain trace id %q != header %q", out.Explain.TraceID, resp.Header.Get("X-Trace-ID"))
+	}
+	if out.Explain.Trace == nil || len(out.Explain.Stages) < 4 {
+		t.Fatalf("stages = %v", out.Explain.Stages)
+	}
+	if len(out.Result.Activities) == 0 || len(out.Explain.Scores) != len(out.Result.Activities) {
+		t.Fatalf("activities = %d, scores = %d", len(out.Result.Activities), len(out.Explain.Scores))
+	}
+	for i, sc := range out.Explain.Scores {
+		a := out.Result.Activities[i]
+		if sc.DealID != a.DealID {
+			t.Fatalf("score %d deal mismatch", i)
+		}
+		if sc.SynopsisComponent+sc.DocComponent != sc.Total || sc.Total != a.Score {
+			t.Fatalf("%s: %v + %v != %v (score %v)", sc.DealID, sc.SynopsisComponent, sc.DocComponent, sc.Total, a.Score)
+		}
+	}
+
+	// The forced explain trace is retained and linkable.
+	resp, _ = get(t, srv.URL+"/debug/trace/"+out.Explain.TraceID+"?format=json", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("explain trace not retained: %d", resp.StatusCode)
+	}
+}
+
+func TestUntracedRoutes(t *testing.T) {
+	srv, sys := tracedServer(t)
+	for _, path := range []string{"/metrics", "/healthz", "/debug/traces"} {
+		resp, _ := get(t, srv.URL+path, nil)
+		if resp.Header.Get("X-Trace-ID") != "" {
+			t.Fatalf("%s was traced", path)
+		}
+	}
+	for _, tr := range sys.Tracer.Recent(0) {
+		if untraced(tr.Route) {
+			t.Fatalf("retained trace for untraced route %q", tr.Route)
+		}
+	}
+}
+
+// flushRecorder observes Flush pass-through.
+type flushRecorder struct {
+	*httptest.ResponseRecorder
+	flushed bool
+}
+
+func (f *flushRecorder) Flush() { f.flushed = true }
+
+func TestStatusWriterFlusher(t *testing.T) {
+	var w http.ResponseWriter = &statusWriter{ResponseWriter: &flushRecorder{ResponseRecorder: httptest.NewRecorder()}}
+	f, ok := w.(http.Flusher)
+	if !ok {
+		t.Fatal("statusWriter does not implement http.Flusher")
+	}
+	f.Flush()
+	if !w.(*statusWriter).ResponseWriter.(*flushRecorder).flushed {
+		t.Fatal("Flush not passed through")
+	}
+	// A non-Flusher underlying writer must not panic.
+	(&statusWriter{ResponseWriter: nonFlusher{}}).Flush()
+}
+
+// nonFlusher is a ResponseWriter without Flush.
+type nonFlusher struct{ http.ResponseWriter }
+
+func (nonFlusher) Header() http.Header         { return http.Header{} }
+func (nonFlusher) Write(b []byte) (int, error) { return len(b), nil }
+func (nonFlusher) WriteHeader(int)             {}
+
+func TestQueryLogSlowWithTraceID(t *testing.T) {
+	srv, sys := tracedServer(t)
+	sys.QueryLog = qlog.New(32)
+	u := srv.URL + "/api/search?" + url.Values{"tower": {"EUS"}}.Encode()
+	resp, _ := get(t, u, nil)
+	id := resp.Header.Get("X-Trace-ID")
+
+	_, body := get(t, srv.URL+"/api/qlog?slow=5", nil)
+	var entries []struct {
+		TraceID string
+		Latency int64
+	}
+	if err := json.Unmarshal([]byte(body), &entries); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(entries) != 1 || entries[0].TraceID != id || entries[0].Latency <= 0 {
+		t.Fatalf("slow entries = %+v, want one with trace %q", entries, id)
+	}
+}

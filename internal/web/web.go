@@ -19,6 +19,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Option configures optional handler subsystems.
@@ -63,6 +64,10 @@ func Handler(sys *eil.System, opts ...Option) http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if sys.Tracer != nil {
+		mux.HandleFunc("/debug/traces", h.debugTraces)
+		mux.HandleFunc("/debug/trace/", h.debugTrace)
+	}
 	if cfg.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -70,7 +75,7 @@ func Handler(sys *eil.System, opts ...Option) http.Handler {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return &middleware{next: mux, mux: mux, reg: sys.Metrics, accessLog: cfg.accessLog}
+	return &middleware{next: mux, mux: mux, reg: sys.Metrics, tracer: sys.Tracer, accessLog: cfg.accessLog}
 }
 
 type handler struct {
@@ -84,6 +89,7 @@ type middleware struct {
 	next      http.Handler
 	mux       *http.ServeMux
 	reg       *obs.Registry
+	tracer    *trace.Tracer
 	accessLog *slog.Logger
 }
 
@@ -105,6 +111,22 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Flush passes streaming flushes through to the underlying writer, so
+// wrapping a handler in the middleware does not silently break server-sent
+// events or incremental responses.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// untraced lists routes whose requests never start a trace: scrape and
+// debug traffic would otherwise flush real requests out of the trace ring.
+func untraced(route string) bool {
+	return route == "/metrics" || route == "/healthz" ||
+		strings.HasPrefix(route, "/debug/")
+}
+
 func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// Label by registered pattern, not raw path, to bound cardinality.
 	_, route := m.mux.Handler(r)
@@ -114,6 +136,28 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	inflight := m.reg.Gauge("http_in_flight_requests")
 	inflight.Add(1)
 	defer inflight.Add(-1)
+
+	// Root span for the request. An inbound X-Trace-ID is adopted (and
+	// bypasses sampling), as does explain mode — an explanation without its
+	// span tree would be useless. The assigned ID is echoed in the response
+	// so callers can pull the trace from /debug/trace/{id}.
+	var tr *trace.Trace
+	if m.tracer != nil && !untraced(route) {
+		inbound := r.Header.Get("X-Trace-ID")
+		ctx, started := m.tracer.Start(r.Context(), route, trace.StartOptions{
+			ID:    inbound,
+			Force: r.URL.Query().Has("explain"),
+		})
+		if started != nil {
+			tr = started
+			w.Header().Set("X-Trace-ID", tr.ID)
+			root := trace.FromContext(ctx)
+			root.Set("method", r.Method)
+			root.Set("path", r.URL.Path)
+			r = r.WithContext(ctx)
+		}
+	}
+
 	sw := &statusWriter{ResponseWriter: w}
 	t := obs.StartTimer()
 	m.next.ServeHTTP(sw, r)
@@ -121,8 +165,14 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if sw.status == 0 {
 		sw.status = http.StatusOK
 	}
+	var traceID string
+	if tr != nil {
+		traceID = tr.ID
+		trace.FromContext(r.Context()).SetInt("status", sw.status)
+		tr.Finish()
+	}
 	m.reg.Counter("http_requests_total", "route", route, "code", statusClass(sw.status)).Inc()
-	m.reg.Histogram("http_request_seconds", nil, "route", route).ObserveDuration(d)
+	m.reg.Histogram("http_request_seconds", nil, "route", route).ObserveDurationWithExemplar(d, traceID)
 	if m.accessLog != nil {
 		m.accessLog.Info("request",
 			"method", r.Method,
@@ -132,6 +182,7 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			"duration", d,
 			"user", r.Header.Get("X-EIL-User"),
 			"remote", r.RemoteAddr,
+			"trace", traceID,
 		)
 	}
 }
@@ -214,12 +265,28 @@ func formQuery(r *http.Request) core.FormQuery {
 
 func (h *handler) apiSearch(w http.ResponseWriter, r *http.Request) {
 	q := formQuery(r)
-	res, err := h.sys.Search(userFrom(r), q)
+	if r.URL.Query().Has("explain") {
+		res, ex, err := h.sys.SearchExplain(r.Context(), userFrom(r), q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, explainResponse{Result: res, Explain: ex})
+		return
+	}
+	res, err := h.sys.SearchCtx(r.Context(), userFrom(r), q)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	writeJSON(w, res)
+}
+
+// explainResponse is the ?explain=1 envelope: the normal result plus the
+// span tree and score decomposition.
+type explainResponse struct {
+	Result  core.Result       `json:"result"`
+	Explain *core.Explanation `json:"explain"`
 }
 
 func (h *handler) apiDeal(w http.ResponseWriter, r *http.Request) {
@@ -248,7 +315,7 @@ func (h *handler) apiKeyword(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, map[string]any{
 		"count": h.sys.KeywordCount(q),
-		"hits":  h.sys.KeywordSearch(q, limit),
+		"hits":  h.sys.KeywordSearchCtx(r.Context(), q, limit),
 	})
 }
 
@@ -259,7 +326,7 @@ func (h *handler) apiExplore(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing id", http.StatusBadRequest)
 		return
 	}
-	hits, err := h.sys.Explore(userFrom(r), id, formQuery(r))
+	hits, err := h.sys.ExploreCtx(r.Context(), userFrom(r), id, formQuery(r))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusForbidden)
 		return
@@ -290,6 +357,10 @@ func (h *handler) apiSimilar(w http.ResponseWriter, r *http.Request) {
 func (h *handler) apiQueryLog(w http.ResponseWriter, r *http.Request) {
 	if h.sys.QueryLog == nil {
 		http.Error(w, "query logging disabled", http.StatusNotFound)
+		return
+	}
+	if n, err := strconv.Atoi(r.FormValue("slow")); err == nil && n > 0 {
+		writeJSON(w, h.sys.QueryLog.Slowest(n))
 		return
 	}
 	topK := 10
@@ -373,7 +444,7 @@ func (h *handler) home(w http.ResponseWriter, r *http.Request) {
 	q := formQuery(r)
 	data := homeData{Q: q}
 	if q.HasConcepts() || q.HasText() {
-		res, err := h.sys.Search(userFrom(r), q)
+		res, err := h.sys.SearchCtx(r.Context(), userFrom(r), q)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
