@@ -23,6 +23,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -30,6 +31,7 @@ import (
 	"repro"
 	"repro/internal/access"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/synth"
 	"repro/internal/trace"
@@ -87,6 +89,39 @@ type report struct {
 	Metrics []obs.Snapshot `json:"metrics"`
 
 	Runs []runReport `json:"runs,omitempty"`
+
+	// Chaos is the -chaos mode block: resilience overhead when nothing
+	// fails, and availability/latency under injected fault rates.
+	Chaos *chaosSummary `json:"chaos,omitempty"`
+}
+
+// chaosScenario is one fault-rate pass of the chaos workload.
+type chaosScenario struct {
+	// FaultRate is the per-call injection probability applied to the
+	// synopsis and SIAPI call sites (error plus 20ms latency rules).
+	FaultRate float64 `json:"fault_rate"`
+	Queries   int     `json:"queries"`
+	OK        int     `json:"ok"`
+	Degraded  int     `json:"degraded"`
+	// Unavailable counts queries with no serving tier left (the 503 class).
+	Unavailable int `json:"unavailable"`
+	// Availability is the fraction of queries answered (full or degraded).
+	Availability float64 `json:"availability"`
+	DegradedFrac float64 `json:"degraded_fraction"`
+	P50Seconds   float64 `json:"p50_seconds"`
+	P99Seconds   float64 `json:"p99_seconds"`
+}
+
+// chaosSummary is the -chaos report block.
+type chaosSummary struct {
+	BudgetSeconds float64 `json:"budget_seconds"`
+	MaxRetries    int     `json:"max_retries"`
+	// OverheadFraction is (resilient wall / plain wall) - 1 with no faults
+	// injected: the cost of the budget/retry/breaker envelope itself.
+	OverheadFraction float64         `json:"overhead_fraction"`
+	PlainQPS         float64         `json:"plain_qps"`
+	ResilientQPS     float64         `json:"resilient_qps"`
+	Scenarios        []chaosScenario `json:"scenarios"`
 }
 
 func main() {
@@ -100,6 +135,11 @@ func main() {
 		procs   = flag.String("procs", "", "comma-separated GOMAXPROCS values to benchmark (default: current)")
 		compare = flag.String("compare", "", "previous report JSON to diff against")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
+
+		chaos     = flag.Bool("chaos", false, "measure resilience: fault-free overhead, then availability/latency at 0/1/5%% injected fault rates")
+		budget    = flag.Duration("search-budget", 2*time.Second, "search time budget used by -chaos and -fault-spec runs")
+		faultSpec = flag.String("fault-spec", "", "inject faults into the standard workload, e.g. 'synopsis.search:error:p=0.01'")
+		faultSeed = flag.Uint64("fault-seed", 1, "seed for fault-injection randomness")
 	)
 	flag.Parse()
 
@@ -124,25 +164,46 @@ func main() {
 		log.Fatal(err)
 	}
 
-	var runs []runReport
-	for _, p := range procList {
-		prev := runtime.GOMAXPROCS(p)
-		run, err := benchOnce(cfg, *queries)
-		runtime.GOMAXPROCS(prev)
+	var inj *fault.Injector
+	if *faultSpec != "" {
+		inj, err = fault.ParseSpec(*faultSpec, *faultSeed)
 		if err != nil {
 			log.Fatal(err)
 		}
-		runs = append(runs, run)
+		log.Printf("fault injection active (seed %d): %s", *faultSeed, *faultSpec)
 	}
 
 	var r report
 	r.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	r.GoVersion = runtime.Version()
-	r.GOMAXPROCS = runs[0].GOMAXPROCS
-	r.Ingest = runs[0].Ingest
-	r.Search = runs[0].Search
-	r.Metrics = runs[0].Metrics
-	r.Runs = runs[1:]
+
+	if *chaos {
+		run, cs, err := chaosBench(cfg, *queries, *budget, *faultSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.GOMAXPROCS = run.GOMAXPROCS
+		r.Ingest = run.Ingest
+		r.Search = run.Search
+		r.Metrics = run.Metrics
+		r.Chaos = cs
+	} else {
+		var runs []runReport
+		for _, p := range procList {
+			prev := runtime.GOMAXPROCS(p)
+			run, err := benchOnce(cfg, *queries, *budget, inj)
+			runtime.GOMAXPROCS(prev)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runs = append(runs, run)
+		}
+		r.GOMAXPROCS = runs[0].GOMAXPROCS
+		r.Ingest = runs[0].Ingest
+		r.Search = runs[0].Search
+		r.Metrics = runs[0].Metrics
+		r.Runs = runs[1:]
+	}
 
 	w := os.Stdout
 	if *out != "" {
@@ -185,8 +246,9 @@ func parseProcs(s string) ([]int, error) {
 }
 
 // benchOnce generates the corpus, ingests it, and runs the query workload at
-// the current GOMAXPROCS.
-func benchOnce(cfg synth.Config, queries int) (runReport, error) {
+// the current GOMAXPROCS. A non-nil injector runs the workload under fault
+// injection with the resilience envelope (budget, 3 retries) enabled.
+func benchOnce(cfg synth.Config, queries int, budget time.Duration, inj *fault.Injector) (runReport, error) {
 	var run runReport
 	run.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	log.Printf("[procs=%d] generating %d deals x ~%d docs...", run.GOMAXPROCS, cfg.Deals, cfg.NoiseDocsPerDeal)
@@ -198,6 +260,10 @@ func benchOnce(cfg synth.Config, queries int) (runReport, error) {
 	sys, err := eil.Ingest(corpus.Docs, eil.Options{Directory: corpus.Directory})
 	if err != nil {
 		return run, err
+	}
+	if inj != nil {
+		sys.Engine.Faults = inj
+		sys.Engine.Resilient = core.Resilience{Budget: budget, MaxRetries: 3}
 	}
 	log.Printf("[procs=%d] ingested %d docs in %v (%.0f docs/sec)",
 		run.GOMAXPROCS, sys.Stats.Docs, sys.Stats.Wall.Round(time.Millisecond), sys.Stats.DocsPerSec())
@@ -251,6 +317,9 @@ func benchOnce(cfg synth.Config, queries int) (runReport, error) {
 			continue
 		}
 		if err != nil {
+			if inj != nil && core.IsUnavailable(err) {
+				continue // injected outage with no serving tier left
+			}
 			return run, err
 		}
 		formN++
@@ -286,6 +355,146 @@ func benchOnce(cfg synth.Config, queries int) (runReport, error) {
 		run.GOMAXPROCS, queries, searchElapsed.Round(time.Millisecond), run.Search.QueriesPerSec,
 		run.Search.P50Seconds*1000, run.Search.P95Seconds*1000, run.Search.P99Seconds*1000)
 	return run, nil
+}
+
+// chaosFaultRates are the injected per-call fault probabilities the chaos
+// mode sweeps.
+var chaosFaultRates = []float64{0, 0.01, 0.05}
+
+// chaosBench ingests once, then measures the resilience envelope: the
+// fault-free overhead of enabling it, and availability/degradation/latency
+// under increasing injected fault rates. Each pass runs on a Derive()d
+// engine so breaker state and per-engine caches never leak between
+// scenarios.
+func chaosBench(cfg synth.Config, queries int, budget time.Duration, seed uint64) (runReport, *chaosSummary, error) {
+	run, err := benchOnce(cfg, queries, budget, nil)
+	if err != nil {
+		return run, nil, err
+	}
+	// benchOnce does not return its system; rebuild one for the chaos
+	// passes from the same corpus config (generation is deterministic).
+	corpus, err := synth.Generate(cfg)
+	if err != nil {
+		return run, nil, err
+	}
+	sys, err := eil.Ingest(corpus.Docs, eil.Options{Directory: corpus.Directory})
+	if err != nil {
+		return run, nil, err
+	}
+
+	towers := sys.Taxonomy.TowerNames()
+	user := access.User{ID: "bench"}
+	phrases := []string{"data replication", "service desk", "disaster recovery", "asset management"}
+	mix := func(i int) core.FormQuery {
+		switch i % 3 {
+		case 0:
+			return core.FormQuery{Tower: towers[i%len(towers)]}
+		case 1:
+			return core.FormQuery{Tower: towers[i%len(towers)], ExactPhrase: phrases[i%len(phrases)]}
+		default:
+			return core.FormQuery{AnyWords: []string{"replication", "outsourcing"}}
+		}
+	}
+	workload := func(eng *core.Engine) (lats []time.Duration, ok, degraded, unavail int, err error) {
+		ctx := context.Background()
+		for i := 0; i < queries; i++ {
+			t0 := time.Now()
+			res, serr := eng.SearchCtx(ctx, user, mix(i))
+			lats = append(lats, time.Since(t0))
+			switch {
+			case serr == nil:
+				ok++
+				if res.Degraded {
+					degraded++
+				}
+			case core.IsUnavailable(serr):
+				unavail++
+			default:
+				return nil, 0, 0, 0, serr
+			}
+		}
+		return lats, ok, degraded, unavail, nil
+	}
+	quantile := func(lats []time.Duration, q float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		s := append([]time.Duration(nil), lats...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		i := int(q * float64(len(s)-1))
+		return s[i].Seconds()
+	}
+
+	cs := &chaosSummary{BudgetSeconds: budget.Seconds(), MaxRetries: 3}
+
+	// Overhead: plain vs resilience-enabled, both fault-free. A warmup pass
+	// first (shared index caches then serve both sides equally), then three
+	// alternating passes per side keeping the best wall, so scheduler noise
+	// does not masquerade as envelope cost.
+	if _, _, _, _, err := workload(sys.Engine.Derive()); err != nil {
+		return run, nil, err
+	}
+	timed := func(eng *core.Engine) (time.Duration, error) {
+		t0 := time.Now()
+		_, _, _, _, err := workload(eng)
+		return time.Since(t0), err
+	}
+	plain := sys.Engine.Derive()
+	resil := sys.Engine.Derive()
+	resil.Resilient = core.Resilience{Budget: budget, MaxRetries: 3}
+	var plainWall, resilWall time.Duration
+	for pass := 0; pass < 3; pass++ {
+		pw, err := timed(plain)
+		if err != nil {
+			return run, nil, err
+		}
+		rw, err := timed(resil)
+		if err != nil {
+			return run, nil, err
+		}
+		if pass == 0 || pw < plainWall {
+			plainWall = pw
+		}
+		if pass == 0 || rw < resilWall {
+			resilWall = rw
+		}
+	}
+	cs.PlainQPS = float64(queries) / plainWall.Seconds()
+	cs.ResilientQPS = float64(queries) / resilWall.Seconds()
+	cs.OverheadFraction = resilWall.Seconds()/plainWall.Seconds() - 1
+	log.Printf("[chaos] fault-free overhead: %.2f%% (plain %.0f q/s, resilient %.0f q/s)",
+		cs.OverheadFraction*100, cs.PlainQPS, cs.ResilientQPS)
+
+	for _, rate := range chaosFaultRates {
+		eng := sys.Engine.Derive()
+		eng.Resilient = core.Resilience{Budget: budget, MaxRetries: 3}
+		if rate > 0 {
+			inj := fault.New(seed)
+			inj.Add(&fault.Rule{Site: fault.SiteSynopsisSearch, Mode: fault.ModeError, P: rate})
+			inj.Add(&fault.Rule{Site: fault.SiteSIAPISearch, Mode: fault.ModeError, P: rate})
+			inj.Add(&fault.Rule{Site: fault.SiteSynopsisSearch, Mode: fault.ModeSlow, Latency: 20 * time.Millisecond, P: rate})
+			eng.Faults = inj
+		}
+		lats, ok, degraded, unavail, err := workload(eng)
+		if err != nil {
+			return run, nil, err
+		}
+		sc := chaosScenario{
+			FaultRate:    rate,
+			Queries:      queries,
+			OK:           ok,
+			Degraded:     degraded,
+			Unavailable:  unavail,
+			Availability: float64(queries-unavail) / float64(queries),
+			DegradedFrac: float64(degraded) / float64(queries),
+			P50Seconds:   quantile(lats, 0.50),
+			P99Seconds:   quantile(lats, 0.99),
+		}
+		cs.Scenarios = append(cs.Scenarios, sc)
+		log.Printf("[chaos] rate %.0f%%: availability %.4f, degraded %.1f%%, p50 %.3gms p99 %.3gms",
+			rate*100, sc.Availability, sc.DegradedFrac*100, sc.P50Seconds*1000, sc.P99Seconds*1000)
+	}
+	return run, cs, nil
 }
 
 // printComparison loads a previous report and prints per-metric deltas

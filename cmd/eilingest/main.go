@@ -20,6 +20,7 @@ import (
 	"repro"
 	"repro/internal/crawler"
 	"repro/internal/directory"
+	"repro/internal/obs"
 	"repro/internal/taxonomy"
 	"repro/internal/trace"
 )
@@ -78,10 +79,14 @@ func main() {
 		log.Printf("no personnel directory: contact enrichment disabled")
 	}
 
+	// One registry spans the crawl and the pipeline, so the metrics
+	// snapshot includes ingest_parse_errors_total alongside the rest.
+	metrics := obs.NewRegistry()
 	reader, err := crawler.NewFSReader(*repo)
 	if err != nil {
 		log.Fatal(err)
 	}
+	reader.Metrics = metrics
 	start := time.Now()
 	sys, err := eil.IngestFrom(reader, eil.Options{
 		Workers:        *workers,
@@ -90,6 +95,7 @@ func main() {
 		BlobParsing:    *blob,
 		Dedup:          *dedup,
 		MinScopeWeight: *threshold,
+		Metrics:        metrics,
 		Tracer:         tracer,
 	})
 	if err != nil {
@@ -97,6 +103,9 @@ func main() {
 	}
 	if reader.Skipped() > 0 {
 		log.Printf("skipped %d unparseable files", reader.Skipped())
+		for _, s := range reader.SkippedFiles() {
+			log.Printf("  skip %s: %v", s.Path, s.Err)
+		}
 	}
 	if len(sys.Duplicates) > 0 {
 		log.Printf("dropped %d near-duplicate documents", len(sys.Duplicates))

@@ -32,6 +32,8 @@ import (
 
 	"repro"
 	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/qlog"
 	"repro/internal/synth"
 	"repro/internal/trace"
@@ -54,6 +56,11 @@ func main() {
 		traceSample = flag.Int("trace-sample", 1, "trace 1 in N requests (1 = every request, 0 disables tracing)")
 		traceRing   = flag.Int("trace-ring", trace.DefRingSize, "recent completed traces retained for /debug/traces")
 		traceSlow   = flag.Int("trace-slow", trace.DefSlowPerRoute, "slowest traces retained per route")
+
+		budget    = flag.Duration("search-budget", 0, "total time budget per search; backend attempts get slices of it (0 = unbounded)")
+		retries   = flag.Int("search-retries", 1, "retries per failed backend call within the budget")
+		faultSpec = flag.String("fault-spec", "", "inject backend faults, e.g. 'synopsis.search:error:p=0.01;siapi.search:slow:25ms' (chaos testing)")
+		faultSeed = flag.Uint64("fault-seed", 1, "seed for fault-injection randomness")
 	)
 	flag.Parse()
 
@@ -101,6 +108,19 @@ func main() {
 
 	if *logCap > 0 {
 		sys.QueryLog = qlog.New(*logCap)
+	}
+
+	if *budget > 0 || *retries != 1 {
+		sys.Engine.Resilient = core.Resilience{Budget: *budget, MaxRetries: *retries}
+		log.Printf("search budget %v, %d retries per backend call", *budget, *retries)
+	}
+	if *faultSpec != "" {
+		inj, ferr := fault.ParseSpec(*faultSpec, *faultSeed)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		sys.Engine.Faults = inj
+		log.Printf("WARNING: fault injection active (seed %d): %s", *faultSeed, *faultSpec)
 	}
 
 	var opts []web.Option

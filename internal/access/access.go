@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/trace"
 )
 
@@ -151,9 +152,27 @@ func (c *Controller) LevelFor(u User, dealID string) Level {
 
 // LevelsFor resolves the user's level for each deal in one traced batch —
 // the access-filter stage of Figure 1 step 19. The span records how many
-// activities were checked and how many came back invisible.
+// activities were checked and how many came back invisible. A failing
+// controller (only possible under fault injection) yields nil levels;
+// callers that must distinguish use TryLevelsFor.
 func (c *Controller) LevelsFor(ctx context.Context, u User, dealIDs []string) []Level {
+	levels, _ := c.TryLevelsFor(ctx, u, dealIDs)
+	return levels
+}
+
+// TryLevelsFor is LevelsFor surfacing backend failure — the fault-injection
+// boundary (site "access.levels") standing in for an unreachable entitlement
+// service. The core layer degrades a failed batch to the community-safe
+// synopsis tier rather than guessing per-deal grants.
+func (c *Controller) TryLevelsFor(ctx context.Context, u User, dealIDs []string) ([]Level, error) {
 	_, sp := trace.StartSpan(ctx, "access.levels")
+	if err := fault.Inject(ctx, fault.SiteAccessLevels); err != nil {
+		if sp != nil {
+			sp.Set("error", err.Error())
+			sp.End()
+		}
+		return nil, err
+	}
 	out := make([]Level, len(dealIDs))
 	denied := 0
 	for i, id := range dealIDs {
@@ -167,7 +186,7 @@ func (c *Controller) LevelsFor(ctx context.Context, u User, dealIDs []string) []
 		sp.SetInt("denied", denied)
 		sp.End()
 	}
-	return out
+	return out, nil
 }
 
 // CanSeeDocuments reports whether the user may open documents of the deal.

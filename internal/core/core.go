@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/access"
+	"repro/internal/fault"
 	"repro/internal/lru"
 	"repro/internal/obs"
 	"repro/internal/siapi"
@@ -104,6 +105,12 @@ type Result struct {
 	// UnscopedFallback is true when the synopsis query was empty or
 	// matched nothing and the SIAPI query ran unscoped (Figure 1 step 14).
 	UnscopedFallback bool
+	// Degraded is true when a backend outage forced a reduced answer: the
+	// result is still useful (harvest shrank, yield held) but is not the
+	// full two-backend ranking. DegradedCauses names the failed hops
+	// ("synopsis", "siapi", "access").
+	Degraded       bool     `json:"degraded"`
+	DegradedCauses []string `json:"degraded_causes,omitempty"`
 	// Explain carries one line per executed stage, for the UI's query
 	// summary ("Find deals with ... tower; contain ... anywhere in EWB").
 	Explain []string
@@ -133,11 +140,22 @@ type Engine struct {
 	// Metrics, when set, receives per-stage search timings and outcome
 	// counters (search_* metric names); nil disables recording.
 	Metrics *obs.Registry
+	// Resilient configures budget deadlines, retry, and circuit breaking on
+	// the backend hops (see resilience.go). The zero value reproduces the
+	// unprotected engine exactly.
+	Resilient Resilience
+	// Faults, when set, activates the fault-injection layer for every
+	// search this engine runs (chaos benching via -fault-spec); tests more
+	// commonly inject per-request through fault.With on the context.
+	Faults *fault.Injector
 
 	// synMemo lazily memoizes synopsis query results keyed on the store's
 	// generation counter (see memo.go).
 	synOnce sync.Once
 	synMemo *lru.Cache[string, []synopsis.Hit]
+	// breakers holds the lazily built per-backend circuit breakers.
+	brOnce   sync.Once
+	breakers map[string]*breaker
 }
 
 // Derive returns a new Engine sharing this engine's stores and
@@ -154,6 +172,8 @@ func (e *Engine) Derive() *Engine {
 		DocWeight:      e.DocWeight,
 		DisableScoping: e.DisableScoping,
 		Metrics:        e.Metrics,
+		Resilient:      e.Resilient,
+		Faults:         e.Faults,
 	}
 }
 
@@ -220,6 +240,30 @@ func (e *Engine) SearchCtx(ctx context.Context, user access.User, q FormQuery) (
 
 func (e *Engine) search(ctx context.Context, user access.User, q FormQuery) (Result, error) {
 	var res Result
+	// Resilience envelope: the search budget becomes a context deadline
+	// that every backend attempt slices (see resilience.go), and an
+	// engine-configured fault injector (chaos benching) rides the context
+	// to the instrumented call sites.
+	if r := e.resilience(); r.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.Budget)
+		defer cancel()
+	}
+	if e.Faults != nil {
+		ctx = fault.With(ctx, e.Faults)
+	}
+	// degrade records one backend outage survived by serving a reduced
+	// answer: result flags, per-cause counter, and root-span attributes
+	// (so ?explain=1 shows what was lost and why).
+	degrade := func(cause string, err error) {
+		res.Degraded = true
+		res.DegradedCauses = append(res.DegradedCauses, cause)
+		e.Metrics.Counter("search_degraded_total", "cause", cause).Inc()
+		root := trace.FromContext(ctx)
+		root.SetBool("degraded", true)
+		root.Set("degraded_"+cause, err.Error())
+	}
+
 	// Step 1-2: compose the synopsis query from form input.
 	compose := obs.StartTimer()
 	_, csp := trace.StartSpan(ctx, "search.compose")
@@ -245,24 +289,45 @@ func (e *Engine) search(ctx context.Context, user access.User, q FormQuery) (Res
 	}
 	e.observeStage(ctx, StageCompose, compose.Elapsed())
 
-	// Step 4: execute the synopsis query.
+	// Step 4: execute the synopsis query, behind the resilience wrapper:
+	// breaker admission, budget-sliced attempt deadlines, bounded retry.
 	var synHits []synopsis.Hit
-	var err error
+	synDown := false
 	if !sq.Empty() {
 		t := obs.StartTimer()
 		sctx, sp := trace.StartSpan(ctx, "search.synopsis")
-		var cached bool
-		synHits, cached, err = e.synopsisSearch(sctx, sq)
+		type synOut struct {
+			hits   []synopsis.Hit
+			cached bool
+		}
+		out, err := resilientCall(sctx, e, BackendSynopsis, func(c context.Context) (synOut, error) {
+			hits, cached, err := e.synopsisSearch(c, sq)
+			return synOut{hits, cached}, err
+		})
 		if sp != nil {
-			sp.SetBool("cache_hit", cached)
-			sp.SetInt("hits", len(synHits))
+			sp.SetBool("cache_hit", out.cached)
+			sp.SetInt("hits", len(out.hits))
+			if err != nil {
+				sp.Set("error", err.Error())
+			}
 			sp.End()
 		}
 		e.observeStage(ctx, StageSynopsis, t.Elapsed())
-		if err != nil {
-			return res, fmt.Errorf("core: synopsis query: %w", err)
+		switch {
+		case err == nil:
+			synHits = out.hits
+			res.Explain = append(res.Explain, fmt.Sprintf("synopsis query matched %d activities", len(synHits)))
+		case dq.Empty():
+			// Concept-only query with the synopsis store down: there is no
+			// text to fall back to, so the outage surfaces as unavailable.
+			return res, err
+		default:
+			// Harvest degradation (Fox & Brewer): drop the business-context
+			// half, keep answering from the full-text index unscoped.
+			synDown = true
+			degrade(BackendSynopsis, err)
+			res.Explain = append(res.Explain, "synopsis backend unavailable; degraded to unscoped full-text")
 		}
-		res.Explain = append(res.Explain, fmt.Sprintf("synopsis query matched %d activities", len(synHits)))
 	}
 
 	synByDeal := map[string]synopsis.Hit{}
@@ -294,23 +359,29 @@ func (e *Engine) search(ctx context.Context, user access.User, q FormQuery) (Res
 		c.tws = h.MatchedTowers
 	}
 
-	// siapiStage runs one SIAPI activity search under a traced child span.
-	siapiStage := func(scoped bool) []siapi.ActivityHit {
+	// siapiStage runs one SIAPI activity search under a traced child span,
+	// behind the resilience wrapper.
+	siapiStage := func(scoped bool) ([]siapi.ActivityHit, error) {
 		perDeal := q.DocsPerDeal
 		if perDeal <= 0 {
 			perDeal = 5
 		}
 		t := obs.StartTimer()
 		sctx, sp := trace.StartSpan(ctx, "search.siapi")
-		docActs := e.Docs.SearchActivitiesCtx(sctx, dq, perDeal)
+		docActs, err := resilientCall(sctx, e, BackendSIAPI, func(c context.Context) ([]siapi.ActivityHit, error) {
+			return e.Docs.TrySearchActivitiesCtx(c, dq, perDeal)
+		})
 		if sp != nil {
 			sp.SetBool("scoped", scoped)
 			sp.SetInt("scope_deals", len(dq.Deals))
 			sp.SetInt("activities", len(docActs))
+			if err != nil {
+				sp.Set("error", err.Error())
+			}
 			sp.End()
 		}
 		e.observeStage(ctx, StageSIAPI, t.Elapsed())
-		return docActs
+		return docActs, err
 	}
 
 	switch {
@@ -322,7 +393,20 @@ func (e *Engine) search(ctx context.Context, user access.User, q FormQuery) (Res
 					dq.Deals = append(dq.Deals, h.DealID)
 				}
 			}
-			for _, da := range siapiStage(!e.DisableScoping) {
+			docActs, err := siapiStage(!e.DisableScoping)
+			if err != nil {
+				// Index down with the synopsis side healthy: serve the
+				// synopsis-plus-contacts tier (R <- S, no documents) —
+				// the same reduced answer the paper's access control gives
+				// unauthorized users, here caused by an outage.
+				degrade(BackendSIAPI, err)
+				res.Explain = append(res.Explain, "document index unavailable; degraded to synopsis-plus-contacts")
+				for _, h := range synHits {
+					addSyn(h)
+				}
+				break
+			}
+			for _, da := range docActs {
 				sh, inS := synByDeal[da.DealID]
 				if !inS {
 					continue // unscoped ablation: intersect to keep semantics
@@ -339,17 +423,27 @@ func (e *Engine) search(ctx context.Context, user access.User, q FormQuery) (Res
 			}
 		}
 	case !dq.Empty(): // steps 13-15: unscoped SIAPI fallback
-		if !sq.Empty() {
+		if !sq.Empty() && !synDown {
 			// The synopsis query ran and matched nothing: the concept
 			// criteria are hard filters, so the conjunction is empty.
 			res.Explain = append(res.Explain, "concept criteria matched no activities")
 			break
 		}
-		for _, da := range siapiStage(false) {
+		docActs, err := siapiStage(false)
+		if err != nil {
+			// Every serving tier is gone (text side down, and any concept
+			// side already failed above): surface the outage.
+			return res, err
+		}
+		for _, da := range docActs {
 			acts[da.DealID] = &combined{doc: da.Score, dcs: da.Docs}
 		}
 		res.UnscopedFallback = true
-		res.Explain = append(res.Explain, "unscoped SIAPI query (no concept criteria)")
+		if synDown {
+			res.Explain = append(res.Explain, "unscoped SIAPI query (synopsis degraded)")
+		} else {
+			res.Explain = append(res.Explain, "unscoped SIAPI query (no concept criteria)")
+		}
 	default: // step 17: R <- empty set
 		return res, nil
 	}
@@ -395,7 +489,19 @@ func (e *Engine) search(ctx context.Context, user access.User, q FormQuery) (Res
 		for i, a := range res.Activities {
 			ids[i] = a.DealID
 		}
-		levels = e.Access.LevelsFor(actx, user, ids)
+		var err error
+		levels, err = e.Access.TryLevelsFor(actx, user, ids)
+		if err != nil {
+			// Entitlement resolution failed: degrade every activity to the
+			// community-safe synopsis tier — contacts stay reachable, but
+			// no documents are exposed on a guess.
+			degrade(BackendAccess, err)
+			res.Explain = append(res.Explain, "access control unavailable; degraded to synopsis-only")
+			levels = make([]access.Level, len(ids))
+			for i := range levels {
+				levels[i] = access.LevelSynopsis
+			}
+		}
 	}
 	out := res.Activities[:0]
 	synopsisOnly := 0
@@ -522,5 +628,15 @@ func (e *Engine) ExploreCtx(ctx context.Context, user access.User, dealID string
 	if limit <= 0 {
 		limit = 20
 	}
-	return e.Docs.SearchCtx(ctx, dq, limit), nil
+	if r := e.resilience(); r.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.Budget)
+		defer cancel()
+	}
+	if e.Faults != nil {
+		ctx = fault.With(ctx, e.Faults)
+	}
+	return resilientCall(ctx, e, BackendSIAPI, func(c context.Context) ([]siapi.DocHit, error) {
+		return e.Docs.TrySearchCtx(c, dq, limit)
+	})
 }

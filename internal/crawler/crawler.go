@@ -30,13 +30,24 @@ import (
 // FSReader reads a repository tree: every regular file under Root whose
 // extension a parser understands becomes a document; the first path element
 // under Root names the business activity (one directory per engagement
-// workbook). Files that fail to parse are skipped and counted.
+// workbook). Files that fail to parse are skipped, counted into
+// ingest_parse_errors_total (labelled by file extension), and retained for
+// the operator's skip report — one bad workbook must not abort the crawl.
 type FSReader struct {
 	Root string
+	// Metrics, when set, counts parse failures per format.
+	Metrics *obs.Registry
 
 	paths   []string
 	i       int
 	skipped int
+	skips   []SkippedFile
+}
+
+// SkippedFile records one file the crawl could not parse.
+type SkippedFile struct {
+	Path string
+	Err  error
 }
 
 // NewFSReader lists the tree eagerly (stable, sorted order) and returns a
@@ -62,6 +73,14 @@ func NewFSReader(root string) (*FSReader, error) {
 // Skipped reports how many files failed to parse.
 func (r *FSReader) Skipped() int { return r.skipped }
 
+// maxSkipDetail bounds the retained skip records so a tree full of garbage
+// cannot balloon memory; the total count is always exact.
+const maxSkipDetail = 100
+
+// SkippedFiles returns the recorded parse failures (capped at
+// maxSkipDetail entries; Skipped() has the exact total).
+func (r *FSReader) SkippedFiles() []SkippedFile { return r.skips }
+
 // Next implements analysis.CollectionReader.
 func (r *FSReader) Next() (*docmodel.Document, error) {
 	for r.i < len(r.paths) {
@@ -79,6 +98,14 @@ func (r *FSReader) Next() (*docmodel.Document, error) {
 		doc, err := docparse.Parse(rel, string(content))
 		if err != nil {
 			r.skipped++
+			ext := strings.TrimPrefix(filepath.Ext(rel), ".")
+			if ext == "" {
+				ext = "none"
+			}
+			r.Metrics.Counter("ingest_parse_errors_total", "format", ext).Inc()
+			if len(r.skips) < maxSkipDetail {
+				r.skips = append(r.skips, SkippedFile{Path: rel, Err: err})
+			}
 			continue
 		}
 		if i := strings.IndexByte(rel, '/'); i > 0 {

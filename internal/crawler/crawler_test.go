@@ -10,6 +10,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/annotators"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/siapi"
 	"repro/internal/synth"
 	"repro/internal/taxonomy"
@@ -198,5 +199,54 @@ func TestIndexWriterFlushTraced(t *testing.T) {
 	}
 	if total != 4 {
 		t.Fatalf("flushed docs = %d, want 4", total)
+	}
+}
+
+func TestFSReaderCountsParseErrors(t *testing.T) {
+	root := writeTestTree(t)
+	// A malformed email (bad header line) fails its parser — distinct from
+	// bad.xyz, which fails format dispatch.
+	if err := os.WriteFile(filepath.Join(root, "DEAL B/broken.eml"), []byte("not a header\nbody"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewFSReader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Metrics = obs.NewRegistry()
+	n := 0
+	for {
+		d, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("a bad file aborted the crawl: %v", err)
+		}
+		if d == nil {
+			t.Fatal("nil document without error")
+		}
+		n++
+	}
+	if n != 4 {
+		t.Fatalf("parsed %d documents, want 4", n)
+	}
+	if r.Skipped() != 2 {
+		t.Fatalf("skipped = %d, want 2", r.Skipped())
+	}
+	if got := r.Metrics.Counter("ingest_parse_errors_total", "format", "xyz").Value(); got != 1 {
+		t.Fatalf("parse errors for xyz = %v, want 1", got)
+	}
+	if got := r.Metrics.Counter("ingest_parse_errors_total", "format", "eml").Value(); got != 1 {
+		t.Fatalf("parse errors for eml = %v, want 1", got)
+	}
+	skips := r.SkippedFiles()
+	if len(skips) != 2 {
+		t.Fatalf("skip records = %+v", skips)
+	}
+	for _, s := range skips {
+		if s.Path == "" || s.Err == nil {
+			t.Fatalf("incomplete skip record %+v", s)
+		}
 	}
 }

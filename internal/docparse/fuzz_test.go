@@ -1,0 +1,61 @@
+package docparse
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseEmail feeds arbitrary bytes through the RFC-822-ish email parser.
+// It must never panic; a successful parse must be deterministic and yield a
+// document whose structure is populated (the social annotator reads the
+// header map unconditionally).
+func FuzzParseEmail(f *testing.F) {
+	for _, seed := range []string{
+		"From: Jo Park <jo@example.com>\nTo: Sam White\nSubject: storage deal\n\nSee the replication design.\n",
+		"subject: lower case\r\nx-custom-header: kept\r\n\r\nbody\r\n",
+		"From: a\nbroken header line\n\nbody",
+		"\n\nbody only",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, content string) {
+		doc, err := ParseEmail("fuzz.eml", content)
+		if err != nil {
+			return
+		}
+		if doc == nil {
+			t.Fatalf("nil document without error for %q", content)
+		}
+		if doc.Structure == nil || doc.Structure.Headers == nil {
+			t.Fatalf("parsed email lacks header structure for %q", content)
+		}
+		again, err := ParseEmail("fuzz.eml", content)
+		if err != nil {
+			t.Fatalf("accepted then rejected %q: %v", content, err)
+		}
+		if !reflect.DeepEqual(doc, again) {
+			t.Fatalf("nondeterministic parse of %q", content)
+		}
+	})
+}
+
+// FuzzParseDoc drives the format-dispatching entry point with arbitrary
+// paths and content, covering the deck and grid parsers as well.
+func FuzzParseDoc(f *testing.F) {
+	f.Add("DEAL A/sol.deck", "# Technical Solution\ndata replication between sites\n")
+	f.Add("DEAL A/costs.grid", "item\tcost\nstorage\t12\n")
+	f.Add("DEAL B/m.eml", "Subject: hi\n\nbody")
+	f.Add("notes.txt", "free text")
+	f.Add("weird.bin", "\x00\x01")
+	f.Fuzz(func(t *testing.T, p, content string) {
+		doc, err := Parse(p, content)
+		if err == nil && doc == nil {
+			t.Fatalf("nil document without error for %q", p)
+		}
+		// The structure-blind fallback accepts anything.
+		if b := ParseBlob(p, content); b == nil {
+			t.Fatalf("ParseBlob returned nil for %q", p)
+		}
+	})
+}

@@ -1,0 +1,371 @@
+// Package fault is EIL's deterministic fault-injection layer: the test and
+// chaos-bench machinery that lets a backend failure be *expressed*. Rules
+// are keyed by call site ("synopsis.search", "siapi.search", "index.search",
+// "access.levels"), carry a mode (error, slow, hang, partial), and fire with
+// a seeded, reproducible probability. An Injector travels by context
+// (fault.With / fault.From), so production code holds no injector field —
+// the instrumented sites call Inject/Delay/Keep, which are no-ops when the
+// context carries nothing.
+//
+// Cost when disabled: until the first Injector is constructed in a process,
+// every Inject call is a single atomic load (no context lookup, no
+// allocation); after that, sites pay one context-value lookup. Production
+// binaries that never parse a -fault-spec therefore run the exact pre-fault
+// code path.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode is what an injected fault does at its call site.
+type Mode string
+
+// Injection modes.
+const (
+	// ModeError makes the call return an injected error immediately.
+	ModeError Mode = "error"
+	// ModeSlow sleeps for the rule's Latency before the call proceeds
+	// (aborting early with the context's error if it expires first).
+	ModeSlow Mode = "slow"
+	// ModeHang blocks until the context is cancelled, then returns its
+	// error — the pathological stuck backend a deadline must bound.
+	ModeHang Mode = "hang"
+	// ModePartial truncates the call's result set to Fraction of its
+	// natural size (harvest degradation, not an error).
+	ModePartial Mode = "partial"
+)
+
+// Call sites instrumented across the repo. Rules may also name ad-hoc sites;
+// these constants exist so tests and specs don't embed typos.
+const (
+	SiteSynopsisSearch = "synopsis.search" // synopsis (business context) query
+	SiteSIAPISearch    = "siapi.search"    // SIAPI document query
+	SiteIndexSearch    = "index.search"    // low-level index evaluation
+	SiteAccessLevels   = "access.levels"   // batch access-level resolution
+)
+
+// ErrInjected is the sentinel wrapped by every injected error.
+var ErrInjected = errors.New("fault: injected")
+
+// Error is the concrete injected failure, carrying its site for assertions
+// and per-cause telemetry.
+type Error struct {
+	Site string
+	Mode Mode
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("fault: injected %s at %s", e.Mode, e.Site) }
+
+// Unwrap lets errors.Is(err, ErrInjected) identify injected failures.
+func (e *Error) Unwrap() error { return ErrInjected }
+
+// Rule is one injection behaviour at one site.
+type Rule struct {
+	// Site names the instrumented call site ("*" matches every site).
+	Site string
+	// Mode selects the failure behaviour.
+	Mode Mode
+	// P is the per-call firing probability; 0 means always (1.0).
+	P float64
+	// Latency is the ModeSlow sleep.
+	Latency time.Duration
+	// Fraction is the ModePartial keep ratio (0 means drop everything).
+	Fraction float64
+	// After skips the first N matching calls before the rule arms
+	// (recovery scenarios: healthy, then failing).
+	After int
+	// Times disarms the rule after it fires N times (0 = unlimited) —
+	// failing, then recovered.
+	Times int
+
+	calls atomic.Int64 // matching calls seen
+	fired atomic.Int64 // times the rule actually fired
+}
+
+// Fired reports how many times the rule has fired (test introspection).
+func (r *Rule) Fired() int { return int(r.fired.Load()) }
+
+// Injector holds a rule set and a seeded RNG. Safe for concurrent use; a
+// nil *Injector never fires.
+type Injector struct {
+	mu    sync.Mutex
+	rules []*Rule
+	rng   *rand.Rand
+}
+
+// anyLive flips once the process constructs its first Injector; until then
+// every site check is a single atomic load.
+var anyLive atomic.Bool
+
+// New returns an injector whose probabilistic decisions derive from seed,
+// so a chaos run replays exactly.
+func New(seed uint64) *Injector {
+	anyLive.Store(true)
+	return &Injector{rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// Add installs a rule and returns it (handles let tests assert fire
+// counts). The rule is owned by the injector once added; callers must not
+// mutate its fields afterward.
+func (in *Injector) Add(r *Rule) *Rule {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if r.P <= 0 {
+		r.P = 1
+	}
+	in.rules = append(in.rules, r)
+	return r
+}
+
+// Reset drops all rules.
+func (in *Injector) Reset() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = nil
+}
+
+// decision is what the matched rules ask the call site to do.
+type decision struct {
+	err      *Error
+	sleep    time.Duration
+	hang     bool
+	partial  bool
+	fraction float64
+}
+
+// decide rolls every matching rule once, under the injector lock so the
+// seeded RNG stream is consumed deterministically.
+func (in *Injector) decide(site string) decision {
+	var d decision
+	if in == nil {
+		return d
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, r := range in.rules {
+		if r.Site != site && r.Site != "*" {
+			continue
+		}
+		n := r.calls.Add(1)
+		if r.After > 0 && int(n) <= r.After {
+			continue
+		}
+		if r.Times > 0 && int(r.fired.Load()) >= r.Times {
+			continue
+		}
+		if r.P < 1 && in.rng.Float64() >= r.P {
+			continue
+		}
+		r.fired.Add(1)
+		switch r.Mode {
+		case ModeError:
+			if d.err == nil {
+				d.err = &Error{Site: site, Mode: ModeError}
+			}
+		case ModeSlow:
+			d.sleep += r.Latency
+		case ModeHang:
+			d.hang = true
+		case ModePartial:
+			d.partial = true
+			d.fraction = r.Fraction
+		}
+	}
+	return d
+}
+
+// ctxKey carries the injector in a context.
+type ctxKey struct{}
+
+// With returns a context carrying the injector (nil inj returns ctx as-is).
+func With(ctx context.Context, inj *Injector) context.Context {
+	if inj == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, inj)
+}
+
+// From extracts the context's injector (nil when absent).
+func From(ctx context.Context) *Injector {
+	if !anyLive.Load() {
+		return nil
+	}
+	inj, _ := ctx.Value(ctxKey{}).(*Injector)
+	return inj
+}
+
+// Inject applies error, slow, and hang rules for site: it sleeps injected
+// latency, blocks on hang until ctx cancels, and returns the injected (or
+// context) error. The zero path — no injector, no matching rule — returns
+// nil without blocking.
+func Inject(ctx context.Context, site string) error {
+	in := From(ctx)
+	if in == nil {
+		return nil
+	}
+	d := in.decide(site)
+	if d.hang {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	if d.sleep > 0 {
+		t := time.NewTimer(d.sleep)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+	if d.err != nil {
+		return d.err
+	}
+	return nil
+}
+
+// Delay applies only the timing rules (slow, hang) for site — for call
+// sites that cannot surface an error and model faults as latency or reduced
+// harvest instead. It returns ctx's error if cancellation interrupts.
+func Delay(ctx context.Context, site string) error {
+	in := From(ctx)
+	if in == nil {
+		return nil
+	}
+	d := in.decide(site)
+	if d.hang {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	if d.sleep > 0 {
+		t := time.NewTimer(d.sleep)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+	return nil
+}
+
+// Keep applies partial-result rules for site: given n natural results, it
+// returns how many the call should keep (n when no rule fires).
+func Keep(ctx context.Context, site string, n int) int {
+	in := From(ctx)
+	if in == nil {
+		return n
+	}
+	d := in.decide(site)
+	if !d.partial {
+		return n
+	}
+	k := int(float64(n) * d.fraction)
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// ParseSpec compiles a -fault-spec string into an injector seeded with
+// seed. The grammar is semicolon-separated rules:
+//
+//	rule  := site ":" mode [":" value] {":" key "=" num}
+//	mode  := "error" | "slow" | "hang" | "partial"
+//	value := duration (slow) | keep fraction (partial)
+//	key   := "p" (probability) | "after" | "times"
+//
+// Examples:
+//
+//	synopsis.search:error
+//	siapi.search:slow:25ms:p=0.05
+//	synopsis.search:error:p=0.01;siapi.search:hang:times=3
+//	index.search:partial:0.5
+func ParseSpec(spec string, seed uint64) (*Injector, error) {
+	inj := New(seed)
+	for _, raw := range strings.Split(spec, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		parts := strings.Split(raw, ":")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("fault: rule %q needs site:mode", raw)
+		}
+		r := &Rule{Site: strings.TrimSpace(parts[0]), Mode: Mode(strings.TrimSpace(parts[1]))}
+		if r.Site == "" {
+			return nil, fmt.Errorf("fault: rule %q has empty site", raw)
+		}
+		rest := parts[2:]
+		// An optional positional value comes before the key=val options.
+		if len(rest) > 0 && !strings.Contains(rest[0], "=") {
+			v := strings.TrimSpace(rest[0])
+			switch r.Mode {
+			case ModeSlow:
+				d, err := time.ParseDuration(v)
+				if err != nil {
+					return nil, fmt.Errorf("fault: rule %q: bad latency %q: %w", raw, v, err)
+				}
+				r.Latency = d
+			case ModePartial:
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil || f < 0 || f > 1 {
+					return nil, fmt.Errorf("fault: rule %q: bad fraction %q", raw, v)
+				}
+				r.Fraction = f
+			default:
+				return nil, fmt.Errorf("fault: rule %q: mode %s takes no value", raw, r.Mode)
+			}
+			rest = rest[1:]
+		}
+		switch r.Mode {
+		case ModeError, ModeSlow, ModeHang, ModePartial:
+		default:
+			return nil, fmt.Errorf("fault: rule %q: unknown mode %q", raw, parts[1])
+		}
+		if r.Mode == ModeSlow && r.Latency == 0 {
+			return nil, fmt.Errorf("fault: rule %q: slow needs a latency value", raw)
+		}
+		for _, opt := range rest {
+			k, v, ok := strings.Cut(strings.TrimSpace(opt), "=")
+			if !ok {
+				return nil, fmt.Errorf("fault: rule %q: bad option %q", raw, opt)
+			}
+			switch k {
+			case "p":
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil || f <= 0 || f > 1 {
+					return nil, fmt.Errorf("fault: rule %q: bad probability %q", raw, v)
+				}
+				r.P = f
+			case "after":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("fault: rule %q: bad after %q", raw, v)
+				}
+				r.After = n
+			case "times":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("fault: rule %q: bad times %q", raw, v)
+				}
+				r.Times = n
+			default:
+				return nil, fmt.Errorf("fault: rule %q: unknown option %q", raw, k)
+			}
+		}
+		inj.Add(r)
+	}
+	return inj, nil
+}

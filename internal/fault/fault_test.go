@@ -1,0 +1,183 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestInjectNoInjector(t *testing.T) {
+	if err := Inject(context.Background(), SiteSynopsisSearch); err != nil {
+		t.Fatalf("no-injector Inject = %v, want nil", err)
+	}
+	if n := Keep(context.Background(), SiteIndexSearch, 7); n != 7 {
+		t.Fatalf("no-injector Keep = %d, want 7", n)
+	}
+}
+
+func TestErrorMode(t *testing.T) {
+	inj := New(1)
+	rule := inj.Add(&Rule{Site: SiteSynopsisSearch, Mode: ModeError})
+	ctx := With(context.Background(), inj)
+
+	err := Inject(ctx, SiteSynopsisSearch)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Inject = %v, want ErrInjected", err)
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Site != SiteSynopsisSearch {
+		t.Fatalf("error carries site %v", err)
+	}
+	if err := Inject(ctx, SiteSIAPISearch); err != nil {
+		t.Fatalf("other site faulted: %v", err)
+	}
+	if rule.Fired() != 1 {
+		t.Fatalf("rule fired %d times, want 1", rule.Fired())
+	}
+}
+
+func TestSlowModeRespectsContext(t *testing.T) {
+	inj := New(1)
+	inj.Add(&Rule{Site: SiteIndexSearch, Mode: ModeSlow, Latency: time.Minute})
+	ctx, cancel := context.WithTimeout(With(context.Background(), inj), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := Delay(ctx, SiteIndexSearch)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Delay = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("slept %v despite cancelled context", elapsed)
+	}
+}
+
+func TestHangModeUnblocksOnCancel(t *testing.T) {
+	inj := New(1)
+	inj.Add(&Rule{Site: SiteSynopsisSearch, Mode: ModeHang})
+	ctx, cancel := context.WithCancel(With(context.Background(), inj))
+	done := make(chan error, 1)
+	go func() { done <- Inject(ctx, SiteSynopsisSearch) }()
+	select {
+	case err := <-done:
+		t.Fatalf("hang returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("hang returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("hang did not unblock on cancel")
+	}
+}
+
+func TestPartialMode(t *testing.T) {
+	inj := New(1)
+	inj.Add(&Rule{Site: SiteSIAPISearch, Mode: ModePartial, Fraction: 0.5})
+	ctx := With(context.Background(), inj)
+	if n := Keep(ctx, SiteSIAPISearch, 10); n != 5 {
+		t.Fatalf("Keep = %d, want 5", n)
+	}
+	if n := Keep(ctx, SiteSynopsisSearch, 10); n != 10 {
+		t.Fatalf("unmatched Keep = %d, want 10", n)
+	}
+}
+
+func TestAfterAndTimes(t *testing.T) {
+	inj := New(1)
+	inj.Add(&Rule{Site: "s", Mode: ModeError, After: 2, Times: 2})
+	ctx := With(context.Background(), inj)
+	var errs []bool
+	for i := 0; i < 6; i++ {
+		errs = append(errs, Inject(ctx, "s") != nil)
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if errs[i] != want[i] {
+			t.Fatalf("call %d: err=%v, want %v (pattern %v)", i, errs[i], want[i], errs)
+		}
+	}
+}
+
+func TestProbabilityDeterministic(t *testing.T) {
+	fired := func(seed uint64) int {
+		inj := New(seed)
+		r := inj.Add(&Rule{Site: "s", Mode: ModeError, P: 0.3})
+		ctx := With(context.Background(), inj)
+		for i := 0; i < 1000; i++ {
+			Inject(ctx, "s")
+		}
+		return r.Fired()
+	}
+	a, b := fired(42), fired(42)
+	if a != b {
+		t.Fatalf("same seed fired %d vs %d", a, b)
+	}
+	if a < 200 || a > 400 {
+		t.Fatalf("p=0.3 fired %d/1000, far from expectation", a)
+	}
+}
+
+func TestWildcardSite(t *testing.T) {
+	inj := New(1)
+	inj.Add(&Rule{Site: "*", Mode: ModeError})
+	ctx := With(context.Background(), inj)
+	for _, site := range []string{SiteSynopsisSearch, SiteSIAPISearch, "anything"} {
+		if Inject(ctx, site) == nil {
+			t.Fatalf("wildcard did not fire at %s", site)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	inj, err := ParseSpec("synopsis.search:error:p=0.5;siapi.search:slow:25ms;index.search:partial:0.5;access.levels:hang:after=1:times=2", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.mu.Lock()
+	n := len(inj.rules)
+	inj.mu.Unlock()
+	if n != 4 {
+		t.Fatalf("parsed %d rules, want 4", n)
+	}
+
+	bad := []string{
+		"siapi.search",               // no mode
+		"siapi.search:explode",       // unknown mode
+		"siapi.search:slow",          // slow without latency
+		"siapi.search:slow:fast",     // bad duration
+		"siapi.search:error:p=2",     // probability out of range
+		"siapi.search:error:nope",    // positional value on error mode
+		"siapi.search:partial:1.5",   // fraction out of range
+		"siapi.search:error:zzz=1",   // unknown option
+		":error",                     // empty site
+		"siapi.search:error:after=x", // bad int
+	}
+	for _, spec := range bad {
+		if _, err := ParseSpec(spec, 1); err == nil {
+			t.Errorf("ParseSpec(%q) accepted invalid spec", spec)
+		}
+	}
+
+	// Empty and whitespace specs yield an empty injector, not an error.
+	if inj, err := ParseSpec(" ; ", 1); err != nil || inj == nil {
+		t.Fatalf("blank spec: %v", err)
+	}
+}
+
+func TestParseSpecBehaviour(t *testing.T) {
+	inj, err := ParseSpec("s:error:times=1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := With(context.Background(), inj)
+	if Inject(ctx, "s") == nil {
+		t.Fatal("first call should fault")
+	}
+	if err := Inject(ctx, "s"); err != nil {
+		t.Fatalf("times=1 still firing: %v", err)
+	}
+}

@@ -1,0 +1,33 @@
+package fault
+
+import "testing"
+
+// FuzzParseSpec hammers the -fault-spec grammar: arbitrary specs must parse
+// or error, never panic, and an accepted spec must round through a fresh
+// parse (the flag is user-supplied on both server and bench binaries).
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"synopsis.search:error",
+		"siapi.search:slow:25ms:p=0.05",
+		"synopsis.search:error:p=0.01;siapi.search:hang:times=3",
+		"index.search:partial:0.5;access.levels:error:after=2",
+		"*:hang",
+		";;;",
+		"x",
+		"a:slow:nope",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		inj, err := ParseSpec(spec, 42)
+		if err != nil {
+			return
+		}
+		if inj == nil {
+			t.Fatalf("nil injector without error for %q", spec)
+		}
+		if _, err := ParseSpec(spec, 42); err != nil {
+			t.Fatalf("accepted then rejected %q: %v", spec, err)
+		}
+	})
+}

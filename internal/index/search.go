@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/trace"
 )
 
@@ -164,10 +165,25 @@ func (ix *Index) Search(q Query, limit int) []Hit {
 // context lookup.
 func (ix *Index) SearchCtx(ctx context.Context, q Query, limit int) []Hit {
 	_, sp := trace.StartSpan(ctx, "index.search")
+	// Fault-injection boundary (site "index.search"): the index cannot
+	// surface errors, so injected faults here model a degraded — not dead —
+	// backend: added latency/hang (bounded by the caller's deadline) and
+	// partial harvest. A caller whose deadline already expired gets nothing,
+	// matching a scan that was cut off.
+	if err := fault.Delay(ctx, fault.SiteIndexSearch); err != nil {
+		if sp != nil {
+			sp.Set("error", err.Error())
+			sp.End()
+		}
+		return nil
+	}
 	ix.mu.RLock()
 	a := ix.evalAcc(q)
 	ix.mu.RUnlock()
 	hits := collectHits(a, limit)
+	if keep := fault.Keep(ctx, fault.SiteIndexSearch, len(hits)); keep < len(hits) {
+		hits = hits[:keep]
+	}
 	if sp != nil {
 		sp.SetInt("candidates", a.n)
 		sp.SetInt("returned", len(hits))

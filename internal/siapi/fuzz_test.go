@@ -1,0 +1,46 @@
+package siapi
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseKeywords throws arbitrary search-box text at the keyword-query
+// parser. It must never panic, must be deterministic, and every extracted
+// term must be a real token: non-empty and free of whitespace (the index
+// analyzer assumes tokenized input).
+func FuzzParseKeywords(f *testing.F) {
+	for _, seed := range []string{
+		`"help desk" outsourcing -legacy repl*`,
+		`"first phrase" then "second phrase" -x`,
+		`--double -* ** "unclosed`,
+		`   `,
+		`plain words only`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		q := ParseKeywords(s)
+		if !reflect.DeepEqual(q, ParseKeywords(s)) {
+			t.Fatalf("nondeterministic parse of %q", s)
+		}
+		check := func(kind string, terms []string) {
+			for _, w := range terms {
+				if w == "" {
+					t.Fatalf("%s term empty for input %q: %+v", kind, s, q)
+				}
+				if strings.ContainsAny(w, " \t\n\r") {
+					t.Fatalf("%s term %q contains whitespace for input %q", kind, w, s)
+				}
+			}
+		}
+		check("all", q.All)
+		check("none", q.None)
+		check("prefix", q.Prefix)
+		if q.Empty() && strings.IndexFunc(s, func(r rune) bool { return r == '"' }) < 0 &&
+			len(strings.Fields(s)) > 0 {
+			t.Fatalf("tokens in %q parsed to an empty query", s)
+		}
+	})
+}

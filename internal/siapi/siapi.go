@@ -9,9 +9,11 @@ package siapi
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/index"
 	"repro/internal/lru"
 	"repro/internal/obs"
@@ -250,10 +252,23 @@ func (e *Engine) Search(q Query, limit int) []DocHit {
 }
 
 // SearchCtx is Search recording a trace span when ctx carries one: cache
-// hit or miss, the scope size, and the hit count.
+// hit or miss, the scope size, and the hit count. Injected faults surface
+// as an empty hit list; callers that need the failure use TrySearchCtx.
 func (e *Engine) SearchCtx(ctx context.Context, q Query, limit int) []DocHit {
+	hits, _ := e.TrySearchCtx(ctx, q, limit)
+	return hits
+}
+
+// TrySearchCtx is SearchCtx surfacing backend failure: it is the engine's
+// fault-injection boundary (site "siapi.search", standing in for an
+// unreachable OmniFind), and the error return is what the core resilience
+// layer retries, breaks, and degrades on. A healthy engine never errors.
+func (e *Engine) TrySearchCtx(ctx context.Context, q Query, limit int) ([]DocHit, error) {
 	if q.Empty() {
-		return nil
+		return nil, nil
+	}
+	if err := fault.Inject(ctx, fault.SiteSIAPISearch); err != nil {
+		return nil, fmt.Errorf("siapi: search: %w", err)
 	}
 	sctx, sp := trace.StartSpan(ctx, "siapi.search")
 	hits, cached := e.cachedSearch(q, limit, func() []DocHit {
@@ -281,7 +296,7 @@ func (e *Engine) SearchCtx(ctx context.Context, q Query, limit int) []DocHit {
 		sp.SetInt("hits", len(hits))
 		sp.End()
 	}
-	return hits
+	return hits, nil
 }
 
 // Count returns the number of matching documents — the "N documents
@@ -304,10 +319,25 @@ func (e *Engine) SearchActivities(q Query, perDeal int) []ActivityHit {
 }
 
 // SearchActivitiesCtx is SearchActivities under a trace span recording the
-// grouped activity count.
+// grouped activity count. Backend failure surfaces as no activities; the
+// resilient core path uses TrySearchActivitiesCtx instead.
 func (e *Engine) SearchActivitiesCtx(ctx context.Context, q Query, perDeal int) []ActivityHit {
+	hits, _ := e.TrySearchActivitiesCtx(ctx, q, perDeal)
+	return hits
+}
+
+// TrySearchActivitiesCtx is SearchActivitiesCtx surfacing backend failure
+// for the core resilience layer.
+func (e *Engine) TrySearchActivitiesCtx(ctx context.Context, q Query, perDeal int) ([]ActivityHit, error) {
 	ctx, sp := trace.StartSpan(ctx, "siapi.activities")
-	docs := e.SearchCtx(ctx, q, 0)
+	docs, err := e.TrySearchCtx(ctx, q, 0)
+	if err != nil {
+		if sp != nil {
+			sp.Set("error", err.Error())
+			sp.End()
+		}
+		return nil, err
+	}
 	byDeal := map[string][]DocHit{}
 	for _, d := range docs {
 		if d.DealID == "" {
@@ -347,7 +377,7 @@ func (e *Engine) SearchActivitiesCtx(ctx context.Context, q Query, perDeal int) 
 		sp.SetInt("activities", len(hits))
 		sp.End()
 	}
-	return hits
+	return hits, nil
 }
 
 // Analyzer returns the analyzer shared with the index; the core layer uses

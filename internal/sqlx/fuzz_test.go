@@ -1,0 +1,44 @@
+package sqlx
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary statement text through the SQL front end. The
+// parser must never panic, and an accepted statement must parse to the same
+// AST every time (the planner memoizes on statement text, so nondeterminism
+// here would poison plans).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"SELECT * FROM deals",
+		"SELECT id FROM deals WHERE industry = 'Insurance'",
+		"SELECT id FROM deals WHERE industry = ? AND months = ?;",
+		"SELECT id FROM deals WHERE tcv >= 75 AND NOT international",
+		"CREATE TABLE deals (id TEXT PRIMARY KEY, tcv FLOAT)",
+		"CREATE UNIQUE SORTED INDEX x ON deals (tcv)",
+		"INSERT INTO deals (id, customer) VALUES ('DEAL Q', 'O''Neil & Co')",
+		"DELETE FROM people WHERE role = 'CSE'",
+		"DROP TABLE people",
+		"SELECT FROM",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if stmt == nil {
+			t.Fatalf("nil statement without error for %q", src)
+		}
+		again, err := Parse(src)
+		if err != nil {
+			t.Fatalf("accepted then rejected %q: %v", src, err)
+		}
+		if !reflect.DeepEqual(stmt, again) {
+			t.Fatalf("nondeterministic parse of %q:\n%#v\n%#v", src, stmt, again)
+		}
+	})
+}

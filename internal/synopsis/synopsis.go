@@ -15,6 +15,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/relstore"
 	"repro/internal/sqlx"
 	"repro/internal/trace"
@@ -334,10 +335,12 @@ type Hit struct {
 }
 
 // SearchCtx is Search recording a trace span when ctx carries one: the hit
-// count and whether candidates were pre-restricted.
+// count and whether candidates were pre-restricted. It is also the store's
+// fault-injection boundary (site "synopsis.search"): injected errors, delay,
+// and partial-harvest rules apply here, standing in for a failing DB2.
 func (s *Store) SearchCtx(ctx context.Context, q Query) ([]Hit, error) {
 	_, sp := trace.StartSpan(ctx, "synopsis.query")
-	hits, err := s.Search(q)
+	hits, err := s.faultySearch(ctx, q)
 	if sp != nil {
 		sp.SetInt("hits", len(hits))
 		sp.SetBool("restricted", len(q.RestrictTo) > 0)
@@ -347,6 +350,22 @@ func (s *Store) SearchCtx(ctx context.Context, q Query) ([]Hit, error) {
 		sp.End()
 	}
 	return hits, err
+}
+
+// faultySearch runs Search behind the injection point, truncating the hit
+// list when a partial-harvest rule fires.
+func (s *Store) faultySearch(ctx context.Context, q Query) ([]Hit, error) {
+	if err := fault.Inject(ctx, fault.SiteSynopsisSearch); err != nil {
+		return nil, fmt.Errorf("synopsis: query: %w", err)
+	}
+	hits, err := s.Search(q)
+	if err != nil {
+		return nil, err
+	}
+	if keep := fault.Keep(ctx, fault.SiteSynopsisSearch, len(hits)); keep < len(hits) {
+		hits = hits[:keep]
+	}
+	return hits, nil
 }
 
 // Search executes the synopsis query: a set of directed SQL queries whose

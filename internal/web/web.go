@@ -7,6 +7,7 @@ package web
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"html/template"
 	"log/slog"
@@ -263,22 +264,54 @@ func formQuery(r *http.Request) core.FormQuery {
 	return q
 }
 
+// searchError maps a search failure to HTTP semantics: a backend outage
+// (every serving tier gone) is 503 with Retry-After, so load balancers and
+// clients back off instead of hammering a dead backend; anything else is a
+// caller problem and stays 400. Outages are counted per backend cause.
+func (h *handler) searchError(w http.ResponseWriter, route string, err error) {
+	if core.IsUnavailable(err) {
+		cause := "backend"
+		var be *core.BackendError
+		if errors.As(err, &be) {
+			cause = be.Backend
+		}
+		h.sys.Metrics.Counter("http_unavailable_total", "route", route, "cause", cause).Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}
+
+// countDegraded records a degraded-but-served search (HTTP 200 with
+// degraded:true) per failed-backend cause.
+func (h *handler) countDegraded(route string, res core.Result) {
+	if !res.Degraded {
+		return
+	}
+	for _, cause := range res.DegradedCauses {
+		h.sys.Metrics.Counter("http_degraded_total", "route", route, "cause", cause).Inc()
+	}
+}
+
 func (h *handler) apiSearch(w http.ResponseWriter, r *http.Request) {
 	q := formQuery(r)
 	if r.URL.Query().Has("explain") {
 		res, ex, err := h.sys.SearchExplain(r.Context(), userFrom(r), q)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			h.searchError(w, "/api/search", err)
 			return
 		}
+		h.countDegraded("/api/search", res)
 		writeJSON(w, explainResponse{Result: res, Explain: ex})
 		return
 	}
 	res, err := h.sys.SearchCtx(r.Context(), userFrom(r), q)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		h.searchError(w, "/api/search", err)
 		return
 	}
+	h.countDegraded("/api/search", res)
 	writeJSON(w, res)
 }
 
@@ -328,6 +361,10 @@ func (h *handler) apiExplore(w http.ResponseWriter, r *http.Request) {
 	}
 	hits, err := h.sys.ExploreCtx(r.Context(), userFrom(r), id, formQuery(r))
 	if err != nil {
+		if core.IsUnavailable(err) {
+			h.searchError(w, "/api/explore", err)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusForbidden)
 		return
 	}
@@ -383,6 +420,7 @@ var homeTmpl = template.Must(template.New("home").Parse(`<!doctype html>
  body{font-family:sans-serif;margin:2em;max-width:70em}
  fieldset{margin-bottom:1em} label{display:inline-block;width:11em}
  .deal{border:1px solid #ccc;margin:.6em 0;padding:.6em}
+ .degraded{background:#fff3cd;border:1px solid #d4b106;padding:.5em}
  .towers{color:#046} .score{color:#666;font-size:.85em}
  .doc{margin-left:1.5em;font-size:.9em} em{background:#ffc}
 </style></head><body>
@@ -406,6 +444,7 @@ var homeTmpl = template.Must(template.New("home").Parse(`<!doctype html>
 </fieldset>
 <button>Search</button></form>
 {{if .Suggestions}}<p>Did you mean: {{range $i, $s := .Suggestions}}{{if $i}}, {{end}}<a href="/?tower={{$s}}">{{$s}}</a>{{end}}?</p>{{end}}
+{{if .Degraded}}<p class="degraded">&#9888; Partial results: a search backend is unavailable, so some context or documents may be missing.</p>{{end}}
 {{if .Ran}}
 <h2>{{len .Activities}} relevant business activities</h2>
 {{range .Activities}}
@@ -421,6 +460,7 @@ var homeTmpl = template.Must(template.New("home").Parse(`<!doctype html>
 type homeData struct {
 	Q           core.FormQuery
 	Ran         bool
+	Degraded    bool
 	Activities  []viewActivity
 	Suggestions []string
 }
@@ -446,10 +486,12 @@ func (h *handler) home(w http.ResponseWriter, r *http.Request) {
 	if q.HasConcepts() || q.HasText() {
 		res, err := h.sys.SearchCtx(r.Context(), userFrom(r), q)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			h.searchError(w, "/", err)
 			return
 		}
+		h.countDegraded("/", res)
 		data.Ran = true
+		data.Degraded = res.Degraded
 		data.Suggestions = res.Suggestions
 		for _, a := range res.Activities {
 			va := viewActivity{Activity: a}
