@@ -15,12 +15,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -31,6 +33,9 @@ import (
 	"repro"
 	"repro/internal/access"
 	"repro/internal/core"
+	"repro/internal/docmodel"
+	"repro/internal/docparse"
+	"repro/internal/durable"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/synth"
@@ -93,6 +98,35 @@ type report struct {
 	// Chaos is the -chaos mode block: resilience overhead when nothing
 	// fails, and availability/latency under injected fault rates.
 	Chaos *chaosSummary `json:"chaos,omitempty"`
+
+	// Durability is the -durability mode block: snapshot save/load cost,
+	// journaled-update throughput, and crash-recovery (snapshot + journal
+	// replay) wall time.
+	Durability *durabilitySummary `json:"durability,omitempty"`
+}
+
+// durabilitySummary is the -durability report block.
+type durabilitySummary struct {
+	// Snapshot checkpoint of the full ingested system.
+	SnapshotSaveSeconds float64 `json:"snapshot_save_seconds"`
+	SnapshotBytes       int64   `json:"snapshot_bytes"`
+	SnapshotLoadSeconds float64 `json:"snapshot_load_seconds"`
+
+	// Journaled updates: AddDocuments batches applied with the WAL enabled
+	// (fsync per batch), then recovery replaying them all from the journal.
+	JournaledBatches     int     `json:"journaled_batches"`
+	JournaledDocs        int     `json:"journaled_docs"`
+	JournalSeconds       float64 `json:"journal_seconds"`
+	JournalBatchesPerSec float64 `json:"journal_batches_per_sec"`
+	WALBytes             int64   `json:"wal_bytes"`
+	RecoverySeconds      float64 `json:"recovery_seconds"`
+
+	// Raw journal micro-benchmark: 256-byte records, fsync every record vs
+	// batched fsync, and replay throughput.
+	RawRecords             int     `json:"raw_records"`
+	RawAppendSyncedPerSec  float64 `json:"raw_append_synced_per_sec"`
+	RawAppendBatchedPerSec float64 `json:"raw_append_batched_per_sec"`
+	RawReplayPerSec        float64 `json:"raw_replay_per_sec"`
 }
 
 // chaosScenario is one fault-rate pass of the chaos workload.
@@ -136,10 +170,11 @@ func main() {
 		compare = flag.String("compare", "", "previous report JSON to diff against")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
 
-		chaos     = flag.Bool("chaos", false, "measure resilience: fault-free overhead, then availability/latency at 0/1/5%% injected fault rates")
-		budget    = flag.Duration("search-budget", 2*time.Second, "search time budget used by -chaos and -fault-spec runs")
-		faultSpec = flag.String("fault-spec", "", "inject faults into the standard workload, e.g. 'synopsis.search:error:p=0.01'")
-		faultSeed = flag.Uint64("fault-seed", 1, "seed for fault-injection randomness")
+		chaos      = flag.Bool("chaos", false, "measure resilience: fault-free overhead, then availability/latency at 0/1/5%% injected fault rates")
+		durability = flag.Bool("durability", false, "measure durability: snapshot save/load, journaled-update throughput, crash recovery")
+		budget     = flag.Duration("search-budget", 2*time.Second, "search time budget used by -chaos and -fault-spec runs")
+		faultSpec  = flag.String("fault-spec", "", "inject faults into the standard workload, e.g. 'synopsis.search:error:p=0.01'")
+		faultSeed  = flag.Uint64("fault-seed", 1, "seed for fault-injection randomness")
 	)
 	flag.Parse()
 
@@ -177,7 +212,16 @@ func main() {
 	r.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	r.GoVersion = runtime.Version()
 
-	if *chaos {
+	if *durability {
+		run, ds, err := durabilityBench(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.GOMAXPROCS = run.GOMAXPROCS
+		r.Ingest = run.Ingest
+		r.Metrics = run.Metrics
+		r.Durability = ds
+	} else if *chaos {
 		run, cs, err := chaosBench(cfg, *queries, *budget, *faultSeed)
 		if err != nil {
 			log.Fatal(err)
@@ -495,6 +539,184 @@ func chaosBench(cfg synth.Config, queries int, budget time.Duration, seed uint64
 			rate*100, sc.Availability, sc.DegradedFrac*100, sc.P50Seconds*1000, sc.P99Seconds*1000)
 	}
 	return run, cs, nil
+}
+
+// durabilityBench measures the durability layer end to end: checkpointing
+// the full ingested system into the generation store, loading it back,
+// applying journaled update batches (fsync per batch), recovering from
+// snapshot+journal, and a raw journal append/replay micro-benchmark.
+func durabilityBench(cfg synth.Config) (runReport, *durabilitySummary, error) {
+	var run runReport
+	run.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	log.Printf("[durability] generating %d deals x ~%d docs...", cfg.Deals, cfg.NoiseDocsPerDeal)
+	corpus, err := synth.Generate(cfg)
+	if err != nil {
+		return run, nil, err
+	}
+	sys, err := eil.Ingest(corpus.Docs, eil.Options{Directory: corpus.Directory})
+	if err != nil {
+		return run, nil, err
+	}
+	run.Ingest.Docs = sys.Stats.Docs
+	run.Ingest.Deals = cfg.Deals
+	run.Ingest.Annotations = sys.Stats.Annotations
+	run.Ingest.WallSeconds = sys.Stats.Wall.Seconds()
+	run.Ingest.DocsPerSec = sys.Stats.DocsPerSec()
+
+	dir, err := os.MkdirTemp("", "eilbench-durability-*")
+	if err != nil {
+		return run, nil, err
+	}
+	defer os.RemoveAll(dir)
+	ds := &durabilitySummary{}
+
+	// Snapshot save: one full checkpoint of the ingested system.
+	t0 := time.Now()
+	if _, err := sys.Checkpoint(dir); err != nil {
+		return run, nil, err
+	}
+	ds.SnapshotSaveSeconds = time.Since(t0).Seconds()
+	ds.SnapshotBytes = dirBytes(dir)
+	log.Printf("[durability] snapshot save: %.3fs, %d bytes", ds.SnapshotSaveSeconds, ds.SnapshotBytes)
+
+	// Snapshot load: cold reconstruction from the generation store.
+	t0 = time.Now()
+	loaded, err := eil.LoadSystem(dir, nil)
+	if err != nil {
+		return run, nil, err
+	}
+	ds.SnapshotLoadSeconds = time.Since(t0).Seconds()
+	log.Printf("[durability] snapshot load: %.3fs (%d docs)", ds.SnapshotLoadSeconds, loaded.Index.DocCount())
+
+	// Journaled updates: AddDocuments batches with the journal fsynced at
+	// every batch — the acknowledged-update path a live server runs.
+	if err := loaded.EnableWAL(dir, 1); err != nil {
+		return run, nil, err
+	}
+	const batches = 25
+	t0 = time.Now()
+	for i := 0; i < batches; i++ {
+		docs, err := benchDealDocs(fmt.Sprintf("DEAL BENCH %03d", i))
+		if err != nil {
+			return run, nil, err
+		}
+		if err := loaded.AddDocuments(docs); err != nil {
+			return run, nil, err
+		}
+		ds.JournaledDocs += len(docs)
+	}
+	ds.JournalSeconds = time.Since(t0).Seconds()
+	ds.JournaledBatches = batches
+	ds.JournalBatchesPerSec = float64(batches) / ds.JournalSeconds
+	if fi, err := os.Stat(filepath.Join(dir, durable.WALName)); err == nil {
+		ds.WALBytes = fi.Size()
+	}
+	log.Printf("[durability] journaled %d batches (%d docs) in %.3fs (%.1f batches/s, %d journal bytes)",
+		ds.JournaledBatches, ds.JournaledDocs, ds.JournalSeconds, ds.JournalBatchesPerSec, ds.WALBytes)
+
+	// Crash recovery: reload from snapshot + journal replay, then verify the
+	// journaled updates actually arrived.
+	t0 = time.Now()
+	recovered, err := eil.LoadSystem(dir, nil)
+	if err != nil {
+		return run, nil, err
+	}
+	ds.RecoverySeconds = time.Since(t0).Seconds()
+	if got, want := recovered.Index.DocCount(), loaded.Index.DocCount(); got != want {
+		return run, nil, fmt.Errorf("recovery lost state: %d docs, want %d", got, want)
+	}
+	log.Printf("[durability] recovery (snapshot + journal replay): %.3fs", ds.RecoverySeconds)
+
+	// Raw journal micro-benchmark, away from the pipeline: append throughput
+	// with per-record fsync vs batched fsync, and replay throughput.
+	const rawRecords = 2000
+	payload := bytes.Repeat([]byte("x"), 256)
+	rawDir, err := os.MkdirTemp("", "eilbench-wal-*")
+	if err != nil {
+		return run, nil, err
+	}
+	defer os.RemoveAll(rawDir)
+	appendRun := func(dir string, syncEvery int) (float64, error) {
+		w, err := durable.CreateWAL(dir, 1, durable.WALOptions{SyncEvery: syncEvery})
+		if err != nil {
+			return 0, err
+		}
+		t0 := time.Now()
+		for i := 0; i < rawRecords; i++ {
+			if err := w.Append(1, payload); err != nil {
+				return 0, err
+			}
+		}
+		if err := w.Sync(); err != nil {
+			return 0, err
+		}
+		if err := w.Close(); err != nil {
+			return 0, err
+		}
+		return float64(rawRecords) / time.Since(t0).Seconds(), nil
+	}
+	syncedDir := filepath.Join(rawDir, "synced")
+	if err := os.Mkdir(syncedDir, 0o755); err != nil {
+		return run, nil, err
+	}
+	if ds.RawAppendSyncedPerSec, err = appendRun(syncedDir, 1); err != nil {
+		return run, nil, err
+	}
+	batchedDir := filepath.Join(rawDir, "batched")
+	if err := os.Mkdir(batchedDir, 0o755); err != nil {
+		return run, nil, err
+	}
+	if ds.RawAppendBatchedPerSec, err = appendRun(batchedDir, 64); err != nil {
+		return run, nil, err
+	}
+	t0 = time.Now()
+	rep, err := durable.ReplayWAL(batchedDir, durable.WALOptions{})
+	if err != nil {
+		return run, nil, err
+	}
+	if len(rep.Records) != rawRecords {
+		return run, nil, fmt.Errorf("raw replay: %d records, want %d", len(rep.Records), rawRecords)
+	}
+	ds.RawRecords = rawRecords
+	ds.RawReplayPerSec = float64(rawRecords) / time.Since(t0).Seconds()
+	log.Printf("[durability] raw journal: append %.0f rec/s fsync-per-record, %.0f rec/s batched; replay %.0f rec/s",
+		ds.RawAppendSyncedPerSec, ds.RawAppendBatchedPerSec, ds.RawReplayPerSec)
+
+	run.Metrics = sys.Metrics.Snapshots()
+	return run, ds, nil
+}
+
+// benchDealDocs builds one small update batch (a four-file deal) for the
+// journaled-update measurement.
+func benchDealDocs(dealID string) ([]*docmodel.Document, error) {
+	files := []struct{ name, content string }{
+		{"overview.txt", "Deal Overview\nCustomer: Bench Corp\nIndustry: Retail\nTotal Contract Value: over 100M\nScope summary: Network Services.\n"},
+		{"scope.deck", "# Services Scope Baseline\n- Network Services\n- Voice Services coverage\n"},
+		{"team.grid", "GRID Deal Team Roster\nName | Role | Email | Phone\nBench Person | CSE | bench.person@example.com |\n"},
+		{"tsa-1.grid", "GRID Network Services Service Details\nService Item | cross tower TSA | Notes\nNetwork Services item 1 | | pending\n"},
+	}
+	var docs []*docmodel.Document
+	for _, f := range files {
+		doc, err := docparse.Parse(dealID+"/"+f.name, f.content)
+		if err != nil {
+			return nil, err
+		}
+		doc.DealID = dealID
+		docs = append(docs, doc)
+	}
+	return docs, nil
+}
+
+// dirBytes sums the sizes of all regular files under dir.
+func dirBytes(dir string) int64 {
+	var total int64
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			total += info.Size()
+		}
+		return nil
+	})
+	return total
 }
 
 // printComparison loads a previous report and prints per-metric deltas

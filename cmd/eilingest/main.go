@@ -38,6 +38,7 @@ func main() {
 		taxFile    = flag.String("taxonomy", "", "custom services taxonomy (JSON; default: built-in IT services vocabulary)")
 		dedup      = flag.Bool("dedup", false, "drop near-duplicate documents before analysis (§3.4 redundancy cleanup)")
 		stats      = flag.Bool("stats", false, "print the per-annotator and per-CPE wall-time breakdown")
+		snapKeep   = flag.Int("snapshot-keep", 0, "committed snapshot generations retained in -out as corruption fallbacks (0 = default)")
 		metricsOut = flag.String("metrics-out", "", "write the ingest metrics snapshot (JSON) to this file")
 
 		traceSample = flag.Int("trace-sample", 16, "trace 1 in N documents through the annotator flow (0 disables)")
@@ -141,16 +142,18 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	if err := sys.Save(*out); err != nil {
+	sys.SnapshotKeep = *snapKeep
+	gen, err := sys.Checkpoint(*out)
+	if err != nil {
 		log.Fatal(err)
 	}
 	ids, err := sys.Synopses.DealIDs()
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("ingested %d documents (%d annotations) across %d business activities in %v (%.0f docs/sec); saved to %s",
+	log.Printf("ingested %d documents (%d annotations) across %d business activities in %v (%.0f docs/sec); saved to %s (generation %d)",
 		sys.Index.DocCount(), sys.Stats.Annotations, len(ids), time.Since(start).Round(time.Millisecond),
-		sys.Stats.DocsPerSec(), *out)
+		sys.Stats.DocsPerSec(), *out, gen)
 }
 
 // dumpTraces writes every retained trace — the recent ring plus the slowest

@@ -12,9 +12,17 @@
 // drain in-flight requests before exit so metrics and query-log state are
 // not torn down mid-request.
 //
+// Durability: -wal journals every incremental update (AddDocuments,
+// RemoveDeal, Compact) into the system directory before acknowledging it;
+// after a crash, the next load replays the journal on top of the last
+// committed snapshot. -snapshot-interval checkpoints the system periodically
+// (each checkpoint commits a new generation and truncates the journal), and
+// a graceful shutdown commits a final generation.
+//
 // Usage:
 //
 //	eilserver -sys ./eilsys -addr :8080
+//	eilserver -demo -addr :8080 -wal -snapshot-interval 5m
 //	eilserver -demo -addr :8080 -pprof -access-log
 package main
 
@@ -56,6 +64,11 @@ func main() {
 		traceSample = flag.Int("trace-sample", 1, "trace 1 in N requests (1 = every request, 0 disables tracing)")
 		traceRing   = flag.Int("trace-ring", trace.DefRingSize, "recent completed traces retained for /debug/traces")
 		traceSlow   = flag.Int("trace-slow", trace.DefSlowPerRoute, "slowest traces retained per route")
+
+		snapInterval = flag.Duration("snapshot-interval", 0, "checkpoint the system to -sys every interval (0 disables background snapshots)")
+		snapKeep     = flag.Int("snapshot-keep", 0, "committed snapshot generations retained as corruption fallbacks (0 = default)")
+		walOn        = flag.Bool("wal", false, "journal every update to -sys before acknowledging it (crash recovery replays the journal)")
+		walSync      = flag.Int("wal-sync-every", 1, "fsync the journal every N records (1 = every record; higher trades durability for throughput)")
 
 		budget    = flag.Duration("search-budget", 0, "total time budget per search; backend attempts get slices of it (0 = unbounded)")
 		retries   = flag.Int("search-retries", 1, "retries per failed backend call within the budget")
@@ -110,6 +123,16 @@ func main() {
 		sys.QueryLog = qlog.New(*logCap)
 	}
 
+	sys.SnapshotKeep = *snapKeep
+	if *walOn {
+		// EnableWAL checkpoints first when -sys has no snapshot matching the
+		// in-memory state, so this also bootstraps the store in -demo mode.
+		if err := sys.EnableWAL(*sysDir, *walSync); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("write-ahead journal enabled in %s (generation %d)", *sysDir, sys.Generation())
+	}
+
 	if *budget > 0 || *retries != 1 {
 		sys.Engine.Resilient = core.Resilience{Budget: *budget, MaxRetries: *retries}
 		log.Printf("search budget %v, %d retries per backend call", *budget, *retries)
@@ -141,6 +164,27 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *snapInterval > 0 {
+		go func() {
+			tick := time.NewTicker(*snapInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					gen, err := sys.Checkpoint(*sysDir)
+					if err != nil {
+						log.Printf("snapshot: %v", err)
+						continue
+					}
+					log.Printf("snapshot committed: generation %d", gen)
+				}
+			}
+		}()
+		log.Printf("background snapshots every %v to %s", *snapInterval, *sysDir)
+	}
+
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("listening on %s (metrics at /metrics)", *addr)
@@ -157,6 +201,18 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("shutdown: %v", err)
+		}
+		if *walOn || *snapInterval > 0 {
+			// Fold journaled operations into a final generation so the next
+			// start loads a clean snapshot instead of replaying.
+			if gen, err := sys.Checkpoint(*sysDir); err != nil {
+				log.Printf("final snapshot: %v", err)
+			} else {
+				log.Printf("final snapshot committed: generation %d", gen)
+			}
+			if err := sys.CloseWAL(); err != nil {
+				log.Printf("close journal: %v", err)
+			}
 		}
 		log.Printf("bye")
 	}

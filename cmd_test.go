@@ -66,9 +66,18 @@ func TestCLIWorkflow(t *testing.T) {
 	if !strings.Contains(out, "ingested") {
 		t.Fatalf("eilingest output: %s", out)
 	}
-	for _, f := range []string{"index.gob", "context.gob"} {
-		if _, err := os.Stat(filepath.Join(sysDir, f)); err != nil {
-			t.Fatalf("system file %s missing: %v", f, err)
+	// The system directory is a generational snapshot store: a MANIFEST
+	// naming the committed generation plus gen-*/ component containers.
+	if _, err := os.Stat(filepath.Join(sysDir, "MANIFEST")); err != nil {
+		t.Fatalf("snapshot manifest missing: %v", err)
+	}
+	gens, err := filepath.Glob(filepath.Join(sysDir, "gen-*"))
+	if err != nil || len(gens) == 0 {
+		t.Fatalf("no snapshot generations in %s (%v)", sysDir, err)
+	}
+	for _, f := range []string{"index.snap", "context.snap", "pipeline.snap"} {
+		if _, err := os.Stat(filepath.Join(gens[len(gens)-1], f)); err != nil {
+			t.Fatalf("snapshot component %s missing: %v", f, err)
 		}
 	}
 

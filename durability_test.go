@@ -1,0 +1,333 @@
+package eil
+
+// System-level durability: the write-ahead journal, crash recovery, and the
+// differential acceptance test from the durability design — a system that
+// crashed after journaled updates and recovered must answer the same
+// queries as one that never crashed, and must keep accepting updates.
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/synth"
+)
+
+// queryFingerprint runs a fixed query set and renders the results as one
+// comparable string: activity IDs per form query, counts per keyword query.
+func queryFingerprint(t *testing.T, sys *System) string {
+	t.Helper()
+	out := ""
+	forms := []core.FormQuery{
+		{Tower: "End User Services"},
+		{Tower: "Storage Management Services", ExactPhrase: "data replication"},
+		{PersonName: synth.PlantedPerson},
+		{PersonName: "New Person"},
+		{Industry: "Retail"},
+	}
+	for _, q := range forms {
+		res, err := sys.Search(admin(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out += "form:"
+		for _, a := range res.Activities {
+			out += a.DealID + ","
+		}
+		out += "\n"
+	}
+	for _, kw := range []string{"services", "data replication", "cross tower TSA"} {
+		out += fmt.Sprintf("kw %s: %d\n", kw, sys.KeywordCount(kw))
+	}
+	return out
+}
+
+func TestWALRecoveryDifferential(t *testing.T) {
+	// Two identical systems. Both take the same updates; one journals them,
+	// "crashes" (its in-memory state is abandoned without a save), and is
+	// recovered from snapshot+journal. The recovered system must answer the
+	// fixed query set identically to the never-crashed live one — and keep
+	// accepting updates (the old restored-systems-are-frozen bug).
+	_, live := testSystem(t, Options{})
+	dir := t.TempDir()
+	if err := live.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	crashy, err := LoadSystem(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := crashy.EnableWAL(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	apply := func(s *System) {
+		if err := s.AddDocuments(newDealDocs(t, "DEAL JOURNALED")); err != nil {
+			t.Fatal(err)
+		}
+		ids, err := s.Synopses.DealIDs()
+		if err != nil || len(ids) == 0 {
+			t.Fatalf("deal ids: %v, %v", ids, err)
+		}
+		if err := s.RemoveDeal(ids[0]); err != nil {
+			t.Fatal(err)
+		}
+		s.Compact()
+		if err := s.AddDocuments(newDealDocs(t, "DEAL JOURNALED 2")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	apply(live)
+	apply(crashy)
+	// Crash: no Save, no CloseWAL — the journal is all that survives.
+
+	recovered, err := LoadSystem(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := queryFingerprint(t, recovered), queryFingerprint(t, live); got != want {
+		t.Fatalf("recovered system diverged from never-crashed one:\nrecovered:\n%s\nlive:\n%s", got, want)
+	}
+	if recovered.Index.DocCount() != live.Index.DocCount() {
+		t.Fatalf("doc count %d vs %d", recovered.Index.DocCount(), live.Index.DocCount())
+	}
+	// The acceptance bar: a WAL-restored system accepts AddDocuments.
+	if err := recovered.AddDocuments(newDealDocs(t, "DEAL POST RECOVERY")); err != nil {
+		t.Fatalf("recovered system rejected AddDocuments: %v", err)
+	}
+	if _, err := recovered.Synopses.Get("DEAL POST RECOVERY"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALTornTailRecovered(t *testing.T) {
+	// A crash mid-append tears the journal's last record. Recovery must keep
+	// every record before the tear and drop the torn tail — not fail.
+	_, sys := testSystem(t, Options{})
+	dir := t.TempDir()
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.EnableWAL(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddDocuments(newDealDocs(t, "DEAL KEPT")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddDocuments(newDealDocs(t, "DEAL TORN")); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, durable.WALName)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered, err := LoadSystem(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recovered.Synopses.Get("DEAL KEPT"); err != nil {
+		t.Fatalf("intact journal record lost: %v", err)
+	}
+	if _, err := recovered.Synopses.Get("DEAL TORN"); err == nil {
+		t.Fatal("torn journal record replayed")
+	}
+}
+
+func TestCheckpointTruncatesWAL(t *testing.T) {
+	_, sys := testSystem(t, Options{})
+	dir := t.TempDir()
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.EnableWAL(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddDocuments(newDealDocs(t, "DEAL CHECKPOINTED")); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := sys.Checkpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := durable.ReplayWAL(dir, durable.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Base != gen || len(rep.Records) != 0 {
+		t.Fatalf("journal after checkpoint: base %d (gen %d), %d records", rep.Base, gen, len(rep.Records))
+	}
+	// And the checkpointed state is the whole state.
+	recovered, err := LoadSystem(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recovered.Synopses.Get("DEAL CHECKPOINTED"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotFallbackToPreviousGeneration(t *testing.T) {
+	// Corrupting the newest generation's index must not lose the system:
+	// load falls back to the previous committed generation.
+	_, sys := testSystem(t, Options{})
+	dir := t.TempDir()
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddDocuments(newDealDocs(t, "DEAL GEN TWO")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, "gen-00000002", "index.snap")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered, err := LoadSystem(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered.Generation() != 1 {
+		t.Fatalf("served generation %d, want fallback to 1", recovered.Generation())
+	}
+	if _, err := recovered.Synopses.Get("DEAL GEN TWO"); err == nil {
+		t.Fatal("generation-two state served from corrupt snapshot")
+	}
+}
+
+func TestLoadSystemCrashMatrix(t *testing.T) {
+	// Truncate every durable file in the store at several offsets; LoadSystem
+	// must never panic — it recovers (possibly to an older generation) or
+	// fails with a typed error.
+	_, sys := testSystem(t, Options{})
+	dir := t.TempDir()
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.EnableWAL(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddDocuments(newDealDocs(t, "DEAL WAL")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	var files []string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			files = append(files, path)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 4 {
+		t.Fatalf("store layout: %v", files)
+	}
+	for _, path := range files {
+		pristine, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Truncation points: empty, tiny, mid-file, one byte short.
+		for _, n := range []int{0, 1, len(pristine) / 3, len(pristine) / 2, len(pristine) - 1} {
+			if n < 0 || n > len(pristine) {
+				continue
+			}
+			if err := os.WriteFile(path, pristine[:n], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			recovered, lerr := LoadSystem(dir, nil) // must not panic
+			if lerr != nil {
+				if !errors.Is(lerr, durable.ErrNoSnapshot) && !errors.Is(lerr, durable.ErrCorrupt) &&
+					!errors.Is(lerr, durable.ErrTorn) && !errors.Is(lerr, durable.ErrVersion) {
+					t.Fatalf("%s truncated to %d: untyped error %v", path, n, lerr)
+				}
+			} else if recovered.Index.DocCount() == 0 {
+				t.Fatalf("%s truncated to %d: loaded an empty system", path, n)
+			}
+		}
+		if err := os.WriteFile(path, pristine, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Everything restored: the full state loads again.
+	recovered, err := LoadSystem(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recovered.Synopses.Get("DEAL WAL"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadSystemLegacyLayout(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "index.gob"), []byte("old gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadSystem(dir, nil)
+	if !errors.Is(err, ErrLegacySnapshot) {
+		t.Fatalf("err = %v, want ErrLegacySnapshot", err)
+	}
+}
+
+func TestPipelineFormatBumpRejected(t *testing.T) {
+	// A pipeline component from a future format must fail the generation
+	// with a typed version error (here: the whole load, since there is only
+	// one generation).
+	_, sys := testSystem(t, Options{})
+	dir := t.TempDir()
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the pipeline component with a bumped format, re-framed and
+	// re-checksummed so only the version check can reject it.
+	st, err := durable.OpenStore(dir, durable.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Commit([]durable.Component{
+		{Name: "index", Write: func(w io.Writer) error { _, err := sys.Index.WriteTo(w); return err }},
+		{Name: "context", Write: func(w io.Writer) error { _, err := sys.Synopses.DB().WriteTo(w); return err }},
+		{Name: "pipeline", Write: func(w io.Writer) error {
+			return gob.NewEncoder(w).Encode(pipelineSnapshot{Format: pipelineFormat + 1})
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Remove the older good generation so there is no fallback.
+	if err := os.RemoveAll(filepath.Join(dir, "gen-00000001")); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadSystem(dir, nil)
+	if !errors.Is(err, durable.ErrVersion) && !errors.Is(err, durable.ErrNoSnapshot) {
+		t.Fatalf("err = %v, want version/no-snapshot", err)
+	}
+	if err == nil {
+		t.Fatal("future pipeline format loaded")
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/access"
@@ -30,6 +32,7 @@ import (
 	"repro/internal/dedupe"
 	"repro/internal/directory"
 	"repro/internal/docmodel"
+	"repro/internal/durable"
 	"repro/internal/index"
 	"repro/internal/obs"
 	"repro/internal/qlog"
@@ -110,12 +113,38 @@ type System struct {
 	// Duplicates lists the redundant documents the dedup pre-pass dropped
 	// (empty unless Options.Dedup was set).
 	Duplicates []string
+	// SnapshotKeep is how many committed snapshot generations Save/Checkpoint
+	// retain for corruption fallback (0 = durable.DefaultKeep).
+	SnapshotKeep int
 
-	// Retained offline-pipeline state for incremental updates; nil on
-	// systems restored from disk (re-ingest to update those).
+	// Retained offline-pipeline state for incremental updates. LoadSystem
+	// rebuilds it from the persisted pipeline snapshot, so restored systems
+	// update exactly like live ones.
 	flow    analysis.Annotator
 	builder *annotators.Builder
 	writer  *crawler.IndexWriter
+
+	// upMu serializes mutations (AddDocuments, RemoveDeal, Compact,
+	// Checkpoint, EnableWAL). Searches do not take it: they read the live
+	// engine through the sia atomic pointer, so Compact's swap never races
+	// them.
+	upMu sync.Mutex
+	sia  atomic.Pointer[siapi.Engine]
+
+	// Durability state: the last committed snapshot generation and, when
+	// EnableWAL has been called, the open journal and its directory.
+	gen    uint64
+	wal    *durable.WAL
+	walDir string
+}
+
+// siapi returns the live keyword engine. Searches go through this (not the
+// exported SIAPI field) so Compact can swap backends under concurrent load.
+func (s *System) siapi() *siapi.Engine {
+	if e := s.sia.Load(); e != nil {
+		return e
+	}
+	return s.SIAPI
 }
 
 // Ingest runs the offline pipeline (Data Acquisition already done by the
@@ -198,6 +227,7 @@ func IngestFrom(reader analysis.CollectionReader, opts Options) (*System, error)
 		builder:    builder,
 		writer:     writer,
 	}
+	sys.sia.Store(sia)
 	sys.Engine = &core.Engine{
 		Synopses:       store,
 		Docs:           sys.SIAPI,
@@ -368,8 +398,9 @@ func (s *System) KeywordSearch(query string, limit int) []siapi.DocHit {
 // KeywordSearchCtx is KeywordSearch under the caller's context.
 func (s *System) KeywordSearchCtx(ctx context.Context, query string, limit int) []siapi.DocHit {
 	kq := siapi.ParseKeywords(query)
+	engine := s.siapi()
 	t := obs.StartTimer()
-	hits := s.SIAPI.SearchCtx(ctx, kq, limit)
+	hits := engine.SearchCtx(ctx, kq, limit)
 	latency := t.Elapsed()
 	if s.QueryLog != nil {
 		// Log the true match count, not len(hits): the returned page is
@@ -378,7 +409,7 @@ func (s *System) KeywordSearchCtx(ctx context.Context, query string, limit int) 
 		s.QueryLog.Record(qlog.Entry{
 			Kind:       qlog.KindKeyword,
 			Summary:    query,
-			Activities: s.SIAPI.Count(kq),
+			Activities: engine.Count(kq),
 			Latency:    latency,
 			TraceID:    trace.ID(ctx),
 		})
@@ -389,7 +420,7 @@ func (s *System) KeywordSearchCtx(ctx context.Context, query string, limit int) 
 // KeywordCount reports how many documents a search-box query returns — the
 // "N documents returned" numbers quoted throughout the paper's §4.
 func (s *System) KeywordCount(query string) int {
-	return s.SIAPI.Count(siapi.ParseKeywords(query))
+	return s.siapi().Count(siapi.ParseKeywords(query))
 }
 
 // Explore searches within one business activity's documents (the synopsis

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/access"
@@ -149,6 +150,13 @@ type Engine struct {
 	// commonly inject per-request through fault.With on the context.
 	Faults *fault.Injector
 
+	// docs, once SwapDocs has been called, is the live document backend:
+	// compaction republishes the rebuilt index through it so concurrent
+	// searches atomically see either the old or the new engine, never a
+	// torn mix. Reads go through backend(), which falls back to Docs until
+	// the first swap.
+	docs atomic.Pointer[siapi.Engine]
+
 	// synMemo lazily memoizes synopsis query results keyed on the store's
 	// generation counter (see memo.go).
 	synOnce sync.Once
@@ -165,7 +173,7 @@ type Engine struct {
 func (e *Engine) Derive() *Engine {
 	return &Engine{
 		Synopses:       e.Synopses,
-		Docs:           e.Docs,
+		Docs:           e.backend(),
 		Access:         e.Access,
 		Tax:            e.Tax,
 		SynopsisWeight: e.SynopsisWeight,
@@ -176,6 +184,21 @@ func (e *Engine) Derive() *Engine {
 		Faults:         e.Faults,
 	}
 }
+
+// backend returns the current document backend: the atomically swapped one
+// when compaction has republished it, the construction-time Docs otherwise.
+func (e *Engine) backend() *siapi.Engine {
+	if d := e.docs.Load(); d != nil {
+		return d
+	}
+	return e.Docs
+}
+
+// SwapDocs atomically replaces the document backend. Searches in flight
+// keep the engine they already loaded; new searches see the replacement.
+// This is how System.Compact swaps the rebuilt index under live queries
+// without a lock on the search path.
+func (e *Engine) SwapDocs(d *siapi.Engine) { e.docs.Store(d) }
 
 // Search stage labels used in search_stage_seconds.
 const (
@@ -369,7 +392,7 @@ func (e *Engine) search(ctx context.Context, user access.User, q FormQuery) (Res
 		t := obs.StartTimer()
 		sctx, sp := trace.StartSpan(ctx, "search.siapi")
 		docActs, err := resilientCall(sctx, e, BackendSIAPI, func(c context.Context) ([]siapi.ActivityHit, error) {
-			return e.Docs.TrySearchActivitiesCtx(c, dq, perDeal)
+			return e.backend().TrySearchActivitiesCtx(c, dq, perDeal)
 		})
 		if sp != nil {
 			sp.SetBool("scoped", scoped)
@@ -637,6 +660,6 @@ func (e *Engine) ExploreCtx(ctx context.Context, user access.User, dealID string
 		ctx = fault.With(ctx, e.Faults)
 	}
 	return resilientCall(ctx, e, BackendSIAPI, func(c context.Context) ([]siapi.DocHit, error) {
-		return e.Docs.TrySearchCtx(c, dq, limit)
+		return e.backend().TrySearchCtx(c, dq, limit)
 	})
 }

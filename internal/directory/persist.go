@@ -7,6 +7,8 @@ import (
 	"io"
 	"os"
 	"sort"
+
+	"repro/internal/durable"
 )
 
 // All returns every entry, sorted by serial.
@@ -54,29 +56,13 @@ func Load(r io.Reader) (*Directory, error) {
 	}
 }
 
-// SaveFile writes the directory to path atomically.
+// SaveFile writes the directory to path atomically and durably (temp file +
+// fsync + rename + directory fsync, via the shared durable helper).
 func (d *Directory) SaveFile(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("directory: save: %w", err)
-	}
-	bw := bufio.NewWriter(f)
-	if _, err := d.WriteTo(bw); err != nil {
-		f.Close()
-		os.Remove(tmp)
+	return durable.WriteFileAtomic(nil, path, func(w io.Writer) error {
+		_, err := d.WriteTo(w)
 		return err
-	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("directory: save: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("directory: save: %w", err)
-	}
-	return os.Rename(tmp, path)
+	})
 }
 
 // LoadFile reads a directory from path.

@@ -1,0 +1,71 @@
+package durable
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a file so that a crash at any instruction leaves
+// either the old content or the new content at path — never a torn mix.
+// The sequence is the full litany: write to a temp file in the same
+// directory, flush, fsync the file, rename over the target, fsync the
+// directory so the rename itself is durable. It is the shared helper the
+// index, relstore, and directory snapshot writers use (each used to
+// hand-roll tmp+rename without any fsync).
+//
+// fs may be nil (the real filesystem).
+func WriteFileAtomic(fs FS, path string, write func(io.Writer) error) error {
+	if fs == nil {
+		fs = OS
+	}
+	tmp := path + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("durable: create %s: %w", tmp, err)
+	}
+	bw := bufio.NewWriter(f)
+	cleanup := func() {
+		f.Close()
+		fs.Remove(tmp)
+	}
+	if err := write(bw); err != nil {
+		cleanup()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		cleanup()
+		return fmt.Errorf("durable: write %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("durable: fsync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		fs.Remove(tmp)
+		return fmt.Errorf("durable: close %s: %w", tmp, err)
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
+		return fmt.Errorf("durable: rename %s: %w", path, err)
+	}
+	return SyncDir(fs, filepath.Dir(path))
+}
+
+// SyncDir fsyncs a directory so a just-renamed or just-created entry
+// survives power loss. Filesystems that reject directory fsync (some CI
+// overlays do) are tolerated: the error is dropped, matching what SQLite
+// and etcd do on such mounts.
+func SyncDir(fs FS, dir string) error {
+	if fs == nil {
+		fs = OS
+	}
+	d, err := fs.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

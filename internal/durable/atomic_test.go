@@ -1,0 +1,85 @@
+package durable
+
+import (
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+func TestWriteFileAtomicReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteFileAtomic(nil, path, func(w io.Writer) error {
+		_, err := w.Write([]byte("new content"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "new content" {
+		t.Fatalf("content = %q, %v", got, err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+func TestWriteFileAtomicWriteErrorKeepsOld(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("encoder exploded")
+	err := WriteFileAtomic(nil, path, func(w io.Writer) error {
+		_, _ = w.Write([]byte("partial"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "old" {
+		t.Fatalf("old content lost: %q", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+func TestWriteFileAtomicFaultsKeepOld(t *testing.T) {
+	// Whichever site the failure hits — create, write, sync, or rename —
+	// the target keeps its old content.
+	for _, site := range []string{SiteCreate, SiteWrite, SiteSync, SiteRename} {
+		t.Run(site, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "data")
+			if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			inj := fault.New(1)
+			inj.Add(&fault.Rule{Site: site, Mode: fault.ModeError})
+			ffs := &FaultFS{Ctx: fault.With(context.Background(), inj)}
+			err := WriteFileAtomic(ffs, path, func(w io.Writer) error {
+				_, err := w.Write([]byte("new"))
+				return err
+			})
+			if !errors.Is(err, fault.ErrInjected) {
+				t.Fatalf("err = %v, want injected", err)
+			}
+			got, _ := os.ReadFile(path)
+			if string(got) != "old" {
+				t.Fatalf("old content lost: %q", got)
+			}
+		})
+	}
+}

@@ -1,0 +1,74 @@
+// Package durable is EIL's crash-safe persistence layer: the storage-side
+// counterpart of the query path's failure model (internal/fault, DESIGN §9).
+// The paper's production system "incorporat[ed] more than half a million
+// documents from almost 1000 engagements" continuously — state that scale
+// cannot be re-ingested after every restart, so incremental state must
+// survive a crash at any instruction.
+//
+// The package provides three building blocks:
+//
+//   - WriteFileAtomic: the one true atomic-write helper (tmp file + flush +
+//     fsync + rename + directory fsync) every snapshot writer in the repo
+//     goes through.
+//   - Store: a generation-numbered snapshot store. Each generation is a
+//     directory of framed, versioned, CRC-checksummed component files; a
+//     checksummed MANIFEST records the last fully committed generation, and
+//     the previous N generations are retained so a torn or corrupt snapshot
+//     falls back to last-good instead of failing the load.
+//   - WAL: a write-ahead journal of logical operations since the last
+//     committed generation, with per-record checksums and fsync batching.
+//     Replay stops cleanly at a torn tail.
+//
+// Every disk touch goes through the FS seam, so crash-matrix tests inject
+// write/sync/rename faults (reusing internal/fault) without patching the
+// production code path. The load-side invariant the crash tests enforce:
+// load never panics and never returns partial state — it returns the last
+// committed generation or a typed error.
+package durable
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed load failures. Callers branch on these with errors.Is.
+var (
+	// ErrCorrupt marks a checksum mismatch, bad magic, or structurally
+	// impossible framing — the bytes on disk are not a valid container.
+	ErrCorrupt = errors.New("durable: corrupt data")
+	// ErrTorn marks a container that ends mid-frame: a crash during write
+	// (or a truncated copy) tore off the tail.
+	ErrTorn = errors.New("durable: torn write")
+	// ErrVersion marks a container written by a newer (or older,
+	// incompatible) format version than this binary understands.
+	ErrVersion = errors.New("durable: unsupported format version")
+	// ErrNoSnapshot means no loadable generation exists in the store.
+	ErrNoSnapshot = errors.New("durable: no loadable snapshot")
+)
+
+// CorruptError wraps ErrCorrupt with the offending location.
+type CorruptError struct {
+	Path   string
+	Detail string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("durable: corrupt %s: %s", e.Path, e.Detail)
+}
+
+// Unwrap lets errors.Is(err, ErrCorrupt) match.
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
+
+// VersionError wraps ErrVersion with the versions involved.
+type VersionError struct {
+	Path string
+	Got  uint32
+	Want uint32
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("durable: %s: format version %d, this binary supports %d", e.Path, e.Got, e.Want)
+}
+
+// Unwrap lets errors.Is(err, ErrVersion) match.
+func (e *VersionError) Unwrap() error { return ErrVersion }

@@ -1,0 +1,226 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// writeContainer builds a complete framed container with the given frames.
+func writeContainer(t *testing.T, kind string, version uint32, frames ...[]byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	fw, err := NewFrameWriter(&buf, kind, version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames {
+		if err := fw.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := [][]byte{[]byte("alpha"), []byte("beta"), {}, []byte("gamma")}
+	raw := writeContainer(t, "test", 1, frames...)
+	fr, err := NewFrameReader(bytes.NewReader(raw), "mem", "test", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range frames {
+		got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d = %q, want %q", i, got, want)
+		}
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameStreamRoundTrip(t *testing.T) {
+	// A payload larger than one chunk exercises the io.Writer/io.Reader
+	// streaming path: multiple frames, each independently checksummed.
+	payload := bytes.Repeat([]byte("0123456789abcdef"), (streamChunk/16)+512)
+	var buf bytes.Buffer
+	fw, err := NewFrameWriter(&buf, "stream", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := NewFrameReader(bytes.NewReader(buf.Bytes()), "mem", "stream", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("stream round trip: %d bytes, want %d", len(got), len(payload))
+	}
+	if err := fr.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameVersionMismatch(t *testing.T) {
+	raw := writeContainer(t, "test", 2, []byte("x"))
+	_, err := NewFrameReader(bytes.NewReader(raw), "mem", "test", 1)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+	var ve *VersionError
+	if !errors.As(err, &ve) || ve.Got != 2 || ve.Want != 1 {
+		t.Fatalf("VersionError = %+v", ve)
+	}
+}
+
+func TestFrameKindMismatch(t *testing.T) {
+	raw := writeContainer(t, "index", 1, []byte("x"))
+	_, err := NewFrameReader(bytes.NewReader(raw), "mem", "context", 1)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+// typedLoadErr reports whether err is one of the typed durable load
+// failures (or a clean EOF for readers that got that far).
+func typedLoadErr(err error) bool {
+	return errors.Is(err, ErrCorrupt) || errors.Is(err, ErrTorn) || errors.Is(err, ErrVersion)
+}
+
+// readAllFrames drives a reader over the whole container, returning the
+// first error (nil on a clean read).
+func readAllFrames(raw []byte, kind string) error {
+	fr, err := NewFrameReader(bytes.NewReader(raw), "mem", kind, 1)
+	if err != nil {
+		return err
+	}
+	return fr.Drain()
+}
+
+func TestFrameEveryByteFlip(t *testing.T) {
+	// Flipping any single byte of a container must surface as a typed error
+	// — never a panic, never a clean read of wrong data.
+	raw := writeContainer(t, "test", 1, []byte("hello world"), []byte("second frame"))
+	for i := range raw {
+		mut := bytes.Clone(raw)
+		mut[i] ^= 0xFF
+		err := readAllFrames(mut, "test")
+		if err == nil {
+			t.Fatalf("flip at %d read cleanly", i)
+		}
+		if !typedLoadErr(err) {
+			t.Fatalf("flip at %d: untyped error %v", i, err)
+		}
+	}
+}
+
+func TestFrameEveryTruncation(t *testing.T) {
+	// Containers end with an explicit EOF marker, so truncation at ANY
+	// offset — frame boundaries included — is detected, with a typed error.
+	raw := writeContainer(t, "test", 1, []byte("hello world"), []byte("second frame"))
+	for n := 0; n < len(raw); n++ {
+		err := readAllFrames(raw[:n], "test")
+		if err == nil {
+			t.Fatalf("truncation to %d of %d read cleanly", n, len(raw))
+		}
+		if !typedLoadErr(err) {
+			t.Fatalf("truncation to %d: untyped error %v", n, err)
+		}
+	}
+}
+
+func TestJournalCleanAndTornEnds(t *testing.T) {
+	// Journals have no EOF marker: a clean end at a frame boundary is the
+	// normal end of the log; anything mid-frame is a torn tail.
+	var buf bytes.Buffer
+	fw, err := NewFrameWriter(&buf, "wal", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteFrame([]byte("record one")); err != nil {
+		t.Fatal(err)
+	}
+	boundary := buf.Len()
+	if err := fw.WriteFrame([]byte("record two")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	read := func(raw []byte) (int, error) {
+		fr, err := NewJournalReader(bytes.NewReader(raw), "mem", "wal", 1)
+		if err != nil {
+			return 0, err
+		}
+		n := 0
+		for {
+			_, err := fr.Next()
+			if err == io.EOF {
+				return n, nil
+			}
+			if err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+	if n, err := read(raw); err != nil || n != 2 {
+		t.Fatalf("full journal: %d records, %v", n, err)
+	}
+	if n, err := read(raw[:boundary]); err != nil || n != 1 {
+		t.Fatalf("boundary cut: %d records, %v (want clean end after 1)", n, err)
+	}
+	if n, err := read(raw[:boundary+5]); !errors.Is(err, ErrTorn) || n != 1 {
+		t.Fatalf("mid-frame cut: %d records, %v (want ErrTorn after 1)", n, err)
+	}
+}
+
+func TestJournalRejectsEOFMarker(t *testing.T) {
+	var buf bytes.Buffer
+	fw, err := NewFrameWriter(&buf, "wal", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil { // writes the container EOF marker
+		t.Fatal(err)
+	}
+	fr, err := NewJournalReader(bytes.NewReader(buf.Bytes()), "mem", "wal", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fr.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("EOF marker in journal: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFrameOversizedLengthRejected(t *testing.T) {
+	// A corrupt length prefix must not drive a giant allocation.
+	raw := writeContainer(t, "test", 1)
+	hdrLen := len(raw) - 8 // strip the EOF marker
+	mut := bytes.Clone(raw[:hdrLen])
+	var pre [8]byte
+	binary.BigEndian.PutUint32(pre[0:], maxFrame+1)
+	binary.BigEndian.PutUint32(pre[4:], 0xDEADBEEF)
+	mut = append(mut, pre[:]...)
+	err := readAllFrames(mut, "test")
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized frame: %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,164 @@
+package durable
+
+import (
+	"context"
+	"io"
+	"os"
+
+	"repro/internal/fault"
+)
+
+// File is the subset of *os.File the durability layer needs. Sync is the
+// load-bearing member: crash safety is fsync placement.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+	Name() string
+}
+
+// FS is the filesystem seam every disk touch goes through. Production code
+// uses OS (the real filesystem); crash-matrix tests substitute a FaultFS to
+// inject write, sync, and rename failures at exact call sites.
+type FS interface {
+	// Create truncates-or-creates a file for writing.
+	Create(name string) (File, error)
+	// Open opens a file (or directory, for directory fsync) read-only.
+	Open(name string) (File, error)
+	// Append opens a file for appending, creating it if absent.
+	Append(name string) (File, error)
+	// Truncate cuts a file to size (dropping a torn journal tail before
+	// appending resumes).
+	Truncate(name string, size int64) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	RemoveAll(path string) error
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	Stat(name string) (os.FileInfo, error)
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+func (osFS) Open(name string) (File, error)   { return os.Open(name) }
+func (osFS) Append(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) RemoveAll(path string) error                  { return os.RemoveAll(path) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
+
+// Fault-injection call sites inside the durability layer. Crash-matrix
+// tests arm rules on these through a FaultFS.
+const (
+	SiteWrite  = "durable.write"
+	SiteSync   = "durable.sync"
+	SiteRename = "durable.rename"
+	SiteCreate = "durable.create"
+)
+
+// FaultFS wraps an FS so that file writes, fsyncs, renames, and creates
+// consult a fault injector first — the injectable seam the ISSUE's crash
+// matrix snapshots under. A fired rule surfaces as the injected error, as a
+// real failing disk would.
+type FaultFS struct {
+	Inner FS
+	// Ctx carries the fault.Injector (see fault.With); the zero Ctx
+	// disables injection.
+	Ctx context.Context
+}
+
+func (f *FaultFS) ctx() context.Context {
+	if f.Ctx == nil {
+		return context.Background()
+	}
+	return f.Ctx
+}
+
+func (f *FaultFS) inner() FS {
+	if f.Inner == nil {
+		return OS
+	}
+	return f.Inner
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	if err := fault.Inject(f.ctx(), SiteCreate); err != nil {
+		return nil, err
+	}
+	file, err := f.inner().Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FaultFS) Append(name string) (File, error) {
+	if err := fault.Inject(f.ctx(), SiteCreate); err != nil {
+		return nil, err
+	}
+	file, err := f.inner().Append(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FaultFS) Open(name string) (File, error) { return f.inner().Open(name) }
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := fault.Inject(f.ctx(), SiteRename); err != nil {
+		return err
+	}
+	return f.inner().Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if err := fault.Inject(f.ctx(), SiteWrite); err != nil {
+		return err
+	}
+	return f.inner().Truncate(name, size)
+}
+
+func (f *FaultFS) Remove(name string) error    { return f.inner().Remove(name) }
+func (f *FaultFS) RemoveAll(path string) error { return f.inner().RemoveAll(path) }
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	return f.inner().MkdirAll(path, perm)
+}
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) { return f.inner().ReadDir(name) }
+func (f *FaultFS) Stat(name string) (os.FileInfo, error)      { return f.inner().Stat(name) }
+
+// faultFile consults the injector on Write and Sync. A fired write rule may
+// also leave a short (torn) write behind, the way a crashed kernel does.
+type faultFile struct {
+	File
+	fs *FaultFS
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if err := fault.Inject(f.fs.ctx(), SiteWrite); err != nil {
+		// Tear the write: commit a prefix, then fail — the on-disk state a
+		// crash mid-write leaves.
+		if len(p) > 1 {
+			_, _ = f.File.Write(p[:len(p)/2])
+		}
+		return 0, err
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if err := fault.Inject(f.fs.ctx(), SiteSync); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}

@@ -1,0 +1,182 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWALAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	w, err := CreateWAL(dir, 7, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := []Record{
+		{Kind: 1, Payload: []byte("first")},
+		{Kind: 2, Payload: []byte("")},
+		{Kind: 3, Payload: bytes.Repeat([]byte("x"), 4096)},
+	}
+	for _, r := range records {
+		if err := w.Append(r.Kind, r.Payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReplayWAL(dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Base != 7 || rep.Torn || len(rep.Records) != len(records) {
+		t.Fatalf("replay = base %d torn %v, %d records", rep.Base, rep.Torn, len(rep.Records))
+	}
+	for i, r := range records {
+		if rep.Records[i].Kind != r.Kind || !bytes.Equal(rep.Records[i].Payload, r.Payload) {
+			t.Fatalf("record %d = %+v", i, rep.Records[i])
+		}
+	}
+}
+
+func TestWALTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	w, err := CreateWAL(dir, 1, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(1, []byte("intact record")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(2, []byte("doomed record")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record mid-frame, as a crash mid-append would.
+	path := filepath.Join(dir, WALName)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-4); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := ReplayWAL(dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Torn || len(rep.Records) != 1 || string(rep.Records[0].Payload) != "intact record" {
+		t.Fatalf("replay = torn %v, %d records", rep.Torn, len(rep.Records))
+	}
+
+	// OpenWAL truncates the tail; new appends extend good bytes.
+	w2, err := OpenWAL(dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Base() != 1 {
+		t.Fatalf("base = %d", w2.Base())
+	}
+	if err := w2.Append(3, []byte("after recovery")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = ReplayWAL(dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Torn || len(rep.Records) != 2 || string(rep.Records[1].Payload) != "after recovery" {
+		t.Fatalf("post-recovery replay = torn %v, %d records", rep.Torn, len(rep.Records))
+	}
+}
+
+func TestWALRotate(t *testing.T) {
+	dir := t.TempDir()
+	w, err := CreateWAL(dir, 1, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(1, []byte("pre-checkpoint")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Rotate(2); err != nil {
+		t.Fatal(err)
+	}
+	if w.Base() != 2 {
+		t.Fatalf("base after rotate = %d", w.Base())
+	}
+	if err := w.Append(1, []byte("post-checkpoint")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReplayWAL(dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Base != 2 || len(rep.Records) != 1 || string(rep.Records[0].Payload) != "post-checkpoint" {
+		t.Fatalf("replay after rotate = base %d, %d records", rep.Base, len(rep.Records))
+	}
+}
+
+func TestWALSyncBatching(t *testing.T) {
+	dir := t.TempDir()
+	w, err := CreateWAL(dir, 1, WALOptions{SyncEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Append(1, []byte("record")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil { // commit point force-flush
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReplayWAL(dir, WALOptions{})
+	if err != nil || len(rep.Records) != 5 {
+		t.Fatalf("replay = %d records, %v", len(rep.Records), err)
+	}
+}
+
+func TestWALMissing(t *testing.T) {
+	_, err := ReplayWAL(t.TempDir(), WALOptions{})
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("err = %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestWALCorruptHeader(t *testing.T) {
+	dir := t.TempDir()
+	w, err := CreateWAL(dir, 1, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, WALName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[2] ^= 0xFF // inside the magic
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayWAL(dir, WALOptions{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,91 @@
+package index
+
+import (
+	"bytes"
+	"encoding/gob"
+	"strings"
+	"testing"
+
+	"repro/internal/textproc"
+)
+
+// seedSnapshot serializes a small real index — the fuzzer mutates from a
+// valid snapshot, which reaches far deeper into the decoder than random
+// bytes would.
+func seedSnapshot(t interface{ Fatal(...any) }) []byte {
+	ix := New(textproc.DefaultAnalyzer)
+	docs := []Document{
+		{ExtID: "deal-a/overview.txt", Meta: map[string]string{"deal": "DEAL A"}, Fields: []Field{
+			{Name: "body", Text: "network services scope baseline for the data replication program"},
+			{Name: "tower", Text: "Network Services", Keyword: true, Weight: 2},
+		}},
+		{ExtID: "deal-b/team.grid", Meta: map[string]string{"deal": "DEAL B"}, Fields: []Field{
+			{Name: "body", Text: "deal team roster with one client services executive"},
+		}},
+	}
+	for _, d := range docs {
+		if _, err := ix.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.Delete("deal-b/team.grid"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzIndexLoad drives arbitrary bytes through the snapshot loader. The
+// invariant under fuzzing: Load never panics — it returns a working index
+// or an error. Corrupt postings, impossible doc IDs, and truncated gob
+// streams must all surface as errors.
+func FuzzIndexLoad(f *testing.F) {
+	seed := seedSnapshot(f)
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])                    // torn tail
+	f.Add([]byte{})                              // empty
+	f.Add([]byte("not a gob stream at all"))     // garbage
+	f.Add(bytes.Repeat([]byte{0xFF, 0x00}, 256)) // binary noise
+	mut := bytes.Clone(seed)                     // single corrupt byte
+	mut[len(mut)/3] ^= 0xFF
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A snapshot the loader accepted must behave like an index: the
+		// exercised surface must not panic either.
+		_ = ix.DocCount()
+		_ = ix.TermCount()
+		for _, id := range ix.ExtIDsByMeta("deal", "DEAL A") {
+			_, _ = ix.Lookup(id)
+		}
+		var buf bytes.Buffer
+		if _, err := ix.WriteTo(&buf); err != nil {
+			t.Fatalf("accepted snapshot did not re-serialize: %v", err)
+		}
+	})
+}
+
+func TestIndexLoadRejectsOtherFormats(t *testing.T) {
+	// A format bump (or an ancient snapshot) must be rejected with a clear
+	// error naming the format — never misread field-by-field.
+	for _, format := range []int{0, persistFormat + 1, persistFormat + 40} {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(snapshot{Format: format}); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Load(&buf)
+		if err == nil {
+			t.Fatalf("format %d loaded", format)
+		}
+		if !strings.Contains(err.Error(), "unsupported snapshot format") {
+			t.Fatalf("format %d: err = %v, want unsupported-format", format, err)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/durable"
 	"repro/internal/textproc"
 )
 
@@ -83,8 +84,16 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, nil
 }
 
-// Load reads an index previously written with WriteTo.
-func Load(r io.Reader) (*Index, error) {
+// Load reads an index previously written with WriteTo. It never panics on
+// corrupt input: structurally impossible snapshots (out-of-range doc IDs,
+// gob decoder blowups) come back as errors, so crash-recovery code can fall
+// back to an older generation instead of dying.
+func Load(r io.Reader) (ix *Index, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			ix, err = nil, fmt.Errorf("index: corrupt snapshot: %v", p)
+		}
+	}()
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("index: decode: %w", err)
@@ -92,7 +101,7 @@ func Load(r io.Reader) (*Index, error) {
 	if snap.Format != persistFormat {
 		return nil, fmt.Errorf("index: unsupported snapshot format %d", snap.Format)
 	}
-	ix := New(snap.Analyzer)
+	ix = New(snap.Analyzer)
 	ix.fieldTotals = snap.FieldTotals
 	ix.fieldDocs = snap.FieldDocs
 	if ix.fieldTotals == nil {
@@ -126,6 +135,12 @@ func Load(r io.Reader) (*Index, error) {
 	for _, sp := range snap.Postings {
 		pl := &postingList{}
 		for _, e := range sp.Entries {
+			// A corrupt snapshot can reference documents that do not exist;
+			// reject it rather than index out of range below.
+			if int(e.Doc) < 0 || int(e.Doc) >= len(ix.docs) {
+				return nil, fmt.Errorf("index: corrupt snapshot: posting %s/%s references doc %d of %d",
+					sp.Field, sp.Term, e.Doc, len(ix.docs))
+			}
 			pl.entries = append(pl.entries, posting{doc: e.Doc, positions: e.Positions})
 			if !ix.deleted[e.Doc] {
 				pl.live++
@@ -136,29 +151,13 @@ func Load(r io.Reader) (*Index, error) {
 	return ix, nil
 }
 
-// SaveFile writes the index to path atomically (write temp, rename).
+// SaveFile writes the index to path atomically and durably (temp file +
+// fsync + rename + directory fsync, via the shared durable helper).
 func (ix *Index) SaveFile(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("index: save: %w", err)
-	}
-	bw := bufio.NewWriter(f)
-	if _, err := ix.WriteTo(bw); err != nil {
-		f.Close()
-		os.Remove(tmp)
+	return durable.WriteFileAtomic(nil, path, func(w io.Writer) error {
+		_, err := ix.WriteTo(w)
 		return err
-	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("index: save: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("index: save: %w", err)
-	}
-	return os.Rename(tmp, path)
+	})
 }
 
 // LoadFile reads an index snapshot from path.

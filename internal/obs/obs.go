@@ -32,6 +32,12 @@ var DefDurationBuckets = []float64{
 	1e-6, 5e-6, 25e-6, 1e-4, 5e-4, 2.5e-3, 1e-2, 5e-2, 0.25, 1, 5,
 }
 
+// DefSizeBuckets are the default histogram bounds for byte sizes (payloads,
+// snapshots, journal records): 1KiB–1GiB in roughly 4x steps.
+var DefSizeBuckets = []float64{
+	1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20, 1 << 30,
+}
+
 // Label is one metric dimension (for example route="/api/search").
 type Label struct {
 	Key   string `json:"key"`

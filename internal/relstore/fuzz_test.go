@@ -1,0 +1,79 @@
+package relstore
+
+import (
+	"bytes"
+	"encoding/gob"
+	"strings"
+	"testing"
+)
+
+// seedDB serializes a small real database so the fuzzer mutates from a
+// valid snapshot.
+func seedDB(t interface{ Fatal(...any) }) []byte {
+	db := NewDB()
+	if err := db.CreateTable(Schema{Table: "deals", Columns: []Column{
+		{Name: "deal_id", Type: TText},
+		{Name: "customer", Type: TText},
+		{Name: "tcv", Type: TInt},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("deals", Row{"DEAL A", "Nova Corp", int64(100)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("deals", Row{"DEAL B", "ABC Online", int64(250)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("deals_by_id", "deals", []string{"deal_id"}, true); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzRelstoreLoad drives arbitrary bytes through the context-database
+// loader. The invariant: Load never panics — it returns a working database
+// or an error, so snapshot recovery can fall back to an older generation.
+func FuzzRelstoreLoad(f *testing.F) {
+	seed := seedDB(f)
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])                    // torn tail
+	f.Add([]byte{})                              // empty
+	f.Add([]byte("not a gob stream"))            // garbage
+	f.Add(bytes.Repeat([]byte{0x42, 0xFF}, 128)) // binary noise
+	mut := bytes.Clone(seed)                     // single corrupt byte
+	mut[len(mut)/4] ^= 0xFF
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// An accepted snapshot must behave like a database: re-serializing
+		// it must not panic or fail.
+		var buf bytes.Buffer
+		if _, err := db.WriteTo(&buf); err != nil {
+			t.Fatalf("accepted snapshot did not re-serialize: %v", err)
+		}
+	})
+}
+
+func TestRelstoreLoadRejectsOtherFormats(t *testing.T) {
+	for _, format := range []int{0, persistFormat + 1, persistFormat + 40} {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(dbSnapshot{Format: format}); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Load(&buf)
+		if err == nil {
+			t.Fatalf("format %d loaded", format)
+		}
+		if !strings.Contains(err.Error(), "unsupported snapshot format") {
+			t.Fatalf("format %d: err = %v, want unsupported-format", format, err)
+		}
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"repro/internal/durable"
 )
 
 // persistFormat guards against misreading incompatible snapshots.
@@ -98,8 +100,15 @@ func (db *DB) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, nil
 }
 
-// Load reads a database previously written with WriteTo.
-func Load(r io.Reader) (*DB, error) {
+// Load reads a database previously written with WriteTo. It never panics on
+// corrupt input: gob decoder blowups and structurally impossible snapshots
+// surface as errors, so recovery code can fall back to an older generation.
+func Load(r io.Reader) (db *DB, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			db, err = nil, fmt.Errorf("relstore: corrupt snapshot: %v", p)
+		}
+	}()
 	var snap dbSnapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("relstore: decode: %w", err)
@@ -107,7 +116,7 @@ func Load(r io.Reader) (*DB, error) {
 	if snap.Format != persistFormat {
 		return nil, fmt.Errorf("relstore: unsupported snapshot format %d", snap.Format)
 	}
-	db := NewDB()
+	db = NewDB()
 	for _, ts := range snap.Tables {
 		if err := db.CreateTable(ts.Schema); err != nil {
 			return nil, err
@@ -133,29 +142,13 @@ func Load(r io.Reader) (*DB, error) {
 	return db, nil
 }
 
-// SaveFile writes the database to path atomically.
+// SaveFile writes the database to path atomically and durably (temp file +
+// fsync + rename + directory fsync, via the shared durable helper).
 func (db *DB) SaveFile(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("relstore: save: %w", err)
-	}
-	bw := bufio.NewWriter(f)
-	if _, err := db.WriteTo(bw); err != nil {
-		f.Close()
-		os.Remove(tmp)
+	return durable.WriteFileAtomic(nil, path, func(w io.Writer) error {
+		_, err := db.WriteTo(w)
 		return err
-	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("relstore: save: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("relstore: save: %w", err)
-	}
-	return os.Rename(tmp, path)
+	})
 }
 
 // LoadFile reads a database snapshot from path.

@@ -1,12 +1,23 @@
 package eil
 
 import (
+	"bytes"
+	"encoding/gob"
+	"errors"
 	"fmt"
+	"io"
+	iofs "io/fs"
 	"os"
 	"path/filepath"
 
 	"repro/internal/access"
+	"repro/internal/analysis"
+	"repro/internal/annotators"
 	"repro/internal/core"
+	"repro/internal/crawler"
+	"repro/internal/directory"
+	"repro/internal/docmodel"
+	"repro/internal/durable"
 	"repro/internal/index"
 	"repro/internal/obs"
 	"repro/internal/relstore"
@@ -15,61 +26,399 @@ import (
 	"repro/internal/taxonomy"
 )
 
-// Snapshot file names inside a system directory.
+// Snapshot component names inside a generation directory (<dir>/gen-NNNNNNNN/
+// <name>.snap). Every component is a framed, CRC-checksummed container; the
+// store's MANIFEST names the last fully committed generation.
 const (
-	indexFile   = "index.gob"
-	contextFile = "context.gob"
+	compIndex     = "index"     // semantic full-text index (gob)
+	compContext   = "context"   // business-context database (gob)
+	compPipeline  = "pipeline"  // retained offline-pipeline state (gob)
+	compDirectory = "directory" // personnel directory (JSON lines; optional)
 )
 
-// Save persists the system (semantic index and business-context database)
-// into dir, creating it if needed. The personnel directory and access
-// grants are runtime configuration and are not persisted.
-func (s *System) Save(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("eil: save: %w", err)
-	}
-	if err := s.Index.SaveFile(filepath.Join(dir, indexFile)); err != nil {
-		return fmt.Errorf("eil: save index: %w", err)
-	}
-	if err := s.Synopses.DB().SaveFile(filepath.Join(dir, contextFile)); err != nil {
-		return fmt.Errorf("eil: save context: %w", err)
-	}
-	return nil
+// legacyIndexFile detects pre-durability system directories (bare
+// un-checksummed gob files) so the error says "re-ingest", not "corrupt".
+const legacyIndexFile = "index.gob"
+
+// ErrLegacySnapshot marks a system directory written by a pre-durability
+// version (bare index.gob/context.gob, no manifest, no pipeline state).
+// Those snapshots cannot be recovered or updated incrementally; re-ingest
+// the repository with this version to produce a durable snapshot store.
+var ErrLegacySnapshot = errors.New("eil: legacy snapshot layout; re-ingest to enable durable snapshots")
+
+// pipelineFormat versions the pipeline component payload. Load rejects
+// other versions with a typed error, never a misdecode.
+const pipelineFormat = 1
+
+// pipelineSnapshot is the persisted offline-pipeline state: which annotator
+// flow ingested the corpus (so a restored system re-analyzes incremental
+// documents the same way) and the CPE builder's accumulated per-deal state
+// (so AddDocuments keeps growing existing deals instead of resetting them).
+type pipelineSnapshot struct {
+	Format  int
+	Flow    string
+	Builder *annotators.BuilderState
 }
 
-// LoadSystem restores a system saved with Save. The access controller (nil
-// means everyone sees everything) and taxonomy are supplied by the caller.
-func LoadSystem(dir string, ctl *access.Controller) (*System, error) {
-	ix, err := index.LoadFile(filepath.Join(dir, indexFile))
+// Save persists the system as a new committed snapshot generation in dir:
+// every component is written as a framed, checksummed container with
+// fsync-on-file-and-directory, and the MANIFEST swings over only once the
+// whole generation is durable. The previous generations (SnapshotKeep, or
+// durable.DefaultKeep) are retained as fallbacks. If a journal is attached
+// (EnableWAL) and rooted at dir, it is truncated: journaled operations are
+// folded into the new generation.
+func (s *System) Save(dir string) error {
+	_, err := s.Checkpoint(dir)
+	return err
+}
+
+// Checkpoint is Save returning the committed generation number. It is safe
+// to call while the system serves queries: searches proceed concurrently
+// (the index snapshot takes only a read lock); incremental updates block
+// for the duration so the generation is a consistent cross-component cut.
+func (s *System) Checkpoint(dir string) (uint64, error) {
+	s.upMu.Lock()
+	defer s.upMu.Unlock()
+	return s.checkpointLocked(dir)
+}
+
+func (s *System) checkpointLocked(dir string) (uint64, error) {
+	st, err := durable.OpenStore(dir, durable.StoreOptions{Keep: s.SnapshotKeep, Metrics: s.Metrics})
 	if err != nil {
-		return nil, fmt.Errorf("eil: load index: %w", err)
+		return 0, fmt.Errorf("eil: save: %w", err)
 	}
-	db, err := relstore.LoadFile(filepath.Join(dir, contextFile))
+	comps := []durable.Component{
+		{Name: compIndex, Write: func(w io.Writer) error {
+			_, err := s.Index.WriteTo(w)
+			return err
+		}},
+		{Name: compContext, Write: func(w io.Writer) error {
+			_, err := s.Synopses.DB().WriteTo(w)
+			return err
+		}},
+		{Name: compPipeline, Write: s.writePipeline},
+	}
+	if s.Directory != nil {
+		comps = append(comps, durable.Component{Name: compDirectory, Write: func(w io.Writer) error {
+			_, err := s.Directory.WriteTo(w)
+			return err
+		}})
+	}
+	gen, err := st.Commit(comps)
 	if err != nil {
-		return nil, fmt.Errorf("eil: load context: %w", err)
+		return 0, fmt.Errorf("eil: save: %w", err)
+	}
+	s.gen = gen
+	if s.wal != nil && s.walDir == dir {
+		if err := s.wal.Rotate(gen); err != nil {
+			return gen, fmt.Errorf("eil: save: %w", err)
+		}
+	}
+	return gen, nil
+}
+
+func (s *System) writePipeline(w io.Writer) error {
+	snap := pipelineSnapshot{Format: pipelineFormat}
+	if s.flow != nil {
+		snap.Flow = s.flow.Name()
+	}
+	if s.builder != nil {
+		snap.Builder = s.builder.State()
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// Generation returns the snapshot generation the in-memory state extends:
+// the generation LoadSystem restored, or the one the last Checkpoint
+// committed (0 until either happens).
+func (s *System) Generation() uint64 {
+	s.upMu.Lock()
+	defer s.upMu.Unlock()
+	return s.gen
+}
+
+// LoadSystem restores a system saved with Save, recovering to the exact
+// pre-crash state: it loads the last-good snapshot generation (falling back
+// through retained generations when the newest is torn or corrupt), then
+// replays the write-ahead journal's intact records on top. The restored
+// system rebuilds its pipeline state, so it accepts AddDocuments exactly
+// like a never-restarted one. The access controller (nil means everyone
+// sees everything) is supplied by the caller.
+//
+// LoadSystem never panics and never returns partial state: it returns a
+// fully recovered system or a typed error (durable.ErrNoSnapshot,
+// durable.ErrCorrupt, durable.ErrTorn, durable.ErrVersion,
+// ErrLegacySnapshot).
+func LoadSystem(dir string, ctl *access.Controller) (*System, error) {
+	metrics := obs.NewRegistry()
+	st, err := durable.OpenStore(dir, durable.StoreOptions{Metrics: metrics})
+	if err != nil {
+		return nil, fmt.Errorf("eil: load: %w", err)
+	}
+	var sys *System
+	gen, err := st.Load(func(gen uint64, open durable.OpenComponent) error {
+		loaded, lerr := loadGeneration(open, ctl, metrics)
+		if lerr != nil {
+			return lerr
+		}
+		sys = loaded
+		return nil
+	})
+	if err != nil {
+		if _, lerr := os.Stat(filepath.Join(dir, legacyIndexFile)); lerr == nil {
+			return nil, fmt.Errorf("%w: %s", ErrLegacySnapshot, dir)
+		}
+		return nil, fmt.Errorf("eil: load %s: %w", dir, err)
+	}
+	sys.gen = gen
+
+	// Replay the journal tail: every operation acknowledged since the
+	// loaded generation committed. A torn tail (crash mid-append) is cut
+	// off; a journal extending a different generation than the one that
+	// actually loaded (snapshot fallback) cannot be applied and is skipped.
+	rep, rerr := durable.ReplayWAL(dir, durable.WALOptions{Metrics: metrics})
+	switch {
+	case rerr == nil:
+		if rep.Base != gen {
+			metrics.Counter("durable_recovery_events_total", "kind", "wal_base").Inc()
+		} else if err := sys.replay(rep.Records); err != nil {
+			return nil, fmt.Errorf("eil: load %s: %w", dir, err)
+		}
+	case errors.Is(rerr, iofs.ErrNotExist), errors.Is(rerr, os.ErrNotExist):
+		// No journal: the snapshot is the whole state.
+	default:
+		return nil, fmt.Errorf("eil: load %s: %w", dir, rerr)
+	}
+	return sys, nil
+}
+
+// loadGeneration builds a complete fresh System from one snapshot
+// generation's components. State is never shared across attempts, so a
+// generation that fails mid-decode leaks nothing into the next candidate.
+func loadGeneration(open durable.OpenComponent, ctl *access.Controller, metrics *obs.Registry) (*System, error) {
+	var ix *index.Index
+	if err := decodeComponent(open, compIndex, func(r io.Reader) error {
+		var err error
+		ix, err = index.Load(r)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	var db *relstore.DB
+	if err := decodeComponent(open, compContext, func(r io.Reader) error {
+		var err error
+		db, err = relstore.Load(r)
+		return err
+	}); err != nil {
+		return nil, err
 	}
 	store, err := synopsis.Open(db)
 	if err != nil {
-		return nil, fmt.Errorf("eil: load context: %w", err)
+		return nil, &durable.CorruptError{Path: compContext, Detail: err.Error()}
 	}
+	var ps pipelineSnapshot
+	if err := decodeComponent(open, compPipeline, func(r io.Reader) error {
+		return gob.NewDecoder(r).Decode(&ps)
+	}); err != nil {
+		return nil, err
+	}
+	if ps.Format != pipelineFormat {
+		return nil, &durable.VersionError{Path: compPipeline, Got: uint32(ps.Format), Want: pipelineFormat}
+	}
+	var dir *directory.Directory
+	err = decodeComponent(open, compDirectory, func(r io.Reader) error {
+		var derr error
+		dir, derr = directory.Load(r)
+		return derr
+	})
+	if err != nil && !errors.Is(err, iofs.ErrNotExist) && !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+
 	tax := taxonomy.Default()
-	metrics := obs.NewRegistry()
+	flow, err := flowByName(ps.Flow, tax)
+	if err != nil {
+		return nil, err
+	}
+	builder := annotators.NewBuilder(store, dir)
+	if ps.Builder != nil {
+		builder.RestoreState(ps.Builder)
+	}
+	writer := &crawler.IndexWriter{Ix: ix, Metrics: metrics}
 	sia := siapi.NewEngine(ix)
 	sia.SetMetrics(metrics)
 	sys := &System{
-		Index:    ix,
-		SIAPI:    sia,
-		Synopses: store,
-		Taxonomy: tax,
-		Access:   ctl,
-		Metrics:  metrics,
+		Index:     ix,
+		SIAPI:     sia,
+		Synopses:  store,
+		Taxonomy:  tax,
+		Access:    ctl,
+		Directory: dir,
+		Metrics:   metrics,
+		flow:      flow,
+		builder:   builder,
+		writer:    writer,
 	}
+	sys.sia.Store(sia)
 	sys.Engine = &core.Engine{
 		Synopses: store,
-		Docs:     sys.SIAPI,
+		Docs:     sia,
 		Access:   ctl,
 		Tax:      tax,
 		Metrics:  metrics,
 	}
 	return sys, nil
+}
+
+// flowByName rebuilds the annotator flow a snapshot was ingested with, so
+// replayed and incremental documents go through the same analysis.
+func flowByName(name string, tax *taxonomy.Taxonomy) (analysis.Annotator, error) {
+	switch name {
+	case "", "eil-flow":
+		return annotators.NewEILFlow(tax), nil
+	case "eil-flow-blob":
+		return blobFlow(tax), nil
+	case "eil-flow-entity":
+		return entityFlow(tax), nil
+	}
+	return nil, &durable.CorruptError{Path: compPipeline, Detail: fmt.Sprintf("unknown annotator flow %q", name)}
+}
+
+// decodeComponent streams one component through its decoder with every
+// frame checksum-verified, then drains the container so trailing corruption
+// the decoder did not happen to read still fails the load. Decoder errors
+// that are not already typed durable errors are wrapped as corruption.
+func decodeComponent(open durable.OpenComponent, name string, decode func(io.Reader) error) error {
+	cr, err := open(name)
+	if err != nil {
+		return err
+	}
+	defer cr.Close()
+	if err := decode(cr); err != nil {
+		if isDurableErr(err) {
+			return err
+		}
+		return &durable.CorruptError{Path: name, Detail: err.Error()}
+	}
+	if err := cr.Drain(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func isDurableErr(err error) bool {
+	return errors.Is(err, durable.ErrTorn) || errors.Is(err, durable.ErrCorrupt) ||
+		errors.Is(err, durable.ErrVersion)
+}
+
+// Write-ahead journal operation kinds. Payloads: AddDocuments carries the
+// batch's documents gob-serialized via docmodel; RemoveDeal carries the
+// deal ID; Compact is empty.
+const (
+	walOpAddDocuments uint8 = 1
+	walOpRemoveDeal   uint8 = 2
+	walOpCompact      uint8 = 3
+)
+
+// EnableWAL attaches a write-ahead journal rooted at dir: every subsequent
+// AddDocuments, RemoveDeal, and Compact is recorded (checksummed, fsynced
+// per syncEvery — <=1 fsyncs every append) before the call returns, so a
+// crash at any instruction later loses nothing that was acknowledged.
+// Checkpoint(dir) truncates the journal as it commits each generation.
+//
+// If dir has no committed snapshot matching the in-memory state, EnableWAL
+// checkpoints first, so the journal always extends a real generation. An
+// existing journal for the current generation is resumed (its torn tail,
+// if any, truncated); a stale or foreign journal is atomically replaced.
+func (s *System) EnableWAL(dir string, syncEvery int) error {
+	s.upMu.Lock()
+	defer s.upMu.Unlock()
+	if s.wal != nil {
+		return errors.New("eil: wal already enabled")
+	}
+	st, err := durable.OpenStore(dir, durable.StoreOptions{Keep: s.SnapshotKeep, Metrics: s.Metrics})
+	if err != nil {
+		return fmt.Errorf("eil: enable wal: %w", err)
+	}
+	if committed, ok := st.Committed(); !ok || committed != s.gen || s.gen == 0 {
+		if _, err := s.checkpointLocked(dir); err != nil {
+			return fmt.Errorf("eil: enable wal: %w", err)
+		}
+	}
+	opts := durable.WALOptions{SyncEvery: syncEvery, Metrics: s.Metrics}
+	var w *durable.WAL
+	if rep, rerr := durable.ReplayWAL(dir, durable.WALOptions{}); rerr == nil && rep.Base == s.gen {
+		w, err = durable.OpenWAL(dir, opts)
+	} else {
+		w, err = durable.CreateWAL(dir, s.gen, opts)
+	}
+	if err != nil {
+		return fmt.Errorf("eil: enable wal: %w", err)
+	}
+	s.wal, s.walDir = w, dir
+	return nil
+}
+
+// CloseWAL detaches and closes the journal after a final fsync. Further
+// updates are applied in memory only (until the next EnableWAL or Save).
+func (s *System) CloseWAL() error {
+	s.upMu.Lock()
+	defer s.upMu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Close()
+	s.wal, s.walDir = nil, ""
+	return err
+}
+
+// journalLocked appends one operation record; callers hold upMu. With no
+// journal attached it is a no-op. The record is durable (per the journal's
+// sync policy) when it returns — this is the commit point incremental
+// operations acknowledge from.
+func (s *System) journalLocked(kind uint8, payload []byte) error {
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.Append(kind, payload); err != nil {
+		return fmt.Errorf("eil: journal: %w", err)
+	}
+	return nil
+}
+
+func encodeDocs(docs []*docmodel.Document) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(docs); err != nil {
+		return nil, fmt.Errorf("eil: journal encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// replay applies the journal's recovered records in append order, through
+// the same code paths live operations use (minus re-journaling). Any
+// record that fails to apply aborts the load with a typed error — the
+// caller discards the partially replayed system, so partial state never
+// escapes.
+func (s *System) replay(records []durable.Record) error {
+	for i, rec := range records {
+		switch rec.Kind {
+		case walOpAddDocuments:
+			var docs []*docmodel.Document
+			if err := gob.NewDecoder(bytes.NewReader(rec.Payload)).Decode(&docs); err != nil {
+				return &durable.CorruptError{Path: durable.WALName, Detail: fmt.Sprintf("record %d: %v", i, err)}
+			}
+			if err := s.applyAddDocuments(docs); err != nil {
+				return fmt.Errorf("eil: replay record %d (add): %w", i, err)
+			}
+		case walOpRemoveDeal:
+			if err := s.applyRemoveDeal(string(rec.Payload)); err != nil {
+				return fmt.Errorf("eil: replay record %d (remove): %w", i, err)
+			}
+		case walOpCompact:
+			s.applyCompact()
+		default:
+			return &durable.CorruptError{Path: durable.WALName, Detail: fmt.Sprintf("record %d: unknown op %d", i, rec.Kind)}
+		}
+	}
+	return nil
 }

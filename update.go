@@ -3,71 +3,175 @@ package eil
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/docmodel"
+	"repro/internal/index"
 	"repro/internal/siapi"
 )
 
-// ErrNotUpdatable is returned by incremental operations on systems restored
-// from disk, whose offline-pipeline state was not persisted.
-var ErrNotUpdatable = errors.New("eil: system restored from snapshot; re-ingest to update")
+// PartialBatchError reports an AddDocuments batch that could not be applied
+// atomically: the apply phase failed after some documents were already
+// folded into the live system. Applied names exactly the document paths
+// that took effect (and that the journal records, so a restart converges on
+// the same state); Failed is the document the batch stopped at.
+//
+// Staging makes this rare: analysis and validation failures — the common
+// ways a batch dies — abort before anything is applied and return ordinary
+// errors, not a PartialBatchError.
+type PartialBatchError struct {
+	Applied []string // paths applied before the failure, in batch order
+	Failed  string   // path of the document whose application failed
+	Err     error    // the underlying failure
+}
+
+func (e *PartialBatchError) Error() string {
+	return fmt.Sprintf("eil: partial batch: %d of batch applied (%s), failed at %s: %v",
+		len(e.Applied), strings.Join(e.Applied, ", "), e.Failed, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *PartialBatchError) Unwrap() error { return e.Err }
 
 // AddDocuments incrementally ingests new documents into a live system: each
 // document is analyzed, indexed, and folded into its business activity's
 // accumulated state; affected synopses are rebuilt. This is the continuous-
 // rollout path — the paper's production system keeps incorporating new
 // engagement documents ("more than half a million documents from almost
-// 1000 engagements have been incorporated").
+// 1000 engagements have been incorporated"). Systems restored from disk
+// accept it exactly like live ones: LoadSystem rebuilds the pipeline state.
 //
-// Documents are processed serially (incremental batches are small); a
-// document that fails analysis aborts the batch with its error, leaving
-// earlier documents applied.
+// The batch is staged before it is applied: every document is analyzed and
+// validated (duplicate paths rejected) first, so analysis failures abort
+// cleanly with nothing applied. An apply-phase failure after the index
+// batch landed surfaces as a *PartialBatchError naming the applied prefix.
+// With a journal attached (EnableWAL), the applied batch is recorded as one
+// fsynced record before AddDocuments returns.
 func (s *System) AddDocuments(docs []*docmodel.Document) error {
-	if s.builder == nil || s.flow == nil || s.writer == nil {
-		return ErrNotUpdatable
+	if len(docs) == 0 {
+		return nil
 	}
-	affected := map[string]bool{}
-	var order []string
-	for _, doc := range docs {
+	// Stage: analyze every document before touching any system state.
+	// Analysis is the failure-prone phase (parsers, annotators) and is
+	// side-effect free, so running it first makes its failures atomic.
+	cases := make([]*analysis.CAS, len(docs))
+	for i, doc := range docs {
 		cas := analysis.NewCAS(doc)
 		if err := s.flow.Process(cas); err != nil {
-			return fmt.Errorf("eil: update %s: %w", doc.Path, err)
+			return fmt.Errorf("eil: update %s: %w (batch not applied)", doc.Path, err)
 		}
+		cases[i] = cas
+	}
+	s.upMu.Lock()
+	defer s.upMu.Unlock()
+	// Validate: a duplicate path (already indexed, or repeated within the
+	// batch) fails the whole batch before anything is applied, instead of
+	// surfacing from the index merge after earlier documents landed.
+	seen := make(map[string]bool, len(docs))
+	for _, doc := range docs {
+		if _, dup := s.Index.Lookup(doc.Path); dup || seen[doc.Path] {
+			return fmt.Errorf("eil: update %s: %w (batch not applied)", doc.Path, index.ErrDuplicate)
+		}
+		seen[doc.Path] = true
+	}
+	if err := s.applyStagedLocked(docs, cases); err != nil {
+		var pbe *PartialBatchError
+		if errors.As(err, &pbe) && len(pbe.Applied) > 0 {
+			// Journal the prefix that did take effect, so a restart
+			// converges on the state the caller was just told about.
+			if payload, jerr := encodeDocs(docs[:len(pbe.Applied)]); jerr == nil {
+				_ = s.journalLocked(walOpAddDocuments, payload)
+			}
+		}
+		return err
+	}
+	payload, err := encodeDocs(docs)
+	if err != nil {
+		return err
+	}
+	return s.journalLocked(walOpAddDocuments, payload)
+}
+
+// applyAddDocuments is the replay-path AddDocuments: same staging and
+// application, no journaling (the record being replayed already exists).
+// The caller owns the system exclusively (LoadSystem).
+func (s *System) applyAddDocuments(docs []*docmodel.Document) error {
+	cases := make([]*analysis.CAS, len(docs))
+	for i, doc := range docs {
+		cas := analysis.NewCAS(doc)
+		if err := s.flow.Process(cas); err != nil {
+			return fmt.Errorf("analyze %s: %w", doc.Path, err)
+		}
+		cases[i] = cas
+	}
+	return s.applyStagedLocked(docs, cases)
+}
+
+// applyStagedLocked folds a fully staged batch into the live system: index
+// first (as one batch — the flush either merges everything or nothing),
+// then the per-deal accumulation state, then the affected synopses.
+// Callers hold upMu (or own the system exclusively during replay).
+func (s *System) applyStagedLocked(docs []*docmodel.Document, cases []*analysis.CAS) error {
+	for i, cas := range cases {
 		if err := s.writer.Consume(cas); err != nil {
-			return fmt.Errorf("eil: update %s: %w", doc.Path, err)
-		}
-		if err := s.builder.Consume(cas); err != nil {
-			return fmt.Errorf("eil: update %s: %w", doc.Path, err)
-		}
-		if doc.DealID != "" && !affected[doc.DealID] {
-			affected[doc.DealID] = true
-			order = append(order, doc.DealID)
+			// Consume only buffers; drop the buffered prefix so nothing of
+			// this batch reaches the index.
+			_ = s.writer.Flush()
+			return fmt.Errorf("eil: update %s: %w (batch not applied)", docs[i].Path, err)
 		}
 	}
-	// The IndexWriter batches; push the buffered tail into the index before
-	// synopsis rebuilds (they query it) and before callers search.
+	// The IndexWriter batches; push the buffered batch into the index
+	// before synopsis rebuilds (they query it) and before callers search.
 	if err := s.writer.Flush(); err != nil {
-		return fmt.Errorf("eil: update flush: %w", err)
+		return fmt.Errorf("eil: update flush: %w (batch not applied)", err)
 	}
-	for _, dealID := range order {
+	var affected []string
+	affectedSet := map[string]bool{}
+	applied := make([]string, 0, len(docs))
+	for i, cas := range cases {
+		if err := s.builder.Consume(cas); err != nil {
+			return &PartialBatchError{Applied: applied, Failed: docs[i].Path, Err: err}
+		}
+		applied = append(applied, docs[i].Path)
+		if id := docs[i].DealID; id != "" && !affectedSet[id] {
+			affectedSet[id] = true
+			affected = append(affected, id)
+		}
+	}
+	for _, dealID := range affected {
 		if err := s.builder.PutDeal(dealID); err != nil {
-			return fmt.Errorf("eil: update synopsis %s: %w", dealID, err)
+			return &PartialBatchError{Applied: applied, Failed: dealID, Err: fmt.Errorf("synopsis rebuild: %w", err)}
 		}
 	}
 	return nil
 }
 
 // Compact rebuilds the semantic index without the tombstones that
-// RemoveDeal and document deletions leave behind, and swaps it into the
-// live system. Queries issued concurrently with Compact see either the old
-// or the new index, both of which answer identically.
+// RemoveDeal and document deletions leave behind, and atomically swaps it
+// into the live system. Queries issued concurrently with Compact see either
+// the old or the new index, both of which answer identically — the swap is
+// an atomic-pointer publish on the search path, so no search ever observes
+// a torn mix of old and new backends.
 func (s *System) Compact() {
+	s.upMu.Lock()
+	defer s.upMu.Unlock()
+	s.applyCompact()
+	_ = s.journalLocked(walOpCompact, nil)
+}
+
+// applyCompact is the body of Compact, shared with journal replay; callers
+// hold upMu (or own the system exclusively during replay).
+func (s *System) applyCompact() {
 	fresh := s.Index.Compact()
+	engine := siapi.NewEngine(fresh)
+	engine.SetMetrics(s.Metrics)
+	// Publish to concurrent searches first (atomically), then update the
+	// construction-time fields for code that reads them sequentially.
+	s.sia.Store(engine)
+	s.Engine.SwapDocs(engine)
 	s.Index = fresh
-	s.SIAPI = siapi.NewEngine(fresh)
-	s.SIAPI.SetMetrics(s.Metrics)
-	s.Engine.Docs = s.SIAPI
+	s.SIAPI = engine
 	if s.writer != nil {
 		s.writer.Ix = fresh
 	}
@@ -75,12 +179,23 @@ func (s *System) Compact() {
 
 // RemoveDeal withdraws an entire business activity: its documents leave the
 // index, its synopsis is deleted, and its accumulated analysis state is
-// dropped, so a later AddDocuments for the same ID starts clean. It works
-// on restored systems too (no pipeline state is needed to remove).
+// dropped, so a later AddDocuments for the same ID starts clean. With a
+// journal attached, the removal is recorded before RemoveDeal returns.
 func (s *System) RemoveDeal(dealID string) error {
 	if dealID == "" {
 		return errors.New("eil: empty deal id")
 	}
+	s.upMu.Lock()
+	defer s.upMu.Unlock()
+	if err := s.applyRemoveDeal(dealID); err != nil {
+		return err
+	}
+	return s.journalLocked(walOpRemoveDeal, []byte(dealID))
+}
+
+// applyRemoveDeal is the body of RemoveDeal, shared with journal replay;
+// callers hold upMu (or own the system exclusively during replay).
+func (s *System) applyRemoveDeal(dealID string) error {
 	for _, path := range s.Index.ExtIDsByMeta("deal", dealID) {
 		if err := s.Index.Delete(path); err != nil {
 			return fmt.Errorf("eil: remove %s: %w", path, err)

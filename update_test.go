@@ -3,11 +3,14 @@ package eil
 import (
 	"errors"
 	"fmt"
+	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/docmodel"
 	"repro/internal/docparse"
+	"repro/internal/index"
 	"repro/internal/synth"
 )
 
@@ -164,7 +167,9 @@ func TestRemoveDealValidation(t *testing.T) {
 	}
 }
 
-func TestRestoredSystemNotUpdatable(t *testing.T) {
+func TestRestoredSystemUpdatable(t *testing.T) {
+	// Systems restored from disk accept updates exactly like live ones:
+	// LoadSystem rebuilds the pipeline state from the persisted snapshot.
 	_, sys := testSystem(t, Options{})
 	dir := t.TempDir()
 	if err := sys.Save(dir); err != nil {
@@ -174,17 +179,129 @@ func TestRestoredSystemNotUpdatable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = loaded.AddDocuments(newDealDocs(t, "DEAL X"))
-	if !errors.Is(err, ErrNotUpdatable) {
-		t.Fatalf("err = %v", err)
+	if err := loaded.AddDocuments(newDealDocs(t, "DEAL X")); err != nil {
+		t.Fatalf("restored system rejected AddDocuments: %v", err)
 	}
-	// Removal still works on restored systems.
+	deal, err := loaded.Synopses.Get("DEAL X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deal.Overview.Customer != "Nova Corp" {
+		t.Fatalf("overview = %+v", deal.Overview)
+	}
+	res, err := loaded.Search(admin(), core.FormQuery{PersonName: "New Person"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Activities) != 1 || res.Activities[0].DealID != "DEAL X" {
+		t.Fatalf("activities = %+v", res.Activities)
+	}
+	// Removal works too.
 	ids, _ := loaded.Synopses.DealIDs()
 	if len(ids) == 0 {
 		t.Fatal("no deals")
 	}
 	if err := loaded.RemoveDeal(ids[0]); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestAddDocumentsInBatchDuplicateAborts(t *testing.T) {
+	// A duplicate anywhere in the batch fails validation before anything is
+	// applied: no documents land in the index, no synopsis is created.
+	_, sys := testSystem(t, Options{})
+	before := sys.Index.DocCount()
+	docs := newDealDocs(t, "DEAL DUP")
+	docs = append(docs, docs[0]) // repeat the first path inside the batch
+	err := sys.AddDocuments(docs)
+	if !errors.Is(err, index.ErrDuplicate) {
+		t.Fatalf("err = %v, want ErrDuplicate", err)
+	}
+	if got := sys.Index.DocCount(); got != before {
+		t.Fatalf("DocCount = %d after aborted batch, want %d", got, before)
+	}
+	if _, err := sys.Synopses.Get("DEAL DUP"); err == nil {
+		t.Fatal("synopsis created by aborted batch")
+	}
+}
+
+func TestPartialBatchError(t *testing.T) {
+	underlying := errors.New("disk on fire")
+	err := error(&PartialBatchError{
+		Applied: []string{"d/a.txt", "d/b.txt"},
+		Failed:  "d/c.txt",
+		Err:     underlying,
+	})
+	if !errors.Is(err, underlying) {
+		t.Fatal("Unwrap lost the underlying error")
+	}
+	var pbe *PartialBatchError
+	if !errors.As(err, &pbe) || len(pbe.Applied) != 2 || pbe.Failed != "d/c.txt" {
+		t.Fatalf("errors.As = %+v", pbe)
+	}
+	for _, want := range []string{"d/a.txt", "d/c.txt", "disk on fire"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("Error() = %q, missing %q", err.Error(), want)
+		}
+	}
+}
+
+func TestCompactDuringSearch(t *testing.T) {
+	// Compact swaps the live engine atomically; searches running concurrently
+	// must see either the old or the new backend, never a torn mix. Run under
+	// -race (the CI race job does) this is the regression test for the old
+	// unsynchronized field reassignment in Compact.
+	corpus, sys := testSystem(t, Options{})
+	if err := sys.RemoveDeal(corpus.DealIDs[0]); err != nil {
+		t.Fatal(err)
+	}
+	q := core.FormQuery{Tower: "End User Services"}
+	want, err := sys.Search(admin(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHits := sys.KeywordCount("services")
+	if wantHits == 0 {
+		t.Fatal("no keyword hits to race against")
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := sys.Search(admin(), q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res.Activities) != len(want.Activities) {
+					errs <- fmt.Errorf("torn search: %d activities, want %d",
+						len(res.Activities), len(want.Activities))
+					return
+				}
+				if got := sys.KeywordCount("services"); got != wantHits {
+					errs <- fmt.Errorf("keyword count %d mid-compact, want %d", got, wantHits)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 5; i++ {
+		sys.Compact()
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 
