@@ -38,6 +38,8 @@ import (
 	"repro/internal/durable"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/runtimetel"
+	"repro/internal/slo"
 	"repro/internal/synth"
 	"repro/internal/trace"
 )
@@ -57,9 +59,12 @@ type searchSummary struct {
 	KeywordHits   int     `json:"keyword_queries"`
 	WallSeconds   float64 `json:"wall_seconds"`
 	QueriesPerSec float64 `json:"queries_per_sec"`
-	P50Seconds    float64 `json:"p50_seconds"`
-	P95Seconds    float64 `json:"p95_seconds"`
-	P99Seconds    float64 `json:"p99_seconds"`
+	// Unavailable counts queries refused outright (no serving tier left) —
+	// nonzero only under fault injection.
+	Unavailable int     `json:"unavailable,omitempty"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P95Seconds  float64 `json:"p95_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
 	// Stages breaks form-query time down by pipeline stage, measured from
 	// the per-query trace spans (search.compose, search.synopsis,
 	// search.siapi, search.combine, search.access).
@@ -103,6 +108,51 @@ type report struct {
 	// journaled-update throughput, and crash-recovery (snapshot + journal
 	// replay) wall time.
 	Durability *durabilitySummary `json:"durability,omitempty"`
+
+	// SLO judges the primary run against the availability/latency
+	// objectives, so BENCH artifacts carry objective pass/fail, not just
+	// raw latencies.
+	SLO *sloCompliance `json:"slo,omitempty"`
+
+	// Telemetry is the -telemetry mode block: the A/B cost of running the
+	// runtime collector plus SLO evaluation alongside the search workload.
+	Telemetry *telemetrySummary `json:"telemetry,omitempty"`
+}
+
+// sloCompliance is the objective verdict over a measured workload.
+type sloCompliance struct {
+	AvailabilityObjective      float64 `json:"availability_objective"`
+	LatencyP99ObjectiveSeconds float64 `json:"latency_p99_objective_seconds"`
+	ObservedAvailability       float64 `json:"observed_availability"`
+	ObservedP99Seconds         float64 `json:"observed_p99_seconds"`
+	AvailabilityPass           bool    `json:"availability_pass"`
+	LatencyPass                bool    `json:"latency_pass"`
+	Pass                       bool    `json:"pass"`
+}
+
+// judgeSLO evaluates observed figures against the objectives.
+func judgeSLO(availObj, p99Obj, availability, p99 float64) *sloCompliance {
+	c := &sloCompliance{
+		AvailabilityObjective:      availObj,
+		LatencyP99ObjectiveSeconds: p99Obj,
+		ObservedAvailability:       availability,
+		ObservedP99Seconds:         p99,
+		AvailabilityPass:           availability >= availObj,
+		LatencyPass:                p99 <= p99Obj,
+	}
+	c.Pass = c.AvailabilityPass && c.LatencyPass
+	return c
+}
+
+// telemetrySummary is the -telemetry report block: identical workloads with
+// the judgment layer off and on, best-of-three walls each.
+type telemetrySummary struct {
+	IntervalSeconds float64 `json:"interval_seconds"`
+	PlainQPS        float64 `json:"plain_qps"`
+	TelemetryQPS    float64 `json:"telemetry_qps"`
+	// OverheadFraction is (telemetry wall / plain wall) - 1: what the
+	// collector ticks plus SLO evaluation cost the workload.
+	OverheadFraction float64 `json:"overhead_fraction"`
 }
 
 // durabilitySummary is the -durability report block.
@@ -144,6 +194,8 @@ type chaosScenario struct {
 	DegradedFrac float64 `json:"degraded_fraction"`
 	P50Seconds   float64 `json:"p50_seconds"`
 	P99Seconds   float64 `json:"p99_seconds"`
+	// SLO judges this scenario against the run's objectives.
+	SLO *sloCompliance `json:"slo,omitempty"`
 }
 
 // chaosSummary is the -chaos report block.
@@ -175,6 +227,11 @@ func main() {
 		budget     = flag.Duration("search-budget", 2*time.Second, "search time budget used by -chaos and -fault-spec runs")
 		faultSpec  = flag.String("fault-spec", "", "inject faults into the standard workload, e.g. 'synopsis.search:error:p=0.01'")
 		faultSeed  = flag.Uint64("fault-seed", 1, "seed for fault-injection randomness")
+
+		telemetry   = flag.Bool("telemetry", false, "measure the A/B overhead of running the runtime collector + SLO evaluation alongside the workload")
+		telInterval = flag.Duration("telemetry-interval", 250*time.Millisecond, "collector sampling interval for the -telemetry A/B (aggressive on purpose; production default is 10s)")
+		sloAvail    = flag.Float64("slo-availability", 0.999, "availability objective the report's SLO verdicts judge against")
+		sloP99      = flag.Duration("slo-latency-p99", 250*time.Millisecond, "p99 latency objective the report's SLO verdicts judge against")
 	)
 	flag.Parse()
 
@@ -247,6 +304,29 @@ func main() {
 		r.Search = runs[0].Search
 		r.Metrics = runs[0].Metrics
 		r.Runs = runs[1:]
+	}
+
+	// Judge the primary run against the objectives so the artifact carries
+	// pass/fail, and per-scenario verdicts when chaos ran.
+	if r.Search.Queries > 0 {
+		availability := float64(r.Search.Queries-r.Search.Unavailable) / float64(r.Search.Queries)
+		r.SLO = judgeSLO(*sloAvail, sloP99.Seconds(), availability, r.Search.P99Seconds)
+		log.Printf("[slo] availability %.4f (objective %.4f, pass=%v), p99 %.3gms (objective %v, pass=%v)",
+			r.SLO.ObservedAvailability, r.SLO.AvailabilityObjective, r.SLO.AvailabilityPass,
+			r.SLO.ObservedP99Seconds*1000, *sloP99, r.SLO.LatencyPass)
+	}
+	if r.Chaos != nil {
+		for i := range r.Chaos.Scenarios {
+			sc := &r.Chaos.Scenarios[i]
+			sc.SLO = judgeSLO(*sloAvail, sloP99.Seconds(), sc.Availability, sc.P99Seconds)
+		}
+	}
+	if *telemetry {
+		ts, err := telemetryBench(cfg, *queries, *telInterval)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.Telemetry = ts
 	}
 
 	w := os.Stdout
@@ -362,6 +442,7 @@ func benchOnce(cfg synth.Config, queries int, budget time.Duration, inj *fault.I
 		}
 		if err != nil {
 			if inj != nil && core.IsUnavailable(err) {
+				run.Search.Unavailable++
 				continue // injected outage with no serving tier left
 			}
 			return run, err
@@ -539,6 +620,89 @@ func chaosBench(cfg synth.Config, queries int, budget time.Duration, seed uint64
 			rate*100, sc.Availability, sc.DegradedFrac*100, sc.P50Seconds*1000, sc.P99Seconds*1000)
 	}
 	return run, cs, nil
+}
+
+// telemetryBench measures what the judgment layer costs: the identical
+// search workload with telemetry off, then with the runtime collector
+// sampling (at an interval far more aggressive than production) and the
+// SLO engine evaluating on every tick. Best-of-three walls per side, with
+// a shared warmup, as in the chaos overhead measurement.
+func telemetryBench(cfg synth.Config, queries int, interval time.Duration) (*telemetrySummary, error) {
+	log.Printf("[telemetry] generating %d deals x ~%d docs...", cfg.Deals, cfg.NoiseDocsPerDeal)
+	corpus, err := synth.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := eil.Ingest(corpus.Docs, eil.Options{Directory: corpus.Directory})
+	if err != nil {
+		return nil, err
+	}
+	towers := sys.Taxonomy.TowerNames()
+	user := access.User{ID: "bench"}
+	phrases := []string{"data replication", "service desk", "disaster recovery", "asset management"}
+	workload := func() error {
+		ctx := context.Background()
+		for i := 0; i < queries; i++ {
+			var q core.FormQuery
+			switch i % 3 {
+			case 0:
+				q = core.FormQuery{Tower: towers[i%len(towers)]}
+			case 1:
+				q = core.FormQuery{Tower: towers[i%len(towers)], ExactPhrase: phrases[i%len(phrases)]}
+			default:
+				q = core.FormQuery{AnyWords: []string{"replication", "outsourcing"}}
+			}
+			if _, err := sys.SearchCtx(ctx, user, q); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	timed := func() (time.Duration, error) {
+		t0 := time.Now()
+		err := workload()
+		return time.Since(t0), err
+	}
+	if err := workload(); err != nil { // warmup: caches serve both sides equally
+		return nil, err
+	}
+
+	ts := &telemetrySummary{IntervalSeconds: interval.Seconds()}
+	var plainWall, telWall time.Duration
+	for pass := 0; pass < 3; pass++ {
+		pw, err := timed()
+		if err != nil {
+			return nil, err
+		}
+		sloEng := slo.New(slo.Options{
+			Registry: sys.Metrics,
+			Default:  slo.Objective{Availability: 0.999, LatencyP99: 250 * time.Millisecond},
+			Interval: interval,
+		})
+		col := runtimetel.New(runtimetel.Options{
+			Interval:   interval,
+			Registry:   sys.Metrics,
+			AppSampler: sys.AppSampler(sloEng),
+		})
+		col.Start()
+		tw, err := timed()
+		col.Stop()
+		if err != nil {
+			return nil, err
+		}
+		if pass == 0 || pw < plainWall {
+			plainWall = pw
+		}
+		if pass == 0 || tw < telWall {
+			telWall = tw
+		}
+	}
+	ts.PlainQPS = float64(queries) / plainWall.Seconds()
+	ts.TelemetryQPS = float64(queries) / telWall.Seconds()
+	ts.OverheadFraction = telWall.Seconds()/plainWall.Seconds() - 1
+	log.Printf("[telemetry] overhead at %v sampling: %.2f%% (plain %.0f q/s, telemetry %.0f q/s)",
+		interval, ts.OverheadFraction*100, ts.PlainQPS, ts.TelemetryQPS)
+	return ts, nil
 }
 
 // durabilityBench measures the durability layer end to end: checkpointing

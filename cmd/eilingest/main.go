@@ -21,6 +21,7 @@ import (
 	"repro/internal/crawler"
 	"repro/internal/directory"
 	"repro/internal/obs"
+	"repro/internal/runtimetel"
 	"repro/internal/taxonomy"
 	"repro/internal/trace"
 )
@@ -45,6 +46,17 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "write retained document and flush traces (JSON) to this file")
 	)
 	flag.Parse()
+
+	// Identify the build in the run log: ingest artifacts outlive the
+	// binary that wrote them, so "which revision produced this system
+	// directory" should be answerable from the log alone.
+	goVer, rev, _, modified := runtimetel.Info()
+	if rev == "" {
+		rev = "unknown"
+	} else if modified {
+		rev += "+dirty"
+	}
+	log.Printf("build: %s, revision %s", goVer, rev)
 
 	var tracer *trace.Tracer
 	if *traceSample > 0 {

@@ -43,6 +43,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/qlog"
+	"repro/internal/runtimetel"
+	"repro/internal/slo"
 	"repro/internal/synth"
 	"repro/internal/trace"
 	"repro/internal/web"
@@ -74,8 +76,27 @@ func main() {
 		retries   = flag.Int("search-retries", 1, "retries per failed backend call within the budget")
 		faultSpec = flag.String("fault-spec", "", "inject backend faults, e.g. 'synopsis.search:error:p=0.01;siapi.search:slow:25ms' (chaos testing)")
 		faultSeed = flag.Uint64("fault-seed", 1, "seed for fault-injection randomness")
+
+		telInterval = flag.Duration("runtimetel-interval", 10*time.Second, "runtime telemetry sampling interval (0 disables the collector and /debug/dash history)")
+		sloAvail    = flag.Float64("slo-availability", 0.999, "per-route availability objective (fraction of non-5xx responses)")
+		sloP99      = flag.Duration("slo-latency-p99", 250*time.Millisecond, "per-route p99 latency objective")
+		maxGoros    = flag.Int("max-goroutines", 0, "goroutine watermark for the readiness check (0 = default 10000)")
 	)
 	flag.Parse()
+
+	// Log the build identity and the effective configuration up front: the
+	// first question about any misbehaving instance is "what exactly is
+	// running, with which flags".
+	goVer, rev, vcsTime, modified := runtimetel.Info()
+	if rev == "" {
+		rev = "unknown"
+	} else if modified {
+		rev += "+dirty"
+	}
+	log.Printf("build: %s, revision %s %s", goVer, rev, vcsTime)
+	flag.VisitAll(func(f *flag.Flag) {
+		log.Printf("flag: -%s=%s", f.Name, f.Value)
+	})
 
 	var ctl *access.Controller
 	if *secure {
@@ -146,6 +167,34 @@ func main() {
 		log.Printf("WARNING: fault injection active (seed %d): %s", *faultSeed, *faultSpec)
 	}
 
+	// The judgment layer: SLO burn rates over the HTTP metrics, component
+	// checks behind /readyz, and the runtime collector whose sample ring
+	// backs /debug/dash. The collector's tick drives the SLO engine; with
+	// the collector disabled the engine gets its own ticker below.
+	runtimetel.SetBuildInfo(sys.Metrics)
+	sloEng := slo.New(slo.Options{
+		Registry: sys.Metrics,
+		Default:  slo.Objective{Availability: *sloAvail, LatencyP99: *sloP99},
+		Interval: *telInterval,
+	})
+	var collector *runtimetel.Collector
+	if *telInterval > 0 {
+		collector = runtimetel.New(runtimetel.Options{
+			Interval:   *telInterval,
+			Registry:   sys.Metrics,
+			AppSampler: sys.AppSampler(sloEng),
+		})
+		collector.Start()
+		defer collector.Stop()
+		log.Printf("runtime telemetry every %v (dashboard at /debug/dash)", *telInterval)
+	}
+	checks := sys.NewHealth(eil.HealthOptions{
+		Collector:        collector,
+		SnapshotInterval: *snapInterval,
+		MaxGoroutines:    *maxGoros,
+	})
+	log.Printf("SLO objectives: availability %.4f, p99 %v (report at /api/slo, readiness at /readyz)", *sloAvail, *sloP99)
+
 	var opts []web.Option
 	if *pprofOn {
 		opts = append(opts, web.WithPprof())
@@ -154,6 +203,7 @@ func main() {
 	if *accessLog {
 		opts = append(opts, web.WithAccessLog(slog.New(slog.NewTextHandler(os.Stderr, nil))))
 	}
+	opts = append(opts, web.WithHealth(checks), web.WithSLO(sloEng), web.WithRuntime(collector))
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -163,6 +213,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if collector == nil {
+		// No collector to pace the SLO engine: give it its own ticker.
+		go sloEng.Run(ctx.Done(), 10*time.Second)
+	}
 
 	if *snapInterval > 0 {
 		go func() {

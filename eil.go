@@ -116,6 +116,11 @@ type System struct {
 	// SnapshotKeep is how many committed snapshot generations Save/Checkpoint
 	// retain for corruption fallback (0 = durable.DefaultKeep).
 	SnapshotKeep int
+	// WALFS overrides the filesystem the write-ahead journal is opened
+	// through (nil = the real one). Tests route it through durable.FaultFS
+	// to fail the journal on demand; the health layer's WAL probe then
+	// observes the failure without touching real disks.
+	WALFS durable.FS
 
 	// Retained offline-pipeline state for incremental updates. LoadSystem
 	// rebuilds it from the persisted pipeline snapshot, so restored systems
@@ -133,9 +138,10 @@ type System struct {
 
 	// Durability state: the last committed snapshot generation and, when
 	// EnableWAL has been called, the open journal and its directory.
-	gen    uint64
-	wal    *durable.WAL
-	walDir string
+	gen      uint64
+	wal      *durable.WAL
+	walDir   string
+	lastCkpt time.Time
 }
 
 // siapi returns the live keyword engine. Searches go through this (not the

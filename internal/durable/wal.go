@@ -238,6 +238,20 @@ func (w *WAL) Sync() error {
 	return w.syncLocked()
 }
 
+// Probe verifies the journal is still appendable by forcing an fsync on the
+// open file regardless of pending state — unlike Sync, which no-ops when
+// nothing is unsynced. Health checks use it: a probe failing means the next
+// real Append would too (disk gone, volume read-only, fd revoked).
+func (w *WAL) Probe() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("durable: wal probe: %w", err)
+	}
+	w.unsynced = 0
+	return nil
+}
+
 func (w *WAL) syncLocked() error {
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("durable: wal fsync: %w", err)

@@ -1,0 +1,81 @@
+package health
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestNilRegistryIsReady(t *testing.T) {
+	var r *Registry
+	rep := r.Evaluate()
+	if !rep.Ready() || rep.Verdict != VerdictReady {
+		t.Fatalf("nil registry verdict = %q, want ready", rep.Verdict)
+	}
+	r.Register("ignored", true, func() Result { return Failedf("boom") }) // must not panic
+}
+
+func TestRollupVerdicts(t *testing.T) {
+	cases := []struct {
+		name     string
+		results  []Result
+		critical []bool
+		want     Verdict
+	}{
+		{"all ok", []Result{OKf("a"), OKf("b")}, []bool{true, false}, VerdictReady},
+		{"non-critical degraded", []Result{OKf("a"), Degradedf("slow")}, []bool{true, false}, VerdictDegraded},
+		{"non-critical failed", []Result{OKf("a"), Failedf("down")}, []bool{true, false}, VerdictDegraded},
+		{"critical degraded is not unready", []Result{Degradedf("wobbly"), OKf("b")}, []bool{true, false}, VerdictDegraded},
+		{"critical failed", []Result{Failedf("dead"), OKf("b")}, []bool{true, false}, VerdictUnready},
+	}
+	for _, c := range cases {
+		r := NewRegistry(nil)
+		for i, res := range c.results {
+			res := res
+			r.Register(string(rune('a'+i)), c.critical[i], func() Result { return res })
+		}
+		rep := r.Evaluate()
+		if rep.Verdict != c.want {
+			t.Errorf("%s: verdict = %q, want %q", c.name, rep.Verdict, c.want)
+		}
+	}
+}
+
+func TestCausesNameFailingChecks(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Register("good", false, func() Result { return OKf("fine") })
+	r.Register("bad", true, func() Result { return Failedf("disk gone") })
+	rep := r.Evaluate()
+	if len(rep.Causes) != 1 || !strings.HasPrefix(rep.Causes[0], "bad:") {
+		t.Fatalf("causes = %v, want exactly [bad: disk gone]", rep.Causes)
+	}
+	if len(rep.Checks) != 2 {
+		t.Fatalf("checks = %d, want 2 (passing checks stay in the report)", len(rep.Checks))
+	}
+}
+
+func TestPanickingCheckBecomesFailed(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Register("explosive", true, func() Result { panic("kaboom") })
+	rep := r.Evaluate()
+	if rep.Verdict != VerdictUnready {
+		t.Fatalf("verdict = %q, want unready (critical check panicked)", rep.Verdict)
+	}
+	if !strings.Contains(rep.Causes[0], "kaboom") {
+		t.Fatalf("causes = %v, want the panic value surfaced", rep.Causes)
+	}
+}
+
+func TestEvaluatePublishesGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := NewRegistry(reg)
+	r.Register("wobbly", false, func() Result { return Degradedf("meh") })
+	r.Evaluate()
+	if v := reg.Gauge("eil_health_check", "check", "wobbly").Value(); v != 1 {
+		t.Fatalf("eil_health_check{wobbly} = %v, want 1 (degraded)", v)
+	}
+	if v := reg.Gauge("eil_health_status").Value(); v != 1 {
+		t.Fatalf("eil_health_status = %v, want 1 (degraded)", v)
+	}
+}

@@ -130,9 +130,31 @@ type Summary struct {
 	Keyword   int // search-box queries
 	// AvgLatency and MaxLatency aggregate the entries that carried a
 	// measured latency (zero when none did).
-	AvgLatency  time.Duration
-	MaxLatency  time.Duration
+	AvgLatency time.Duration
+	MaxLatency time.Duration
+	// P50/P95/P99Latency are exact quantiles over the same entries (the log
+	// is bounded, so sorting its latencies is cheap — no bucket
+	// interpolation error, unlike the histogram-backed HTTP quantiles).
+	P50Latency  time.Duration
+	P95Latency  time.Duration
+	P99Latency  time.Duration
 	TopConcepts []ConceptCount
+}
+
+// latencyQuantile picks the q-quantile from ascending-sorted latencies via
+// the nearest-rank method.
+func latencyQuantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }
 
 // Summarize computes the summary over the retained entries; top concepts
@@ -145,6 +167,7 @@ func (l *Log) Summarize(topK int) Summary {
 	counts := map[string]int{}
 	var latSum time.Duration
 	var latN int
+	var lats []time.Duration
 	for _, e := range l.Entries() {
 		s.Total++
 		if e.Activities == 0 {
@@ -159,6 +182,7 @@ func (l *Log) Summarize(topK int) Summary {
 		if e.Latency > 0 {
 			latSum += e.Latency
 			latN++
+			lats = append(lats, e.Latency)
 			if e.Latency > s.MaxLatency {
 				s.MaxLatency = e.Latency
 			}
@@ -169,6 +193,10 @@ func (l *Log) Summarize(topK int) Summary {
 	}
 	if latN > 0 {
 		s.AvgLatency = latSum / time.Duration(latN)
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		s.P50Latency = latencyQuantile(lats, 0.50)
+		s.P95Latency = latencyQuantile(lats, 0.95)
+		s.P99Latency = latencyQuantile(lats, 0.99)
 	}
 	for c, n := range counts {
 		s.TopConcepts = append(s.TopConcepts, ConceptCount{Concept: c, Count: n})

@@ -108,3 +108,30 @@ func TestSummarizeLatency(t *testing.T) {
 		t.Fatalf("max = %v", s.MaxLatency)
 	}
 }
+
+func TestSummarizeLatencyQuantiles(t *testing.T) {
+	l := New(128)
+	// 1ms..100ms, one entry per millisecond: exact nearest-rank quantiles.
+	for i := 1; i <= 100; i++ {
+		l.Record(Entry{Kind: KindForm, Activities: 1, Latency: time.Duration(i) * time.Millisecond})
+	}
+	s := l.Summarize(5)
+	if s.P50Latency != 50*time.Millisecond {
+		t.Fatalf("p50 = %v, want 50ms", s.P50Latency)
+	}
+	if s.P95Latency != 95*time.Millisecond {
+		t.Fatalf("p95 = %v, want 95ms", s.P95Latency)
+	}
+	if s.P99Latency != 99*time.Millisecond {
+		t.Fatalf("p99 = %v, want 99ms", s.P99Latency)
+	}
+}
+
+func TestSummarizeQuantilesEmpty(t *testing.T) {
+	l := New(16)
+	l.Record(Entry{Kind: KindForm, Activities: 1}) // no measured latency
+	s := l.Summarize(5)
+	if s.P50Latency != 0 || s.P99Latency != 0 {
+		t.Fatalf("quantiles over zero measured entries = %v/%v, want 0", s.P50Latency, s.P99Latency)
+	}
+}

@@ -1,0 +1,540 @@
+// Package slo evaluates service-level objectives over the HTTP metrics the
+// web middleware already records: per-route availability (non-5xx fraction)
+// and latency (fraction of requests under the p99 target) as multi-window
+// burn rates, the Google-SRE shape ("how fast is this route spending its
+// error budget over the last 5m / 1h / 6h").
+//
+// The engine is a sampler, not a store: on every Tick it snapshots the
+// cumulative http_requests_total / http_request_seconds figures per route
+// into a bounded ring, and burn rates are window deltas over that ring —
+// burn = (bad fraction in window) / (budget fraction). A burn rate of 1
+// means the route spends its budget exactly as fast as the objective
+// allows; 14.4 (the classic page threshold for a 99.9% / 30d objective)
+// means the whole month's budget would be gone in two days.
+//
+// Results surface three ways: eil_slo_* gauges on /metrics, the /api/slo
+// JSON report, and burn sparklines on /debug/dash.
+package slo
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Objective is one route's targets. The availability objective is the
+// fraction of requests that must not be 5xx; the latency objective is the
+// duration the 99th percentile must stay under (so its implied budget is
+// the slowest 1% of requests).
+type Objective struct {
+	Availability float64       `json:"availability"`
+	LatencyP99   time.Duration `json:"-"`
+}
+
+// SLO dimension labels used in gauges and reports.
+const (
+	SLOAvailability = "availability"
+	SLOLatency      = "latency"
+)
+
+// DefWindows are the default burn-rate windows, ascending.
+var DefWindows = []time.Duration{5 * time.Minute, time.Hour, 6 * time.Hour}
+
+// Multi-window alert thresholds (Google SRE workbook, 99.9%/30d scaling):
+// page when the short and medium windows both burn faster than 14.4x,
+// ticket when the medium and long windows both burn faster than 6x.
+const (
+	PageBurn   = 14.4
+	TicketBurn = 6.0
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Registry is the metrics source (http_*) and gauge sink (eil_slo_*).
+	Registry *obs.Registry
+	// Default is the objective applied to every observed route without a
+	// PerRoute override. Zero fields get 0.999 availability / 250ms p99.
+	Default Objective
+	// PerRoute overrides objectives for specific routes.
+	PerRoute map[string]Objective
+	// Windows are the burn-rate windows, ascending (nil = DefWindows).
+	Windows []time.Duration
+	// Interval is the expected Tick cadence, used only to size the sample
+	// ring so it covers the longest window (0 = 10s).
+	Interval time.Duration
+	// SkipRoute drops routes from evaluation; nil skips the scrape/probe
+	// endpoints (/metrics, /healthz, /readyz, /debug/*, unmatched).
+	SkipRoute func(route string) bool
+}
+
+// DefaultSkipRoute is the default route filter: probe and scrape traffic
+// has no user-facing objective.
+func DefaultSkipRoute(route string) bool {
+	return route == "/metrics" || route == "/healthz" || route == "/readyz" ||
+		route == "/api/slo" || route == "unmatched" || strings.HasPrefix(route, "/debug/")
+}
+
+// routeCounts is one route's cumulative tally at one instant.
+type routeCounts struct {
+	total  float64 // requests
+	errors float64 // 5xx requests
+	slow   float64 // requests over the latency objective
+}
+
+// sample is one Tick's reading across routes.
+type sample struct {
+	t      time.Time
+	routes map[string]routeCounts
+}
+
+// Engine evaluates objectives over a ring of samples. Drive it with Tick
+// (the runtimetel collector's AppSampler is the usual driver) or Run.
+type Engine struct {
+	opts    Options
+	windows []time.Duration
+
+	mu      sync.Mutex
+	ring    []sample
+	next    int
+	full    bool
+	lastRep Report
+	hasRep  bool
+}
+
+// New returns an engine with defaults filled.
+func New(opts Options) *Engine {
+	if opts.Default.Availability <= 0 || opts.Default.Availability >= 1 {
+		opts.Default.Availability = 0.999
+	}
+	if opts.Default.LatencyP99 <= 0 {
+		opts.Default.LatencyP99 = 250 * time.Millisecond
+	}
+	if opts.SkipRoute == nil {
+		opts.SkipRoute = DefaultSkipRoute
+	}
+	windows := opts.Windows
+	if len(windows) == 0 {
+		windows = DefWindows
+	}
+	sort.Slice(windows, func(i, j int) bool { return windows[i] < windows[j] })
+	interval := opts.Interval
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	// Ring covers the longest window plus slack, bounded so a misconfigured
+	// 1ms interval cannot allocate unbounded history.
+	n := int(windows[len(windows)-1]/interval) + 8
+	if n > 8192 {
+		n = 8192
+	}
+	return &Engine{opts: opts, windows: windows, ring: make([]sample, n)}
+}
+
+// Windows returns the configured burn windows, ascending.
+func (e *Engine) Windows() []time.Duration { return e.windows }
+
+// objective returns the effective objective for a route.
+func (e *Engine) objective(route string) Objective {
+	if o, ok := e.opts.PerRoute[route]; ok {
+		if o.Availability <= 0 || o.Availability >= 1 {
+			o.Availability = e.opts.Default.Availability
+		}
+		if o.LatencyP99 <= 0 {
+			o.LatencyP99 = e.opts.Default.LatencyP99
+		}
+		return o
+	}
+	return e.opts.Default
+}
+
+// collect reads the registry's cumulative per-route figures.
+func (e *Engine) collect() map[string]routeCounts {
+	routes := map[string]routeCounts{}
+	type histInfo struct {
+		bounds []float64
+		cum    []float64
+		count  float64
+	}
+	hists := map[string]histInfo{}
+	for _, s := range e.opts.Registry.Snapshots() {
+		switch s.Name {
+		case "http_requests_total":
+			route := s.Labels["route"]
+			if route == "" || e.opts.SkipRoute(route) {
+				continue
+			}
+			rc := routes[route]
+			rc.total += s.Value
+			if s.Labels["code"] == "5xx" {
+				rc.errors += s.Value
+			}
+			routes[route] = rc
+		case "http_request_seconds":
+			route := s.Labels["route"]
+			if route == "" || e.opts.SkipRoute(route) {
+				continue
+			}
+			hists[route] = parseHist(s)
+		}
+	}
+	for route, rc := range routes {
+		if h, ok := hists[route]; ok && h.count > 0 {
+			o := e.objective(route)
+			good := countLE(h.bounds, h.cum, o.LatencyP99.Seconds())
+			rc.slow = h.count - good
+			if rc.slow < 0 {
+				rc.slow = 0
+			}
+			routes[route] = rc
+		}
+	}
+	return routes
+}
+
+// parseHist converts a histogram snapshot's stringified bucket map back
+// into sorted bounds and cumulative counts.
+func parseHist(s obs.Snapshot) (h struct {
+	bounds []float64
+	cum    []float64
+	count  float64
+}) {
+	h.count = float64(s.Count)
+	type bb struct {
+		bound float64
+		cum   float64
+	}
+	var bs []bb
+	for k, v := range s.Buckets {
+		if k == "+Inf" {
+			continue
+		}
+		f, err := strconv.ParseFloat(k, 64)
+		if err != nil {
+			continue
+		}
+		bs = append(bs, bb{f, float64(v)})
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i].bound < bs[j].bound })
+	for _, b := range bs {
+		h.bounds = append(h.bounds, b.bound)
+		h.cum = append(h.cum, b.cum)
+	}
+	return h
+}
+
+// countLE estimates how many observations were <= threshold from cumulative
+// bucket counts, interpolating inside the owning bucket. Observations in
+// the +Inf bucket count as above any finite threshold.
+func countLE(bounds, cum []float64, threshold float64) float64 {
+	if len(bounds) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(bounds, threshold)
+	if i >= len(bounds) {
+		return cum[len(cum)-1]
+	}
+	if bounds[i] == threshold {
+		return cum[i]
+	}
+	lo, loCum := 0.0, 0.0
+	if i > 0 {
+		lo, loCum = bounds[i-1], cum[i-1]
+	}
+	hi := bounds[i]
+	inBucket := cum[i] - loCum
+	if inBucket <= 0 || hi <= lo {
+		return loCum
+	}
+	return loCum + inBucket*(threshold-lo)/(hi-lo)
+}
+
+// quantileFromCum estimates a quantile from cumulative bucket counts, the
+// way obs.Histogram.Quantile does (values past the last bound clamp to it).
+func quantileFromCum(bounds, cum []float64, total, q float64) float64 {
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	rank := q * total
+	for i := range bounds {
+		if cum[i] >= rank {
+			lo, loCum := 0.0, 0.0
+			if i > 0 {
+				lo, loCum = bounds[i-1], cum[i-1]
+			}
+			in := cum[i] - loCum
+			if in <= 0 {
+				return bounds[i]
+			}
+			return lo + (bounds[i]-lo)*(rank-loCum)/in
+		}
+	}
+	return bounds[len(bounds)-1]
+}
+
+// Tick takes one sample at now, recomputes burn rates, publishes the
+// eil_slo_* gauges, and caches the report. Call it on a fixed cadence.
+func (e *Engine) Tick(now time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ring[e.next] = sample{t: now, routes: e.collect()}
+	e.next++
+	if e.next == len(e.ring) {
+		e.next = 0
+		e.full = true
+	}
+	e.lastRep = e.reportLocked(now)
+	e.hasRep = true
+	e.publishLocked(e.lastRep)
+}
+
+// Run ticks the engine every interval until ctx is done — for deployments
+// without a runtimetel collector driving it.
+func (e *Engine) Run(stop <-chan struct{}, interval time.Duration) {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	e.Tick(time.Now())
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			e.Tick(time.Now())
+		}
+	}
+}
+
+// samplesLocked returns retained samples oldest first.
+func (e *Engine) samplesLocked() []sample {
+	if !e.full {
+		return e.ring[:e.next]
+	}
+	out := make([]sample, 0, len(e.ring))
+	out = append(out, e.ring[e.next:]...)
+	out = append(out, e.ring[:e.next]...)
+	return out
+}
+
+// WindowBurn is one window's burn state for one route.
+type WindowBurn struct {
+	Window           string  `json:"window"`
+	Requests         float64 `json:"requests"`
+	ErrorFraction    float64 `json:"error_fraction"`
+	SlowFraction     float64 `json:"slow_fraction"`
+	AvailabilityBurn float64 `json:"availability_burn"`
+	LatencyBurn      float64 `json:"latency_burn"`
+	// Partial marks a window the sample ring does not yet reach back across
+	// (process younger than the window); the burn is over the covered span.
+	Partial bool `json:"partial,omitempty"`
+}
+
+// RouteReport is one route's full SLO state.
+type RouteReport struct {
+	Route                      string       `json:"route"`
+	AvailabilityObjective      float64      `json:"availability_objective"`
+	LatencyP99ObjectiveSeconds float64      `json:"latency_p99_objective_seconds"`
+	Requests                   float64      `json:"requests"`
+	Errors                     float64      `json:"errors"`
+	ObservedAvailability       float64      `json:"observed_availability"`
+	ObservedP99Seconds         float64      `json:"observed_p99_seconds"`
+	Compliant                  bool         `json:"compliant"`
+	Alert                      string       `json:"alert"` // ok | ticket | page
+	Windows                    []WindowBurn `json:"windows"`
+}
+
+// Report is the /api/slo document.
+type Report struct {
+	CheckedAt time.Time     `json:"checked_at"`
+	Windows   []string      `json:"windows"`
+	Routes    []RouteReport `json:"routes"`
+}
+
+// Report evaluates burn rates as of now over the retained samples.
+func (e *Engine) Report(now time.Time) Report {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.reportLocked(now)
+}
+
+// LastReport returns the report cached by the most recent Tick (ok=false
+// before the first Tick).
+func (e *Engine) LastReport() (Report, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastRep, e.hasRep
+}
+
+// PeakBurn reports the worst availability burn rate across routes at the
+// shortest window, per the last Tick — the single "how much trouble are we
+// in" number the dashboard sparkline and telemetry samples carry.
+func (e *Engine) PeakBurn() float64 {
+	rep, ok := e.LastReport()
+	if !ok {
+		return 0
+	}
+	peak := 0.0
+	for _, rr := range rep.Routes {
+		if len(rr.Windows) > 0 && rr.Windows[0].AvailabilityBurn > peak {
+			peak = rr.Windows[0].AvailabilityBurn
+		}
+	}
+	return peak
+}
+
+func (e *Engine) reportLocked(now time.Time) Report {
+	rep := Report{CheckedAt: now}
+	for _, w := range e.windows {
+		rep.Windows = append(rep.Windows, w.String())
+	}
+	samples := e.samplesLocked()
+	if len(samples) == 0 {
+		return rep
+	}
+	cur := samples[len(samples)-1]
+
+	// Stable route order.
+	routes := make([]string, 0, len(cur.routes))
+	for r := range cur.routes {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+
+	// Cumulative latency views for observed p99.
+	hists := map[string]struct {
+		bounds []float64
+		cum    []float64
+		count  float64
+	}{}
+	for _, s := range e.opts.Registry.Snapshots() {
+		if s.Name == "http_request_seconds" {
+			if route := s.Labels["route"]; route != "" && !e.opts.SkipRoute(route) {
+				hists[route] = parseHist(s)
+			}
+		}
+	}
+
+	for _, route := range routes {
+		o := e.objective(route)
+		rc := cur.routes[route]
+		rr := RouteReport{
+			Route:                      route,
+			AvailabilityObjective:      o.Availability,
+			LatencyP99ObjectiveSeconds: o.LatencyP99.Seconds(),
+			Requests:                   rc.total,
+			Errors:                     rc.errors,
+		}
+		if rc.total > 0 {
+			rr.ObservedAvailability = 1 - rc.errors/rc.total
+		} else {
+			rr.ObservedAvailability = 1
+		}
+		if h, ok := hists[route]; ok {
+			rr.ObservedP99Seconds = quantileFromCum(h.bounds, h.cum, h.count, 0.99)
+		}
+		rr.Compliant = rr.ObservedAvailability >= o.Availability &&
+			(rr.ObservedP99Seconds == 0 || rr.ObservedP99Seconds <= o.LatencyP99.Seconds())
+
+		availBudget := 1 - o.Availability
+		for _, w := range e.windows {
+			base := baseSample(samples, now.Add(-w))
+			wb := WindowBurn{Window: w.String()}
+			span := cur.t.Sub(base.t)
+			wb.Partial = span < w-w/20
+			var dTotal, dErr, dSlow float64
+			if brc, ok := base.routes[route]; ok {
+				dTotal = rc.total - brc.total
+				dErr = rc.errors - brc.errors
+				dSlow = rc.slow - brc.slow
+			} else {
+				dTotal, dErr, dSlow = rc.total, rc.errors, rc.slow
+			}
+			if dTotal > 0 {
+				wb.Requests = dTotal
+				wb.ErrorFraction = clamp01(dErr / dTotal)
+				wb.SlowFraction = clamp01(dSlow / dTotal)
+				wb.AvailabilityBurn = wb.ErrorFraction / availBudget
+				wb.LatencyBurn = wb.SlowFraction / 0.01 // p99 objective => 1% budget
+			}
+			rr.Windows = append(rr.Windows, wb)
+		}
+		rr.Alert = alertFor(rr.Windows)
+		rep.Routes = append(rep.Routes, rr)
+	}
+	return rep
+}
+
+// baseSample returns the newest sample at or before t (the oldest retained
+// one when the ring does not reach back that far).
+func baseSample(samples []sample, t time.Time) sample {
+	base := samples[0]
+	for _, s := range samples {
+		if s.t.After(t) {
+			break
+		}
+		base = s
+	}
+	return base
+}
+
+// alertFor applies the multi-window, multi-burn-rate rule: page on fast
+// burn over the two shortest windows, ticket on sustained burn over the
+// two longest. Latency and availability burns both count.
+func alertFor(ws []WindowBurn) string {
+	burn := func(i int) float64 {
+		if i < 0 || i >= len(ws) {
+			return 0
+		}
+		return math.Max(ws[i].AvailabilityBurn, ws[i].LatencyBurn)
+	}
+	n := len(ws)
+	if n == 0 {
+		return "ok"
+	}
+	switch {
+	case n == 1:
+		if burn(0) > PageBurn {
+			return "page"
+		}
+	case burn(0) > PageBurn && burn(1) > PageBurn:
+		return "page"
+	case burn(n-2) > TicketBurn && burn(n-1) > TicketBurn:
+		return "ticket"
+	}
+	return "ok"
+}
+
+// publishLocked exports the cached report as gauges.
+func (e *Engine) publishLocked(rep Report) {
+	reg := e.opts.Registry
+	for _, rr := range rep.Routes {
+		for _, wb := range rr.Windows {
+			reg.Gauge("eil_slo_burn_rate", "route", rr.Route, "slo", SLOAvailability, "window", wb.Window).Set(wb.AvailabilityBurn)
+			reg.Gauge("eil_slo_burn_rate", "route", rr.Route, "slo", SLOLatency, "window", wb.Window).Set(wb.LatencyBurn)
+		}
+		if len(rr.Windows) > 0 {
+			last := rr.Windows[len(rr.Windows)-1]
+			reg.Gauge("eil_slo_budget_remaining", "route", rr.Route, "slo", SLOAvailability).Set(clamp01(1 - last.AvailabilityBurn))
+			reg.Gauge("eil_slo_budget_remaining", "route", rr.Route, "slo", SLOLatency).Set(clamp01(1 - last.LatencyBurn))
+		}
+		compliant := 0.0
+		if rr.Compliant {
+			compliant = 1
+		}
+		reg.Gauge("eil_slo_compliant", "route", rr.Route).Set(compliant)
+	}
+}
+
+// clamp01 floors at zero; burns legitimately exceed 1, so no upper clamp.
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,208 @@
+package slo
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestCountLE(t *testing.T) {
+	bounds := []float64{0.1, 0.25, 0.5}
+	cum := []float64{10, 30, 40} // 10 <=0.1, 20 in (0.1,0.25], 10 in (0.25,0.5]
+	cases := []struct {
+		threshold float64
+		want      float64
+	}{
+		{0.1, 10},   // exact bound
+		{0.25, 30},  // exact bound
+		{0.175, 20}, // midpoint of (0.1, 0.25] -> half its 20
+		{0.05, 5},   // halfway into the first bucket
+		{1.0, 40},   // past the last bound: everything finite
+		{0.375, 35}, // midpoint of (0.25, 0.5]
+	}
+	for _, c := range cases {
+		if got := countLE(bounds, cum, c.threshold); got != c.want {
+			t.Errorf("countLE(%v) = %v, want %v", c.threshold, got, c.want)
+		}
+	}
+	if got := countLE(nil, nil, 0.5); got != 0 {
+		t.Errorf("countLE with no buckets = %v, want 0", got)
+	}
+}
+
+func TestQuantileFromCum(t *testing.T) {
+	bounds := []float64{0.1, 0.2}
+	cum := []float64{50, 100}
+	if got := quantileFromCum(bounds, cum, 100, 0.5); got != 0.1 {
+		t.Errorf("p50 = %v, want 0.1", got)
+	}
+	// rank 75 is halfway through the second bucket's 50 observations.
+	if got := quantileFromCum(bounds, cum, 100, 0.75); got < 0.1499 || got > 0.1501 {
+		t.Errorf("p75 = %v, want ~0.15", got)
+	}
+	if got := quantileFromCum(bounds, cum, 0, 0.99); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+}
+
+func TestAlertFor(t *testing.T) {
+	w := func(avail float64) WindowBurn { return WindowBurn{AvailabilityBurn: avail} }
+	cases := []struct {
+		name string
+		ws   []WindowBurn
+		want string
+	}{
+		{"quiet", []WindowBurn{w(0), w(0), w(0)}, "ok"},
+		{"page: short and medium both fast", []WindowBurn{w(20), w(15), w(2)}, "page"},
+		{"no page: only the short window spikes", []WindowBurn{w(20), w(1), w(0)}, "ok"},
+		{"ticket: sustained over the long windows", []WindowBurn{w(2), w(7), w(6.5)}, "ticket"},
+		{"latency burn counts too", []WindowBurn{
+			{LatencyBurn: 20}, {LatencyBurn: 15}, {LatencyBurn: 0},
+		}, "page"},
+		{"empty", nil, "ok"},
+	}
+	for _, c := range cases {
+		if got := alertFor(c.ws); got != c.want {
+			t.Errorf("%s: alertFor = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDefaultSkipRoute(t *testing.T) {
+	for _, r := range []string{"/metrics", "/healthz", "/readyz", "/api/slo", "unmatched", "/debug/dash", "/debug/traces"} {
+		if !DefaultSkipRoute(r) {
+			t.Errorf("DefaultSkipRoute(%q) = false, want true", r)
+		}
+	}
+	for _, r := range []string{"/api/search", "/", "/api/qlog"} {
+		if DefaultSkipRoute(r) {
+			t.Errorf("DefaultSkipRoute(%q) = true, want false", r)
+		}
+	}
+}
+
+// record simulates the web middleware's bookkeeping for one request.
+func record(reg *obs.Registry, route, code string, latency time.Duration) {
+	reg.Counter("http_requests_total", "route", route, "code", code).Inc()
+	reg.Histogram("http_request_seconds", nil, "route", route).Observe(latency.Seconds())
+}
+
+func TestWindowDeltasRiseAndDecay(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng := New(Options{
+		Registry: reg,
+		Default:  Objective{Availability: 0.999, LatencyP99: 250 * time.Millisecond},
+		Interval: time.Minute,
+	})
+
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	record(reg, "/api/search", "2xx", 10*time.Millisecond)
+	eng.Tick(t0)
+
+	// An all-error minute.
+	for i := 0; i < 10; i++ {
+		record(reg, "/api/search", "5xx", 5*time.Millisecond)
+	}
+	eng.Tick(t0.Add(time.Minute))
+
+	rep := eng.Report(t0.Add(time.Minute))
+	if len(rep.Routes) != 1 || rep.Routes[0].Route != "/api/search" {
+		t.Fatalf("routes = %+v, want just /api/search", rep.Routes)
+	}
+	rr := rep.Routes[0]
+	short := rr.Windows[0]
+	if short.Requests != 10 || short.ErrorFraction != 1 {
+		t.Fatalf("5m window = %+v, want 10 requests all errors", short)
+	}
+	// 100% errors against a 0.1% budget: burn = 1/0.001 = 1000.
+	if short.AvailabilityBurn < 999 || short.AvailabilityBurn > 1001 {
+		t.Fatalf("availability burn = %v, want ~1000", short.AvailabilityBurn)
+	}
+	if rr.Alert != "page" {
+		t.Fatalf("alert = %q during a total outage, want page", rr.Alert)
+	}
+	if got := eng.PeakBurn(); got != short.AvailabilityBurn {
+		t.Fatalf("PeakBurn = %v, want %v", got, short.AvailabilityBurn)
+	}
+	if g := reg.Gauge("eil_slo_burn_rate", "route", "/api/search", "slo", SLOAvailability, "window", "5m0s"); g.Value() <= 0 {
+		t.Fatalf("published burn gauge = %v, want > 0", g.Value())
+	}
+
+	// Errors stop, good traffic resumes; once the 5m base sample postdates
+	// the burst, the short-window burn is zero again.
+	for i := 0; i < 10; i++ {
+		record(reg, "/api/search", "2xx", 5*time.Millisecond)
+	}
+	eng.Tick(t0.Add(2 * time.Minute))
+	eng.Tick(t0.Add(9 * time.Minute))
+	rep = eng.Report(t0.Add(9 * time.Minute))
+	if burn := rep.Routes[0].Windows[0].AvailabilityBurn; burn != 0 {
+		t.Fatalf("5m burn after recovery = %v, want 0", burn)
+	}
+	// The long windows still contain the outage, so the alert steps down
+	// from page to ticket rather than clearing — exactly the multi-window
+	// shape: fast recovery silences the page, the sustained damage lingers.
+	if alert := rep.Routes[0].Alert; alert != "ticket" {
+		t.Fatalf("alert after recovery = %q, want ticket (long windows remember)", alert)
+	}
+}
+
+func TestLatencyBurn(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng := New(Options{
+		Registry: reg,
+		Default:  Objective{Availability: 0.999, LatencyP99: 50 * time.Millisecond},
+		Interval: time.Minute,
+	})
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	eng.Tick(t0)
+	// Half the traffic blows the 50ms objective: slow fraction 0.5 against
+	// the implied 1% budget is a burn of ~50.
+	for i := 0; i < 20; i++ {
+		lat := time.Millisecond
+		if i%2 == 0 {
+			lat = 2 * time.Second
+		}
+		record(reg, "/api/search", "2xx", lat)
+	}
+	eng.Tick(t0.Add(time.Minute))
+	rep := eng.Report(t0.Add(time.Minute))
+	lb := rep.Routes[0].Windows[0].LatencyBurn
+	if lb < 40 || lb > 60 {
+		t.Fatalf("latency burn = %v, want ~50", lb)
+	}
+	if avail := rep.Routes[0].Windows[0].AvailabilityBurn; avail != 0 {
+		t.Fatalf("availability burn = %v, want 0 (no errors)", avail)
+	}
+}
+
+func TestPartialWindowFlag(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng := New(Options{Registry: reg, Interval: time.Minute})
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	record(reg, "/api/search", "2xx", time.Millisecond)
+	eng.Tick(t0)
+	eng.Tick(t0.Add(time.Minute))
+	rep := eng.Report(t0.Add(time.Minute))
+	for _, wb := range rep.Routes[0].Windows {
+		if !wb.Partial {
+			t.Fatalf("window %s not marked partial with only 1m of history", wb.Window)
+		}
+	}
+}
+
+func TestSkipRouteFiltersScrapes(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng := New(Options{Registry: reg, Interval: time.Minute})
+	record(reg, "/metrics", "2xx", time.Millisecond)
+	record(reg, "/debug/traces", "2xx", time.Millisecond)
+	eng.Tick(time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC))
+	rep, ok := eng.LastReport()
+	if !ok {
+		t.Fatal("no report after Tick")
+	}
+	if len(rep.Routes) != 0 {
+		t.Fatalf("scrape routes leaked into the report: %+v", rep.Routes)
+	}
+}

@@ -15,11 +15,15 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/access"
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/obs"
+	"repro/internal/runtimetel"
+	"repro/internal/slo"
 	"repro/internal/trace"
 )
 
@@ -29,6 +33,9 @@ type Option func(*config)
 type config struct {
 	pprof     bool
 	accessLog *slog.Logger
+	health    *health.Registry
+	slo       *slo.Engine
+	collector *runtimetel.Collector
 }
 
 // WithPprof mounts net/http/pprof under /debug/pprof/.
@@ -41,6 +48,25 @@ func WithAccessLog(logger *slog.Logger) Option {
 	return func(c *config) { c.accessLog = logger }
 }
 
+// WithHealth supplies the component-check registry /readyz evaluates. A
+// nil registry (or omitting the option) leaves /readyz always ready —
+// liveness-equivalent — so the endpoint exists unconditionally and gains
+// judgment when checks are wired.
+func WithHealth(reg *health.Registry) Option {
+	return func(c *config) { c.health = reg }
+}
+
+// WithSLO mounts /api/slo backed by the engine and feeds the dashboard's
+// burn-rate panel.
+func WithSLO(engine *slo.Engine) Option {
+	return func(c *config) { c.slo = engine }
+}
+
+// WithRuntime feeds /debug/dash from the collector's sample ring.
+func WithRuntime(c *runtimetel.Collector) Option {
+	return func(cfg *config) { cfg.collector = c }
+}
+
 // Handler serves the EIL UI and API for one system. Every route is wrapped
 // in the metrics middleware (request counts, status classes, and latency
 // histograms in sys.Metrics), and the registry itself is served at /metrics
@@ -50,7 +76,7 @@ func Handler(sys *eil.System, opts ...Option) http.Handler {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	h := &handler{sys: sys}
+	h := &handler{sys: sys, health: cfg.health, slo: cfg.slo, collector: cfg.collector}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", h.home)
 	mux.HandleFunc("/deal", h.dealPage)
@@ -62,9 +88,16 @@ func Handler(sys *eil.System, opts ...Option) http.Handler {
 	mux.HandleFunc("/api/similar", h.apiSimilar)
 	mux.HandleFunc("/api/metrics", h.apiMetrics)
 	mux.HandleFunc("/metrics", h.metrics)
+	// /healthz is pure liveness: it answers "ok" as long as the process can
+	// serve HTTP at all. Readiness judgment lives at /readyz, which
+	// evaluates the component checks and refuses traffic (503 with a JSON
+	// cause list) when the system should be drained.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/readyz", h.readyz)
+	mux.HandleFunc("/api/slo", h.apiSLO)
+	mux.HandleFunc("/debug/dash", h.debugDash)
 	if sys.Tracer != nil {
 		mux.HandleFunc("/debug/traces", h.debugTraces)
 		mux.HandleFunc("/debug/trace/", h.debugTrace)
@@ -80,7 +113,10 @@ func Handler(sys *eil.System, opts ...Option) http.Handler {
 }
 
 type handler struct {
-	sys *eil.System
+	sys       *eil.System
+	health    *health.Registry
+	slo       *slo.Engine
+	collector *runtimetel.Collector
 }
 
 // middleware wraps every route with request counting, status-class
@@ -121,11 +157,12 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// untraced lists routes whose requests never start a trace: scrape and
-// debug traffic would otherwise flush real requests out of the trace ring.
+// untraced lists routes whose requests never start a trace: scrape, probe,
+// and debug traffic would otherwise flush real requests out of the trace
+// ring.
 func untraced(route string) bool {
-	return route == "/metrics" || route == "/healthz" ||
-		strings.HasPrefix(route, "/debug/")
+	return route == "/metrics" || route == "/healthz" || route == "/readyz" ||
+		route == "/api/slo" || strings.HasPrefix(route, "/debug/")
 }
 
 func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -174,6 +211,11 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	m.reg.Counter("http_requests_total", "route", route, "code", statusClass(sw.status)).Inc()
 	m.reg.Histogram("http_request_seconds", nil, "route", route).ObserveDurationWithExemplar(d, traceID)
+	if !untraced(route) {
+		// Aggregate histogram behind the dashboard's QPS/p99 panel: user
+		// traffic only, so scrape and probe polling does not dilute it.
+		m.reg.Histogram("http_requests_overall_seconds", nil).ObserveDuration(d)
+	}
 	if m.accessLog != nil {
 		m.accessLog.Info("request",
 			"method", r.Method,
@@ -211,6 +253,33 @@ func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
 // apiMetrics serves the registry as JSON snapshots.
 func (h *handler) apiMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, h.sys.Metrics.Snapshots())
+}
+
+// readyz evaluates the component checks and answers with the verdict: 200
+// for a ready instance, 503 (with Retry-After, so pollers back off) when
+// the verdict is degraded or unready. The body is always the full JSON
+// report — verdict, flat cause list, and every check's state — so "why is
+// this instance out" is one curl away. A nil health registry evaluates to
+// ready, keeping the endpoint meaningful before any checks are wired.
+func (h *handler) readyz(w http.ResponseWriter, _ *http.Request) {
+	rep := h.health.Evaluate()
+	w.Header().Set("Content-Type", "application/json")
+	if !rep.Ready() {
+		w.Header().Set("Retry-After", "5")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep)
+}
+
+// apiSLO serves the burn-rate report (404 when no SLO engine is wired).
+func (h *handler) apiSLO(w http.ResponseWriter, _ *http.Request) {
+	if h.slo == nil {
+		http.Error(w, "slo engine disabled", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, h.slo.Report(time.Now()))
 }
 
 // userFrom reconstructs the principal from the simulated SSO headers. An

@@ -9,6 +9,7 @@ import (
 	iofs "io/fs"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/access"
 	"repro/internal/analysis"
@@ -109,6 +110,7 @@ func (s *System) checkpointLocked(dir string) (uint64, error) {
 		return 0, fmt.Errorf("eil: save: %w", err)
 	}
 	s.gen = gen
+	s.lastCkpt = time.Now()
 	if s.wal != nil && s.walDir == dir {
 		if err := s.wal.Rotate(gen); err != nil {
 			return gen, fmt.Errorf("eil: save: %w", err)
@@ -135,6 +137,31 @@ func (s *System) Generation() uint64 {
 	s.upMu.Lock()
 	defer s.upMu.Unlock()
 	return s.gen
+}
+
+// LastCheckpoint returns the current generation and when this process last
+// committed it (the restore time for a loaded system). The zero time means
+// no checkpoint has happened in this process — the snapshot-freshness
+// health check treats that as "checkpointing not configured", not stale.
+func (s *System) LastCheckpoint() (uint64, time.Time) {
+	s.upMu.Lock()
+	defer s.upMu.Unlock()
+	return s.gen, s.lastCkpt
+}
+
+// WALProbe reports whether a write-ahead journal is attached and, if so,
+// whether it is still appendable (an unconditional fsync on the open
+// journal file). enabled=false with a nil error means durability is simply
+// not configured — the health check reports that as informational, not
+// failing.
+func (s *System) WALProbe() (enabled bool, err error) {
+	s.upMu.Lock()
+	w := s.wal
+	s.upMu.Unlock()
+	if w == nil {
+		return false, nil
+	}
+	return true, w.Probe()
 }
 
 // LoadSystem restores a system saved with Save, recovering to the exact
@@ -171,6 +198,7 @@ func LoadSystem(dir string, ctl *access.Controller) (*System, error) {
 		return nil, fmt.Errorf("eil: load %s: %w", dir, err)
 	}
 	sys.gen = gen
+	sys.lastCkpt = time.Now()
 
 	// Replay the journal tail: every operation acknowledged since the
 	// loaded generation committed. A torn tail (crash mid-append) is cut
@@ -345,7 +373,7 @@ func (s *System) EnableWAL(dir string, syncEvery int) error {
 			return fmt.Errorf("eil: enable wal: %w", err)
 		}
 	}
-	opts := durable.WALOptions{SyncEvery: syncEvery, Metrics: s.Metrics}
+	opts := durable.WALOptions{FS: s.WALFS, SyncEvery: syncEvery, Metrics: s.Metrics}
 	var w *durable.WAL
 	if rep, rerr := durable.ReplayWAL(dir, durable.WALOptions{}); rerr == nil && rep.Base == s.gen {
 		w, err = durable.OpenWAL(dir, opts)

@@ -1,0 +1,157 @@
+package eil
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/health"
+	"repro/internal/runtimetel"
+	"repro/internal/slo"
+)
+
+// HealthOptions tunes the component checks NewHealth registers.
+type HealthOptions struct {
+	// Collector, when set, supplies the runtime watermark readings
+	// (goroutines, heap); without one the goroutine check falls back to
+	// runtime.NumGoroutine and the heap check is skipped.
+	Collector *runtimetel.Collector
+	// SnapshotInterval is the expected checkpoint cadence; the freshness
+	// check degrades when the last checkpoint is older than three times it.
+	// Zero disables the freshness check (manual-save deployments).
+	SnapshotInterval time.Duration
+	// MaxGoroutines is the goroutine watermark (0 = 10000).
+	MaxGoroutines int
+	// MaxHeapBytes is the heap-live watermark (0 disables the heap check).
+	MaxHeapBytes uint64
+}
+
+// NewHealth builds the system's readiness registry: the component checks
+// /readyz evaluates on every poll. Criticality mirrors what each failure
+// means for traffic — a missing index or dead journal makes answers wrong
+// or lossy (critical, "unready"), while an open breaker or stale snapshot
+// means the resilience envelope is already serving reduced answers
+// (non-critical, "degraded" — still a 503 so load balancers drain the
+// instance, but the verdict names the softer state).
+func (s *System) NewHealth(opts HealthOptions) *health.Registry {
+	reg := health.NewRegistry(s.Metrics)
+	if opts.MaxGoroutines <= 0 {
+		opts.MaxGoroutines = 10000
+	}
+
+	reg.Register("index", true, func() health.Result {
+		if s.Index == nil {
+			return health.Failedf("no index attached")
+		}
+		return health.OKf("%d docs, epoch %d", s.Index.DocCount(), s.Index.Generation())
+	})
+
+	for _, backend := range []string{core.BackendSynopsis, core.BackendSIAPI} {
+		backend := backend
+		reg.Register("breaker:"+backend, false, func() health.Result {
+			if s.Engine == nil {
+				return health.OKf("no engine")
+			}
+			switch state := s.Engine.BreakerState(backend); state {
+			case "open":
+				return health.Degradedf("circuit open; searches degrade around %s", backend)
+			case "half-open":
+				return health.Degradedf("circuit half-open; probing %s", backend)
+			default:
+				return health.OKf("closed")
+			}
+		})
+	}
+
+	reg.Register("wal", true, func() health.Result {
+		enabled, err := s.WALProbe()
+		if !enabled {
+			return health.OKf("journal not configured")
+		}
+		if err != nil {
+			return health.Failedf("journal not appendable: %v", err)
+		}
+		return health.OKf("appendable")
+	})
+
+	reg.Register("snapshots", false, func() health.Result {
+		gen, at := s.LastCheckpoint()
+		if opts.SnapshotInterval <= 0 || at.IsZero() {
+			return health.OKf("gen %d; periodic checkpointing not configured", gen)
+		}
+		age := time.Since(at)
+		if age > 3*opts.SnapshotInterval {
+			return health.Degradedf("gen %d is %s old (expected every %s)", gen, age.Round(time.Second), opts.SnapshotInterval)
+		}
+		return health.OKf("gen %d, %s old", gen, age.Round(time.Second))
+	})
+
+	reg.Register("goroutines", false, func() health.Result {
+		n := runtime.NumGoroutine()
+		if opts.Collector != nil {
+			if smp, ok := opts.Collector.Latest(); ok {
+				n = smp.Goroutines
+			}
+		}
+		if n > opts.MaxGoroutines {
+			return health.Degradedf("%d goroutines (watermark %d); likely a leak", n, opts.MaxGoroutines)
+		}
+		return health.OKf("%d goroutines", n)
+	})
+
+	if opts.MaxHeapBytes > 0 && opts.Collector != nil {
+		reg.Register("heap", false, func() health.Result {
+			smp, ok := opts.Collector.Latest()
+			if !ok {
+				return health.OKf("no sample yet")
+			}
+			if smp.HeapLiveBytes > opts.MaxHeapBytes {
+				return health.Degradedf("heap live %d bytes over watermark %d", smp.HeapLiveBytes, opts.MaxHeapBytes)
+			}
+			return health.OKf("heap live %d bytes", smp.HeapLiveBytes)
+		})
+	}
+
+	return reg
+}
+
+// AppSampler returns a runtimetel AppSampler that folds the application's
+// one-screen numbers into every runtime sample: aggregate QPS and p99 from
+// the HTTP middleware's overall histogram, the SLO engine's peak burn rate,
+// and how many circuit breakers are currently not closed. It also drives
+// the SLO engine's tick, so one goroutine (the collector's) paces the whole
+// judgment layer.
+func (s *System) AppSampler(sloEng *slo.Engine) func(prev, cur *runtimetel.Sample) {
+	return func(prev, cur *runtimetel.Sample) {
+		if sloEng != nil {
+			sloEng.Tick(cur.Time)
+		}
+		app := map[string]float64{}
+		if s.Metrics != nil {
+			h := s.Metrics.Histogram("http_requests_overall_seconds", nil)
+			count := float64(h.Count())
+			app["http_requests_total"] = count
+			app["http_p99_seconds"] = h.Quantile(0.99)
+			if prev != nil && prev.App != nil {
+				if dt := cur.Time.Sub(prev.Time).Seconds(); dt > 0 {
+					if d := count - prev.App["http_requests_total"]; d >= 0 {
+						app["qps"] = d / dt
+					}
+				}
+			}
+		}
+		if sloEng != nil {
+			app["slo_burn"] = sloEng.PeakBurn()
+		}
+		if s.Engine != nil {
+			open := 0.0
+			for _, b := range []string{core.BackendSynopsis, core.BackendSIAPI} {
+				if s.Engine.BreakerState(b) != "closed" {
+					open++
+				}
+			}
+			app["breakers_open"] = open
+		}
+		cur.App = app
+	}
+}
