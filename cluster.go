@@ -1,0 +1,563 @@
+package eil
+
+// Cluster is the sharded deployment of EIL: the corpus is partitioned by
+// hashed deal ID into N self-contained System shards (each with its own
+// index, synopsis store, and durability), and every query fans out through
+// a scatter-gather core.Engine coordinator. Because a deal's documents and
+// synopsis always live on the same shard, the sharded search produces the
+// same activity rankings as one monolithic System over the same corpus —
+// the differential suite in shard_test.go holds it to that.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/docmodel"
+	"repro/internal/durable"
+	"repro/internal/index"
+	"repro/internal/obs"
+	"repro/internal/qlog"
+	"repro/internal/siapi"
+	"repro/internal/synopsis"
+	"repro/internal/taxonomy"
+	"repro/internal/trace"
+)
+
+// Cluster is a sharded EIL instance ready to answer queries.
+type Cluster struct {
+	// Shards are the per-partition systems, in shard order. Their slots
+	// never change after construction; mutating methods route by the same
+	// hash the searches use.
+	Shards []*System
+	// Engine is the scatter-gather coordinator (core.Engine with
+	// ShardBackends attached); ablations and resilience config tune it
+	// directly.
+	Engine   *core.Engine
+	Taxonomy *taxonomy.Taxonomy
+	Access   *access.Controller
+	// QueryLog, when set, records every search and its outcome.
+	QueryLog *qlog.Log
+	// Metrics is the one registry every shard and the coordinator record
+	// into — per-shard series carry the "shard" label.
+	Metrics *obs.Registry
+	Tracer  *trace.Tracer
+	// SnapshotKeep is propagated to every shard's snapshot store.
+	SnapshotKeep int
+}
+
+// shardName returns the canonical name of shard i, used for breaker keys,
+// metric labels, and snapshot subdirectories.
+func shardName(i int) string { return fmt.Sprintf("shard-%d", i) }
+
+// shardDir returns shard i's snapshot directory under the cluster root.
+func shardDir(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d", i))
+}
+
+// clusterManifestName is the cluster-level manifest file naming the shard
+// count; each shard keeps its own durable snapshot store underneath.
+const clusterManifestName = "cluster.json"
+
+// clusterManifestFormat versions the manifest payload.
+const clusterManifestFormat = 1
+
+type clusterManifest struct {
+	Format int `json:"format"`
+	Shards int `json:"shards"`
+}
+
+// IngestSharded runs the offline pipeline once per shard: documents are
+// partitioned by hashed deal ID (deal-less documents by path), each
+// partition is ingested in parallel into its own System, and the returned
+// Cluster's coordinator engine fans searches out across them. All shards
+// share one metrics registry, tracer, access controller, and directory.
+func IngestSharded(docs []*docmodel.Document, n int, opts Options) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("eil: shard count %d < 1", n)
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = obs.NewRegistry()
+	}
+	parts := make([][]*docmodel.Document, n)
+	for _, d := range docs {
+		i := core.ShardForDoc(d.DealID, d.Path, n)
+		parts[i] = append(parts[i], d)
+	}
+	// Split the worker budget across the parallel shard ingests so the
+	// total annotator parallelism stays what the caller asked for.
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	perShard := workers / n
+	if perShard < 1 {
+		perShard = 1
+	}
+	shards := make([]*System, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sopts := opts
+			sopts.Workers = perShard
+			shards[i], errs[i] = Ingest(parts[i], sopts)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("eil: shard %d: %w", i, err)
+		}
+	}
+	return newCluster(shards, opts.Access, opts.Metrics, opts.Tracer, opts.DisableScoping), nil
+}
+
+// IngestShardedFrom is IngestSharded reading from any CollectionReader.
+// Partitioning needs every document's deal ID before the first shard
+// pipeline starts, so the reader is drained up front — sharded ingest
+// trades the streaming pipeline's memory profile for parallelism.
+func IngestShardedFrom(reader analysis.CollectionReader, n int, opts Options) (*Cluster, error) {
+	var docs []*docmodel.Document
+	for {
+		d, err := reader.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("eil: read: %w", err)
+		}
+		if d == nil {
+			break
+		}
+		docs = append(docs, d)
+	}
+	return IngestSharded(docs, n, opts)
+}
+
+// newCluster wires N ingested or restored shard systems into a serving
+// cluster: one coordinator engine whose ShardBackends read each shard's
+// live (compaction-swappable) document engine.
+func newCluster(shards []*System, ctl *access.Controller, metrics *obs.Registry, tracer *trace.Tracer, disableScoping bool) *Cluster {
+	backends := make([]core.ShardBackend, len(shards))
+	for i, s := range shards {
+		backends[i] = core.ShardBackend{
+			Name:     shardName(i),
+			Synopses: s.Synopses,
+			Docs:     s.siapi,
+		}
+	}
+	c := &Cluster{
+		Shards:   shards,
+		Taxonomy: shards[0].Taxonomy,
+		Access:   ctl,
+		Metrics:  metrics,
+		Tracer:   tracer,
+	}
+	c.Engine = &core.Engine{
+		Access:         ctl,
+		Tax:            c.Taxonomy,
+		DisableScoping: disableScoping,
+		Metrics:        metrics,
+		Shards:         backends,
+	}
+	return c
+}
+
+// Registry returns the shared metrics registry (the web layer's Backend
+// surface).
+func (c *Cluster) Registry() *obs.Registry { return c.Metrics }
+
+// RequestTracer returns the request tracer, nil when tracing is off.
+func (c *Cluster) RequestTracer() *trace.Tracer { return c.Tracer }
+
+// Log returns the query log, nil when logging is off.
+func (c *Cluster) Log() *qlog.Log { return c.QueryLog }
+
+// CoreEngine returns the coordinator engine (the dashboard's per-shard
+// breaker view).
+func (c *Cluster) CoreEngine() *core.Engine { return c.Engine }
+
+// Search runs a business-activity driven search across every shard.
+func (c *Cluster) Search(user access.User, q core.FormQuery) (core.Result, error) {
+	return c.SearchCtx(context.Background(), user, q)
+}
+
+// SearchCtx is Search under the caller's context.
+func (c *Cluster) SearchCtx(ctx context.Context, user access.User, q core.FormQuery) (core.Result, error) {
+	t := obs.StartTimer()
+	res, err := c.Engine.SearchCtx(ctx, user, q)
+	c.logForm(ctx, user, q, res, err, t.Elapsed())
+	return res, err
+}
+
+// SearchExplain runs the scatter-gather search in explain mode: the span
+// tree carries one child span per shard under each scatter stage.
+func (c *Cluster) SearchExplain(ctx context.Context, user access.User, q core.FormQuery) (core.Result, *core.Explanation, error) {
+	t := obs.StartTimer()
+	res, ex, err := c.Engine.SearchExplain(ctx, user, q)
+	c.logForm(ctx, user, q, res, err, t.Elapsed())
+	return res, ex, err
+}
+
+func (c *Cluster) logForm(ctx context.Context, user access.User, q core.FormQuery, res core.Result, err error, latency time.Duration) {
+	if err != nil || c.QueryLog == nil {
+		return
+	}
+	c.QueryLog.Record(qlog.Entry{
+		User:       user.ID,
+		Kind:       qlog.KindForm,
+		Summary:    formSummary(q),
+		Concepts:   formConcepts(q),
+		Activities: len(res.Activities),
+		Fallback:   res.UnscopedFallback,
+		Latency:    latency,
+		TraceID:    trace.ID(ctx),
+	})
+}
+
+// epoch joins every shard's index generation; it keys stats-scored cache
+// entries on the shards so a write anywhere invalidates them.
+func (c *Cluster) epoch() string {
+	var b []byte
+	for i, s := range c.Shards {
+		if i > 0 {
+			b = append(b, '-')
+		}
+		b = fmt.Appendf(b, "%d", s.siapi().Generation())
+	}
+	return string(b)
+}
+
+// keywordStats scatters stats collection for the keyword query and merges;
+// a shard that fails to report simply scores its own hits locally (the
+// keyword baseline has no degraded flag to set).
+func (c *Cluster) keywordStats(ctx context.Context, kq siapi.Query) *index.Stats {
+	outs := make([]*index.Stats, len(c.Shards))
+	var wg sync.WaitGroup
+	for i, s := range c.Shards {
+		wg.Add(1)
+		go func(i int, s *System) {
+			defer wg.Done()
+			outs[i], _ = s.siapi().TryCollectStatsCtx(ctx, kq)
+		}(i, s)
+	}
+	wg.Wait()
+	var merged *index.Stats
+	for _, st := range outs {
+		if st == nil {
+			continue
+		}
+		if merged == nil {
+			merged = st
+		} else {
+			merged.Merge(st)
+		}
+	}
+	return merged
+}
+
+// KeywordSearch is the search-box baseline over the whole cluster.
+func (c *Cluster) KeywordSearch(query string, limit int) []siapi.DocHit {
+	return c.KeywordSearchCtx(context.Background(), query, limit)
+}
+
+// KeywordSearchCtx scatters the keyword query with merged cluster-global
+// statistics, so each document's score is what the monolithic index would
+// assign, and merges the per-shard pages into one ranking (score
+// descending, ties by path).
+func (c *Cluster) KeywordSearchCtx(ctx context.Context, query string, limit int) []siapi.DocHit {
+	kq := siapi.ParseKeywords(query)
+	t := obs.StartTimer()
+	epoch := c.epoch()
+	st := c.keywordStats(ctx, kq)
+	pages := make([][]siapi.DocHit, len(c.Shards))
+	var wg sync.WaitGroup
+	for i, s := range c.Shards {
+		wg.Add(1)
+		go func(i int, s *System) {
+			defer wg.Done()
+			pages[i], _ = s.siapi().TrySearchStatsCtx(ctx, kq, limit, st, epoch)
+		}(i, s)
+	}
+	wg.Wait()
+	var hits []siapi.DocHit
+	for _, p := range pages {
+		hits = append(hits, p...)
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Path < hits[j].Path
+	})
+	if limit > 0 && len(hits) > limit {
+		hits = hits[:limit]
+	}
+	latency := t.Elapsed()
+	if c.QueryLog != nil {
+		c.QueryLog.Record(qlog.Entry{
+			Kind:       qlog.KindKeyword,
+			Summary:    query,
+			Activities: c.keywordCount(kq),
+			Latency:    latency,
+			TraceID:    trace.ID(ctx),
+		})
+	}
+	return hits
+}
+
+// KeywordCount sums the per-shard match counts (partitions are disjoint).
+func (c *Cluster) KeywordCount(query string) int {
+	return c.keywordCount(siapi.ParseKeywords(query))
+}
+
+func (c *Cluster) keywordCount(kq siapi.Query) int {
+	total := 0
+	for _, s := range c.Shards {
+		total += s.siapi().Count(kq)
+	}
+	return total
+}
+
+// shardFor returns the shard system owning dealID.
+func (c *Cluster) shardFor(dealID string) *System {
+	return c.Shards[core.ShardFor(dealID, len(c.Shards))]
+}
+
+// Deal fetches one deal synopsis from its owning shard, subject to the
+// user's access level.
+func (c *Cluster) Deal(user access.User, dealID string) (synopsis.Deal, error) {
+	if c.Access != nil && !c.Access.CanSeeSynopsis(user, dealID) {
+		return synopsis.Deal{}, fmt.Errorf("%w: %s", synopsis.ErrNotFound, dealID)
+	}
+	return c.shardFor(dealID).Synopses.Get(dealID)
+}
+
+// Explore searches within one activity's documents on its owning shard,
+// scored against cluster-global statistics.
+func (c *Cluster) Explore(user access.User, dealID string, q core.FormQuery) ([]siapi.DocHit, error) {
+	return c.ExploreCtx(context.Background(), user, dealID, q)
+}
+
+// ExploreCtx is Explore under the caller's context.
+func (c *Cluster) ExploreCtx(ctx context.Context, user access.User, dealID string, q core.FormQuery) ([]siapi.DocHit, error) {
+	return c.Engine.ExploreCtx(ctx, user, dealID, q)
+}
+
+// SimilarDeals fetches the reference deal from its owning shard, scatters
+// the similarity scan to every shard, and merges the per-shard rankings —
+// similarity is pairwise against the reference, so the merged top-k equals
+// the monolithic ranking. Results are filtered to activities the user may
+// at least see synopses of.
+func (c *Cluster) SimilarDeals(user access.User, dealID string, k int) ([]synopsis.SimilarHit, error) {
+	if c.Access != nil && !c.Access.CanSeeSynopsis(user, dealID) {
+		return nil, fmt.Errorf("%w: %s", synopsis.ErrNotFound, dealID)
+	}
+	ref, err := c.shardFor(dealID).Synopses.Get(dealID)
+	if err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		k = 5
+	}
+	pages := make([][]synopsis.SimilarHit, len(c.Shards))
+	errs := make([]error, len(c.Shards))
+	var wg sync.WaitGroup
+	for i, s := range c.Shards {
+		wg.Add(1)
+		go func(i int, s *System) {
+			defer wg.Done()
+			pages[i], errs[i] = s.Synopses.SimilarTo(ref, k)
+		}(i, s)
+	}
+	wg.Wait()
+	var hits []synopsis.SimilarHit
+	for i, page := range pages {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		hits = append(hits, page...)
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].DealID < hits[j].DealID
+	})
+	if c.Access != nil {
+		visible := hits[:0]
+		for _, h := range hits {
+			if c.Access.CanSeeSynopsis(user, h.DealID) {
+				visible = append(visible, h)
+			}
+		}
+		hits = visible
+	}
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits, nil
+}
+
+// AddDocuments splits the batch by shard and applies each sub-batch to its
+// owning shard. Sub-batches are independent (disjoint deals), so a failure
+// in one shard leaves the others' sub-batches fully applied; the error
+// names the failing shard.
+func (c *Cluster) AddDocuments(docs []*docmodel.Document) error {
+	n := len(c.Shards)
+	parts := make([][]*docmodel.Document, n)
+	for _, d := range docs {
+		i := core.ShardForDoc(d.DealID, d.Path, n)
+		parts[i] = append(parts[i], d)
+	}
+	for i, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		if err := c.Shards[i].AddDocuments(part); err != nil {
+			return fmt.Errorf("eil: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// RemoveDeal withdraws an activity from its owning shard.
+func (c *Cluster) RemoveDeal(dealID string) error {
+	return c.shardFor(dealID).RemoveDeal(dealID)
+}
+
+// Compact rebuilds every shard's index without tombstones. Each swap is
+// atomic per shard; searches during Compact see each shard either before
+// or after its swap, both of which answer identically.
+func (c *Cluster) Compact() {
+	for _, s := range c.Shards {
+		s.Compact()
+	}
+}
+
+// Generations reports each shard's committed snapshot generation.
+func (c *Cluster) Generations() []uint64 {
+	out := make([]uint64, len(c.Shards))
+	for i, s := range c.Shards {
+		out[i] = s.Generation()
+	}
+	return out
+}
+
+// writeManifest persists the cluster manifest naming the shard count.
+func (c *Cluster) writeManifest(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("eil: save cluster: %w", err)
+	}
+	err := durable.WriteFileAtomic(nil, filepath.Join(dir, clusterManifestName), func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(clusterManifest{Format: clusterManifestFormat, Shards: len(c.Shards)})
+	})
+	if err != nil {
+		return fmt.Errorf("eil: save cluster: %w", err)
+	}
+	return nil
+}
+
+// Save persists the whole cluster under dir: the cluster manifest plus one
+// durable snapshot store per shard (shard-NNNN subdirectories).
+func (c *Cluster) Save(dir string) error {
+	_, err := c.Checkpoint(dir)
+	return err
+}
+
+// Checkpoint is Save returning each shard's committed generation. Shards
+// checkpoint independently; a failure aborts with the earlier shards
+// already committed (their stores are self-consistent — LoadCluster loads
+// each shard's last committed generation).
+func (c *Cluster) Checkpoint(dir string) ([]uint64, error) {
+	if err := c.writeManifest(dir); err != nil {
+		return nil, err
+	}
+	gens := make([]uint64, len(c.Shards))
+	for i, s := range c.Shards {
+		s.SnapshotKeep = c.SnapshotKeep
+		gen, err := s.Checkpoint(shardDir(dir, i))
+		if err != nil {
+			return nil, fmt.Errorf("eil: shard %d: %w", i, err)
+		}
+		gens[i] = gen
+	}
+	return gens, nil
+}
+
+// EnableWAL attaches a write-ahead journal to every shard, rooted in its
+// snapshot subdirectory, so cluster updates are crash-durable per shard.
+func (c *Cluster) EnableWAL(dir string, syncEvery int) error {
+	if err := c.writeManifest(dir); err != nil {
+		return err
+	}
+	for i, s := range c.Shards {
+		if err := s.EnableWAL(shardDir(dir, i), syncEvery); err != nil {
+			return fmt.Errorf("eil: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CloseWAL detaches every shard's journal.
+func (c *Cluster) CloseWAL() error {
+	var first error
+	for i, s := range c.Shards {
+		if err := s.CloseWAL(); err != nil && first == nil {
+			first = fmt.Errorf("eil: shard %d: %w", i, err)
+		}
+	}
+	return first
+}
+
+// LoadCluster restores a cluster saved with Save: the manifest names the
+// shard count, and each shard recovers independently (last good snapshot
+// generation plus its journal tail). All shards share one fresh metrics
+// registry; the access controller is supplied by the caller.
+func LoadCluster(dir string, ctl *access.Controller) (*Cluster, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, clusterManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("eil: load cluster %s: %w", dir, err)
+	}
+	var m clusterManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("eil: load cluster %s: %w", dir, err)
+	}
+	if m.Format != clusterManifestFormat {
+		return nil, fmt.Errorf("eil: load cluster %s: unsupported manifest format %d", dir, m.Format)
+	}
+	if m.Shards < 1 {
+		return nil, errors.New("eil: load cluster: manifest names no shards")
+	}
+	metrics := obs.NewRegistry()
+	shards := make([]*System, m.Shards)
+	for i := range shards {
+		sys, err := loadSystemWith(shardDir(dir, i), ctl, metrics)
+		if err != nil {
+			return nil, fmt.Errorf("eil: shard %d: %w", i, err)
+		}
+		shards[i] = sys
+	}
+	return newCluster(shards, ctl, metrics, nil, false), nil
+}
+
+// IsCluster reports whether dir holds a cluster (vs a single-system)
+// snapshot, so CLI tools can auto-detect the layout.
+func IsCluster(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, clusterManifestName))
+	return err == nil
+}

@@ -28,6 +28,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
@@ -61,7 +63,9 @@ type searchSummary struct {
 	QueriesPerSec float64 `json:"queries_per_sec"`
 	// Unavailable counts queries refused outright (no serving tier left) —
 	// nonzero only under fault injection.
-	Unavailable int     `json:"unavailable,omitempty"`
+	Unavailable int `json:"unavailable,omitempty"`
+	// Concurrency is the closed-loop worker count (0/absent = sequential).
+	Concurrency int     `json:"concurrency,omitempty"`
 	P50Seconds  float64 `json:"p50_seconds"`
 	P95Seconds  float64 `json:"p95_seconds"`
 	P99Seconds  float64 `json:"p99_seconds"`
@@ -93,6 +97,10 @@ type report struct {
 	GeneratedAt string `json:"generated_at"`
 	GoVersion   string `json:"go_version"`
 	GOMAXPROCS  int    `json:"gomaxprocs"`
+	// NumCPU is the host's logical CPU count. GOMAXPROCS above the CPU
+	// count only timeslices; the shard A/B's parallel speedup is bounded
+	// by this number, so a committed artifact is uninterpretable without it.
+	NumCPU int `json:"num_cpu"`
 
 	Ingest  ingestSummary  `json:"ingest"`
 	Search  searchSummary  `json:"search"`
@@ -117,6 +125,36 @@ type report struct {
 	// Telemetry is the -telemetry mode block: the A/B cost of running the
 	// runtime collector plus SLO evaluation alongside the search workload.
 	Telemetry *telemetrySummary `json:"telemetry,omitempty"`
+
+	// Shard is the -shards A/B block: the same varied workload against the
+	// monolithic engine and an N-shard scatter-gather cluster, at each
+	// requested concurrency.
+	Shard *shardSummary `json:"shard,omitempty"`
+}
+
+// shardSide is one engine's side of a shard A/B measurement.
+type shardSide struct {
+	QPS         float64 `json:"qps"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P95Seconds  float64 `json:"p95_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+	Unavailable int     `json:"unavailable,omitempty"`
+}
+
+// shardPair compares monolith vs sharded at one closed-loop concurrency.
+type shardPair struct {
+	Concurrency int       `json:"concurrency"`
+	Monolith    shardSide `json:"monolith"`
+	Sharded     shardSide `json:"sharded"`
+	// Speedup is sharded QPS over monolith QPS.
+	Speedup float64 `json:"speedup_qps"`
+}
+
+// shardSummary is the -shards report block.
+type shardSummary struct {
+	Shards  int         `json:"shards"`
+	Queries int         `json:"queries"`
+	Pairs   []shardPair `json:"pairs"`
 }
 
 // sloCompliance is the objective verdict over a measured workload.
@@ -222,6 +260,9 @@ func main() {
 		compare = flag.String("compare", "", "previous report JSON to diff against")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
 
+		shardN      = flag.Int("shards", 0, "run the shard A/B: monolithic engine vs N-shard scatter-gather over the same corpus and a varied low-cache-hit workload (adds the 'shard' report block)")
+		concurrency = flag.Int("concurrency", 1, "closed-loop workload workers; >1 runs a short untimed ramp, then N workers drain the query set")
+
 		chaos      = flag.Bool("chaos", false, "measure resilience: fault-free overhead, then availability/latency at 0/1/5%% injected fault rates")
 		durability = flag.Bool("durability", false, "measure durability: snapshot save/load, journaled-update throughput, crash recovery")
 		budget     = flag.Duration("search-budget", 2*time.Second, "search time budget used by -chaos and -fault-spec runs")
@@ -268,6 +309,7 @@ func main() {
 	var r report
 	r.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	r.GoVersion = runtime.Version()
+	r.NumCPU = runtime.NumCPU()
 
 	if *durability {
 		run, ds, err := durabilityBench(cfg)
@@ -292,7 +334,7 @@ func main() {
 		var runs []runReport
 		for _, p := range procList {
 			prev := runtime.GOMAXPROCS(p)
-			run, err := benchOnce(cfg, *queries, *budget, inj)
+			run, err := benchOnce(cfg, *queries, *budget, inj, *concurrency)
 			runtime.GOMAXPROCS(prev)
 			if err != nil {
 				log.Fatal(err)
@@ -327,6 +369,19 @@ func main() {
 			log.Fatal(err)
 		}
 		r.Telemetry = ts
+	}
+	if *shardN > 1 {
+		if runtime.NumCPU() < *shardN {
+			log.Printf("[shard] warning: %d shards on %d CPU(s) — the scatter timeslices instead of "+
+				"running in parallel, so the A/B measures overhead and locality, not parallel speedup", *shardN, runtime.NumCPU())
+		}
+		prev := runtime.GOMAXPROCS(procList[0])
+		ss, err := shardBench(cfg, *queries, *shardN, *concurrency)
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.Shard = ss
 	}
 
 	w := os.Stdout
@@ -369,10 +424,85 @@ func parseProcs(s string) ([]int, error) {
 	return out, nil
 }
 
+// closedLoop drives do(i) for i in [0, queries) across `workers`
+// goroutines: first an untimed sequential ramp over the opening slice of
+// the query set (caches and the scheduler settle), then the workers drain
+// a shared counter. do returns the query's latency (negative to exclude it
+// from the percentile set, e.g. keyword baseline calls) and whether the
+// query was refused outright.
+func closedLoop(queries, workers int, do func(i int) (time.Duration, bool, error)) (wall time.Duration, lats []time.Duration, unavailable int, err error) {
+	ramp := queries / 10
+	if ramp > 50 {
+		ramp = 50
+	}
+	for i := 0; i < ramp; i++ {
+		if _, _, rerr := do(i); rerr != nil {
+			return 0, nil, 0, rerr
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next, refused atomic.Int64
+	perWorker := make([][]time.Duration, workers)
+	errs := make([]error, workers)
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= queries {
+					return
+				}
+				lat, ref, derr := do(i)
+				if derr != nil {
+					errs[w] = derr
+					return
+				}
+				if ref {
+					refused.Add(1)
+				}
+				if lat >= 0 {
+					perWorker[w] = append(perWorker[w], lat)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall = time.Since(t0)
+	for _, e := range errs {
+		if e != nil {
+			return wall, nil, 0, e
+		}
+	}
+	for _, l := range perWorker {
+		lats = append(lats, l...)
+	}
+	return wall, lats, int(refused.Load()), nil
+}
+
+// latQuantile reports the q-quantile of a latency sample.
+func latQuantile(lats []time.Duration, q float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lats...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[int(q*float64(len(s)-1))].Seconds()
+}
+
 // benchOnce generates the corpus, ingests it, and runs the query workload at
 // the current GOMAXPROCS. A non-nil injector runs the workload under fault
 // injection with the resilience envelope (budget, 3 retries) enabled.
-func benchOnce(cfg synth.Config, queries int, budget time.Duration, inj *fault.Injector) (runReport, error) {
+// concurrency > 1 switches the workload to a closed loop of that many
+// workers (percentiles then come from per-query wall times, and the
+// per-stage trace breakdown is skipped — stage spans overlap under
+// contention).
+func benchOnce(cfg synth.Config, queries int, budget time.Duration, inj *fault.Injector, concurrency int) (runReport, error) {
 	var run runReport
 	run.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	log.Printf("[procs=%d] generating %d deals x ~%d docs...", run.GOMAXPROCS, cfg.Deals, cfg.NoiseDocsPerDeal)
@@ -422,34 +552,73 @@ func benchOnce(cfg synth.Config, queries int, budget time.Duration, inj *fault.I
 		return err
 	}
 
-	searchWall := obs.StartTimer()
-	var formN, keywordN int
-	for i := 0; i < queries; i++ {
+	mix := func(i int) core.FormQuery {
 		switch i % 4 {
 		case 0:
-			err = formQuery(core.FormQuery{Tower: towers[i%len(towers)]})
+			return core.FormQuery{Tower: towers[i%len(towers)]}
 		case 1:
-			err = formQuery(core.FormQuery{
+			return core.FormQuery{
 				Tower:       towers[i%len(towers)],
 				ExactPhrase: phrases[i%len(phrases)],
-			})
-		case 2:
-			err = formQuery(core.FormQuery{AnyWords: []string{"replication", "outsourcing"}})
-		case 3:
-			sys.KeywordSearch(fmt.Sprintf("%q", phrases[i%len(phrases)]), 20)
-			keywordN++
-			continue
-		}
-		if err != nil {
-			if inj != nil && core.IsUnavailable(err) {
-				run.Search.Unavailable++
-				continue // injected outage with no serving tier left
 			}
-			return run, err
+		default:
+			return core.FormQuery{AnyWords: []string{"replication", "outsourcing"}}
 		}
-		formN++
 	}
-	searchElapsed := searchWall.Elapsed()
+
+	var formN, keywordN int
+	var searchElapsed time.Duration
+	var conLats []time.Duration
+	if concurrency > 1 {
+		wall, lats, refused, lerr := closedLoop(queries, concurrency, func(i int) (time.Duration, bool, error) {
+			if i%4 == 3 {
+				sys.KeywordSearch(fmt.Sprintf("%q", phrases[i%len(phrases)]), 20)
+				return -1, false, nil
+			}
+			t0 := time.Now()
+			_, serr := sys.SearchCtx(context.Background(), user, mix(i))
+			lat := time.Since(t0)
+			if serr != nil {
+				if inj != nil && core.IsUnavailable(serr) {
+					return lat, true, nil
+				}
+				return lat, false, serr
+			}
+			return lat, false, nil
+		})
+		if lerr != nil {
+			return run, lerr
+		}
+		searchElapsed, conLats = wall, lats
+		run.Search.Unavailable = refused
+		run.Search.Concurrency = concurrency
+		for i := 0; i < queries; i++ {
+			if i%4 == 3 {
+				keywordN++
+			} else {
+				formN++
+			}
+		}
+		formN -= refused
+	} else {
+		searchWall := obs.StartTimer()
+		for i := 0; i < queries; i++ {
+			if i%4 == 3 {
+				sys.KeywordSearch(fmt.Sprintf("%q", phrases[i%len(phrases)]), 20)
+				keywordN++
+				continue
+			}
+			if err := formQuery(mix(i)); err != nil {
+				if inj != nil && core.IsUnavailable(err) {
+					run.Search.Unavailable++
+					continue // injected outage with no serving tier left
+				}
+				return run, err
+			}
+			formN++
+		}
+		searchElapsed = searchWall.Elapsed()
+	}
 
 	run.Ingest.Docs = sys.Stats.Docs
 	run.Ingest.Deals = cfg.Deals
@@ -461,10 +630,16 @@ func benchOnce(cfg synth.Config, queries int, budget time.Duration, inj *fault.I
 	run.Search.KeywordHits = keywordN
 	run.Search.WallSeconds = searchElapsed.Seconds()
 	run.Search.QueriesPerSec = float64(queries) / searchElapsed.Seconds()
-	h := sys.Metrics.Histogram("search_seconds", nil)
-	run.Search.P50Seconds = h.Quantile(0.50)
-	run.Search.P95Seconds = h.Quantile(0.95)
-	run.Search.P99Seconds = h.Quantile(0.99)
+	if conLats != nil {
+		run.Search.P50Seconds = latQuantile(conLats, 0.50)
+		run.Search.P95Seconds = latQuantile(conLats, 0.95)
+		run.Search.P99Seconds = latQuantile(conLats, 0.99)
+	} else {
+		h := sys.Metrics.Histogram("search_seconds", nil)
+		run.Search.P50Seconds = h.Quantile(0.50)
+		run.Search.P95Seconds = h.Quantile(0.95)
+		run.Search.P99Seconds = h.Quantile(0.99)
+	}
 	run.Search.Stages = map[string]stageSummary{}
 	for name, total := range stageTotals {
 		n := stageCounts[name]
@@ -492,7 +667,7 @@ var chaosFaultRates = []float64{0, 0.01, 0.05}
 // engine so breaker state and per-engine caches never leak between
 // scenarios.
 func chaosBench(cfg synth.Config, queries int, budget time.Duration, seed uint64) (runReport, *chaosSummary, error) {
-	run, err := benchOnce(cfg, queries, budget, nil)
+	run, err := benchOnce(cfg, queries, budget, nil, 1)
 	if err != nil {
 		return run, nil, err
 	}
@@ -540,16 +715,6 @@ func chaosBench(cfg synth.Config, queries int, budget time.Duration, seed uint64
 		}
 		return lats, ok, degraded, unavail, nil
 	}
-	quantile := func(lats []time.Duration, q float64) float64 {
-		if len(lats) == 0 {
-			return 0
-		}
-		s := append([]time.Duration(nil), lats...)
-		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-		i := int(q * float64(len(s)-1))
-		return s[i].Seconds()
-	}
-
 	cs := &chaosSummary{BudgetSeconds: budget.Seconds(), MaxRetries: 3}
 
 	// Overhead: plain vs resilience-enabled, both fault-free. A warmup pass
@@ -612,14 +777,117 @@ func chaosBench(cfg synth.Config, queries int, budget time.Duration, seed uint64
 			Unavailable:  unavail,
 			Availability: float64(queries-unavail) / float64(queries),
 			DegradedFrac: float64(degraded) / float64(queries),
-			P50Seconds:   quantile(lats, 0.50),
-			P99Seconds:   quantile(lats, 0.99),
+			P50Seconds:   latQuantile(lats, 0.50),
+			P99Seconds:   latQuantile(lats, 0.99),
 		}
 		cs.Scenarios = append(cs.Scenarios, sc)
 		log.Printf("[chaos] rate %.0f%%: availability %.4f, degraded %.1f%%, p50 %.3gms p99 %.3gms",
 			rate*100, sc.Availability, sc.DegradedFrac*100, sc.P50Seconds*1000, sc.P99Seconds*1000)
 	}
 	return run, cs, nil
+}
+
+// searcher is the SearchCtx surface shardBench drives against either a
+// monolithic System or a Cluster.
+type searcher interface {
+	SearchCtx(ctx context.Context, user access.User, q core.FormQuery) (core.Result, error)
+}
+
+// shardBenchWords cross with the taxonomy towers to give the shard A/B
+// ~500 distinct queries, so per-engine caches see a realistically low hit
+// rate and the comparison measures search work, not memoization.
+var shardBenchWords = []string{
+	"replication", "outsourcing", "migration", "backup", "recovery",
+	"network", "storage", "transition", "governance", "consolidation",
+}
+
+// shardBench ingests one corpus twice — monolithic and into n shards —
+// and drives the same varied form-query workload through both, closed
+// loop, at concurrency 1 and maxConc. The speedup it reports is only
+// meaningful because the workload is cache-hostile: on a repetitive
+// workload both engines serve from their memos and the comparison
+// flattens to cache-hit latency.
+func shardBench(cfg synth.Config, queries, n, maxConc int) (*shardSummary, error) {
+	log.Printf("[shard] generating %d deals x ~%d docs...", cfg.Deals, cfg.NoiseDocsPerDeal)
+	corpus, err := synth.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	mono, err := eil.Ingest(corpus.Docs, eil.Options{Directory: corpus.Directory})
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := eil.IngestSharded(corpus.Docs, n, eil.Options{Directory: corpus.Directory})
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("[shard] ingested %d docs monolithic and across %d shards", mono.Index.DocCount(), n)
+
+	towers := mono.Taxonomy.TowerNames()
+	user := access.User{ID: "bench"}
+	gen := func(i int) core.FormQuery {
+		tw := towers[i%len(towers)]
+		w1 := shardBenchWords[i%len(shardBenchWords)]
+		w2 := shardBenchWords[(i/7)%len(shardBenchWords)]
+		switch i % 4 {
+		case 0:
+			return core.FormQuery{Tower: tw, AllWords: []string{w1}}
+		case 1:
+			return core.FormQuery{Tower: tw, AnyWords: []string{w1, w2}}
+		case 2:
+			return core.FormQuery{AnyWords: []string{w1, w2}}
+		default:
+			return core.FormQuery{Tower: tw, ExactPhrase: w1 + " " + w2}
+		}
+	}
+	measure := func(s searcher, workers int) (shardSide, error) {
+		wall, lats, refused, err := closedLoop(queries, workers, func(i int) (time.Duration, bool, error) {
+			t0 := time.Now()
+			_, serr := s.SearchCtx(context.Background(), user, gen(i))
+			lat := time.Since(t0)
+			if serr != nil {
+				if core.IsUnavailable(serr) {
+					return lat, true, nil
+				}
+				return lat, false, serr
+			}
+			return lat, false, nil
+		})
+		if err != nil {
+			return shardSide{}, err
+		}
+		return shardSide{
+			QPS:         float64(queries) / wall.Seconds(),
+			P50Seconds:  latQuantile(lats, 0.50),
+			P95Seconds:  latQuantile(lats, 0.95),
+			P99Seconds:  latQuantile(lats, 0.99),
+			Unavailable: refused,
+		}, nil
+	}
+
+	ss := &shardSummary{Shards: n, Queries: queries}
+	concs := []int{1}
+	if maxConc > 1 {
+		concs = append(concs, maxConc)
+	}
+	for _, c := range concs {
+		m, err := measure(mono, c)
+		if err != nil {
+			return nil, err
+		}
+		sh, err := measure(cluster, c)
+		if err != nil {
+			return nil, err
+		}
+		pair := shardPair{Concurrency: c, Monolith: m, Sharded: sh}
+		if m.QPS > 0 {
+			pair.Speedup = sh.QPS / m.QPS
+		}
+		ss.Pairs = append(ss.Pairs, pair)
+		log.Printf("[shard] c=%d: monolith %.0f q/s (p50 %.3gms p99 %.3gms) -> %d shards %.0f q/s (p50 %.3gms p99 %.3gms), %.2fx",
+			c, m.QPS, m.P50Seconds*1000, m.P99Seconds*1000, n, sh.QPS, sh.P50Seconds*1000, sh.P99Seconds*1000, pair.Speedup)
+	}
+	return ss, nil
 }
 
 // telemetryBench measures what the judgment layer costs: the identical
@@ -916,6 +1184,13 @@ func printComparison(path string, cur report) error {
 	for _, run := range cur.Runs {
 		fmt.Fprintf(os.Stderr, "  [procs=%d run] ingest %.4g docs/sec, search %.4g q/s, p99 %.4gms\n",
 			run.GOMAXPROCS, run.Ingest.DocsPerSec, run.Search.QueriesPerSec, run.Search.P99Seconds*1000)
+	}
+	if cur.Shard != nil {
+		for _, p := range cur.Shard.Pairs {
+			fmt.Fprintf(os.Stderr, "  [shards=%d c=%d] monolith %.4g q/s p99 %.4gms -> sharded %.4g q/s p99 %.4gms (%.2fx)\n",
+				cur.Shard.Shards, p.Concurrency, p.Monolith.QPS, p.Monolith.P99Seconds*1000,
+				p.Sharded.QPS, p.Sharded.P99Seconds*1000, p.Speedup)
+		}
 	}
 	return nil
 }

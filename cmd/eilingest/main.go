@@ -34,6 +34,7 @@ func main() {
 		out        = flag.String("out", "eilsys", "system output directory")
 		personnel  = flag.String("personnel", "", "personnel directory file (default: <repo>/personnel.jsonl when present)")
 		workers    = flag.Int("workers", 0, "annotator and index-build parallelism (0 = GOMAXPROCS)")
+		shards     = flag.Int("shards", 1, "partition by hashed deal ID into N scatter-gather shards (eilserver auto-detects the cluster on load)")
 		blob       = flag.Bool("blob", false, "degrade to structure-blind parsing (the §3.3 ablation)")
 		threshold  = flag.Float64("scope-threshold", 0, "override the scope CPE significance threshold")
 		taxFile    = flag.String("taxonomy", "", "custom services taxonomy (JSON; default: built-in IT services vocabulary)")
@@ -101,6 +102,65 @@ func main() {
 	}
 	reader.Metrics = metrics
 	start := time.Now()
+
+	if *shards > 1 {
+		cluster, err := eil.IngestShardedFrom(reader, *shards, eil.Options{
+			Workers:        *workers,
+			Directory:      dir,
+			Taxonomy:       tax,
+			BlobParsing:    *blob,
+			Dedup:          *dedup,
+			MinScopeWeight: *threshold,
+			Metrics:        metrics,
+			Tracer:         tracer,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if reader.Skipped() > 0 {
+			log.Printf("skipped %d unparseable files", reader.Skipped())
+			for _, s := range reader.SkippedFiles() {
+				log.Printf("  skip %s: %v", s.Path, s.Err)
+			}
+		}
+		docs, deals, annotations, failed := 0, 0, 0, 0
+		for i, s := range cluster.Shards {
+			ids, err := s.Synopses.DealIDs()
+			if err != nil {
+				log.Fatal(err)
+			}
+			docs += s.Index.DocCount()
+			deals += len(ids)
+			annotations += s.Stats.Annotations
+			failed += s.Stats.Failed
+			if *stats {
+				log.Printf("  shard %d: %d documents, %d deals", i, s.Index.DocCount(), len(ids))
+			}
+		}
+		if failed > 0 {
+			log.Printf("warning: %d documents failed analysis", failed)
+		}
+		if *metricsOut != "" {
+			if err := writeMetrics(metrics, *metricsOut); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote metrics snapshot to %s", *metricsOut)
+		}
+		if *traceOut != "" && tracer != nil {
+			if err := dumpTraces(tracer, *traceOut); err != nil {
+				log.Fatal(err)
+			}
+		}
+		cluster.SnapshotKeep = *snapKeep
+		gens, err := cluster.Checkpoint(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("ingested %d documents (%d annotations) across %d business activities into %d shards in %v; saved to %s (generations %v)",
+			docs, annotations, deals, *shards, time.Since(start).Round(time.Millisecond), *out, gens)
+		return
+	}
+
 	sys, err := eil.IngestFrom(reader, eil.Options{
 		Workers:        *workers,
 		Directory:      dir,
@@ -137,14 +197,7 @@ func main() {
 		}
 	}
 	if *metricsOut != "" {
-		f, err := os.Create(*metricsOut)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := sys.Metrics.WriteJSON(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := writeMetrics(sys.Metrics, *metricsOut); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("wrote metrics snapshot to %s", *metricsOut)
@@ -166,6 +219,19 @@ func main() {
 	log.Printf("ingested %d documents (%d annotations) across %d business activities in %v (%.0f docs/sec); saved to %s (generation %d)",
 		sys.Index.DocCount(), sys.Stats.Annotations, len(ids), time.Since(start).Round(time.Millisecond),
 		sys.Stats.DocsPerSec(), *out, gen)
+}
+
+// writeMetrics writes the registry's JSON snapshot to path.
+func writeMetrics(metrics *obs.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := metrics.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // dumpTraces writes every retained trace — the recent ring plus the slowest

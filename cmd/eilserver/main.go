@@ -30,6 +30,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"log/slog"
 	"net/http"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/health"
 	"repro/internal/qlog"
 	"repro/internal/runtimetel"
 	"repro/internal/slo"
@@ -50,6 +52,24 @@ import (
 	"repro/internal/web"
 )
 
+// backend abstracts the serving surface over a single System or an N-shard
+// Cluster: the web.Backend routes plus the lifecycle hooks main drives.
+type backend interface {
+	web.Backend
+	NewHealth(opts eil.HealthOptions) *health.Registry
+	AppSampler(sloEng *slo.Engine) func(prev, cur *runtimetel.Sample)
+	EnableWAL(dir string, syncEvery int) error
+	CloseWAL() error
+}
+
+func clusterDocCount(c *eil.Cluster) int {
+	total := 0
+	for _, s := range c.Shards {
+		total += s.Index.DocCount()
+	}
+	return total
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("eilserver: ")
@@ -57,6 +77,7 @@ func main() {
 		sysDir    = flag.String("sys", "eilsys", "system directory written by eilingest")
 		addr      = flag.String("addr", ":8080", "listen address")
 		demo      = flag.Bool("demo", false, "ignore -sys; generate and ingest a demo corpus")
+		shards    = flag.Int("shards", 1, "partition the demo corpus into N scatter-gather shards (persisted directories carry their own shard count)")
 		secure    = flag.Bool("access-control", false, "enforce role-based access (default: everyone sees everything)")
 		logCap    = flag.Int("querylog", 1024, "query-log capacity (0 disables; summary at /api/qlog)")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -112,9 +133,26 @@ func main() {
 		})
 	}
 
-	var sys *eil.System
-	var err error
-	if *demo {
+	var (
+		sys     *eil.System
+		cluster *eil.Cluster
+		err     error
+	)
+	switch {
+	case *demo && *shards > 1:
+		log.Printf("generating demo corpus...")
+		corpus, gerr := synth.Generate(synth.SmallConfig())
+		if gerr != nil {
+			log.Fatal(gerr)
+		}
+		start := time.Now()
+		cluster, err = eil.IngestSharded(corpus.Docs, *shards, eil.Options{Directory: corpus.Directory, Access: ctl, Tracer: tracer})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("ingested %d documents into %d shards in %v",
+			clusterDocCount(cluster), *shards, time.Since(start).Round(time.Millisecond))
+	case *demo:
 		log.Printf("generating demo corpus...")
 		corpus, gerr := synth.Generate(synth.SmallConfig())
 		if gerr != nil {
@@ -127,7 +165,18 @@ func main() {
 		}
 		log.Printf("ingested %d documents in %v (%.0f docs/sec)",
 			sys.Index.DocCount(), time.Since(start).Round(time.Millisecond), sys.Stats.DocsPerSec())
-	} else {
+	case eil.IsCluster(*sysDir):
+		cluster, err = eil.LoadCluster(*sysDir, ctl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cluster.Tracer = tracer
+		log.Printf("loaded %d documents from %d-shard cluster %s",
+			clusterDocCount(cluster), len(cluster.Shards), *sysDir)
+	default:
+		if *shards > 1 {
+			log.Printf("note: -shards ignored; %s holds a single-system snapshot", *sysDir)
+		}
 		sys, err = eil.LoadSystem(*sysDir, ctl)
 		if err != nil {
 			log.Fatal(err)
@@ -136,26 +185,56 @@ func main() {
 		sys.Tracer = tracer
 		log.Printf("loaded %d documents from %s", sys.Index.DocCount(), *sysDir)
 	}
+	var be backend
+	if cluster != nil {
+		be = cluster
+	} else {
+		be = sys
+	}
 	if tracer != nil {
 		log.Printf("tracing 1 in %d requests (debug surfaces at /debug/traces)", *traceSample)
 	}
 
 	if *logCap > 0 {
-		sys.QueryLog = qlog.New(*logCap)
+		if cluster != nil {
+			cluster.QueryLog = qlog.New(*logCap)
+		} else {
+			sys.QueryLog = qlog.New(*logCap)
+		}
 	}
 
-	sys.SnapshotKeep = *snapKeep
+	// checkpoint commits the current state to -sys: one generation for a
+	// single system, one per shard (plus the manifest) for a cluster.
+	checkpoint := func() (string, error) {
+		if cluster != nil {
+			gens, err := cluster.Checkpoint(*sysDir)
+			return fmt.Sprintf("generations %v", gens), err
+		}
+		gen, err := sys.Checkpoint(*sysDir)
+		return fmt.Sprintf("generation %d", gen), err
+	}
+
+	if cluster != nil {
+		cluster.SnapshotKeep = *snapKeep
+	} else {
+		sys.SnapshotKeep = *snapKeep
+	}
 	if *walOn {
 		// EnableWAL checkpoints first when -sys has no snapshot matching the
 		// in-memory state, so this also bootstraps the store in -demo mode.
-		if err := sys.EnableWAL(*sysDir, *walSync); err != nil {
+		if err := be.EnableWAL(*sysDir, *walSync); err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("write-ahead journal enabled in %s (generation %d)", *sysDir, sys.Generation())
+		if cluster != nil {
+			log.Printf("write-ahead journals enabled in %s (generations %v)", *sysDir, cluster.Generations())
+		} else {
+			log.Printf("write-ahead journal enabled in %s (generation %d)", *sysDir, sys.Generation())
+		}
 	}
 
+	eng := be.CoreEngine()
 	if *budget > 0 || *retries != 1 {
-		sys.Engine.Resilient = core.Resilience{Budget: *budget, MaxRetries: *retries}
+		eng.Resilient = core.Resilience{Budget: *budget, MaxRetries: *retries}
 		log.Printf("search budget %v, %d retries per backend call", *budget, *retries)
 	}
 	if *faultSpec != "" {
@@ -163,7 +242,7 @@ func main() {
 		if ferr != nil {
 			log.Fatal(ferr)
 		}
-		sys.Engine.Faults = inj
+		eng.Faults = inj
 		log.Printf("WARNING: fault injection active (seed %d): %s", *faultSeed, *faultSpec)
 	}
 
@@ -171,9 +250,9 @@ func main() {
 	// checks behind /readyz, and the runtime collector whose sample ring
 	// backs /debug/dash. The collector's tick drives the SLO engine; with
 	// the collector disabled the engine gets its own ticker below.
-	runtimetel.SetBuildInfo(sys.Metrics)
+	runtimetel.SetBuildInfo(be.Registry())
 	sloEng := slo.New(slo.Options{
-		Registry: sys.Metrics,
+		Registry: be.Registry(),
 		Default:  slo.Objective{Availability: *sloAvail, LatencyP99: *sloP99},
 		Interval: *telInterval,
 	})
@@ -181,14 +260,14 @@ func main() {
 	if *telInterval > 0 {
 		collector = runtimetel.New(runtimetel.Options{
 			Interval:   *telInterval,
-			Registry:   sys.Metrics,
-			AppSampler: sys.AppSampler(sloEng),
+			Registry:   be.Registry(),
+			AppSampler: be.AppSampler(sloEng),
 		})
 		collector.Start()
 		defer collector.Stop()
 		log.Printf("runtime telemetry every %v (dashboard at /debug/dash)", *telInterval)
 	}
-	checks := sys.NewHealth(eil.HealthOptions{
+	checks := be.NewHealth(eil.HealthOptions{
 		Collector:        collector,
 		SnapshotInterval: *snapInterval,
 		MaxGoroutines:    *maxGoros,
@@ -207,7 +286,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           web.Handler(sys, opts...),
+		Handler:           web.HandlerFor(be, opts...),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -228,12 +307,12 @@ func main() {
 				case <-ctx.Done():
 					return
 				case <-tick.C:
-					gen, err := sys.Checkpoint(*sysDir)
+					desc, err := checkpoint()
 					if err != nil {
 						log.Printf("snapshot: %v", err)
 						continue
 					}
-					log.Printf("snapshot committed: generation %d", gen)
+					log.Printf("snapshot committed: %s", desc)
 				}
 			}
 		}()
@@ -260,12 +339,12 @@ func main() {
 		if *walOn || *snapInterval > 0 {
 			// Fold journaled operations into a final generation so the next
 			// start loads a clean snapshot instead of replaying.
-			if gen, err := sys.Checkpoint(*sysDir); err != nil {
+			if desc, err := checkpoint(); err != nil {
 				log.Printf("final snapshot: %v", err)
 			} else {
-				log.Printf("final snapshot committed: generation %d", gen)
+				log.Printf("final snapshot committed: %s", desc)
 			}
-			if err := sys.CloseWAL(); err != nil {
+			if err := be.CloseWAL(); err != nil {
 				log.Printf("close journal: %v", err)
 			}
 		}

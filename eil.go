@@ -153,6 +153,21 @@ func (s *System) siapi() *siapi.Engine {
 	return s.SIAPI
 }
 
+// LiveSIAPI returns the live (compaction-swappable) keyword engine.
+func (s *System) LiveSIAPI() *siapi.Engine { return s.siapi() }
+
+// Registry returns the metrics registry (the web layer's Backend surface).
+func (s *System) Registry() *obs.Registry { return s.Metrics }
+
+// RequestTracer returns the request tracer, nil when tracing is off.
+func (s *System) RequestTracer() *trace.Tracer { return s.Tracer }
+
+// Log returns the query log, nil when logging is off.
+func (s *System) Log() *qlog.Log { return s.QueryLog }
+
+// CoreEngine returns the search engine (the dashboard's breaker view).
+func (s *System) CoreEngine() *core.Engine { return s.Engine }
+
 // Ingest runs the offline pipeline (Data Acquisition already done by the
 // caller: docs are parsed) over the documents: document-level annotators in
 // parallel, then the collection processing engines, populating the semantic

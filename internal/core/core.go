@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/fault"
+	"repro/internal/index"
 	"repro/internal/lru"
 	"repro/internal/obs"
 	"repro/internal/siapi"
@@ -157,12 +158,28 @@ type Engine struct {
 	// the first swap.
 	docs atomic.Pointer[siapi.Engine]
 
+	// Shards, when non-empty, turns this engine into a scatter-gather
+	// coordinator over N self-contained shards: Synopses and Docs are
+	// ignored and every search fans out per shard (see shard.go). The
+	// slice must not change after the first search.
+	Shards []ShardBackend
+
 	// synMemo lazily memoizes synopsis query results keyed on the store's
 	// generation counter (see memo.go).
 	synOnce sync.Once
 	synMemo *lru.Cache[string, []synopsis.Hit]
-	// breakers holds the lazily built per-backend circuit breakers.
-	brOnce   sync.Once
+	// statsOnce/statsMemo memoize merged cluster scoring stats per
+	// compiled query + cluster epoch (sharded search only; see shard.go).
+	statsOnce sync.Once
+	statsMemo *lru.Cache[string, *index.Stats]
+	// synShardMemos holds one synopsis memo per shard: each shard's store
+	// has its own generation counter, and an lru.Cache tracks exactly one
+	// epoch, so shards cannot share a cache without cross-flushing.
+	synShardOnce  sync.Once
+	synShardMemos []*lru.Cache[string, []synopsis.Hit]
+	// breakers holds the lazily built per-key circuit breakers; brMu
+	// guards the map, not the breakers (each has its own lock).
+	brMu     sync.Mutex
 	breakers map[string]*breaker
 }
 
@@ -182,6 +199,7 @@ func (e *Engine) Derive() *Engine {
 		Metrics:        e.Metrics,
 		Resilient:      e.Resilient,
 		Faults:         e.Faults,
+		Shards:         e.Shards,
 	}
 }
 
@@ -262,6 +280,9 @@ func (e *Engine) SearchCtx(ctx context.Context, user access.User, q FormQuery) (
 }
 
 func (e *Engine) search(ctx context.Context, user access.User, q FormQuery) (Result, error) {
+	if len(e.Shards) > 0 {
+		return e.searchSharded(ctx, user, q)
+	}
 	var res Result
 	// Resilience envelope: the search budget becomes a context deadline
 	// that every backend attempt slices (see resilience.go), and an
@@ -362,18 +383,12 @@ func (e *Engine) search(ctx context.Context, user access.User, q FormQuery) (Res
 		}
 	}
 
-	type combined struct {
-		syn float64
-		doc float64
-		tws []string
-		dcs []siapi.DocHit
-	}
-	acts := map[string]*combined{}
+	acts := map[string]*combinedAct{}
 
 	addSyn := func(h synopsis.Hit) {
 		c := acts[h.DealID]
 		if c == nil {
-			c = &combined{}
+			c = &combinedAct{}
 			acts[h.DealID] = c
 		}
 		if maxSyn > 0 {
@@ -459,7 +474,7 @@ func (e *Engine) search(ctx context.Context, user access.User, q FormQuery) (Res
 			return res, err
 		}
 		for _, da := range docActs {
-			acts[da.DealID] = &combined{doc: da.Score, dcs: da.Docs}
+			acts[da.DealID] = &combinedAct{doc: da.Score, dcs: da.Docs}
 		}
 		res.UnscopedFallback = true
 		if synDown {
@@ -471,31 +486,108 @@ func (e *Engine) search(ctx context.Context, user access.User, q FormQuery) (Res
 		return res, nil
 	}
 
+	e.finishSearch(ctx, user, q, &res, acts, degrade)
+	return res, nil
+}
+
+// combinedAct accumulates one activity's rank components across stages:
+// the normalized synopsis score, the normalized document score, the
+// matched towers, and the per-activity document hits.
+type combinedAct struct {
+	syn float64
+	doc float64
+	tws []string
+	dcs []siapi.DocHit
+}
+
+// activityWorse reports whether a ranks strictly below b: lower combined
+// score, or equal score and higher deal ID. It is the strict total order
+// behind both the full sort and the bounded top-k heap, so limited and
+// unlimited searches agree exactly.
+func activityWorse(a, b *Activity) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.DealID > b.DealID
+}
+
+// topKActivities ranks activities by descending combined score (ties by
+// ascending deal ID). A positive limit selects the top-k through a
+// bounded worst-at-root min-heap — the coordinator-side merge of the
+// sharded search — without sorting the full candidate set; the selected
+// prefix is identical to sort-then-truncate.
+func topKActivities(all []Activity, limit int) []Activity {
+	if limit <= 0 || len(all) <= limit {
+		sort.Slice(all, func(i, j int) bool { return activityWorse(&all[j], &all[i]) })
+		return all
+	}
+	h := make([]Activity, 0, limit)
+	for i := range all {
+		if len(h) < limit {
+			h = append(h, all[i])
+			for c := len(h) - 1; c > 0; {
+				parent := (c - 1) / 2
+				if !activityWorse(&h[c], &h[parent]) {
+					break
+				}
+				h[c], h[parent] = h[parent], h[c]
+				c = parent
+			}
+			continue
+		}
+		if !activityWorse(&h[0], &all[i]) {
+			continue
+		}
+		h[0] = all[i]
+		for c := 0; ; {
+			worst := c
+			if l := 2*c + 1; l < len(h) && activityWorse(&h[l], &h[worst]) {
+				worst = l
+			}
+			if r := 2*c + 2; r < len(h) && activityWorse(&h[r], &h[worst]) {
+				worst = r
+			}
+			if worst == c {
+				break
+			}
+			h[c], h[worst] = h[worst], h[c]
+			c = worst
+		}
+	}
+	sort.Slice(h, func(i, j int) bool { return activityWorse(&h[j], &h[i]) })
+	return h
+}
+
+// synopsesFor returns the synopsis store owning dealID: the single store
+// on a monolithic engine, the owning shard's on a sharded one.
+func (e *Engine) synopsesFor(dealID string) *synopsis.Store {
+	if len(e.Shards) == 0 {
+		return e.Synopses
+	}
+	return e.Shards[ShardFor(dealID, len(e.Shards))].Synopses
+}
+
+// finishSearch runs the last two Figure-1 stages shared by the monolithic
+// and sharded paths: rank combination with bounded top-k selection (step
+// 18) and per-activity access filtering (step 19).
+func (e *Engine) finishSearch(ctx context.Context, user access.User, q FormQuery, res *Result, acts map[string]*combinedAct, degrade func(cause string, err error)) {
 	// Step 18: rank by the combined score.
 	merge := obs.StartTimer()
 	_, msp := trace.StartSpan(ctx, "search.combine")
 	sw, dw := e.weights()
+	all := make([]Activity, 0, len(acts))
 	for dealID, c := range acts {
-		a := Activity{
+		all = append(all, Activity{
 			DealID:        dealID,
 			SynopsisScore: c.syn,
 			DocScore:      c.doc,
 			Score:         sw*c.syn + dw*c.doc,
 			MatchedTowers: c.tws,
 			Docs:          c.dcs,
-		}
-		res.Activities = append(res.Activities, a)
+		})
 	}
-	sort.Slice(res.Activities, func(i, j int) bool {
-		if res.Activities[i].Score != res.Activities[j].Score {
-			return res.Activities[i].Score > res.Activities[j].Score
-		}
-		return res.Activities[i].DealID < res.Activities[j].DealID
-	})
-	ranked := len(res.Activities)
-	if q.Limit > 0 && len(res.Activities) > q.Limit {
-		res.Activities = res.Activities[:q.Limit]
-	}
+	ranked := len(all)
+	res.Activities = topKActivities(all, q.Limit)
 	if msp != nil {
 		msp.SetInt("combined", ranked)
 		msp.SetBool("limit_truncated", ranked > len(res.Activities))
@@ -541,7 +633,7 @@ func (e *Engine) search(ctx context.Context, user access.User, q FormQuery) (Res
 			a.Docs = nil // synopsis-plus-contacts fallback
 			synopsisOnly++
 		}
-		deal, err := e.Synopses.Get(a.DealID)
+		deal, err := e.synopsesFor(a.DealID).Get(a.DealID)
 		if err == nil {
 			a.Synopsis = &deal
 		}
@@ -555,7 +647,6 @@ func (e *Engine) search(ctx context.Context, user access.User, q FormQuery) (Res
 	}
 	res.Activities = out
 	e.observeStage(ctx, StageAccess, filter.Elapsed())
-	return res, nil
 }
 
 // composeSynopsisQuery resolves concept criteria through the taxonomy and
@@ -658,6 +749,9 @@ func (e *Engine) ExploreCtx(ctx context.Context, user access.User, dealID string
 	}
 	if e.Faults != nil {
 		ctx = fault.With(ctx, e.Faults)
+	}
+	if len(e.Shards) > 0 {
+		return e.exploreSharded(ctx, dealID, dq, limit)
 	}
 	return resilientCall(ctx, e, BackendSIAPI, func(c context.Context) ([]siapi.DocHit, error) {
 		return e.backend().TrySearchCtx(c, dq, limit)

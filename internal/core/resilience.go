@@ -190,22 +190,45 @@ const (
 // resilience returns the engine's config with defaults filled.
 func (e *Engine) resilience() Resilience { return e.Resilient.withDefaults() }
 
-// breakerFor lazily creates the named backend's breaker.
+// breakerFor lazily creates the named backend's breaker. Keys are open
+// ended: the monolithic engine uses the backend names alone, the sharded
+// engine one "<backend>#<shard>" breaker per shard, so one dead shard
+// trips only its own circuit.
 func (e *Engine) breakerFor(backend string) *breaker {
-	e.brOnce.Do(func() {
-		r := e.resilience()
-		e.breakers = map[string]*breaker{
-			BackendSynopsis: newBreaker(r),
-			BackendSIAPI:    newBreaker(r),
-		}
-	})
-	return e.breakers[backend]
+	e.brMu.Lock()
+	defer e.brMu.Unlock()
+	if e.breakers == nil {
+		e.breakers = map[string]*breaker{}
+	}
+	b, ok := e.breakers[backend]
+	if !ok {
+		b = newBreaker(e.resilience())
+		e.breakers[backend] = b
+	}
+	return b
 }
 
 // BreakerState reports the named backend's breaker state ("closed", "open",
 // or "half-open") — chaos tests and the debug surfaces read it.
 func (e *Engine) BreakerState(backend string) string {
 	return e.breakerFor(backend).State()
+}
+
+// shardBreakerName is the breaker/metric key for one backend hop of one
+// shard.
+func shardBreakerName(backend, shard string) string {
+	return backend + "#" + shard
+}
+
+// ShardBreakerStates reports every shard's breaker state for one backend
+// hop, keyed by shard name — the per-shard health checks read it.
+func (e *Engine) ShardBreakerStates(backend string) map[string]string {
+	out := make(map[string]string, len(e.Shards))
+	for i := range e.Shards {
+		name := e.Shards[i].Name
+		out[name] = e.BreakerState(shardBreakerName(backend, name))
+	}
+	return out
 }
 
 // resilientCall runs one idempotent backend call under the engine's

@@ -35,12 +35,12 @@ func (PrefixQuery) isQuery() {}
 // maxPrefixExpansions bounds dictionary expansion for prefix leaves.
 const maxPrefixExpansions = 64
 
-// evalPrefix expands the prefix against the dictionary and evaluates the
-// union at full term scores.
-func (ix *Index) evalPrefix(q PrefixQuery) *acc {
-	out := ix.getAcc()
+// prefixCandidates enumerates the dictionary terms a prefix leaf expands
+// to, sorted shorter-first (they carry the most postings mass) and capped.
+// Callers must hold at least a read lock.
+func (ix *Index) prefixCandidates(q PrefixQuery) []string {
 	if q.Prefix == "" {
-		return out
+		return nil
 	}
 	var terms []string
 	for key := range ix.postings {
@@ -54,7 +54,7 @@ func (ix *Index) evalPrefix(q PrefixQuery) *acc {
 			terms = append(terms, key.term)
 		}
 	}
-	// Shorter terms first on the cap (they carry the most postings mass).
+	// Shorter terms first on the cap.
 	for i := 1; i < len(terms); i++ {
 		for j := i; j > 0 && (len(terms[j]) < len(terms[j-1]) ||
 			(len(terms[j]) == len(terms[j-1]) && terms[j] < terms[j-1])); j-- {
@@ -64,8 +64,27 @@ func (ix *Index) evalPrefix(q PrefixQuery) *acc {
 	if len(terms) > maxPrefixExpansions {
 		terms = terms[:maxPrefixExpansions]
 	}
+	return terms
+}
+
+// evalPrefix expands the prefix against the dictionary and evaluates the
+// union at full term scores. When st carries a merged expansion for this
+// leaf (sharded search), that global list replaces local enumeration so
+// every shard evaluates the same terms the monolith would.
+func (ix *Index) evalPrefix(q PrefixQuery, st *Stats) *acc {
+	out := ix.getAcc()
+	var terms []string
+	if st != nil {
+		if exp, ok := st.PrefixExp[prefixLeafKey(q)]; ok {
+			terms = exp
+		} else {
+			terms = ix.prefixCandidates(q)
+		}
+	} else {
+		terms = ix.prefixCandidates(q)
+	}
 	for _, term := range terms {
-		m := ix.evalTerm(q.Field, term)
+		m := ix.evalTerm(q.Field, term, st)
 		for _, id := range m.ids {
 			if m.member[id] {
 				out.addMax(id, m.scores[id])
@@ -76,19 +95,15 @@ func (ix *Index) evalPrefix(q PrefixQuery) *acc {
 	return out
 }
 
-// evalFuzzy expands the query term against the dictionary and evaluates the
-// union. Scores are the underlying term scores scaled down by edit distance
-// (exact-distance-1 matches count 60%, distance-2 matches 35%).
-func (ix *Index) evalFuzzy(q FuzzyQuery) *acc {
+// fuzzyCandidates enumerates the dictionary terms within edit distance of
+// a fuzzy leaf, sorted closest-first and capped. Callers must hold at
+// least a read lock.
+func (ix *Index) fuzzyCandidates(q FuzzyQuery) []TermDist {
 	maxDist := q.MaxDist
 	if maxDist <= 0 {
 		maxDist = 1
 	}
-	type cand struct {
-		term string
-		dist int
-	}
-	var cands []cand
+	var cands []TermDist
 	for key := range ix.postings {
 		if key.field != q.Field {
 			continue
@@ -101,28 +116,46 @@ func (ix *Index) evalFuzzy(q FuzzyQuery) *acc {
 		if !ok {
 			continue
 		}
-		cands = append(cands, cand{term: key.term, dist: d})
+		cands = append(cands, TermDist{Term: key.term, Dist: d})
 	}
 	// Prefer closer terms when capping.
 	for i := 1; i < len(cands); i++ {
-		for j := i; j > 0 && (cands[j].dist < cands[j-1].dist ||
-			(cands[j].dist == cands[j-1].dist && cands[j].term < cands[j-1].term)); j-- {
+		for j := i; j > 0 && (cands[j].Dist < cands[j-1].Dist ||
+			(cands[j].Dist == cands[j-1].Dist && cands[j].Term < cands[j-1].Term)); j-- {
 			cands[j], cands[j-1] = cands[j-1], cands[j]
 		}
 	}
 	if len(cands) > maxFuzzyExpansions {
 		cands = cands[:maxFuzzyExpansions]
 	}
+	return cands
+}
+
+// evalFuzzy expands the query term against the dictionary and evaluates the
+// union. Scores are the underlying term scores scaled down by edit distance
+// (exact-distance-1 matches count 60%, distance-2 matches 35%). When st
+// carries a merged expansion for this leaf, it replaces local enumeration.
+func (ix *Index) evalFuzzy(q FuzzyQuery, st *Stats) *acc {
+	var cands []TermDist
+	if st != nil {
+		if exp, ok := st.FuzzyExp[fuzzyLeafKey(q)]; ok {
+			cands = exp
+		} else {
+			cands = ix.fuzzyCandidates(q)
+		}
+	} else {
+		cands = ix.fuzzyCandidates(q)
+	}
 	out := ix.getAcc()
 	for _, c := range cands {
 		scale := 1.0
-		switch c.dist {
+		switch c.Dist {
 		case 1:
 			scale = 0.6
 		case 2:
 			scale = 0.35
 		}
-		m := ix.evalTerm(q.Field, c.term)
+		m := ix.evalTerm(q.Field, c.Term, st)
 		for _, id := range m.ids {
 			if m.member[id] {
 				out.addMax(id, m.scores[id]*scale)

@@ -164,6 +164,15 @@ func (ix *Index) Search(q Query, limit int) []Hit {
 // the bounded heap truncated the result set. Untraced contexts cost one
 // context lookup.
 func (ix *Index) SearchCtx(ctx context.Context, q Query, limit int) []Hit {
+	return ix.SearchStatsCtx(ctx, q, limit, nil)
+}
+
+// SearchStatsCtx is SearchCtx scoring against externally supplied global
+// statistics instead of this index's own: document frequencies, corpus
+// size, average field lengths, and fuzzy/prefix expansions come from st
+// where collected, so a shard of a partitioned corpus produces exactly
+// the scores the monolithic index would. st == nil scores locally.
+func (ix *Index) SearchStatsCtx(ctx context.Context, q Query, limit int, st *Stats) []Hit {
 	_, sp := trace.StartSpan(ctx, "index.search")
 	// Fault-injection boundary (site "index.search"): the index cannot
 	// surface errors, so injected faults here model a degraded — not dead —
@@ -178,7 +187,7 @@ func (ix *Index) SearchCtx(ctx context.Context, q Query, limit int) []Hit {
 		return nil
 	}
 	ix.mu.RLock()
-	a := ix.evalAcc(q)
+	a := ix.evalAcc(q, st)
 	ix.mu.RUnlock()
 	hits := collectHits(a, limit)
 	if keep := fault.Keep(ctx, fault.SiteIndexSearch, len(hits)); keep < len(hits) {
@@ -203,7 +212,7 @@ func (ix *Index) Count(q Query) int {
 		ix.mu.RUnlock()
 		return n
 	}
-	a := ix.evalAcc(q)
+	a := ix.evalAcc(q, nil)
 	ix.mu.RUnlock()
 	n := a.n
 	ix.putAcc(a)
@@ -284,20 +293,21 @@ func siftDown(h []Hit, i int) {
 	}
 }
 
-// evalAcc computes the scored match set for q. Callers must hold at least a
-// read lock and must return the accumulator to the pool.
-func (ix *Index) evalAcc(q Query) *acc {
+// evalAcc computes the scored match set for q, scoring against st when
+// non-nil. Callers must hold at least a read lock and must return the
+// accumulator to the pool.
+func (ix *Index) evalAcc(q Query, st *Stats) *acc {
 	switch t := q.(type) {
 	case TermQuery:
-		return ix.evalTerm(t.Field, t.Term)
+		return ix.evalTerm(t.Field, t.Term, st)
 	case PhraseQuery:
-		return ix.evalPhrase(t.Field, t.Terms)
+		return ix.evalPhrase(t.Field, t.Terms, st)
 	case BoolQuery:
-		return ix.evalBool(t)
+		return ix.evalBool(t, st)
 	case FuzzyQuery:
-		return ix.evalFuzzy(t)
+		return ix.evalFuzzy(t, st)
 	case PrefixQuery:
-		return ix.evalPrefix(t)
+		return ix.evalPrefix(t, st)
 	case AllQuery:
 		a := ix.getAcc()
 		for id := range ix.docs {
@@ -335,7 +345,7 @@ func (ix *Index) fieldStats(field string) (avgLen float64, docs int) {
 	return avgLen, docs
 }
 
-func (ix *Index) evalTerm(field, term string) *acc {
+func (ix *Index) evalTerm(field, term string, st *Stats) *acc {
 	a := ix.getAcc()
 	pl := ix.postings[fieldTerm{field, term}]
 	if pl == nil || pl.live == 0 {
@@ -343,6 +353,12 @@ func (ix *Index) evalTerm(field, term string) *acc {
 	}
 	avgLen, _ := ix.fieldStats(field)
 	df := pl.live
+	n := ix.liveDocs
+	if st != nil {
+		df = st.termDF(field, term, df)
+		n = st.LiveDocs
+		avgLen = st.fieldAvg(field)
+	}
 	fd := ix.fieldLens[field]
 	for i := range pl.entries {
 		p := &pl.entries[i]
@@ -350,18 +366,44 @@ func (ix *Index) evalTerm(field, term string) *acc {
 			continue
 		}
 		fl, w := fd.at(p.doc)
-		a.add(p.doc, w*bm25(len(p.positions), df, ix.liveDocs, fl, avgLen))
+		a.add(p.doc, w*bm25(len(p.positions), df, n, fl, avgLen))
 	}
 	return a
 }
 
-func (ix *Index) evalPhrase(field string, terms []string) *acc {
+func (ix *Index) evalPhrase(field string, terms []string, st *Stats) *acc {
 	switch len(terms) {
 	case 0:
 		return ix.getAcc()
 	case 1:
-		return ix.evalTerm(field, terms[0])
+		return ix.evalTerm(field, terms[0], st)
 	}
+	a := ix.evalPhraseCounts(field, terms)
+	if a.n == 0 {
+		return a
+	}
+	avgLen, _ := ix.fieldStats(field)
+	n := ix.liveDocs
+	df := a.n
+	if st != nil {
+		df = st.phraseDF(field, terms, df)
+		n = st.LiveDocs
+		avgLen = st.fieldAvg(field)
+	}
+	fd := ix.fieldLens[field]
+	for _, id := range a.ids {
+		tf := int(a.scores[id])
+		fl, w := fd.at(id)
+		a.scores[id] = phraseBoost * w * bm25(tf, df, n, fl, avgLen)
+	}
+	return a
+}
+
+// evalPhraseCounts runs the intersection pass of phrase evaluation: the
+// returned accumulator holds each matching document's phrase occurrence
+// count (not yet a score), and its n is the local phrase document
+// frequency. Callers rescale counts into BM25 or just read n.
+func (ix *Index) evalPhraseCounts(field string, terms []string) *acc {
 	a := ix.getAcc()
 	lists := make([]*postingList, len(terms))
 	for i, term := range terms {
@@ -395,17 +437,6 @@ func (ix *Index) evalPhrase(field string, terms []string) *acc {
 		if count := countPhrase(p0.positions, rest); count > 0 {
 			a.add(p0.doc, float64(count))
 		}
-	}
-	if a.n == 0 {
-		return a
-	}
-	avgLen, _ := ix.fieldStats(field)
-	fd := ix.fieldLens[field]
-	df := a.n
-	for _, id := range a.ids {
-		tf := int(a.scores[id])
-		fl, w := fd.at(id)
-		a.scores[id] = phraseBoost * w * bm25(tf, df, ix.liveDocs, fl, avgLen)
 	}
 	return a
 }
@@ -448,11 +479,11 @@ func containsPos(positions []uint32, want uint32) bool {
 	return i < len(positions) && positions[i] == want
 }
 
-func (ix *Index) evalBool(q BoolQuery) *acc {
+func (ix *Index) evalBool(q BoolQuery, st *Stats) *acc {
 	var a *acc
 	// Must clauses: intersection with score accumulation.
 	for _, sub := range q.Must {
-		m := ix.evalAcc(sub)
+		m := ix.evalAcc(sub, st)
 		if a == nil {
 			a = m
 			continue
@@ -477,7 +508,7 @@ func (ix *Index) evalBool(q BoolQuery) *acc {
 	if len(q.Should) > 0 {
 		union := ix.getAcc()
 		for _, sub := range q.Should {
-			m := ix.evalAcc(sub)
+			m := ix.evalAcc(sub, st)
 			for _, id := range m.ids {
 				if m.member[id] {
 					union.add(id, m.scores[id])
@@ -498,10 +529,10 @@ func (ix *Index) evalBool(q BoolQuery) *acc {
 	}
 	if a == nil {
 		// Only MustNot clauses: interpret as AllQuery minus exclusions.
-		a = ix.evalAcc(AllQuery{})
+		a = ix.evalAcc(AllQuery{}, st)
 	}
 	for _, sub := range q.MustNot {
-		m := ix.evalAcc(sub)
+		m := ix.evalAcc(sub, st)
 		for _, id := range m.ids {
 			if m.member[id] {
 				a.remove(id)

@@ -1,0 +1,214 @@
+package index
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/textproc"
+)
+
+// statsCorpus builds one document set whose terms overlap heavily across
+// shards, so local and global document frequencies genuinely differ.
+func statsCorpus() []Document {
+	bodies := []string{
+		"data replication between sites for storage management",
+		"storage array replication and disaster recovery drills",
+		"service desk staffing model with replication of tickets",
+		"asset management inventory replication overview",
+		"disaster recovery runbook for the storage tier",
+		"help desk consolidation and service catalog design",
+		"midrange server refresh with storage migration plan",
+		"storage capacity forecast and replication lag report",
+		"network redesign for the recovery data center",
+		"storage management services proposal for data services",
+		"replication topology diagram and failover notes",
+		"service level targets for the help desk and storage team",
+	}
+	docs := make([]Document, 0, len(bodies))
+	for i, body := range bodies {
+		deal := fmt.Sprintf("DEAL %02d", i%5)
+		docs = append(docs, Document{
+			ExtID: fmt.Sprintf("%s/doc%02d.txt", deal, i),
+			Fields: []Field{
+				{Name: "title", Text: fmt.Sprintf("Document %d", i)},
+				{Name: "body", Text: body},
+				{Name: "deal", Text: deal, Keyword: true},
+			},
+			Meta: map[string]string{"deal": deal},
+		})
+	}
+	return docs
+}
+
+// statsQueries covers every leaf type the evaluator has: terms, phrases,
+// booleans, deal-scoped conjunctions, fuzzy and prefix expansion.
+func statsQueries(an textproc.Analyzer) []Query {
+	term := func(word string) Query {
+		terms := an.Terms(word)
+		return TermQuery{Field: "body", Term: terms[0]}
+	}
+	phrase := func(words ...string) Query {
+		var terms []string
+		for _, w := range words {
+			terms = append(terms, an.Terms(w)...)
+		}
+		return PhraseQuery{Field: "body", Terms: terms}
+	}
+	return []Query{
+		term("replication"),
+		term("storage"),
+		phrase("disaster", "recovery"),
+		phrase("storage", "management"),
+		BoolQuery{
+			Should: []Query{term("replication"), term("desk")},
+		},
+		BoolQuery{
+			Must:    []Query{term("storage")},
+			MustNot: []Query{term("disaster")},
+		},
+		BoolQuery{
+			Must: []Query{
+				BoolQuery{Should: []Query{
+					TermQuery{Field: "deal", Term: KeywordTerm("DEAL 01")},
+					TermQuery{Field: "deal", Term: KeywordTerm("DEAL 03")},
+				}},
+				term("replication"),
+			},
+		},
+		FuzzyQuery{Field: "body", Term: "replicatoin", MaxDist: 2},
+		FuzzyQuery{Field: "body", Term: "storag", MaxDist: 1},
+		PrefixQuery{Field: "body", Prefix: "stor"},
+		PrefixQuery{Field: "body", Prefix: "re"},
+	}
+}
+
+// TestStatsShardedScoringMatchesMonolith is the scoring-parity foundation
+// of the sharded engine: the same corpus split across three indexes,
+// searched with merged global stats, must reproduce the monolithic
+// index's scores bit-for-bit on every query shape.
+func TestStatsShardedScoringMatchesMonolith(t *testing.T) {
+	an := textproc.DefaultAnalyzer
+	docs := statsCorpus()
+
+	mono := New(an)
+	const nShards = 3
+	shards := make([]*Index, nShards)
+	for i := range shards {
+		shards[i] = New(an)
+	}
+	for i, d := range docs {
+		if _, err := mono.Add(d); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := shards[i%nShards].Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for qi, q := range statsQueries(an) {
+		want := map[string]float64{}
+		for _, h := range mono.Search(q, 0) {
+			ext, _ := mono.ExtID(h.Doc)
+			want[ext] = h.Score
+		}
+
+		// Phase one: scatter stats collection, merge in arbitrary order.
+		merged := shards[2].CollectStats(q)
+		merged.Merge(shards[0].CollectStats(q))
+		merged.Merge(shards[1].CollectStats(q))
+
+		// Phase two: scatter the search with global stats.
+		got := map[string]float64{}
+		for _, sh := range shards {
+			for _, h := range sh.SearchStatsCtx(t.Context(), q, 0, merged) {
+				ext, _ := sh.ExtID(h.Doc)
+				got[ext] = h.Score
+			}
+		}
+
+		if len(got) != len(want) {
+			t.Errorf("query %d: sharded matched %d docs, monolith %d", qi, len(got), len(want))
+			continue
+		}
+		for ext, ws := range want {
+			gs, ok := got[ext]
+			if !ok {
+				t.Errorf("query %d: %s missing from sharded results", qi, ext)
+				continue
+			}
+			if gs != ws {
+				t.Errorf("query %d: %s score = %v sharded, %v monolith", qi, ext, gs, ws)
+			}
+		}
+	}
+}
+
+// TestStatsMergeAssociative checks that folding shard stats pairwise in
+// any order yields the same table — the property that lets the
+// coordinator merge results as they arrive.
+func TestStatsMergeAssociative(t *testing.T) {
+	an := textproc.DefaultAnalyzer
+	docs := statsCorpus()
+	shards := make([]*Index, 3)
+	for i := range shards {
+		shards[i] = New(an)
+	}
+	for i, d := range docs {
+		if _, err := shards[i%3].Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := BoolQuery{Should: []Query{
+		FuzzyQuery{Field: "body", Term: "storag", MaxDist: 1},
+		PrefixQuery{Field: "body", Prefix: "re"},
+		PhraseQuery{Field: "body", Terms: []string{"disast", "recoveri"}},
+	}}
+
+	orders := [][]int{{0, 1, 2}, {2, 0, 1}, {1, 2, 0}}
+	var results []*Stats
+	for _, ord := range orders {
+		acc := newStats()
+		for _, i := range ord {
+			acc.Merge(shards[i].CollectStats(q))
+		}
+		results = append(results, acc)
+	}
+	for i := 1; i < len(results); i++ {
+		a, b := results[0], results[i]
+		if a.LiveDocs != b.LiveDocs {
+			t.Fatalf("order %d: LiveDocs %d != %d", i, b.LiveDocs, a.LiveDocs)
+		}
+		for k, v := range a.TermDF {
+			if b.TermDF[k] != v {
+				t.Fatalf("order %d: TermDF[%v] %d != %d", i, k, b.TermDF[k], v)
+			}
+		}
+		for k, v := range a.PhraseDF {
+			if b.PhraseDF[k] != v {
+				t.Fatalf("order %d: PhraseDF[%q] %d != %d", i, k, b.PhraseDF[k], v)
+			}
+		}
+		for k, exp := range a.FuzzyExp {
+			o := b.FuzzyExp[k]
+			if len(o) != len(exp) {
+				t.Fatalf("order %d: FuzzyExp[%q] length %d != %d", i, k, len(o), len(exp))
+			}
+			for j := range exp {
+				if o[j] != exp[j] {
+					t.Fatalf("order %d: FuzzyExp[%q][%d] = %v, want %v", i, k, j, o[j], exp[j])
+				}
+			}
+		}
+		for k, exp := range a.PrefixExp {
+			o := b.PrefixExp[k]
+			if len(o) != len(exp) {
+				t.Fatalf("order %d: PrefixExp[%q] length %d != %d", i, k, len(o), len(exp))
+			}
+			for j := range exp {
+				if o[j] != exp[j] {
+					t.Fatalf("order %d: PrefixExp[%q][%d] = %q, want %q", i, k, j, o[j], exp[j])
+				}
+			}
+		}
+	}
+}

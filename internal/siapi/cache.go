@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/index"
 	"repro/internal/lru"
 	"repro/internal/obs"
 )
@@ -21,6 +22,11 @@ const (
 	searchCacheSize = 512
 	// countCacheSize bounds the match-count cache; entries are a single int.
 	countCacheSize = 1024
+	// snippetCacheSize bounds the per-(document, terms) snippet cache.
+	// Entries are one short string, but generating one re-tokenizes the
+	// whole document body, so a repeated query's presented page comes back
+	// for a few map lookups instead of ~a hundred tokenization passes.
+	snippetCacheSize = 8192
 )
 
 // SetMetrics routes cache hit/miss counters into reg (nil disables; the
@@ -61,10 +67,15 @@ func cacheKey(q Query, limit int) string {
 // the hit list (trace spans record it). Hit lists are copied on both sides
 // of the cache boundary so callers may mutate what they receive.
 func (e *Engine) cachedSearch(q Query, limit int, compute func() []DocHit) ([]DocHit, bool) {
+	return e.cachedSearchKey(cacheKey(q, limit), compute)
+}
+
+// cachedSearchKey is cachedSearch for a precomputed key — the sharded
+// path appends a cluster-stats epoch to the canonical query encoding.
+func (e *Engine) cachedSearchKey(key string, compute func() []DocHit) ([]DocHit, bool) {
 	if e.hitCache == nil {
 		return compute(), false
 	}
-	key := cacheKey(q, limit)
 	epoch := e.ix.Generation()
 	if hits, ok := e.hitCache.Get(key, epoch); ok {
 		e.cacheHits.Inc()
@@ -105,8 +116,37 @@ func cloneHits(hits []DocHit) []DocHit {
 	return out
 }
 
+// snippet returns the highlighted extract for doc against terms, memoized
+// per (document, terms) under the index generation. Strings are immutable,
+// so the cached value is shared without cloning.
+func (e *Engine) snippet(doc index.DocID, terms []string) string {
+	if e.snipCache == nil {
+		return e.ix.Snippet(doc, FieldBody, terms, snippetWidth)
+	}
+	var b strings.Builder
+	b.WriteString(strconv.FormatUint(uint64(doc), 10))
+	for _, t := range terms {
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(len(t)))
+		b.WriteByte(':')
+		b.WriteString(t)
+	}
+	key := b.String()
+	epoch := e.ix.Generation()
+	if s, ok := e.snipCache.Get(key, epoch); ok {
+		return s
+	}
+	s := e.ix.Snippet(doc, FieldBody, terms, snippetWidth)
+	e.snipCache.Put(key, epoch, s)
+	return s
+}
+
 func newHitCache() *lru.Cache[string, []DocHit] {
 	return lru.New[string, []DocHit](searchCacheSize)
+}
+
+func newSnippetCache() *lru.Cache[string, string] {
+	return lru.New[string, string](snippetCacheSize)
 }
 
 func newCountCache() *lru.Cache[string, int] {

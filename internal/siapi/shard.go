@@ -1,0 +1,39 @@
+package siapi
+
+// Sharded-search support: the two-phase global-statistics protocol needs
+// each shard's engine to expose stats collection, and the coordinator
+// needs a canonical query key and a per-shard generation to build its
+// cluster-wide cache epochs.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/index"
+)
+
+// Generation exposes the underlying index's mutation counter. The
+// coordinator joins every shard's generation into the cluster stats
+// epoch, so any write anywhere invalidates stats-scored cache entries.
+func (e *Engine) Generation() uint64 { return e.ix.Generation() }
+
+// Key returns the canonical injective encoding of q, for coordinator-side
+// memoization (the merged-stats cache). The sentinel limit keeps Key
+// disjoint from every Search and Count cache key.
+func Key(q Query) string { return cacheKey(q, -2) }
+
+// TryCollectStatsCtx collects this shard's contribution to the global
+// scoring statistics for q. It shares the "siapi.search" fault-injection
+// site with TrySearchCtx: a shard whose search backend is down fails
+// stats collection the same way, so the scatter path sees one consistent
+// failure per shard.
+func (e *Engine) TryCollectStatsCtx(ctx context.Context, q Query) (*index.Stats, error) {
+	if q.Empty() {
+		return nil, nil
+	}
+	if err := fault.Inject(ctx, fault.SiteSIAPISearch); err != nil {
+		return nil, fmt.Errorf("siapi: collect stats: %w", err)
+	}
+	return e.ix.CollectStats(e.Compile(q)), nil
+}

@@ -30,6 +30,9 @@ const (
 	FieldDeal  = "deal" // keyword field carrying the activity ID
 )
 
+// snippetWidth is the highlighted-extract length, in tokens.
+const snippetWidth = 30
+
 // Query is a SIAPI search request.
 type Query struct {
 	// All of these words must occur (in any target field).
@@ -106,6 +109,11 @@ type DocHit struct {
 	Title   string
 	Score   float64
 	Snippet string
+	// doc is the internal index document ID, kept so the activity path can
+	// generate snippets lazily — only for the documents that survive the
+	// per-deal cut, not for every scored candidate. Valid only within the
+	// engine that produced the hit.
+	doc index.DocID
 }
 
 // ActivityHit groups a search's documents by business activity, the
@@ -127,6 +135,7 @@ type Engine struct {
 	ix         *index.Index
 	hitCache   *lru.Cache[string, []DocHit]
 	countCache *lru.Cache[string, int]
+	snipCache  *lru.Cache[string, string]
 	// Cache telemetry; nil-safe no-ops until SetMetrics is called.
 	cacheHits   *obs.Counter
 	cacheMisses *obs.Counter
@@ -134,7 +143,7 @@ type Engine struct {
 
 // NewEngine wraps an index.
 func NewEngine(ix *index.Index) *Engine {
-	return &Engine{ix: ix, hitCache: newHitCache(), countCache: newCountCache()}
+	return &Engine{ix: ix, hitCache: newHitCache(), countCache: newCountCache(), snipCache: newSnippetCache()}
 }
 
 // Index exposes the wrapped index (the ingest pipeline writes through it).
@@ -264,6 +273,28 @@ func (e *Engine) SearchCtx(ctx context.Context, q Query, limit int) []DocHit {
 // unreachable OmniFind), and the error return is what the core resilience
 // layer retries, breaks, and degrades on. A healthy engine never errors.
 func (e *Engine) TrySearchCtx(ctx context.Context, q Query, limit int) ([]DocHit, error) {
+	return e.trySearch(ctx, q, limit, nil, "")
+}
+
+// TrySearchStatsCtx is TrySearchCtx scoring against merged cluster-global
+// statistics (see index.SearchStatsCtx). statsEpoch keys the result cache:
+// it must identify the cluster state the stats were collected at, so a
+// cached entry is only served while every shard is unchanged.
+func (e *Engine) TrySearchStatsCtx(ctx context.Context, q Query, limit int, st *index.Stats, statsEpoch string) ([]DocHit, error) {
+	return e.trySearch(ctx, q, limit, st, statsEpoch)
+}
+
+func (e *Engine) trySearch(ctx context.Context, q Query, limit int, st *index.Stats, statsEpoch string) ([]DocHit, error) {
+	return e.trySearchSnippets(ctx, q, limit, st, statsEpoch, true)
+}
+
+// trySearchSnippets is trySearch with snippet generation optional. A
+// snippet re-tokenizes the document body — by far the most expensive part
+// of materializing a hit — so the activity path, which scores every
+// matching document but presents only a handful per deal, asks for bare
+// hits and snippets just the survivors (see tryActivities). Bare and
+// snippeted hit lists cache under distinct keys.
+func (e *Engine) trySearchSnippets(ctx context.Context, q Query, limit int, st *index.Stats, statsEpoch string, withSnippets bool) ([]DocHit, error) {
 	if q.Empty() {
 		return nil, nil
 	}
@@ -271,8 +302,15 @@ func (e *Engine) TrySearchCtx(ctx context.Context, q Query, limit int) ([]DocHit
 		return nil, fmt.Errorf("siapi: search: %w", err)
 	}
 	sctx, sp := trace.StartSpan(ctx, "siapi.search")
-	hits, cached := e.cachedSearch(q, limit, func() []DocHit {
-		hits := e.ix.SearchCtx(sctx, e.Compile(q), limit)
+	key := cacheKey(q, limit)
+	if statsEpoch != "" {
+		key += "|s:" + statsEpoch
+	}
+	if !withSnippets {
+		key += "|bare"
+	}
+	hits, cached := e.cachedSearchKey(key, func() []DocHit {
+		hits := e.ix.SearchStatsCtx(sctx, e.Compile(q), limit, st)
 		terms := e.queryTerms(q)
 		out := make([]DocHit, 0, len(hits))
 		for _, h := range hits {
@@ -280,12 +318,17 @@ func (e *Engine) TrySearchCtx(ctx context.Context, q Query, limit int) ([]DocHit
 			if err != nil {
 				continue
 			}
+			snippet := ""
+			if withSnippets {
+				snippet = e.snippet(h.Doc, terms)
+			}
 			out = append(out, DocHit{
 				Path:    path,
 				DealID:  e.ix.Meta(h.Doc, "deal"),
 				Title:   e.ix.FieldText(h.Doc, FieldTitle),
 				Score:   h.Score,
-				Snippet: e.ix.Snippet(h.Doc, FieldBody, terms, 30),
+				Snippet: snippet,
+				doc:     h.Doc,
 			})
 		}
 		return out
@@ -329,8 +372,21 @@ func (e *Engine) SearchActivitiesCtx(ctx context.Context, q Query, perDeal int) 
 // TrySearchActivitiesCtx is SearchActivitiesCtx surfacing backend failure
 // for the core resilience layer.
 func (e *Engine) TrySearchActivitiesCtx(ctx context.Context, q Query, perDeal int) ([]ActivityHit, error) {
+	return e.tryActivities(ctx, q, perDeal, nil, "", true)
+}
+
+// TrySearchActivitiesRawCtx is the sharded scatter-gather variant: it
+// scores documents against merged cluster-global statistics and returns
+// raw per-activity average scores (no [0, 1] normalization), so the
+// coordinator can normalize once against the best activity across every
+// shard — exactly what the monolithic engine computes.
+func (e *Engine) TrySearchActivitiesRawCtx(ctx context.Context, q Query, perDeal int, st *index.Stats, statsEpoch string) ([]ActivityHit, error) {
+	return e.tryActivities(ctx, q, perDeal, st, statsEpoch, false)
+}
+
+func (e *Engine) tryActivities(ctx context.Context, q Query, perDeal int, st *index.Stats, statsEpoch string, normalize bool) ([]ActivityHit, error) {
 	ctx, sp := trace.StartSpan(ctx, "siapi.activities")
-	docs, err := e.TrySearchCtx(ctx, q, 0)
+	docs, err := e.trySearchSnippets(ctx, q, 0, st, statsEpoch, false)
 	if err != nil {
 		if sp != nil {
 			sp.Set("error", err.Error())
@@ -345,6 +401,7 @@ func (e *Engine) TrySearchActivitiesCtx(ctx context.Context, q Query, perDeal in
 		}
 		byDeal[d.DealID] = append(byDeal[d.DealID], d)
 	}
+	terms := e.queryTerms(q)
 	hits := make([]ActivityHit, 0, len(byDeal))
 	maxAvg := 0.0
 	for deal, ds := range byDeal {
@@ -359,10 +416,16 @@ func (e *Engine) TrySearchActivitiesCtx(ctx context.Context, q Query, perDeal in
 		if perDeal > 0 && len(ds) > perDeal {
 			ds = ds[:perDeal]
 		}
+		// Snippet only what will be presented: the activity average above
+		// is computed over every scored document, but only these survivors
+		// pay the re-tokenization cost.
+		for i := range ds {
+			ds[i].Snippet = e.snippet(ds[i].doc, terms)
+		}
 		hits = append(hits, ActivityHit{DealID: deal, Score: avg, Docs: ds})
 	}
 	// Normalize activity scores into [0, 1] relative to the best activity.
-	if maxAvg > 0 {
+	if normalize && maxAvg > 0 {
 		for i := range hits {
 			hits[i].Score /= maxAvg
 		}

@@ -23,16 +23,24 @@ type SimilarHit struct {
 // and sourcing advisor as tie-strengtheners. Deals with no tower overlap
 // are omitted.
 func (s *Store) Similar(dealID string, k int) ([]SimilarHit, error) {
-	if k <= 0 {
-		k = 5
-	}
 	ref, err := s.Get(dealID)
 	if err != nil {
 		return nil, err
 	}
+	return s.SimilarTo(ref, k)
+}
+
+// SimilarTo ranks this store's deals by similarity to a reference deal that
+// need not live in the store — the sharded cluster fetches the reference
+// from its owning shard, scatters SimilarTo to every shard, and merges the
+// per-shard rankings.
+func (s *Store) SimilarTo(ref Deal, k int) ([]SimilarHit, error) {
+	if k <= 0 {
+		k = 5
+	}
 	refVec := towerVector(ref)
 	if len(refVec) == 0 {
-		return nil, fmt.Errorf("synopsis: %s has no scope towers to compare", dealID)
+		return nil, fmt.Errorf("synopsis: %s has no scope towers to compare", ref.Overview.DealID)
 	}
 	ids, err := s.DealIDs()
 	if err != nil {
@@ -40,7 +48,7 @@ func (s *Store) Similar(dealID string, k int) ([]SimilarHit, error) {
 	}
 	var hits []SimilarHit
 	for _, id := range ids {
-		if id == dealID {
+		if id == ref.Overview.DealID {
 			continue
 		}
 		other, err := s.Get(id)
@@ -96,19 +104,33 @@ func towerVector(d Deal) map[string]float64 {
 	return vec
 }
 
+// cosine accumulates in sorted key order: float addition is not
+// associative, and map iteration order would otherwise make scores differ
+// in the last ulp between runs (and between the monolithic and sharded
+// engines, whose differential tests compare scores exactly).
 func cosine(a, b map[string]float64) float64 {
 	var dot, na, nb float64
-	for k, va := range a {
+	for _, k := range sortedKeys(a) {
+		va := a[k]
 		na += va * va
 		if vb, ok := b[k]; ok {
 			dot += va * vb
 		}
 	}
-	for _, vb := range b {
-		nb += vb * vb
+	for _, k := range sortedKeys(b) {
+		nb += b[k] * b[k]
 	}
 	if na == 0 || nb == 0 {
 		return 0
 	}
 	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

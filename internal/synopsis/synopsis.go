@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/fault"
+	"repro/internal/lru"
 	"repro/internal/relstore"
 	"repro/internal/sqlx"
 	"repro/internal/trace"
@@ -75,7 +76,16 @@ type Store struct {
 	// gen counts mutations (Put, Delete); query memoizers key on it so any
 	// synopsis write invalidates without coordination.
 	gen atomic.Uint64
+	// getMemo caches assembled Deal values by ID under the mutation epoch:
+	// Get issues six relational queries, and the search presentation layer
+	// asks for every ranked activity's synopsis on every search. Values are
+	// deep-cloned on both sides of the cache boundary, so callers may
+	// mutate what they receive.
+	getMemo *lru.Cache[string, Deal]
 }
+
+// getMemoSize bounds the Get memo; entries are one assembled synopsis.
+const getMemoSize = 512
 
 // Generation reports the store mutation epoch: it changes after every Put or
 // Delete. Caches key results on it to invalidate on write.
@@ -133,7 +143,7 @@ func NewStore(db *relstore.DB) (*Store, error) {
 			return nil, fmt.Errorf("synopsis: schema: %w", err)
 		}
 	}
-	return &Store{conn: conn}, nil
+	return &Store{conn: conn, getMemo: lru.New[string, Deal](getMemoSize)}, nil
 }
 
 // Open wraps a database that already carries the context schema (for
@@ -143,7 +153,7 @@ func Open(db *relstore.DB) (*Store, error) {
 	if _, err := db.Schema("deals"); err != nil {
 		return nil, fmt.Errorf("synopsis: open: %w", err)
 	}
-	return &Store{conn: sqlx.Open(db)}, nil
+	return &Store{conn: sqlx.Open(db), getMemo: lru.New[string, Deal](getMemoSize)}, nil
 }
 
 // DB exposes the underlying engine, for persistence.
@@ -219,8 +229,41 @@ func (s *Store) deleteDeal(id string) error {
 	return nil
 }
 
-// Get loads a full deal synopsis.
+// Get loads a full deal synopsis. Results are memoized under the store's
+// mutation epoch, so repeated lookups of a slow-changing deal cost a map
+// probe instead of six relational queries.
 func (s *Store) Get(id string) (Deal, error) {
+	if s.getMemo != nil {
+		if d, ok := s.getMemo.Get(id, s.gen.Load()); ok {
+			return cloneDeal(d), nil
+		}
+	}
+	d, err := s.getUncached(id)
+	if err != nil {
+		return Deal{}, err
+	}
+	if s.getMemo != nil {
+		s.getMemo.Put(id, s.gen.Load(), cloneDeal(d))
+	}
+	return d, nil
+}
+
+// cloneDeal deep-copies a synopsis so cache and caller cannot alias: Deal
+// carries slices and a map, and presentation layers receive a pointer.
+func cloneDeal(d Deal) Deal {
+	out := d
+	out.Towers = append([]TowerScope(nil), d.Towers...)
+	out.People = append([]Contact(nil), d.People...)
+	out.WinStrategies = append([]string(nil), d.WinStrategies...)
+	out.ClientRefs = append([]string(nil), d.ClientRefs...)
+	out.TechSolutions = make(map[string]string, len(d.TechSolutions))
+	for k, v := range d.TechSolutions {
+		out.TechSolutions[k] = v
+	}
+	return out
+}
+
+func (s *Store) getUncached(id string) (Deal, error) {
 	row, err := s.conn.QueryOne(`SELECT id, customer, industry, consultant, geography, country,
 		term_start, term_months, tcv_band, international, repository FROM deals WHERE id = ?`, id)
 	if err != nil {

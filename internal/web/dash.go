@@ -93,7 +93,7 @@ type dashData struct {
 // debugDash renders the operator dashboard.
 func (h *handler) debugDash(w http.ResponseWriter, _ *http.Request) {
 	now := time.Now()
-	data := dashData{Now: now.Format(time.RFC3339), HasTraces: h.sys.Tracer != nil}
+	data := dashData{Now: now.Format(time.RFC3339), HasTraces: h.sys.RequestTracer() != nil}
 
 	rep := h.health.Evaluate()
 	data.Verdict = string(rep.Verdict)
@@ -139,9 +139,21 @@ func (h *handler) debugDash(w http.ResponseWriter, _ *http.Request) {
 			sparkline(series(func(s runtimetel.Sample) float64 { return s.SchedLatencyP99 }), sw, sh)},
 	}
 
-	if h.sys.Engine != nil {
+	if eng := h.sys.CoreEngine(); eng != nil {
 		for _, b := range []string{core.BackendSynopsis, core.BackendSIAPI} {
-			data.Breakers = append(data.Breakers, dashBreaker{Backend: b, State: h.sys.Engine.BreakerState(b)})
+			if eng.Sharded() {
+				states := eng.ShardBreakerStates(b)
+				names := make([]string, 0, len(states))
+				for name := range states {
+					names = append(names, name)
+				}
+				sort.Strings(names)
+				for _, name := range names {
+					data.Breakers = append(data.Breakers, dashBreaker{Backend: b + "#" + name, State: states[name]})
+				}
+			} else {
+				data.Breakers = append(data.Breakers, dashBreaker{Backend: b, State: eng.BreakerState(b)})
+			}
 		}
 	}
 
@@ -161,7 +173,7 @@ func (h *handler) debugDash(w http.ResponseWriter, _ *http.Request) {
 // slowExemplars collects the slowest recent traced requests across routes
 // from the latency histograms' exemplars, newest-biased, slowest first.
 func (h *handler) slowExemplars(now time.Time, limit int) []dashExemplar {
-	reg := h.sys.Metrics
+	reg := h.sys.Registry()
 	if reg == nil {
 		return nil
 	}

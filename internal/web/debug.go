@@ -43,8 +43,8 @@ func (h *handler) debugTraces(w http.ResponseWriter, r *http.Request) {
 		n = v
 	}
 	listing := traceListing{
-		Recent:  summarize(h.sys.Tracer.Recent(n)),
-		Slowest: summarize(h.sys.Tracer.Slowest(r.FormValue("route"))),
+		Recent:  summarize(h.sys.RequestTracer().Recent(n)),
+		Slowest: summarize(h.sys.RequestTracer().Slowest(r.FormValue("route"))),
 	}
 	if wantJSON(r) {
 		writeJSON(w, listing)
@@ -69,7 +69,7 @@ func (h *handler) debugTrace(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "usage: /debug/trace/{id}", http.StatusBadRequest)
 		return
 	}
-	tr := h.sys.Tracer.Find(id)
+	tr := h.sys.RequestTracer().Find(id)
 	if tr == nil {
 		http.Error(w, "trace not retained (evicted or never sampled)", http.StatusNotFound)
 		return

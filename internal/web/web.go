@@ -6,6 +6,7 @@
 package web
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -22,8 +23,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/health"
 	"repro/internal/obs"
+	"repro/internal/qlog"
 	"repro/internal/runtimetel"
+	"repro/internal/siapi"
 	"repro/internal/slo"
+	"repro/internal/synopsis"
 	"repro/internal/trace"
 )
 
@@ -67,11 +71,34 @@ func WithRuntime(c *runtimetel.Collector) Option {
 	return func(cfg *config) { cfg.collector = c }
 }
 
+// Backend is the serving surface the handler needs: one eil.System or one
+// sharded eil.Cluster — the HTTP layer is identical over both, down to the
+// metric names and degraded-cause labels.
+type Backend interface {
+	SearchCtx(ctx context.Context, user access.User, q core.FormQuery) (core.Result, error)
+	SearchExplain(ctx context.Context, user access.User, q core.FormQuery) (core.Result, *core.Explanation, error)
+	KeywordSearchCtx(ctx context.Context, query string, limit int) []siapi.DocHit
+	KeywordCount(query string) int
+	ExploreCtx(ctx context.Context, user access.User, dealID string, q core.FormQuery) ([]siapi.DocHit, error)
+	SimilarDeals(user access.User, dealID string, k int) ([]synopsis.SimilarHit, error)
+	Deal(user access.User, dealID string) (synopsis.Deal, error)
+	Registry() *obs.Registry
+	RequestTracer() *trace.Tracer
+	Log() *qlog.Log
+	CoreEngine() *core.Engine
+}
+
 // Handler serves the EIL UI and API for one system. Every route is wrapped
 // in the metrics middleware (request counts, status classes, and latency
-// histograms in sys.Metrics), and the registry itself is served at /metrics
-// (Prometheus text exposition) and /api/metrics (JSON).
+// histograms in the system's registry), and the registry itself is served
+// at /metrics (Prometheus text exposition) and /api/metrics (JSON).
 func Handler(sys *eil.System, opts ...Option) http.Handler {
+	return HandlerFor(sys, opts...)
+}
+
+// HandlerFor is Handler over any Backend — a monolithic system or a
+// sharded cluster.
+func HandlerFor(sys Backend, opts ...Option) http.Handler {
 	var cfg config
 	for _, o := range opts {
 		o(&cfg)
@@ -98,7 +125,7 @@ func Handler(sys *eil.System, opts ...Option) http.Handler {
 	mux.HandleFunc("/readyz", h.readyz)
 	mux.HandleFunc("/api/slo", h.apiSLO)
 	mux.HandleFunc("/debug/dash", h.debugDash)
-	if sys.Tracer != nil {
+	if sys.RequestTracer() != nil {
 		mux.HandleFunc("/debug/traces", h.debugTraces)
 		mux.HandleFunc("/debug/trace/", h.debugTrace)
 	}
@@ -109,11 +136,11 @@ func Handler(sys *eil.System, opts ...Option) http.Handler {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return &middleware{next: mux, mux: mux, reg: sys.Metrics, tracer: sys.Tracer, accessLog: cfg.accessLog}
+	return &middleware{next: mux, mux: mux, reg: sys.Registry(), tracer: sys.RequestTracer(), accessLog: cfg.accessLog}
 }
 
 type handler struct {
-	sys       *eil.System
+	sys       Backend
 	health    *health.Registry
 	slo       *slo.Engine
 	collector *runtimetel.Collector
@@ -247,12 +274,12 @@ func statusClass(code int) string {
 // metrics serves the registry in Prometheus text exposition format.
 func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	h.sys.Metrics.WritePrometheus(w)
+	h.sys.Registry().WritePrometheus(w)
 }
 
 // apiMetrics serves the registry as JSON snapshots.
 func (h *handler) apiMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, h.sys.Metrics.Snapshots())
+	writeJSON(w, h.sys.Registry().Snapshots())
 }
 
 // readyz evaluates the component checks and answers with the verdict: 200
@@ -344,7 +371,7 @@ func (h *handler) searchError(w http.ResponseWriter, route string, err error) {
 		if errors.As(err, &be) {
 			cause = be.Backend
 		}
-		h.sys.Metrics.Counter("http_unavailable_total", "route", route, "cause", cause).Inc()
+		h.sys.Registry().Counter("http_unavailable_total", "route", route, "cause", cause).Inc()
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
@@ -359,7 +386,7 @@ func (h *handler) countDegraded(route string, res core.Result) {
 		return
 	}
 	for _, cause := range res.DegradedCauses {
-		h.sys.Metrics.Counter("http_degraded_total", "route", route, "cause", cause).Inc()
+		h.sys.Registry().Counter("http_degraded_total", "route", route, "cause", cause).Inc()
 	}
 }
 
@@ -461,19 +488,19 @@ func (h *handler) apiSimilar(w http.ResponseWriter, r *http.Request) {
 
 // apiQueryLog summarizes the query log (404 when logging is off).
 func (h *handler) apiQueryLog(w http.ResponseWriter, r *http.Request) {
-	if h.sys.QueryLog == nil {
+	if h.sys.Log() == nil {
 		http.Error(w, "query logging disabled", http.StatusNotFound)
 		return
 	}
 	if n, err := strconv.Atoi(r.FormValue("slow")); err == nil && n > 0 {
-		writeJSON(w, h.sys.QueryLog.Slowest(n))
+		writeJSON(w, h.sys.Log().Slowest(n))
 		return
 	}
 	topK := 10
 	if n, err := strconv.Atoi(r.FormValue("top")); err == nil && n > 0 {
 		topK = n
 	}
-	writeJSON(w, h.sys.QueryLog.Summarize(topK))
+	writeJSON(w, h.sys.Log().Summarize(topK))
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

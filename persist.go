@@ -177,7 +177,12 @@ func (s *System) WALProbe() (enabled bool, err error) {
 // durable.ErrCorrupt, durable.ErrTorn, durable.ErrVersion,
 // ErrLegacySnapshot).
 func LoadSystem(dir string, ctl *access.Controller) (*System, error) {
-	metrics := obs.NewRegistry()
+	return loadSystemWith(dir, ctl, obs.NewRegistry())
+}
+
+// loadSystemWith is LoadSystem recording into a caller-supplied registry —
+// LoadCluster restores every shard into one shared registry.
+func loadSystemWith(dir string, ctl *access.Controller, metrics *obs.Registry) (*System, error) {
 	st, err := durable.OpenStore(dir, durable.StoreOptions{Metrics: metrics})
 	if err != nil {
 		return nil, fmt.Errorf("eil: load: %w", err)

@@ -1,6 +1,7 @@
 package eil
 
 import (
+	"fmt"
 	"runtime"
 	"time"
 
@@ -113,6 +114,157 @@ func (s *System) NewHealth(opts HealthOptions) *health.Registry {
 	}
 
 	return reg
+}
+
+// NewHealth builds the cluster's readiness registry: one index and WAL
+// check per shard, plus per-backend breaker checks that walk every shard's
+// circuit — the cluster reports degraded as soon as any shard's breaker is
+// not closed, because searches are already serving reduced answers around
+// that shard.
+func (c *Cluster) NewHealth(opts HealthOptions) *health.Registry {
+	reg := health.NewRegistry(c.Metrics)
+	if opts.MaxGoroutines <= 0 {
+		opts.MaxGoroutines = 10000
+	}
+
+	for i, s := range c.Shards {
+		i, s := i, s
+		reg.Register(fmt.Sprintf("index:shard-%d", i), true, func() health.Result {
+			if s.Index == nil {
+				return health.Failedf("no index attached")
+			}
+			return health.OKf("%d docs, epoch %d", s.Index.DocCount(), s.Index.Generation())
+		})
+		reg.Register(fmt.Sprintf("wal:shard-%d", i), true, func() health.Result {
+			enabled, err := s.WALProbe()
+			if !enabled {
+				return health.OKf("journal not configured")
+			}
+			if err != nil {
+				return health.Failedf("journal not appendable: %v", err)
+			}
+			return health.OKf("appendable")
+		})
+	}
+
+	for _, backend := range []string{core.BackendSynopsis, core.BackendSIAPI} {
+		backend := backend
+		reg.Register("breaker:"+backend, false, func() health.Result {
+			if c.Engine == nil {
+				return health.OKf("no engine")
+			}
+			open, probing := 0, 0
+			for _, state := range c.Engine.ShardBreakerStates(backend) {
+				switch state {
+				case "open":
+					open++
+				case "half-open":
+					probing++
+				}
+			}
+			switch {
+			case open > 0:
+				return health.Degradedf("%d of %d shard circuits open; searches degrade around them", open, len(c.Shards))
+			case probing > 0:
+				return health.Degradedf("%d of %d shard circuits half-open; probing", probing, len(c.Shards))
+			default:
+				return health.OKf("all %d shard circuits closed", len(c.Shards))
+			}
+		})
+	}
+
+	reg.Register("snapshots", false, func() health.Result {
+		var oldest time.Time
+		var gen uint64
+		configured := false
+		for _, s := range c.Shards {
+			g, at := s.LastCheckpoint()
+			gen = g
+			if at.IsZero() {
+				continue
+			}
+			configured = true
+			if oldest.IsZero() || at.Before(oldest) {
+				oldest = at
+			}
+		}
+		if opts.SnapshotInterval <= 0 || !configured {
+			return health.OKf("gen %d; periodic checkpointing not configured", gen)
+		}
+		age := time.Since(oldest)
+		if age > 3*opts.SnapshotInterval {
+			return health.Degradedf("oldest shard checkpoint is %s old (expected every %s)", age.Round(time.Second), opts.SnapshotInterval)
+		}
+		return health.OKf("oldest shard checkpoint %s old", age.Round(time.Second))
+	})
+
+	reg.Register("goroutines", false, func() health.Result {
+		n := runtime.NumGoroutine()
+		if opts.Collector != nil {
+			if smp, ok := opts.Collector.Latest(); ok {
+				n = smp.Goroutines
+			}
+		}
+		if n > opts.MaxGoroutines {
+			return health.Degradedf("%d goroutines (watermark %d); likely a leak", n, opts.MaxGoroutines)
+		}
+		return health.OKf("%d goroutines", n)
+	})
+
+	if opts.MaxHeapBytes > 0 && opts.Collector != nil {
+		reg.Register("heap", false, func() health.Result {
+			smp, ok := opts.Collector.Latest()
+			if !ok {
+				return health.OKf("no sample yet")
+			}
+			if smp.HeapLiveBytes > opts.MaxHeapBytes {
+				return health.Degradedf("heap live %d bytes over watermark %d", smp.HeapLiveBytes, opts.MaxHeapBytes)
+			}
+			return health.OKf("heap live %d bytes", smp.HeapLiveBytes)
+		})
+	}
+
+	return reg
+}
+
+// AppSampler is the cluster-side runtimetel sampler: same one-screen
+// numbers as System.AppSampler, with breakers_open counting every shard's
+// circuits across both backend hops.
+func (c *Cluster) AppSampler(sloEng *slo.Engine) func(prev, cur *runtimetel.Sample) {
+	return func(prev, cur *runtimetel.Sample) {
+		if sloEng != nil {
+			sloEng.Tick(cur.Time)
+		}
+		app := map[string]float64{}
+		if c.Metrics != nil {
+			h := c.Metrics.Histogram("http_requests_overall_seconds", nil)
+			count := float64(h.Count())
+			app["http_requests_total"] = count
+			app["http_p99_seconds"] = h.Quantile(0.99)
+			if prev != nil && prev.App != nil {
+				if dt := cur.Time.Sub(prev.Time).Seconds(); dt > 0 {
+					if d := count - prev.App["http_requests_total"]; d >= 0 {
+						app["qps"] = d / dt
+					}
+				}
+			}
+		}
+		if sloEng != nil {
+			app["slo_burn"] = sloEng.PeakBurn()
+		}
+		if c.Engine != nil {
+			open := 0.0
+			for _, b := range []string{core.BackendSynopsis, core.BackendSIAPI} {
+				for _, state := range c.Engine.ShardBreakerStates(b) {
+					if state != "closed" {
+						open++
+					}
+				}
+			}
+			app["breakers_open"] = open
+		}
+		cur.App = app
+	}
 }
 
 // AppSampler returns a runtimetel AppSampler that folds the application's
