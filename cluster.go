@@ -126,26 +126,104 @@ func IngestSharded(docs []*docmodel.Document, n int, opts Options) (*Cluster, er
 	return newCluster(shards, opts.Access, opts.Metrics, opts.Tracer, opts.DisableScoping), nil
 }
 
-// IngestShardedFrom is IngestSharded reading from any CollectionReader.
-// Partitioning needs every document's deal ID before the first shard
-// pipeline starts, so the reader is drained up front — sharded ingest
-// trades the streaming pipeline's memory profile for parallelism.
+// chanReader adapts a bounded channel to analysis.CollectionReader, so a
+// shard pipeline can pull documents as the router produces them.
+type chanReader struct {
+	ch  <-chan *docmodel.Document
+	err *error // router's terminal error, readable only after ch closes
+}
+
+func (r *chanReader) Next() (*docmodel.Document, error) {
+	d, ok := <-r.ch
+	if !ok {
+		if *r.err != nil {
+			return nil, *r.err
+		}
+		return nil, io.EOF
+	}
+	return d, nil
+}
+
+// IngestShardedFrom is IngestSharded reading from any CollectionReader,
+// streaming: a router goroutine pulls documents one at a time and hands
+// each to its owning shard over a small bounded channel, while every shard
+// runs its ingest pipeline concurrently pulling from its channel. Peak
+// memory is the channel buffers plus whatever the pipelines hold in
+// flight — a 500k-document corpus never exists as a slice, which is what
+// lets the synth streaming generator feed a production-scale sharded
+// ingest directly.
 func IngestShardedFrom(reader analysis.CollectionReader, n int, opts Options) (*Cluster, error) {
-	var docs []*docmodel.Document
+	if n < 1 {
+		return nil, fmt.Errorf("eil: shard count %d < 1", n)
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = obs.NewRegistry()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	perShard := workers / n
+	if perShard < 1 {
+		perShard = 1
+	}
+
+	// The buffer absorbs routing skew (a run of documents for one deal all
+	// target the same shard) without letting any shard run far ahead.
+	const shardBuf = 64
+	chans := make([]chan *docmodel.Document, n)
+	var readErr error
+	readers := make([]*chanReader, n)
+	for i := range chans {
+		chans[i] = make(chan *docmodel.Document, shardBuf)
+		readers[i] = &chanReader{ch: chans[i], err: &readErr}
+	}
+
+	shards := make([]*System, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sopts := opts
+			sopts.Workers = perShard
+			shards[i], errs[i] = IngestFrom(readers[i], sopts)
+			// Keep draining after a pipeline failure so the router can
+			// never block forever on this shard's channel.
+			for range chans[i] {
+			}
+		}(i)
+	}
+
+	// Route on this goroutine: the source reader sees single-goroutine
+	// pulls, exactly like the monolithic pipeline gives it. Writing
+	// readErr before closing the channels publishes it to the chanReaders
+	// (channel close is the synchronization edge).
 	for {
 		d, err := reader.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("eil: read: %w", err)
+			readErr = fmt.Errorf("eil: read: %w", err)
+			break
 		}
 		if d == nil {
 			break
 		}
-		docs = append(docs, d)
+		chans[core.ShardForDoc(d.DealID, d.Path, n)] <- d
 	}
-	return IngestSharded(docs, n, opts)
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("eil: shard %d: %w", i, err)
+		}
+	}
+	return newCluster(shards, opts.Access, opts.Metrics, opts.Tracer, opts.DisableScoping), nil
 }
 
 // newCluster wires N ingested or restored shard systems into a serving

@@ -1,0 +1,310 @@
+package main
+
+// loadcurve.go is the -loadcurve mode: an open-loop (arrival-rate driven)
+// sweep over a target-QPS ramp against the monolithic engine and optionally
+// an N-shard cluster, at one or more GOMAXPROCS settings. Unlike the
+// closed-loop modes — where offered load collapses to whatever the engine
+// can absorb and latency looks flat right up to the cliff — the open loop
+// keeps offering arrivals on schedule, so the emitted throughput-vs-latency
+// curve shows the knee: achieved QPS saturating while p99 climbs.
+//
+// The corpus is generated streamingly (synth.NewStream feeding IngestFrom /
+// IngestShardedFrom), so production-scale sweeps (-deals 1000 -noise 480,
+// ~500k docs) never hold the corpus in memory. With -prof-dir set, every
+// phase runs under a CPU profile and leaves a heap capture in the profile
+// ring, so a curve point can be answered with "what was it doing there".
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/docmodel"
+	"repro/internal/loadgen"
+	"repro/internal/prof"
+	"repro/internal/siapi"
+	"repro/internal/synth"
+)
+
+// loadCurveFlags is the -loadcurve flag group.
+type loadCurveFlags struct {
+	enabled  *bool
+	qps      *string
+	phase    *time.Duration
+	inflight *int
+	mix      *string
+	profDir  *string
+}
+
+func registerLoadCurveFlags() *loadCurveFlags {
+	return &loadCurveFlags{
+		enabled:  flag.Bool("loadcurve", false, "run the open-loop load sweep: Poisson arrivals at each -lc-qps target, emitting throughput-vs-latency curves per engine and GOMAXPROCS (adds the 'load_curve' report block)"),
+		qps:      flag.String("lc-qps", "25,50,100,200,400,800", "comma-separated target arrival rates for the -loadcurve ramp"),
+		phase:    flag.Duration("lc-phase", 5*time.Second, "duration of each -loadcurve phase"),
+		inflight: flag.Int("lc-inflight", 256, "open-loop in-flight cap; arrivals beyond it are dropped (counted, not queued)"),
+		mix:      flag.String("lc-mix", "search=70,keyword=20,ingest=10,compact=0", "operation mix weights for the -loadcurve workload"),
+		profDir:  flag.String("prof-dir", "", "profile ring directory; -loadcurve captures a CPU profile per phase and a heap profile after it"),
+	}
+}
+
+// loadCurveSummary is the -loadcurve report block: the sweep parameters and
+// one curve per (engine, GOMAXPROCS) series.
+type loadCurveSummary struct {
+	TargetsQPS   []float64       `json:"targets_qps"`
+	PhaseSeconds float64         `json:"phase_seconds"`
+	Mix          string          `json:"mix"`
+	MaxInFlight  int             `json:"max_in_flight"`
+	Shards       int             `json:"shards,omitempty"`
+	Curves       []loadgen.Curve `json:"curves"`
+}
+
+// loadTarget is the operation surface the generator drives; both the
+// monolithic System and the sharded Cluster satisfy it.
+type loadTarget interface {
+	SearchCtx(ctx context.Context, user access.User, q core.FormQuery) (core.Result, error)
+	KeywordSearchCtx(ctx context.Context, query string, limit int) []siapi.DocHit
+	AddDocuments(docs []*docmodel.Document) error
+	Compact()
+}
+
+// parseQPSList turns "25,50,100" into [25, 50, 100].
+func parseQPSList(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad -lc-qps value %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("-lc-qps is empty")
+	}
+	return out, nil
+}
+
+// parseMix turns "search=70,keyword=20,ingest=10,compact=0" into a
+// loadgen.Mix. Omitted operations get weight 0.
+func parseMix(s string) (loadgen.Mix, error) {
+	var m loadgen.Mix
+	if strings.TrimSpace(s) == "" {
+		return loadgen.DefaultMix(), nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return m, fmt.Errorf("bad -lc-mix entry %q (want op=weight)", part)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("bad -lc-mix weight %q", part)
+		}
+		switch strings.TrimSpace(name) {
+		case "search":
+			m.Search = w
+		case "keyword":
+			m.Keyword = w
+		case "ingest":
+			m.Ingest = w
+		case "compact":
+			m.Compact = w
+		default:
+			return m, fmt.Errorf("unknown -lc-mix op %q", name)
+		}
+	}
+	if m.Search+m.Keyword+m.Ingest+m.Compact == 0 {
+		return m, errors.New("-lc-mix has zero total weight")
+	}
+	return m, nil
+}
+
+// lcFormQuery varies form queries across towers and a word cross-product so
+// per-engine caches see a realistically low hit rate (same reasoning as the
+// shard A/B workload).
+func lcFormQuery(req loadgen.Request, towers []string) core.FormQuery {
+	tw := towers[req.Deal%len(towers)]
+	w1 := shardBenchWords[req.Query%len(shardBenchWords)]
+	w2 := shardBenchWords[(req.Query/7)%len(shardBenchWords)]
+	switch req.Query % 4 {
+	case 0:
+		return core.FormQuery{Tower: tw, AllWords: []string{w1}}
+	case 1:
+		return core.FormQuery{Tower: tw, AnyWords: []string{w1, w2}}
+	case 2:
+		return core.FormQuery{AnyWords: []string{w1, w2}}
+	default:
+		return core.FormQuery{Tower: tw, ExactPhrase: w1 + " " + w2}
+	}
+}
+
+// lcDo adapts a loadTarget to the generator's Do signature. The ingest op
+// adds a fresh small deal each call (unique IDs, so the dedup pre-pass does
+// not swallow the write); compact runs the engine's tombstone sweep.
+func lcDo(target loadTarget, towers []string, series string) loadgen.Do {
+	user := access.User{ID: "loadgen"}
+	var ingestSeq atomic.Uint64
+	return func(ctx context.Context, req loadgen.Request) (bool, error) {
+		switch req.Op {
+		case loadgen.OpSearch:
+			_, err := target.SearchCtx(ctx, user, lcFormQuery(req, towers))
+			if err != nil {
+				if core.IsUnavailable(err) {
+					return true, nil
+				}
+				return false, err
+			}
+			return false, nil
+		case loadgen.OpKeyword:
+			target.KeywordSearchCtx(ctx, shardBenchWords[req.Query%len(shardBenchWords)], 20)
+			return false, nil
+		case loadgen.OpIngest:
+			docs, err := benchDealDocs(fmt.Sprintf("DEAL LOAD %s %06d", series, ingestSeq.Add(1)))
+			if err != nil {
+				return false, err
+			}
+			return false, target.AddDocuments(docs)
+		case loadgen.OpCompact:
+			target.Compact()
+			return false, nil
+		}
+		return false, fmt.Errorf("loadcurve: unknown op %v", req.Op)
+	}
+}
+
+// loadCurveBench ingests the corpus streamingly (monolith, plus an N-shard
+// cluster when shards > 1) and sweeps the open-loop ramp once per engine
+// per GOMAXPROCS value. It errors if the whole sweep completes zero
+// arrivals — a curve of all-zero points means the harness, not the engine,
+// is broken, and must not be committed as an artifact.
+func loadCurveBench(cfg synth.Config, lcf *loadCurveFlags, shards int, procList []int) (runReport, *loadCurveSummary, error) {
+	var run runReport
+	run.GOMAXPROCS = runtime.GOMAXPROCS(0)
+
+	targets, err := parseQPSList(*lcf.qps)
+	if err != nil {
+		return run, nil, err
+	}
+	mix, err := parseMix(*lcf.mix)
+	if err != nil {
+		return run, nil, err
+	}
+
+	log.Printf("[loadcurve] streaming-generating and ingesting %d deals x ~%d docs...", cfg.Deals, cfg.NoiseDocsPerDeal)
+	stream := synth.NewStream(cfg)
+	sys, err := eil.IngestFrom(stream, eil.Options{Directory: stream.Directory()})
+	if err != nil {
+		return run, nil, err
+	}
+	run.Ingest.Docs = sys.Stats.Docs
+	run.Ingest.Deals = cfg.Deals
+	run.Ingest.Annotations = sys.Stats.Annotations
+	run.Ingest.WallSeconds = sys.Stats.Wall.Seconds()
+	run.Ingest.DocsPerSec = sys.Stats.DocsPerSec()
+	log.Printf("[loadcurve] monolith: %d docs in %v (%.0f docs/sec)",
+		sys.Stats.Docs, sys.Stats.Wall.Round(time.Millisecond), sys.Stats.DocsPerSec())
+
+	engines := []struct {
+		label  string
+		target loadTarget
+	}{{"monolith", sys}}
+	if shards > 1 {
+		cstream := synth.NewStream(cfg)
+		cluster, err := eil.IngestShardedFrom(cstream, shards, eil.Options{Directory: cstream.Directory()})
+		if err != nil {
+			return run, nil, err
+		}
+		log.Printf("[loadcurve] ingested the same corpus across %d shards", shards)
+		engines = append(engines, struct {
+			label  string
+			target loadTarget
+		}{fmt.Sprintf("shards=%d", shards), cluster})
+	}
+
+	var profiler *prof.Profiler
+	if *lcf.profDir != "" {
+		ring, err := prof.OpenRing(*lcf.profDir, 0, 0)
+		if err != nil {
+			return run, nil, err
+		}
+		profiler = prof.New(prof.Options{Ring: ring, Logf: log.Printf})
+		log.Printf("[loadcurve] per-phase profiles -> %s", ring.Dir())
+	}
+
+	phases := loadgen.Ramp(targets, *lcf.phase)
+	towers := sys.Taxonomy.TowerNames()
+	lc := &loadCurveSummary{
+		TargetsQPS:   targets,
+		PhaseSeconds: lcf.phase.Seconds(),
+		Mix:          *lcf.mix,
+		MaxInFlight:  *lcf.inflight,
+	}
+	if shards > 1 {
+		lc.Shards = shards
+	}
+
+	var totalCompleted uint64
+	for _, eng := range engines {
+		// Warm each engine once before its sweep (first-touch index pages,
+		// stats memos, snippet caches): without this the engine's first
+		// series absorbs every cold-cache miss and is not comparable to the
+		// later ones. Search/keyword only — no mutations before measuring.
+		wgen := loadgen.New(loadgen.Options{Seed: 7, Mix: loadgen.Mix{Search: 3, Keyword: 1}, Deals: cfg.Deals})
+		wres := wgen.Run(context.Background(), loadgen.Phase{Name: "warmup", Requests: 300, Workers: 2},
+			lcDo(eng.target, towers, "warmup"))
+		if wres.Err != nil {
+			return run, nil, fmt.Errorf("loadcurve warmup %s: %w", eng.label, wres.Err)
+		}
+		log.Printf("[loadcurve] %s warmup: %d requests in %v", eng.label, wres.Completed, wres.Wall.Round(time.Millisecond))
+		for _, p := range procList {
+			prev := runtime.GOMAXPROCS(p)
+			label := fmt.Sprintf("%s procs=%d", eng.label, p)
+			do := lcDo(eng.target, towers, label)
+			gen := loadgen.New(loadgen.Options{
+				Seed:        8,
+				Mix:         mix,
+				Deals:       cfg.Deals,
+				MaxInFlight: *lcf.inflight,
+			})
+			var results []loadgen.Result
+			for _, ph := range phases {
+				runPhase := func() {
+					results = append(results, gen.Run(context.Background(), ph, do))
+				}
+				if profiler != nil {
+					reason := strings.NewReplacer(" ", "-", "=", "").Replace(label) + "-" + ph.Name
+					if _, perr := profiler.ProfilePhase(reason, runPhase); perr != nil && !errors.Is(perr, prof.ErrCPUBusy) {
+						log.Printf("[loadcurve] profile %s: %v", reason, perr)
+					}
+				} else {
+					runPhase()
+				}
+				res := results[len(results)-1]
+				if res.Err != nil {
+					runtime.GOMAXPROCS(prev)
+					return run, nil, fmt.Errorf("loadcurve %s %s: %w", label, ph.Name, res.Err)
+				}
+				totalCompleted += res.Completed
+				log.Printf("[loadcurve] %s %s: offered %.0f/s achieved %.0f/s (completed %d, dropped %d, refused %d), p50 %.3gms p99 %.3gms",
+					label, ph.Name, res.OfferedQPS(), res.AchievedQPS(), res.Completed, res.Dropped, res.Refused,
+					res.Latency.Quantile(0.50)*1000, res.Latency.Quantile(0.99)*1000)
+			}
+			runtime.GOMAXPROCS(prev)
+			lc.Curves = append(lc.Curves, loadgen.Curve{Label: label, Points: loadgen.Points(results)})
+		}
+	}
+	if totalCompleted == 0 {
+		return run, nil, errors.New("loadcurve: sweep completed zero arrivals — harness or engine is broken, refusing to emit a curve")
+	}
+	run.Metrics = sys.Metrics.Snapshots()
+	return run, lc, nil
+}

@@ -130,6 +130,16 @@ type report struct {
 	// monolithic engine and an N-shard scatter-gather cluster, at each
 	// requested concurrency.
 	Shard *shardSummary `json:"shard,omitempty"`
+
+	// LoadCurve is the -loadcurve mode block: open-loop throughput-vs-
+	// latency curves per engine and GOMAXPROCS.
+	LoadCurve *loadCurveSummary `json:"load_curve,omitempty"`
+
+	// Build stamps the exact build (module version, VCS revision, dirty
+	// flag) and host shape that produced this artifact. The legacy
+	// top-level go_version/gomaxprocs/num_cpu fields stay for -compare
+	// compatibility with older reports.
+	Build *runtimetel.ReportHeader `json:"build,omitempty"`
 }
 
 // shardSide is one engine's side of a shard A/B measurement.
@@ -274,6 +284,7 @@ func main() {
 		sloAvail    = flag.Float64("slo-availability", 0.999, "availability objective the report's SLO verdicts judge against")
 		sloP99      = flag.Duration("slo-latency-p99", 250*time.Millisecond, "p99 latency objective the report's SLO verdicts judge against")
 	)
+	lcf := registerLoadCurveFlags()
 	flag.Parse()
 
 	if *cpuProf != "" {
@@ -310,6 +321,8 @@ func main() {
 	r.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	r.GoVersion = runtime.Version()
 	r.NumCPU = runtime.NumCPU()
+	hdr := runtimetel.NewReportHeader()
+	r.Build = &hdr
 
 	if *durability {
 		run, ds, err := durabilityBench(cfg)
@@ -320,6 +333,15 @@ func main() {
 		r.Ingest = run.Ingest
 		r.Metrics = run.Metrics
 		r.Durability = ds
+	} else if *lcf.enabled {
+		run, lc, err := loadCurveBench(cfg, lcf, *shardN, procList)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.GOMAXPROCS = run.GOMAXPROCS
+		r.Ingest = run.Ingest
+		r.Metrics = run.Metrics
+		r.LoadCurve = lc
 	} else if *chaos {
 		run, cs, err := chaosBench(cfg, *queries, *budget, *faultSeed)
 		if err != nil {
@@ -370,7 +392,7 @@ func main() {
 		}
 		r.Telemetry = ts
 	}
-	if *shardN > 1 {
+	if *shardN > 1 && !*lcf.enabled { // -loadcurve consumes -shards itself
 		if runtime.NumCPU() < *shardN {
 			log.Printf("[shard] warning: %d shards on %d CPU(s) — the scatter timeslices instead of "+
 				"running in parallel, so the A/B measures overhead and locality, not parallel speedup", *shardN, runtime.NumCPU())

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// closedLoop with more workers than queries must not deadlock or double-run
+// queries: each of the few queries runs exactly once and the surplus
+// workers exit cleanly.
+func TestClosedLoopWorkerStarvation(t *testing.T) {
+	const queries = 3 // below the ramp threshold too (ramp = 0)
+	var mu sync.Mutex
+	ran := map[int]int{}
+	wall, lats, refused, err := closedLoop(queries, 16, func(i int) (time.Duration, bool, error) {
+		mu.Lock()
+		ran[i]++
+		mu.Unlock()
+		return time.Millisecond, false, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wall <= 0 {
+		t.Error("wall not measured")
+	}
+	if refused != 0 {
+		t.Errorf("refused = %d, want 0", refused)
+	}
+	if len(lats) != queries {
+		t.Errorf("recorded %d latencies, want %d", len(lats), queries)
+	}
+	for i := 0; i < queries; i++ {
+		if ran[i] != 1 {
+			t.Errorf("query %d ran %d times", i, ran[i])
+		}
+	}
+}
+
+// Refused queries are counted, excluded from nothing else: their latencies
+// still land in the sample (the caller decides what a refusal's latency
+// means by returning it negative or not).
+func TestClosedLoopRefusedAccounting(t *testing.T) {
+	const queries = 40
+	wall, lats, refused, err := closedLoop(queries, 4, func(i int) (time.Duration, bool, error) {
+		if i%5 == 0 {
+			return -1, true, nil // refused, excluded from the percentile set
+		}
+		return time.Millisecond, false, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wall <= 0 {
+		t.Error("wall not measured")
+	}
+	// The untimed ramp runs queries/10 = 4 calls first (i = 0..3, one of
+	// them refused), then the timed loop re-runs all 40.
+	if refused != queries/5 {
+		t.Errorf("refused = %d, want %d", refused, queries/5)
+	}
+	if want := queries - queries/5; len(lats) != want {
+		t.Errorf("recorded %d latencies, want %d", len(lats), want)
+	}
+}
+
+// A hard error from do mid-drain must propagate to the caller — not hang
+// the other workers, not be swallowed by the refusal path.
+func TestClosedLoopErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	const queries = 200
+	var calls atomic.Int64
+	_, _, _, err := closedLoop(queries, 4, func(i int) (time.Duration, bool, error) {
+		n := calls.Add(1)
+		if n == 60 { // past the 20-call ramp, well inside the drain
+			return 0, false, boom
+		}
+		return time.Microsecond, false, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The failing worker stops; the others drain the remaining queries, so
+	// every query index was still claimed exactly once overall.
+	if got := calls.Load(); got < 60 || got > queries+queries/10 {
+		t.Errorf("calls = %d, want between 60 and %d", got, queries+queries/10)
+	}
+}
+
+// An error during the untimed ramp aborts before any workers start.
+func TestClosedLoopRampError(t *testing.T) {
+	boom := errors.New("ramp boom")
+	_, _, _, err := closedLoop(500, 8, func(i int) (time.Duration, bool, error) {
+		return 0, false, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want ramp boom", err)
+	}
+}

@@ -39,11 +39,15 @@ import (
 	"syscall"
 	"time"
 
+	"encoding/json"
+
 	"repro"
 	"repro/internal/access"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/health"
+	"repro/internal/loadgen"
+	"repro/internal/prof"
 	"repro/internal/qlog"
 	"repro/internal/runtimetel"
 	"repro/internal/slo"
@@ -60,6 +64,29 @@ type backend interface {
 	AppSampler(sloEng *slo.Engine) func(prev, cur *runtimetel.Sample)
 	EnableWAL(dir string, syncEvery int) error
 	CloseWAL() error
+}
+
+// loadCurves reads throughput-vs-latency series from a committed eilbench
+// artifact (the load_curve block of a BENCH json) or from a bare curve
+// array.
+func loadCurves(path string) ([]loadgen.Curve, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep struct {
+		LoadCurve *struct {
+			Curves []loadgen.Curve `json:"curves"`
+		} `json:"load_curve"`
+	}
+	if err := json.Unmarshal(raw, &rep); err == nil && rep.LoadCurve != nil && len(rep.LoadCurve.Curves) > 0 {
+		return rep.LoadCurve.Curves, nil
+	}
+	var curves []loadgen.Curve
+	if err := json.Unmarshal(raw, &curves); err == nil && len(curves) > 0 {
+		return curves, nil
+	}
+	return nil, fmt.Errorf("%s carries no load curves", path)
 }
 
 func clusterDocCount(c *eil.Cluster) int {
@@ -102,6 +129,11 @@ func main() {
 		sloAvail    = flag.Float64("slo-availability", 0.999, "per-route availability objective (fraction of non-5xx responses)")
 		sloP99      = flag.Duration("slo-latency-p99", 250*time.Millisecond, "per-route p99 latency objective")
 		maxGoros    = flag.Int("max-goroutines", 0, "goroutine watermark for the readiness check (0 = default 10000)")
+
+		profDir      = flag.String("prof-dir", "", "continuous-profiling ring directory; enables scheduled pprof captures, automatic captures on SLO page events, and the /debug/prof browser")
+		profInterval = flag.Duration("prof-interval", 10*time.Minute, "scheduled profile capture cadence when -prof-dir is set (0 disables the schedule; page-event captures still fire)")
+		profCPUSecs  = flag.Int("prof-cpu-seconds", 5, "CPU profile window for scheduled and event captures")
+		curveFile    = flag.String("loadcurve-file", "", "BENCH json with a load_curve block (e.g. BENCH_pr8.json); its throughput-vs-latency curves render on /debug/dash")
 	)
 	flag.Parse()
 
@@ -251,11 +283,43 @@ func main() {
 	// backs /debug/dash. The collector's tick drives the SLO engine; with
 	// the collector disabled the engine gets its own ticker below.
 	runtimetel.SetBuildInfo(be.Registry())
-	sloEng := slo.New(slo.Options{
+
+	// Continuous profiling: a bounded on-disk ring of pprof captures, filled
+	// on a schedule and — via the SLO engine's page transitions below —
+	// automatically at the moment an error/latency budget starts burning
+	// fast, so the "what was it doing during the incident" evidence exists
+	// even when nobody was watching.
+	var profiler *prof.Profiler
+	if *profDir != "" {
+		ring, rerr := prof.OpenRing(*profDir, 0, 0)
+		if rerr != nil {
+			log.Fatal(rerr)
+		}
+		profiler = prof.New(prof.Options{
+			Ring:       ring,
+			Interval:   *profInterval,
+			CPUSeconds: *profCPUSecs,
+			Registry:   be.Registry(),
+			Logf:       log.Printf,
+		})
+		profiler.Start()
+		defer profiler.Stop()
+		log.Printf("continuous profiling to %s (schedule %v, browser at /debug/prof)", *profDir, *profInterval)
+	}
+
+	sloOpts := slo.Options{
 		Registry: be.Registry(),
 		Default:  slo.Objective{Availability: *sloAvail, LatencyP99: *sloP99},
 		Interval: *telInterval,
-	})
+	}
+	if profiler != nil {
+		sloOpts.OnAlert = func(route, alert string) {
+			if alert == "page" {
+				profiler.CaptureEvent("page-" + route)
+			}
+		}
+	}
+	sloEng := slo.New(sloOpts)
 	var collector *runtimetel.Collector
 	if *telInterval > 0 {
 		collector = runtimetel.New(runtimetel.Options{
@@ -283,6 +347,17 @@ func main() {
 		opts = append(opts, web.WithAccessLog(slog.New(slog.NewTextHandler(os.Stderr, nil))))
 	}
 	opts = append(opts, web.WithHealth(checks), web.WithSLO(sloEng), web.WithRuntime(collector))
+	if profiler != nil {
+		opts = append(opts, web.WithProfiles(profiler.Ring()))
+	}
+	if *curveFile != "" {
+		curves, cerr := loadCurves(*curveFile)
+		if cerr != nil {
+			log.Fatal(cerr)
+		}
+		opts = append(opts, web.WithLoadCurves(curves))
+		log.Printf("rendering %d load-curve series from %s on /debug/dash", len(curves), *curveFile)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,84 @@
+package loadgen
+
+import (
+	"strconv"
+	"time"
+)
+
+// CurvePoint is one phase of a ramp, flattened for the BENCH artifact and
+// the dashboard. Latencies are milliseconds; rates are per second.
+type CurvePoint struct {
+	Phase       string  `json:"phase"`
+	Mode        string  `json:"mode"`
+	TargetQPS   float64 `json:"target_qps,omitempty"`
+	OfferedQPS  float64 `json:"offered_qps"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	Offered     uint64  `json:"offered"`
+	Completed   uint64  `json:"completed"`
+	Dropped     uint64  `json:"dropped,omitempty"`
+	Refused     uint64  `json:"refused,omitempty"`
+	Errors      uint64  `json:"errors,omitempty"`
+	WallMs      float64 `json:"wall_ms"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MeanMs      float64 `json:"mean_ms"`
+	MaxMs       float64 `json:"max_ms"`
+}
+
+// Curve is one labeled throughput-vs-latency series (e.g. "monolith
+// procs=4" or "shards=4 procs=1").
+type Curve struct {
+	Label  string       `json:"label"`
+	Points []CurvePoint `json:"points"`
+}
+
+// Point flattens a phase Result into a CurvePoint.
+func Point(r Result) CurvePoint {
+	ms := func(sec float64) float64 { return sec * 1e3 }
+	return CurvePoint{
+		Phase:       r.Phase,
+		Mode:        r.Mode,
+		TargetQPS:   r.TargetQPS,
+		OfferedQPS:  r.OfferedQPS(),
+		AchievedQPS: r.AchievedQPS(),
+		Offered:     r.Offered,
+		Completed:   r.Completed,
+		Dropped:     r.Dropped,
+		Refused:     r.Refused,
+		Errors:      r.Errors,
+		WallMs:      float64(r.Wall) / float64(time.Millisecond),
+		P50Ms:       ms(r.Latency.Quantile(0.50)),
+		P95Ms:       ms(r.Latency.Quantile(0.95)),
+		P99Ms:       ms(r.Latency.Quantile(0.99)),
+		MeanMs:      ms(r.Latency.Mean()),
+		MaxMs:       ms(r.Latency.Max()),
+	}
+}
+
+// Points flattens a ramp's results.
+func Points(results []Result) []CurvePoint {
+	pts := make([]CurvePoint, 0, len(results))
+	for _, r := range results {
+		pts = append(pts, Point(r))
+	}
+	return pts
+}
+
+// Ramp builds an open-loop QPS ramp schedule: one phase per target rate,
+// each held for the given duration.
+func Ramp(targets []float64, hold time.Duration) []Phase {
+	phases := make([]Phase, 0, len(targets))
+	for _, qps := range targets {
+		phases = append(phases, Phase{
+			Name:      "open-" + formatQPS(qps),
+			TargetQPS: qps,
+			Duration:  hold,
+		})
+	}
+	return phases
+}
+
+func formatQPS(q float64) string {
+	return strconv.FormatFloat(q, 'g', 4, 64) + "qps"
+}

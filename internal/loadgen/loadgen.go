@@ -1,0 +1,455 @@
+// Package loadgen synthesizes realistic load against the search system:
+// open-loop (Poisson arrivals at a target rate) and closed-loop (fixed
+// worker pool) phases over a mixed search/ingest/compact operation stream
+// whose user, deal, and query populations are zipfian-skewed — a handful
+// of bankers and live deals dominate traffic, the long tail trickles.
+//
+// The open/closed distinction is the point, not a nicety: a closed loop's
+// arrival rate collapses with the system (each stalled worker stops
+// offering load), so it reports flattering latencies right when the system
+// saturates. An open loop keeps offering arrivals on schedule and exposes
+// queueing collapse as dropped arrivals and tail blow-up. Sweeping a ramp
+// of open-loop phases yields the throughput-vs-latency curve that tells an
+// operator where the knee is.
+//
+// The package is deliberately ignorant of the engine: callers provide a
+// `Do` callback that executes one Request and reports refusal/error, so
+// the same generator drives a monolith, a sharded cluster, or an HTTP
+// front end. Latencies land in a bounded quantile sketch
+// ([repro/internal/quantile]) — memory stays flat no matter how many
+// arrivals a phase offers.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/quantile"
+)
+
+// Op is one kind of traffic in the mix.
+type Op int
+
+const (
+	// OpSearch is a scoped form-based search (the primary workload).
+	OpSearch Op = iota
+	// OpKeyword is an unscoped keyword search.
+	OpKeyword
+	// OpIngest is a small document-update batch against one deal.
+	OpIngest
+	// OpCompact is an index compaction (heavyweight; use sparingly).
+	OpCompact
+	numOps
+)
+
+// String names the op for labels and JSON.
+func (o Op) String() string {
+	switch o {
+	case OpSearch:
+		return "search"
+	case OpKeyword:
+		return "keyword"
+	case OpIngest:
+		return "ingest"
+	case OpCompact:
+		return "compact"
+	}
+	return "unknown"
+}
+
+// Mix weighs the traffic classes. Zero-valued fields get no traffic; an
+// all-zero mix defaults to pure search.
+type Mix struct {
+	Search  int `json:"search"`
+	Keyword int `json:"keyword"`
+	Ingest  int `json:"ingest"`
+	Compact int `json:"compact"`
+}
+
+// DefaultMix mirrors the paper's deployment shape: read-heavy with a
+// steady trickle of document updates.
+func DefaultMix() Mix { return Mix{Search: 70, Keyword: 20, Ingest: 10} }
+
+func (m Mix) total() int { return m.Search + m.Keyword + m.Ingest + m.Compact }
+
+// pick maps a uniform draw in [0, total) to an op.
+func (m Mix) pick(r int) Op {
+	if r < m.Search {
+		return OpSearch
+	}
+	r -= m.Search
+	if r < m.Keyword {
+		return OpKeyword
+	}
+	r -= m.Keyword
+	if r < m.Ingest {
+		return OpIngest
+	}
+	return OpCompact
+}
+
+// Request is one generated operation. User/Deal/Query are indices into the
+// caller's populations (0-based, zipf-skewed: low indices are hot); the
+// caller maps them to concrete principals, deal IDs, and query forms.
+type Request struct {
+	N     uint64 // arrival sequence number within the phase
+	Op    Op
+	User  int
+	Deal  int
+	Query int
+}
+
+// Do executes one request. Return refused=true for load-shedding responses
+// (degraded 503s, breaker rejections) — they count separately from hard
+// errors. The runner measures latency around the call.
+type Do func(ctx context.Context, req Request) (refused bool, err error)
+
+// Options configure a generator. Zero values get sane defaults.
+type Options struct {
+	Seed int64 // deterministic request stream per seed (default 1)
+	Mix  Mix   // traffic weights (default DefaultMix)
+
+	// Population sizes for the skewed draws (defaults 50 users, 20 deals,
+	// 200 distinct queries).
+	Users   int
+	Deals   int
+	Queries int
+
+	// Skew is the zipf s parameter (>1; default 1.3). Higher is hotter.
+	Skew float64
+
+	// MaxInFlight caps concurrent requests in open-loop phases. Arrivals
+	// beyond the cap are dropped (counted, not executed) — the open-loop
+	// signal that the system has fallen behind its offered load.
+	// Default 256.
+	MaxInFlight int
+
+	// DrainGrace bounds the wait for in-flight requests after a phase's
+	// arrival window closes (default 10s).
+	DrainGrace time.Duration
+
+	// SketchAccuracy and SketchBins configure the latency sketch
+	// (defaults quantile.DefAccuracy / quantile.DefMaxBins).
+	SketchAccuracy float64
+	SketchBins     int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Mix.total() <= 0 {
+		o.Mix = DefaultMix()
+	}
+	if o.Users <= 0 {
+		o.Users = 50
+	}
+	if o.Deals <= 0 {
+		o.Deals = 20
+	}
+	if o.Queries <= 0 {
+		o.Queries = 200
+	}
+	if o.Skew <= 1 {
+		o.Skew = 1.3
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 256
+	}
+	if o.DrainGrace <= 0 {
+		o.DrainGrace = 10 * time.Second
+	}
+	return o
+}
+
+// Phase is one step of a ramp schedule. TargetQPS > 0 selects the open
+// loop: Poisson arrivals at that rate for Duration. Otherwise the phase is
+// a closed loop: Workers goroutines drain Requests total requests.
+type Phase struct {
+	Name      string
+	TargetQPS float64
+	Duration  time.Duration
+	Workers   int
+	Requests  int
+}
+
+// Result is what one phase measured.
+type Result struct {
+	Phase     string
+	Mode      string // "open" or "closed"
+	TargetQPS float64
+	Offered   uint64 // arrivals generated (open) or requests scheduled (closed)
+	Started   uint64 // requests actually executed
+	Completed uint64 // executed successfully (excludes refused and errored)
+	Dropped   uint64 // open-loop arrivals shed at the in-flight cap
+	Refused   uint64 // executed but refused by the system (degraded/shed)
+	Errors    uint64 // hard errors from Do
+	Wall      time.Duration
+	Latency   *quantile.Sketch // latency of started requests, seconds
+	Err       error            // first hard error, if any
+}
+
+// OfferedQPS is the arrival rate the phase actually generated.
+func (r Result) OfferedQPS() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Offered) / r.Wall.Seconds()
+}
+
+// AchievedQPS is the completion rate — the y-axis companion to the
+// latency quantiles.
+func (r Result) AchievedQPS() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / r.Wall.Seconds()
+}
+
+// Generator produces the deterministic skewed request stream and runs
+// phases against a Do. Not safe for concurrent phase runs.
+type Generator struct {
+	opts  Options
+	rng   *rand.Rand
+	users *rand.Zipf
+	deals *rand.Zipf
+	qrys  *rand.Zipf
+	seq   uint64
+}
+
+// New builds a generator. The request stream (ops, users, deals, queries)
+// is fully determined by Options.Seed; only timing varies run to run.
+func New(opts Options) *Generator {
+	o := opts.withDefaults()
+	rng := rand.New(rand.NewSource(o.Seed))
+	return &Generator{
+		opts:  o,
+		rng:   rng,
+		users: rand.NewZipf(rng, o.Skew, 1, uint64(o.Users-1)),
+		deals: rand.NewZipf(rng, o.Skew, 1, uint64(o.Deals-1)),
+		qrys:  rand.NewZipf(rng, o.Skew, 1, uint64(o.Queries-1)),
+	}
+}
+
+// next draws one request. Callers must serialize (the rng is not
+// goroutine-safe); both loop modes draw from a single goroutine.
+func (g *Generator) next() Request {
+	g.seq++
+	return Request{
+		N:     g.seq,
+		Op:    g.opts.Mix.pick(g.rng.Intn(g.opts.Mix.total())),
+		User:  int(g.users.Uint64()),
+		Deal:  int(g.deals.Uint64()),
+		Query: int(g.qrys.Uint64()),
+	}
+}
+
+// newSketch builds a phase latency sketch with the configured bounds.
+func (g *Generator) newSketch() *quantile.Sketch {
+	return quantile.New(g.opts.SketchAccuracy, g.opts.SketchBins)
+}
+
+// Run executes one phase. Open-loop phases run for phase.Duration plus up
+// to DrainGrace; closed-loop phases run until Requests drain or ctx ends.
+func (g *Generator) Run(ctx context.Context, phase Phase, do Do) Result {
+	if phase.TargetQPS > 0 {
+		return g.openLoop(ctx, phase, do)
+	}
+	return g.closedLoop(ctx, phase, do)
+}
+
+// RunRamp executes the schedule in order, stopping early only if ctx ends.
+func (g *Generator) RunRamp(ctx context.Context, phases []Phase, do Do) []Result {
+	results := make([]Result, 0, len(phases))
+	for _, p := range phases {
+		if ctx.Err() != nil {
+			break
+		}
+		results = append(results, g.Run(ctx, p, do))
+	}
+	return results
+}
+
+// openLoop offers Poisson arrivals at TargetQPS for Duration. Each arrival
+// gets its own goroutine if the in-flight cap allows; otherwise it is
+// dropped and counted. Arrivals never wait for earlier requests — that is
+// what keeps the loop open.
+func (g *Generator) openLoop(ctx context.Context, phase Phase, do Do) Result {
+	res := Result{Phase: phase.Name, Mode: "open", TargetQPS: phase.TargetQPS, Latency: g.newSketch()}
+	if phase.Duration <= 0 || phase.TargetQPS <= 0 {
+		return res
+	}
+
+	var (
+		mu       sync.Mutex // guards res.Latency and res.Err
+		wg       sync.WaitGroup
+		inFlight atomic.Int64
+		started  atomic.Uint64
+		complete atomic.Uint64
+		refused  atomic.Uint64
+		errs     atomic.Uint64
+	)
+
+	begin := time.Now()
+	deadline := begin.Add(phase.Duration)
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+
+	// Exponential inter-arrival times make the arrival process Poisson at
+	// rate TargetQPS. The rng is shared with request drawing, so both stay
+	// on this goroutine and the stream stays deterministic per seed.
+	next := begin
+arrivals:
+	for {
+		next = next.Add(time.Duration(g.rng.ExpFloat64() / phase.TargetQPS * float64(time.Second)))
+		if next.After(deadline) {
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			timer.Reset(d)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				break arrivals
+			}
+		} else if ctx.Err() != nil {
+			break
+		}
+		res.Offered++
+		req := g.next()
+		if inFlight.Load() >= int64(g.opts.MaxInFlight) {
+			res.Dropped++
+			continue
+		}
+		inFlight.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer inFlight.Add(-1)
+			started.Add(1)
+			t0 := time.Now()
+			ref, err := do(ctx, req)
+			lat := time.Since(t0).Seconds()
+			mu.Lock()
+			res.Latency.Observe(lat)
+			if err != nil && res.Err == nil && !errors.Is(err, context.Canceled) {
+				res.Err = err
+			}
+			mu.Unlock()
+			switch {
+			case err != nil:
+				errs.Add(1)
+			case ref:
+				refused.Add(1)
+			default:
+				complete.Add(1)
+			}
+		}()
+	}
+
+	// Bounded drain: give stragglers DrainGrace, then abandon them (their
+	// goroutines finish against ctx; we just stop waiting).
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	graceTimer := time.NewTimer(g.opts.DrainGrace)
+	defer graceTimer.Stop()
+	select {
+	case <-done:
+	case <-graceTimer.C:
+	case <-ctx.Done():
+		select {
+		case <-done:
+		case <-graceTimer.C:
+		}
+	}
+
+	res.Wall = time.Since(begin)
+	res.Started = started.Load()
+	res.Completed = complete.Load()
+	res.Refused = refused.Load()
+	res.Errors = errs.Load()
+	return res
+}
+
+// closedLoop drains phase.Requests requests through phase.Workers
+// goroutines. Requests are drawn up front (the rng is single-goroutine);
+// workers contend on an atomic cursor, so a slow request stalls only its
+// worker.
+func (g *Generator) closedLoop(ctx context.Context, phase Phase, do Do) Result {
+	res := Result{Phase: phase.Name, Mode: "closed", Latency: g.newSketch()}
+	n := phase.Requests
+	if n <= 0 {
+		return res
+	}
+	workers := phase.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = g.next()
+	}
+	res.Offered = uint64(n)
+
+	var (
+		cursor   atomic.Int64
+		complete atomic.Uint64
+		refused  atomic.Uint64
+		errs     atomic.Uint64
+		wg       sync.WaitGroup
+	)
+	sketches := make([]*quantile.Sketch, workers)
+	firstErr := make([]error, workers)
+
+	begin := time.Now()
+	for w := 0; w < workers; w++ {
+		w := w
+		sketches[w] = g.newSketch()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := cursor.Add(1) - 1
+				if i >= int64(n) || ctx.Err() != nil {
+					return
+				}
+				t0 := time.Now()
+				ref, err := do(ctx, reqs[i])
+				sketches[w].Observe(time.Since(t0).Seconds())
+				switch {
+				case err != nil:
+					errs.Add(1)
+					if firstErr[w] == nil && !errors.Is(err, context.Canceled) {
+						firstErr[w] = err
+					}
+					return // a hard error stops this worker; others drain on
+				case ref:
+					refused.Add(1)
+				default:
+					complete.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	res.Wall = time.Since(begin)
+
+	for w := 0; w < workers; w++ {
+		_ = res.Latency.Merge(sketches[w])
+		if res.Err == nil && firstErr[w] != nil {
+			res.Err = firstErr[w]
+		}
+	}
+	res.Started = res.Latency.Count()
+	res.Completed = complete.Load()
+	res.Refused = refused.Load()
+	res.Errors = errs.Load()
+	return res
+}

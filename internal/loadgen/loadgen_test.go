@@ -1,0 +1,218 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The request stream must be fully deterministic per seed: same ops, same
+// user/deal/query indices, in order.
+func TestDeterministicStream(t *testing.T) {
+	draw := func() []Request {
+		g := New(Options{Seed: 42})
+		reqs := make([]Request, 500)
+		for i := range reqs {
+			reqs[i] = g.next()
+		}
+		return reqs
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stream diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// Zipf skew: the hottest deal must dominate, and the mix weights must be
+// roughly honored.
+func TestSkewAndMix(t *testing.T) {
+	g := New(Options{Seed: 7, Deals: 100, Mix: Mix{Search: 70, Keyword: 20, Ingest: 10}})
+	const n = 20000
+	dealHits := make(map[int]int)
+	opHits := make(map[Op]int)
+	for i := 0; i < n; i++ {
+		r := g.next()
+		dealHits[r.Deal]++
+		opHits[r.Op]++
+	}
+	if frac := float64(dealHits[0]) / n; frac < 0.3 {
+		t.Errorf("hottest deal got %.1f%% of traffic, want zipf-dominant (>30%%)", frac*100)
+	}
+	if dealHits[0] <= dealHits[5] {
+		t.Errorf("deal 0 (%d hits) not hotter than deal 5 (%d hits)", dealHits[0], dealHits[5])
+	}
+	if frac := float64(opHits[OpSearch]) / n; frac < 0.6 || frac > 0.8 {
+		t.Errorf("search fraction %.2f, want ~0.70", frac)
+	}
+	if opHits[OpCompact] != 0 {
+		t.Errorf("compact weight 0 but got %d compacts", opHits[OpCompact])
+	}
+}
+
+// Open loop: a fast Do must complete roughly TargetQPS * Duration arrivals
+// with no drops.
+func TestOpenLoopHealthy(t *testing.T) {
+	g := New(Options{Seed: 1})
+	res := g.Run(context.Background(), Phase{Name: "healthy", TargetQPS: 500, Duration: 400 * time.Millisecond},
+		func(ctx context.Context, req Request) (bool, error) { return false, nil })
+	if res.Mode != "open" {
+		t.Fatalf("mode = %q", res.Mode)
+	}
+	if res.Offered < 100 || res.Offered > 400 {
+		t.Errorf("offered = %d, want ~200 (500qps x 0.4s)", res.Offered)
+	}
+	if res.Dropped != 0 {
+		t.Errorf("dropped = %d on an instant Do", res.Dropped)
+	}
+	if res.Completed != res.Offered {
+		t.Errorf("completed %d != offered %d", res.Completed, res.Offered)
+	}
+	if res.Latency.Count() != res.Started {
+		t.Errorf("latency count %d != started %d", res.Latency.Count(), res.Started)
+	}
+}
+
+// Open loop under saturation: a Do slower than the arrival interval with a
+// tiny in-flight cap must shed arrivals as drops instead of slowing the
+// arrival process — the property a closed loop cannot show.
+func TestOpenLoopShedsWhenSaturated(t *testing.T) {
+	g := New(Options{Seed: 1, MaxInFlight: 2, DrainGrace: 2 * time.Second})
+	var started atomic.Uint64
+	res := g.Run(context.Background(), Phase{Name: "saturated", TargetQPS: 400, Duration: 300 * time.Millisecond},
+		func(ctx context.Context, req Request) (bool, error) {
+			started.Add(1)
+			time.Sleep(50 * time.Millisecond) // service rate ~40/s max at cap 2
+			return false, nil
+		})
+	if res.Dropped == 0 {
+		t.Fatalf("no drops at 400qps offered vs ~40qps service capacity (offered=%d started=%d)",
+			res.Offered, res.Started)
+	}
+	if res.Started+res.Dropped != res.Offered {
+		t.Errorf("started %d + dropped %d != offered %d", res.Started, res.Dropped, res.Offered)
+	}
+	if res.Started > res.Offered/2 {
+		t.Errorf("started %d should be well under offered %d at this saturation", res.Started, res.Offered)
+	}
+}
+
+// Refusals and errors are accounted separately from completions.
+func TestOpenLoopRefusedAndErrors(t *testing.T) {
+	g := New(Options{Seed: 1})
+	boom := errors.New("backend down")
+	var n atomic.Uint64
+	res := g.Run(context.Background(), Phase{Name: "mixed", TargetQPS: 300, Duration: 300 * time.Millisecond},
+		func(ctx context.Context, req Request) (bool, error) {
+			switch n.Add(1) % 3 {
+			case 0:
+				return true, nil // refused
+			case 1:
+				return false, boom
+			}
+			return false, nil
+		})
+	if res.Refused == 0 || res.Errors == 0 || res.Completed == 0 {
+		t.Fatalf("refused=%d errors=%d completed=%d, want all nonzero", res.Refused, res.Errors, res.Completed)
+	}
+	if res.Completed+res.Refused+res.Errors != res.Started {
+		t.Errorf("completed %d + refused %d + errors %d != started %d",
+			res.Completed, res.Refused, res.Errors, res.Started)
+	}
+	if !errors.Is(res.Err, boom) {
+		t.Errorf("res.Err = %v, want %v", res.Err, boom)
+	}
+}
+
+// Closed loop drains exactly Requests requests across Workers.
+func TestClosedLoop(t *testing.T) {
+	g := New(Options{Seed: 1})
+	var calls atomic.Uint64
+	res := g.Run(context.Background(), Phase{Name: "closed", Workers: 4, Requests: 200},
+		func(ctx context.Context, req Request) (bool, error) {
+			calls.Add(1)
+			return false, nil
+		})
+	if res.Mode != "closed" {
+		t.Fatalf("mode = %q", res.Mode)
+	}
+	if calls.Load() != 200 || res.Completed != 200 || res.Started != 200 {
+		t.Errorf("calls=%d completed=%d started=%d, want 200", calls.Load(), res.Completed, res.Started)
+	}
+	if res.Latency.Count() != 200 {
+		t.Errorf("latency count = %d", res.Latency.Count())
+	}
+}
+
+// A hard error stops only the failing worker; the rest drain the schedule.
+func TestClosedLoopErrorStopsOneWorker(t *testing.T) {
+	g := New(Options{Seed: 1})
+	boom := errors.New("mid-drain failure")
+	var calls atomic.Uint64
+	res := g.Run(context.Background(), Phase{Name: "err", Workers: 3, Requests: 90},
+		func(ctx context.Context, req Request) (bool, error) {
+			if calls.Add(1) == 10 {
+				return false, boom
+			}
+			return false, nil
+		})
+	if !errors.Is(res.Err, boom) {
+		t.Fatalf("res.Err = %v, want %v", res.Err, boom)
+	}
+	if res.Errors != 1 {
+		t.Errorf("errors = %d, want 1", res.Errors)
+	}
+	// Two healthy workers keep draining: everything but the failed request
+	// completes.
+	if res.Completed != 89 {
+		t.Errorf("completed = %d, want 89", res.Completed)
+	}
+}
+
+// Context cancellation ends an open-loop phase early and still returns a
+// consistent result.
+func TestOpenLoopCancel(t *testing.T) {
+	g := New(Options{Seed: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res := g.Run(ctx, Phase{Name: "cancel", TargetQPS: 100, Duration: 30 * time.Second},
+		func(ctx context.Context, req Request) (bool, error) { return false, nil })
+	if e := time.Since(start); e > 5*time.Second {
+		t.Fatalf("cancelled phase took %v", e)
+	}
+	if res.Started+res.Dropped > res.Offered {
+		t.Errorf("started %d + dropped %d > offered %d", res.Started, res.Dropped, res.Offered)
+	}
+}
+
+// Ramp produces open-loop phases and Points flattens them for the artifact.
+func TestRampAndPoints(t *testing.T) {
+	g := New(Options{Seed: 1})
+	phases := Ramp([]float64{100, 200}, 150*time.Millisecond)
+	if len(phases) != 2 || phases[0].TargetQPS != 100 || phases[1].TargetQPS != 200 {
+		t.Fatalf("ramp = %+v", phases)
+	}
+	results := g.RunRamp(context.Background(), phases, func(ctx context.Context, req Request) (bool, error) {
+		time.Sleep(time.Millisecond)
+		return false, nil
+	})
+	pts := Points(results)
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Completed == 0 || p.AchievedQPS <= 0 {
+			t.Errorf("point %q: completed=%d achieved=%.1f", p.Phase, p.Completed, p.AchievedQPS)
+		}
+		if p.P99Ms < p.P50Ms {
+			t.Errorf("point %q: p99 %.3f < p50 %.3f", p.Phase, p.P99Ms, p.P50Ms)
+		}
+		if p.P50Ms <= 0 {
+			t.Errorf("point %q: p50 %.3f, want ~1ms", p.Phase, p.P50Ms)
+		}
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/quantile"
 )
 
 // Kind classifies a logged query.
@@ -132,29 +134,16 @@ type Summary struct {
 	// measured latency (zero when none did).
 	AvgLatency time.Duration
 	MaxLatency time.Duration
-	// P50/P95/P99Latency are exact quantiles over the same entries (the log
-	// is bounded, so sorting its latencies is cheap — no bucket
-	// interpolation error, unlike the histogram-backed HTTP quantiles).
+	// P50/P95/P99Latency are quantiles over the same entries, read from the
+	// relative-error sketch the load generator's phase reports also use
+	// (internal/quantile), so a qlog p99 and a loadgen p99 are the same
+	// estimator: guaranteed within ±0.5% of the true value, not a fixed
+	// histogram bucket's edge. The window is still the log's ring — the
+	// sketch is rebuilt from the retained entries on every Summarize.
 	P50Latency  time.Duration
 	P95Latency  time.Duration
 	P99Latency  time.Duration
 	TopConcepts []ConceptCount
-}
-
-// latencyQuantile picks the q-quantile from ascending-sorted latencies via
-// the nearest-rank method.
-func latencyQuantile(sorted []time.Duration, q float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(q*float64(len(sorted))+0.5) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
 }
 
 // Summarize computes the summary over the retained entries; top concepts
@@ -167,7 +156,7 @@ func (l *Log) Summarize(topK int) Summary {
 	counts := map[string]int{}
 	var latSum time.Duration
 	var latN int
-	var lats []time.Duration
+	sk := quantile.New(0.005, 0)
 	for _, e := range l.Entries() {
 		s.Total++
 		if e.Activities == 0 {
@@ -182,7 +171,7 @@ func (l *Log) Summarize(topK int) Summary {
 		if e.Latency > 0 {
 			latSum += e.Latency
 			latN++
-			lats = append(lats, e.Latency)
+			sk.Observe(e.Latency.Seconds())
 			if e.Latency > s.MaxLatency {
 				s.MaxLatency = e.Latency
 			}
@@ -193,10 +182,9 @@ func (l *Log) Summarize(topK int) Summary {
 	}
 	if latN > 0 {
 		s.AvgLatency = latSum / time.Duration(latN)
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		s.P50Latency = latencyQuantile(lats, 0.50)
-		s.P95Latency = latencyQuantile(lats, 0.95)
-		s.P99Latency = latencyQuantile(lats, 0.99)
+		s.P50Latency = time.Duration(sk.Quantile(0.50) * float64(time.Second))
+		s.P95Latency = time.Duration(sk.Quantile(0.95) * float64(time.Second))
+		s.P99Latency = time.Duration(sk.Quantile(0.99) * float64(time.Second))
 	}
 	for c, n := range counts {
 		s.TopConcepts = append(s.TopConcepts, ConceptCount{Concept: c, Count: n})

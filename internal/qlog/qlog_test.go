@@ -111,19 +111,28 @@ func TestSummarizeLatency(t *testing.T) {
 
 func TestSummarizeLatencyQuantiles(t *testing.T) {
 	l := New(128)
-	// 1ms..100ms, one entry per millisecond: exact nearest-rank quantiles.
+	// 1ms..100ms, one entry per millisecond. The quantiles come from the
+	// shared relative-error sketch, so assert the ±0.5% guarantee (with a
+	// hair of slack for the float round-trip), not exact ranks.
 	for i := 1; i <= 100; i++ {
 		l.Record(Entry{Kind: KindForm, Activities: 1, Latency: time.Duration(i) * time.Millisecond})
 	}
 	s := l.Summarize(5)
-	if s.P50Latency != 50*time.Millisecond {
-		t.Fatalf("p50 = %v, want 50ms", s.P50Latency)
+	within := func(got time.Duration, want time.Duration) bool {
+		diff := (got - want).Seconds()
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 0.006*want.Seconds()
 	}
-	if s.P95Latency != 95*time.Millisecond {
-		t.Fatalf("p95 = %v, want 95ms", s.P95Latency)
+	if !within(s.P50Latency, 50*time.Millisecond) {
+		t.Fatalf("p50 = %v, want ~50ms", s.P50Latency)
 	}
-	if s.P99Latency != 99*time.Millisecond {
-		t.Fatalf("p99 = %v, want 99ms", s.P99Latency)
+	if !within(s.P95Latency, 95*time.Millisecond) {
+		t.Fatalf("p95 = %v, want ~95ms", s.P95Latency)
+	}
+	if !within(s.P99Latency, 99*time.Millisecond) {
+		t.Fatalf("p99 = %v, want ~99ms", s.P99Latency)
 	}
 }
 

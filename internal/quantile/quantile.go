@@ -1,0 +1,254 @@
+// Package quantile is a bounded-memory quantile sketch for latency
+// measurements, in the DDSketch family: observations land in logarithmic
+// buckets sized so every reported quantile carries a guaranteed relative
+// error (1% by default), and the bucket set is collapsed from the low end
+// when it outgrows its bound — tail quantiles (the ones load tests and SLOs
+// judge) keep full accuracy no matter how many buckets collapse.
+//
+// The load generator records millions of per-request latencies through one
+// of these per phase instead of retaining a duration slice per request
+// (exact sort-based percentiles are O(requests) memory — fine at 500
+// queries, not at an open-loop sweep's arrival counts). The query log's
+// summary percentiles ride the same estimator, so server-side and
+// bench-side figures agree on what "p99" means.
+//
+// Sketches are not safe for concurrent use; shard per worker and Merge.
+package quantile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Defaults.
+const (
+	// DefAccuracy is the default relative accuracy: a reported quantile q̂
+	// satisfies |q̂ - q| <= DefAccuracy * q against the true value q.
+	DefAccuracy = 0.01
+	// DefMaxBins bounds the bucket count. 1%-accurate buckets span roughly
+	// nine decades of dynamic range in 1024 bins — nanoseconds to minutes —
+	// before any collapsing happens.
+	DefMaxBins = 1024
+)
+
+// Sketch accumulates non-negative observations into logarithmic buckets.
+// The zero value is not ready; construct with New.
+type Sketch struct {
+	gamma   float64 // bucket growth factor (1+a)/(1-a)
+	lnGamma float64
+	maxBins int
+
+	bins      map[int]uint64 // key -> count, key = ceil(log_gamma(v))
+	collapsed bool           // a collapse has happened; floorKey is active
+	floorKey  int            // smallest admissible key once collapsed
+
+	zeros uint64 // observations <= 0 (or denormal-small)
+	count uint64
+	sum   float64
+	min   float64
+	max   float64
+}
+
+// New returns a sketch with the given relative accuracy (0 < accuracy < 1;
+// 0 means DefAccuracy) and bucket bound (0 means DefMaxBins).
+func New(accuracy float64, maxBins int) *Sketch {
+	if accuracy <= 0 || accuracy >= 1 {
+		accuracy = DefAccuracy
+	}
+	if maxBins <= 0 {
+		maxBins = DefMaxBins
+	}
+	if maxBins < 8 {
+		maxBins = 8
+	}
+	gamma := (1 + accuracy) / (1 - accuracy)
+	return &Sketch{
+		gamma:   gamma,
+		lnGamma: math.Log(gamma),
+		maxBins: maxBins,
+		bins:    make(map[int]uint64),
+		min:     math.Inf(1),
+		max:     math.Inf(-1),
+	}
+}
+
+// RelativeAccuracy reports the configured per-quantile error bound.
+func (s *Sketch) RelativeAccuracy() float64 {
+	return (s.gamma - 1) / (s.gamma + 1)
+}
+
+// key maps a positive value to its bucket index.
+func (s *Sketch) key(v float64) int {
+	return int(math.Ceil(math.Log(v) / s.lnGamma))
+}
+
+// value maps a bucket index back to its midpoint estimate: 2γ^k/(γ+1) is
+// the point whose worst-case relative distance to any value in the bucket
+// (γ^(k-1), γ^k] is exactly the configured accuracy.
+func (s *Sketch) value(k int) float64 {
+	return 2 * math.Pow(s.gamma, float64(k)) / (s.gamma + 1)
+}
+
+// Observe records one observation. Values <= 0 (idle ops, clock quirks)
+// are counted in a dedicated zero bucket so they weigh the low quantiles
+// without distorting the log buckets.
+func (s *Sketch) Observe(v float64) {
+	s.count++
+	if v > 0 {
+		s.sum += v
+	}
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+		s.zeros++
+		return
+	}
+	k := s.key(v)
+	if s.collapsed && k < s.floorKey {
+		// Below the collapse floor: fold into the floor bucket, like any
+		// other collapsed low observation.
+		k = s.floorKey
+	}
+	s.bins[k]++
+	if len(s.bins) > s.maxBins {
+		s.collapseLowest()
+	}
+}
+
+// collapseLowest folds the smallest-key bucket into the next retained one,
+// sacrificing low-quantile resolution to bound memory.
+func (s *Sketch) collapseLowest() {
+	lowest, next := math.MaxInt, math.MaxInt
+	for k := range s.bins {
+		if k < lowest {
+			next = lowest
+			lowest = k
+		} else if k < next {
+			next = k
+		}
+	}
+	if next == math.MaxInt {
+		return // zero or one buckets; nothing to fold into
+	}
+	s.bins[next] += s.bins[lowest]
+	delete(s.bins, lowest)
+	s.collapsed = true
+	s.floorKey = next
+}
+
+// Count reports the number of observations.
+func (s *Sketch) Count() uint64 { return s.count }
+
+// Sum reports the sum of positive observations.
+func (s *Sketch) Sum() float64 { return s.sum }
+
+// Min reports the smallest observation (0 when empty).
+func (s *Sketch) Min() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max reports the largest observation (0 when empty).
+func (s *Sketch) Max() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Mean reports the mean of positive observations (0 when empty).
+func (s *Sketch) Mean() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.sum / float64(s.count)
+}
+
+// Quantile reports the q-quantile estimate (q clamped to [0, 1]). The
+// estimate's relative error is bounded by RelativeAccuracy except across
+// collapsed low buckets. Empty sketches report 0.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	if rank <= s.zeros {
+		return 0
+	}
+	rank -= s.zeros
+
+	keys := make([]int, 0, len(s.bins))
+	for k := range s.bins {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var cum uint64
+	for _, k := range keys {
+		cum += s.bins[k]
+		if cum >= rank {
+			return s.value(k)
+		}
+	}
+	return s.max
+}
+
+// Merge folds other into s. Both sketches must share the same accuracy
+// (same γ); Merge returns an error otherwise rather than silently blending
+// incompatible bucket grids.
+func (s *Sketch) Merge(other *Sketch) error {
+	if other == nil || other.count == 0 {
+		return nil
+	}
+	if math.Abs(other.gamma-s.gamma) > 1e-12 {
+		return fmt.Errorf("quantile: merge of sketches with different accuracy (γ %.6f vs %.6f)", s.gamma, other.gamma)
+	}
+	for k, n := range other.bins {
+		if s.collapsed && k < s.floorKey {
+			s.bins[s.floorKey] += n
+			continue
+		}
+		s.bins[k] += n
+	}
+	for len(s.bins) > s.maxBins {
+		s.collapseLowest()
+	}
+	s.zeros += other.zeros
+	s.count += other.count
+	s.sum += other.sum
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	return nil
+}
+
+// Reset empties the sketch in place, retaining its configuration.
+func (s *Sketch) Reset() {
+	s.bins = make(map[int]uint64)
+	s.collapsed = false
+	s.zeros, s.count = 0, 0
+	s.sum = 0
+	s.min = math.Inf(1)
+	s.max = math.Inf(-1)
+}
+
+// Bins reports the retained bucket count (tests assert the memory bound).
+func (s *Sketch) Bins() int { return len(s.bins) }

@@ -70,6 +70,13 @@ type Options struct {
 	// SkipRoute drops routes from evaluation; nil skips the scrape/probe
 	// endpoints (/metrics, /healthz, /readyz, /debug/*, unmatched).
 	SkipRoute func(route string) bool
+	// OnAlert, if set, is called whenever a route's alert level changes
+	// (edge-triggered: once per ok→ticket→page transition in either
+	// direction, not once per Tick spent in that state). It runs on the
+	// Tick goroutine without the engine lock held, so it may call Report
+	// or kick off work like a pprof capture — but should not block long,
+	// or it delays the sampling cadence.
+	OnAlert func(route, alert string)
 }
 
 // DefaultSkipRoute is the default route filter: probe and scrape traffic
@@ -98,12 +105,13 @@ type Engine struct {
 	opts    Options
 	windows []time.Duration
 
-	mu      sync.Mutex
-	ring    []sample
-	next    int
-	full    bool
-	lastRep Report
-	hasRep  bool
+	mu        sync.Mutex
+	ring      []sample
+	next      int
+	full      bool
+	lastRep   Report
+	hasRep    bool
+	prevAlert map[string]string // route -> last reported alert level
 }
 
 // New returns an engine with defaults filled.
@@ -132,7 +140,7 @@ func New(opts Options) *Engine {
 	if n > 8192 {
 		n = 8192
 	}
-	return &Engine{opts: opts, windows: windows, ring: make([]sample, n)}
+	return &Engine{opts: opts, windows: windows, ring: make([]sample, n), prevAlert: map[string]string{}}
 }
 
 // Windows returns the configured burn windows, ascending.
@@ -280,7 +288,6 @@ func quantileFromCum(bounds, cum []float64, total, q float64) float64 {
 // eil_slo_* gauges, and caches the report. Call it on a fixed cadence.
 func (e *Engine) Tick(now time.Time) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.ring[e.next] = sample{t: now, routes: e.collect()}
 	e.next++
 	if e.next == len(e.ring) {
@@ -290,6 +297,27 @@ func (e *Engine) Tick(now time.Time) {
 	e.lastRep = e.reportLocked(now)
 	e.hasRep = true
 	e.publishLocked(e.lastRep)
+
+	// Collect alert transitions under the lock, fire the callback outside
+	// it so a handler may re-enter the engine (Report, PeakBurn).
+	type transition struct{ route, alert string }
+	var fired []transition
+	if e.opts.OnAlert != nil {
+		for _, rr := range e.lastRep.Routes {
+			prev, seen := e.prevAlert[rr.Route]
+			if !seen {
+				prev = "ok"
+			}
+			if rr.Alert != prev {
+				fired = append(fired, transition{rr.Route, rr.Alert})
+			}
+			e.prevAlert[rr.Route] = rr.Alert
+		}
+	}
+	e.mu.Unlock()
+	for _, tr := range fired {
+		e.opts.OnAlert(tr.route, tr.alert)
+	}
 }
 
 // Run ticks the engine every interval until ctx is done — for deployments

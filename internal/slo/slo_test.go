@@ -206,3 +206,51 @@ func TestSkipRouteFiltersScrapes(t *testing.T) {
 		t.Fatalf("scrape routes leaked into the report: %+v", rep.Routes)
 	}
 }
+
+// OnAlert must fire once per level transition, not once per Tick spent in
+// a bad state, and must fire the de-escalation too.
+func TestOnAlertEdgeTriggered(t *testing.T) {
+	reg := obs.NewRegistry()
+	type event struct{ route, alert string }
+	var events []event
+	var eng *Engine
+	eng = New(Options{
+		Registry: reg,
+		Default:  Objective{Availability: 0.999, LatencyP99: 250 * time.Millisecond},
+		Interval: time.Minute,
+		OnAlert: func(route, alert string) {
+			// Re-entering the engine from the callback must not deadlock.
+			_ = eng.PeakBurn()
+			events = append(events, event{route, alert})
+		},
+	})
+
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	record(reg, "/api/search", "2xx", 10*time.Millisecond)
+	eng.Tick(t0)
+	if len(events) != 0 {
+		t.Fatalf("events after healthy tick = %v, want none", events)
+	}
+
+	// A total outage: ok -> page on the next tick, then silence while the
+	// state holds.
+	for i := 0; i < 10; i++ {
+		record(reg, "/api/search", "5xx", 5*time.Millisecond)
+	}
+	eng.Tick(t0.Add(time.Minute))
+	eng.Tick(t0.Add(2 * time.Minute))
+	if len(events) != 1 || events[0] != (event{"/api/search", "page"}) {
+		t.Fatalf("events during outage = %v, want single page", events)
+	}
+
+	// Recovery: short window clears but long windows remember, so the level
+	// steps page -> ticket — one more event.
+	for i := 0; i < 10; i++ {
+		record(reg, "/api/search", "2xx", 5*time.Millisecond)
+	}
+	eng.Tick(t0.Add(3 * time.Minute))
+	eng.Tick(t0.Add(9 * time.Minute))
+	if len(events) != 2 || events[1] != (event{"/api/search", "ticket"}) {
+		t.Fatalf("events after recovery = %v, want page then ticket", events)
+	}
+}

@@ -78,22 +78,29 @@ type dashBreaker struct {
 }
 
 type dashData struct {
-	Now       string
-	Verdict   string
-	Causes    []string
-	Panels    []dashPanel
-	Breakers  []dashBreaker
-	SLO       *slo.Report
-	Exemplars []dashExemplar
-	Samples   int
-	Span      string
-	HasTraces bool
+	Now         string
+	Verdict     string
+	Causes      []string
+	Panels      []dashPanel
+	Breakers    []dashBreaker
+	SLO         *slo.Report
+	Exemplars   []dashExemplar
+	Samples     int
+	Span        string
+	HasTraces   bool
+	HasProf     bool
+	CurveSVG    template.HTML
+	CurveLegend []dashCurveLegend
 }
 
 // debugDash renders the operator dashboard.
 func (h *handler) debugDash(w http.ResponseWriter, _ *http.Request) {
 	now := time.Now()
-	data := dashData{Now: now.Format(time.RFC3339), HasTraces: h.sys.RequestTracer() != nil}
+	data := dashData{Now: now.Format(time.RFC3339), HasTraces: h.sys.RequestTracer() != nil, HasProf: h.profRing != nil}
+	if len(h.curves) > 0 {
+		data.CurveSVG = curveChart(h.curves, 560, 200)
+		data.CurveLegend = curveLegend(h.curves)
+	}
 
 	rep := h.health.Evaluate()
 	data.Verdict = string(rep.Verdict)
@@ -242,7 +249,7 @@ var dashTmpl = template.Must(template.New("dash").Funcs(template.FuncMap{
 </style></head><body>
 <h1>EIL ops dashboard</h1>
 <div class="sub">{{.Now}} &middot; {{.Samples}} samples{{if .Span}} over {{.Span}}{{end}} &middot; auto-refresh 10s &middot;
- <a href="/metrics">metrics</a> &middot; <a href="/readyz">readyz</a> &middot; <a href="/api/slo">slo</a>{{if .HasTraces}} &middot; <a href="/debug/traces">traces</a>{{end}}</div>
+ <a href="/metrics">metrics</a> &middot; <a href="/readyz">readyz</a> &middot; <a href="/api/slo">slo</a>{{if .HasTraces}} &middot; <a href="/debug/traces">traces</a>{{end}}{{if .HasProf}} &middot; <a href="/debug/prof">profiles</a>{{end}}</div>
 
 <div><span class="verdict {{.Verdict}}">{{.Verdict}}</span></div>
 {{range .Causes}}<div class="causes">&#9888; {{.}}</div>{{end}}
@@ -270,6 +277,13 @@ var dashTmpl = template.Must(template.New("dash").Funcs(template.FuncMap{
 </tr>{{end}}
 </table>
 <div class="sub">cells are availability burn / latency burn; * marks a window the history does not yet span</div>{{end}}
+
+{{if .CurveSVG}}<h2>Throughput vs latency</h2>
+<div class="panel" style="min-width:0;display:inline-block">
+{{.CurveSVG}}
+<div class="sub" style="margin:0">x: achieved QPS &middot; y: p99 &middot;
+{{range .CurveLegend}} <span style="color:{{.Color}}">&#9632;</span> {{.Label}}{{end}}</div>
+</div>{{end}}
 
 {{if .Exemplars}}<h2>Slowest traced requests</h2>
 <table><tr><th>Route</th><th>Latency</th><th>Age</th><th>Trace</th></tr>

@@ -1,0 +1,161 @@
+package web
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/loadgen"
+	"repro/internal/prof"
+	"repro/internal/slo"
+	"repro/internal/synth"
+)
+
+// The PR 8 acceptance path end to end: a load run is in progress, the SLO
+// engine pages, the page event triggers an automatic profile capture, and
+// the capture is retrievable from the ring over /debug/prof.
+func TestPageEventCapturesRetrievableProfile(t *testing.T) {
+	corpus, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := eil.Ingest(corpus.Docs, eil.Options{Directory: corpus.Directory})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ring, err := prof.OpenRing(t.TempDir(), 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CPU is excluded from the event bundle here only to keep the test
+	// fast; heap and goroutine are real pprof captures.
+	profiler := prof.New(prof.Options{
+		Ring:        ring,
+		EventKinds:  []string{prof.KindHeap, prof.KindGoroutine},
+		MinEventGap: time.Millisecond,
+		Registry:    sys.Registry(),
+	})
+	var pages []string
+	sloEng := slo.New(slo.Options{
+		Registry: sys.Registry(),
+		Interval: time.Minute,
+		OnAlert: func(route, alert string) {
+			pages = append(pages, route+":"+alert)
+			if alert == "page" {
+				profiler.CaptureEvent("page-" + route)
+			}
+		},
+	})
+
+	srv := httptest.NewServer(HandlerFor(sys, WithSLO(sloEng), WithProfiles(ring)))
+	defer srv.Close()
+
+	// A short real load phase against the live server (the captures should
+	// reflect a system under load, not an idle one).
+	gen := loadgen.New(loadgen.Options{Seed: 3, Mix: loadgen.Mix{Search: 1}})
+	res := gen.Run(context.Background(), loadgen.Phase{Name: "bg", TargetQPS: 150, Duration: 300 * time.Millisecond},
+		func(ctx context.Context, req loadgen.Request) (bool, error) {
+			_, err := http.Get(srv.URL + "/api/search?tower=" + url.QueryEscape("Desktop Support"))
+			return false, err
+		})
+	if res.Completed == 0 || res.Err != nil {
+		t.Fatalf("load phase: completed=%d err=%v", res.Completed, res.Err)
+	}
+
+	// Force the page: a burst of 5xx against the availability budget. The
+	// burn-rate windows need a pre-outage base sample, so tick, fail, tick.
+	t0 := time.Now()
+	sloEng.Tick(t0)
+	for i := 0; i < 50; i++ {
+		sys.Registry().Counter("http_requests_total", "route", "/api/search", "code", "5xx").Inc()
+	}
+	sloEng.Tick(t0.Add(time.Minute))
+	profiler.Stop() // waits for the async event capture
+
+	if len(pages) == 0 || !strings.Contains(strings.Join(pages, ","), "page") {
+		t.Fatalf("no page alert fired; transitions = %v", pages)
+	}
+	caps := ring.List()
+	if len(caps) == 0 {
+		t.Fatal("page event stored no captures in the ring")
+	}
+	for _, c := range caps {
+		if !strings.HasPrefix(c.Reason, "page-") {
+			t.Errorf("capture %s reason = %q, want page-*", c.Name, c.Reason)
+		}
+	}
+
+	// The capture must be retrievable over the ops surface: listed by
+	// /debug/prof and downloadable by name.
+	resp, body := get(t, srv.URL+"/debug/prof?format=json", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/prof = %d", resp.StatusCode)
+	}
+	var listed []prof.Capture
+	if err := json.Unmarshal([]byte(body), &listed); err != nil {
+		t.Fatalf("prof list JSON: %v", err)
+	}
+	if len(listed) != len(caps) {
+		t.Fatalf("listed %d captures, ring has %d", len(listed), len(caps))
+	}
+	resp, body = get(t, srv.URL+"/debug/prof/"+listed[0].Name, nil)
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("capture download = %d, %d bytes", resp.StatusCode, len(body))
+	}
+
+	// HTML listing renders too.
+	resp, body = get(t, srv.URL+"/debug/prof", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, listed[0].Name) {
+		t.Fatalf("/debug/prof HTML missing capture link (status %d)", resp.StatusCode)
+	}
+
+	// Traversal attempts bounce.
+	resp, _ = get(t, srv.URL+"/debug/prof/..%2F..%2Fetc%2Fpasswd", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("traversal fetch = %d, want 404", resp.StatusCode)
+	}
+}
+
+// The dashboard renders the committed load-curve artifact as an inline SVG
+// panel with a legend entry per series.
+func TestDashLoadCurvePanel(t *testing.T) {
+	corpus, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := eil.Ingest(corpus.Docs, eil.Options{Directory: corpus.Directory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves := []loadgen.Curve{
+		{Label: "monolith procs=1", Points: []loadgen.CurvePoint{
+			{AchievedQPS: 100, P99Ms: 4}, {AchievedQPS: 300, P99Ms: 9}, {AchievedQPS: 500, P99Ms: 80},
+		}},
+		{Label: "shards=4 procs=4", Points: []loadgen.CurvePoint{
+			{AchievedQPS: 120, P99Ms: 3}, {AchievedQPS: 420, P99Ms: 6}, {AchievedQPS: 800, P99Ms: 40},
+		}},
+	}
+	srv := httptest.NewServer(HandlerFor(sys, WithLoadCurves(curves)))
+	defer srv.Close()
+
+	resp, body := get(t, srv.URL+"/debug/dash", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/dash = %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, "Throughput vs latency") {
+		t.Fatal("dash missing curve panel heading")
+	}
+	if !strings.Contains(body, "monolith procs=1") || !strings.Contains(body, "shards=4 procs=4") {
+		t.Fatal("dash missing curve legend labels")
+	}
+	if !strings.Contains(body, "<polyline") || !strings.Contains(body, "<circle") {
+		t.Fatal("dash curve panel missing SVG geometry")
+	}
+}

@@ -22,7 +22,9 @@ import (
 	"repro/internal/access"
 	"repro/internal/core"
 	"repro/internal/health"
+	"repro/internal/loadgen"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/qlog"
 	"repro/internal/runtimetel"
 	"repro/internal/siapi"
@@ -40,6 +42,8 @@ type config struct {
 	health    *health.Registry
 	slo       *slo.Engine
 	collector *runtimetel.Collector
+	profRing  *prof.Ring
+	curves    []loadgen.Curve
 }
 
 // WithPprof mounts net/http/pprof under /debug/pprof/.
@@ -69,6 +73,19 @@ func WithSLO(engine *slo.Engine) Option {
 // WithRuntime feeds /debug/dash from the collector's sample ring.
 func WithRuntime(c *runtimetel.Collector) Option {
 	return func(cfg *config) { cfg.collector = c }
+}
+
+// WithProfiles mounts the continuous-profiling ring at /debug/prof (listing)
+// and /debug/prof/{name} (capture download for `go tool pprof`).
+func WithProfiles(ring *prof.Ring) Option {
+	return func(c *config) { c.profRing = ring }
+}
+
+// WithLoadCurves adds a throughput-vs-latency curve panel to /debug/dash —
+// typically the committed eilbench -loadcurve artifact, so the dashboard
+// shows where the knee was last measured next to where the system runs now.
+func WithLoadCurves(curves []loadgen.Curve) Option {
+	return func(c *config) { c.curves = curves }
 }
 
 // Backend is the serving surface the handler needs: one eil.System or one
@@ -103,7 +120,7 @@ func HandlerFor(sys Backend, opts ...Option) http.Handler {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	h := &handler{sys: sys, health: cfg.health, slo: cfg.slo, collector: cfg.collector}
+	h := &handler{sys: sys, health: cfg.health, slo: cfg.slo, collector: cfg.collector, profRing: cfg.profRing, curves: cfg.curves}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", h.home)
 	mux.HandleFunc("/deal", h.dealPage)
@@ -129,6 +146,10 @@ func HandlerFor(sys Backend, opts ...Option) http.Handler {
 		mux.HandleFunc("/debug/traces", h.debugTraces)
 		mux.HandleFunc("/debug/trace/", h.debugTrace)
 	}
+	if cfg.profRing != nil {
+		mux.HandleFunc("/debug/prof", h.debugProf)
+		mux.HandleFunc("/debug/prof/", h.debugProfGet)
+	}
 	if cfg.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -144,6 +165,8 @@ type handler struct {
 	health    *health.Registry
 	slo       *slo.Engine
 	collector *runtimetel.Collector
+	profRing  *prof.Ring
+	curves    []loadgen.Curve
 }
 
 // middleware wraps every route with request counting, status-class

@@ -580,3 +580,42 @@ func TestShardForStable(t *testing.T) {
 		t.Error("single shard must own everything")
 	}
 }
+
+// TestShardedStreamingIngestMatchesBatch: IngestShardedFrom pulling from
+// the synth streaming generator must build the same cluster as the batch
+// path over Generate's slice — same rankings, same keyword counts — while
+// never holding the corpus as a slice.
+func TestShardedStreamingIngestMatchesBatch(t *testing.T) {
+	cfg := synth.SmallConfig()
+	corpus, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := IngestSharded(corpus.Docs, 3, Options{Directory: corpus.Directory, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := synth.NewStream(cfg)
+	streamed, err := IngestShardedFrom(stream, 3, Options{Directory: stream.Directory(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	user := admin()
+	for _, q := range differentialQueries()[:8] {
+		rb, err := batch.Search(user, q)
+		if err != nil {
+			t.Fatalf("batch search: %v", err)
+		}
+		rs, err := streamed.Search(user, q)
+		if err != nil {
+			t.Fatalf("streamed search: %v", err)
+		}
+		assertSameResult(t, "stream-vs-batch", rb, rs)
+	}
+	for _, kw := range []string{"replication", "cross tower TSA", "backup"} {
+		if b, s := batch.KeywordCount(kw), streamed.KeywordCount(kw); b != s {
+			t.Errorf("keyword %q count: batch=%d streamed=%d", kw, b, s)
+		}
+	}
+}
