@@ -131,6 +131,11 @@ type report struct {
 	// requested concurrency.
 	Shard *shardSummary `json:"shard,omitempty"`
 
+	// Repl is the -repl mode block: read-scaling of a primary plus N
+	// WAL-shipped read replicas behind the router, as a cpu-bound pair and
+	// a remote-replica latency-model pair (see replSummary).
+	Repl *replSummary `json:"repl,omitempty"`
+
 	// LoadCurve is the -loadcurve mode block: open-loop throughput-vs-
 	// latency curves per engine and GOMAXPROCS.
 	LoadCurve *loadCurveSummary `json:"load_curve,omitempty"`
@@ -271,6 +276,7 @@ func main() {
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
 
 		shardN      = flag.Int("shards", 0, "run the shard A/B: monolithic engine vs N-shard scatter-gather over the same corpus and a varied low-cache-hit workload (adds the 'shard' report block)")
+		replN       = flag.Int("repl", 0, "run the replication read-scaling A/B: a lone primary vs the same primary plus N WAL-shipped read replicas behind the router (adds the 'repl' report block)")
 		concurrency = flag.Int("concurrency", 1, "closed-loop workload workers; >1 runs a short untimed ramp, then N workers drain the query set")
 
 		chaos      = flag.Bool("chaos", false, "measure resilience: fault-free overhead, then availability/latency at 0/1/5%% injected fault rates")
@@ -404,6 +410,17 @@ func main() {
 			log.Fatal(err)
 		}
 		r.Shard = ss
+	}
+	if *replN > 0 {
+		if runtime.NumCPU() < *replN+1 {
+			log.Printf("[repl] warning: %d nodes on %d CPU(s) — the cpu_bound pair measures routing overhead, "+
+				"not parallel speedup; see the latency_model pair and the report's note field", *replN+1, runtime.NumCPU())
+		}
+		rs, err := replBench(cfg, *queries, *replN)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.Repl = rs
 	}
 
 	w := os.Stdout

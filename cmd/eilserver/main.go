@@ -40,15 +40,20 @@ import (
 	"time"
 
 	"encoding/json"
+	"net"
 
 	"repro"
 	"repro/internal/access"
 	"repro/internal/core"
+	"repro/internal/docmodel"
+	"repro/internal/docparse"
 	"repro/internal/fault"
 	"repro/internal/health"
 	"repro/internal/loadgen"
+	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/qlog"
+	"repro/internal/repl"
 	"repro/internal/runtimetel"
 	"repro/internal/slo"
 	"repro/internal/synth"
@@ -97,6 +102,58 @@ func clusterDocCount(c *eil.Cluster) int {
 	return total
 }
 
+// shardPosition is one shard's replication position in the primary's
+// /api/repl report.
+type shardPosition struct {
+	Shard string `json:"shard,omitempty"`
+	Gen   uint64 `json:"gen"`
+	Seq   uint64 `json:"seq"`
+}
+
+// primaryReport assembles the primary's /api/repl payload: the journal
+// position of every shipped shard plus each connected follower's view.
+func primaryReport(sys *eil.System, cluster *eil.Cluster, shipper *repl.Shipper) any {
+	var positions []shardPosition
+	if cluster != nil {
+		for i, s := range cluster.Shards {
+			_, seq := s.ReplPosition()
+			positions = append(positions, shardPosition{
+				Shard: fmt.Sprintf("shard-%04d", i), Gen: s.Generation(), Seq: seq,
+			})
+		}
+	} else {
+		_, seq := sys.ReplPosition()
+		positions = append(positions, shardPosition{Gen: sys.Generation(), Seq: seq})
+	}
+	return struct {
+		Role      string                `json:"role"`
+		Positions []shardPosition       `json:"positions"`
+		Followers []repl.FollowerStatus `json:"followers"`
+	}{"primary", positions, shipper.Status()}
+}
+
+// churnDocs builds one synthetic deal's documents for -demo-churn write
+// traffic: enough structure (overview, scope, team, service grid) to
+// exercise the full analysis/index/synopsis apply path on every batch.
+func churnDocs(dealID string, round int) ([]*docmodel.Document, error) {
+	files := []struct{ name, content string }{
+		{"overview.txt", fmt.Sprintf("Deal Overview\nCustomer: Churn Corp %d\nIndustry: Retail\nTotal Contract Value: over 100M\nScope summary: Network Services.\n", round)},
+		{"scope.deck", "# Services Scope Baseline\n- Network Services\n- Voice Services coverage\n"},
+		{"team.grid", "GRID Deal Team Roster\nName | Role | Email | Phone\nChurn Person | CSE | churn.person@example.com |\n"},
+		{"tsa-1.grid", fmt.Sprintf("GRID Network Services Service Details\nService Item | cross tower TSA | Notes\nNetwork Services item %d | | pending\n", round)},
+	}
+	var docs []*docmodel.Document
+	for _, f := range files {
+		doc, err := docparse.Parse(dealID+"/"+f.name, f.content)
+		if err != nil {
+			return nil, err
+		}
+		doc.DealID = dealID
+		docs = append(docs, doc)
+	}
+	return docs, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("eilserver: ")
@@ -129,6 +186,12 @@ func main() {
 		sloAvail    = flag.Float64("slo-availability", 0.999, "per-route availability objective (fraction of non-5xx responses)")
 		sloP99      = flag.Duration("slo-latency-p99", 250*time.Millisecond, "per-route p99 latency objective")
 		maxGoros    = flag.Int("max-goroutines", 0, "goroutine watermark for the readiness check (0 = default 10000)")
+
+		replListen = flag.String("repl-listen", "", "ship the write-ahead journal to read replicas connecting on this address (requires -wal)")
+		replicaOf  = flag.String("replica-of", "", "run as a read replica: bootstrap from the primary's -repl-listen address and keep replaying its journal into -sys")
+		replName   = flag.String("repl-name", "", "follower identity reported to the primary (default follower-<pid>)")
+		maxLag     = flag.Uint64("max-lag", 4096, "follower staleness bound in journal records: beyond it /readyz fails and routers drain this replica (0 = unbounded)")
+		churn      = flag.Duration("demo-churn", 0, "with -demo: apply a synthetic document batch every interval (write traffic for replication demos; 0 disables)")
 
 		profDir      = flag.String("prof-dir", "", "continuous-profiling ring directory; enables scheduled pprof captures, automatic captures on SLO page events, and the /debug/prof browser")
 		profInterval = flag.Duration("prof-interval", 10*time.Minute, "scheduled profile capture cadence when -prof-dir is set (0 disables the schedule; page-event captures still fire)")
@@ -166,11 +229,40 @@ func main() {
 	}
 
 	var (
-		sys     *eil.System
-		cluster *eil.Cluster
-		err     error
+		sys       *eil.System
+		cluster   *eil.Cluster
+		follower  *eil.Follower
+		cfollower *eil.ClusterFollower
+		err       error
 	)
 	switch {
+	case *replicaOf != "":
+		// Read replica: no local corpus, no journal, no checkpoints of its
+		// own — state arrives over the replication stream and persists at
+		// the primary's rotation points.
+		if *demo || *walOn || *snapInterval > 0 || *faultSpec != "" || *budget > 0 {
+			log.Fatal("-replica-of is read-only: drop -demo, -wal, -snapshot-interval, -fault-spec, and -search-budget")
+		}
+		fopts := eil.FollowerOptions{
+			Dir:     *sysDir,
+			Addr:    *replicaOf,
+			Name:    *replName,
+			MaxLag:  *maxLag,
+			Access:  ctl,
+			Metrics: obs.NewRegistry(),
+			Tracer:  tracer,
+			Logf:    log.Printf,
+		}
+		if *shards > 1 {
+			cfollower, err = eil.StartClusterFollower(*shards, fopts)
+		} else {
+			follower, err = eil.StartFollower(fopts)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("replicating from %s into %s (staleness bound %d records); serving begins at first sync",
+			*replicaOf, *sysDir, *maxLag)
 	case *demo && *shards > 1:
 		log.Printf("generating demo corpus...")
 		corpus, gerr := synth.Generate(synth.SmallConfig())
@@ -218,9 +310,14 @@ func main() {
 		log.Printf("loaded %d documents from %s", sys.Index.DocCount(), *sysDir)
 	}
 	var be backend
-	if cluster != nil {
+	switch {
+	case cfollower != nil:
+		be = cfollower
+	case follower != nil:
+		be = follower
+	case cluster != nil:
 		be = cluster
-	} else {
+	default:
 		be = sys
 	}
 	if tracer != nil {
@@ -228,9 +325,10 @@ func main() {
 	}
 
 	if *logCap > 0 {
-		if cluster != nil {
+		switch {
+		case cluster != nil:
 			cluster.QueryLog = qlog.New(*logCap)
-		} else {
+		case sys != nil:
 			sys.QueryLog = qlog.New(*logCap)
 		}
 	}
@@ -246,9 +344,10 @@ func main() {
 		return fmt.Sprintf("generation %d", gen), err
 	}
 
-	if cluster != nil {
+	switch {
+	case cluster != nil:
 		cluster.SnapshotKeep = *snapKeep
-	} else {
+	case sys != nil:
 		sys.SnapshotKeep = *snapKeep
 	}
 	if *walOn {
@@ -262,6 +361,35 @@ func main() {
 		} else {
 			log.Printf("write-ahead journal enabled in %s (generation %d)", *sysDir, sys.Generation())
 		}
+	}
+
+	// Primary-side replication: ship the journal to any follower that
+	// connects. Requires the journal — the stream is the journal.
+	var shipper *repl.Shipper
+	if *replListen != "" {
+		if !*walOn {
+			log.Fatal("-repl-listen requires -wal: replication ships the write-ahead journal")
+		}
+		lis, lerr := net.Listen("tcp", *replListen)
+		if lerr != nil {
+			log.Fatal(lerr)
+		}
+		// A parsed -fault-spec reaches the wire too (repl.send / repl.recv /
+		// repl.corrupt), so replication chaos composes with backend chaos.
+		var inj *fault.Injector
+		if *faultSpec != "" {
+			inj = be.CoreEngine().Faults
+		}
+		if cluster != nil {
+			shipper, err = cluster.ServeReplication(lis, inj)
+		} else {
+			shipper, err = sys.ServeReplication(lis, inj)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer shipper.Close()
+		log.Printf("shipping journal to followers on %s (status at /api/repl)", lis.Addr())
 	}
 
 	eng := be.CoreEngine()
@@ -347,6 +475,16 @@ func main() {
 		opts = append(opts, web.WithAccessLog(slog.New(slog.NewTextHandler(os.Stderr, nil))))
 	}
 	opts = append(opts, web.WithHealth(checks), web.WithSLO(sloEng), web.WithRuntime(collector))
+	switch {
+	case cfollower != nil:
+		opts = append(opts, web.WithReplStatus(func() any { return cfollower.Status() }))
+	case follower != nil:
+		opts = append(opts, web.WithReplStatus(func() any { return follower.Status() }))
+	case shipper != nil:
+		opts = append(opts, web.WithReplStatus(func() any {
+			return primaryReport(sys, cluster, shipper)
+		}))
+	}
 	if profiler != nil {
 		opts = append(opts, web.WithProfiles(profiler.Ring()))
 	}
@@ -371,6 +509,53 @@ func main() {
 	if collector == nil {
 		// No collector to pace the SLO engine: give it its own ticker.
 		go sloEng.Run(ctx.Done(), 10*time.Second)
+	}
+
+	if *churn > 0 && (sys != nil || cluster != nil) {
+		// Synthetic write traffic: add a rotating window of churn deals,
+		// removing the oldest once ten are live, so replication demos have a
+		// continuous journal stream of both AddDocuments and RemoveDeal.
+		go func() {
+			tick := time.NewTicker(*churn)
+			defer tick.Stop()
+			round := 0
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					round++
+					dealID := fmt.Sprintf("CHURN DEAL %d", round)
+					docs, derr := churnDocs(dealID, round)
+					if derr != nil {
+						log.Printf("churn: %v", derr)
+						continue
+					}
+					var aerr error
+					if cluster != nil {
+						aerr = cluster.AddDocuments(docs)
+					} else {
+						aerr = sys.AddDocuments(docs)
+					}
+					if aerr != nil {
+						log.Printf("churn: add %s: %v", dealID, aerr)
+						continue
+					}
+					if round > 10 {
+						old := fmt.Sprintf("CHURN DEAL %d", round-10)
+						if cluster != nil {
+							aerr = cluster.RemoveDeal(old)
+						} else {
+							aerr = sys.RemoveDeal(old)
+						}
+						if aerr != nil {
+							log.Printf("churn: remove %s: %v", old, aerr)
+						}
+					}
+				}
+			}
+		}()
+		log.Printf("churning one synthetic deal every %v", *churn)
 	}
 
 	if *snapInterval > 0 {

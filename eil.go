@@ -37,6 +37,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/qlog"
 	"repro/internal/relstore"
+	"repro/internal/repl"
 	"repro/internal/siapi"
 	"repro/internal/synopsis"
 	"repro/internal/taxonomy"
@@ -142,6 +143,20 @@ type System struct {
 	wal      *durable.WAL
 	walDir   string
 	lastCkpt time.Time
+
+	// Replication state. seq is the global record counter — how many
+	// journal records this state's history folds in since its lineage
+	// began — and is the position coordinate followers, the router, and
+	// lag math all use. ckptSeq is seq at the last committed checkpoint
+	// (what the replpos component records). upstreamGen, on a follower,
+	// names the primary generation the state derives from (0 on a
+	// primary). replLog is the primary's in-memory ship buffer, live
+	// once ServeReplication has been called; journalLocked tees every
+	// record into it.
+	seq         atomic.Uint64
+	ckptSeq     uint64
+	upstreamGen atomic.Uint64
+	replLog     *repl.Log
 }
 
 // siapi returns the live keyword engine. Searches go through this (not the

@@ -58,7 +58,12 @@ type WAL struct {
 	base     uint64
 	syncEach int
 	unsynced int
-	metrics  *obs.Registry
+	// broken poisons the journal after a failed Rotate: the snapshot has
+	// already committed, so the on-disk journal extends a superseded base —
+	// an append there would be silently discarded on the next load. Refusing
+	// the append keeps "Append returned nil" meaning "recoverable".
+	broken  error
+	metrics *obs.Registry
 }
 
 func walOpts(opts WALOptions) (FS, int) {
@@ -209,6 +214,9 @@ func (w *WAL) Base() uint64 {
 func (w *WAL) Append(kind uint8, payload []byte) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.broken != nil {
+		return fmt.Errorf("durable: wal append: journal poisoned by failed rotate: %w", w.broken)
+	}
 	body := make([]byte, 0, len(payload)+9)
 	body = append(body, kind)
 	body = append(body, payload...)
@@ -227,11 +235,27 @@ func (w *WAL) Append(kind uint8, payload []byte) error {
 	return nil
 }
 
+// Healthy reports whether the journal can accept appends. It returns the
+// poisoning error after a failed rotation, letting callers refuse a
+// mutation up front instead of applying it to memory and then failing to
+// make it durable.
+func (w *WAL) Healthy() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.broken != nil {
+		return fmt.Errorf("durable: journal poisoned by failed rotate: %w", w.broken)
+	}
+	return nil
+}
+
 // Sync force-fsyncs pending appends (commit points call this regardless of
 // the batching policy).
 func (w *WAL) Sync() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.broken != nil {
+		return fmt.Errorf("durable: wal sync: journal poisoned by failed rotate: %w", w.broken)
+	}
 	if w.unsynced == 0 {
 		return nil
 	}
@@ -265,18 +289,28 @@ func (w *WAL) syncLocked() error {
 // journal extending newBase atomically replaces the current one. Operations
 // journaled before Rotate are folded into generation newBase's snapshot, so
 // they are not lost — they are superseded.
+//
+// If the replacement fails, the journal poisons itself: the caller's
+// snapshot already committed at newBase, so the surviving on-disk journal
+// extends a superseded generation. Accepting further appends there would
+// acknowledge operations the next load silently discards (base mismatch);
+// instead Append and Sync fail until the owner re-establishes a journal
+// whose base matches reality (EnableWAL after a successful checkpoint).
 func (w *WAL) Rotate(newBase uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	dir := filepath.Dir(w.path)
 	fresh, err := CreateWAL(dir, newBase, WALOptions{FS: w.fs, SyncEvery: w.syncEach, Metrics: w.metrics})
 	if err != nil {
+		w.broken = err
+		w.metrics.Counter("durable_recovery_events_total", "kind", "wal_rotate").Inc()
 		return err
 	}
 	old := w.f
 	w.f = fresh.f
 	w.base = newBase
 	w.unsynced = 0
+	w.broken = nil
 	return old.Close()
 }
 

@@ -1,0 +1,237 @@
+// Package repl implements WAL-shipping replication: a primary-side
+// Shipper that streams snapshot generations and journal records to
+// follower processes, and a Client that bootstraps a follower from the
+// latest snapshot and replays the stream through the host's apply paths.
+//
+// The wire format reuses the durable package's framing discipline: every
+// message is a length-prefixed, CRC-32C-checksummed frame
+//
+//	length uint32 | crc32c(body) uint32 | body
+//
+// where body is one type byte followed by the payload. Control messages
+// carry JSON and are capped at 64 KB; record and snapshot-chunk frames
+// carry binary payloads capped at the journal's 64 MB frame limit. A
+// corrupt frame is indistinguishable from a hostile peer, so decoders
+// fail hard with ErrBadFrame and the client responds by distrusting its
+// entire state and re-syncing from a snapshot.
+package repl
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// ProtoMagic opens every connection in both directions; it keeps a
+// follower from streaming frames into an unrelated listener (or vice
+// versa) before any state moves.
+const ProtoMagic = "EILREPL1"
+
+// ProtoFormat versions the control-message schema.
+const ProtoFormat = 1
+
+// Message types. Control messages (JSON payload) are small; MsgRecord and
+// MsgSnapData carry binary payloads up to MaxRecordFrame.
+const (
+	MsgHello     byte = 1 // follower→primary: identity + resume position
+	MsgSnapBegin byte = 2 // primary→follower: snapshot transfer starts
+	MsgSnapData  byte = 3 // primary→follower: raw component chunk
+	MsgSnapSum   byte = 4 // primary→follower: per-component CRC trailer
+	MsgSnapEnd   byte = 5 // primary→follower: snapshot complete, tail follows
+	MsgTail      byte = 6 // primary→follower: resuming stream at your position
+	MsgRecord    byte = 7 // primary→follower: one journal record
+	MsgRotate    byte = 8 // primary→follower: primary checkpointed; new generation
+	MsgPos       byte = 9 // both ways: position report (follower ack / primary heartbeat)
+	MsgError     byte = 10
+)
+
+const (
+	// MaxControlFrame bounds handshake and control payloads.
+	MaxControlFrame = 64 << 10
+	// MaxRecordFrame bounds record and snapshot-chunk payloads; it matches
+	// the journal's own frame limit, since records are relayed verbatim.
+	MaxRecordFrame = 64 << 20
+	// SnapChunk is the snapshot streaming chunk size.
+	SnapChunk = 256 << 10
+	// initialFrameAlloc caps the buffer allocated before any payload bytes
+	// have actually arrived, so a hostile length prefix cannot force a
+	// 64 MB allocation from a 9-byte input.
+	initialFrameAlloc = 64 << 10
+)
+
+// ErrBadFrame marks CRC, length, or structural violations: the stream can
+// no longer be trusted at all, as opposed to an I/O error (retryable at
+// the same position).
+var ErrBadFrame = errors.New("repl: bad frame")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Hello is the follower's opening message.
+type Hello struct {
+	Format int    `json:"format"`
+	Name   string `json:"name"`
+	Shard  string `json:"shard,omitempty"`
+	// Have reports whether the follower holds replayable local state; when
+	// true, Gen/Seq is the position it can resume from.
+	Have bool   `json:"have"`
+	Gen  uint64 `json:"gen"`
+	Seq  uint64 `json:"seq"`
+}
+
+// Pos is a (generation, sequence) position report. Seq is the global
+// record counter — the number of journal records applied since the
+// lineage began — and is the coordinate all routing and lag math uses;
+// Gen names the snapshot generation the position's history runs through.
+type Pos struct {
+	Gen uint64 `json:"gen"`
+	Seq uint64 `json:"seq"`
+}
+
+// SnapComponent names one snapshot component and its raw container size.
+type SnapComponent struct {
+	Name string `json:"name"`
+	Size int64  `json:"size"`
+}
+
+// SnapBegin announces a snapshot transfer: the generation being shipped,
+// the sequence number its state folds in, and the component manifest in
+// transfer order.
+type SnapBegin struct {
+	Gen        uint64          `json:"gen"`
+	Seq        uint64          `json:"seq"`
+	Components []SnapComponent `json:"components"`
+}
+
+// SnapSum closes one component: the CRC-32C of its raw bytes as sent.
+type SnapSum struct {
+	Name string `json:"name"`
+	CRC  uint32 `json:"crc"`
+}
+
+// ErrorMsg is a terminal refusal. Resync tells the follower its position
+// is unserviceable and the next attempt must request a full snapshot.
+type ErrorMsg struct {
+	Msg    string `json:"msg"`
+	Resync bool   `json:"resync,omitempty"`
+}
+
+// Record is one replicated journal record: the primary's sequence number
+// after appending it, the journal op kind, and the op payload verbatim.
+type Record struct {
+	Seq     uint64
+	Kind    uint8
+	Payload []byte
+}
+
+// EncodeRecord lays a record out as seq uint64 | kind uint8 | payload.
+func EncodeRecord(rec Record) []byte {
+	buf := make([]byte, 9+len(rec.Payload))
+	binary.LittleEndian.PutUint64(buf, rec.Seq)
+	buf[8] = rec.Kind
+	copy(buf[9:], rec.Payload)
+	return buf
+}
+
+// DecodeRecord parses an EncodeRecord payload.
+func DecodeRecord(p []byte) (Record, error) {
+	if len(p) < 9 {
+		return Record{}, fmt.Errorf("%w: record payload %d bytes", ErrBadFrame, len(p))
+	}
+	return Record{
+		Seq:     binary.LittleEndian.Uint64(p),
+		Kind:    p[8],
+		Payload: p[9:],
+	}, nil
+}
+
+// writeFrame emits one frame: length | crc32c | type byte | payload.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	body := make([]byte, 1+len(payload))
+	body[0] = typ
+	copy(body[1:], payload)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(body, castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// writeJSON emits a control frame with a JSON payload.
+func writeJSON(w io.Writer, typ byte, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return writeFrame(w, typ, payload)
+}
+
+// readFrame reads one frame, verifying length bounds and CRC. The buffer
+// is grown as bytes arrive rather than allocated up front, so the largest
+// allocation a malicious length prefix can cause without sending the
+// bytes to back it is initialFrameAlloc.
+func readFrame(r io.Reader, limit uint32) (byte, []byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	want := binary.LittleEndian.Uint32(hdr[4:8])
+	if length == 0 || length > limit {
+		return 0, nil, fmt.Errorf("%w: frame length %d (limit %d)", ErrBadFrame, length, limit)
+	}
+	alloc := length
+	if alloc > initialFrameAlloc {
+		alloc = initialFrameAlloc
+	}
+	body := make([]byte, 0, alloc)
+	for uint32(len(body)) < length {
+		chunk := length - uint32(len(body))
+		if chunk > initialFrameAlloc {
+			chunk = initialFrameAlloc
+		}
+		start := len(body)
+		body = append(body, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r, body[start:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, nil, err
+		}
+	}
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return 0, nil, fmt.Errorf("%w: crc mismatch got=%08x want=%08x", ErrBadFrame, got, want)
+	}
+	return body[0], body[1:], nil
+}
+
+// decodeControl parses a JSON control payload into v, treating malformed
+// JSON as a framing violation.
+func decodeControl(payload []byte, v any) error {
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("%w: control payload: %v", ErrBadFrame, err)
+	}
+	return nil
+}
+
+// decodeHello validates a handshake payload with hard caps on the
+// identity strings, so a hostile hello cannot smuggle unbounded data past
+// the frame limit checks into long-lived per-connection state.
+func decodeHello(payload []byte) (Hello, error) {
+	var h Hello
+	if err := decodeControl(payload, &h); err != nil {
+		return Hello{}, err
+	}
+	if h.Format != ProtoFormat {
+		return Hello{}, fmt.Errorf("%w: hello format %d (want %d)", ErrBadFrame, h.Format, ProtoFormat)
+	}
+	if len(h.Name) > 256 || len(h.Shard) > 256 {
+		return Hello{}, fmt.Errorf("%w: hello identity too long", ErrBadFrame)
+	}
+	return h, nil
+}

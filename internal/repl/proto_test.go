@@ -1,0 +1,151 @@
+package repl
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		bytes.Repeat([]byte{0xAB}, SnapChunk),
+	}
+	for i, p := range payloads {
+		if err := writeFrame(&buf, MsgRecord, p); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	for i, p := range payloads {
+		typ, got, err := readFrame(&buf, MaxRecordFrame)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if typ != MsgRecord {
+			t.Fatalf("read %d: type = %d", i, typ)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("read %d: payload mismatch (%d vs %d bytes)", i, len(got), len(p))
+		}
+	}
+}
+
+func TestFrameCRCMismatchIsBadFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, MsgRecord, []byte("hello replication")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-1] ^= 0x01 // flip one payload bit
+	_, _, err := readFrame(bytes.NewReader(raw), MaxRecordFrame)
+	if !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestFrameOversizeLengthIsBadFrame(t *testing.T) {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], MaxControlFrame+1)
+	_, _, err := readFrame(bytes.NewReader(hdr[:]), MaxControlFrame)
+	if !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestFrameTruncationIsIOError(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, MsgRecord, bytes.Repeat([]byte("a"), 1024)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()/2]
+	_, _, err := readFrame(bytes.NewReader(raw), MaxRecordFrame)
+	if err == nil || errors.Is(err, ErrBadFrame) {
+		// A cut connection mid-frame must read as an I/O error (retry at the
+		// same position), not a framing violation (forced re-sync).
+		t.Fatalf("err = %v, want plain I/O error", err)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want unexpected EOF", err)
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	rec := Record{Seq: 1<<40 + 7, Kind: 3, Payload: []byte("payload bytes")}
+	got, err := DecodeRecord(EncodeRecord(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != rec.Seq || got.Kind != rec.Kind || !bytes.Equal(got.Payload, rec.Payload) {
+		t.Fatalf("round trip: %+v != %+v", got, rec)
+	}
+	if _, err := DecodeRecord([]byte{1, 2, 3}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short record err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestHelloRoundTripAndLimits(t *testing.T) {
+	var buf bytes.Buffer
+	want := Hello{Format: ProtoFormat, Name: "f1", Shard: "shard-0002", Gen: 9, Seq: 512, Have: true}
+	if err := writeJSON(&buf, MsgHello, want); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readFrame(&buf, MaxControlFrame)
+	if err != nil || typ != MsgHello {
+		t.Fatalf("read: type %d, err %v", typ, err)
+	}
+	got, err := decodeHello(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("hello = %+v, want %+v", got, want)
+	}
+
+	if err := decodeHelloJSON(t, Hello{Format: ProtoFormat, Name: strings.Repeat("n", 300)}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("long name err = %v, want ErrBadFrame", err)
+	}
+	if err := decodeHelloJSON(t, Hello{Format: ProtoFormat + 1, Name: "x"}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("format err = %v, want ErrBadFrame", err)
+	}
+}
+
+// decodeHelloJSON round-trips a Hello through the wire and returns the
+// decode error.
+func decodeHelloJSON(t *testing.T, h Hello) error {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, MsgHello, h); err != nil {
+		t.Fatal(err)
+	}
+	_, payload, err := readFrame(&buf, MaxControlFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, derr := decodeHello(payload)
+	return derr
+}
+
+// TestReadFrameAllocationBounded proves a hostile length prefix cannot
+// force a large allocation: the reader grows its buffer only as payload
+// bytes actually arrive.
+func TestReadFrameAllocationBounded(t *testing.T) {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], MaxRecordFrame) // claims 64 MB
+	body := []byte{MsgRecord}                               // delivers 1 byte
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(body, castagnoli))
+	// initialFrameAlloc caps the up-front buffer, so the only way to make
+	// the reader hold 64 MB is to actually send 64 MB; a 9-byte hostile
+	// prefix fails fast with an I/O error instead.
+	r := bytes.NewReader(append(hdr[:], body...))
+	_, _, err := readFrame(r, MaxRecordFrame)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want unexpected EOF (truncated hostile frame)", err)
+	}
+}

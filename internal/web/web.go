@@ -44,6 +44,14 @@ type config struct {
 	collector *runtimetel.Collector
 	profRing  *prof.Ring
 	curves    []loadgen.Curve
+	replFn    func() any
+}
+
+// WithReplStatus mounts /api/repl serving whatever the callback reports —
+// a primary's shipper/router view or a follower's client position. The
+// callback runs per request, so the payload is always current.
+func WithReplStatus(fn func() any) Option {
+	return func(c *config) { c.replFn = fn }
 }
 
 // WithPprof mounts net/http/pprof under /debug/pprof/.
@@ -120,7 +128,7 @@ func HandlerFor(sys Backend, opts ...Option) http.Handler {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	h := &handler{sys: sys, health: cfg.health, slo: cfg.slo, collector: cfg.collector, profRing: cfg.profRing, curves: cfg.curves}
+	h := &handler{sys: sys, health: cfg.health, slo: cfg.slo, collector: cfg.collector, profRing: cfg.profRing, curves: cfg.curves, replFn: cfg.replFn}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", h.home)
 	mux.HandleFunc("/deal", h.dealPage)
@@ -141,6 +149,7 @@ func HandlerFor(sys Backend, opts ...Option) http.Handler {
 	})
 	mux.HandleFunc("/readyz", h.readyz)
 	mux.HandleFunc("/api/slo", h.apiSLO)
+	mux.HandleFunc("/api/repl", h.apiRepl)
 	mux.HandleFunc("/debug/dash", h.debugDash)
 	if sys.RequestTracer() != nil {
 		mux.HandleFunc("/debug/traces", h.debugTraces)
@@ -167,6 +176,7 @@ type handler struct {
 	collector *runtimetel.Collector
 	profRing  *prof.Ring
 	curves    []loadgen.Curve
+	replFn    func() any
 }
 
 // middleware wraps every route with request counting, status-class
@@ -212,7 +222,7 @@ func (w *statusWriter) Flush() {
 // ring.
 func untraced(route string) bool {
 	return route == "/metrics" || route == "/healthz" || route == "/readyz" ||
-		route == "/api/slo" || strings.HasPrefix(route, "/debug/")
+		route == "/api/slo" || route == "/api/repl" || strings.HasPrefix(route, "/debug/")
 }
 
 func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -321,6 +331,16 @@ func (h *handler) readyz(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(rep)
+}
+
+// apiRepl serves the replication status report (404 when this process is
+// neither shipping nor following).
+func (h *handler) apiRepl(w http.ResponseWriter, _ *http.Request) {
+	if h.replFn == nil {
+		http.Error(w, "replication disabled", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, h.replFn())
 }
 
 // apiSLO serves the burn-rate report (404 when no SLO engine is wired).

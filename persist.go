@@ -22,6 +22,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/obs"
 	"repro/internal/relstore"
+	"repro/internal/repl"
 	"repro/internal/siapi"
 	"repro/internal/synopsis"
 	"repro/internal/taxonomy"
@@ -35,7 +36,23 @@ const (
 	compContext   = "context"   // business-context database (gob)
 	compPipeline  = "pipeline"  // retained offline-pipeline state (gob)
 	compDirectory = "directory" // personnel directory (JSON lines; optional)
+	compReplPos   = "replpos"   // replication position (gob; optional for pre-repl snapshots)
 )
+
+// replposFormat versions the replication-position component payload.
+const replposFormat = 1
+
+// replposSnapshot pins a snapshot generation to its place in the
+// replication history: Seq counts every journal record folded into this
+// state since its lineage began, and Gen (followers only) names the
+// primary generation the state derives from. A snapshot without it (from
+// a pre-replication build) loads at position zero, which merely means a
+// restarting follower re-bootstraps instead of tail-resuming.
+type replposSnapshot struct {
+	Format int
+	Gen    uint64
+	Seq    uint64
+}
 
 // legacyIndexFile detects pre-durability system directories (bare
 // un-checksummed gob files) so the error says "re-ingest", not "corrupt".
@@ -98,6 +115,13 @@ func (s *System) checkpointLocked(dir string) (uint64, error) {
 			return err
 		}},
 		{Name: compPipeline, Write: s.writePipeline},
+		{Name: compReplPos, Write: func(w io.Writer) error {
+			return gob.NewEncoder(w).Encode(replposSnapshot{
+				Format: replposFormat,
+				Gen:    s.upstreamGen.Load(),
+				Seq:    s.seq.Load(),
+			})
+		}},
 	}
 	if s.Directory != nil {
 		comps = append(comps, durable.Component{Name: compDirectory, Write: func(w io.Writer) error {
@@ -110,10 +134,23 @@ func (s *System) checkpointLocked(dir string) (uint64, error) {
 		return 0, fmt.Errorf("eil: save: %w", err)
 	}
 	s.gen = gen
+	s.ckptSeq = s.seq.Load()
 	s.lastCkpt = time.Now()
 	if s.wal != nil && s.walDir == dir {
 		if err := s.wal.Rotate(gen); err != nil {
+			// The journal has poisoned itself: it still extends the
+			// superseded base, so further appends there would be discarded
+			// on the next load. Subsequent updates fail at the journal
+			// step instead of being silently lost.
 			return gen, fmt.Errorf("eil: save: %w", err)
+		}
+		if s.replLog != nil {
+			// Tell followers the primary checkpointed: every record
+			// through the current sequence is folded into gen, so this is
+			// a safe position for them to checkpoint locally too. Appended
+			// under upMu, after the records it covers — a follower can
+			// never observe the rotation before the records it folds in.
+			s.replLog.Append(repl.Entry{Seq: s.seq.Load(), Rotate: true, Gen: gen})
 		}
 	}
 	return gen, nil
@@ -216,6 +253,10 @@ func loadSystemWith(dir string, ctl *access.Controller, metrics *obs.Registry) (
 			metrics.Counter("durable_recovery_events_total", "kind", "wal_base").Inc()
 		} else if err := sys.replay(rep.Records); err != nil {
 			return nil, fmt.Errorf("eil: load %s: %w", dir, err)
+		} else {
+			// Each replayed record advances the position past the
+			// checkpoint the snapshot recorded.
+			sys.seq.Add(uint64(len(rep.Records)))
 		}
 	case errors.Is(rerr, iofs.ErrNotExist), errors.Is(rerr, os.ErrNotExist):
 		// No journal: the snapshot is the whole state.
@@ -267,6 +308,20 @@ func loadGeneration(open durable.OpenComponent, ctl *access.Controller, metrics 
 	if err != nil && !errors.Is(err, iofs.ErrNotExist) && !errors.Is(err, os.ErrNotExist) {
 		return nil, err
 	}
+	var rp replposSnapshot
+	err = decodeComponent(open, compReplPos, func(r io.Reader) error {
+		return gob.NewDecoder(r).Decode(&rp)
+	})
+	switch {
+	case err == nil:
+		if rp.Format != replposFormat {
+			return nil, &durable.VersionError{Path: compReplPos, Got: uint32(rp.Format), Want: replposFormat}
+		}
+	case errors.Is(err, iofs.ErrNotExist), errors.Is(err, os.ErrNotExist):
+		// Pre-replication snapshot: position zero.
+	default:
+		return nil, err
+	}
 
 	tax := taxonomy.Default()
 	flow, err := flowByName(ps.Flow, tax)
@@ -292,6 +347,9 @@ func loadGeneration(open durable.OpenComponent, ctl *access.Controller, metrics 
 		builder:   builder,
 		writer:    writer,
 	}
+	sys.ckptSeq = rp.Seq
+	sys.seq.Store(rp.Seq)
+	sys.upstreamGen.Store(rp.Gen)
 	sys.sia.Store(sia)
 	sys.Engine = &core.Engine{
 		Synopses: store,
@@ -405,6 +463,21 @@ func (s *System) CloseWAL() error {
 	return err
 }
 
+// journalHealthyLocked refuses a mutation before it is applied while the
+// journal is poisoned (a failed rotation left it extending a superseded
+// generation). Applying first and failing the append would leave memory
+// ahead of anything durable — worse, a later successful checkpoint would
+// then persist an operation the caller was told failed.
+func (s *System) journalHealthyLocked() error {
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.Healthy(); err != nil {
+		return fmt.Errorf("eil: journal: %w", err)
+	}
+	return nil
+}
+
 // journalLocked appends one operation record; callers hold upMu. With no
 // journal attached it is a no-op. The record is durable (per the journal's
 // sync policy) when it returns — this is the commit point incremental
@@ -415,6 +488,13 @@ func (s *System) journalLocked(kind uint8, payload []byte) error {
 	}
 	if err := s.wal.Append(kind, payload); err != nil {
 		return fmt.Errorf("eil: journal: %w", err)
+	}
+	seq := s.seq.Add(1)
+	if s.replLog != nil {
+		// Tee the acknowledged record into the ship buffer so connected
+		// followers stream it live. Under upMu, so ship order is exactly
+		// journal order.
+		s.replLog.Append(repl.Entry{Seq: seq, Kind: kind, Payload: payload})
 	}
 	return nil
 }
@@ -434,24 +514,35 @@ func encodeDocs(docs []*docmodel.Document) ([]byte, error) {
 // escapes.
 func (s *System) replay(records []durable.Record) error {
 	for i, rec := range records {
-		switch rec.Kind {
-		case walOpAddDocuments:
-			var docs []*docmodel.Document
-			if err := gob.NewDecoder(bytes.NewReader(rec.Payload)).Decode(&docs); err != nil {
-				return &durable.CorruptError{Path: durable.WALName, Detail: fmt.Sprintf("record %d: %v", i, err)}
-			}
-			if err := s.applyAddDocuments(docs); err != nil {
-				return fmt.Errorf("eil: replay record %d (add): %w", i, err)
-			}
-		case walOpRemoveDeal:
-			if err := s.applyRemoveDeal(string(rec.Payload)); err != nil {
-				return fmt.Errorf("eil: replay record %d (remove): %w", i, err)
-			}
-		case walOpCompact:
-			s.applyCompact()
-		default:
-			return &durable.CorruptError{Path: durable.WALName, Detail: fmt.Sprintf("record %d: unknown op %d", i, rec.Kind)}
+		if err := s.applyRecord(rec.Kind, rec.Payload); err != nil {
+			return fmt.Errorf("eil: replay record %d: %w", i, err)
 		}
+	}
+	return nil
+}
+
+// applyRecord routes one journal record through the shared apply paths —
+// the single entry point crash recovery (replay) and live replication
+// (ApplyReplicated) both go through, so a follower's state evolves by
+// exactly the transitions a recovering primary would make.
+func (s *System) applyRecord(kind uint8, payload []byte) error {
+	switch kind {
+	case walOpAddDocuments:
+		var docs []*docmodel.Document
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&docs); err != nil {
+			return &durable.CorruptError{Path: durable.WALName, Detail: err.Error()}
+		}
+		if err := s.applyAddDocuments(docs); err != nil {
+			return fmt.Errorf("add: %w", err)
+		}
+	case walOpRemoveDeal:
+		if err := s.applyRemoveDeal(string(payload)); err != nil {
+			return fmt.Errorf("remove: %w", err)
+		}
+	case walOpCompact:
+		s.applyCompact()
+	default:
+		return &durable.CorruptError{Path: durable.WALName, Detail: fmt.Sprintf("unknown op %d", kind)}
 	}
 	return nil
 }

@@ -1,0 +1,1010 @@
+package eil
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/fault"
+	"repro/internal/health"
+	"repro/internal/obs"
+	"repro/internal/qlog"
+	"repro/internal/repl"
+	"repro/internal/router"
+	"repro/internal/runtimetel"
+	"repro/internal/siapi"
+	"repro/internal/slo"
+	"repro/internal/synopsis"
+	"repro/internal/trace"
+)
+
+// ErrNotSynced is returned by a follower's read surface before its first
+// snapshot installs. Routers and readiness checks keep traffic away from
+// a follower in this state; seeing the error means a caller bypassed
+// them.
+var ErrNotSynced = errors.New("eil: replica has not completed initial sync")
+
+// shardKey is the wire-protocol shard name for shard i — the same string
+// as its snapshot subdirectory, so logs, dirs, and handshakes agree.
+func shardKey(i int) string { return fmt.Sprintf("shard-%04d", i) }
+
+// ---------------------------------------------------------------------------
+// Primary side: ship log wiring and the replication listener.
+
+// initReplLogLocked brings up the in-memory ship buffer: history starts at
+// the last checkpoint, and any journal records already on disk past it
+// are seeded in so a follower connecting right after startup can tail
+// instead of re-bootstrapping. Caller holds upMu.
+func (s *System) initReplLogLocked() error {
+	if s.replLog != nil {
+		return nil
+	}
+	if s.wal == nil {
+		return errors.New("eil: replication requires EnableWAL first")
+	}
+	shipLog := repl.NewLog(s.gen, s.ckptSeq, 0, 0)
+	rep, err := durable.ReplayWAL(s.walDir, durable.WALOptions{FS: s.WALFS})
+	if err == nil && rep.Base == s.gen {
+		seq := s.ckptSeq
+		for _, r := range rep.Records {
+			seq++
+			shipLog.Append(repl.Entry{Seq: seq, Kind: r.Kind, Payload: r.Payload})
+		}
+		if seq != s.seq.Load() {
+			return fmt.Errorf("eil: ship log seed: journal holds %d records but position is %d past checkpoint %d",
+				len(rep.Records), s.seq.Load()-s.ckptSeq, s.ckptSeq)
+		}
+	}
+	s.replLog = shipLog
+	return nil
+}
+
+// replSnapshot opens the latest snapshot generation for transfer. When
+// the ship log has already evicted the last checkpoint's position (a
+// follower bootstrapping from it could never catch up), a fresh
+// checkpoint is committed first so snapshot + retained tail always form a
+// continuous history.
+func (s *System) replSnapshot() (*repl.Snapshot, error) {
+	s.upMu.Lock()
+	defer s.upMu.Unlock()
+	if s.wal == nil || s.replLog == nil {
+		return nil, errors.New("eil: replication not enabled")
+	}
+	if !s.replLog.Covers(s.ckptSeq) {
+		if _, err := s.checkpointLocked(s.walDir); err != nil {
+			return nil, fmt.Errorf("eil: snapshot for bootstrap: %w", err)
+		}
+	}
+	st, err := durable.OpenStore(s.walDir, durable.StoreOptions{Keep: s.SnapshotKeep, Metrics: s.Metrics})
+	if err != nil {
+		return nil, err
+	}
+	gen, comps, err := st.ExportGeneration()
+	if err != nil {
+		return nil, err
+	}
+	if gen != s.gen {
+		for _, c := range comps {
+			c.R.Close()
+		}
+		return nil, fmt.Errorf("eil: snapshot store at gen %d but system at %d", gen, s.gen)
+	}
+	snap := &repl.Snapshot{Gen: gen, Seq: s.ckptSeq}
+	for _, c := range comps {
+		snap.Components = append(snap.Components, repl.SnapshotComponent{Name: c.Name, Size: c.Size, R: c.R})
+	}
+	return snap, nil
+}
+
+// systemSource maps wire-protocol shard names to their systems for the
+// shipper ("" for an unsharded primary).
+type systemSource struct {
+	shards map[string]*System
+}
+
+func (src *systemSource) TailLog(shard string) (*repl.Log, error) {
+	sys, ok := src.shards[shard]
+	if !ok {
+		return nil, fmt.Errorf("eil: unknown shard %q", shard)
+	}
+	sys.upMu.Lock()
+	defer sys.upMu.Unlock()
+	if sys.replLog == nil {
+		return nil, errors.New("eil: replication not enabled")
+	}
+	return sys.replLog, nil
+}
+
+func (src *systemSource) Snapshot(shard string) (*repl.Snapshot, error) {
+	sys, ok := src.shards[shard]
+	if !ok {
+		return nil, fmt.Errorf("eil: unknown shard %q", shard)
+	}
+	return sys.replSnapshot()
+}
+
+// ServeReplication starts shipping this system's WAL to followers
+// connecting on lis. EnableWAL must already be active. A non-nil faults
+// injector wires the repl.send / repl.recv / repl.corrupt chaos seams
+// into every accepted connection. The returned Shipper reports
+// connected-follower status; Close it to stop serving.
+func (s *System) ServeReplication(lis net.Listener, faults *fault.Injector) (*repl.Shipper, error) {
+	s.upMu.Lock()
+	err := s.initReplLogLocked()
+	s.upMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	sh := &repl.Shipper{
+		Source:  &systemSource{shards: map[string]*System{"": s}},
+		Metrics: s.Metrics,
+		Faults:  faults,
+	}
+	go sh.Serve(lis)
+	return sh, nil
+}
+
+// ServeReplication starts shipping every shard's WAL on one listener:
+// each follower names its shard in the handshake, and each shard's
+// journal streams independently.
+func (c *Cluster) ServeReplication(lis net.Listener, faults *fault.Injector) (*repl.Shipper, error) {
+	shards := make(map[string]*System, len(c.Shards))
+	for i, s := range c.Shards {
+		s.upMu.Lock()
+		err := s.initReplLogLocked()
+		s.upMu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("eil: shard %d: %w", i, err)
+		}
+		shards[shardKey(i)] = s
+	}
+	sh := &repl.Shipper{
+		Source:  &systemSource{shards: shards},
+		Metrics: c.Metrics,
+		Faults:  faults,
+	}
+	go sh.Serve(lis)
+	return sh, nil
+}
+
+// ApplyReplicated applies one shipped journal record. The sequence must
+// be exactly the successor of the local position: any gap means frames
+// were skipped somewhere (the generation-handoff hazard), and the error
+// forces a reconnect rather than letting state silently diverge.
+func (s *System) ApplyReplicated(seq uint64, kind uint8, payload []byte) error {
+	s.upMu.Lock()
+	defer s.upMu.Unlock()
+	if s.wal != nil {
+		return errors.New("eil: replicated apply on a journaling system")
+	}
+	cur := s.seq.Load()
+	if seq != cur+1 {
+		return fmt.Errorf("eil: replication gap: record %d after position %d", seq, cur)
+	}
+	if err := s.applyRecord(kind, payload); err != nil {
+		return err
+	}
+	s.seq.Store(seq)
+	return nil
+}
+
+// ReplPosition reports the replication position: the primary generation
+// this state derives from and the global record sequence.
+func (s *System) ReplPosition() (gen, seq uint64) {
+	return s.upstreamGen.Load(), s.seq.Load()
+}
+
+// ---------------------------------------------------------------------------
+// Follower: a read replica of one primary system.
+
+// FollowerOptions configures StartFollower / StartClusterFollower.
+type FollowerOptions struct {
+	// Dir is the local replica state directory (snapshots land here; a
+	// prior run's state resumes from it).
+	Dir string
+	// Addr is the primary's replication listener.
+	Addr string
+	// Name identifies this follower to the primary and in metrics.
+	Name string
+	// Shard routes the stream on a cluster primary (set by
+	// StartClusterFollower; leave empty against a single system).
+	Shard string
+	// MaxLag is the staleness bound in WAL records: beyond it the repl
+	// health check fails, draining the replica (0 = unbounded).
+	MaxLag uint64
+	// Access scopes this replica's reads (nil = everyone sees everything).
+	Access *access.Controller
+	// Metrics receives eil_repl_* client telemetry (nil = fresh registry).
+	Metrics *obs.Registry
+	// Tracer, when set, traces the replica's reads.
+	Tracer *trace.Tracer
+	// Logf receives replication lifecycle logs (nil = silent).
+	Logf func(format string, args ...any)
+	// Faults, when set, wraps the replication connection in the fault
+	// seam (chaos tests).
+	Faults *fault.Injector
+}
+
+// Follower is a live read replica: it bootstraps from the primary's
+// latest snapshot generation (or its own local state from a prior run),
+// replays the shipped journal continuously through the shared apply
+// paths, checkpoints locally whenever the primary checkpoints, and serves
+// the full read Backend from its current state.
+type Follower struct {
+	opts    FollowerOptions
+	metrics *obs.Registry
+	client  *repl.Client
+	cancel  context.CancelFunc
+	done    chan struct{}
+
+	sys     atomic.Pointer[System]
+	headGen atomic.Uint64
+	headSeq atomic.Uint64
+	sawHead atomic.Bool
+	epoch   atomic.Uint64 // bumped on snapshot swap (cluster cache key)
+
+	ckptMu sync.Mutex // serializes local checkpoints with Close
+}
+
+// StartFollower begins replicating from opts.Addr into opts.Dir. It
+// returns immediately; the replica serves ErrNotSynced until its first
+// state lands (a resumed local snapshot or the bootstrap transfer). Use
+// WaitSynced to block for serving readiness.
+func StartFollower(opts FollowerOptions) (*Follower, error) {
+	if opts.Dir == "" || opts.Addr == "" {
+		return nil, errors.New("eil: follower requires Dir and Addr")
+	}
+	if opts.Name == "" {
+		opts.Name = fmt.Sprintf("follower-%d", os.Getpid())
+	}
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = obs.NewRegistry()
+	}
+	f := &Follower{opts: opts, metrics: metrics, done: make(chan struct{})}
+
+	// Resume from local state when a prior run left a committed
+	// generation: the replica re-serves immediately and tail-resumes from
+	// its checkpointed position instead of re-copying the whole snapshot.
+	if sys, err := loadSystemWith(opts.Dir, opts.Access, metrics); err == nil {
+		sys.Tracer = opts.Tracer
+		f.sys.Store(sys)
+		gen, seq := sys.ReplPosition()
+		f.logf("eil: follower resuming local state at gen %d seq %d", gen, seq)
+	} else if !errors.Is(err, durable.ErrNoSnapshot) {
+		// Unloadable local state is not fatal — the bootstrap transfer
+		// replaces it — but it is worth a line.
+		f.logf("eil: follower discarding local state: %v", err)
+	}
+
+	f.client = &repl.Client{
+		Addr:    opts.Addr,
+		Name:    opts.Name,
+		Shard:   opts.Shard,
+		Sink:    &followerSink{f: f},
+		Metrics: metrics,
+		Logf:    opts.Logf,
+		Faults:  opts.Faults,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f.cancel = cancel
+	go func() {
+		defer close(f.done)
+		_ = f.client.Run(ctx)
+	}()
+	return f, nil
+}
+
+func (f *Follower) logf(format string, args ...any) {
+	if f.opts.Logf != nil {
+		f.opts.Logf(format, args...)
+	}
+}
+
+// Close stops replicating, then best-effort checkpoints so a restart
+// resumes from the exact stop position instead of the last rotation.
+func (f *Follower) Close() error {
+	f.cancel()
+	<-f.done
+	f.ckptMu.Lock()
+	defer f.ckptMu.Unlock()
+	if sys := f.sys.Load(); sys != nil {
+		if _, err := sys.Checkpoint(f.opts.Dir); err != nil {
+			return fmt.Errorf("eil: follower close checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// System returns the replica's current state (nil before first sync). The
+// pointer swaps wholesale on re-bootstrap; hold the returned value for a
+// consistent view.
+func (f *Follower) System() *System { return f.sys.Load() }
+
+// Name identifies the follower (router.Node).
+func (f *Follower) Name() string { return f.opts.Name }
+
+// Ready reports whether the replica holds servable state (router.Node).
+// Staleness is the router's and health check's concern, via Lag.
+func (f *Follower) Ready() bool { return f.sys.Load() != nil }
+
+// Lag reports how many WAL records this replica trails the primary by;
+// ok is false before the first heartbeat establishes the primary's head.
+func (f *Follower) Lag() (uint64, bool) {
+	sys := f.sys.Load()
+	if sys == nil || !f.sawHead.Load() {
+		return 0, false
+	}
+	head, cur := f.headSeq.Load(), sys.seq.Load()
+	if head <= cur {
+		return 0, true
+	}
+	return head - cur, true
+}
+
+// Position reports the replica's applied position (gen 0 before sync).
+func (f *Follower) Position() (gen, seq uint64) {
+	if sys := f.sys.Load(); sys != nil {
+		return sys.ReplPosition()
+	}
+	return 0, 0
+}
+
+// Epoch increments every time the replica's state swaps wholesale
+// (snapshot install); composite views cache against it.
+func (f *Follower) Epoch() uint64 { return f.epoch.Load() }
+
+// WaitSynced blocks until the replica is serving and within maxLag
+// records of the primary's head, or ctx expires.
+func (f *Follower) WaitSynced(ctx context.Context, maxLag uint64) error {
+	for {
+		if lag, ok := f.Lag(); ok && lag <= maxLag {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// FollowerReport is the /api/repl payload for a follower process.
+type FollowerReport struct {
+	Role    string            `json:"role"`
+	Name    string            `json:"name"`
+	Primary string            `json:"primary"`
+	Shard   string            `json:"shard,omitempty"`
+	Gen     uint64            `json:"gen"`
+	Seq     uint64            `json:"seq"`
+	HeadGen uint64            `json:"head_gen"`
+	HeadSeq uint64            `json:"head_seq"`
+	Lag     *uint64           `json:"lag_records,omitempty"`
+	Synced  bool              `json:"synced"`
+	Client  repl.ClientStatus `json:"client"`
+}
+
+// Status reports the follower's replication view.
+func (f *Follower) Status() FollowerReport {
+	gen, seq := f.Position()
+	rep := FollowerReport{
+		Role:    "follower",
+		Name:    f.opts.Name,
+		Primary: f.opts.Addr,
+		Shard:   f.opts.Shard,
+		Gen:     gen,
+		Seq:     seq,
+		HeadGen: f.headGen.Load(),
+		HeadSeq: f.headSeq.Load(),
+		Synced:  f.Ready(),
+		Client:  f.client.Status(),
+	}
+	if lag, ok := f.Lag(); ok {
+		rep.Lag = &lag
+	}
+	return rep
+}
+
+// followerSink adapts the Follower to the replication client's apply
+// surface. The client calls it from a single goroutine.
+type followerSink struct {
+	f *Follower
+}
+
+func (sk *followerSink) Position() (gen, seq uint64, have bool) {
+	sys := sk.f.sys.Load()
+	if sys == nil {
+		return 0, 0, false
+	}
+	gen, seq = sys.ReplPosition()
+	return gen, seq, true
+}
+
+func (sk *followerSink) BeginSnapshot(gen, seq uint64) (repl.SnapshotInstaller, error) {
+	st, err := durable.OpenStore(sk.f.opts.Dir, durable.StoreOptions{Metrics: sk.f.metrics})
+	if err != nil {
+		return nil, err
+	}
+	imp, err := st.BeginImport(gen)
+	if err != nil {
+		return nil, err
+	}
+	return &followerInstall{f: sk.f, imp: imp, gen: gen, seq: seq}, nil
+}
+
+func (sk *followerSink) Apply(rec repl.Record) error {
+	sys := sk.f.sys.Load()
+	if sys == nil {
+		return errors.New("eil: record before snapshot")
+	}
+	if err := sys.ApplyReplicated(rec.Seq, rec.Kind, rec.Payload); err != nil {
+		return err
+	}
+	// A shipped record is also evidence of the primary's head.
+	if rec.Seq > sk.f.headSeq.Load() {
+		sk.f.headSeq.Store(rec.Seq)
+	}
+	sk.f.observeLag()
+	return nil
+}
+
+func (sk *followerSink) Rotate(gen, seq uint64) error {
+	f := sk.f
+	sys := f.sys.Load()
+	if sys == nil {
+		return errors.New("eil: rotate before snapshot")
+	}
+	// Strict position equality is the generation-handoff tripwire: the
+	// primary emits the rotation after the records it folds in, in stream
+	// order, so any mismatch means frames were skipped or reordered.
+	if cur := sys.seq.Load(); seq != cur {
+		return fmt.Errorf("eil: rotate at seq %d but replica at %d: frames skipped", seq, cur)
+	}
+	sys.upstreamGen.Store(gen)
+	if gen > f.headGen.Load() {
+		f.headGen.Store(gen)
+	}
+	// Checkpoint locally: the primary just proved every record through seq
+	// is durable in a snapshot, so this position is the natural restart
+	// point for the replica too. A failed local checkpoint degrades
+	// restart durability, not serving — log and continue streaming.
+	f.ckptMu.Lock()
+	_, err := sys.Checkpoint(f.opts.Dir)
+	f.ckptMu.Unlock()
+	if err != nil {
+		f.metrics.Counter("eil_repl_follower_checkpoint_errors_total").Inc()
+		f.logf("eil: follower checkpoint at gen %d seq %d: %v", gen, seq, err)
+	} else {
+		f.logf("eil: follower checkpointed at gen %d seq %d", gen, seq)
+	}
+	return nil
+}
+
+func (sk *followerSink) Advance(gen, seq uint64) {
+	f := sk.f
+	if gen > f.headGen.Load() {
+		f.headGen.Store(gen)
+	}
+	if seq > f.headSeq.Load() {
+		f.headSeq.Store(seq)
+	}
+	f.sawHead.Store(true)
+	f.observeLag()
+}
+
+func (f *Follower) observeLag() {
+	if lag, ok := f.Lag(); ok {
+		f.metrics.Gauge("eil_repl_lag_records", "follower", f.opts.Name).Set(float64(lag))
+	}
+}
+
+// followerInstall lands a bootstrap snapshot: raw component bytes stream
+// into an unpublished generation, Commit publishes it and swaps the live
+// System wholesale.
+type followerInstall struct {
+	f        *Follower
+	imp      *durable.Import
+	gen, seq uint64
+}
+
+func (fi *followerInstall) Component(name string, size int64, r io.Reader) error {
+	return fi.imp.Component(name, r)
+}
+
+func (fi *followerInstall) Commit() error {
+	fi.f.ckptMu.Lock()
+	defer fi.f.ckptMu.Unlock()
+	if err := fi.imp.Commit(); err != nil {
+		return err
+	}
+	sys, err := loadSystemWith(fi.f.opts.Dir, fi.f.opts.Access, fi.f.metrics)
+	if err != nil {
+		return fmt.Errorf("eil: load installed snapshot: %w", err)
+	}
+	// The shipped replpos component carries the primary's own view (its
+	// upstream gen is 0); the replica's upstream is the shipped generation.
+	sys.upstreamGen.Store(fi.gen)
+	sys.seq.Store(fi.seq)
+	sys.ckptSeq = fi.seq
+	sys.Tracer = fi.f.opts.Tracer
+	fi.f.sys.Store(sys)
+	fi.f.sawHead.Store(true)
+	if fi.seq > fi.f.headSeq.Load() {
+		fi.f.headSeq.Store(fi.seq)
+	}
+	if fi.gen > fi.f.headGen.Load() {
+		fi.f.headGen.Store(fi.gen)
+	}
+	fi.f.epoch.Add(1)
+	return nil
+}
+
+func (fi *followerInstall) Abort() { fi.imp.Abort() }
+
+// ---------------------------------------------------------------------------
+// Follower read surface: the full web Backend plus the eilserver backend
+// extras, all delegating to the current replica state.
+
+func (f *Follower) backend() (*System, error) {
+	sys := f.sys.Load()
+	if sys == nil {
+		return nil, ErrNotSynced
+	}
+	return sys, nil
+}
+
+func (f *Follower) SearchCtx(ctx context.Context, user access.User, q core.FormQuery) (core.Result, error) {
+	sys, err := f.backend()
+	if err != nil {
+		return core.Result{}, err
+	}
+	return sys.SearchCtx(ctx, user, q)
+}
+
+func (f *Follower) SearchExplain(ctx context.Context, user access.User, q core.FormQuery) (core.Result, *core.Explanation, error) {
+	sys, err := f.backend()
+	if err != nil {
+		return core.Result{}, nil, err
+	}
+	return sys.SearchExplain(ctx, user, q)
+}
+
+func (f *Follower) KeywordSearchCtx(ctx context.Context, query string, limit int) []siapi.DocHit {
+	sys, err := f.backend()
+	if err != nil {
+		return nil
+	}
+	return sys.KeywordSearchCtx(ctx, query, limit)
+}
+
+func (f *Follower) KeywordCount(query string) int {
+	sys, err := f.backend()
+	if err != nil {
+		return 0
+	}
+	return sys.KeywordCount(query)
+}
+
+func (f *Follower) ExploreCtx(ctx context.Context, user access.User, dealID string, q core.FormQuery) ([]siapi.DocHit, error) {
+	sys, err := f.backend()
+	if err != nil {
+		return nil, err
+	}
+	return sys.ExploreCtx(ctx, user, dealID, q)
+}
+
+func (f *Follower) SimilarDeals(user access.User, dealID string, k int) ([]synopsis.SimilarHit, error) {
+	sys, err := f.backend()
+	if err != nil {
+		return nil, err
+	}
+	return sys.SimilarDeals(user, dealID, k)
+}
+
+func (f *Follower) Deal(user access.User, dealID string) (synopsis.Deal, error) {
+	sys, err := f.backend()
+	if err != nil {
+		return synopsis.Deal{}, err
+	}
+	return sys.Deal(user, dealID)
+}
+
+func (f *Follower) Registry() *obs.Registry { return f.metrics }
+
+func (f *Follower) RequestTracer() *trace.Tracer { return f.opts.Tracer }
+
+func (f *Follower) Log() *qlog.Log { return nil }
+
+func (f *Follower) CoreEngine() *core.Engine {
+	if sys := f.sys.Load(); sys != nil {
+		return sys.Engine
+	}
+	return nil
+}
+
+// NewHealth builds the replica's readiness registry: replication sync and
+// staleness are the critical checks (a stale or unsynced replica must
+// drain), plus the index check against the current state.
+func (f *Follower) NewHealth(opts HealthOptions) *health.Registry {
+	reg := health.NewRegistry(f.metrics)
+	reg.Register("repl", true, func() health.Result {
+		sys := f.sys.Load()
+		st := f.client.Status()
+		if sys == nil {
+			return health.Failedf("initial sync not complete (client %s)", st.State)
+		}
+		lag, ok := f.Lag()
+		if !ok {
+			return health.Degradedf("no primary heartbeat yet (client %s)", st.State)
+		}
+		if f.opts.MaxLag > 0 && lag > f.opts.MaxLag {
+			return health.Failedf("lag %d records exceeds bound %d", lag, f.opts.MaxLag)
+		}
+		return health.OKf("client %s, lag %d records, %d applied", st.State, lag, st.Applied)
+	})
+	reg.Register("index", true, func() health.Result {
+		sys := f.sys.Load()
+		if sys == nil || sys.Index == nil {
+			return health.Failedf("no index attached")
+		}
+		return health.OKf("%d docs, epoch %d", sys.Index.DocCount(), sys.Index.Generation())
+	})
+	reg.Register("snapshots", false, func() health.Result {
+		sys := f.sys.Load()
+		if sys == nil {
+			return health.OKf("no state yet")
+		}
+		gen, at := sys.LastCheckpoint()
+		if at.IsZero() {
+			return health.OKf("gen %d", gen)
+		}
+		return health.OKf("gen %d, %s old", gen, time.Since(at).Round(time.Second))
+	})
+	return reg
+}
+
+// AppSampler folds the replica's one-screen numbers into runtime samples,
+// delegating to the current state's sampler (the registry is shared, so
+// QPS and p99 come from this process's HTTP middleware either way).
+func (f *Follower) AppSampler(sloEng *slo.Engine) func(prev, cur *runtimetel.Sample) {
+	return func(prev, cur *runtimetel.Sample) {
+		sys := f.sys.Load()
+		if sys == nil {
+			if sloEng != nil {
+				sloEng.Tick(cur.Time)
+			}
+			return
+		}
+		sys.AppSampler(sloEng)(prev, cur)
+	}
+}
+
+// EnableWAL is refused: a follower's journal is the primary's. Its local
+// durability comes from checkpoints at shipped rotation points.
+func (f *Follower) EnableWAL(dir string, syncEvery int) error {
+	return errors.New("eil: a follower does not journal; its durability follows the primary's checkpoints")
+}
+
+// CloseWAL is a no-op (see EnableWAL).
+func (f *Follower) CloseWAL() error { return nil }
+
+// ---------------------------------------------------------------------------
+// Router node adapters for primaries.
+
+// routedSystem adapts a System as the primary read node.
+type routedSystem struct {
+	*System
+	name string
+}
+
+func (n routedSystem) Name() string        { return n.name }
+func (n routedSystem) Ready() bool         { return true }
+func (n routedSystem) Lag() (uint64, bool) { return 0, true }
+
+// RouterNode adapts the system as the router's primary node.
+func (s *System) RouterNode(name string) router.Node { return routedSystem{s, name} }
+
+// routedCluster adapts a Cluster as the primary read node.
+type routedCluster struct {
+	*Cluster
+	name string
+}
+
+func (n routedCluster) Name() string        { return n.name }
+func (n routedCluster) Ready() bool         { return true }
+func (n routedCluster) Lag() (uint64, bool) { return 0, true }
+
+// RouterNode adapts the cluster as the router's primary node.
+func (c *Cluster) RouterNode(name string) router.Node { return routedCluster{c, name} }
+
+// ---------------------------------------------------------------------------
+// ClusterFollower: one follower per shard behind a scatter-gather view.
+
+// ClusterFollower replicates every shard of a cluster primary (one
+// replication connection per shard, all to the same listener) and serves
+// reads through a coordinator engine over the replicated shards —
+// the same scatter-gather searches a primary cluster runs.
+type ClusterFollower struct {
+	followers []*Follower
+	ctl       *access.Controller
+	metrics   *obs.Registry
+	tracer    *trace.Tracer
+	name      string
+	maxLag    uint64
+
+	mu           sync.Mutex
+	cached       *Cluster
+	cachedEpochs []uint64
+}
+
+// StartClusterFollower starts one follower per shard under opts.Dir
+// (shard-NNNN subdirectories, mirroring the primary's layout).
+func StartClusterFollower(shards int, opts FollowerOptions) (*ClusterFollower, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("eil: shard count %d < 1", shards)
+	}
+	if opts.Dir == "" || opts.Addr == "" {
+		return nil, errors.New("eil: follower requires Dir and Addr")
+	}
+	if opts.Name == "" {
+		opts.Name = fmt.Sprintf("follower-%d", os.Getpid())
+	}
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = obs.NewRegistry()
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("eil: cluster follower: %w", err)
+	}
+	err := durable.WriteFileAtomic(nil, filepath.Join(opts.Dir, clusterManifestName), func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(clusterManifest{Format: clusterManifestFormat, Shards: shards})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("eil: cluster follower: %w", err)
+	}
+	cf := &ClusterFollower{
+		ctl:     opts.Access,
+		metrics: metrics,
+		tracer:  opts.Tracer,
+		name:    opts.Name,
+		maxLag:  opts.MaxLag,
+	}
+	for i := 0; i < shards; i++ {
+		so := opts
+		so.Dir = shardDir(opts.Dir, i)
+		so.Shard = shardKey(i)
+		so.Name = fmt.Sprintf("%s/%s", opts.Name, shardKey(i))
+		so.Metrics = metrics
+		sub, err := StartFollower(so)
+		if err != nil {
+			for _, started := range cf.followers {
+				_ = started.Close()
+			}
+			return nil, fmt.Errorf("eil: shard %d: %w", i, err)
+		}
+		cf.followers = append(cf.followers, sub)
+	}
+	return cf, nil
+}
+
+// Followers exposes the per-shard followers (status surfaces, tests).
+func (cf *ClusterFollower) Followers() []*Follower { return cf.followers }
+
+// Close stops every shard follower.
+func (cf *ClusterFollower) Close() error {
+	var first error
+	for i, sub := range cf.followers {
+		if err := sub.Close(); err != nil && first == nil {
+			first = fmt.Errorf("eil: shard %d: %w", i, err)
+		}
+	}
+	return first
+}
+
+// backend returns the scatter-gather view over the current shard states,
+// rebuilt only when some shard's state has swapped since the last call.
+func (cf *ClusterFollower) backend() (*Cluster, error) {
+	epochs := make([]uint64, len(cf.followers))
+	for i, sub := range cf.followers {
+		if sub.sys.Load() == nil {
+			return nil, ErrNotSynced
+		}
+		epochs[i] = sub.Epoch()
+	}
+	cf.mu.Lock()
+	defer cf.mu.Unlock()
+	if cf.cached != nil {
+		same := true
+		for i := range epochs {
+			if epochs[i] != cf.cachedEpochs[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return cf.cached, nil
+		}
+	}
+	shards := make([]*System, len(cf.followers))
+	for i, sub := range cf.followers {
+		shards[i] = sub.sys.Load()
+	}
+	cf.cached = newCluster(shards, cf.ctl, cf.metrics, cf.tracer, false)
+	cf.cachedEpochs = epochs
+	return cf.cached, nil
+}
+
+// Name identifies the follower (router.Node).
+func (cf *ClusterFollower) Name() string { return cf.name }
+
+// Ready reports whether every shard holds servable state (router.Node).
+func (cf *ClusterFollower) Ready() bool {
+	for _, sub := range cf.followers {
+		if !sub.Ready() {
+			return false
+		}
+	}
+	return true
+}
+
+// Lag reports the worst shard's lag (router.Node); ok only once every
+// shard has heard its primary's head.
+func (cf *ClusterFollower) Lag() (uint64, bool) {
+	var worst uint64
+	for _, sub := range cf.followers {
+		lag, ok := sub.Lag()
+		if !ok {
+			return 0, false
+		}
+		if lag > worst {
+			worst = lag
+		}
+	}
+	return worst, true
+}
+
+// WaitSynced blocks until every shard is within maxLag of its primary.
+func (cf *ClusterFollower) WaitSynced(ctx context.Context, maxLag uint64) error {
+	for _, sub := range cf.followers {
+		if err := sub.WaitSynced(ctx, maxLag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Status reports every shard follower's replication view.
+func (cf *ClusterFollower) Status() []FollowerReport {
+	out := make([]FollowerReport, 0, len(cf.followers))
+	for _, sub := range cf.followers {
+		out = append(out, sub.Status())
+	}
+	return out
+}
+
+func (cf *ClusterFollower) SearchCtx(ctx context.Context, user access.User, q core.FormQuery) (core.Result, error) {
+	c, err := cf.backend()
+	if err != nil {
+		return core.Result{}, err
+	}
+	return c.SearchCtx(ctx, user, q)
+}
+
+func (cf *ClusterFollower) SearchExplain(ctx context.Context, user access.User, q core.FormQuery) (core.Result, *core.Explanation, error) {
+	c, err := cf.backend()
+	if err != nil {
+		return core.Result{}, nil, err
+	}
+	return c.SearchExplain(ctx, user, q)
+}
+
+func (cf *ClusterFollower) KeywordSearchCtx(ctx context.Context, query string, limit int) []siapi.DocHit {
+	c, err := cf.backend()
+	if err != nil {
+		return nil
+	}
+	return c.KeywordSearchCtx(ctx, query, limit)
+}
+
+func (cf *ClusterFollower) KeywordCount(query string) int {
+	c, err := cf.backend()
+	if err != nil {
+		return 0
+	}
+	return c.KeywordCount(query)
+}
+
+func (cf *ClusterFollower) ExploreCtx(ctx context.Context, user access.User, dealID string, q core.FormQuery) ([]siapi.DocHit, error) {
+	c, err := cf.backend()
+	if err != nil {
+		return nil, err
+	}
+	return c.ExploreCtx(ctx, user, dealID, q)
+}
+
+func (cf *ClusterFollower) SimilarDeals(user access.User, dealID string, k int) ([]synopsis.SimilarHit, error) {
+	c, err := cf.backend()
+	if err != nil {
+		return nil, err
+	}
+	return c.SimilarDeals(user, dealID, k)
+}
+
+func (cf *ClusterFollower) Deal(user access.User, dealID string) (synopsis.Deal, error) {
+	c, err := cf.backend()
+	if err != nil {
+		return synopsis.Deal{}, err
+	}
+	return c.Deal(user, dealID)
+}
+
+func (cf *ClusterFollower) Registry() *obs.Registry { return cf.metrics }
+
+func (cf *ClusterFollower) RequestTracer() *trace.Tracer { return cf.tracer }
+
+func (cf *ClusterFollower) Log() *qlog.Log { return nil }
+
+func (cf *ClusterFollower) CoreEngine() *core.Engine {
+	if c, err := cf.backend(); err == nil {
+		return c.Engine
+	}
+	return nil
+}
+
+// NewHealth builds the cluster replica's readiness registry: one critical
+// repl check per shard plus a per-shard index check.
+func (cf *ClusterFollower) NewHealth(opts HealthOptions) *health.Registry {
+	reg := health.NewRegistry(cf.metrics)
+	for i, sub := range cf.followers {
+		i, sub := i, sub
+		reg.Register(fmt.Sprintf("repl:shard-%d", i), true, func() health.Result {
+			sys := sub.sys.Load()
+			st := sub.client.Status()
+			if sys == nil {
+				return health.Failedf("initial sync not complete (client %s)", st.State)
+			}
+			lag, ok := sub.Lag()
+			if !ok {
+				return health.Degradedf("no primary heartbeat yet (client %s)", st.State)
+			}
+			if cf.maxLag > 0 && lag > cf.maxLag {
+				return health.Failedf("lag %d records exceeds bound %d", lag, cf.maxLag)
+			}
+			return health.OKf("client %s, lag %d records", st.State, lag)
+		})
+	}
+	return reg
+}
+
+// AppSampler delegates to the scatter-gather view when available.
+func (cf *ClusterFollower) AppSampler(sloEng *slo.Engine) func(prev, cur *runtimetel.Sample) {
+	return func(prev, cur *runtimetel.Sample) {
+		c, err := cf.backend()
+		if err != nil {
+			if sloEng != nil {
+				sloEng.Tick(cur.Time)
+			}
+			return
+		}
+		c.AppSampler(sloEng)(prev, cur)
+	}
+}
+
+// EnableWAL is refused (see Follower.EnableWAL).
+func (cf *ClusterFollower) EnableWAL(dir string, syncEvery int) error {
+	return errors.New("eil: a follower does not journal; its durability follows the primary's checkpoints")
+}
+
+// CloseWAL is a no-op.
+func (cf *ClusterFollower) CloseWAL() error { return nil }

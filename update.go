@@ -65,6 +65,9 @@ func (s *System) AddDocuments(docs []*docmodel.Document) error {
 	}
 	s.upMu.Lock()
 	defer s.upMu.Unlock()
+	if err := s.journalHealthyLocked(); err != nil {
+		return err
+	}
 	// Validate: a duplicate path (already indexed, or repeated within the
 	// batch) fails the whole batch before anything is applied, instead of
 	// surfacing from the index merge after earlier documents landed.
@@ -187,6 +190,9 @@ func (s *System) RemoveDeal(dealID string) error {
 	}
 	s.upMu.Lock()
 	defer s.upMu.Unlock()
+	if err := s.journalHealthyLocked(); err != nil {
+		return err
+	}
 	if err := s.applyRemoveDeal(dealID); err != nil {
 		return err
 	}
