@@ -520,11 +520,15 @@ func (c *Cluster) RemoveDeal(dealID string) error {
 
 // Compact rebuilds every shard's index without tombstones. Each swap is
 // atomic per shard; searches during Compact see each shard either before
-// or after its swap, both of which answer identically.
-func (c *Cluster) Compact() {
-	for _, s := range c.Shards {
-		s.Compact()
+// or after its swap, both of which answer identically. The error names
+// the first shard whose compaction was refused.
+func (c *Cluster) Compact() error {
+	for i, s := range c.Shards {
+		if err := s.Compact(); err != nil {
+			return fmt.Errorf("eil: shard %d: %w", i, err)
+		}
 	}
+	return nil
 }
 
 // Generations reports each shard's committed snapshot generation.

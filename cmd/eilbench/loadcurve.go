@@ -74,7 +74,7 @@ type loadTarget interface {
 	SearchCtx(ctx context.Context, user access.User, q core.FormQuery) (core.Result, error)
 	KeywordSearchCtx(ctx context.Context, query string, limit int) []siapi.DocHit
 	AddDocuments(docs []*docmodel.Document) error
-	Compact()
+	Compact() error
 }
 
 // parseQPSList turns "25,50,100" into [25, 50, 100].
@@ -174,8 +174,7 @@ func lcDo(target loadTarget, towers []string, series string) loadgen.Do {
 			}
 			return false, target.AddDocuments(docs)
 		case loadgen.OpCompact:
-			target.Compact()
-			return false, nil
+			return false, target.Compact()
 		}
 		return false, fmt.Errorf("loadcurve: unknown op %v", req.Op)
 	}

@@ -36,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -47,6 +48,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/docmodel"
 	"repro/internal/docparse"
+	"repro/internal/failover"
 	"repro/internal/fault"
 	"repro/internal/health"
 	"repro/internal/loadgen"
@@ -54,8 +56,11 @@ import (
 	"repro/internal/prof"
 	"repro/internal/qlog"
 	"repro/internal/repl"
+	"repro/internal/router"
 	"repro/internal/runtimetel"
+	"repro/internal/siapi"
 	"repro/internal/slo"
+	"repro/internal/synopsis"
 	"repro/internal/synth"
 	"repro/internal/trace"
 	"repro/internal/web"
@@ -69,6 +74,71 @@ type backend interface {
 	AppSampler(sloEng *slo.Engine) func(prev, cur *runtimetel.Sample)
 	EnableWAL(dir string, syncEvery int) error
 	CloseWAL() error
+}
+
+// haBackend adapts a failover-managed HANode to the serving surface: every
+// call delegates to whichever role object (primary System or replicating
+// Follower) the node currently holds, so the HTTP layer survives role
+// transitions without rewiring. Transitions swap the role object under the
+// node's lock, so cur never observes a half-switched node; the last
+// resolved backend is kept as a fallback for the brief shutdown window.
+type haBackend struct {
+	node *eil.HANode
+
+	mu   sync.Mutex
+	last backend
+}
+
+func (b *haBackend) cur() backend {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if sys := b.node.System(); sys != nil {
+		b.last = sys
+	} else if fol := b.node.Follower(); fol != nil {
+		b.last = fol
+	}
+	return b.last
+}
+
+func (b *haBackend) SearchCtx(ctx context.Context, user access.User, q core.FormQuery) (core.Result, error) {
+	return b.cur().SearchCtx(ctx, user, q)
+}
+
+func (b *haBackend) SearchExplain(ctx context.Context, user access.User, q core.FormQuery) (core.Result, *core.Explanation, error) {
+	return b.cur().SearchExplain(ctx, user, q)
+}
+
+func (b *haBackend) KeywordSearchCtx(ctx context.Context, query string, limit int) []siapi.DocHit {
+	return b.cur().KeywordSearchCtx(ctx, query, limit)
+}
+
+func (b *haBackend) KeywordCount(query string) int { return b.cur().KeywordCount(query) }
+
+func (b *haBackend) ExploreCtx(ctx context.Context, user access.User, dealID string, q core.FormQuery) ([]siapi.DocHit, error) {
+	return b.cur().ExploreCtx(ctx, user, dealID, q)
+}
+
+func (b *haBackend) SimilarDeals(user access.User, dealID string, k int) ([]synopsis.SimilarHit, error) {
+	return b.cur().SimilarDeals(user, dealID, k)
+}
+
+func (b *haBackend) Deal(user access.User, dealID string) (synopsis.Deal, error) {
+	return b.cur().Deal(user, dealID)
+}
+
+func (b *haBackend) Registry() *obs.Registry           { return b.cur().Registry() }
+func (b *haBackend) RequestTracer() *trace.Tracer      { return b.cur().RequestTracer() }
+func (b *haBackend) Log() *qlog.Log                    { return b.cur().Log() }
+func (b *haBackend) CoreEngine() *core.Engine          { return b.cur().CoreEngine() }
+func (b *haBackend) EnableWAL(dir string, n int) error { return b.cur().EnableWAL(dir, n) }
+func (b *haBackend) CloseWAL() error                   { return b.cur().CloseWAL() }
+
+func (b *haBackend) NewHealth(opts eil.HealthOptions) *health.Registry {
+	return b.cur().NewHealth(opts)
+}
+
+func (b *haBackend) AppSampler(sloEng *slo.Engine) func(prev, cur *runtimetel.Sample) {
+	return b.cur().AppSampler(sloEng)
 }
 
 // loadCurves reads throughput-vs-latency series from a committed eilbench
@@ -125,11 +195,16 @@ func primaryReport(sys *eil.System, cluster *eil.Cluster, shipper *repl.Shipper)
 		_, seq := sys.ReplPosition()
 		positions = append(positions, shardPosition{Gen: sys.Generation(), Seq: seq})
 	}
+	var epoch uint64
+	if sys != nil {
+		epoch = sys.FenceEpoch()
+	}
 	return struct {
 		Role      string                `json:"role"`
+		Epoch     uint64                `json:"epoch"`
 		Positions []shardPosition       `json:"positions"`
 		Followers []repl.FollowerStatus `json:"followers"`
-	}{"primary", positions, shipper.Status()}
+	}{"primary", epoch, positions, shipper.Status()}
 }
 
 // churnDocs builds one synthetic deal's documents for -demo-churn write
@@ -193,6 +268,10 @@ func main() {
 		maxLag     = flag.Uint64("max-lag", 4096, "follower staleness bound in journal records: beyond it /readyz fails and routers drain this replica (0 = unbounded)")
 		churn      = flag.Duration("demo-churn", 0, "with -demo: apply a synthetic document batch every interval (write traffic for replication demos; 0 disables)")
 
+		failoverOn = flag.Bool("failover", false, "manage this node's primary/follower role through the fencing-epoch protocol: promotions bump a durable epoch, stale primaries are fenced (single-system only; requires -repl-listen for the address this node ships from while primary)")
+		leaseDir   = flag.String("lease-dir", "", "shared lease directory for automatic failover: the primary renews lease.json here, a follower that sees it go stale claims the next epoch and self-promotes (requires -failover)")
+		leaseTTL   = flag.Duration("lease-ttl", 3*time.Second, "lease staleness bound: a dead primary is replaced within roughly this window")
+
 		profDir      = flag.String("prof-dir", "", "continuous-profiling ring directory; enables scheduled pprof captures, automatic captures on SLO page events, and the /debug/prof browser")
 		profInterval = flag.Duration("prof-interval", 10*time.Minute, "scheduled profile capture cadence when -prof-dir is set (0 disables the schedule; page-event captures still fire)")
 		profCPUSecs  = flag.Int("prof-cpu-seconds", 5, "CPU profile window for scheduled and event captures")
@@ -214,6 +293,10 @@ func main() {
 		log.Printf("flag: -%s=%s", f.Name, f.Value)
 	})
 
+	if *leaseDir != "" && !*failoverOn {
+		log.Fatal("-lease-dir requires -failover")
+	}
+
 	var ctl *access.Controller
 	if *secure {
 		ctl = access.NewController()
@@ -233,9 +316,78 @@ func main() {
 		cluster   *eil.Cluster
 		follower  *eil.Follower
 		cfollower *eil.ClusterFollower
+		node      *eil.HANode
+		wr        *router.WriteRouter
 		err       error
 	)
 	switch {
+	case *failoverOn:
+		// Failover-managed node: an HANode owns the role (primary, follower,
+		// fenced) and every transition; the lease loop below (or a manual
+		// POST /api/promote) drives promotions.
+		if *shards > 1 || eil.IsCluster(*sysDir) {
+			log.Fatal("-failover supports single-system deployments (drop -shards)")
+		}
+		if *replListen == "" {
+			log.Fatal("-failover requires -repl-listen: the address this node ships from while primary (use an explicit host, e.g. 127.0.0.1:9301, so peers can dial it)")
+		}
+		name := *replName
+		if name == "" {
+			name = fmt.Sprintf("node-%d", os.Getpid())
+		}
+		haOpts := eil.HANodeOptions{
+			Name:       name,
+			Dir:        *sysDir,
+			ListenAddr: *replListen,
+			SyncEvery:  *walSync,
+			MaxLag:     *maxLag,
+			Access:     ctl,
+			Logf:       log.Printf,
+		}
+		if *replicaOf != "" {
+			if *demo || *snapInterval > 0 || *faultSpec != "" || *budget > 0 {
+				log.Fatal("-failover -replica-of starts read-only: drop -demo, -snapshot-interval, -fault-spec, and -search-budget")
+			}
+			node, err = eil.NewFollowerHANode(*replicaOf, haOpts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("failover node %q: following %s into %s; promotable", name, *replicaOf, *sysDir)
+		} else {
+			var seed *eil.System
+			if *demo {
+				log.Printf("generating demo corpus...")
+				corpus, gerr := synth.Generate(synth.SmallConfig())
+				if gerr != nil {
+					log.Fatal(gerr)
+				}
+				seed, err = eil.Ingest(corpus.Docs, eil.Options{Directory: corpus.Directory, Access: ctl, Tracer: tracer})
+			} else {
+				seed, err = eil.LoadSystem(*sysDir, ctl)
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			seed.Access = ctl
+			seed.Tracer = tracer
+			haOpts.Metrics = seed.Registry()
+			node, err = eil.NewPrimaryHANode(seed, haOpts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if seed.FencedBy() != 0 {
+				log.Printf("WARNING: failover node %q was fenced by epoch %d; serving reads only until repointed at the current primary", name, seed.FencedBy())
+			} else {
+				log.Printf("failover node %q: primary at epoch %d, shipping on %s", name, seed.FenceEpoch(), node.ReplAddr())
+			}
+		}
+		// Mutations (the churn loop, and anything the host adds) go through
+		// the write router: they follow the current primary, queue briefly
+		// through a promotion window, and fail crisply past it.
+		wr = router.NewWriteRouter(router.WriteOptions{IsFenced: failover.IsFenced, Metrics: node.Metrics()})
+		if node.Role() == failover.RolePrimary {
+			wr.SetPrimary(node, node.Status().Epoch)
+		}
 	case *replicaOf != "":
 		// Read replica: no local corpus, no journal, no checkpoints of its
 		// own — state arrives over the replication stream and persists at
@@ -311,6 +463,8 @@ func main() {
 	}
 	var be backend
 	switch {
+	case node != nil:
+		be = &haBackend{node: node}
 	case cfollower != nil:
 		be = cfollower
 	case follower != nil:
@@ -326,6 +480,10 @@ func main() {
 
 	if *logCap > 0 {
 		switch {
+		case node != nil:
+			if s := node.System(); s != nil {
+				s.QueryLog = qlog.New(*logCap)
+			}
 		case cluster != nil:
 			cluster.QueryLog = qlog.New(*logCap)
 		case sys != nil:
@@ -336,6 +494,16 @@ func main() {
 	// checkpoint commits the current state to -sys: one generation for a
 	// single system, one per shard (plus the manifest) for a cluster.
 	checkpoint := func() (string, error) {
+		if node != nil {
+			// Only a serving primary checkpoints: a follower persists at the
+			// stream's rotation points, and a fenced node's journal is sealed.
+			s := node.System()
+			if s == nil || node.Role() != failover.RolePrimary {
+				return "skipped (not primary)", nil
+			}
+			gen, err := s.Checkpoint(*sysDir)
+			return fmt.Sprintf("generation %d", gen), err
+		}
 		if cluster != nil {
 			gens, err := cluster.Checkpoint(*sysDir)
 			return fmt.Sprintf("generations %v", gens), err
@@ -345,12 +513,19 @@ func main() {
 	}
 
 	switch {
+	case node != nil:
+		if s := node.System(); s != nil {
+			s.SnapshotKeep = *snapKeep
+		}
 	case cluster != nil:
 		cluster.SnapshotKeep = *snapKeep
 	case sys != nil:
 		sys.SnapshotKeep = *snapKeep
 	}
-	if *walOn {
+	if *walOn && node != nil {
+		log.Printf("note: -wal is implied by -failover; the node journals whenever it is primary")
+	}
+	if *walOn && node == nil {
 		// EnableWAL checkpoints first when -sys has no snapshot matching the
 		// in-memory state, so this also bootstraps the store in -demo mode.
 		if err := be.EnableWAL(*sysDir, *walSync); err != nil {
@@ -366,7 +541,7 @@ func main() {
 	// Primary-side replication: ship the journal to any follower that
 	// connects. Requires the journal — the stream is the journal.
 	var shipper *repl.Shipper
-	if *replListen != "" {
+	if *replListen != "" && node == nil {
 		if !*walOn {
 			log.Fatal("-repl-listen requires -wal: replication ships the write-ahead journal")
 		}
@@ -475,7 +650,60 @@ func main() {
 		opts = append(opts, web.WithAccessLog(slog.New(slog.NewTextHandler(os.Stderr, nil))))
 	}
 	opts = append(opts, web.WithHealth(checks), web.WithSLO(sloEng), web.WithRuntime(collector))
+	// leaseCfg names this node to the lease protocol; Addr is the bound ship
+	// address survivors repoint at (empty until the first primary stint).
+	leaseCfg := func() failover.LeaseConfig {
+		return failover.LeaseConfig{Dir: *leaseDir, Name: node.Name(), Addr: node.ReplAddr(), TTL: *leaseTTL, RenewEvery: *leaseTTL / 3}
+	}
 	switch {
+	case node != nil:
+		opts = append(opts, web.WithReplStatus(func() any {
+			return struct {
+				failover.NodeStatus
+				Writes    router.WriteStatus    `json:"writes"`
+				Followers []repl.FollowerStatus `json:"followers,omitempty"`
+			}{node.Status(), wr.Status(), node.ShipperStatus()}
+		}))
+		promote := func(target string) error {
+			if target != "" && target != node.Name() {
+				return fmt.Errorf("this node is %q: POST /api/promote to the node being promoted", node.Name())
+			}
+			if node.Role() == failover.RolePrimary {
+				return errors.New("already primary")
+			}
+			epoch := node.Status().Epoch + 1
+			if *leaseDir != "" {
+				cur, ok, lerr := failover.ReadLease(*leaseDir)
+				if lerr != nil {
+					return lerr
+				}
+				next := epoch
+				if ok && cur.Epoch+1 > next {
+					next = cur.Epoch + 1
+				}
+				rec, aerr := failover.Acquire(leaseCfg(), next)
+				if aerr != nil {
+					return aerr
+				}
+				epoch = rec.Epoch
+			}
+			if perr := node.Promote(epoch); perr != nil {
+				return perr
+			}
+			wr.SetPrimary(node, epoch)
+			if *leaseDir != "" {
+				// Publish the now-bound ship address for survivors to repoint at.
+				if _, rerr := failover.Renew(leaseCfg(), epoch); rerr != nil {
+					log.Printf("failover: lease renew after promote: %v", rerr)
+				}
+			}
+			log.Printf("failover: promoted to primary at epoch %d (manual)", epoch)
+			return nil
+		}
+		opts = append(opts, web.WithFailover(func() web.FailoverInfo {
+			st := node.Status()
+			return web.FailoverInfo{Role: st.Role, Epoch: st.Epoch, PromotedAt: st.PromotedAt}
+		}, promote))
 	case cfollower != nil:
 		opts = append(opts, web.WithReplStatus(func() any { return cfollower.Status() }))
 	case follower != nil:
@@ -511,7 +739,87 @@ func main() {
 		go sloEng.Run(ctx.Done(), 10*time.Second)
 	}
 
-	if *churn > 0 && (sys != nil || cluster != nil) {
+	if node != nil && *leaseDir != "" {
+		// The lease loop is the cross-process supervisor: a primary renews
+		// lease.json every TTL/3 and demotes itself the moment a newer lease
+		// appears; a follower (or fenced ex-primary) watches for staleness,
+		// claims the next epoch through the O_EXCL claim file, and
+		// self-promotes when it wins.
+		if err := os.MkdirAll(*leaseDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		go func() {
+			renew := *leaseTTL / 3
+			if renew <= 0 {
+				renew = time.Second
+			}
+			t := time.NewTicker(renew)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+				}
+				st := node.Status()
+				switch st.Role {
+				case failover.RolePrimary:
+					ep := st.Epoch
+					if ep == 0 {
+						ep = 1 // pre-failover lineage serves under term 1 at the lease layer
+					}
+					rec, rerr := failover.Renew(leaseCfg(), ep)
+					if errors.Is(rerr, failover.ErrLeaseLost) {
+						log.Printf("failover: lease lost to %s (epoch %d); demoting", rec.Name, rec.Epoch)
+						wr.SetPrimary(nil, 0)
+						if ferr := node.Fence(rec.Epoch, rec.Addr); ferr != nil {
+							log.Printf("failover: demote: %v", ferr)
+						}
+					}
+				case failover.RoleFollower, failover.RoleFenced:
+					cur, ok, rerr := failover.ReadLease(*leaseDir)
+					if rerr != nil {
+						continue
+					}
+					if ok && !cur.Stale(*leaseTTL) {
+						// Live primary. Make sure this node follows it — a
+						// fenced ex-primary rejoins here, re-syncing its
+						// divergent suffix away.
+						if cur.Addr != "" && cur.Name != node.Name() {
+							if perr := node.Repoint(cur.Addr, cur.Epoch); perr != nil {
+								log.Printf("failover: repoint at %s: %v", cur.Addr, perr)
+							}
+						}
+						continue
+					}
+					next := uint64(1)
+					if ok {
+						next = cur.Epoch + 1
+					}
+					if next <= st.Epoch {
+						next = st.Epoch + 1
+					}
+					rec, aerr := failover.Acquire(leaseCfg(), next)
+					if aerr != nil {
+						continue // lost the claim race; keep watching
+					}
+					log.Printf("failover: lease claimed at epoch %d; promoting", rec.Epoch)
+					if perr := node.Promote(rec.Epoch); perr != nil {
+						log.Printf("failover: promotion at epoch %d failed: %v", rec.Epoch, perr)
+						continue
+					}
+					wr.SetPrimary(node, rec.Epoch)
+					// Publish the bound ship address for survivors.
+					if _, perr := failover.Renew(leaseCfg(), rec.Epoch); perr != nil {
+						log.Printf("failover: lease renew after promote: %v", perr)
+					}
+				}
+			}
+		}()
+		log.Printf("failover: lease protocol active in %s (ttl %v)", *leaseDir, *leaseTTL)
+	}
+
+	if *churn > 0 && (sys != nil || cluster != nil || node != nil) {
 		// Synthetic write traffic: add a rotating window of churn deals,
 		// removing the oldest once ten are live, so replication demos have a
 		// continuous journal stream of both AddDocuments and RemoveDeal.
@@ -532,9 +840,12 @@ func main() {
 						continue
 					}
 					var aerr error
-					if cluster != nil {
+					switch {
+					case node != nil:
+						aerr = wr.AddDocuments(docs)
+					case cluster != nil:
 						aerr = cluster.AddDocuments(docs)
-					} else {
+					default:
 						aerr = sys.AddDocuments(docs)
 					}
 					if aerr != nil {
@@ -543,9 +854,12 @@ func main() {
 					}
 					if round > 10 {
 						old := fmt.Sprintf("CHURN DEAL %d", round-10)
-						if cluster != nil {
+						switch {
+						case node != nil:
+							aerr = wr.RemoveDeal(old)
+						case cluster != nil:
 							aerr = cluster.RemoveDeal(old)
-						} else {
+						default:
 							aerr = sys.RemoveDeal(old)
 						}
 						if aerr != nil {
@@ -596,7 +910,17 @@ func main() {
 		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("shutdown: %v", err)
 		}
-		if *walOn || *snapInterval > 0 {
+		switch {
+		case node != nil:
+			if desc, err := checkpoint(); err != nil {
+				log.Printf("final snapshot: %v", err)
+			} else {
+				log.Printf("final snapshot committed: %s", desc)
+			}
+			if err := node.Close(); err != nil {
+				log.Printf("failover node close: %v", err)
+			}
+		case *walOn || *snapInterval > 0:
 			// Fold journaled operations into a final generation so the next
 			// start loads a clean snapshot instead of replaying.
 			if desc, err := checkpoint(); err != nil {

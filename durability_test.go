@@ -78,7 +78,9 @@ func TestWALRecoveryDifferential(t *testing.T) {
 		if err := s.RemoveDeal(ids[0]); err != nil {
 			t.Fatal(err)
 		}
-		s.Compact()
+		if err := s.Compact(); err != nil {
+			t.Fatal(err)
+		}
 		if err := s.AddDocuments(newDealDocs(t, "DEAL JOURNALED 2")); err != nil {
 			t.Fatal(err)
 		}

@@ -157,6 +157,19 @@ type System struct {
 	ckptSeq     uint64
 	upstreamGen atomic.Uint64
 	replLog     *repl.Log
+
+	// Fencing state. fenceEpoch is the failover term this state last
+	// committed under (0 = never promoted). fencedBy, when nonzero, names
+	// the newer epoch that fenced this node: every mutation is refused
+	// with failover.FencedError until an operator (or the supervisor)
+	// re-syncs it as a follower. prevEpoch/sealSeq record the previous
+	// term and where its history was sealed at promotion — the shipper
+	// uses them to decide whether a stale peer's position is a safe
+	// prefix (tail-resume) or divergent (forced re-sync).
+	fenceEpoch atomic.Uint64
+	fencedBy   atomic.Uint64
+	prevEpoch  uint64
+	sealSeq    uint64
 }
 
 // siapi returns the live keyword engine. Searches go through this (not the

@@ -1,0 +1,591 @@
+package eil
+
+// Fenced primary failover: the host-side glue between a System/Follower
+// pair and the internal/failover supervisor. A System carries a fencing
+// epoch — a monotone term persisted in the durable EPOCH record beside
+// its journal — and every mutation passes the write guard, so a node a
+// newer epoch has fenced refuses writes instead of forking history.
+// PromoteToPrimary turns a detached follower into the next primary:
+// checkpoint at the promotion point, bump the epoch durably, adopt the
+// follower's mirrored ship log so laggard survivors tail-resume. Fence
+// is the other side: seal the journal, persist the fencing mark, stop
+// accepting writes. HANode wraps one node in either role and implements
+// failover.Node for the supervisor plus router.WritePrimary for the
+// write router.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/docmodel"
+	"repro/internal/durable"
+	"repro/internal/failover"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/repl"
+)
+
+// FenceEpoch reports the failover term this state last committed under
+// (0 = never promoted, pre-failover lineage).
+func (s *System) FenceEpoch() uint64 { return s.fenceEpoch.Load() }
+
+// FencedBy reports the newer epoch that fenced this node (0 = not
+// fenced). While nonzero every mutation is refused with FencedError.
+func (s *System) FencedBy() uint64 { return s.fencedBy.Load() }
+
+// EpochInfo reports the fencing coordinates the shipper hands to
+// repl.EpochSource: the current term plus the (previous term, sealed
+// sequence) pair of the promotion that started it.
+func (s *System) EpochInfo() repl.EpochInfo {
+	s.upMu.Lock()
+	defer s.upMu.Unlock()
+	return repl.EpochInfo{Epoch: s.fenceEpoch.Load(), PrevEpoch: s.prevEpoch, SealedSeq: s.sealSeq}
+}
+
+// PromoteToPrimary turns this (detached-follower) state into the primary
+// for epoch. The current position is checkpointed first — the promotion
+// point must be durable before the new term is — then the EPOCH record
+// commits the bump with the seal coordinates, and shipLog (the
+// follower's mirrored apply history, from Follower.Detach) becomes the
+// ship buffer so survivors behind the seal tail-resume instead of
+// re-bootstrapping. The caller completes the takeover with EnableWAL and
+// serveReplication.
+func (s *System) PromoteToPrimary(dir string, epoch uint64, shipLog *repl.Log) error {
+	s.upMu.Lock()
+	defer s.upMu.Unlock()
+	if s.wal != nil {
+		return errors.New("eil: promote: node is already journaling (already a primary?)")
+	}
+	cur := s.fenceEpoch.Load()
+	if epoch <= cur {
+		return fmt.Errorf("eil: promote: epoch %d is not newer than %d", epoch, cur)
+	}
+	seal := s.seq.Load()
+	// A primary's position coordinate is its own generation, not an
+	// upstream one; clear it before the checkpoint records it.
+	s.upstreamGen.Store(0)
+	gen, err := s.checkpointLocked(dir)
+	if err != nil {
+		return fmt.Errorf("eil: promote: %w", err)
+	}
+	// The epoch bump is the acknowledgement of the promotion: once this
+	// record is durable, a reboot comes back up as the epoch's primary.
+	// Crashing before it leaves a durable follower checkpoint at the
+	// promotion point under the old term — re-electable, nothing lost.
+	if err := durable.WriteEpoch(nil, dir, durable.EpochRecord{Epoch: epoch, PrevEpoch: cur, SealedSeq: seal}); err != nil {
+		return fmt.Errorf("eil: promote: %w", err)
+	}
+	s.prevEpoch, s.sealSeq = cur, seal
+	s.fenceEpoch.Store(epoch)
+	s.fencedBy.Store(0)
+	if shipLog != nil {
+		s.replLog = shipLog
+	}
+	if s.replLog != nil {
+		// Announce the promotion checkpoint to tail-resuming survivors:
+		// everything through the seal is folded into gen, their cue to
+		// checkpoint locally at the new lineage's first generation.
+		s.replLog.Append(repl.Entry{Seq: seal, Rotate: true, Gen: gen})
+	}
+	return nil
+}
+
+// Fence marks this node as superseded by the newer epoch: the journal is
+// sealed at its current position (permanently — a seal survives rotation
+// attempts), the fencing mark is persisted so a reboot comes back up
+// refusing writes, and every subsequent mutation fails with FencedError
+// until the node re-syncs as a follower of the new primary.
+func (s *System) Fence(newer uint64) error {
+	s.upMu.Lock()
+	defer s.upMu.Unlock()
+	cur := s.fenceEpoch.Load()
+	if newer <= cur {
+		return fmt.Errorf("eil: fence: epoch %d is not newer than %d", newer, cur)
+	}
+	if s.fencedBy.Load() >= newer {
+		return nil // already fenced at least this hard
+	}
+	s.fencedBy.Store(newer)
+	if s.wal != nil {
+		s.wal.Seal(fmt.Sprintf("fenced by epoch %d", newer))
+	}
+	if s.walDir != "" {
+		if err := durable.WriteEpoch(nil, s.walDir, durable.EpochRecord{
+			Epoch: cur, PrevEpoch: s.prevEpoch, SealedSeq: s.sealSeq, FencedBy: newer,
+		}); err != nil {
+			// The in-memory fence holds regardless; persisting it only
+			// hardens restarts (an unfenced reboot would be re-fenced at
+			// its first hello anyway).
+			return fmt.Errorf("eil: fence: persist: %w", err)
+		}
+	}
+	if s.Metrics != nil {
+		s.Metrics.Counter("eil_failover_node_fenced_total").Inc()
+	}
+	return nil
+}
+
+// HANodeOptions configures one failover-supervised host.
+type HANodeOptions struct {
+	// Name identifies the node to the supervisor and in lease records.
+	Name string
+	// Dir is the node's state directory (snapshots, journal, EPOCH).
+	Dir string
+	// ListenAddr is where the replication shipper binds when this node is
+	// (or becomes) the primary, e.g. "127.0.0.1:0".
+	ListenAddr string
+	// SyncEvery paces journal fsyncs when primary (see EnableWAL).
+	SyncEvery int
+	// MaxLag bounds follower staleness (see FollowerOptions.MaxLag).
+	MaxLag uint64
+	// Access scopes reads (nil = everyone sees everything).
+	Access *access.Controller
+	// Metrics receives the node's telemetry (nil = fresh registry).
+	Metrics *obs.Registry
+	// Logf receives lifecycle logs (nil = silent).
+	Logf func(format string, args ...any)
+	// Faults, when set, wires the chaos seams into replication links.
+	Faults *fault.Injector
+}
+
+// HANode is one supervised member: a System serving as primary (or
+// sitting fenced) or a Follower replicating from the current primary. It
+// implements failover.Node for the supervisor and router.WritePrimary
+// for the write router; the supervisor drives every role transition.
+type HANode struct {
+	opts    HANodeOptions
+	metrics *obs.Registry
+
+	mu          sync.Mutex
+	alive       bool
+	role        string
+	sys         *System   // primary / fenced role
+	fol         *Follower // follower role
+	shipper     *repl.Shipper
+	lis         net.Listener
+	addr        string // last bound replication address
+	primaryAddr string // upstream, while follower
+	promotedAt  time.Time
+}
+
+func newHANode(opts HANodeOptions) *HANode {
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = obs.NewRegistry()
+	}
+	return &HANode{opts: opts, metrics: metrics}
+}
+
+func (h *HANode) logf(format string, args ...any) {
+	if h.opts.Logf != nil {
+		h.opts.Logf(format, args...)
+	}
+}
+
+// NewPrimaryHANode wraps an already-built System as the initial primary:
+// its journal is enabled at opts.Dir (if not already) and its shipper
+// starts serving on opts.ListenAddr. A System whose EPOCH record says it
+// was fenced comes up in the fenced role and does not ship.
+func NewPrimaryHANode(sys *System, opts HANodeOptions) (*HANode, error) {
+	h := newHANode(opts)
+	if enabled, _ := sys.WALProbe(); !enabled {
+		if err := sys.EnableWAL(opts.Dir, opts.SyncEvery); err != nil {
+			return nil, err
+		}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sys = sys
+	h.alive = true
+	if sys.FencedBy() != 0 {
+		h.role = failover.RoleFenced
+		return h, nil
+	}
+	h.role = failover.RolePrimary
+	if err := h.startShipperLocked(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// NewFollowerHANode starts a node as a follower of primaryAddr.
+func NewFollowerHANode(primaryAddr string, opts HANodeOptions) (*HANode, error) {
+	h := newHANode(opts)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := h.startFollowerLocked(primaryAddr); err != nil {
+		return nil, err
+	}
+	h.alive = true
+	return h, nil
+}
+
+// startShipperLocked binds the replication listener and starts shipping
+// from h.sys. Caller holds h.mu and has set h.sys.
+func (h *HANode) startShipperLocked() error {
+	lis, err := net.Listen("tcp", h.opts.ListenAddr)
+	if err != nil {
+		return fmt.Errorf("eil: ha %s: %w", h.opts.Name, err)
+	}
+	sh, err := h.sys.serveReplication(lis, h.opts.Faults, h.onFenced)
+	if err != nil {
+		_ = lis.Close()
+		return err
+	}
+	h.lis, h.addr, h.shipper = lis, lis.Addr().String(), sh
+	return nil
+}
+
+// startFollowerLocked (re)starts replication from addr, discarding any
+// primary-role state first. Caller holds h.mu.
+func (h *HANode) startFollowerLocked(addr string) error {
+	if h.sys != nil {
+		_ = h.sys.CloseWAL() // sealed or not, release the journal handle
+		h.sys = nil
+	}
+	fol, err := StartFollower(FollowerOptions{
+		Dir:     h.opts.Dir,
+		Addr:    addr,
+		Name:    h.opts.Name,
+		MaxLag:  h.opts.MaxLag,
+		Access:  h.opts.Access,
+		Metrics: h.metrics,
+		Logf:    h.opts.Logf,
+		Faults:  h.opts.Faults,
+	})
+	if err != nil {
+		return err
+	}
+	h.fol = fol
+	h.primaryAddr = addr
+	h.role = failover.RoleFollower
+	return nil
+}
+
+// onFenced is the shipper's callback: a peer's hello proved a newer
+// epoch exists, so this node is the stale side of a partition. Writes
+// stop immediately; the supervisor's Fence call (or a Repoint) finishes
+// the demotion. The shipper is closed asynchronously — it is the caller.
+func (h *HANode) onFenced(newer uint64) {
+	h.mu.Lock()
+	if h.role != failover.RolePrimary {
+		h.mu.Unlock()
+		return
+	}
+	sys, sh := h.sys, h.shipper
+	h.role = failover.RoleFenced
+	h.shipper, h.lis = nil, nil
+	h.mu.Unlock()
+	h.logf("eil: ha %s: fenced by epoch %d, demoting", h.opts.Name, newer)
+	if sys != nil {
+		_ = sys.Fence(newer)
+	}
+	if sh != nil {
+		go sh.Close()
+	}
+}
+
+// Name identifies the node (failover.Node).
+func (h *HANode) Name() string { return h.opts.Name }
+
+// Metrics returns the registry the node's role objects report into.
+func (h *HANode) Metrics() *obs.Registry { return h.metrics }
+
+// Alive reports whether the node is serving (failover.Node). Kill — the
+// in-process stand-in for a crashed process — clears it.
+func (h *HANode) Alive() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.alive
+}
+
+// Role reports the node's current failover role.
+func (h *HANode) Role() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.role
+}
+
+// System returns the primary-role state (nil while a follower).
+func (h *HANode) System() *System {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sys
+}
+
+// Follower returns the follower-role replica (nil while primary).
+func (h *HANode) Follower() *Follower {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.fol
+}
+
+// Status reports the node's failover view (failover.Node).
+func (h *HANode) Status() failover.NodeStatus {
+	h.mu.Lock()
+	sys, fol := h.sys, h.fol
+	st := failover.NodeStatus{Role: h.role, PromotedAt: h.promotedAt}
+	h.mu.Unlock()
+	switch {
+	case sys != nil:
+		st.Epoch = sys.FenceEpoch()
+		st.Gen = sys.Generation()
+		_, st.Seq = sys.ReplPosition()
+	case fol != nil:
+		st.Epoch = fol.FenceEpoch()
+		st.Gen, st.Seq = fol.Position()
+	}
+	return st
+}
+
+// ShipperStatus reports the connected followers' view while this node is
+// shipping (nil in any other role) — the /api/repl payload's follower list.
+func (h *HANode) ShipperStatus() []repl.FollowerStatus {
+	h.mu.Lock()
+	sh := h.shipper
+	h.mu.Unlock()
+	if sh == nil {
+		return nil
+	}
+	return sh.Status()
+}
+
+// ReplAddr reports where this node's shipper serves, or last served
+// (failover.Node). Empty until the node has been a primary.
+func (h *HANode) ReplAddr() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.addr
+}
+
+// Promote makes this follower the primary under epoch (failover.Node):
+// detach from the dead primary's stream, seal-and-bump via
+// PromoteToPrimary, enable the journal, and start shipping.
+func (h *HANode) Promote(epoch uint64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.alive {
+		return fmt.Errorf("eil: ha %s: cannot promote a dead node", h.opts.Name)
+	}
+	if h.role == failover.RolePrimary {
+		return fmt.Errorf("eil: ha %s: already primary", h.opts.Name)
+	}
+	if h.fol == nil {
+		return fmt.Errorf("eil: ha %s: no follower state to promote", h.opts.Name)
+	}
+	h.role = failover.RolePromoting
+	sys, shipLog, err := h.fol.Detach()
+	if err != nil {
+		h.role = failover.RoleFollower
+		return fmt.Errorf("eil: ha %s: %w", h.opts.Name, err)
+	}
+	if err := sys.PromoteToPrimary(h.opts.Dir, epoch, shipLog); err != nil {
+		h.role = failover.RoleFenced // stream detached, state not promoted: needs supervisor help
+		return err
+	}
+	if err := sys.EnableWAL(h.opts.Dir, h.opts.SyncEvery); err != nil {
+		h.role = failover.RoleFenced
+		return err
+	}
+	h.sys, h.fol = sys, nil
+	if err := h.startShipperLocked(); err != nil {
+		h.role = failover.RoleFenced
+		return err
+	}
+	h.role = failover.RolePrimary
+	h.promotedAt = time.Now()
+	h.logf("eil: ha %s: promoted to primary at epoch %d (%s)", h.opts.Name, epoch, h.addr)
+	return nil
+}
+
+// Fence tells a (possibly resurrected) stale primary that epoch
+// superseded it (failover.Node): seal and mark the local state, stop
+// shipping, and — when the new primary's address is known — rejoin as
+// its follower, which re-syncs the divergent suffix away.
+func (h *HANode) Fence(epoch uint64, primaryAddr string) error {
+	h.mu.Lock()
+	if h.role == failover.RoleFollower {
+		h.mu.Unlock()
+		if primaryAddr != "" {
+			return h.Repoint(primaryAddr, epoch)
+		}
+		return nil
+	}
+	sys, sh := h.sys, h.shipper
+	h.role = failover.RoleFenced
+	h.shipper, h.lis = nil, nil
+	h.mu.Unlock()
+	if sh != nil {
+		_ = sh.Close()
+	}
+	if sys != nil {
+		if err := sys.Fence(epoch); err != nil && sys.FencedBy() < epoch {
+			return err
+		}
+	}
+	if primaryAddr == "" {
+		return nil // stays fenced until a Repoint names the new primary
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.startFollowerLocked(primaryAddr)
+}
+
+// Repoint re-targets the node at the new primary (failover.Node). A
+// follower restarts its stream (its Close checkpoints, so it resumes by
+// tailing); a fenced ex-primary rejoins as a follower and re-syncs.
+func (h *HANode) Repoint(addr string, epoch uint64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch h.role {
+	case failover.RoleFollower:
+		if h.primaryAddr == addr {
+			return nil
+		}
+		if h.fol != nil {
+			if err := h.fol.Close(); err != nil {
+				h.logf("eil: ha %s: close before repoint: %v", h.opts.Name, err)
+			}
+			h.fol = nil
+		}
+		return h.startFollowerLocked(addr)
+	case failover.RoleFenced:
+		return h.startFollowerLocked(addr)
+	}
+	return nil
+}
+
+// Kill simulates a crash for in-process chaos tests: the node stops
+// serving instantly — no checkpoint, no handshake — and reports dead
+// until Resurrect. Durable state is exactly what a kill -9 would leave.
+func (h *HANode) Kill() {
+	h.mu.Lock()
+	h.alive = false
+	sys, fol, sh := h.sys, h.fol, h.shipper
+	h.sys, h.fol, h.shipper, h.lis = nil, nil, nil, nil
+	h.mu.Unlock()
+	if sh != nil {
+		_ = sh.Close()
+	}
+	if fol != nil {
+		// Stop the stream without the graceful checkpoint Close would take.
+		fol.cancel()
+		<-fol.done
+	}
+	if sys != nil {
+		// Release the journal handle. Acknowledged records are already on
+		// disk per the sync policy; this closes the fd, it does not save
+		// anything a crash would lose.
+		_ = sys.CloseWAL()
+	}
+}
+
+// Resurrect brings a killed node back in its pre-crash role, reloading
+// everything from disk — the in-memory state died with the "process".
+func (h *HANode) Resurrect() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.alive {
+		return nil
+	}
+	switch h.role {
+	case failover.RoleFollower:
+		if err := h.startFollowerLocked(h.primaryAddr); err != nil {
+			return err
+		}
+	default:
+		// An ex-primary reboots from its snapshot + journal, believing
+		// whatever its EPOCH record says: unfenced, it ships again (and
+		// gets fenced at its first stale hello); fenced, it waits for a
+		// repoint.
+		sys, err := loadSystemWith(h.opts.Dir, h.opts.Access, h.metrics)
+		if err != nil {
+			return fmt.Errorf("eil: ha %s: resurrect: %w", h.opts.Name, err)
+		}
+		if err := sys.EnableWAL(h.opts.Dir, h.opts.SyncEvery); err != nil && sys.FencedBy() == 0 {
+			return fmt.Errorf("eil: ha %s: resurrect: %w", h.opts.Name, err)
+		}
+		h.sys = sys
+		if sys.FencedBy() != 0 {
+			h.role = failover.RoleFenced
+		} else {
+			h.role = failover.RolePrimary
+			if err := h.startShipperLocked(); err != nil {
+				return err
+			}
+		}
+	}
+	h.alive = true
+	return nil
+}
+
+// Close shuts the node down gracefully (tests' cleanup path).
+func (h *HANode) Close() error {
+	h.mu.Lock()
+	h.alive = false
+	sys, fol, sh := h.sys, h.fol, h.shipper
+	h.sys, h.fol, h.shipper, h.lis = nil, nil, nil, nil
+	h.mu.Unlock()
+	if sh != nil {
+		_ = sh.Close()
+	}
+	var first error
+	if fol != nil {
+		first = fol.Close()
+	}
+	if sys != nil {
+		if err := sys.CloseWAL(); err != nil && first == nil && !errors.Is(err, durable.ErrSealed) {
+			first = err
+		}
+	}
+	return first
+}
+
+// writeSys returns the primary-role state, or a FencedError that makes
+// the write router forget this node and re-queue the mutation.
+func (h *HANode) writeSys() (*System, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.alive || h.role != failover.RolePrimary || h.sys == nil {
+		var mine uint64
+		if h.sys != nil {
+			mine = h.sys.FenceEpoch()
+		}
+		return nil, &failover.FencedError{Mine: mine}
+	}
+	return h.sys, nil
+}
+
+// AddDocuments routes an ingest batch to the primary-role state
+// (router.WritePrimary).
+func (h *HANode) AddDocuments(docs []*docmodel.Document) error {
+	sys, err := h.writeSys()
+	if err != nil {
+		return err
+	}
+	return sys.AddDocuments(docs)
+}
+
+// RemoveDeal routes a removal to the primary-role state
+// (router.WritePrimary).
+func (h *HANode) RemoveDeal(dealID string) error {
+	sys, err := h.writeSys()
+	if err != nil {
+		return err
+	}
+	return sys.RemoveDeal(dealID)
+}
+
+// Compact routes a compaction to the primary-role state
+// (router.WritePrimary).
+func (h *HANode) Compact() error {
+	sys, err := h.writeSys()
+	if err != nil {
+		return err
+	}
+	return sys.Compact()
+}

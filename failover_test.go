@@ -1,0 +1,402 @@
+package eil
+
+// Failover chaos suite: the differential proof behind the fencing
+// protocol. A three-node group takes mixed write traffic while the
+// primary is killed mid-stream; the supervisor promotes a survivor, the
+// write router queues through the window, the resurrected ex-primary is
+// fenced (zero accepted stale writes) and rejoins as a follower, and the
+// final corpus is float-exact identical to a never-failed twin that
+// applied the same operation ledger in the same effective order.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/failover"
+	"repro/internal/router"
+)
+
+// waitCond polls until cond holds or the deadline passes.
+func waitCond(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+// waitNodeApplied waits until h's follower role has applied through seq.
+func waitNodeApplied(t *testing.T, h *HANode, seq uint64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if f := h.Follower(); f != nil && f.Ready() {
+			if _, cur := f.Position(); cur >= seq {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("ha node %s did not reach seq %d (role %s)", h.Name(), seq, h.Role())
+}
+
+// assertSystemsIdentical runs the differential query set against two
+// primary-role states and requires float-exact identical results.
+func assertSystemsIdentical(t *testing.T, label string, want, got *System) {
+	t.Helper()
+	ctx := context.Background()
+	for i, q := range differentialQueries() {
+		wr, err := want.SearchCtx(ctx, admin(), q)
+		if err != nil {
+			t.Fatalf("%s/q%d: want side: %v", label, i, err)
+		}
+		gr, err := got.SearchCtx(ctx, admin(), q)
+		if err != nil {
+			t.Fatalf("%s/q%d: got side: %v", label, i, err)
+		}
+		assertSameResult(t, fmt.Sprintf("%s/q%d", label, i), wr, gr)
+	}
+}
+
+// chaosOp is one entry in the writer's operation ledger. seq records the
+// primary's journal position when the op was acknowledged — the seal
+// comparison that identifies acked-but-unshipped operations after a kill.
+type chaosOp struct {
+	kind string // "add", "remove", "compact"
+	deal string
+	seq  uint64
+}
+
+func startHAGroup(t *testing.T, sysA *System) (a, b, c *HANode) {
+	t.Helper()
+	var err error
+	a, err = NewPrimaryHANode(sysA, HANodeOptions{Name: "a", Dir: t.TempDir(), ListenAddr: "127.0.0.1:0", SyncEvery: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = a.Close() })
+	b, err = NewFollowerHANode(a.ReplAddr(), HANodeOptions{Name: "b", Dir: t.TempDir(), ListenAddr: "127.0.0.1:0", SyncEvery: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = b.Close() })
+	c, err = NewFollowerHANode(a.ReplAddr(), HANodeOptions{Name: "c", Dir: t.TempDir(), ListenAddr: "127.0.0.1:0", SyncEvery: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return a, b, c
+}
+
+func TestFailoverChaosKillPromoteFenceRejoin(t *testing.T) {
+	corpus, sysA := testSystem(t, Options{Workers: 1})
+	a, b, c := startHAGroup(t, sysA)
+
+	wr := router.NewWriteRouter(router.WriteOptions{QueueWait: 30 * time.Second, IsFenced: failover.IsFenced})
+	wr.SetPrimary(a, 0)
+	sup := failover.NewSupervisor([]failover.Node{a, b, c}, failover.Options{
+		Heartbeat:     20 * time.Millisecond,
+		MissThreshold: 2,
+		Logf:          t.Logf,
+		OnWindow:      func() { wr.SetPrimary(nil, 0) },
+		OnPromote:     func(w failover.Node, epoch uint64) { wr.SetPrimary(w.(*HANode), epoch) },
+	})
+	sup.Start()
+	t.Cleanup(sup.Close)
+	waitCond(t, 10*time.Second, func() bool { return sup.Status().Primary == "a" },
+		"supervisor never adopted the initial primary")
+
+	var ledger []chaosOp
+	mustOp := func(o chaosOp) {
+		t.Helper()
+		var err error
+		switch o.kind {
+		case "add":
+			err = wr.AddDocuments(newDealDocs(t, o.deal))
+		case "remove":
+			err = wr.RemoveDeal(o.deal)
+		default:
+			err = wr.Compact()
+		}
+		if err != nil {
+			t.Fatalf("%s %q: %v", o.kind, o.deal, err)
+		}
+		ledger = append(ledger, o)
+	}
+
+	// Mixed traffic on the original primary. The first op is barriered so
+	// both followers are live before the chaos; the tail is not, so some
+	// acknowledged operations may die unshipped with the primary.
+	mustOp(chaosOp{kind: "add", deal: "CHAOS DEAL 0"})
+	ledger[0].seq = primarySeq(sysA)
+	waitNodeApplied(t, b, ledger[0].seq)
+	waitNodeApplied(t, c, ledger[0].seq)
+	for i := 1; i < 6; i++ {
+		mustOp(chaosOp{kind: "add", deal: fmt.Sprintf("CHAOS DEAL %d", i)})
+		ledger[len(ledger)-1].seq = primarySeq(sysA)
+	}
+	mustOp(chaosOp{kind: "remove", deal: "CHAOS DEAL 1"})
+	ledger[len(ledger)-1].seq = primarySeq(sysA)
+
+	// kill -9 the primary between two acknowledged writes, then keep the
+	// traffic coming: the next mutation finds the primary dead, re-queues,
+	// and waits out the promotion window.
+	queued := newDealDocs(t, "CHAOS QUEUED")
+	a.Kill()
+	qdone := make(chan error, 1)
+	go func() { qdone <- wr.AddDocuments(queued) }()
+
+	waitCond(t, 15*time.Second, func() bool {
+		st := sup.Status()
+		return st.Primary != "" && st.Primary != "a" && !st.Promoting
+	}, "no promotion after primary kill")
+	if err := <-qdone; err != nil {
+		t.Fatalf("write queued across the promotion window failed: %v", err)
+	}
+
+	st := sup.Status()
+	prim := map[string]*HANode{"b": b, "c": c}[st.Primary]
+	if prim == nil {
+		t.Fatalf("unexpected winner %q", st.Primary)
+	}
+	survivor := b
+	if prim == b {
+		survivor = c
+	}
+	psys := prim.System()
+	if psys == nil {
+		t.Fatal("winner has no primary-role state")
+	}
+	if got := psys.FenceEpoch(); got == 0 {
+		t.Fatalf("promoted primary still at epoch 0")
+	}
+
+	// Operations acknowledged by the dead lineage past the promotion seal
+	// never shipped; the sequential writer re-applies that suffix, so the
+	// ledger is re-ordered into the sequence the new lineage actually saw:
+	// shipped prefix, then the queued write, then the repaired suffix.
+	seal := psys.EpochInfo().SealedSeq
+	var kept, lost []chaosOp
+	for _, o := range ledger {
+		if o.seq <= seal {
+			kept = append(kept, o)
+		} else {
+			lost = append(lost, o)
+		}
+	}
+	t.Logf("chaos: promotion sealed at seq %d; %d acked ops lost with the old lineage", seal, len(lost))
+	ledger = append(kept, chaosOp{kind: "add", deal: "CHAOS QUEUED"})
+	for _, o := range lost {
+		mustOp(o)
+	}
+
+	// Post-failover traffic lands on the new primary.
+	for i := 6; i < 10; i++ {
+		mustOp(chaosOp{kind: "add", deal: fmt.Sprintf("CHAOS DEAL %d", i)})
+	}
+	mustOp(chaosOp{kind: "remove", deal: "CHAOS DEAL 2"})
+	mustOp(chaosOp{kind: "compact"})
+
+	// Resurrect the old primary: it reboots believing its stale EPOCH
+	// record, ships again, and the supervisor fences it back down to a
+	// follower of the winner.
+	if err := a.Resurrect(); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, 15*time.Second, func() bool { return a.Role() == failover.RoleFollower },
+		"resurrected stale primary was never fenced and repointed")
+	// Zero accepted stale writes: the fenced ex-primary refuses directly.
+	if err := a.AddDocuments(newDealDocs(t, "STALE WRITE")); !failover.IsFenced(err) {
+		t.Fatalf("write to fenced ex-primary returned %v; want a fencing refusal", err)
+	}
+
+	// Everyone converges on the winner's head.
+	barrier := primarySeq(psys)
+	waitNodeApplied(t, a, barrier)
+	waitNodeApplied(t, survivor, barrier)
+
+	// The surviving follower repointed without re-bootstrapping.
+	if f := survivor.Follower(); f == nil {
+		t.Fatalf("survivor %s has no follower state", survivor.Name())
+	} else if n := f.Status().Client.Resyncs; n != 0 {
+		t.Errorf("surviving follower re-bootstrapped (%d resyncs); want tail resume", n)
+	}
+
+	// The never-failed twin applies the same ledger in the same effective
+	// order; every surviving node must match it float-exactly.
+	twin, err := Ingest(corpus.Docs, Options{Workers: 1, Directory: corpus.Directory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range ledger {
+		switch o.kind {
+		case "add":
+			err = twin.AddDocuments(newDealDocs(t, o.deal))
+		case "remove":
+			err = twin.RemoveDeal(o.deal)
+		default:
+			err = twin.Compact()
+		}
+		if err != nil {
+			t.Fatalf("twin op %d (%s %q): %v", i, o.kind, o.deal, err)
+		}
+	}
+	assertSystemsIdentical(t, "twin-vs-promoted", twin, psys)
+	assertReplicaIdentity(t, "twin-vs-rejoined", twin, a.Follower())
+	assertReplicaIdentity(t, "twin-vs-survivor", twin, survivor.Follower())
+}
+
+// TestFailoverPoisonedPrimaryManualPromote covers the operator path: the
+// primary's journal is poisoned by a failed rotation (writes refused, the
+// node still serves reads), a manual promotion moves the write lease to
+// the replica, and the poisoned ex-primary is fenced and rejoins clean.
+func TestFailoverPoisonedPrimaryManualPromote(t *testing.T) {
+	_, sysA := testSystem(t, Options{Workers: 1})
+	ffs := &failCreateFS{FS: durable.OS}
+	sysA.WALFS = ffs
+	dirA := t.TempDir()
+	a, err := NewPrimaryHANode(sysA, HANodeOptions{Name: "a", Dir: dirA, ListenAddr: "127.0.0.1:0", SyncEvery: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = a.Close() })
+	b, err := NewFollowerHANode(a.ReplAddr(), HANodeOptions{Name: "b", Dir: t.TempDir(), ListenAddr: "127.0.0.1:0", SyncEvery: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = b.Close() })
+
+	wr := router.NewWriteRouter(router.WriteOptions{QueueWait: 30 * time.Second, IsFenced: failover.IsFenced})
+	wr.SetPrimary(a, 0)
+	sup := failover.NewSupervisor([]failover.Node{a, b}, failover.Options{
+		Heartbeat:     20 * time.Millisecond,
+		MissThreshold: 1 << 20, // the primary never dies here; only manual promotion moves the lease
+		Logf:          t.Logf,
+		OnWindow:      func() { wr.SetPrimary(nil, 0) },
+		OnPromote:     func(w failover.Node, epoch uint64) { wr.SetPrimary(w.(*HANode), epoch) },
+	})
+	sup.Start()
+	t.Cleanup(sup.Close)
+	waitCond(t, 10*time.Second, func() bool { return sup.Status().Primary == "a" },
+		"supervisor never adopted the initial primary")
+
+	if err := wr.AddDocuments(newDealDocs(t, "BEFORE POISON")); err != nil {
+		t.Fatal(err)
+	}
+	waitNodeApplied(t, b, primarySeq(sysA))
+
+	// A failed rotation poisons the journal: the snapshot committed but
+	// the surviving journal extends a superseded generation.
+	ffs.armed.Store(true)
+	if _, err := sysA.Checkpoint(dirA); err == nil {
+		t.Fatal("checkpoint succeeded with rotation refused")
+	}
+	// The poisoned primary refuses writes — and the refusal is a journal
+	// error, not a fencing one, so the router surfaces it instead of
+	// spinning on a re-queue.
+	err = wr.AddDocuments(newDealDocs(t, "POISONED WRITE"))
+	if err == nil {
+		t.Fatal("write accepted into a poisoned journal")
+	}
+	if failover.IsFenced(err) {
+		t.Fatalf("poisoned journal misreported as a fencing refusal: %v", err)
+	}
+
+	// The operator moves the write lease to the healthy replica.
+	if err := sup.Promote("b"); err != nil {
+		t.Fatal(err)
+	}
+	ffs.armed.Store(false)
+	if err := wr.AddDocuments(newDealDocs(t, "AFTER PROMOTE")); err != nil {
+		t.Fatalf("post-promotion write: %v", err)
+	}
+
+	waitCond(t, 15*time.Second, func() bool { return a.Role() == failover.RoleFollower },
+		"poisoned ex-primary was never demoted to follower")
+	bsys := b.System()
+	if bsys == nil {
+		t.Fatal("promoted node has no primary-role state")
+	}
+	waitNodeApplied(t, a, primarySeq(bsys))
+
+	if _, err := bsys.Synopses.Get("BEFORE POISON"); err != nil {
+		t.Fatalf("acknowledged deal lost across promotion: %v", err)
+	}
+	if _, err := bsys.Synopses.Get("AFTER PROMOTE"); err != nil {
+		t.Fatalf("post-promotion deal missing: %v", err)
+	}
+	if _, err := bsys.Synopses.Get("POISONED WRITE"); err == nil {
+		t.Fatal("refused write resurfaced on the new lineage")
+	}
+	assertReplicaIdentity(t, "poisoned-ex-primary", bsys, a.Follower())
+}
+
+// TestPoisonedJournalReopenRestoresWritability is the recovery path that
+// does not involve another node: a poisoned journal (failed rotation) is
+// cured by closing the handle and reloading from the committed snapshot —
+// EnableWAL discards the stale-generation journal and opens a fresh one.
+func TestPoisonedJournalReopenRestoresWritability(t *testing.T) {
+	_, sys := testSystem(t, Options{Workers: 1})
+	dir := t.TempDir()
+	ffs := &failCreateFS{FS: durable.OS}
+	sys.WALFS = ffs
+	if err := sys.EnableWAL(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddDocuments(newDealDocs(t, "ACKED DEAL")); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.armed.Store(true)
+	if _, err := sys.Checkpoint(dir); err == nil {
+		t.Fatal("checkpoint succeeded with rotation refused")
+	}
+	if enabled, err := sys.WALProbe(); !enabled || err == nil {
+		t.Fatalf("WALProbe = (%v, %v); want enabled with a health error", enabled, err)
+	}
+	if err := sys.AddDocuments(newDealDocs(t, "LOST DEAL")); err == nil {
+		t.Fatal("append accepted into a poisoned journal")
+	}
+
+	// Reopen instead of checkpointing: close the poisoned handle, reload
+	// the committed state, and re-enable the journal.
+	if err := sys.CloseWAL(); err != nil {
+		t.Logf("closing poisoned journal: %v", err)
+	}
+	ffs.armed.Store(false)
+	re, err := LoadSystem(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.EnableWAL(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	defer re.CloseWAL()
+	if enabled, err := re.WALProbe(); !enabled || err != nil {
+		t.Fatalf("reopened WALProbe = (%v, %v); want healthy", enabled, err)
+	}
+	if err := re.AddDocuments(newDealDocs(t, "REOPENED DEAL")); err != nil {
+		t.Fatalf("write after reopen: %v", err)
+	}
+
+	final, err := LoadSystem(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := final.Synopses.Get("ACKED DEAL"); err != nil {
+		t.Fatalf("acknowledged deal lost: %v", err)
+	}
+	if _, err := final.Synopses.Get("REOPENED DEAL"); err != nil {
+		t.Fatalf("post-reopen deal lost: %v", err)
+	}
+	if _, err := final.Synopses.Get("LOST DEAL"); err == nil {
+		t.Fatal("refused deal resurrected on reload")
+	}
+}

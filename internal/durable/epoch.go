@@ -1,0 +1,90 @@
+package durable
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"io/fs"
+	"path/filepath"
+)
+
+// EpochVersion is the EPOCH record container format version.
+const EpochVersion = 1
+
+// EpochName is the fencing-epoch record file inside a system directory. It
+// lives beside the generation store and the journal, not inside any
+// generation: the epoch is a property of the node's write lineage, and must
+// survive checkpoints, rotations, and snapshot installs unchanged.
+const EpochName = "EPOCH"
+
+// EpochRecord is the durable fencing state of one node. Epoch is the term
+// this node last accepted writes (or replicated records) under. PrevEpoch
+// and SealedSeq describe the promotion that started Epoch: the winner's
+// previous term and the journal sequence its history was sealed at, which
+// lets the shipper distinguish a safe prefix (a follower that was behind at
+// promotion time) from a divergent suffix (the dead primary's unshipped
+// writes). FencedBy, when nonzero, records that a newer epoch fenced this
+// node: its local WAL must never be replayed again, and the node comes back
+// up refusing writes until it re-syncs as a follower.
+type EpochRecord struct {
+	Format    int    `json:"format"`
+	Epoch     uint64 `json:"epoch"`
+	PrevEpoch uint64 `json:"prev_epoch"`
+	SealedSeq uint64 `json:"sealed_seq"`
+	FencedBy  uint64 `json:"fenced_by,omitempty"`
+}
+
+// WriteEpoch durably replaces dir's EPOCH record. The write is atomic and
+// fsynced: promotion must not be acknowledged until the new term survives
+// power loss, or a reboot could resurrect the node at its old epoch and
+// re-accept writes the cluster already moved past.
+func WriteEpoch(fsys FS, dir string, rec EpochRecord) error {
+	rec.Format = EpochVersion
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return WriteFileAtomic(fsys, filepath.Join(dir, EpochName), func(w io.Writer) error {
+		fw, err := NewFrameWriter(w, "epoch", EpochVersion)
+		if err != nil {
+			return err
+		}
+		if err := fw.WriteFrame(body); err != nil {
+			return err
+		}
+		return fw.Close()
+	})
+}
+
+// ReadEpoch loads dir's EPOCH record. ok is false when no record exists —
+// a pre-failover directory, which loads at the zero epoch. A present but
+// unreadable record is an error: guessing an epoch defeats fencing.
+func ReadEpoch(fsys FS, dir string) (rec EpochRecord, ok bool, err error) {
+	if fsys == nil {
+		fsys = OS
+	}
+	path := filepath.Join(dir, EpochName)
+	f, err := fsys.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return EpochRecord{}, false, nil
+		}
+		return EpochRecord{}, false, err
+	}
+	defer f.Close()
+	fr, err := NewFrameReader(f, path, "epoch", EpochVersion)
+	if err != nil {
+		return EpochRecord{}, false, err
+	}
+	frame, err := fr.Next()
+	if err != nil {
+		return EpochRecord{}, false, &CorruptError{Path: path, Detail: "missing epoch frame"}
+	}
+	if err := json.Unmarshal(frame, &rec); err != nil || rec.Format != EpochVersion {
+		return EpochRecord{}, false, &CorruptError{Path: path, Detail: "bad epoch record"}
+	}
+	if err := fr.Drain(); err != nil {
+		return EpochRecord{}, false, err
+	}
+	return rec, true, nil
+}

@@ -1,0 +1,117 @@
+package durable
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEpochRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	// A pre-failover directory has no record: zero epoch, no error.
+	if rec, ok, err := ReadEpoch(nil, dir); err != nil || ok || rec.Epoch != 0 {
+		t.Fatalf("empty dir epoch = %+v ok=%v err=%v", rec, ok, err)
+	}
+
+	want := EpochRecord{Epoch: 3, PrevEpoch: 2, SealedSeq: 117}
+	if err := WriteEpoch(nil, dir, want); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok, err := ReadEpoch(nil, dir)
+	if err != nil || !ok {
+		t.Fatalf("read back: ok=%v err=%v", ok, err)
+	}
+	if rec.Epoch != 3 || rec.PrevEpoch != 2 || rec.SealedSeq != 117 || rec.FencedBy != 0 {
+		t.Fatalf("record = %+v, want %+v", rec, want)
+	}
+	if rec.Format != EpochVersion {
+		t.Fatalf("format = %d, want %d", rec.Format, EpochVersion)
+	}
+
+	// A fencing mark replaces the record atomically and round-trips.
+	if err := WriteEpoch(nil, dir, EpochRecord{Epoch: 3, PrevEpoch: 2, SealedSeq: 117, FencedBy: 5}); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok, err = ReadEpoch(nil, dir)
+	if err != nil || !ok || rec.FencedBy != 5 {
+		t.Fatalf("fenced record = %+v ok=%v err=%v", rec, ok, err)
+	}
+}
+
+func TestEpochCorruptRecordIsTypedError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, EpochName)
+
+	// Raw garbage: the container framing itself is unreadable. Guessing an
+	// epoch would defeat fencing, so this must error, never ok=false.
+	if err := os.WriteFile(path, []byte("garbage, not a frame"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := ReadEpoch(nil, dir); err == nil || ok {
+		t.Fatalf("garbage EPOCH read = ok=%v err=%v, want error", ok, err)
+	}
+
+	// A valid frame holding a non-record payload is a CorruptError.
+	if err := WriteFileAtomic(nil, path, func(w io.Writer) error {
+		fw, err := NewFrameWriter(w, "epoch", EpochVersion)
+		if err != nil {
+			return err
+		}
+		if err := fw.WriteFrame([]byte(`{"format":999}`)); err != nil {
+			return err
+		}
+		return fw.Close()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err := ReadEpoch(nil, dir)
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ok {
+		t.Fatalf("bad-payload EPOCH read = ok=%v err=%v, want CorruptError", ok, err)
+	}
+
+	// A torn write (truncated mid-frame) must not pass either.
+	good := t.TempDir()
+	if err := WriteEpoch(nil, good, EpochRecord{Epoch: 9}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(good, EpochName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := ReadEpoch(nil, dir); err == nil || ok {
+		t.Fatalf("torn EPOCH read = ok=%v err=%v, want error", ok, err)
+	}
+}
+
+func TestEpochSurvivesBesideJournalRotation(t *testing.T) {
+	// The EPOCH record is a lineage property: checkpoints and rotations in
+	// the same directory must leave it untouched.
+	dir := t.TempDir()
+	if err := WriteEpoch(nil, dir, EpochRecord{Epoch: 7, PrevEpoch: 6, SealedSeq: 40}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := CreateWAL(dir, 1, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(1, []byte("rec")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Rotate(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok, err := ReadEpoch(nil, dir)
+	if err != nil || !ok || rec.Epoch != 7 || rec.SealedSeq != 40 {
+		t.Fatalf("epoch after rotation = %+v ok=%v err=%v", rec, ok, err)
+	}
+}

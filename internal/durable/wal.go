@@ -3,6 +3,7 @@ package durable
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -14,6 +15,10 @@ import (
 
 // WALVersion is the journal container format version.
 const WALVersion = 1
+
+// ErrSealed marks a journal sealed by fencing: a newer epoch took over the
+// write lineage, so no further append may ever extend this history.
+var ErrSealed = errors.New("durable: journal sealed by fencing")
 
 // WALName is the journal file inside a system directory.
 const WALName = "wal.log"
@@ -269,6 +274,9 @@ func (w *WAL) Sync() error {
 func (w *WAL) Probe() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.broken != nil {
+		return fmt.Errorf("durable: journal poisoned by failed rotate: %w", w.broken)
+	}
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("durable: wal probe: %w", err)
 	}
@@ -285,6 +293,22 @@ func (w *WAL) syncLocked() error {
 	return nil
 }
 
+// Seal permanently poisons the journal: every future Append, Sync, and
+// Healthy fails with an error wrapping ErrSealed. Fencing calls it when a
+// newer epoch takes over the write lineage — unlike rotate-failure
+// poisoning, sealing is not recoverable by re-establishing a journal; the
+// node must re-sync under the new epoch. Pending appends are fsynced first
+// so the sealed history is at least complete.
+func (w *WAL) Seal(reason string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.unsynced > 0 {
+		_ = w.syncLocked()
+	}
+	w.broken = fmt.Errorf("%w: %s", ErrSealed, reason)
+	w.metrics.Counter("durable_wal_seals_total").Inc()
+}
+
 // Rotate truncates the journal after a snapshot commit: a fresh empty
 // journal extending newBase atomically replaces the current one. Operations
 // journaled before Rotate are folded into generation newBase's snapshot, so
@@ -299,6 +323,12 @@ func (w *WAL) syncLocked() error {
 func (w *WAL) Rotate(newBase uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if errors.Is(w.broken, ErrSealed) {
+		// A successful rotate clears rotate-failure poisoning, but a seal is
+		// permanent: the write lineage moved to a newer epoch and no local
+		// recovery may resurrect this journal.
+		return fmt.Errorf("durable: wal rotate: %w", w.broken)
+	}
 	dir := filepath.Dir(w.path)
 	fresh, err := CreateWAL(dir, newBase, WALOptions{FS: w.fs, SyncEvery: w.syncEach, Metrics: w.metrics})
 	if err != nil {

@@ -1,0 +1,261 @@
+package failover
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fakeNode is an in-memory Node for deterministic supervisor tests: tests
+// drive s.poll() directly instead of racing the heartbeat ticker.
+type fakeNode struct {
+	mu          sync.Mutex
+	name        string
+	addr        string
+	alive       bool
+	role        string
+	epoch       uint64
+	seq         uint64
+	primaryAddr string
+	promoteErr  error
+	fences      []uint64
+	repoints    []string
+}
+
+func (n *fakeNode) Name() string { return n.name }
+
+func (n *fakeNode) Alive() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.alive
+}
+
+func (n *fakeNode) Status() NodeStatus {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return NodeStatus{Role: n.role, Epoch: n.epoch, Seq: n.seq}
+}
+
+func (n *fakeNode) ReplAddr() string { return n.addr }
+
+func (n *fakeNode) Promote(epoch uint64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.promoteErr != nil {
+		return n.promoteErr
+	}
+	n.role = RolePrimary
+	n.epoch = epoch
+	return nil
+}
+
+func (n *fakeNode) Fence(epoch uint64, primaryAddr string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.fences = append(n.fences, epoch)
+	n.role = RoleFollower
+	n.primaryAddr = primaryAddr
+	return nil
+}
+
+func (n *fakeNode) Repoint(addr string, epoch uint64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.repoints = append(n.repoints, addr)
+	n.primaryAddr = addr
+	return nil
+}
+
+func newGroup() (a, b, c *fakeNode, sup *Supervisor) {
+	a = &fakeNode{name: "a", addr: "addr-a", alive: true, role: RolePrimary, seq: 10}
+	b = &fakeNode{name: "b", addr: "addr-b", alive: true, role: RoleFollower, seq: 10}
+	c = &fakeNode{name: "c", addr: "addr-c", alive: true, role: RoleFollower, seq: 8}
+	sup = NewSupervisor([]Node{a, b, c}, Options{MissThreshold: 2})
+	return a, b, c, sup
+}
+
+func pollUntilFailover(sup *Supervisor) {
+	for i := 0; i < sup.opts.MissThreshold+1; i++ {
+		sup.poll()
+	}
+}
+
+func TestSupervisorElectsHighestPosition(t *testing.T) {
+	a, b, c, sup := newGroup()
+	var windows int
+	var promoted Node
+	var promotedEpoch uint64
+	sup.opts.OnWindow = func() { windows++ }
+	sup.opts.OnPromote = func(w Node, e uint64) { promoted, promotedEpoch = w, e }
+
+	sup.poll()
+	if got := sup.Status().Primary; got != "a" {
+		t.Fatalf("adopted primary = %q, want a", got)
+	}
+
+	a.mu.Lock()
+	a.alive = false
+	a.mu.Unlock()
+	pollUntilFailover(sup)
+
+	st := sup.Status()
+	if st.Primary != "b" {
+		t.Fatalf("winner = %q, want b (highest seq)", st.Primary)
+	}
+	if st.Epoch != 1 || promotedEpoch != 1 {
+		t.Fatalf("epoch = %d (hook %d), want 1", st.Epoch, promotedEpoch)
+	}
+	if promoted != Node(b) || b.Status().Role != RolePrimary {
+		t.Fatalf("OnPromote got %v, role %s", promoted, b.Status().Role)
+	}
+	if windows != 1 {
+		t.Fatalf("OnWindow fired %d times, want 1", windows)
+	}
+	c.mu.Lock()
+	repoints := append([]string(nil), c.repoints...)
+	c.mu.Unlock()
+	if len(repoints) != 1 || repoints[0] != "addr-b" {
+		t.Fatalf("survivor repoints = %v, want [addr-b]", repoints)
+	}
+}
+
+func TestSupervisorElectionPrefersNewerEpoch(t *testing.T) {
+	a, b, c, sup := newGroup()
+	// c is behind in seq but holds a newer epoch: its history belongs to
+	// the newest lineage and must win over a longer stale one.
+	c.mu.Lock()
+	c.epoch, c.seq = 3, 2
+	c.mu.Unlock()
+	sup.poll()
+	a.mu.Lock()
+	a.alive = false
+	a.mu.Unlock()
+	pollUntilFailover(sup)
+
+	st := sup.Status()
+	if st.Primary != "c" {
+		t.Fatalf("winner = %q, want c (newest epoch)", st.Primary)
+	}
+	if st.Epoch != 4 {
+		t.Fatalf("epoch = %d, want 4 (witnessed 3 + 1)", st.Epoch)
+	}
+	_ = b
+}
+
+func TestSupervisorFencesResurrectedStalePrimary(t *testing.T) {
+	a, b, _, sup := newGroup()
+	sup.poll()
+	a.mu.Lock()
+	a.alive = false
+	a.mu.Unlock()
+	pollUntilFailover(sup)
+	if sup.Status().Primary != "b" {
+		t.Fatalf("setup: winner = %q", sup.Status().Primary)
+	}
+
+	// The dead primary comes back still believing it rules epoch 0.
+	a.mu.Lock()
+	a.alive = true
+	a.role = RolePrimary
+	a.mu.Unlock()
+	sup.poll()
+
+	a.mu.Lock()
+	fences, primaryAddr, role := append([]uint64(nil), a.fences...), a.primaryAddr, a.role
+	a.mu.Unlock()
+	if len(fences) != 1 || fences[0] != 1 {
+		t.Fatalf("fences = %v, want [1]", fences)
+	}
+	if role != RoleFollower || primaryAddr != "addr-b" {
+		t.Fatalf("fenced node role=%s primary=%s, want follower of addr-b", role, primaryAddr)
+	}
+	if b.Status().Role != RolePrimary {
+		t.Fatal("winner lost the primary role")
+	}
+}
+
+func TestSupervisorManualPromote(t *testing.T) {
+	a, _, _, sup := newGroup()
+	sup.poll()
+
+	if err := sup.Promote("nope"); err == nil || !strings.Contains(err.Error(), "unknown node") {
+		t.Fatalf("promote unknown = %v", err)
+	}
+	if err := sup.Promote("a"); err == nil || !strings.Contains(err.Error(), "already the primary") {
+		t.Fatalf("promote current primary = %v", err)
+	}
+
+	// Manual promotion overrides the election: c wins despite the lower
+	// seq, and the still-alive old primary is fenced.
+	if err := sup.Promote("c"); err != nil {
+		t.Fatal(err)
+	}
+	st := sup.Status()
+	if st.Primary != "c" || st.Epoch != 1 {
+		t.Fatalf("status = %+v, want primary c at epoch 1", st)
+	}
+	a.mu.Lock()
+	fences, primaryAddr := append([]uint64(nil), a.fences...), a.primaryAddr
+	a.mu.Unlock()
+	if len(fences) != 1 || fences[0] != 1 || primaryAddr != "addr-c" {
+		t.Fatalf("old primary fences=%v primary=%s, want [1] addr-c", fences, primaryAddr)
+	}
+}
+
+func TestSupervisorRetriesAfterFailedPromotion(t *testing.T) {
+	a, b, c, sup := newGroup()
+	sup.poll()
+	b.mu.Lock()
+	b.promoteErr = errors.New("injected: promote refused")
+	b.mu.Unlock()
+	a.mu.Lock()
+	a.alive = false
+	a.mu.Unlock()
+
+	pollUntilFailover(sup)
+	if got := sup.Status().Primary; got != "a" {
+		t.Fatalf("primary after failed promotion = %q, want still a", got)
+	}
+
+	// The winner keeps failing until it recovers; each round re-runs the
+	// election rather than wedging.
+	b.mu.Lock()
+	b.promoteErr = nil
+	b.mu.Unlock()
+	pollUntilFailover(sup)
+	if got := sup.Status().Primary; got != "b" {
+		t.Fatalf("primary after recovery = %q, want b", got)
+	}
+	_ = c
+}
+
+func TestSupervisorNoCandidateAborts(t *testing.T) {
+	a, b, c, sup := newGroup()
+	sup.poll()
+	for _, n := range []*fakeNode{a, b, c} {
+		n.mu.Lock()
+		n.alive = false
+		n.mu.Unlock()
+	}
+	pollUntilFailover(sup)
+	if got := sup.Status().Primary; got != "a" {
+		t.Fatalf("primary = %q; an empty election must not install anyone", got)
+	}
+	if err := sup.Promote(""); err == nil {
+		t.Fatal("manual promotion with no alive candidate succeeded")
+	}
+}
+
+func TestFencedErrorClassification(t *testing.T) {
+	err := error(&FencedError{Mine: 1, Current: 2})
+	if !IsFenced(err) {
+		t.Fatal("FencedError not classified as fenced")
+	}
+	if !errors.Is(err, ErrFenced) {
+		t.Fatal("errors.Is(FencedError, ErrFenced) = false")
+	}
+	if IsFenced(errors.New("plain")) {
+		t.Fatal("plain error classified as fenced")
+	}
+}

@@ -1,0 +1,209 @@
+package failover
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/durable"
+)
+
+// Cross-process coordination: when the supervisor cannot hold direct node
+// handles (separate eilserver processes), the same protocol runs through a
+// lease file on shared storage. The primary renews lease.json (atomic
+// rename, so readers never see a torn record); a follower that sees the
+// lease go stale claims the next epoch through an O_EXCL claim file — the
+// filesystem arbitrates concurrent claimants — then self-promotes. A
+// primary whose renewal discovers a newer lease has been fenced and must
+// demote itself.
+
+// LeaseName is the lease record file inside the lease directory.
+const LeaseName = "lease.json"
+
+// LeaseRecord is the current holder's claim.
+type LeaseRecord struct {
+	Epoch     uint64    `json:"epoch"`
+	Name      string    `json:"name"`
+	Addr      string    `json:"addr"` // holder's replication listen address
+	RenewedAt time.Time `json:"renewed_at"`
+}
+
+// LeaseConfig identifies this node to the lease protocol.
+type LeaseConfig struct {
+	Dir  string
+	Name string
+	Addr string
+	// TTL is how stale a lease must be before a claimant may take it
+	// (0 = 3s). It bounds unavailability after a primary dies.
+	TTL time.Duration
+	// RenewEvery is the holder's renewal (and watchers' poll) interval
+	// (0 = TTL/3).
+	RenewEvery time.Duration
+}
+
+func (c LeaseConfig) ttl() time.Duration {
+	if c.TTL <= 0 {
+		return 3 * time.Second
+	}
+	return c.TTL
+}
+
+func (c LeaseConfig) renewEvery() time.Duration {
+	if c.RenewEvery > 0 {
+		return c.RenewEvery
+	}
+	return c.ttl() / 3
+}
+
+// ErrLeaseLost means a renewal discovered a newer lease: this node was
+// fenced at the lease layer and must demote itself.
+var ErrLeaseLost = errors.New("failover: lease lost to a newer epoch")
+
+// ErrLeaseHeld means an acquisition found a live lease held by another
+// node.
+var ErrLeaseHeld = errors.New("failover: lease held")
+
+// ReadLease loads the current lease record. ok is false when none exists.
+func ReadLease(dir string) (rec LeaseRecord, ok bool, err error) {
+	b, err := os.ReadFile(filepath.Join(dir, LeaseName))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return LeaseRecord{}, false, nil
+		}
+		return LeaseRecord{}, false, err
+	}
+	if err := json.Unmarshal(b, &rec); err != nil {
+		return LeaseRecord{}, false, fmt.Errorf("failover: corrupt lease: %w", err)
+	}
+	return rec, true, nil
+}
+
+// Stale reports whether the lease has gone unrenewed past the TTL.
+func (r LeaseRecord) Stale(ttl time.Duration) bool {
+	return time.Since(r.RenewedAt) > ttl
+}
+
+func writeLease(dir string, rec LeaseRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return durable.WriteFileAtomic(nil, filepath.Join(dir, LeaseName), func(w io.Writer) error {
+		_, err := w.Write(b)
+		return err
+	})
+}
+
+// Acquire claims the lease at epoch. It refuses when another node holds a
+// live lease at this or a newer epoch (ErrLeaseHeld), and loses cleanly
+// when a concurrent claimant beats it to the epoch's claim file.
+func Acquire(cfg LeaseConfig, epoch uint64) (LeaseRecord, error) {
+	cur, ok, err := ReadLease(cfg.Dir)
+	if err != nil {
+		return LeaseRecord{}, err
+	}
+	if ok && cur.Name != cfg.Name {
+		if cur.Epoch >= epoch && !cur.Stale(cfg.ttl()) {
+			return LeaseRecord{}, fmt.Errorf("%w: by %s at epoch %d", ErrLeaseHeld, cur.Name, cur.Epoch)
+		}
+		if cur.Epoch >= epoch {
+			// Stale but not below us: claim the next term, never a reused one.
+			epoch = cur.Epoch + 1
+		}
+	}
+	// The claim file is the arbiter: O_EXCL means exactly one claimant
+	// wins each epoch, no matter how many watchers saw the lease go stale
+	// in the same poll.
+	claim := filepath.Join(cfg.Dir, fmt.Sprintf("claim-%016x", epoch))
+	f, err := os.OpenFile(claim, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if errors.Is(err, fs.ErrExist) {
+			return LeaseRecord{}, fmt.Errorf("%w: epoch %d already claimed", ErrLeaseHeld, epoch)
+		}
+		return LeaseRecord{}, err
+	}
+	_, _ = fmt.Fprintf(f, "%s %s\n", cfg.Name, time.Now().UTC().Format(time.RFC3339Nano))
+	_ = f.Sync()
+	_ = f.Close()
+	rec := LeaseRecord{Epoch: epoch, Name: cfg.Name, Addr: cfg.Addr, RenewedAt: time.Now()}
+	if err := writeLease(cfg.Dir, rec); err != nil {
+		return LeaseRecord{}, err
+	}
+	return rec, nil
+}
+
+// Renew refreshes the holder's lease once. It returns the usurper's
+// record with ErrLeaseLost when a newer lease (or the same epoch under
+// another name) has fenced this holder — the caller must demote itself
+// before acknowledging another write.
+func Renew(cfg LeaseConfig, epoch uint64) (LeaseRecord, error) {
+	cur, ok, err := ReadLease(cfg.Dir)
+	if err != nil {
+		return LeaseRecord{}, err
+	}
+	if ok && (cur.Epoch > epoch || (cur.Epoch == epoch && cur.Name != cfg.Name)) {
+		return cur, ErrLeaseLost
+	}
+	rec := LeaseRecord{Epoch: epoch, Name: cfg.Name, Addr: cfg.Addr, RenewedAt: time.Now()}
+	if err := writeLease(cfg.Dir, rec); err != nil {
+		return LeaseRecord{}, err
+	}
+	return rec, nil
+}
+
+// Hold renews the lease until ctx cancels or a newer lease fences this
+// holder. On fencing it returns the usurper's record with ErrLeaseLost —
+// the caller must demote itself before serving another write.
+func Hold(ctx context.Context, cfg LeaseConfig, epoch uint64) (LeaseRecord, error) {
+	t := time.NewTicker(cfg.renewEvery())
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return LeaseRecord{}, ctx.Err()
+		case <-t.C:
+		}
+		rec, err := Renew(cfg, epoch)
+		if errors.Is(err, ErrLeaseLost) {
+			return rec, err
+		}
+		// Transient read/write failures keep the lease and retry.
+	}
+}
+
+// WatchClaim polls the lease until it goes stale, then claims the next
+// epoch. A lost claim race just resumes watching; it returns only when it
+// wins the lease or ctx cancels.
+func WatchClaim(ctx context.Context, cfg LeaseConfig) (LeaseRecord, error) {
+	t := time.NewTicker(cfg.renewEvery())
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return LeaseRecord{}, ctx.Err()
+		case <-t.C:
+		}
+		cur, ok, err := ReadLease(cfg.Dir)
+		if err != nil {
+			continue
+		}
+		if ok && !cur.Stale(cfg.ttl()) {
+			continue
+		}
+		next := uint64(1)
+		if ok {
+			next = cur.Epoch + 1
+		}
+		rec, err := Acquire(cfg, next)
+		if err != nil {
+			continue // lost the race; keep watching
+		}
+		return rec, nil
+	}
+}

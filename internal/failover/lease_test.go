@@ -1,0 +1,154 @@
+package failover
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func leaseCfg(dir, name string) LeaseConfig {
+	return LeaseConfig{Dir: dir, Name: name, Addr: "addr-" + name, TTL: time.Hour}
+}
+
+func TestLeaseAcquireRenewLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	if _, ok, err := ReadLease(dir); err != nil || ok {
+		t.Fatalf("empty dir lease = ok=%v err=%v", ok, err)
+	}
+
+	rec, err := Acquire(leaseCfg(dir, "a"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Epoch != 1 || rec.Name != "a" || rec.Addr != "addr-a" {
+		t.Fatalf("acquired lease = %+v", rec)
+	}
+
+	// A live lease refuses other claimants at or below its epoch.
+	if _, err := Acquire(leaseCfg(dir, "b"), 1); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("second claimant got %v, want ErrLeaseHeld", err)
+	}
+
+	// The holder renews; an impostor renewing at the same epoch is fenced.
+	if _, err := Renew(leaseCfg(dir, "a"), 1); err != nil {
+		t.Fatal(err)
+	}
+	usurped, err := Renew(leaseCfg(dir, "b"), 1)
+	if !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("impostor renew = %v, want ErrLeaseLost", err)
+	}
+	if usurped.Name != "a" {
+		t.Fatalf("usurper record = %+v, want holder a", usurped)
+	}
+}
+
+func TestLeaseRenewLosesToNewerEpoch(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Acquire(leaseCfg(dir, "a"), 1); err != nil {
+		t.Fatal(err)
+	}
+	// A newer claimant takes over (the old lease is forced stale first).
+	forceStale(t, dir)
+	rec, err := Acquire(leaseCfg(dir, "b"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Epoch != 2 {
+		t.Fatalf("claim over stale epoch-1 lease took epoch %d, want 2 (never reuse a term)", rec.Epoch)
+	}
+	// The old holder's next renewal discovers it was fenced.
+	cur, err := Renew(leaseCfg(dir, "a"), 1)
+	if !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("stale holder renew = %v, want ErrLeaseLost", err)
+	}
+	if cur.Name != "b" || cur.Epoch != 2 {
+		t.Fatalf("usurper = %+v", cur)
+	}
+}
+
+// forceStale rewrites the current lease as if it had not been renewed for
+// a long time, without changing holder or epoch.
+func forceStale(t *testing.T, dir string) {
+	t.Helper()
+	rec, ok, err := ReadLease(dir)
+	if err != nil || !ok {
+		t.Fatalf("forceStale: lease = ok=%v err=%v", ok, err)
+	}
+	rec.RenewedAt = time.Now().Add(-24 * time.Hour)
+	if err := writeLease(dir, rec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaseClaimFileArbitratesRaces(t *testing.T) {
+	dir := t.TempDir()
+	// A concurrent claimant already won epoch 1's claim file.
+	if err := os.WriteFile(filepath.Join(dir, "claim-0000000000000001"), []byte("rival\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Acquire(leaseCfg(dir, "a"), 1); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("losing claimant got %v, want ErrLeaseHeld", err)
+	}
+	// The next epoch is still claimable.
+	if rec, err := Acquire(leaseCfg(dir, "a"), 2); err != nil || rec.Epoch != 2 {
+		t.Fatalf("next-epoch claim = %+v, %v", rec, err)
+	}
+}
+
+func TestLeaseHoldReturnsOnUsurp(t *testing.T) {
+	dir := t.TempDir()
+	cfg := leaseCfg(dir, "a")
+	cfg.RenewEvery = 5 * time.Millisecond
+	if _, err := Acquire(cfg, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	got := make(chan error, 1)
+	go func() {
+		_, err := Hold(ctx, cfg, 1)
+		got <- err
+	}()
+
+	// A newer primary overwrites the lease; the holder must notice.
+	if err := writeLease(dir, LeaseRecord{Epoch: 2, Name: "b", Addr: "addr-b", RenewedAt: time.Now().Add(time.Hour)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-got; !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("Hold returned %v, want ErrLeaseLost", err)
+	}
+}
+
+func TestWatchClaimTakesStaleLease(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Acquire(leaseCfg(dir, "a"), 3); err != nil {
+		t.Fatal(err)
+	}
+	forceStale(t, dir)
+
+	cfg := leaseCfg(dir, "b")
+	cfg.RenewEvery = 5 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	rec, err := WatchClaim(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Epoch != 4 || rec.Name != "b" {
+		t.Fatalf("claimed lease = %+v, want b at epoch 4", rec)
+	}
+}
+
+func TestReadLeaseCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, LeaseName), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadLease(dir); err == nil {
+		t.Fatal("corrupt lease read succeeded; guessing a holder defeats fencing")
+	}
+}

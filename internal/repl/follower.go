@@ -34,6 +34,30 @@ type Sink interface {
 	Advance(gen, seq uint64)
 }
 
+// EpochSink is optionally implemented by Sinks that participate in fenced
+// failover: Epoch is the term the local state was last written under
+// (sent in the hello), and AdoptEpoch durably records a newer term learned
+// from the primary's positions, so a restart hellos with the right one. A
+// Sink without it replicates at epoch 0.
+type EpochSink interface {
+	Epoch() uint64
+	AdoptEpoch(epoch uint64) error
+}
+
+// FenceError is the typed terminal error a session returns when the
+// primary fenced this client: a newer epoch exists. Resync reports the
+// verdict that local history diverged (the client has already armed a
+// snapshot re-sync for its next attempt).
+type FenceError struct {
+	Epoch  uint64
+	Resync bool
+	Msg    string
+}
+
+func (e *FenceError) Error() string {
+	return fmt.Sprintf("repl: fenced at epoch %d (resync=%v): %s", e.Epoch, e.Resync, e.Msg)
+}
+
 // SnapshotInstaller receives one snapshot transfer. Components arrive in
 // manifest order; Commit lands after the last one verifies.
 type SnapshotInstaller interface {
@@ -49,6 +73,7 @@ type ClientStatus struct {
 	Resyncs     uint64    `json:"resyncs"`
 	Reconnects  uint64    `json:"reconnects"`
 	Applied     uint64    `json:"applied_records"`
+	FencedBy    uint64    `json:"fenced_by,omitempty"` // newest epoch a fence verdict named
 	ConnectedAt time.Time `json:"connected_at,omitempty"`
 }
 
@@ -83,6 +108,7 @@ type Client struct {
 	resyncs     atomic.Uint64
 	reconnects  atomic.Uint64
 	applied     atomic.Uint64
+	fencedBy    atomic.Uint64
 	connectedAt atomic.Int64 // unixnano, 0 = not connected
 }
 
@@ -100,6 +126,7 @@ func (c *Client) Status() ClientStatus {
 		Resyncs:    c.resyncs.Load(),
 		Reconnects: c.reconnects.Load(),
 		Applied:    c.applied.Load(),
+		FencedBy:   c.fencedBy.Load(),
 	}
 	if v, ok := c.state.Load().(string); ok {
 		st.State = v
@@ -187,7 +214,28 @@ func (c *Client) session(ctx context.Context) (progressed bool, err error) {
 	if forced {
 		have = false
 	}
-	hello := Hello{Format: ProtoFormat, Name: c.Name, Shard: c.Shard, Have: have, Gen: gen, Seq: seq}
+	var myEpoch uint64
+	es, hasEpoch := c.Sink.(EpochSink)
+	if hasEpoch {
+		myEpoch = es.Epoch()
+	}
+	// adopt durably records a newer term learned from the primary. It only
+	// runs on positions the primary sent us while our state is a verified
+	// prefix of its stream (tail grant, post-install, rotate, heartbeat) —
+	// never on a fence verdict, where our local history may have diverged
+	// and stamping it with the new epoch would forge a resumable position.
+	adopt := func(epoch uint64) error {
+		if !hasEpoch || epoch <= myEpoch {
+			return nil
+		}
+		if err := es.AdoptEpoch(epoch); err != nil {
+			return fmt.Errorf("adopt epoch %d: %w", epoch, err)
+		}
+		c.logf("repl: adopted epoch %d (was %d)", epoch, myEpoch)
+		myEpoch = epoch
+		return nil
+	}
+	hello := Hello{Format: ProtoFormat, Name: c.Name, Shard: c.Shard, Have: have, Gen: gen, Seq: seq, Epoch: myEpoch}
 	_ = rawConn.SetDeadline(time.Now().Add(10 * time.Second))
 	if _, err := conn.Write([]byte(ProtoMagic)); err != nil {
 		return false, err
@@ -237,6 +285,9 @@ func (c *Client) session(ctx context.Context) (progressed bool, err error) {
 				return progressed, err
 			}
 			gen = pos.Gen
+			if err := adopt(pos.Epoch); err != nil {
+				return progressed, err
+			}
 			c.setState("streaming")
 			c.logf("repl: tailing from seq %d (primary gen %d)", seq, gen)
 
@@ -251,6 +302,10 @@ func (c *Client) session(ctx context.Context) (progressed bool, err error) {
 			}
 			gen, seq = begin.Gen, begin.Seq
 			progressed = true
+			if err := adopt(begin.Epoch); err != nil {
+				return progressed, err
+			}
+			c.fencedBy.Store(0)
 			c.forceResync.Store(false)
 			if forced || hadState {
 				c.resyncs.Add(1)
@@ -287,6 +342,9 @@ func (c *Client) session(ctx context.Context) (progressed bool, err error) {
 			if err := decodeControl(payload, &pos); err != nil {
 				return progressed, err
 			}
+			if err := adopt(pos.Epoch); err != nil {
+				return progressed, err
+			}
 			if err := c.Sink.Rotate(pos.Gen, pos.Seq); err != nil {
 				return progressed, fmt.Errorf("rotate to gen %d: %w", pos.Gen, err)
 			}
@@ -299,6 +357,9 @@ func (c *Client) session(ctx context.Context) (progressed bool, err error) {
 		case MsgPos:
 			var pos Pos
 			if err := decodeControl(payload, &pos); err != nil {
+				return progressed, err
+			}
+			if err := adopt(pos.Epoch); err != nil {
 				return progressed, err
 			}
 			c.Sink.Advance(pos.Gen, pos.Seq)
@@ -315,6 +376,23 @@ func (c *Client) session(ctx context.Context) (progressed bool, err error) {
 				c.forceResync.Store(true)
 			}
 			return progressed, fmt.Errorf("repl: primary refused: %s", em.Msg)
+
+		case MsgFence:
+			f, err := decodeFence(payload)
+			if err != nil {
+				return progressed, err
+			}
+			c.fencedBy.Store(f.Epoch)
+			if f.Resync {
+				// Our history diverged from the fenced lineage: distrust it
+				// and bootstrap under the new epoch next attempt. The epoch
+				// itself is adopted only after the install commits.
+				c.forceResync.Store(true)
+			}
+			if c.Metrics != nil {
+				c.Metrics.Counter("eil_repl_client_fences_total").Inc()
+			}
+			return progressed, &FenceError{Epoch: f.Epoch, Resync: f.Resync, Msg: f.Msg}
 
 		default:
 			return progressed, fmt.Errorf("%w: unexpected message type %d", ErrBadFrame, typ)

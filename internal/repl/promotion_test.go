@@ -1,0 +1,173 @@
+package repl
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestHelloWithEpochRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := Hello{Format: ProtoFormat, Name: "survivor", Have: true, Gen: 4, Seq: 1200, Epoch: 3}
+	if err := writeJSON(&buf, MsgHello, want); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readFrame(&buf, MaxControlFrame)
+	if err != nil || typ != MsgHello {
+		t.Fatalf("frame = type %d err %v", typ, err)
+	}
+	got, err := decodeHello(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("hello = %+v, want %+v", got, want)
+	}
+}
+
+func TestHelloOmittedEpochIsZero(t *testing.T) {
+	// A pre-failover peer sends no epoch field at all; it must decode as
+	// term 0, not an error — mixed-version groups fail over too.
+	h, err := decodeHello([]byte(`{"format":1,"name":"old","have":true,"gen":2,"seq":9}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Epoch != 0 || h.Name != "old" || !h.Have {
+		t.Fatalf("legacy hello = %+v", h)
+	}
+}
+
+func TestFenceRoundTripAndValidation(t *testing.T) {
+	var buf bytes.Buffer
+	want := Fence{Epoch: 7, Resync: true, Msg: "divergent past seal"}
+	if err := writeJSON(&buf, MsgFence, want); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readFrame(&buf, MaxControlFrame)
+	if err != nil || typ != MsgFence {
+		t.Fatalf("frame = type %d err %v", typ, err)
+	}
+	got, err := decodeFence(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("fence = %+v, want %+v", got, want)
+	}
+
+	// A zero epoch can never fence anything: framing violation, and the
+	// client treats it as a hostile stream, not a demotion order.
+	if _, err := decodeFence([]byte(`{"epoch":0}`)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("zero-epoch fence = %v, want ErrBadFrame", err)
+	}
+	long := `{"epoch":1,"msg":"` + strings.Repeat("x", 2048) + `"}`
+	if _, err := decodeFence([]byte(long)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized fence msg = %v, want ErrBadFrame", err)
+	}
+	if _, err := decodeFence([]byte("not json")); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("malformed fence = %v, want ErrBadFrame", err)
+	}
+}
+
+// FuzzPromotionControlDecode fuzzes the failover-era control messages —
+// hello-with-epoch, fence verdicts, and epoch-carrying positions — through
+// the frame reader and their decoders. The PR-9 two-error-class contract
+// holds for promotion traffic too:
+//
+//   - no panic on arbitrary bytes;
+//   - every failure is ErrBadFrame (distrust the stream entirely) or an
+//     I/O error (retryable at the same position) — never a third class,
+//     never silent success on corrupt input;
+//   - an accepted fence always carries a nonzero epoch (a zero-epoch
+//     verdict could demote a healthy primary for free);
+//   - accepted hellos and fences survive a re-encode/re-decode round trip
+//     unchanged, so a relayed verdict cannot mutate in flight.
+func FuzzPromotionControlDecode(f *testing.F) {
+	seed := func(typ byte, v any) []byte {
+		var buf bytes.Buffer
+		if err := writeJSON(&buf, typ, v); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed(MsgHello, Hello{Format: ProtoFormat, Name: "n", Have: true, Gen: 1, Seq: 7, Epoch: 2}))
+	f.Add(seed(MsgHello, Hello{Format: ProtoFormat, Name: "legacy", Have: true, Gen: 1, Seq: 7}))
+	f.Add(seed(MsgFence, Fence{Epoch: 3, Resync: true, Msg: "stale"}))
+	f.Add(seed(MsgFence, Fence{Epoch: 1}))
+	f.Add(seed(MsgFence, Fence{}))                      // zero epoch: must be refused
+	f.Add(seed(MsgPos, Pos{Gen: 2, Seq: 40, Epoch: 9})) // epoch-carrying heartbeat
+
+	corrupted := seed(MsgFence, Fence{Epoch: 3})
+	corrupted[len(corrupted)-1] ^= 0xFF
+	f.Add(corrupted)
+	f.Add(corrupted[:len(corrupted)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			typ, payload, err := readFrame(r, MaxControlFrame)
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if err != nil {
+				if !errors.Is(err, ErrBadFrame) && !errors.Is(err, io.ErrUnexpectedEOF) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				return
+			}
+			switch typ {
+			case MsgHello:
+				h, err := decodeHello(payload)
+				if err != nil {
+					if !errors.Is(err, ErrBadFrame) {
+						t.Fatalf("hello error class: %v", err)
+					}
+					continue
+				}
+				if h.Format != ProtoFormat || len(h.Name) > 256 || len(h.Shard) > 256 {
+					t.Fatalf("accepted hello violates caps: %+v", h)
+				}
+				var re bytes.Buffer
+				if err := writeJSON(&re, MsgHello, h); err != nil {
+					t.Fatalf("re-encode hello: %v", err)
+				}
+				_, p2, err := readFrame(&re, MaxControlFrame)
+				if err != nil {
+					t.Fatalf("re-read hello: %v", err)
+				}
+				if h2, err := decodeHello(p2); err != nil || h2 != h {
+					t.Fatalf("hello round trip: %+v -> %+v (%v)", h, h2, err)
+				}
+			case MsgFence:
+				fc, err := decodeFence(payload)
+				if err != nil {
+					if !errors.Is(err, ErrBadFrame) {
+						t.Fatalf("fence error class: %v", err)
+					}
+					continue
+				}
+				if fc.Epoch == 0 {
+					t.Fatal("accepted a zero-epoch fence")
+				}
+				var re bytes.Buffer
+				if err := writeJSON(&re, MsgFence, fc); err != nil {
+					t.Fatalf("re-encode fence: %v", err)
+				}
+				_, p2, err := readFrame(&re, MaxControlFrame)
+				if err != nil {
+					t.Fatalf("re-read fence: %v", err)
+				}
+				if f2, err := decodeFence(p2); err != nil || f2 != fc {
+					t.Fatalf("fence round trip: %+v -> %+v (%v)", fc, f2, err)
+				}
+			case MsgPos:
+				var p Pos
+				if err := decodeControl(payload, &p); err != nil && !errors.Is(err, ErrBadFrame) {
+					t.Fatalf("pos error class: %v", err)
+				}
+			}
+		}
+	})
+}

@@ -46,6 +46,7 @@ const (
 	MsgRotate    byte = 8 // primary→follower: primary checkpointed; new generation
 	MsgPos       byte = 9 // both ways: position report (follower ack / primary heartbeat)
 	MsgError     byte = 10
+	MsgFence     byte = 11 // primary→follower: your epoch is stale (or mine is); fencing verdict
 )
 
 const (
@@ -79,6 +80,9 @@ type Hello struct {
 	Have bool   `json:"have"`
 	Gen  uint64 `json:"gen"`
 	Seq  uint64 `json:"seq"`
+	// Epoch is the fencing term the follower's state was written under.
+	// Pre-failover peers omit it and are treated as epoch 0.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Pos is a (generation, sequence) position report. Seq is the global
@@ -88,6 +92,10 @@ type Hello struct {
 type Pos struct {
 	Gen uint64 `json:"gen"`
 	Seq uint64 `json:"seq"`
+	// Epoch, on primary→follower positions (MsgTail, MsgRotate, heartbeat
+	// MsgPos), is the shipper's current fencing term; followers adopt it.
+	// Follower acks echo their own term. Zero means pre-failover.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // SnapComponent names one snapshot component and its raw container size.
@@ -102,6 +110,7 @@ type SnapComponent struct {
 type SnapBegin struct {
 	Gen        uint64          `json:"gen"`
 	Seq        uint64          `json:"seq"`
+	Epoch      uint64          `json:"epoch,omitempty"`
 	Components []SnapComponent `json:"components"`
 }
 
@@ -116,6 +125,34 @@ type SnapSum struct {
 type ErrorMsg struct {
 	Msg    string `json:"msg"`
 	Resync bool   `json:"resync,omitempty"`
+}
+
+// Fence is the shipper's fencing verdict on a stale peer. Epoch is the
+// current term the peer must adopt. Resync tells a fenced ex-primary its
+// local history diverged past the promotion seal and only a snapshot
+// re-sync can rejoin it; without Resync the peer merely learned of a newer
+// term (e.g. the shipper itself was fenced by a newer primary) and should
+// re-point. Msg is diagnostic.
+type Fence struct {
+	Epoch  uint64 `json:"epoch"`
+	Resync bool   `json:"resync,omitempty"`
+	Msg    string `json:"msg,omitempty"`
+}
+
+// decodeFence validates a fencing verdict: a zero epoch can never fence
+// anything, so it is a framing violation rather than a legal message.
+func decodeFence(payload []byte) (Fence, error) {
+	var f Fence
+	if err := decodeControl(payload, &f); err != nil {
+		return Fence{}, err
+	}
+	if f.Epoch == 0 {
+		return Fence{}, fmt.Errorf("%w: fence with zero epoch", ErrBadFrame)
+	}
+	if len(f.Msg) > 1024 {
+		return Fence{}, fmt.Errorf("%w: fence message too long", ErrBadFrame)
+	}
+	return f, nil
 }
 
 // Record is one replicated journal record: the primary's sequence number

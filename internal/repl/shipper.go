@@ -36,6 +36,23 @@ type Source interface {
 	Snapshot(shard string) (*Snapshot, error)
 }
 
+// EpochInfo is a source's fencing state for one shard: the term it is
+// currently writing under, and the (previous term, sealed sequence) pair
+// describing the promotion that started it — the coordinates the shipper
+// uses to tell a safe prefix from a divergent suffix.
+type EpochInfo struct {
+	Epoch     uint64
+	PrevEpoch uint64
+	SealedSeq uint64
+}
+
+// EpochSource is optionally implemented by Sources that participate in
+// fenced failover. A Source without it ships at epoch 0 (pre-failover
+// behavior, no fencing).
+type EpochSource interface {
+	EpochInfo(shard string) EpochInfo
+}
+
 // Snapshot is an open, transferable snapshot generation: its position and
 // the raw component containers. Readers are opened before transfer starts,
 // so a concurrent checkpoint pruning the generation cannot tear the copy.
@@ -87,6 +104,11 @@ type Shipper struct {
 	// Faults, when set, wraps every accepted connection in the injection
 	// seam (sites repl.send / repl.recv / repl.corrupt).
 	Faults *fault.Injector
+	// OnFenced, when set, is invoked (once per observation, possibly from
+	// several connection goroutines) when a peer's hello proves a newer
+	// epoch exists: this shipper is the stale side of a partition and its
+	// host must stop accepting writes and demote itself.
+	OnFenced func(newerEpoch uint64)
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -285,6 +307,38 @@ func (sh *Shipper) serveConn(rawConn net.Conn, st *connState) {
 		return
 	}
 
+	// Fencing: compare the peer's epoch against ours before any state moves.
+	var ep EpochInfo
+	if es, ok := sh.Source.(EpochSource); ok {
+		ep = es.EpochInfo(hello.Shard)
+	}
+	if hello.Epoch > ep.Epoch {
+		// The peer lived through a promotion we missed: we are the stale
+		// side of the partition. Tell the peer, tell the host, and stop
+		// shipping — every byte we would send extends a dead lineage.
+		sh.logf("repl: fenced by %s (%s): peer epoch %d > ours %d", hello.Name, st.addr, hello.Epoch, ep.Epoch)
+		_ = writeJSON(conn, MsgFence, Fence{Epoch: hello.Epoch, Msg: "shipper epoch stale"})
+		inc(sh.counter("eil_repl_fences_total", "dir", "self"))
+		if sh.OnFenced != nil {
+			sh.OnFenced(hello.Epoch)
+		}
+		return
+	}
+	if hello.Epoch < ep.Epoch && hello.Have {
+		// A stale peer with state can tail-resume only if that state is a
+		// strict prefix of ours: written under the epoch we were promoted
+		// from, at or before the sequence the promotion sealed. Anything
+		// else (the dead primary's unshipped suffix, or a peer more than
+		// one promotion behind) diverged and must re-sync from a snapshot.
+		if hello.Epoch != ep.PrevEpoch || hello.Seq > ep.SealedSeq {
+			sh.logf("repl: fencing %s (%s): epoch %d seq %d diverges from sealed (%d, %d)",
+				hello.Name, st.addr, hello.Epoch, hello.Seq, ep.PrevEpoch, ep.SealedSeq)
+			_ = writeJSON(conn, MsgFence, Fence{Epoch: ep.Epoch, Resync: true, Msg: "stale epoch with divergent history; re-sync"})
+			inc(sh.counter("eil_repl_fences_total", "dir", "peer"))
+			return
+		}
+	}
+
 	log, err := sh.Source.TailLog(hello.Shard)
 	if err != nil {
 		_ = writeJSON(conn, MsgError, ErrorMsg{Msg: err.Error()})
@@ -305,7 +359,7 @@ func (sh *Shipper) serveConn(rawConn net.Conn, st *connState) {
 	}
 	if resumed {
 		gen, _ := log.Head()
-		if err := writeJSON(conn, MsgTail, Pos{Gen: gen, Seq: hello.Seq}); err != nil {
+		if err := writeJSON(conn, MsgTail, Pos{Gen: gen, Seq: hello.Seq, Epoch: ep.Epoch}); err != nil {
 			return
 		}
 		sh.logf("repl: follower %s (%s) tailing from seq %d", hello.Name, st.addr, hello.Seq)
@@ -323,7 +377,7 @@ func (sh *Shipper) serveConn(rawConn net.Conn, st *connState) {
 			return
 		}
 		cursor = c
-		err = sh.sendSnapshot(conn, snap)
+		err = sh.sendSnapshot(conn, snap, ep.Epoch)
 		snap.Close()
 		if err != nil {
 			sh.logf("repl: snapshot transfer to %s: %v", hello.Name, err)
@@ -368,13 +422,13 @@ func (sh *Shipper) serveConn(rawConn net.Conn, st *connState) {
 		}
 	}()
 
-	sh.tail(conn, rawConn, log, st, cursor)
+	sh.tail(conn, rawConn, log, st, cursor, ep.Epoch)
 }
 
 // sendSnapshot streams every component in 256 KB chunks, each chunk its
 // own CRC-framed message, with a per-component running-CRC trailer.
-func (sh *Shipper) sendSnapshot(conn net.Conn, snap *Snapshot) error {
-	begin := SnapBegin{Gen: snap.Gen, Seq: snap.Seq}
+func (sh *Shipper) sendSnapshot(conn net.Conn, snap *Snapshot, epoch uint64) error {
+	begin := SnapBegin{Gen: snap.Gen, Seq: snap.Seq, Epoch: epoch}
 	for _, c := range snap.Components {
 		begin.Components = append(begin.Components, SnapComponent{Name: c.Name, Size: c.Size})
 	}
@@ -411,7 +465,7 @@ func (sh *Shipper) sendSnapshot(conn net.Conn, snap *Snapshot) error {
 // tail streams ship-log entries from cursor until the connection drops,
 // the shipper closes, or the cursor is evicted (follower too slow — it is
 // told to re-sync).
-func (sh *Shipper) tail(conn net.Conn, rawConn net.Conn, log *Log, st *connState, cursor uint64) {
+func (sh *Shipper) tail(conn net.Conn, rawConn net.Conn, log *Log, st *connState, cursor uint64, epoch uint64) {
 	hb := sh.Heartbeat
 	if hb <= 0 {
 		hb = 500 * time.Millisecond
@@ -438,7 +492,7 @@ func (sh *Shipper) tail(conn net.Conn, rawConn net.Conn, log *Log, st *connState
 				st.headSeq = seq
 				st.mu.Unlock()
 				_ = rawConn.SetWriteDeadline(time.Now().Add(10 * time.Second))
-				if err := writeJSON(conn, MsgPos, Pos{Gen: gen, Seq: seq}); err != nil {
+				if err := writeJSON(conn, MsgPos, Pos{Gen: gen, Seq: seq, Epoch: epoch}); err != nil {
 					return
 				}
 				timer.Reset(hb)
@@ -451,7 +505,7 @@ func (sh *Shipper) tail(conn net.Conn, rawConn net.Conn, log *Log, st *connState
 			_ = rawConn.SetWriteDeadline(time.Now().Add(30 * time.Second))
 			var err error
 			if e.Rotate {
-				err = writeJSON(conn, MsgRotate, Pos{Gen: e.Gen, Seq: e.Seq})
+				err = writeJSON(conn, MsgRotate, Pos{Gen: e.Gen, Seq: e.Seq, Epoch: epoch})
 			} else {
 				payload := EncodeRecord(Record{Seq: e.Seq, Kind: e.Kind, Payload: e.Payload})
 				err = writeFrame(conn, MsgRecord, payload)

@@ -90,7 +90,8 @@ type nodeState struct {
 	primary   bool
 	inflight  atomic.Int64
 	fails     atomic.Int64
-	openUntil atomic.Int64 // unixnano; breaker open while now < openUntil
+	openUntil atomic.Int64 // unixnano; breaker open while now < openUntil, half-open after (until a probe closes it)
+	probing   atomic.Bool  // a half-open probe request is in flight
 	draining  atomic.Bool
 }
 
@@ -102,6 +103,7 @@ type NodeStatus struct {
 	Lag         *uint64 `json:"lag_records,omitempty"`
 	InFlight    int64   `json:"in_flight"`
 	BreakerOpen bool    `json:"breaker_open"`
+	HalfOpen    bool    `json:"breaker_half_open,omitempty"`
 	Draining    bool    `json:"draining"`
 }
 
@@ -177,12 +179,14 @@ func (r *Router) Status() []NodeStatus {
 	all := append([]*nodeState{r.primary}, r.replicas...)
 	out := make([]NodeStatus, 0, len(all))
 	for _, ns := range all {
+		open := ns.openUntil.Load()
 		st := NodeStatus{
 			Name:        ns.node.Name(),
 			Primary:     ns.primary,
 			Ready:       ns.node.Ready(),
 			InFlight:    ns.inflight.Load(),
-			BreakerOpen: now < ns.openUntil.Load(),
+			BreakerOpen: now < open,
+			HalfOpen:    open != 0 && now >= open,
 			Draining:    ns.draining.Load(),
 		}
 		if lag, ok := ns.node.Lag(); ok {
@@ -272,11 +276,52 @@ func (ns *nodeState) admit(max int) bool {
 	}
 }
 
-func (r *Router) success(ns *nodeState) {
-	ns.fails.Store(0)
+// admitProbe combines the in-flight cap with the breaker's half-open
+// gate. A node whose cooldown expired is not restored to full rotation:
+// it serves exactly one probe request (claimed by CAS), and every other
+// read skips it until the probe's verdict is in — success fully closes
+// the breaker, failure re-opens it for another cooldown without needing
+// to re-accumulate the failure threshold.
+func (r *Router) admitProbe(ns *nodeState) (ok, probe bool) {
+	if open := ns.openUntil.Load(); open != 0 {
+		if time.Now().UnixNano() < open {
+			return false, false
+		}
+		if !ns.probing.CompareAndSwap(false, true) {
+			return false, false // another request holds the probe
+		}
+		probe = true
+	}
+	if !ns.admit(r.opts.MaxInFlight) {
+		if probe {
+			ns.probing.Store(false)
+		}
+		return false, false
+	}
+	return true, probe
 }
 
-func (r *Router) failure(ns *nodeState) {
+func (r *Router) success(ns *nodeState, probe bool) {
+	ns.fails.Store(0)
+	if probe {
+		ns.openUntil.Store(0)
+		ns.probing.Store(false)
+		if r.opts.Metrics != nil {
+			r.opts.Metrics.Counter("eil_repl_router_breaker_closes_total", "node", ns.node.Name()).Inc()
+		}
+	}
+}
+
+func (r *Router) failure(ns *nodeState, probe bool) {
+	if probe {
+		ns.openUntil.Store(time.Now().Add(r.opts.BreakerCooldown).UnixNano())
+		ns.fails.Store(0)
+		ns.probing.Store(false)
+		if r.opts.Metrics != nil {
+			r.opts.Metrics.Counter("eil_repl_router_breaker_opens_total", "node", ns.node.Name()).Inc()
+		}
+		return
+	}
 	if ns.fails.Add(1) >= int64(r.opts.BreakerThreshold) {
 		ns.openUntil.Store(time.Now().Add(r.opts.BreakerCooldown).UnixNano())
 		ns.fails.Store(0)
@@ -293,7 +338,8 @@ func (r *Router) do(ctx context.Context, op string, call func(Node) error) error
 	var lastErr error
 	tried := 0
 	for _, ns := range r.candidates() {
-		if !ns.admit(r.opts.MaxInFlight) {
+		admitted, probe := r.admitProbe(ns)
+		if !admitted {
 			continue
 		}
 		if tried > 0 && r.opts.Metrics != nil {
@@ -305,14 +351,14 @@ func (r *Router) do(ctx context.Context, op string, call func(Node) error) error
 			return call(ns.node)
 		}()
 		if err == nil || isDataError(err) {
-			r.success(ns)
+			r.success(ns, probe)
 			if r.opts.Metrics != nil {
 				r.opts.Metrics.Counter("eil_repl_router_reads_total", "node", ns.node.Name(), "op", op).Inc()
 			}
 			return err
 		}
 		lastErr = err
-		r.failure(ns)
+		r.failure(ns, probe)
 		if ctx != nil && ctx.Err() != nil {
 			return err
 		}
@@ -327,13 +373,20 @@ func (r *Router) do(ctx context.Context, op string, call func(Node) error) error
 // report errors (failover is impossible without an error signal).
 func (r *Router) pick(op string) (*nodeState, func()) {
 	for _, ns := range r.candidates() {
-		if !ns.admit(r.opts.MaxInFlight) {
+		admitted, probe := r.admitProbe(ns)
+		if !admitted {
 			continue
 		}
 		if r.opts.Metrics != nil {
 			r.opts.Metrics.Counter("eil_repl_router_reads_total", "node", ns.node.Name(), "op", op).Inc()
 		}
-		return ns, func() { ns.inflight.Add(-1) }
+		return ns, func() {
+			ns.inflight.Add(-1)
+			// Error-less reads have no failure signal: a probe that ran to
+			// completion counts as the node answering, which closes the
+			// breaker.
+			r.success(ns, probe)
+		}
 	}
 	return nil, nil
 }

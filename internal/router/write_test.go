@@ -1,0 +1,222 @@
+package router
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/docmodel"
+)
+
+// fakeWritePrimary records mutations and can be programmed to fail.
+type fakeWritePrimary struct {
+	mu       sync.Mutex
+	adds     int
+	removes  int
+	compacts int
+	err      error
+}
+
+func (p *fakeWritePrimary) call() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+func (p *fakeWritePrimary) AddDocuments(docs []*docmodel.Document) error {
+	if err := p.call(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.adds++
+	p.mu.Unlock()
+	return nil
+}
+
+func (p *fakeWritePrimary) RemoveDeal(dealID string) error {
+	if err := p.call(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.removes++
+	p.mu.Unlock()
+	return nil
+}
+
+func (p *fakeWritePrimary) Compact() error {
+	if err := p.call(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.compacts++
+	p.mu.Unlock()
+	return nil
+}
+
+func (p *fakeWritePrimary) counts() (adds, removes, compacts int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.adds, p.removes, p.compacts
+}
+
+var errTestFenced = errors.New("test: fenced")
+
+func fencedOpts(wait time.Duration) WriteOptions {
+	return WriteOptions{QueueWait: wait, IsFenced: func(err error) bool { return errors.Is(err, errTestFenced) }}
+}
+
+func TestWriteRouterRoutesToPrimary(t *testing.T) {
+	wr := NewWriteRouter(fencedOpts(time.Second))
+	p := &fakeWritePrimary{}
+	wr.SetPrimary(p, 1)
+	if err := wr.AddDocuments(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := wr.RemoveDeal("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := wr.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if a, r, c := p.counts(); a != 1 || r != 1 || c != 1 {
+		t.Fatalf("counts = (%d,%d,%d), want (1,1,1)", a, r, c)
+	}
+}
+
+func TestWriteRouterNoPrimaryFailsCrisplyWithRetryHint(t *testing.T) {
+	wr := NewWriteRouter(WriteOptions{QueueWait: 20 * time.Millisecond, RetryAfter: 5 * time.Second})
+	start := time.Now()
+	err := wr.AddDocuments(nil)
+	if !errors.Is(err, ErrNoPrimary) {
+		t.Fatalf("err = %v, want ErrNoPrimary", err)
+	}
+	var ue *UnavailableError
+	if !errors.As(err, &ue) || ue.RetryAfter != 5*time.Second {
+		t.Fatalf("refusal = %#v, want UnavailableError with 5s hint", err)
+	}
+	if waited := time.Since(start); waited < 20*time.Millisecond {
+		t.Fatalf("refused after %v, before the promotion window closed", waited)
+	}
+}
+
+func TestWriteRouterQueuesThroughPromotionWindow(t *testing.T) {
+	wr := NewWriteRouter(fencedOpts(10 * time.Second))
+	done := make(chan error, 1)
+	go func() { done <- wr.RemoveDeal("d") }()
+
+	// The mutation is parked as a waiter until a primary lands.
+	deadline := time.Now().Add(5 * time.Second)
+	for wr.Status().Waiters == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("mutation never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	p := &fakeWritePrimary{}
+	wr.SetPrimary(p, 1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if _, r, _ := p.counts(); r != 1 {
+		t.Fatalf("removes = %d, want 1", r)
+	}
+	if st := wr.Status(); !st.HasPrimary || st.Epoch != 1 || st.Waiters != 0 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestWriteRouterQueueBoundRefusesOverflow(t *testing.T) {
+	wr := NewWriteRouter(WriteOptions{QueueWait: 10 * time.Second, QueueMax: 1})
+	release := make(chan error, 1)
+	go func() { release <- wr.AddDocuments(nil) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for wr.Status().Waiters == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first mutation never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	err := wr.AddDocuments(nil)
+	if !errors.Is(err, ErrWriteQueueFull) {
+		t.Fatalf("overflow err = %v, want ErrWriteQueueFull", err)
+	}
+
+	wr.SetPrimary(&fakeWritePrimary{}, 1)
+	if err := <-release; err != nil {
+		t.Fatalf("queued mutation failed: %v", err)
+	}
+}
+
+func TestWriteRouterFencedPrimaryForgottenAndRequeued(t *testing.T) {
+	wr := NewWriteRouter(fencedOpts(10 * time.Second))
+	stale := &fakeWritePrimary{err: errTestFenced}
+	wr.SetPrimary(stale, 1)
+
+	done := make(chan error, 1)
+	go func() { done <- wr.AddDocuments(nil) }()
+
+	// The fenced refusal opens the window; the mutation re-queues instead
+	// of surfacing the error.
+	deadline := time.Now().Add(5 * time.Second)
+	for wr.Status().HasPrimary || wr.Status().Waiters == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("fenced primary not forgotten (status %+v)", wr.Status())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	fresh := &fakeWritePrimary{}
+	if !wr.SetPrimary(fresh, 2) {
+		t.Fatal("newer primary refused")
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if a, _, _ := fresh.counts(); a != 1 {
+		t.Fatalf("fresh adds = %d, want 1", a)
+	}
+	if a, _, _ := stale.counts(); a != 0 {
+		t.Fatalf("stale primary accepted %d writes after fencing", a)
+	}
+}
+
+func TestWriteRouterRefusesStaleEpoch(t *testing.T) {
+	wr := NewWriteRouter(fencedOpts(time.Second))
+	current := &fakeWritePrimary{}
+	wr.SetPrimary(current, 5)
+	// A resurrected ex-primary must not reclaim the write path.
+	if wr.SetPrimary(&fakeWritePrimary{}, 3) {
+		t.Fatal("stale-epoch primary installed")
+	}
+	if st := wr.Status(); st.Epoch != 5 {
+		t.Fatalf("epoch = %d, want 5", st.Epoch)
+	}
+	if err := wr.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, c := current.counts(); c != 1 {
+		t.Fatalf("current primary compacts = %d, want 1", c)
+	}
+	// Opening the window (nil) is always allowed, whatever the epoch.
+	if !wr.SetPrimary(nil, 0) {
+		t.Fatal("opening the window was refused")
+	}
+	if wr.Status().HasPrimary {
+		t.Fatal("window did not open")
+	}
+}
+
+func TestWriteRouterNonFencingErrorsSurface(t *testing.T) {
+	wr := NewWriteRouter(fencedOpts(time.Second))
+	boom := errors.New("journal poisoned")
+	wr.SetPrimary(&fakeWritePrimary{err: boom}, 1)
+	if err := wr.AddDocuments(nil); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the primary's own error", err)
+	}
+	if !wr.Status().HasPrimary {
+		t.Fatal("non-fencing error evicted the primary")
+	}
+}

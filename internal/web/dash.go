@@ -77,9 +77,18 @@ type dashBreaker struct {
 	State   string
 }
 
+// dashFailover is the failover strip next to the verdict: role, fencing
+// epoch, and how long ago this node was promoted (empty if never).
+type dashFailover struct {
+	Role     string
+	Epoch    uint64
+	Promoted string
+}
+
 type dashData struct {
 	Now         string
 	Verdict     string
+	Failover    *dashFailover
 	Causes      []string
 	Panels      []dashPanel
 	Breakers    []dashBreaker
@@ -105,6 +114,15 @@ func (h *handler) debugDash(w http.ResponseWriter, _ *http.Request) {
 	rep := h.health.Evaluate()
 	data.Verdict = string(rep.Verdict)
 	data.Causes = rep.Causes
+
+	if h.failoverFn != nil {
+		fo := h.failoverFn()
+		df := &dashFailover{Role: fo.Role, Epoch: fo.Epoch}
+		if !fo.PromotedAt.IsZero() {
+			df.Promoted = now.Sub(fo.PromotedAt).Round(time.Second).String() + " ago"
+		}
+		data.Failover = df
+	}
 
 	var hist []runtimetel.Sample
 	if h.collector != nil {
@@ -234,6 +252,9 @@ var dashTmpl = template.Must(template.New("dash").Funcs(template.FuncMap{
  h1{margin:0 0 .2em} .sub{color:#666;font-size:.85em;margin-bottom:1em}
  .verdict{display:inline-block;padding:.2em .7em;border-radius:.3em;font-weight:bold;color:#fff}
  .verdict.ready{background:#16a34a} .verdict.degraded{background:#d97706} .verdict.unready{background:#dc2626}
+ .role{display:inline-block;padding:.2em .7em;border-radius:.3em;font-weight:bold;color:#fff;margin-left:.4em}
+ .role.primary{background:#2563eb} .role.follower{background:#64748b}
+ .role.fenced{background:#dc2626} .role.promoting{background:#d97706}
  .causes{color:#b45309;margin:.4em 0}
  .panels{display:flex;flex-wrap:wrap;gap:.8em;margin:1em 0}
  .panel{background:#fff;border:1px solid #ddd;border-radius:.4em;padding:.6em .8em;min-width:15em}
@@ -251,7 +272,7 @@ var dashTmpl = template.Must(template.New("dash").Funcs(template.FuncMap{
 <div class="sub">{{.Now}} &middot; {{.Samples}} samples{{if .Span}} over {{.Span}}{{end}} &middot; auto-refresh 10s &middot;
  <a href="/metrics">metrics</a> &middot; <a href="/readyz">readyz</a> &middot; <a href="/api/slo">slo</a>{{if .HasTraces}} &middot; <a href="/debug/traces">traces</a>{{end}}{{if .HasProf}} &middot; <a href="/debug/prof">profiles</a>{{end}}</div>
 
-<div><span class="verdict {{.Verdict}}">{{.Verdict}}</span></div>
+<div><span class="verdict {{.Verdict}}">{{.Verdict}}</span>{{with .Failover}}<span class="role {{.Role}}">{{.Role}}</span> <span class="sub">epoch {{.Epoch}}{{if .Promoted}} &middot; promoted {{.Promoted}}{{end}}</span>{{end}}</div>
 {{range .Causes}}<div class="causes">&#9888; {{.}}</div>{{end}}
 
 <div class="panels">

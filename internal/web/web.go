@@ -37,14 +37,16 @@ import (
 type Option func(*config)
 
 type config struct {
-	pprof     bool
-	accessLog *slog.Logger
-	health    *health.Registry
-	slo       *slo.Engine
-	collector *runtimetel.Collector
-	profRing  *prof.Ring
-	curves    []loadgen.Curve
-	replFn    func() any
+	pprof      bool
+	accessLog  *slog.Logger
+	health     *health.Registry
+	slo        *slo.Engine
+	collector  *runtimetel.Collector
+	profRing   *prof.Ring
+	curves     []loadgen.Curve
+	replFn     func() any
+	failoverFn func() FailoverInfo
+	promoteFn  func(target string) error
 }
 
 // WithReplStatus mounts /api/repl serving whatever the callback reports —
@@ -52,6 +54,24 @@ type config struct {
 // callback runs per request, so the payload is always current.
 func WithReplStatus(fn func() any) Option {
 	return func(c *config) { c.replFn = fn }
+}
+
+// FailoverInfo is a node's place in a failover deployment: its current
+// role, the fencing epoch it serves under, and when it was last promoted
+// (zero if never).
+type FailoverInfo struct {
+	Role       string    `json:"role"` // primary | follower | fenced | promoting
+	Epoch      uint64    `json:"epoch"`
+	PromotedAt time.Time `json:"promoted_at"`
+}
+
+// WithFailover surfaces failover state. info feeds /debug/dash and folds
+// into /readyz: a fenced or mid-promotion node answers 503, because it must
+// not take traffic until its role settles. promote (optional) mounts
+// POST /api/promote — the manual promotion trigger; an empty target lets
+// the supervisor elect, a named target forces that node.
+func WithFailover(info func() FailoverInfo, promote func(target string) error) Option {
+	return func(c *config) { c.failoverFn, c.promoteFn = info, promote }
 }
 
 // WithPprof mounts net/http/pprof under /debug/pprof/.
@@ -128,7 +148,7 @@ func HandlerFor(sys Backend, opts ...Option) http.Handler {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	h := &handler{sys: sys, health: cfg.health, slo: cfg.slo, collector: cfg.collector, profRing: cfg.profRing, curves: cfg.curves, replFn: cfg.replFn}
+	h := &handler{sys: sys, health: cfg.health, slo: cfg.slo, collector: cfg.collector, profRing: cfg.profRing, curves: cfg.curves, replFn: cfg.replFn, failoverFn: cfg.failoverFn, promoteFn: cfg.promoteFn}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", h.home)
 	mux.HandleFunc("/deal", h.dealPage)
@@ -150,6 +170,9 @@ func HandlerFor(sys Backend, opts ...Option) http.Handler {
 	mux.HandleFunc("/readyz", h.readyz)
 	mux.HandleFunc("/api/slo", h.apiSLO)
 	mux.HandleFunc("/api/repl", h.apiRepl)
+	if cfg.promoteFn != nil {
+		mux.HandleFunc("/api/promote", h.apiPromote)
+	}
 	mux.HandleFunc("/debug/dash", h.debugDash)
 	if sys.RequestTracer() != nil {
 		mux.HandleFunc("/debug/traces", h.debugTraces)
@@ -170,13 +193,15 @@ func HandlerFor(sys Backend, opts ...Option) http.Handler {
 }
 
 type handler struct {
-	sys       Backend
-	health    *health.Registry
-	slo       *slo.Engine
-	collector *runtimetel.Collector
-	profRing  *prof.Ring
-	curves    []loadgen.Curve
-	replFn    func() any
+	sys        Backend
+	health     *health.Registry
+	slo        *slo.Engine
+	collector  *runtimetel.Collector
+	profRing   *prof.Ring
+	curves     []loadgen.Curve
+	replFn     func() any
+	failoverFn func() FailoverInfo
+	promoteFn  func(target string) error
 }
 
 // middleware wraps every route with request counting, status-class
@@ -222,7 +247,8 @@ func (w *statusWriter) Flush() {
 // ring.
 func untraced(route string) bool {
 	return route == "/metrics" || route == "/healthz" || route == "/readyz" ||
-		route == "/api/slo" || route == "/api/repl" || strings.HasPrefix(route, "/debug/")
+		route == "/api/slo" || route == "/api/repl" || route == "/api/promote" ||
+		strings.HasPrefix(route, "/debug/")
 }
 
 func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -321,8 +347,17 @@ func (h *handler) apiMetrics(w http.ResponseWriter, _ *http.Request) {
 // report — verdict, flat cause list, and every check's state — so "why is
 // this instance out" is one curl away. A nil health registry evaluates to
 // ready, keeping the endpoint meaningful before any checks are wired.
+// Failover folds in on top of the component checks: a fenced node's writes
+// are refused and its replica set has moved on, and a mid-promotion node is
+// reshaping its WAL — neither should take traffic, whatever the disks say.
 func (h *handler) readyz(w http.ResponseWriter, _ *http.Request) {
 	rep := h.health.Evaluate()
+	if h.failoverFn != nil {
+		if fo := h.failoverFn(); fo.Role == "fenced" || fo.Role == "promoting" {
+			rep.Verdict = health.VerdictUnready
+			rep.Causes = append(rep.Causes, "failover: node is "+fo.Role)
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if !rep.Ready() {
 		w.Header().Set("Retry-After", "5")
@@ -341,6 +376,24 @@ func (h *handler) apiRepl(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	writeJSON(w, h.replFn())
+}
+
+// apiPromote triggers a manual promotion via the supervisor. POST-only —
+// it is a mutation with cluster-wide effect — and idempotent at the
+// supervisor (promoting the current primary is a no-op error). 409 carries
+// the supervisor's refusal (no such node, node dead, election in flight).
+func (h *handler) apiPromote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "promotion requires POST", http.StatusMethodNotAllowed)
+		return
+	}
+	target := strings.TrimSpace(r.FormValue("target"))
+	if err := h.promoteFn(target); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, map[string]any{"promoted": true, "target": target})
 }
 
 // apiSLO serves the burn-rate report (404 when no SLO engine is wired).

@@ -19,6 +19,7 @@ import (
 	"repro/internal/directory"
 	"repro/internal/docmodel"
 	"repro/internal/durable"
+	"repro/internal/failover"
 	"repro/internal/index"
 	"repro/internal/obs"
 	"repro/internal/relstore"
@@ -241,6 +242,20 @@ func loadSystemWith(dir string, ctl *access.Controller, metrics *obs.Registry) (
 	}
 	sys.gen = gen
 	sys.lastCkpt = time.Now()
+
+	// Restore the fencing term: a node that was promoted (or fenced)
+	// carries its epoch across restarts, so its replication hellos and
+	// write guard come back up under the right term without operator
+	// input. A corrupt EPOCH record fails the load — guessing a term
+	// could let a fenced node write again.
+	if ep, ok, eperr := durable.ReadEpoch(nil, dir); eperr != nil {
+		return nil, fmt.Errorf("eil: load %s: %w", dir, eperr)
+	} else if ok {
+		sys.fenceEpoch.Store(ep.Epoch)
+		sys.fencedBy.Store(ep.FencedBy)
+		sys.prevEpoch = ep.PrevEpoch
+		sys.sealSeq = ep.SealedSeq
+	}
 
 	// Replay the journal tail: every operation acknowledged since the
 	// loaded generation committed. A torn tail (crash mid-append) is cut
@@ -476,6 +491,18 @@ func (s *System) journalHealthyLocked() error {
 		return fmt.Errorf("eil: journal: %w", err)
 	}
 	return nil
+}
+
+// writeGuardLocked is the refusal gate every mutation passes before it
+// is applied: a fenced node refuses outright — a newer epoch owns the
+// history now, and applying (let alone journaling) here would be a lost
+// write at best and a split brain at worst — and a poisoned journal
+// refuses for the reason journalHealthyLocked documents.
+func (s *System) writeGuardLocked() error {
+	if by := s.fencedBy.Load(); by != 0 {
+		return &failover.FencedError{Mine: s.fenceEpoch.Load(), Current: by}
+	}
+	return s.journalHealthyLocked()
 }
 
 // journalLocked appends one operation record; callers hold upMu. With no

@@ -134,12 +134,31 @@ func (src *systemSource) Snapshot(shard string) (*repl.Snapshot, error) {
 	return sys.replSnapshot()
 }
 
+// EpochInfo exposes each shard's fencing term to the shipper
+// (repl.EpochSource), so stale peers are fenced and laggard survivors of
+// a promotion are told whether their position is a safe prefix.
+func (src *systemSource) EpochInfo(shard string) repl.EpochInfo {
+	sys, ok := src.shards[shard]
+	if !ok {
+		return repl.EpochInfo{}
+	}
+	return sys.EpochInfo()
+}
+
 // ServeReplication starts shipping this system's WAL to followers
 // connecting on lis. EnableWAL must already be active. A non-nil faults
 // injector wires the repl.send / repl.recv / repl.corrupt chaos seams
 // into every accepted connection. The returned Shipper reports
 // connected-follower status; Close it to stop serving.
 func (s *System) ServeReplication(lis net.Listener, faults *fault.Injector) (*repl.Shipper, error) {
+	return s.serveReplication(lis, faults, nil)
+}
+
+// serveReplication is ServeReplication with the shipper's fencing
+// callback installed before the accept loop starts, so no connection can
+// race the handler into place. onFenced fires when a peer's hello proves
+// a newer epoch exists (see repl.Shipper.OnFenced).
+func (s *System) serveReplication(lis net.Listener, faults *fault.Injector, onFenced func(newerEpoch uint64)) (*repl.Shipper, error) {
 	s.upMu.Lock()
 	err := s.initReplLogLocked()
 	s.upMu.Unlock()
@@ -147,9 +166,10 @@ func (s *System) ServeReplication(lis net.Listener, faults *fault.Injector) (*re
 		return nil, err
 	}
 	sh := &repl.Shipper{
-		Source:  &systemSource{shards: map[string]*System{"": s}},
-		Metrics: s.Metrics,
-		Faults:  faults,
+		Source:   &systemSource{shards: map[string]*System{"": s}},
+		Metrics:  s.Metrics,
+		Faults:   faults,
+		OnFenced: onFenced,
 	}
 	go sh.Serve(lis)
 	return sh, nil
@@ -254,6 +274,16 @@ type Follower struct {
 	sawHead atomic.Bool
 	epoch   atomic.Uint64 // bumped on snapshot swap (cluster cache key)
 
+	// fenceEpoch is the failover term the replica's state was last
+	// written under (durable in the EPOCH record beside its snapshots;
+	// distinct from the swap counter above). shipLog mirrors every
+	// applied record so that, if this replica is promoted, laggard
+	// survivors can tail-resume from it instead of re-bootstrapping; it
+	// is touched only by the client goroutine and, after Detach, by the
+	// promotion path.
+	fenceEpoch atomic.Uint64
+	shipLog    *repl.Log
+
 	ckptMu sync.Mutex // serializes local checkpoints with Close
 }
 
@@ -281,11 +311,20 @@ func StartFollower(opts FollowerOptions) (*Follower, error) {
 		sys.Tracer = opts.Tracer
 		f.sys.Store(sys)
 		gen, seq := sys.ReplPosition()
+		f.shipLog = repl.NewLog(gen, seq, 0, 0)
 		f.logf("eil: follower resuming local state at gen %d seq %d", gen, seq)
 	} else if !errors.Is(err, durable.ErrNoSnapshot) {
 		// Unloadable local state is not fatal — the bootstrap transfer
 		// replaces it — but it is worth a line.
 		f.logf("eil: follower discarding local state: %v", err)
+	}
+
+	// The adopted failover term survives restarts in the EPOCH record; a
+	// replica that never witnessed a promotion hellos at epoch 0. An
+	// unreadable record degrades to epoch 0 — the primary then fences
+	// this replica into a re-sync, which rewrites it.
+	if ep, ok, err := durable.ReadEpoch(nil, opts.Dir); err == nil && ok {
+		f.fenceEpoch.Store(ep.Epoch)
 	}
 
 	f.client = &repl.Client{
@@ -331,6 +370,21 @@ func (f *Follower) Close() error {
 // pointer swaps wholesale on re-bootstrap; hold the returned value for a
 // consistent view.
 func (f *Follower) System() *System { return f.sys.Load() }
+
+// Detach stops replicating permanently and returns the final local state
+// together with the mirrored ship log, without checkpointing — the
+// promotion path takes both over and checkpoints under the new epoch
+// itself. The Follower must not be reused after Detach (Close remains
+// safe to call).
+func (f *Follower) Detach() (*System, *repl.Log, error) {
+	f.cancel()
+	<-f.done
+	sys := f.sys.Load()
+	if sys == nil {
+		return nil, nil, ErrNotSynced
+	}
+	return sys, f.shipLog, nil
+}
 
 // Name identifies the follower (router.Node).
 func (f *Follower) Name() string { return f.opts.Name }
@@ -392,8 +446,13 @@ type FollowerReport struct {
 	HeadSeq uint64            `json:"head_seq"`
 	Lag     *uint64           `json:"lag_records,omitempty"`
 	Synced  bool              `json:"synced"`
+	Epoch   uint64            `json:"epoch"` // adopted failover term
 	Client  repl.ClientStatus `json:"client"`
 }
+
+// FenceEpoch reports the failover term the replica's state was last
+// written under (0 before any promotion is witnessed).
+func (f *Follower) FenceEpoch() uint64 { return f.fenceEpoch.Load() }
 
 // Status reports the follower's replication view.
 func (f *Follower) Status() FollowerReport {
@@ -408,6 +467,7 @@ func (f *Follower) Status() FollowerReport {
 		HeadGen: f.headGen.Load(),
 		HeadSeq: f.headSeq.Load(),
 		Synced:  f.Ready(),
+		Epoch:   f.fenceEpoch.Load(),
 		Client:  f.client.Status(),
 	}
 	if lag, ok := f.Lag(); ok {
@@ -451,11 +511,41 @@ func (sk *followerSink) Apply(rec repl.Record) error {
 	if err := sys.ApplyReplicated(rec.Seq, rec.Kind, rec.Payload); err != nil {
 		return err
 	}
+	// Mirror the applied record into the local ship buffer: if this
+	// replica is promoted, survivors behind it tail-resume from here.
+	if sk.f.shipLog != nil {
+		sk.f.shipLog.Append(repl.Entry{Seq: rec.Seq, Kind: rec.Kind, Payload: rec.Payload})
+	}
 	// A shipped record is also evidence of the primary's head.
 	if rec.Seq > sk.f.headSeq.Load() {
 		sk.f.headSeq.Store(rec.Seq)
 	}
 	sk.f.observeLag()
+	return nil
+}
+
+// Epoch reports the replica's adopted failover term (repl.EpochSink).
+func (sk *followerSink) Epoch() uint64 { return sk.f.fenceEpoch.Load() }
+
+// AdoptEpoch durably records a newer failover term (repl.EpochSink). The
+// client only calls it on positions the primary sent while our state is
+// a verified prefix of its stream, so stamping the local history with
+// the new term is sound; any standing fence mark is resolved by the same
+// evidence.
+func (sk *followerSink) AdoptEpoch(epoch uint64) error {
+	f := sk.f
+	if err := durable.WriteEpoch(nil, f.opts.Dir, durable.EpochRecord{Epoch: epoch}); err != nil {
+		return err
+	}
+	f.fenceEpoch.Store(epoch)
+	if sys := f.sys.Load(); sys != nil {
+		sys.upMu.Lock()
+		sys.fenceEpoch.Store(epoch)
+		sys.fencedBy.Store(0)
+		sys.prevEpoch = 0
+		sys.sealSeq = 0
+		sys.upMu.Unlock()
+	}
 	return nil
 }
 
@@ -472,6 +562,9 @@ func (sk *followerSink) Rotate(gen, seq uint64) error {
 		return fmt.Errorf("eil: rotate at seq %d but replica at %d: frames skipped", seq, cur)
 	}
 	sys.upstreamGen.Store(gen)
+	if f.shipLog != nil {
+		f.shipLog.Append(repl.Entry{Seq: seq, Rotate: true, Gen: gen})
+	}
 	if gen > f.headGen.Load() {
 		f.headGen.Store(gen)
 	}
@@ -528,6 +621,12 @@ func (fi *followerInstall) Commit() error {
 	if err := fi.imp.Commit(); err != nil {
 		return err
 	}
+	// A journal left over from this directory's previous life (an
+	// ex-primary being re-synced after a fence) must not replay on top of
+	// the fresh install: its records belong to the dead lineage.
+	if err := os.Remove(filepath.Join(fi.f.opts.Dir, durable.WALName)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("eil: remove stale journal: %w", err)
+	}
 	sys, err := loadSystemWith(fi.f.opts.Dir, fi.f.opts.Access, fi.f.metrics)
 	if err != nil {
 		return fmt.Errorf("eil: load installed snapshot: %w", err)
@@ -539,6 +638,9 @@ func (fi *followerInstall) Commit() error {
 	sys.ckptSeq = fi.seq
 	sys.Tracer = fi.f.opts.Tracer
 	fi.f.sys.Store(sys)
+	// The mirrored ship history predates the install; restart it at the
+	// installed position.
+	fi.f.shipLog = repl.NewLog(fi.gen, fi.seq, 0, 0)
 	fi.f.sawHead.Store(true)
 	if fi.seq > fi.f.headSeq.Load() {
 		fi.f.headSeq.Store(fi.seq)

@@ -147,7 +147,9 @@ func TestReplicationDifferentialIdentity(t *testing.T) {
 	if err := sys.RemoveDeal("REPL DEAL 1"); err != nil {
 		t.Fatal(err)
 	}
-	sys.Compact()
+	if err := sys.Compact(); err != nil {
+		t.Fatal(err)
+	}
 	if err := sys.AddDocuments(newDealDocs(t, "REPL DEAL LATE")); err != nil {
 		t.Fatal(err)
 	}

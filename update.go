@@ -65,7 +65,7 @@ func (s *System) AddDocuments(docs []*docmodel.Document) error {
 	}
 	s.upMu.Lock()
 	defer s.upMu.Unlock()
-	if err := s.journalHealthyLocked(); err != nil {
+	if err := s.writeGuardLocked(); err != nil {
 		return err
 	}
 	// Validate: a duplicate path (already indexed, or repeated within the
@@ -155,12 +155,16 @@ func (s *System) applyStagedLocked(docs []*docmodel.Document, cases []*analysis.
 // into the live system. Queries issued concurrently with Compact see either
 // the old or the new index, both of which answer identically — the swap is
 // an atomic-pointer publish on the search path, so no search ever observes
-// a torn mix of old and new backends.
-func (s *System) Compact() {
+// a torn mix of old and new backends. Like every mutation it is refused
+// on a fenced node and journaled before it returns.
+func (s *System) Compact() error {
 	s.upMu.Lock()
 	defer s.upMu.Unlock()
+	if err := s.writeGuardLocked(); err != nil {
+		return err
+	}
 	s.applyCompact()
-	_ = s.journalLocked(walOpCompact, nil)
+	return s.journalLocked(walOpCompact, nil)
 }
 
 // applyCompact is the body of Compact, shared with journal replay; callers
@@ -190,7 +194,7 @@ func (s *System) RemoveDeal(dealID string) error {
 	}
 	s.upMu.Lock()
 	defer s.upMu.Unlock()
-	if err := s.journalHealthyLocked(); err != nil {
+	if err := s.writeGuardLocked(); err != nil {
 		return err
 	}
 	if err := s.applyRemoveDeal(dealID); err != nil {

@@ -295,7 +295,9 @@ func TestCompactDuringSearch(t *testing.T) {
 		}()
 	}
 	for i := 0; i < 5; i++ {
-		sys.Compact()
+		if err := sys.Compact(); err != nil {
+			t.Error(err)
+		}
 	}
 	close(stop)
 	wg.Wait()
@@ -339,7 +341,9 @@ func TestCompactAfterRemove(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys.Compact()
+	if err := sys.Compact(); err != nil {
+		t.Fatal(err)
+	}
 	if sys.Index.DocCount() != live {
 		t.Fatalf("compact changed live count: %d vs %d", sys.Index.DocCount(), live)
 	}
